@@ -1,0 +1,101 @@
+//! The batch-ETL baseline (decoupled storage, Figure 1 "ETL").
+//!
+//! Before a batch of analytical queries, the fresh delta is transferred from
+//! the transactional store to the analytical store; the queries then run on
+//! analytical-local data. Query response time therefore includes the transfer
+//! cost (amortised over the batch), while the transactional engine keeps its
+//! socket to itself and is essentially unaffected.
+
+use crate::BaselinePoint;
+use htap_olap::QueryPlan;
+use htap_rde::{AccessMethod, RdeEngine};
+
+/// The batch-ETL baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EtlBaseline;
+
+impl EtlBaseline {
+    /// Take a snapshot, transfer the fresh delta to the analytical store and
+    /// execute `queries_per_snapshot` copies of `plan` over it. Returns the
+    /// Figure-1 quantities for this snapshot.
+    pub fn run_snapshot(
+        &self,
+        rde: &RdeEngine,
+        plan: &QueryPlan,
+        queries_per_snapshot: usize,
+    ) -> BaselinePoint {
+        // Snapshot + delta transfer.
+        rde.switch_and_sync();
+        let etl = rde.etl_to_olap();
+
+        // Queries run on analytical-local data; the OLTP engine only shares
+        // the machine through the interconnect traffic of the ETL, which has
+        // already completed, so it runs at its isolated throughput.
+        let tables: Vec<&str> = plan.tables();
+        let sources = rde.sources_for(&tables, AccessMethod::OlapLocal);
+        let txn = rde.txn_work();
+        let mut query_exec_time = 0.0;
+        for _ in 0..queries_per_snapshot {
+            let exec = rde.olap().run_query(plan, &sources, Some(&txn));
+            query_exec_time += exec.modeled.total;
+        }
+        // OLAP scans its own socket: interference with OLTP is negligible.
+        let bytes = sources
+            .values()
+            .flat_map(|s| s.bytes_per_socket(&["ol_amount"]))
+            .collect();
+        let oltp_tps = rde.modeled_oltp_throughput(&rde.olap_traffic_for(&bytes));
+
+        BaselinePoint {
+            label: "ETL".into(),
+            queries_per_snapshot,
+            query_exec_time,
+            data_transfer_time: etl.modeled_time,
+            oltp_tps,
+            pages_copied: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htap_chbench::{ch_q6, ChConfig, ChGenerator, TransactionDriver};
+    use htap_rde::RdeConfig;
+
+    fn populated_rde() -> (RdeEngine, TransactionDriver) {
+        let rde = RdeEngine::bootstrap(RdeConfig::default());
+        let config = ChConfig::tiny();
+        ChGenerator::new(config.clone()).build(&rde).unwrap();
+        (rde, TransactionDriver::for_config(&config))
+    }
+
+    #[test]
+    fn first_snapshot_pays_transfer_then_queries_run_locally() {
+        let (rde, _) = populated_rde();
+        let point = EtlBaseline.run_snapshot(&rde, &ch_q6(), 4);
+        assert_eq!(point.label, "ETL");
+        assert!(point.data_transfer_time > 0.0, "initial ETL moves the whole database");
+        assert!(point.query_exec_time > 0.0);
+        assert_eq!(point.pages_copied, 0);
+        assert!(point.oltp_tps > 1.0e6, "isolated OLTP stays near its base rate");
+        // All data is now analytical-local.
+        assert_eq!(rde.oltp().fresh_rows_vs_olap(), 0);
+    }
+
+    #[test]
+    fn transfer_cost_amortises_with_batch_size() {
+        let (rde, driver) = populated_rde();
+        EtlBaseline.run_snapshot(&rde, &ch_q6(), 1);
+        // Generate some fresh data, then compare batch sizes.
+        driver.run_new_orders(rde.oltp(), 0, 20, 3);
+        let small = EtlBaseline.run_snapshot(&rde, &ch_q6(), 1);
+        driver.run_new_orders(rde.oltp(), 0, 20, 4);
+        let large = EtlBaseline.run_snapshot(&rde, &ch_q6(), 16);
+        assert!(
+            large.avg_query_time() < small.avg_query_time() + large.query_exec_time / 16.0,
+            "per-query cost must shrink as the batch grows"
+        );
+        assert!(large.data_transfer_time > 0.0);
+    }
+}

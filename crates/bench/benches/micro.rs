@@ -1,0 +1,181 @@
+//! Criterion micro-benchmarks for the building blocks the figures depend on:
+//! columnar scans, the cuckoo index, twin-instance switch + synchronisation,
+//! the lock table, the NewOrder transaction path, CH query execution and the
+//! bandwidth/cost models.
+//!
+//! Run with `cargo bench -p htap-bench`. The harness uses small sample sizes
+//! so a full run stays in the minutes range on a laptop-class host.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use htap_chbench::{ch_q1, ch_q6, ChConfig, ChGenerator, TransactionDriver};
+use htap_olap::QueryExecutor;
+use htap_oltp::{LockKey, LockMode, LockTable};
+use htap_rde::{AccessMethod, RdeConfig, RdeEngine};
+use htap_sim::{BandwidthModel, CostModel, ExecPlacement, ScanWork, SocketId, Stream, Topology};
+use htap_storage::{ColumnDef, CuckooIndex, DataType, TableSchema, TwinTable, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn column_scan(c: &mut Criterion) {
+    let column = htap_storage::Column::new(DataType::F64);
+    for i in 0..1_000_000 {
+        column.append(&Value::F64(i as f64));
+    }
+    c.bench_function("storage/column_scan_sum_1M_f64", |b| {
+        b.iter(|| column.with_f64(1_000_000, |v| black_box(v.iter().sum::<f64>())))
+    });
+}
+
+fn cuckoo_index(c: &mut Criterion) {
+    c.bench_function("storage/cuckoo_insert_100k", |b| {
+        b.iter_batched(
+            || CuckooIndex::<u64>::with_capacity(1 << 17),
+            |idx| {
+                for k in 0..100_000u64 {
+                    idx.insert(k, k);
+                }
+                black_box(idx.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let idx = CuckooIndex::<u64>::with_capacity(1 << 17);
+    for k in 0..100_000u64 {
+        idx.insert(k, k);
+    }
+    c.bench_function("storage/cuckoo_lookup_100k", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for k in 0..100_000u64 {
+                if idx.get(k).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+}
+
+fn twin_switch_sync(c: &mut Criterion) {
+    let schema = TableSchema::new(
+        "kv",
+        vec![
+            ColumnDef::new("k", DataType::I64),
+            ColumnDef::new("v", DataType::F64),
+        ],
+        Some(0),
+    );
+    let twin = TwinTable::new(schema);
+    for i in 0..100_000 {
+        twin.insert(&[Value::I64(i), Value::F64(i as f64)]).unwrap();
+    }
+    c.bench_function("storage/twin_switch_sync_1k_dirty", |b| {
+        b.iter(|| {
+            for i in 0..1_000u64 {
+                twin.update(i * 97 % 100_000, 1, &Value::F64(1.0)).unwrap();
+            }
+            twin.switch_active();
+            black_box(twin.sync_active_from_snapshot().copied_records)
+        })
+    });
+}
+
+fn lock_table(c: &mut Criterion) {
+    let locks = LockTable::new(64);
+    c.bench_function("oltp/lock_acquire_release_10k", |b| {
+        b.iter(|| {
+            for i in 0..10_000u64 {
+                let key = LockKey::new("orderline", i);
+                assert!(locks.try_acquire(1, key, LockMode::Exclusive));
+                locks.release(1, key);
+            }
+        })
+    });
+}
+
+fn neworder_transaction(c: &mut Criterion) {
+    let rde = RdeEngine::bootstrap(RdeConfig::default());
+    let config = ChConfig::tiny();
+    ChGenerator::new(config.clone()).build(&rde).unwrap();
+    let driver = TransactionDriver::for_config(&config);
+    let mut rng = StdRng::seed_from_u64(1);
+    c.bench_function("oltp/neworder_transaction", |b| {
+        b.iter(|| {
+            let params = driver.generate_new_order(1, &mut rng);
+            black_box(driver.execute_new_order(rde.oltp(), &params).is_ok())
+        })
+    });
+}
+
+fn ch_query_execution(c: &mut Criterion) {
+    let rde = RdeEngine::bootstrap(RdeConfig::default());
+    ChGenerator::new(ChConfig::small()).build(&rde).unwrap();
+    rde.switch_and_sync();
+    rde.etl_to_olap();
+    let executor = QueryExecutor::default();
+    let q6 = ch_q6();
+    let q1 = ch_q1();
+    let sources_q6 = rde.sources_for(&q6.tables(), AccessMethod::OlapLocal);
+    let sources_q1 = rde.sources_for(&q1.tables(), AccessMethod::OlapLocal);
+    c.bench_function("olap/ch_q6_60k_rows", |b| {
+        b.iter(|| black_box(executor.execute(&q6, &sources_q6).result.row_count()))
+    });
+    c.bench_function("olap/ch_q1_60k_rows", |b| {
+        b.iter(|| black_box(executor.execute(&q1, &sources_q1).result.row_count()))
+    });
+}
+
+fn etl_delta_copy(c: &mut Criterion) {
+    c.bench_function("rde/switch_sync_etl_tiny_db", |b| {
+        b.iter_batched(
+            || {
+                let rde = RdeEngine::bootstrap(RdeConfig::default());
+                let config = ChConfig::tiny();
+                ChGenerator::new(config.clone()).build(&rde).unwrap();
+                rde
+            },
+            |rde| {
+                rde.switch_and_sync();
+                black_box(rde.etl_to_olap().copied_rows)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn cost_models(c: &mut Criterion) {
+    let topology = Topology::two_socket();
+    let bandwidth = BandwidthModel::new(topology.clone());
+    let cost = CostModel::new(topology);
+    let streams = vec![
+        Stream::sequential(SocketId(0), SocketId(0), 6),
+        Stream::sequential(SocketId(0), SocketId(1), 14),
+        Stream::random(SocketId(0), SocketId(0), 8),
+        Stream::sequential(SocketId(1), SocketId(1), 8),
+    ];
+    c.bench_function("sim/bandwidth_allocation_4_streams", |b| {
+        b.iter(|| black_box(bandwidth.allocate(&streams).rates().to_vec()))
+    });
+    let scan = ScanWork::simple(SocketId(0), 10_000_000_000, 100_000_000);
+    let placement = ExecPlacement::single_socket(SocketId(1), 10).with(SocketId(0), 4);
+    c.bench_function("sim/scan_cost_evaluation", |b| {
+        b.iter(|| black_box(cost.scan_time(&scan, &placement, None, None).total))
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = column_scan, cuckoo_index, twin_switch_sync, lock_table,
+              neworder_transaction, ch_query_execution, etl_delta_copy, cost_models
+}
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Table 1 — HTAP design classification.
+//!
+//! Table 1 of the paper is qualitative: it classifies existing HTAP systems by
+//! storage organisation, snapshotting mechanism and the freshness/performance
+//! trade-off they make. This harness prints the classification and, for every
+//! row that our system can emulate (through its states and the two baselines),
+//! runs a small probe that quantifies the trade-off: the OLTP throughput
+//! retained while an analytical query runs, and the scheduling cost (snapshot
+//! / ETL / page copies) paid to give that query fresh data.
+//!
+//! `cargo run --release -p htap-bench --bin table1_design_space`
+
+use htap_baselines::{CowBaseline, EtlBaseline};
+use htap_bench::{fmt_mtps, fmt_secs, Harness, HarnessArgs};
+use htap_chbench::ch_q6;
+use htap_core::ExperimentTable;
+use htap_rde::SystemState;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let plan = ch_q6();
+
+    println!("Table 1 — HTAP design classification (paper) and measured trade-off probes\n");
+    let mut classification = ExperimentTable::new(
+        "Table 1 — classification of HTAP designs",
+        &["storage", "system_class", "snapshot_mechanism", "freshness_perf_tradeoff", "emulated_by"],
+    );
+    let rows = [
+        ("Unified", "HyPer-Fork / Caldera", "CoW", "OLTP pays page copies", "CoW baseline"),
+        ("Unified", "HyPer-MVOCC / MemSQL / BLU", "MVCC", "OLAP pays version traversal", "state S1"),
+        ("Unified", "SAP HANA", "Delta-versioning", "both engines pay merges", "state S1 + sync"),
+        ("Decoupled", "BatchDB", "Batch-ETL", "OLAP pays ETL latency", "state S2 / ETL baseline"),
+        ("Decoupled", "SQL Server", "MVCC-Delta", "OLAP pays tail-record scan", "state S3-IS"),
+        ("Decoupled", "Oracle dual-format", "Txn journal & ETL", "OLAP pays tail-record scan", "state S3-NI"),
+    ];
+    for (storage, class, mech, tradeoff, emulated) in rows {
+        classification.push_row(vec![
+            storage.into(),
+            class.into(),
+            mech.into(),
+            tradeoff.into(),
+            emulated.into(),
+        ]);
+    }
+    print!("{}", classification.render());
+    println!();
+
+    // Measured probes: run one fresh-data query per emulation target and
+    // report what it cost each side.
+    let mut probes = ExperimentTable::new(
+        "Table 1 probes — measured freshness/performance trade-off per emulated design",
+        &["emulation", "query_resp_s", "freshness_cost_s", "oltp_mtps_during_query"],
+    );
+
+    // States of our system.
+    for state in SystemState::all() {
+        let harness = Harness::two_socket(&args);
+        harness.rde.switch_and_sync();
+        harness.rde.etl_to_olap();
+        harness.ingest(400, 4, 3);
+        let migration = harness.rde.migrate(state);
+        let sources = harness.rde.sources_for(&plan.tables(), migration.access);
+        let txn = harness.rde.txn_work();
+        let exec = harness.rde.olap().run_query(&plan, &sources, Some(&txn));
+        let tps = harness.rde.modeled_oltp_throughput(
+            &harness
+                .rde
+                .olap_traffic_for(&exec.output.work.bytes_per_socket),
+        );
+        probes.push_row(vec![
+            format!("state {}", state.label()),
+            fmt_secs(exec.modeled.total),
+            fmt_secs(migration.modeled_time),
+            fmt_mtps(tps),
+        ]);
+    }
+
+    // Baselines.
+    {
+        let harness = Harness::two_socket(&args);
+        harness.ingest(400, 4, 4);
+        let point = EtlBaseline.run_snapshot(&harness.rde, &plan, 1);
+        probes.push_row(vec![
+            "ETL baseline (BatchDB-like)".into(),
+            fmt_secs(point.query_exec_time),
+            fmt_secs(point.data_transfer_time),
+            fmt_mtps(point.oltp_tps),
+        ]);
+    }
+    {
+        let harness = Harness::two_socket(&args);
+        let txns = harness.ingest(400, 4, 5);
+        let point = CowBaseline::default().run_snapshot(&harness.rde, &plan, 1, txns);
+        probes.push_row(vec![
+            "CoW baseline (HyPer-fork-like)".into(),
+            fmt_secs(point.query_exec_time),
+            format!("{} page copies", point.pages_copied),
+            fmt_mtps(point.oltp_tps),
+        ]);
+    }
+
+    if args.csv {
+        print!("{}", probes.to_csv());
+    } else {
+        print!("{}", probes.render());
+    }
+}

@@ -1,0 +1,196 @@
+//! Shared plumbing for the benchmark harnesses that regenerate the paper's
+//! tables and figures.
+//!
+//! Each figure has its own binary under `src/bin/`:
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `fig1_etl_vs_cow`        | Figure 1 — ETL vs CoW motivation experiment |
+//! | `table1_design_space`    | Table 1 — design-space classification probe |
+//! | `fig3a_s1_sensitivity`   | Figure 3(a) — co-located state sensitivity |
+//! | `fig3b_s2_batches`       | Figure 3(b) — isolated state batch amortisation |
+//! | `fig3c_s3ni_elastic`     | Figure 3(c) — hybrid non-isolated elasticity |
+//! | `fig4_freshness_sweep`   | Figure 4 — response time vs fresh data accessed |
+//! | `fig5_adaptive_mix`      | Figure 5(a)+(b) — adaptive vs static schedules |
+//!
+//! All binaries accept `--scale <sf>` (CH scale factor, default 0.02),
+//! `--sequences <n>` where applicable, and `--csv` to print machine-readable
+//! output. Modelled times come from the simulated machine described in
+//! DESIGN.md; the shapes — not the absolute values — are the reproduction
+//! target (see EXPERIMENTS.md).
+
+use htap_chbench::{ChConfig, ChGenerator, TransactionDriver};
+use htap_rde::{RdeConfig, RdeEngine};
+use htap_sim::Topology;
+use std::sync::Arc;
+
+/// Command-line options shared by the harness binaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarnessArgs {
+    /// CH-benCHmark scale factor.
+    pub scale: f64,
+    /// Number of sequences / repetitions, where applicable.
+    pub sequences: usize,
+    /// Emit CSV instead of an aligned text table.
+    pub csv: bool,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs {
+            scale: 0.02,
+            sequences: 30,
+            csv: false,
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Parse `--scale`, `--sequences` and `--csv` from the process arguments,
+    /// falling back to the defaults for anything absent.
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (testable).
+    pub fn from_iter<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = Self::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    if let Some(v) = iter.next().and_then(|v| v.parse().ok()) {
+                        out.scale = v;
+                    }
+                }
+                "--sequences" => {
+                    if let Some(v) = iter.next().and_then(|v| v.parse().ok()) {
+                        out.sequences = v;
+                    }
+                }
+                "--csv" => out.csv = true,
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// The CH-benCHmark configuration implied by the arguments, bounded below
+    /// so even `--scale 0` produces a runnable database.
+    pub fn chbench(&self) -> ChConfig {
+        let mut cfg = ChConfig::scale_factor(self.scale.max(0.001));
+        // Keep warehouse/customer dimensions host-friendly at tiny scales.
+        cfg.warehouses = 4;
+        cfg.customers_per_district = 100;
+        cfg.items = 10_000;
+        cfg
+    }
+}
+
+/// A populated HTAP stack ready for an experiment: RDE engine (with both
+/// engines inside), the CH generator's report and the transaction driver.
+pub struct Harness {
+    /// The resource and data exchange engine owning both engines.
+    pub rde: Arc<RdeEngine>,
+    /// The CH-benCHmark transaction driver.
+    pub driver: TransactionDriver,
+    /// The population that was loaded.
+    pub rows_loaded: u64,
+}
+
+impl Harness {
+    /// Build a populated stack on the given topology.
+    pub fn build(args: &HarnessArgs, topology: Topology) -> Self {
+        let chbench = args.chbench();
+        let rde_config = RdeConfig {
+            topology,
+            ..RdeConfig::default()
+        };
+        let rde = Arc::new(RdeEngine::bootstrap(rde_config));
+        let generator = ChGenerator::new(chbench.clone());
+        let report = generator.build(&rde).expect("population succeeds");
+        Harness {
+            rde,
+            driver: TransactionDriver::for_config(&chbench),
+            rows_loaded: report.total_rows,
+        }
+    }
+
+    /// Build on the paper's two-socket evaluation server.
+    pub fn two_socket(args: &HarnessArgs) -> Self {
+        Self::build(args, Topology::two_socket())
+    }
+
+    /// Build on the four-socket machine of Figure 1.
+    pub fn four_socket(args: &HarnessArgs) -> Self {
+        Self::build(args, Topology::four_socket())
+    }
+
+    /// Run `txns` NewOrder transactions spread over `workers` warehouses.
+    pub fn ingest(&self, txns: u64, workers: u64, seed: u64) -> u64 {
+        let workers = workers.max(1);
+        let per_worker = (txns / workers).max(1);
+        let mut committed = 0;
+        for w in 0..workers {
+            committed += self.driver.run_new_orders(self.rde.oltp(), w, per_worker, seed + w);
+        }
+        committed
+    }
+}
+
+/// Format a seconds value with µs precision for the experiment tables.
+pub fn fmt_secs(s: f64) -> String {
+    format!("{s:.6}")
+}
+
+/// Format a throughput value as MTPS.
+pub fn fmt_mtps(tps: f64) -> String {
+    format!("{:.3}", tps / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_known_flags_and_ignore_others() {
+        let args = HarnessArgs::from_iter(
+            ["--scale", "0.05", "--junk", "--sequences", "12", "--csv"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert_eq!(args.scale, 0.05);
+        assert_eq!(args.sequences, 12);
+        assert!(args.csv);
+        let defaults = HarnessArgs::from_iter(std::iter::empty());
+        assert_eq!(defaults, HarnessArgs::default());
+    }
+
+    #[test]
+    fn chbench_config_is_bounded_below() {
+        let args = HarnessArgs {
+            scale: 0.0,
+            ..HarnessArgs::default()
+        };
+        assert!(args.chbench().orderlines >= 6_000);
+    }
+
+    #[test]
+    fn harness_builds_and_ingests() {
+        let args = HarnessArgs {
+            scale: 0.001,
+            sequences: 1,
+            csv: false,
+        };
+        let harness = Harness::two_socket(&args);
+        assert!(harness.rows_loaded > 0);
+        let committed = harness.ingest(8, 4, 1);
+        assert!(committed >= 4);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_secs(0.1234567), "0.123457");
+        assert_eq!(fmt_mtps(1_234_000.0), "1.234");
+    }
+}

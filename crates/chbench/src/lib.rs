@@ -1,0 +1,27 @@
+//! CH-benCHmark workload (§5.1 of the paper).
+//!
+//! The CH-benCHmark combines TPC-C (transactional side) and TPC-H (analytical
+//! side): the schema inherits the nine TPC-C relations and adds `supplier`,
+//! `nation` and `region`. Following the paper:
+//!
+//! * the database is scaled with a TPC-H-style scale factor `SF`, sizing the
+//!   `orderline` relation at `SF × 6,001,215` rows with 15 order lines per
+//!   order at load time;
+//! * each OLTP worker owns one warehouse and runs `NewOrder` transactions
+//!   (5–15 order lines each) back to back, simulating a full transaction
+//!   queue;
+//! * the analytical side runs CH-Q1 (scan–filter–group-by), CH-Q6
+//!   (scan–filter–reduce) and CH-Q19 (fact–dimension join, `LIKE` removed),
+//!   with 100 % selectivity on date predicates as the paper assumes.
+
+pub mod generator;
+pub mod queries;
+pub mod schema;
+pub mod sequence;
+pub mod transactions;
+
+pub use generator::{ChConfig, ChGenerator, PopulationReport};
+pub use queries::{ch_q1, ch_q6, ch_q19, query_mix, QueryId};
+pub use schema::{keys, tables, ALL_TABLES};
+pub use sequence::{QuerySequence, SequenceKind};
+pub use transactions::{NewOrderParams, TransactionDriver, TxnStats};

@@ -1,0 +1,322 @@
+//! The CH-benCHmark schema: the nine TPC-C relations plus the three TPC-H
+//! relations (`supplier`, `nation`, `region`).
+//!
+//! Composite TPC-C keys are encoded into a single `u64`/`i64` primary key so
+//! they fit the cuckoo index (see [`keys`]); the encoded key is also stored as
+//! the first column of every relation.
+
+use htap_storage::{ColumnDef, DataType, TableSchema};
+
+/// Names of all CH-benCHmark relations created by the generator.
+pub const ALL_TABLES: [&str; 12] = [
+    "warehouse",
+    "district",
+    "customer",
+    "history",
+    "neworder",
+    "orders",
+    "orderline",
+    "item",
+    "stock",
+    "supplier",
+    "nation",
+    "region",
+];
+
+/// Key-encoding helpers for the composite TPC-C keys.
+pub mod keys {
+    /// District key from warehouse and district ids.
+    pub fn district(w_id: u64, d_id: u64) -> u64 {
+        w_id * 100 + d_id
+    }
+
+    /// Customer key from warehouse, district and customer ids.
+    pub fn customer(w_id: u64, d_id: u64, c_id: u64) -> u64 {
+        district(w_id, d_id) * 100_000 + c_id
+    }
+
+    /// Order key from warehouse, district and order ids.
+    pub fn order(w_id: u64, d_id: u64, o_id: u64) -> u64 {
+        district(w_id, d_id) * 10_000_000 + o_id
+    }
+
+    /// New-order key (same encoding as the order key).
+    pub fn neworder(w_id: u64, d_id: u64, o_id: u64) -> u64 {
+        order(w_id, d_id, o_id)
+    }
+
+    /// Order-line key from the order key and the line number.
+    pub fn orderline(w_id: u64, d_id: u64, o_id: u64, number: u64) -> u64 {
+        order(w_id, d_id, o_id) * 16 + number
+    }
+
+    /// Stock key from warehouse and item ids.
+    pub fn stock(w_id: u64, i_id: u64) -> u64 {
+        w_id * 1_000_000 + i_id
+    }
+
+    /// History key from a per-generator running counter.
+    pub fn history(counter: u64) -> u64 {
+        counter
+    }
+}
+
+/// Schema definitions of every relation.
+pub mod tables {
+    use super::*;
+
+    /// `warehouse(w_id, w_tax, w_ytd)`
+    pub fn warehouse() -> TableSchema {
+        TableSchema::new(
+            "warehouse",
+            vec![
+                ColumnDef::new("w_id", DataType::I64),
+                ColumnDef::new("w_tax", DataType::F64),
+                ColumnDef::new("w_ytd", DataType::F64),
+            ],
+            Some(0),
+        )
+    }
+
+    /// `district(d_key, d_w_id, d_id, d_tax, d_ytd, d_next_o_id)`
+    pub fn district() -> TableSchema {
+        TableSchema::new(
+            "district",
+            vec![
+                ColumnDef::new("d_key", DataType::I64),
+                ColumnDef::new("d_w_id", DataType::I64),
+                ColumnDef::new("d_id", DataType::I64),
+                ColumnDef::new("d_tax", DataType::F64),
+                ColumnDef::new("d_ytd", DataType::F64),
+                ColumnDef::new("d_next_o_id", DataType::I64),
+            ],
+            Some(0),
+        )
+    }
+
+    /// `customer(c_key, c_w_id, c_d_id, c_id, c_balance, c_ytd_payment, c_payment_cnt, c_delivery_cnt)`
+    pub fn customer() -> TableSchema {
+        TableSchema::new(
+            "customer",
+            vec![
+                ColumnDef::new("c_key", DataType::I64),
+                ColumnDef::new("c_w_id", DataType::I64),
+                ColumnDef::new("c_d_id", DataType::I64),
+                ColumnDef::new("c_id", DataType::I64),
+                ColumnDef::new("c_balance", DataType::F64),
+                ColumnDef::new("c_ytd_payment", DataType::F64),
+                ColumnDef::new("c_payment_cnt", DataType::I32),
+                ColumnDef::new("c_delivery_cnt", DataType::I32),
+            ],
+            Some(0),
+        )
+    }
+
+    /// `history(h_key, h_c_key, h_d_key, h_date, h_amount)`
+    pub fn history() -> TableSchema {
+        TableSchema::new(
+            "history",
+            vec![
+                ColumnDef::new("h_key", DataType::I64),
+                ColumnDef::new("h_c_key", DataType::I64),
+                ColumnDef::new("h_d_key", DataType::I64),
+                ColumnDef::new("h_date", DataType::I64),
+                ColumnDef::new("h_amount", DataType::F64),
+            ],
+            Some(0),
+        )
+    }
+
+    /// `neworder(no_key, no_w_id, no_d_id, no_o_id)`
+    pub fn neworder() -> TableSchema {
+        TableSchema::new(
+            "neworder",
+            vec![
+                ColumnDef::new("no_key", DataType::I64),
+                ColumnDef::new("no_w_id", DataType::I64),
+                ColumnDef::new("no_d_id", DataType::I64),
+                ColumnDef::new("no_o_id", DataType::I64),
+            ],
+            Some(0),
+        )
+    }
+
+    /// `orders(o_key, o_w_id, o_d_id, o_id, o_c_id, o_entry_d, o_carrier_id, o_ol_cnt)`
+    pub fn orders() -> TableSchema {
+        TableSchema::new(
+            "orders",
+            vec![
+                ColumnDef::new("o_key", DataType::I64),
+                ColumnDef::new("o_w_id", DataType::I64),
+                ColumnDef::new("o_d_id", DataType::I64),
+                ColumnDef::new("o_id", DataType::I64),
+                ColumnDef::new("o_c_id", DataType::I64),
+                ColumnDef::new("o_entry_d", DataType::I64),
+                ColumnDef::new("o_carrier_id", DataType::I32),
+                ColumnDef::new("o_ol_cnt", DataType::I32),
+            ],
+            Some(0),
+        )
+    }
+
+    /// `orderline(ol_key, ol_w_id, ol_d_id, ol_o_id, ol_number, ol_i_id,
+    /// ol_supply_w_id, ol_delivery_d, ol_quantity, ol_amount)`
+    pub fn orderline() -> TableSchema {
+        TableSchema::new(
+            "orderline",
+            vec![
+                ColumnDef::new("ol_key", DataType::I64),
+                ColumnDef::new("ol_w_id", DataType::I64),
+                ColumnDef::new("ol_d_id", DataType::I64),
+                ColumnDef::new("ol_o_id", DataType::I64),
+                ColumnDef::new("ol_number", DataType::I32),
+                ColumnDef::new("ol_i_id", DataType::I64),
+                ColumnDef::new("ol_supply_w_id", DataType::I64),
+                ColumnDef::new("ol_delivery_d", DataType::I64),
+                ColumnDef::new("ol_quantity", DataType::I32),
+                ColumnDef::new("ol_amount", DataType::F64),
+            ],
+            Some(0),
+        )
+    }
+
+    /// `item(i_id, i_im_id, i_price)`
+    pub fn item() -> TableSchema {
+        TableSchema::new(
+            "item",
+            vec![
+                ColumnDef::new("i_id", DataType::I64),
+                ColumnDef::new("i_im_id", DataType::I64),
+                ColumnDef::new("i_price", DataType::F64),
+            ],
+            Some(0),
+        )
+    }
+
+    /// `stock(s_key, s_w_id, s_i_id, s_quantity, s_ytd, s_order_cnt, s_remote_cnt)`
+    pub fn stock() -> TableSchema {
+        TableSchema::new(
+            "stock",
+            vec![
+                ColumnDef::new("s_key", DataType::I64),
+                ColumnDef::new("s_w_id", DataType::I64),
+                ColumnDef::new("s_i_id", DataType::I64),
+                ColumnDef::new("s_quantity", DataType::I32),
+                ColumnDef::new("s_ytd", DataType::F64),
+                ColumnDef::new("s_order_cnt", DataType::I32),
+                ColumnDef::new("s_remote_cnt", DataType::I32),
+            ],
+            Some(0),
+        )
+    }
+
+    /// `supplier(su_suppkey, su_nationkey, su_acctbal)` — TPC-H addition.
+    pub fn supplier() -> TableSchema {
+        TableSchema::new(
+            "supplier",
+            vec![
+                ColumnDef::new("su_suppkey", DataType::I64),
+                ColumnDef::new("su_nationkey", DataType::I64),
+                ColumnDef::new("su_acctbal", DataType::F64),
+            ],
+            Some(0),
+        )
+    }
+
+    /// `nation(n_nationkey, n_regionkey)` — TPC-H addition.
+    pub fn nation() -> TableSchema {
+        TableSchema::new(
+            "nation",
+            vec![
+                ColumnDef::new("n_nationkey", DataType::I64),
+                ColumnDef::new("n_regionkey", DataType::I64),
+            ],
+            Some(0),
+        )
+    }
+
+    /// `region(r_regionkey, r_dummy)` — TPC-H addition.
+    pub fn region() -> TableSchema {
+        TableSchema::new(
+            "region",
+            vec![
+                ColumnDef::new("r_regionkey", DataType::I64),
+                ColumnDef::new("r_dummy", DataType::I64),
+            ],
+            Some(0),
+        )
+    }
+
+    /// All schemas in creation order.
+    pub fn all() -> Vec<TableSchema> {
+        vec![
+            warehouse(),
+            district(),
+            customer(),
+            history(),
+            neworder(),
+            orders(),
+            orderline(),
+            item(),
+            stock(),
+            supplier(),
+            nation(),
+            region(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_schemas_are_consistent_with_table_list() {
+        let schemas = tables::all();
+        assert_eq!(schemas.len(), ALL_TABLES.len());
+        for (schema, name) in schemas.iter().zip(ALL_TABLES) {
+            assert_eq!(schema.name, name);
+            assert_eq!(schema.primary_key, Some(0), "{name} keys on its first column");
+            assert!(schema.row_width_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn orderline_matches_query_columns() {
+        let ol = tables::orderline();
+        for col in [
+            "ol_delivery_d",
+            "ol_quantity",
+            "ol_amount",
+            "ol_i_id",
+            "ol_number",
+            "ol_o_id",
+        ] {
+            assert!(ol.column_index(col).is_some(), "missing column {col}");
+        }
+    }
+
+    #[test]
+    fn key_encodings_are_unique_across_plausible_ranges() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for w in 1..=4u64 {
+            for d in 1..=10u64 {
+                assert!(seen.insert(keys::district(w, d)));
+                for o in 1..=50u64 {
+                    assert!(seen.insert(keys::order(w, d, o) << 32), "order collision");
+                    for l in 1..=15u64 {
+                        assert!(seen.insert(keys::orderline(w, d, o, l)), "orderline collision");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stock_and_customer_keys_do_not_collide_within_their_tables() {
+        assert_ne!(keys::stock(1, 5), keys::stock(2, 5));
+        assert_ne!(keys::customer(1, 1, 1), keys::customer(1, 2, 1));
+        assert_eq!(keys::neworder(1, 2, 3), keys::order(1, 2, 3));
+    }
+}

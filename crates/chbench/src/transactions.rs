@@ -1,0 +1,363 @@
+//! The transactional side of the CH-benCHmark: TPC-C `NewOrder` (the
+//! transaction the paper's OLTP workers run) and `Payment` as a secondary
+//! write transaction.
+//!
+//! Each worker owns one warehouse ("we assign one warehouse to every worker
+//! thread, which generates and executes transactions simulating a complete
+//! transactional queue", §5.1). Transactions run through the OLTP engine's
+//! MV2PL transaction manager; conflicts abort and are retried by the caller.
+
+use crate::schema::keys;
+use htap_oltp::{OltpEngine, TxnError};
+use htap_storage::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Parameters of one `NewOrder` transaction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NewOrderParams {
+    /// Warehouse the ordering customer belongs to (the worker's warehouse).
+    pub w_id: u64,
+    /// District of the customer.
+    pub d_id: u64,
+    /// Customer id.
+    pub c_id: u64,
+    /// Items ordered: `(item id, supplying warehouse, quantity)`.
+    pub lines: Vec<(u64, u64, u32)>,
+    /// Entry date of the order.
+    pub entry_d: i64,
+}
+
+/// Aggregate statistics of a transaction driver.
+#[derive(Debug, Default)]
+pub struct TxnStats {
+    committed: AtomicU64,
+    aborted: AtomicU64,
+    orderlines_inserted: AtomicU64,
+}
+
+impl TxnStats {
+    /// Committed transactions.
+    pub fn committed(&self) -> u64 {
+        self.committed.load(Ordering::Relaxed)
+    }
+
+    /// Aborted transactions.
+    pub fn aborted(&self) -> u64 {
+        self.aborted.load(Ordering::Relaxed)
+    }
+
+    /// Order lines inserted by committed transactions.
+    pub fn orderlines_inserted(&self) -> u64 {
+        self.orderlines_inserted.load(Ordering::Relaxed)
+    }
+}
+
+/// Generates and executes CH-benCHmark transactions against an OLTP engine.
+#[derive(Debug)]
+pub struct TransactionDriver {
+    warehouses: u64,
+    districts_per_warehouse: u64,
+    customers_per_district: u64,
+    items: u64,
+    stats: TxnStats,
+}
+
+impl TransactionDriver {
+    /// Driver for a database generated with the given dimensions.
+    pub fn new(
+        warehouses: u64,
+        districts_per_warehouse: u64,
+        customers_per_district: u64,
+        items: u64,
+    ) -> Self {
+        TransactionDriver {
+            warehouses,
+            districts_per_warehouse,
+            customers_per_district,
+            items,
+            stats: TxnStats::default(),
+        }
+    }
+
+    /// Driver matching a generator configuration.
+    pub fn for_config(config: &crate::generator::ChConfig) -> Self {
+        Self::new(
+            config.warehouses,
+            config.districts_per_warehouse,
+            config.customers_per_district,
+            config.items,
+        )
+    }
+
+    /// Execution statistics.
+    pub fn stats(&self) -> &TxnStats {
+        &self.stats
+    }
+
+    /// Generate the parameters of a `NewOrder` transaction for a worker bound
+    /// to `w_id` (5–15 order lines, per the TPC-C specification).
+    pub fn generate_new_order(&self, w_id: u64, rng: &mut StdRng) -> NewOrderParams {
+        let d_id = rng.random_range(1..=self.districts_per_warehouse);
+        let c_id = rng.random_range(1..=self.customers_per_district);
+        let n_lines = rng.random_range(5..=15usize);
+        let lines = (0..n_lines)
+            .map(|_| {
+                let item = rng.random_range(1..=self.items);
+                // 1% remote warehouse, as in TPC-C.
+                let supply_w = if self.warehouses > 1 && rng.random_range(0..100) == 0 {
+                    1 + (w_id % self.warehouses)
+                } else {
+                    w_id
+                };
+                (item, supply_w, rng.random_range(1..=10u32))
+            })
+            .collect();
+        NewOrderParams {
+            w_id,
+            d_id,
+            c_id,
+            lines,
+            entry_d: rng.random_range(1_000..3_000),
+        }
+    }
+
+    /// Execute one `NewOrder` transaction. Returns `Ok(order_key)` on commit.
+    pub fn execute_new_order(
+        &self,
+        engine: &OltpEngine,
+        params: &NewOrderParams,
+    ) -> Result<u64, TxnError> {
+        let result = engine.execute(|mut txn| -> Result<u64, TxnError> {
+            let d_key = keys::district(params.w_id, params.d_id);
+            // Read and bump the district's next order id (contended hot spot).
+            let next_o_id = txn.read_for_update("district", d_key, 5)?.as_i64() as u64;
+            txn.update("district", d_key, 5, Value::I64(next_o_id as i64 + 1))?;
+
+            let o_key = keys::order(params.w_id, params.d_id, next_o_id);
+            txn.insert(
+                "orders",
+                o_key,
+                vec![
+                    Value::I64(o_key as i64),
+                    Value::I64(params.w_id as i64),
+                    Value::I64(params.d_id as i64),
+                    Value::I64(next_o_id as i64),
+                    Value::I64(params.c_id as i64),
+                    Value::I64(params.entry_d),
+                    Value::I32(0),
+                    Value::I32(params.lines.len() as i32),
+                ],
+            )?;
+            txn.insert(
+                "neworder",
+                keys::neworder(params.w_id, params.d_id, next_o_id),
+                vec![
+                    Value::I64(keys::neworder(params.w_id, params.d_id, next_o_id) as i64),
+                    Value::I64(params.w_id as i64),
+                    Value::I64(params.d_id as i64),
+                    Value::I64(next_o_id as i64),
+                ],
+            )?;
+
+            for (number, &(item, supply_w, quantity)) in params.lines.iter().enumerate() {
+                // Item price lookup (read-only).
+                let price = txn.read("item", item, 2)?.as_f64();
+                // Stock update.
+                let s_key = keys::stock(supply_w, item);
+                let s_qty = txn.read_for_update("stock", s_key, 3)?.as_i32();
+                let new_qty = if s_qty >= quantity as i32 + 10 {
+                    s_qty - quantity as i32
+                } else {
+                    s_qty - quantity as i32 + 91
+                };
+                txn.update("stock", s_key, 3, Value::I32(new_qty))?;
+                txn.update(
+                    "stock",
+                    s_key,
+                    5,
+                    Value::I32(txn.read("stock", s_key, 5)?.as_i32() + 1),
+                )?;
+
+                let ol_key =
+                    keys::orderline(params.w_id, params.d_id, next_o_id, number as u64 + 1);
+                txn.insert(
+                    "orderline",
+                    ol_key,
+                    vec![
+                        Value::I64(ol_key as i64),
+                        Value::I64(params.w_id as i64),
+                        Value::I64(params.d_id as i64),
+                        Value::I64(next_o_id as i64),
+                        Value::I32(number as i32 + 1),
+                        Value::I64(item as i64),
+                        Value::I64(supply_w as i64),
+                        Value::I64(params.entry_d),
+                        Value::I32(quantity as i32),
+                        Value::F64(price * quantity as f64),
+                    ],
+                )?;
+            }
+            let lines = params.lines.len() as u64;
+            txn.commit()?;
+            self.stats.orderlines_inserted.fetch_add(lines, Ordering::Relaxed);
+            Ok(o_key)
+        });
+        match &result {
+            Ok(_) => {
+                self.stats.committed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.stats.aborted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        result
+    }
+
+    /// Execute one `Payment` transaction: add to warehouse/district YTD and
+    /// the customer's balance.
+    pub fn execute_payment(
+        &self,
+        engine: &OltpEngine,
+        w_id: u64,
+        d_id: u64,
+        c_id: u64,
+        amount: f64,
+    ) -> Result<(), TxnError> {
+        let result = engine.execute(|mut txn| -> Result<(), TxnError> {
+            let w_ytd = txn.read_for_update("warehouse", w_id, 2)?.as_f64();
+            txn.update("warehouse", w_id, 2, Value::F64(w_ytd + amount))?;
+            let d_key = keys::district(w_id, d_id);
+            let d_ytd = txn.read_for_update("district", d_key, 4)?.as_f64();
+            txn.update("district", d_key, 4, Value::F64(d_ytd + amount))?;
+            let c_key = keys::customer(w_id, d_id, c_id);
+            let balance = txn.read_for_update("customer", c_key, 4)?.as_f64();
+            txn.update("customer", c_key, 4, Value::F64(balance - amount))?;
+            let cnt = txn.read("customer", c_key, 6)?.as_i32();
+            txn.update("customer", c_key, 6, Value::I32(cnt + 1))?;
+            txn.commit()?;
+            Ok(())
+        });
+        match &result {
+            Ok(()) => {
+                self.stats.committed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.stats.aborted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        result
+    }
+
+    /// Run `count` `NewOrder` transactions on behalf of worker `worker_id`
+    /// (bound to warehouse `1 + worker_id % warehouses`), retrying aborted
+    /// transactions with new parameters. Returns the number of commits.
+    pub fn run_new_orders(&self, engine: &OltpEngine, worker_id: u64, count: u64, seed: u64) -> u64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ (worker_id + 1).wrapping_mul(0x9E3779B9));
+        let w_id = 1 + worker_id % self.warehouses;
+        let mut committed = 0;
+        while committed < count {
+            let params = self.generate_new_order(w_id, &mut rng);
+            if self.execute_new_order(engine, &params).is_ok() {
+                committed += 1;
+            }
+        }
+        committed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{ChConfig, ChGenerator};
+    use htap_rde::{RdeConfig, RdeEngine};
+
+    fn setup() -> (RdeEngine, TransactionDriver) {
+        let rde = RdeEngine::bootstrap(RdeConfig::default());
+        let config = ChConfig::tiny();
+        ChGenerator::new(config.clone()).build(&rde).unwrap();
+        (rde, TransactionDriver::for_config(&config))
+    }
+
+    #[test]
+    fn new_order_inserts_order_lines_and_updates_stock() {
+        let (rde, driver) = setup();
+        let before = rde.oltp().table("orderline").unwrap().twin().row_count();
+        let mut rng = StdRng::seed_from_u64(1);
+        let params = driver.generate_new_order(1, &mut rng);
+        let o_key = driver.execute_new_order(rde.oltp(), &params).unwrap();
+        let after = rde.oltp().table("orderline").unwrap().twin().row_count();
+        assert_eq!(after - before, params.lines.len() as u64);
+        assert!(params.lines.len() >= 5 && params.lines.len() <= 15);
+        assert_eq!(driver.stats().committed(), 1);
+        assert_eq!(driver.stats().orderlines_inserted(), params.lines.len() as u64);
+
+        // The order is readable through the transactional API.
+        let ol_cnt = rde
+            .oltp()
+            .begin()
+            .read("orders", o_key, 7)
+            .unwrap()
+            .as_i32();
+        assert_eq!(ol_cnt as usize, params.lines.len());
+
+        // The district's next order id advanced.
+        let d_key = keys::district(params.w_id, params.d_id);
+        let next = rde.oltp().begin().read("district", d_key, 5).unwrap().as_i64();
+        assert_eq!(next, 3002);
+    }
+
+    #[test]
+    fn new_orders_generate_fresh_data_for_the_analytical_side() {
+        let (rde, driver) = setup();
+        driver.run_new_orders(rde.oltp(), 0, 10, 99);
+        rde.switch_and_sync();
+        // Fresh rows include the inserted orders/orderlines/neworders and the
+        // updated stock/district records.
+        let fresh = rde.oltp().fresh_rows_vs_olap();
+        assert!(fresh >= rde.oltp().total_rows().min(10 * 5), "expected fresh rows, got {fresh}");
+        assert!(driver.stats().committed() >= 10);
+    }
+
+    #[test]
+    fn payment_updates_balances_consistently() {
+        let (rde, driver) = setup();
+        driver.execute_payment(rde.oltp(), 1, 1, 5, 100.0).unwrap();
+        let w_ytd = rde.oltp().begin().read("warehouse", 1, 2).unwrap().as_f64();
+        assert_eq!(w_ytd, 300_100.0);
+        let c_key = keys::customer(1, 1, 5);
+        let balance = rde.oltp().begin().read("customer", c_key, 4).unwrap().as_f64();
+        assert_eq!(balance, -110.0);
+        let cnt = rde.oltp().begin().read("customer", c_key, 6).unwrap().as_i32();
+        assert_eq!(cnt, 2);
+    }
+
+    #[test]
+    fn concurrent_new_orders_on_different_warehouses_all_commit() {
+        let (rde, driver) = setup();
+        let rde = std::sync::Arc::new(rde);
+        let driver = std::sync::Arc::new(driver);
+        let handles: Vec<_> = (0..2u64)
+            .map(|worker| {
+                let rde = std::sync::Arc::clone(&rde);
+                let driver = std::sync::Arc::clone(&driver);
+                std::thread::spawn(move || driver.run_new_orders(rde.oltp(), worker, 20, 7))
+            })
+            .collect();
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 40);
+        assert_eq!(driver.stats().committed(), 40);
+    }
+
+    #[test]
+    fn deterministic_parameter_generation() {
+        let (_, driver) = setup();
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        assert_eq!(
+            driver.generate_new_order(1, &mut a),
+            driver.generate_new_order(1, &mut b)
+        );
+    }
+}

@@ -1,0 +1,224 @@
+//! Reports: the measured and modelled quantities the paper's figures plot.
+
+use htap_rde::SystemState;
+use htap_sim::Seconds;
+
+/// Everything recorded about one scheduled + executed analytical query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryReport {
+    /// Query label ("Q1", "Q6", "Q19" or a custom plan label).
+    pub query: String,
+    /// The system state the query ran in.
+    pub state: SystemState,
+    /// Modelled query execution time.
+    pub execution_time: Seconds,
+    /// Modelled scheduling overhead charged to the query (instance switch,
+    /// synchronisation, ETL).
+    pub scheduling_time: Seconds,
+    /// Freshness-rate of the accessed relations when the query arrived.
+    pub freshness_rate: f64,
+    /// Fresh rows the query read from the OLTP instance.
+    pub fresh_rows_accessed: u64,
+    /// Bytes the query scanned.
+    pub bytes_scanned: u64,
+    /// Modelled OLTP throughput while the query ran (transactions/s).
+    pub oltp_tps: f64,
+    /// Number of result rows produced.
+    pub result_rows: usize,
+    /// Whether the scheduler performed an ETL for this query.
+    pub performed_etl: bool,
+}
+
+impl QueryReport {
+    /// End-to-end response time: execution plus scheduling overhead.
+    pub fn total_time(&self) -> Seconds {
+        self.execution_time + self.scheduling_time
+    }
+
+    /// OLTP throughput in MTPS while the query ran.
+    pub fn oltp_mtps(&self) -> f64 {
+        self.oltp_tps / 1e6
+    }
+}
+
+/// Aggregate report of one query sequence (e.g. one {Q1, Q6, Q19} mix).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SequenceReport {
+    /// Sequence index within the experiment.
+    pub sequence: usize,
+    /// Per-query reports, in execution order.
+    pub queries: Vec<QueryReport>,
+}
+
+impl SequenceReport {
+    /// Total sequence execution time (the y-axis of Figure 5(a)).
+    pub fn total_time(&self) -> Seconds {
+        self.queries.iter().map(QueryReport::total_time).sum()
+    }
+
+    /// Average modelled OLTP throughput over the sequence, in MTPS
+    /// (the y-axis of Figure 5(b)).
+    pub fn oltp_mtps(&self) -> f64 {
+        if self.queries.is_empty() {
+            return 0.0;
+        }
+        self.queries.iter().map(QueryReport::oltp_mtps).sum::<f64>() / self.queries.len() as f64
+    }
+
+    /// Number of ETLs performed during the sequence.
+    pub fn etl_count(&self) -> usize {
+        self.queries.iter().filter(|q| q.performed_etl).count()
+    }
+
+    /// The states used by the sequence's queries, deduplicated in order.
+    pub fn states(&self) -> Vec<SystemState> {
+        let mut out = Vec::new();
+        for q in &self.queries {
+            if out.last() != Some(&q.state) {
+                out.push(q.state);
+            }
+        }
+        out
+    }
+}
+
+/// A simple fixed-width text table used by the benchmark harnesses to print
+/// figure/table data in a `gnuplot`/spreadsheet-friendly way.
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl ExperimentTable {
+    /// New table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        ExperimentTable {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity must match header");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("# {}\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render the table as CSV (with a `# title` comment line).
+    pub fn to_csv(&self) -> String {
+        let mut out = format!("# {}\n{}\n", self.title, self.header.join(","));
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn query(state: SystemState, exec: f64, sched: f64, etl: bool) -> QueryReport {
+        QueryReport {
+            query: "Q6".into(),
+            state,
+            execution_time: exec,
+            scheduling_time: sched,
+            freshness_rate: 0.9,
+            fresh_rows_accessed: 10,
+            bytes_scanned: 1000,
+            oltp_tps: 1.2e6,
+            result_rows: 1,
+            performed_etl: etl,
+        }
+    }
+
+    #[test]
+    fn sequence_aggregates_queries() {
+        let seq = SequenceReport {
+            sequence: 3,
+            queries: vec![
+                query(SystemState::S3HybridNonIsolated, 1.0, 0.1, false),
+                query(SystemState::S3HybridNonIsolated, 0.5, 0.0, false),
+                query(SystemState::S2Isolated, 0.4, 0.6, true),
+            ],
+        };
+        assert!((seq.total_time() - 2.6).abs() < 1e-12);
+        assert!((seq.oltp_mtps() - 1.2).abs() < 1e-12);
+        assert_eq!(seq.etl_count(), 1);
+        assert_eq!(
+            seq.states(),
+            vec![SystemState::S3HybridNonIsolated, SystemState::S2Isolated]
+        );
+        assert!((seq.queries[0].total_time() - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sequence_has_zero_metrics() {
+        let seq = SequenceReport::default();
+        assert_eq!(seq.total_time(), 0.0);
+        assert_eq!(seq.oltp_mtps(), 0.0);
+    }
+
+    #[test]
+    fn experiment_table_renders_text_and_csv() {
+        let mut t = ExperimentTable::new("Figure X", &["x", "value"]);
+        t.push_row(vec!["1".into(), "2.50".into()]);
+        t.push_row(vec!["10".into(), "0.25".into()]);
+        let text = t.render();
+        assert!(text.contains("# Figure X"));
+        assert!(text.contains(" x  value"));
+        let csv = t.to_csv();
+        assert!(csv.contains("x,value\n1,2.50\n10,0.25\n"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn mismatched_row_is_rejected() {
+        let mut t = ExperimentTable::new("t", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+}

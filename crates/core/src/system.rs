@@ -1,0 +1,267 @@
+//! The assembled HTAP system.
+
+use crate::config::HtapConfig;
+use crate::report::QueryReport;
+use htap_chbench::{ChGenerator, PopulationReport, QueryId, TransactionDriver};
+use htap_olap::QueryPlan;
+use htap_rde::RdeEngine;
+use htap_scheduler::{HtapScheduler, Schedule};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The fully assembled adaptive HTAP system: engines, scheduler and the
+/// CH-benCHmark workload drivers.
+#[derive(Debug)]
+pub struct HtapSystem {
+    config: HtapConfig,
+    rde: Arc<RdeEngine>,
+    scheduler: Mutex<HtapScheduler>,
+    txn_driver: Arc<TransactionDriver>,
+    population: PopulationReport,
+    txn_seed: AtomicU64,
+}
+
+impl HtapSystem {
+    /// Build the system: bootstrap the engines, create the CH-benCHmark
+    /// relations and load the initial population.
+    pub fn build(config: HtapConfig) -> Result<Self, String> {
+        config.validate()?;
+        let rde = Arc::new(RdeEngine::bootstrap(config.rde_config()));
+        let generator = ChGenerator::new(config.chbench.clone());
+        let population = generator.build(&rde)?;
+        let txn_driver = Arc::new(TransactionDriver::for_config(&config.chbench));
+        let scheduler = HtapScheduler::new(Arc::clone(&rde), config.schedule);
+        Ok(HtapSystem {
+            rde,
+            scheduler: Mutex::new(scheduler),
+            txn_driver,
+            population,
+            txn_seed: AtomicU64::new(config.chbench.seed),
+            config,
+        })
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &HtapConfig {
+        &self.config
+    }
+
+    /// The RDE engine (and through it the OLTP/OLAP engines).
+    pub fn rde(&self) -> &Arc<RdeEngine> {
+        &self.rde
+    }
+
+    /// The initial-population summary.
+    pub fn population(&self) -> &PopulationReport {
+        &self.population
+    }
+
+    /// The CH-benCHmark transaction driver.
+    pub fn txn_driver(&self) -> &Arc<TransactionDriver> {
+        &self.txn_driver
+    }
+
+    /// Run `f` with the scheduler locked (e.g. to inspect its state).
+    pub fn with_scheduler<R>(&self, f: impl FnOnce(&HtapScheduler) -> R) -> R {
+        f(&self.scheduler.lock())
+    }
+
+    /// Change the scheduling discipline (takes effect for the next query).
+    pub fn set_schedule(&self, schedule: Schedule) {
+        self.scheduler.lock().set_schedule(schedule);
+    }
+
+    /// The current scheduling discipline.
+    pub fn schedule(&self) -> Schedule {
+        self.scheduler.lock().schedule()
+    }
+
+    /// Run `count` NewOrder transactions per active OLTP worker (sequentially
+    /// over workers, deterministic). Returns the number of committed
+    /// transactions. This is the "transactional queue" between analytical
+    /// queries.
+    pub fn run_oltp(&self, count_per_worker: u64) -> u64 {
+        let workers = self
+            .rde
+            .txn_work()
+            .total_workers()
+            .min(self.config.chbench.warehouses as usize)
+            .max(1);
+        let seed = self.txn_seed.fetch_add(1, Ordering::Relaxed);
+        let mut committed = 0;
+        for worker in 0..workers as u64 {
+            committed +=
+                self.txn_driver
+                    .run_new_orders(self.rde.oltp(), worker, count_per_worker, seed);
+        }
+        committed
+    }
+
+    /// Run `count` NewOrder transactions per worker using one OS thread per
+    /// worker (exercises the concurrent transaction path).
+    pub fn run_oltp_parallel(&self, count_per_worker: u64) -> u64 {
+        let workers = self
+            .rde
+            .txn_work()
+            .total_workers()
+            .min(self.config.chbench.warehouses as usize)
+            .max(1);
+        let seed = self.txn_seed.fetch_add(1, Ordering::Relaxed);
+        let driver = &self.txn_driver;
+        let oltp = self.rde.oltp();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers as u64)
+                .map(|worker| {
+                    scope.spawn(move || driver.run_new_orders(oltp, worker, count_per_worker, seed))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
+        })
+    }
+
+    /// Schedule and execute one analytical query plan.
+    pub fn execute_plan(&self, label: &str, plan: &QueryPlan, is_batch: bool) -> QueryReport {
+        let scheduled = {
+            let scheduler = self.scheduler.lock();
+            scheduler.schedule_query(plan, is_batch)
+        };
+        let txn = self.rde.txn_work();
+        let execution = self.rde.olap().run_query(plan, &scheduled.sources, Some(&txn));
+        let olap_traffic = self
+            .rde
+            .olap_traffic_for(&execution.output.work.bytes_per_socket);
+        let oltp_tps = self.rde.modeled_oltp_throughput(&olap_traffic);
+        self.rde.clock().advance(
+            htap_sim::clock::Activity::QueryExecution,
+            execution.modeled.total,
+        );
+        QueryReport {
+            query: label.to_string(),
+            state: scheduled.state,
+            execution_time: execution.modeled.total,
+            scheduling_time: scheduled.scheduling_time,
+            freshness_rate: scheduled.freshness.freshness_rate(),
+            fresh_rows_accessed: execution.output.work.fresh_rows,
+            bytes_scanned: execution.output.work.total_bytes(),
+            oltp_tps,
+            result_rows: execution.output.result.row_count(),
+            performed_etl: scheduled.migration.etl.is_some(),
+        }
+    }
+
+    /// Schedule and execute one CH-benCHmark query.
+    pub fn execute_query(&self, query: QueryId) -> QueryReport {
+        self.execute_plan(query.label(), &query.plan(), false)
+    }
+
+    /// Schedule and execute one CH-benCHmark query as part of a batch
+    /// (batches always take the ETL branch of Algorithm 2). Follow-up queries
+    /// of the batch reuse the snapshot, so their report carries no scheduling
+    /// overhead.
+    pub fn execute_batch_query(&self, query: QueryId, is_follow_up: bool) -> QueryReport {
+        let mut report = self.execute_plan(query.label(), &query.plan(), true);
+        if is_follow_up {
+            report.scheduling_time = 0.0;
+            report.performed_etl = false;
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htap_rde::SystemState;
+    use htap_scheduler::SchedulerPolicy;
+
+    fn tiny_system() -> HtapSystem {
+        HtapSystem::build(HtapConfig::tiny()).unwrap()
+    }
+
+    #[test]
+    fn build_populates_the_database() {
+        let system = tiny_system();
+        assert!(system.population().orderlines > 0);
+        assert_eq!(
+            system.population().total_rows,
+            system.rde().oltp().total_rows()
+        );
+        assert!(system.rde().oltp().table("orderline").is_some());
+        assert!(system.rde().olap().store().table("orderline").is_some());
+    }
+
+    #[test]
+    fn oltp_and_olap_sides_work_together() {
+        let system = tiny_system();
+        let committed = system.run_oltp(5);
+        assert!(committed > 0);
+        let report = system.execute_query(QueryId::Q6);
+        assert!(report.execution_time > 0.0);
+        assert!(report.result_rows >= 1);
+        assert!(report.oltp_tps > 0.0);
+        assert!(report.bytes_scanned > 0);
+    }
+
+    #[test]
+    fn query_results_are_consistent_across_schedules() {
+        // The same data must produce the same Q6 answer regardless of the
+        // schedule that executed it.
+        let system = tiny_system();
+        system.run_oltp(3);
+        let mut answers = Vec::new();
+        for schedule in [
+            Schedule::Static(SystemState::S2Isolated),
+            Schedule::Static(SystemState::S1Colocated),
+            Schedule::Static(SystemState::S3HybridIsolated),
+            Schedule::Static(SystemState::S3HybridNonIsolated),
+            Schedule::Adaptive(SchedulerPolicy::adaptive_non_isolated(0.5)),
+        ] {
+            system.set_schedule(schedule);
+            let plan = QueryId::Q6.plan();
+            let scheduled = system.with_scheduler(|s| s.schedule_query(&plan, false));
+            let exec = system.rde().olap().run_query(&plan, &scheduled.sources, None);
+            answers.push(exec.output.result.scalars()[0]);
+        }
+        for pair in answers.windows(2) {
+            assert!(
+                (pair[0] - pair[1]).abs() < 1e-6,
+                "schedules disagree on the query answer: {answers:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_oltp_commits_the_requested_work() {
+        let system = tiny_system();
+        let committed = system.run_oltp_parallel(3);
+        // Two warehouses in the tiny config -> at most 2 concurrent workers.
+        assert_eq!(committed, 2 * 3);
+        assert!(system.txn_driver().stats().committed() >= committed);
+    }
+
+    #[test]
+    fn schedule_changes_take_effect() {
+        let system = tiny_system();
+        system.set_schedule(Schedule::Static(SystemState::S2Isolated));
+        let report = system.execute_query(QueryId::Q1);
+        assert_eq!(report.state, SystemState::S2Isolated);
+        assert!(report.performed_etl);
+
+        system.set_schedule(Schedule::Static(SystemState::S3HybridIsolated));
+        let report = system.execute_query(QueryId::Q1);
+        assert_eq!(report.state, SystemState::S3HybridIsolated);
+        assert!(!report.performed_etl);
+        assert_eq!(system.schedule().label(), "S3-IS");
+    }
+
+    #[test]
+    fn batch_follow_up_queries_do_not_pay_scheduling() {
+        let system = tiny_system();
+        let first = system.execute_batch_query(QueryId::Q6, false);
+        let follow_up = system.execute_batch_query(QueryId::Q6, true);
+        assert!(first.scheduling_time >= 0.0);
+        assert_eq!(follow_up.scheduling_time, 0.0);
+        assert!(!follow_up.performed_etl);
+    }
+}

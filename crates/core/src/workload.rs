@@ -1,0 +1,166 @@
+//! The mixed HTAP workload driver: transactions interleaved with analytical
+//! query sequences — the shape of the paper's adaptive experiment (Figure 5).
+
+use crate::report::{QueryReport, SequenceReport};
+use crate::system::HtapSystem;
+use htap_chbench::{QuerySequence, SequenceKind};
+
+/// Description of a mixed workload: `sequences` analytical sequences, with
+/// `txns_per_worker_between` NewOrder transactions per worker ingested before
+/// every sequence (the concurrent transactional queue).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MixedWorkload {
+    /// The analytical sequence executed repeatedly.
+    pub sequence: QuerySequence,
+    /// How many times the sequence is executed.
+    pub sequences: usize,
+    /// NewOrder transactions per worker ingested before each sequence.
+    pub txns_per_worker_between: u64,
+}
+
+impl MixedWorkload {
+    /// The paper's Figure-5 workload: `n` repetitions of the {Q1, Q6, Q19}
+    /// mix with fresh transactions before each one.
+    pub fn figure5(n: usize, txns_per_worker_between: u64) -> Self {
+        MixedWorkload {
+            sequence: QuerySequence::mix(),
+            sequences: n,
+            txns_per_worker_between,
+        }
+    }
+
+    /// A batch workload: `n` snapshots, each with a batch of `batch_size`
+    /// copies of one query (Figure 3(b) shape).
+    pub fn batches(query: htap_chbench::QueryId, batch_size: usize, n: usize, txns: u64) -> Self {
+        MixedWorkload {
+            sequence: QuerySequence::batch(query, batch_size),
+            sequences: n,
+            txns_per_worker_between: txns,
+        }
+    }
+}
+
+/// The outcome of a mixed-workload run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MixedWorkloadReport {
+    /// One report per executed sequence.
+    pub sequences: Vec<SequenceReport>,
+    /// Transactions committed over the whole run.
+    pub transactions_committed: u64,
+}
+
+impl MixedWorkloadReport {
+    /// Total analytical time across sequences.
+    pub fn total_query_time(&self) -> f64 {
+        self.sequences.iter().map(SequenceReport::total_time).sum()
+    }
+
+    /// Mean OLTP throughput (MTPS) across sequences.
+    pub fn mean_oltp_mtps(&self) -> f64 {
+        if self.sequences.is_empty() {
+            return 0.0;
+        }
+        self.sequences.iter().map(SequenceReport::oltp_mtps).sum::<f64>()
+            / self.sequences.len() as f64
+    }
+
+    /// Number of ETLs the scheduler triggered over the run.
+    pub fn etl_count(&self) -> usize {
+        self.sequences.iter().map(SequenceReport::etl_count).sum()
+    }
+
+    /// The per-sequence execution times (the series Figure 5(a) plots).
+    pub fn sequence_times(&self) -> Vec<f64> {
+        self.sequences.iter().map(SequenceReport::total_time).collect()
+    }
+
+    /// The per-sequence OLTP throughputs in MTPS (Figure 5(b) series).
+    pub fn sequence_mtps(&self) -> Vec<f64> {
+        self.sequences.iter().map(SequenceReport::oltp_mtps).collect()
+    }
+}
+
+/// Execute a mixed workload against a system, under its current schedule.
+pub fn run_mixed_workload(system: &HtapSystem, workload: &MixedWorkload) -> MixedWorkloadReport {
+    let mut report = MixedWorkloadReport::default();
+    for sequence_idx in 0..workload.sequences {
+        if workload.txns_per_worker_between > 0 {
+            report.transactions_committed += system.run_oltp(workload.txns_per_worker_between);
+        }
+        let mut seq_report = SequenceReport {
+            sequence: sequence_idx,
+            queries: Vec::new(),
+        };
+        for (i, &query) in workload.sequence.queries.iter().enumerate() {
+            let query_report: QueryReport = match workload.sequence.kind {
+                SequenceKind::Independent => system.execute_query(query),
+                SequenceKind::Batch => {
+                    system.execute_batch_query(query, workload.sequence.is_batch_member(i))
+                }
+            };
+            seq_report.queries.push(query_report);
+        }
+        report.sequences.push(seq_report);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HtapConfig;
+    use htap_chbench::QueryId;
+    use htap_rde::SystemState;
+    use htap_scheduler::Schedule;
+
+    fn tiny_system() -> HtapSystem {
+        HtapSystem::build(HtapConfig::tiny()).unwrap()
+    }
+
+    #[test]
+    fn mixed_workload_runs_all_sequences_and_ingests_transactions() {
+        let system = tiny_system();
+        let workload = MixedWorkload::figure5(3, 2);
+        let report = run_mixed_workload(&system, &workload);
+        assert_eq!(report.sequences.len(), 3);
+        assert!(report.transactions_committed >= 3 * 2);
+        assert_eq!(report.sequence_times().len(), 3);
+        assert!(report.total_query_time() > 0.0);
+        assert!(report.mean_oltp_mtps() > 0.0);
+        // Every sequence ran the three-query mix.
+        assert!(report.sequences.iter().all(|s| s.queries.len() == 3));
+    }
+
+    #[test]
+    fn batch_workload_pays_scheduling_once_per_batch() {
+        let system = tiny_system();
+        system.set_schedule(Schedule::Static(SystemState::S2Isolated));
+        let workload = MixedWorkload::batches(QueryId::Q6, 4, 1, 1);
+        let report = run_mixed_workload(&system, &workload);
+        let queries = &report.sequences[0].queries;
+        assert_eq!(queries.len(), 4);
+        assert!(queries[0].scheduling_time > 0.0 || queries[0].performed_etl);
+        for q in &queries[1..] {
+            assert_eq!(q.scheduling_time, 0.0);
+        }
+        assert!(report.etl_count() <= 1);
+    }
+
+    #[test]
+    fn static_s2_schedule_etls_every_independent_query() {
+        let system = tiny_system();
+        system.set_schedule(Schedule::Static(SystemState::S2Isolated));
+        let workload = MixedWorkload::figure5(2, 1);
+        let report = run_mixed_workload(&system, &workload);
+        // Three independent queries per sequence, each taking the ETL path.
+        assert_eq!(report.etl_count(), 2 * 3);
+    }
+
+    #[test]
+    fn empty_report_is_well_defined() {
+        let report = MixedWorkloadReport::default();
+        assert_eq!(report.mean_oltp_mtps(), 0.0);
+        assert_eq!(report.total_query_time(), 0.0);
+        assert_eq!(report.etl_count(), 0);
+    }
+}

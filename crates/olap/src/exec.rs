@@ -1,0 +1,644 @@
+//! The vectorised query executor.
+//!
+//! Plans are executed one block of tuples at a time without materialising
+//! intermediate results (§3.3). Besides the query result, the executor
+//! produces a [`WorkProfile`]: how many bytes were read from each socket, how
+//! many tuples flowed through the pipeline, and the join-specific quantities
+//! (build size, probe count). The work profile is what the cost model converts
+//! into modelled execution time on the simulated NUMA machine.
+
+use crate::block::DEFAULT_BLOCK_ROWS;
+use crate::expr::{evaluate_conjunction, AggExpr, AggState};
+use crate::plan::QueryPlan;
+use crate::source::ScanSource;
+use htap_sim::{JoinWork, ScanSegment, ScanWork, SocketId};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Result rows of a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResult {
+    /// One value per aggregate expression (no grouping).
+    Scalars(Vec<f64>),
+    /// One row per group: the group key values followed by the aggregates.
+    Groups(Vec<(Vec<i64>, Vec<f64>)>),
+}
+
+impl QueryResult {
+    /// The scalar results; panics if the result is grouped.
+    pub fn scalars(&self) -> &[f64] {
+        match self {
+            QueryResult::Scalars(v) => v,
+            QueryResult::Groups(_) => panic!("expected scalar result, found groups"),
+        }
+    }
+
+    /// The grouped results; panics if the result is scalar.
+    pub fn groups(&self) -> &[(Vec<i64>, Vec<f64>)] {
+        match self {
+            QueryResult::Groups(g) => g,
+            QueryResult::Scalars(_) => panic!("expected grouped result, found scalars"),
+        }
+    }
+
+    /// Number of result rows.
+    pub fn row_count(&self) -> usize {
+        match self {
+            QueryResult::Scalars(_) => 1,
+            QueryResult::Groups(g) => g.len(),
+        }
+    }
+}
+
+/// Measured work of one query execution, used as cost-model input.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WorkProfile {
+    /// Bytes read from each socket (columnar accounting over accessed columns).
+    pub bytes_per_socket: BTreeMap<SocketId, u64>,
+    /// Tuples that flowed through the scan pipelines.
+    pub tuples_scanned: u64,
+    /// Tuples that passed the filters.
+    pub tuples_selected: u64,
+    /// Rows read from OLTP snapshots (fresh data touched by the query).
+    pub fresh_rows: u64,
+    /// Join build side size in bytes (0 when the plan has no join).
+    pub build_bytes: u64,
+    /// Number of hash-join probes.
+    pub probes: u64,
+    /// Size of the join hash table in bytes.
+    pub hash_table_bytes: u64,
+}
+
+impl WorkProfile {
+    /// Total bytes read across sockets.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_per_socket.values().sum()
+    }
+
+    /// Convert the profile into the cost model's scan-work descriptor.
+    pub fn scan_work(&self, cpu_ns_per_tuple: f64) -> ScanWork {
+        ScanWork {
+            segments: self
+                .bytes_per_socket
+                .iter()
+                .map(|(&socket, &bytes)| ScanSegment { socket, bytes })
+                .collect(),
+            tuples: self.tuples_scanned,
+            cpu_ns_per_tuple,
+        }
+    }
+
+    /// Convert the profile into the cost model's join-work descriptor, if the
+    /// plan had a join phase.
+    pub fn join_work(&self) -> Option<JoinWork> {
+        if self.build_bytes == 0 && self.probes == 0 {
+            None
+        } else {
+            Some(JoinWork {
+                build_bytes: self.build_bytes,
+                probes: self.probes,
+                hash_table_bytes: self.hash_table_bytes,
+            })
+        }
+    }
+
+    fn absorb_source(&mut self, source: &ScanSource, columns: &[&str]) {
+        for (socket, bytes) in source.bytes_per_socket(columns) {
+            *self.bytes_per_socket.entry(socket).or_insert(0) += bytes;
+        }
+        self.tuples_scanned += source.total_rows();
+        self.fresh_rows += source.fresh_rows();
+    }
+}
+
+/// Output of a query execution: the result plus the measured work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutput {
+    /// The query result.
+    pub result: QueryResult,
+    /// The measured work (cost-model input).
+    pub work: WorkProfile,
+}
+
+/// The block-at-a-time query executor.
+#[derive(Debug, Clone)]
+pub struct QueryExecutor {
+    /// Tuples per block.
+    pub block_rows: usize,
+}
+
+impl Default for QueryExecutor {
+    fn default() -> Self {
+        QueryExecutor {
+            block_rows: DEFAULT_BLOCK_ROWS,
+        }
+    }
+}
+
+impl QueryExecutor {
+    /// Executor with a custom block size (tests use small blocks).
+    pub fn with_block_rows(block_rows: usize) -> Self {
+        QueryExecutor { block_rows }
+    }
+
+    /// Execute `plan` over the given per-relation access paths.
+    ///
+    /// Panics if a relation required by the plan has no source — wiring the
+    /// sources is the responsibility of the RDE engine / scheduler, and a
+    /// missing one is a logic error, not a runtime condition.
+    pub fn execute(&self, plan: &QueryPlan, sources: &BTreeMap<String, ScanSource>) -> QueryOutput {
+        match plan {
+            QueryPlan::Aggregate {
+                table,
+                filters,
+                aggregates,
+            } => self.execute_aggregate(table, filters, aggregates, sources),
+            QueryPlan::GroupByAggregate {
+                table,
+                filters,
+                group_by,
+                aggregates,
+            } => self.execute_group_by(table, filters, group_by, aggregates, sources),
+            QueryPlan::JoinAggregate {
+                fact,
+                dim,
+                fact_key,
+                dim_key,
+                fact_filters,
+                dim_filters,
+                aggregates,
+            } => self.execute_join(
+                fact,
+                dim,
+                fact_key,
+                dim_key,
+                fact_filters,
+                dim_filters,
+                aggregates,
+                sources,
+            ),
+        }
+    }
+
+    fn source<'a>(
+        sources: &'a BTreeMap<String, ScanSource>,
+        table: &str,
+    ) -> &'a ScanSource {
+        sources
+            .get(table)
+            .unwrap_or_else(|| panic!("no access path provided for relation {table}"))
+    }
+
+    fn numeric_columns(
+        filters: &[crate::expr::Predicate],
+        aggregates: &[AggExpr],
+    ) -> Vec<String> {
+        let mut cols: Vec<String> = filters.iter().map(|p| p.column.clone()).collect();
+        cols.extend(aggregates.iter().flat_map(AggExpr::columns));
+        cols.sort();
+        cols.dedup();
+        cols
+    }
+
+    fn execute_aggregate(
+        &self,
+        table: &str,
+        filters: &[crate::expr::Predicate],
+        aggregates: &[AggExpr],
+        sources: &BTreeMap<String, ScanSource>,
+    ) -> QueryOutput {
+        let source = Self::source(sources, table);
+        let numeric = Self::numeric_columns(filters, aggregates);
+        let numeric_refs: Vec<&str> = numeric.iter().map(String::as_str).collect();
+
+        let mut states = vec![AggState::default(); aggregates.len()];
+        let mut selected = 0u64;
+        source.for_each_block(&numeric_refs, &[], self.block_rows, |block| {
+            let selection = evaluate_conjunction(filters, &block);
+            // Evaluate aggregate inputs once per block, fold selected rows.
+            for (agg, state) in aggregates.iter().zip(states.iter_mut()) {
+                match agg {
+                    AggExpr::Count => {
+                        for &sel in &selection {
+                            if sel {
+                                state.update_count();
+                            }
+                        }
+                    }
+                    AggExpr::Sum(e) | AggExpr::Avg(e) | AggExpr::Min(e) | AggExpr::Max(e) => {
+                        let values = e.evaluate(&block);
+                        for (v, &sel) in values.iter().zip(&selection) {
+                            if sel {
+                                state.update(*v);
+                            }
+                        }
+                    }
+                }
+            }
+            selected += selection.iter().filter(|&&s| s).count() as u64;
+        });
+
+        let mut work = WorkProfile::default();
+        work.absorb_source(source, &numeric_refs);
+        work.tuples_selected = selected;
+
+        QueryOutput {
+            result: QueryResult::Scalars(
+                aggregates
+                    .iter()
+                    .zip(&states)
+                    .map(|(agg, st)| st.finalize(agg))
+                    .collect(),
+            ),
+            work,
+        }
+    }
+
+    fn execute_group_by(
+        &self,
+        table: &str,
+        filters: &[crate::expr::Predicate],
+        group_by: &[String],
+        aggregates: &[AggExpr],
+        sources: &BTreeMap<String, ScanSource>,
+    ) -> QueryOutput {
+        let source = Self::source(sources, table);
+        let numeric = Self::numeric_columns(filters, aggregates);
+        let numeric_refs: Vec<&str> = numeric.iter().map(String::as_str).collect();
+        let key_refs: Vec<&str> = group_by.iter().map(String::as_str).collect();
+
+        let mut groups: BTreeMap<Vec<i64>, Vec<AggState>> = BTreeMap::new();
+        let mut selected = 0u64;
+        source.for_each_block(&numeric_refs, &key_refs, self.block_rows, |block| {
+            let selection = evaluate_conjunction(filters, &block);
+            let key_columns: Vec<&[i64]> = key_refs
+                .iter()
+                .map(|k| block.key(k).expect("group key column loaded"))
+                .collect();
+            // Pre-evaluate aggregate inputs for the block.
+            let agg_inputs: Vec<Option<Vec<f64>>> = aggregates
+                .iter()
+                .map(|agg| match agg {
+                    AggExpr::Count => None,
+                    AggExpr::Sum(e) | AggExpr::Avg(e) | AggExpr::Min(e) | AggExpr::Max(e) => {
+                        Some(e.evaluate(&block))
+                    }
+                })
+                .collect();
+            for row in 0..block.rows() {
+                if !selection[row] {
+                    continue;
+                }
+                selected += 1;
+                let key: Vec<i64> = key_columns.iter().map(|col| col[row]).collect();
+                let states = groups
+                    .entry(key)
+                    .or_insert_with(|| vec![AggState::default(); aggregates.len()]);
+                for (i, input) in agg_inputs.iter().enumerate() {
+                    match input {
+                        None => states[i].update_count(),
+                        Some(values) => states[i].update(values[row]),
+                    }
+                }
+            }
+        });
+
+        let mut work = WorkProfile::default();
+        let mut accessed: Vec<&str> = numeric_refs.clone();
+        accessed.extend(&key_refs);
+        work.absorb_source(source, &accessed);
+        work.tuples_selected = selected;
+
+        let rows = groups
+            .into_iter()
+            .map(|(key, states)| {
+                let aggs = aggregates
+                    .iter()
+                    .zip(&states)
+                    .map(|(agg, st)| st.finalize(agg))
+                    .collect();
+                (key, aggs)
+            })
+            .collect();
+        QueryOutput {
+            result: QueryResult::Groups(rows),
+            work,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn execute_join(
+        &self,
+        fact: &str,
+        dim: &str,
+        fact_key: &str,
+        dim_key: &str,
+        fact_filters: &[crate::expr::Predicate],
+        dim_filters: &[crate::expr::Predicate],
+        aggregates: &[AggExpr],
+        sources: &BTreeMap<String, ScanSource>,
+    ) -> QueryOutput {
+        let fact_source = Self::source(sources, fact);
+        let dim_source = Self::source(sources, dim);
+
+        // Build phase: hash set of dimension keys passing the dimension filters.
+        let dim_numeric: Vec<String> = dim_filters.iter().map(|p| p.column.clone()).collect();
+        let dim_numeric_refs: Vec<&str> = dim_numeric.iter().map(String::as_str).collect();
+        let mut build: HashSet<i64> = HashSet::new();
+        dim_source.for_each_block(&dim_numeric_refs, &[dim_key], self.block_rows, |block| {
+            let selection = evaluate_conjunction(dim_filters, &block);
+            let keys = block.key(dim_key).expect("dim key loaded");
+            for (row, &sel) in selection.iter().enumerate() {
+                if sel {
+                    build.insert(keys[row]);
+                }
+            }
+        });
+
+        // Probe phase.
+        let fact_numeric = Self::numeric_columns(fact_filters, aggregates);
+        let fact_numeric_refs: Vec<&str> = fact_numeric.iter().map(String::as_str).collect();
+        let mut states = vec![AggState::default(); aggregates.len()];
+        let mut probes = 0u64;
+        let mut selected = 0u64;
+        fact_source.for_each_block(&fact_numeric_refs, &[fact_key], self.block_rows, |block| {
+            let selection = evaluate_conjunction(fact_filters, &block);
+            let keys = block.key(fact_key).expect("fact key loaded");
+            let agg_inputs: Vec<Option<Vec<f64>>> = aggregates
+                .iter()
+                .map(|agg| match agg {
+                    AggExpr::Count => None,
+                    AggExpr::Sum(e) | AggExpr::Avg(e) | AggExpr::Min(e) | AggExpr::Max(e) => {
+                        Some(e.evaluate(&block))
+                    }
+                })
+                .collect();
+            for row in 0..block.rows() {
+                if !selection[row] {
+                    continue;
+                }
+                probes += 1;
+                if !build.contains(&keys[row]) {
+                    continue;
+                }
+                selected += 1;
+                for (i, input) in agg_inputs.iter().enumerate() {
+                    match input {
+                        None => states[i].update_count(),
+                        Some(values) => states[i].update(values[row]),
+                    }
+                }
+            }
+        });
+
+        let mut work = WorkProfile::default();
+        let mut fact_cols: Vec<&str> = fact_numeric_refs.clone();
+        fact_cols.push(fact_key);
+        work.absorb_source(fact_source, &fact_cols);
+        let mut dim_cols: Vec<&str> = dim_numeric_refs.clone();
+        dim_cols.push(dim_key);
+        work.absorb_source(dim_source, &dim_cols);
+        work.tuples_selected = selected;
+        work.probes = probes;
+        // The build side is broadcast: account its bytes and hash-table size.
+        let dim_schema_width: u64 = dim_cols
+            .iter()
+            .filter_map(|c| {
+                dim_source.segments.first().and_then(|seg| {
+                    seg.table
+                        .schema()
+                        .column_index(c)
+                        .map(|i| seg.table.schema().column(i).dtype.width_bytes())
+                })
+            })
+            .sum();
+        work.build_bytes = dim_source.total_rows() * dim_schema_width;
+        // 16 bytes per hash-table entry (key + bucket overhead).
+        work.hash_table_bytes = build.len() as u64 * 16;
+
+        QueryOutput {
+            result: QueryResult::Scalars(
+                aggregates
+                    .iter()
+                    .zip(&states)
+                    .map(|(agg, st)| st.finalize(agg))
+                    .collect(),
+            ),
+            work,
+        }
+    }
+}
+
+/// A keyed hash-map based group-by helper exposed for reuse by custom plans
+/// and tests: folds `(key, value)` pairs and returns sorted groups.
+pub fn hash_group_sum(pairs: impl IntoIterator<Item = (i64, f64)>) -> Vec<(i64, f64)> {
+    let mut map: HashMap<i64, f64> = HashMap::new();
+    for (k, v) in pairs {
+        *map.entry(k).or_insert(0.0) += v;
+    }
+    let mut out: Vec<(i64, f64)> = map.into_iter().collect();
+    out.sort_by_key(|(k, _)| *k);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{CmpOp, Predicate, ScalarExpr};
+    use crate::source::ScanSource;
+    use htap_storage::{ColumnDef, ColumnarTable, DataType, TableSchema, TableSnapshot, Value};
+    use std::sync::Arc;
+
+    /// orderline-like table: (ol_number i64, ol_quantity i32, ol_amount f64, ol_i_id i64)
+    fn orderline(n: u64) -> Arc<ColumnarTable> {
+        let schema = TableSchema::new(
+            "orderline",
+            vec![
+                ColumnDef::new("ol_number", DataType::I64),
+                ColumnDef::new("ol_quantity", DataType::I32),
+                ColumnDef::new("ol_amount", DataType::F64),
+                ColumnDef::new("ol_i_id", DataType::I64),
+            ],
+            Some(0),
+        );
+        let t = ColumnarTable::new(schema);
+        for i in 0..n {
+            t.append_row(&[
+                Value::I64(i as i64),
+                Value::I32((i % 10) as i32),
+                Value::F64((i % 100) as f64),
+                Value::I64((i % 5) as i64),
+            ])
+            .unwrap();
+        }
+        Arc::new(t)
+    }
+
+    /// item-like dimension table: (i_id i64, i_price f64)
+    fn item(n: u64) -> Arc<ColumnarTable> {
+        let schema = TableSchema::new(
+            "item",
+            vec![
+                ColumnDef::new("i_id", DataType::I64),
+                ColumnDef::new("i_price", DataType::F64),
+            ],
+            Some(0),
+        );
+        let t = ColumnarTable::new(schema);
+        for i in 0..n {
+            t.append_row(&[Value::I64(i as i64), Value::F64(i as f64 * 10.0)]).unwrap();
+        }
+        Arc::new(t)
+    }
+
+    fn sources_for(n: u64) -> BTreeMap<String, ScanSource> {
+        let ol = orderline(n);
+        let snap = TableSnapshot::new("orderline".into(), ol, n, 0);
+        let mut m = BTreeMap::new();
+        m.insert(
+            "orderline".to_string(),
+            ScanSource::contiguous_snapshot(&snap, SocketId(0)),
+        );
+        m
+    }
+
+    #[test]
+    fn aggregate_plan_computes_filtered_sum_and_count() {
+        let plan = QueryPlan::Aggregate {
+            table: "orderline".into(),
+            filters: vec![Predicate::new("ol_quantity", CmpOp::Lt, 5.0)],
+            aggregates: vec![AggExpr::Sum(ScalarExpr::col("ol_amount")), AggExpr::Count],
+        };
+        let out = QueryExecutor::with_block_rows(64).execute(&plan, &sources_for(1000));
+        // Rows with quantity in 0..=4: i%10 < 5, i.e. 500 rows.
+        let expected_sum: f64 = (0..1000u64)
+            .filter(|i| i % 10 < 5)
+            .map(|i| (i % 100) as f64)
+            .sum();
+        assert_eq!(out.result.scalars()[0], expected_sum);
+        assert_eq!(out.result.scalars()[1], 500.0);
+        assert_eq!(out.work.tuples_scanned, 1000);
+        assert_eq!(out.work.tuples_selected, 500);
+        assert!(out.work.total_bytes() > 0);
+        assert_eq!(out.work.fresh_rows, 1000, "all rows came from an OLTP snapshot");
+        assert!(out.work.join_work().is_none());
+    }
+
+    #[test]
+    fn group_by_plan_produces_one_row_per_group() {
+        let plan = QueryPlan::GroupByAggregate {
+            table: "orderline".into(),
+            filters: vec![],
+            group_by: vec!["ol_i_id".into()],
+            aggregates: vec![AggExpr::Sum(ScalarExpr::col("ol_amount")), AggExpr::Count],
+        };
+        let out = QueryExecutor::with_block_rows(128).execute(&plan, &sources_for(1000));
+        let groups = out.result.groups();
+        assert_eq!(groups.len(), 5);
+        // Every group has 200 rows.
+        for (key, aggs) in groups {
+            assert!(key[0] >= 0 && key[0] < 5);
+            assert_eq!(aggs[1], 200.0);
+        }
+        let total: f64 = groups.iter().map(|(_, a)| a[0]).sum();
+        let expected: f64 = (0..1000u64).map(|i| (i % 100) as f64).sum();
+        assert_eq!(total, expected);
+        assert_eq!(out.result.row_count(), 5);
+    }
+
+    #[test]
+    fn join_plan_filters_both_sides_and_counts_probes() {
+        let mut sources = sources_for(1000);
+        let it = item(5);
+        let snap = TableSnapshot::new("item".into(), it, 5, 0);
+        sources.insert("item".into(), ScanSource::contiguous_snapshot(&snap, SocketId(1)));
+
+        let plan = QueryPlan::JoinAggregate {
+            fact: "orderline".into(),
+            dim: "item".into(),
+            fact_key: "ol_i_id".into(),
+            dim_key: "i_id".into(),
+            fact_filters: vec![Predicate::new("ol_quantity", CmpOp::Lt, 5.0)],
+            // Items with price >= 20 -> i_id in {2, 3, 4}.
+            dim_filters: vec![Predicate::new("i_price", CmpOp::Ge, 20.0)],
+            aggregates: vec![AggExpr::Sum(ScalarExpr::col("ol_amount")), AggExpr::Count],
+        };
+        let out = QueryExecutor::with_block_rows(100).execute(&plan, &sources);
+        let expected: f64 = (0..1000u64)
+            .filter(|i| i % 10 < 5 && i % 5 >= 2)
+            .map(|i| (i % 100) as f64)
+            .sum();
+        let expected_count = (0..1000u64).filter(|i| i % 10 < 5 && i % 5 >= 2).count() as f64;
+        assert_eq!(out.result.scalars()[0], expected);
+        assert_eq!(out.result.scalars()[1], expected_count);
+        assert_eq!(out.work.probes, 500, "every filtered fact row probes");
+        assert!(out.work.build_bytes > 0);
+        assert!(out.work.hash_table_bytes > 0);
+        let jw = out.work.join_work().unwrap();
+        assert_eq!(jw.probes, 500);
+        // Bytes are attributed to both sockets (fact on 0, dim on 1).
+        assert!(out.work.bytes_per_socket.contains_key(&SocketId(0)));
+        assert!(out.work.bytes_per_socket.contains_key(&SocketId(1)));
+    }
+
+    #[test]
+    fn split_access_profile_reports_fresh_rows_only_for_oltp_segments() {
+        let olap_part = orderline(800);
+        let oltp_part = orderline(1000);
+        let snap = TableSnapshot::new("orderline".into(), oltp_part, 1000, 0);
+        let src = ScanSource::split(olap_part, 800, SocketId(1), &snap, SocketId(0));
+        let mut sources = BTreeMap::new();
+        sources.insert("orderline".to_string(), src);
+        let plan = QueryPlan::Aggregate {
+            table: "orderline".into(),
+            filters: vec![],
+            aggregates: vec![AggExpr::Count, AggExpr::Sum(ScalarExpr::col("ol_amount"))],
+        };
+        let out = QueryExecutor::default().execute(&plan, &sources);
+        assert_eq!(out.result.scalars()[0], 1000.0);
+        assert_eq!(out.work.fresh_rows, 200);
+        assert!(out.work.bytes_per_socket[&SocketId(1)] > out.work.bytes_per_socket[&SocketId(0)]);
+    }
+
+    #[test]
+    fn scan_work_conversion_preserves_bytes_and_tuples() {
+        let plan = QueryPlan::Aggregate {
+            table: "orderline".into(),
+            filters: vec![],
+            aggregates: vec![AggExpr::Sum(ScalarExpr::col("ol_amount"))],
+        };
+        let out = QueryExecutor::default().execute(&plan, &sources_for(500));
+        let sw = out.work.scan_work(1.0);
+        assert_eq!(sw.tuples, 500);
+        assert_eq!(sw.total_bytes(), out.work.total_bytes());
+    }
+
+    #[test]
+    fn results_are_identical_across_block_sizes() {
+        let plan = QueryPlan::GroupByAggregate {
+            table: "orderline".into(),
+            filters: vec![Predicate::new("ol_amount", CmpOp::Ge, 10.0)],
+            group_by: vec!["ol_quantity".into()],
+            aggregates: vec![AggExpr::Sum(ScalarExpr::col("ol_amount")), AggExpr::Count],
+        };
+        let small = QueryExecutor::with_block_rows(7).execute(&plan, &sources_for(997));
+        let large = QueryExecutor::with_block_rows(100_000).execute(&plan, &sources_for(997));
+        assert_eq!(small.result, large.result);
+    }
+
+    #[test]
+    fn hash_group_sum_helper() {
+        let groups = hash_group_sum(vec![(1, 1.0), (2, 2.0), (1, 3.0)]);
+        assert_eq!(groups, vec![(1, 4.0), (2, 2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no access path provided")]
+    fn missing_source_panics() {
+        let plan = QueryPlan::Aggregate {
+            table: "nope".into(),
+            filters: vec![],
+            aggregates: vec![AggExpr::Count],
+        };
+        QueryExecutor::default().execute(&plan, &BTreeMap::new());
+    }
+}

@@ -1,0 +1,342 @@
+//! Scalar expressions, predicates and aggregate expressions evaluated over
+//! tuple blocks.
+//!
+//! The expression language is intentionally small: it covers the arithmetic
+//! the CH-benCHmark analytical queries need (column references, literals,
+//! addition/subtraction/multiplication, comparison predicates, conjunctions)
+//! while keeping evaluation vectorised — every operation maps over whole
+//! block columns.
+
+use crate::block::Block;
+
+/// A scalar expression producing one `f64` per tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarExpr {
+    /// Value of a numeric column.
+    Col(String),
+    /// A constant.
+    Literal(f64),
+    /// Sum of two expressions.
+    Add(Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Difference of two expressions.
+    Sub(Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Product of two expressions.
+    Mul(Box<ScalarExpr>, Box<ScalarExpr>),
+}
+
+impl ScalarExpr {
+    /// Shorthand for a column reference.
+    pub fn col(name: impl Into<String>) -> Self {
+        ScalarExpr::Col(name.into())
+    }
+
+    /// Shorthand for a literal.
+    pub fn lit(v: f64) -> Self {
+        ScalarExpr::Literal(v)
+    }
+
+    /// `self * other`.
+    pub fn mul(self, other: ScalarExpr) -> Self {
+        ScalarExpr::Mul(Box::new(self), Box::new(other))
+    }
+
+    /// `self - other`.
+    pub fn sub(self, other: ScalarExpr) -> Self {
+        ScalarExpr::Sub(Box::new(self), Box::new(other))
+    }
+
+    /// `self + other`.
+    pub fn add(self, other: ScalarExpr) -> Self {
+        ScalarExpr::Add(Box::new(self), Box::new(other))
+    }
+
+    /// Columns referenced by the expression.
+    pub fn columns(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<String>) {
+        match self {
+            ScalarExpr::Col(c) => out.push(c.clone()),
+            ScalarExpr::Literal(_) => {}
+            ScalarExpr::Add(a, b) | ScalarExpr::Sub(a, b) | ScalarExpr::Mul(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+        }
+    }
+
+    /// Evaluate the expression for every tuple of `block`.
+    pub fn evaluate(&self, block: &Block) -> Vec<f64> {
+        match self {
+            ScalarExpr::Col(name) => block
+                .numeric(name)
+                .unwrap_or_else(|| panic!("column {name} not present in block"))
+                .to_vec(),
+            ScalarExpr::Literal(v) => vec![*v; block.rows()],
+            ScalarExpr::Add(a, b) => Self::zip(a.evaluate(block), b.evaluate(block), |x, y| x + y),
+            ScalarExpr::Sub(a, b) => Self::zip(a.evaluate(block), b.evaluate(block), |x, y| x - y),
+            ScalarExpr::Mul(a, b) => Self::zip(a.evaluate(block), b.evaluate(block), |x, y| x * y),
+        }
+    }
+
+    fn zip(a: Vec<f64>, b: Vec<f64>, f: impl Fn(f64, f64) -> f64) -> Vec<f64> {
+        a.into_iter().zip(b).map(|(x, y)| f(x, y)).collect()
+    }
+}
+
+/// Comparison operator of a predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CmpOp {
+    fn apply(self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+}
+
+/// A filter predicate: `column op literal`. Conjunctions are expressed as a
+/// list of predicates (all must hold).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// Column the predicate applies to.
+    pub column: String,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Literal to compare against.
+    pub literal: f64,
+}
+
+impl Predicate {
+    /// Construct a predicate.
+    pub fn new(column: impl Into<String>, op: CmpOp, literal: f64) -> Self {
+        Predicate {
+            column: column.into(),
+            op,
+            literal,
+        }
+    }
+
+    /// Evaluate the predicate on every tuple of `block`, producing a selection
+    /// vector (`true` = tuple passes).
+    pub fn evaluate(&self, block: &Block) -> Vec<bool> {
+        let values = block
+            .numeric(&self.column)
+            .map(|s| s.to_vec())
+            .or_else(|| block.key(&self.column).map(|s| s.iter().map(|&v| v as f64).collect()))
+            .unwrap_or_else(|| panic!("column {} not present in block", self.column));
+        values.iter().map(|&v| self.op.apply(v, self.literal)).collect()
+    }
+}
+
+/// Evaluate a conjunction of predicates, producing a combined selection vector.
+pub fn evaluate_conjunction(predicates: &[Predicate], block: &Block) -> Vec<bool> {
+    let mut selection = vec![true; block.rows()];
+    for p in predicates {
+        for (sel, pass) in selection.iter_mut().zip(p.evaluate(block)) {
+            *sel = *sel && pass;
+        }
+    }
+    selection
+}
+
+/// An aggregate expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggExpr {
+    /// `SUM(expr)`.
+    Sum(ScalarExpr),
+    /// `AVG(expr)`.
+    Avg(ScalarExpr),
+    /// `MIN(expr)`.
+    Min(ScalarExpr),
+    /// `MAX(expr)`.
+    Max(ScalarExpr),
+    /// `COUNT(*)`.
+    Count,
+}
+
+impl AggExpr {
+    /// Columns referenced by the aggregate.
+    pub fn columns(&self) -> Vec<String> {
+        match self {
+            AggExpr::Sum(e) | AggExpr::Avg(e) | AggExpr::Min(e) | AggExpr::Max(e) => e.columns(),
+            AggExpr::Count => Vec::new(),
+        }
+    }
+}
+
+/// Running state of one aggregate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggState {
+    sum: f64,
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for AggState {
+    fn default() -> Self {
+        AggState {
+            sum: 0.0,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl AggState {
+    /// Fold one value into the state.
+    pub fn update(&mut self, value: f64) {
+        self.sum += value;
+        self.count += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Fold a counted-only tuple (for `COUNT(*)`).
+    pub fn update_count(&mut self) {
+        self.count += 1;
+    }
+
+    /// Merge another state into this one (partial aggregation across pipelines).
+    pub fn merge(&mut self, other: &AggState) {
+        self.sum += other.sum;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Finalise the state for the given aggregate kind.
+    pub fn finalize(&self, agg: &AggExpr) -> f64 {
+        match agg {
+            AggExpr::Sum(_) => self.sum,
+            AggExpr::Avg(_) => {
+                if self.count == 0 {
+                    0.0
+                } else {
+                    self.sum / self.count as f64
+                }
+            }
+            AggExpr::Min(_) => self.min,
+            AggExpr::Max(_) => self.max,
+            AggExpr::Count => self.count as f64,
+        }
+    }
+
+    /// Number of folded tuples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htap_sim::SocketId;
+
+    fn block() -> Block {
+        let mut b = Block::new(4, SocketId(0));
+        b.add_numeric("price", vec![10.0, 20.0, 30.0, 40.0]);
+        b.add_numeric("discount", vec![0.1, 0.2, 0.0, 0.5]);
+        b.add_key("id", vec![1, 2, 3, 4]);
+        b
+    }
+
+    #[test]
+    fn scalar_expressions_evaluate_vectorised() {
+        let b = block();
+        let expr = ScalarExpr::col("price").mul(ScalarExpr::lit(1.0).sub(ScalarExpr::col("discount")));
+        let out = expr.evaluate(&b);
+        assert_eq!(out, vec![9.0, 16.0, 30.0, 20.0]);
+        assert_eq!(expr.columns(), vec!["discount".to_string(), "price".to_string()]);
+        let plus = ScalarExpr::col("price").add(ScalarExpr::lit(1.0));
+        assert_eq!(plus.evaluate(&b), vec![11.0, 21.0, 31.0, 41.0]);
+    }
+
+    #[test]
+    fn predicates_build_selection_vectors() {
+        let b = block();
+        let p = Predicate::new("price", CmpOp::Ge, 20.0);
+        assert_eq!(p.evaluate(&b), vec![false, true, true, true]);
+        // Predicates can reference key columns too.
+        let k = Predicate::new("id", CmpOp::Eq, 3.0);
+        assert_eq!(k.evaluate(&b), vec![false, false, true, false]);
+        let both = evaluate_conjunction(&[p, k], &b);
+        assert_eq!(both, vec![false, false, true, false]);
+        // Empty conjunction selects everything.
+        assert_eq!(evaluate_conjunction(&[], &b), vec![true; 4]);
+    }
+
+    #[test]
+    fn all_comparison_operators() {
+        let b = block();
+        let cases = [
+            (CmpOp::Eq, vec![false, true, false, false]),
+            (CmpOp::Ne, vec![true, false, true, true]),
+            (CmpOp::Lt, vec![true, false, false, false]),
+            (CmpOp::Le, vec![true, true, false, false]),
+            (CmpOp::Gt, vec![false, false, true, true]),
+            (CmpOp::Ge, vec![false, true, true, true]),
+        ];
+        for (op, expected) in cases {
+            assert_eq!(Predicate::new("price", op, 20.0).evaluate(&b), expected, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn aggregate_states_fold_and_merge() {
+        let mut a = AggState::default();
+        let mut b = AggState::default();
+        for v in [1.0, 2.0, 3.0] {
+            a.update(v);
+        }
+        for v in [10.0, 20.0] {
+            b.update(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.finalize(&AggExpr::Sum(ScalarExpr::lit(0.0))), 36.0);
+        assert_eq!(a.finalize(&AggExpr::Count), 5.0);
+        assert_eq!(a.finalize(&AggExpr::Min(ScalarExpr::lit(0.0))), 1.0);
+        assert_eq!(a.finalize(&AggExpr::Max(ScalarExpr::lit(0.0))), 20.0);
+        assert!((a.finalize(&AggExpr::Avg(ScalarExpr::lit(0.0))) - 7.2).abs() < 1e-12);
+        assert_eq!(a.count(), 5);
+    }
+
+    #[test]
+    fn empty_aggregate_finalisation_is_safe() {
+        let s = AggState::default();
+        assert_eq!(s.finalize(&AggExpr::Avg(ScalarExpr::lit(0.0))), 0.0);
+        assert_eq!(s.finalize(&AggExpr::Count), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not present in block")]
+    fn missing_column_panics() {
+        ScalarExpr::col("missing").evaluate(&block());
+    }
+}

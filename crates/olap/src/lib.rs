@@ -1,0 +1,44 @@
+//! Vectorised, NUMA-aware OLAP query engine (§3.3 of the paper).
+//!
+//! The engine follows the Proteus design the paper builds on, with one
+//! substitution documented in DESIGN.md: instead of JIT code generation, the
+//! operators are specialised at compile time (monomorphised vectorised
+//! kernels) and process one block of tuples at a time without materialising
+//! intermediate results.
+//!
+//! Components:
+//!
+//! * [`source`] — access-path plugins. A query reads each relation through a
+//!   [`source::ScanSource`], which is either a single contiguous memory area
+//!   (the OLAP instance or an OLTP snapshot) or a partitioned set of areas
+//!   (the *split-access* method: OLAP-local rows plus the fresh tail from the
+//!   OLTP snapshot).
+//! * [`block`], [`expr`] — typed tuple blocks and scalar/predicate expressions
+//!   evaluated over them.
+//! * [`plan`] — the query plans the CH-benCHmark workload needs:
+//!   scan-filter-reduce, scan-filter-group-by and fact–dimension hash joins.
+//! * [`exec`] — the vectorised executor; besides results it produces a
+//!   [`exec::WorkProfile`] (bytes touched per socket, tuples processed, join
+//!   probes) that the cost model converts into modelled time.
+//! * [`routing`] — block-routing policies (hash, load-aware, locality-aware)
+//!   that decide which socket's workers consume which data segment.
+//! * [`worker`], [`engine`] — the elastic worker manager and the engine
+//!   facade, including the engine-local OLAP storage instance that ETL fills.
+
+pub mod block;
+pub mod engine;
+pub mod exec;
+pub mod expr;
+pub mod plan;
+pub mod routing;
+pub mod source;
+pub mod worker;
+
+pub use block::Block;
+pub use engine::{OlapEngine, OlapStore};
+pub use exec::{QueryExecutor, QueryOutput, QueryResult, WorkProfile};
+pub use expr::{AggExpr, CmpOp, Predicate, ScalarExpr};
+pub use plan::QueryPlan;
+pub use routing::{RoutingPolicy, SegmentAssignment};
+pub use source::{ScanSegmentSource, ScanSource};
+pub use worker::OlapWorkerManager;

@@ -1,0 +1,242 @@
+//! Query plans.
+//!
+//! The plans cover the analytical patterns the paper's evaluation uses
+//! (§5.2–5.3): scan-filter-reduce (CH-Q6), scan-filter-group-by (CH-Q1) and
+//! fact–dimension hash joins with aggregation (CH-Q19). Each plan lists the
+//! relations and columns it touches, which is exactly the information the
+//! scheduler needs to compute per-query freshness (Algorithm 2 "calculates the
+//! freshness-rate metric only for the columns which will be accessed by every
+//! query").
+
+use crate::expr::{AggExpr, Predicate};
+use std::collections::BTreeMap;
+
+/// A logical/physical query plan (the engine specialises operators per plan
+/// shape at compile time; see DESIGN.md for the code-generation substitution).
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryPlan {
+    /// Scan → filter → full aggregation (no grouping). CH-Q6 shape.
+    Aggregate {
+        /// Scanned relation.
+        table: String,
+        /// Conjunctive filter predicates.
+        filters: Vec<Predicate>,
+        /// Aggregates to compute.
+        aggregates: Vec<AggExpr>,
+    },
+    /// Scan → filter → hash group-by → aggregation. CH-Q1 shape.
+    GroupByAggregate {
+        /// Scanned relation.
+        table: String,
+        /// Conjunctive filter predicates.
+        filters: Vec<Predicate>,
+        /// Grouping key columns (integer-typed).
+        group_by: Vec<String>,
+        /// Aggregates to compute per group.
+        aggregates: Vec<AggExpr>,
+    },
+    /// Fact–dimension hash join with aggregation (broadcast build side).
+    /// CH-Q19 shape.
+    JoinAggregate {
+        /// Fact (probe-side) relation.
+        fact: String,
+        /// Dimension (build-side) relation.
+        dim: String,
+        /// Join key column on the fact side.
+        fact_key: String,
+        /// Join key column on the dimension side.
+        dim_key: String,
+        /// Filters applied to the fact side before probing.
+        fact_filters: Vec<Predicate>,
+        /// Filters applied to the dimension side while building.
+        dim_filters: Vec<Predicate>,
+        /// Aggregates over fact-side columns for joining tuples.
+        aggregates: Vec<AggExpr>,
+    },
+}
+
+impl QueryPlan {
+    /// A short label for reports ("aggregate", "group-by", "join").
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueryPlan::Aggregate { .. } => "aggregate",
+            QueryPlan::GroupByAggregate { .. } => "group-by",
+            QueryPlan::JoinAggregate { .. } => "join",
+        }
+    }
+
+    /// The relations the plan reads.
+    pub fn tables(&self) -> Vec<&str> {
+        match self {
+            QueryPlan::Aggregate { table, .. } | QueryPlan::GroupByAggregate { table, .. } => {
+                vec![table]
+            }
+            QueryPlan::JoinAggregate { fact, dim, .. } => vec![fact, dim],
+        }
+    }
+
+    /// The columns the plan reads, per relation. Drives both the byte
+    /// accounting of the cost model and the per-query freshness computation.
+    pub fn accessed_columns(&self) -> BTreeMap<String, Vec<String>> {
+        let mut out: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        let mut add = |table: &str, cols: Vec<String>| {
+            let entry = out.entry(table.to_string()).or_default();
+            entry.extend(cols);
+            entry.sort();
+            entry.dedup();
+        };
+        match self {
+            QueryPlan::Aggregate {
+                table,
+                filters,
+                aggregates,
+            } => {
+                let mut cols: Vec<String> = filters.iter().map(|p| p.column.clone()).collect();
+                cols.extend(aggregates.iter().flat_map(AggExpr::columns));
+                add(table, cols);
+            }
+            QueryPlan::GroupByAggregate {
+                table,
+                filters,
+                group_by,
+                aggregates,
+            } => {
+                let mut cols: Vec<String> = filters.iter().map(|p| p.column.clone()).collect();
+                cols.extend(group_by.iter().cloned());
+                cols.extend(aggregates.iter().flat_map(AggExpr::columns));
+                add(table, cols);
+            }
+            QueryPlan::JoinAggregate {
+                fact,
+                dim,
+                fact_key,
+                dim_key,
+                fact_filters,
+                dim_filters,
+                aggregates,
+            } => {
+                let mut fact_cols: Vec<String> =
+                    fact_filters.iter().map(|p| p.column.clone()).collect();
+                fact_cols.push(fact_key.clone());
+                fact_cols.extend(aggregates.iter().flat_map(AggExpr::columns));
+                add(fact, fact_cols);
+                let mut dim_cols: Vec<String> =
+                    dim_filters.iter().map(|p| p.column.clone()).collect();
+                dim_cols.push(dim_key.clone());
+                add(dim, dim_cols);
+            }
+        }
+        out
+    }
+
+    /// Per-tuple CPU cost estimate in nanoseconds, used by the cost model's
+    /// CPU term. Group-bys and joins pay more per tuple than plain reductions.
+    pub fn cpu_ns_per_tuple(&self) -> f64 {
+        match self {
+            QueryPlan::Aggregate { aggregates, filters, .. } => {
+                0.5 + 0.3 * (aggregates.len() + filters.len()) as f64
+            }
+            QueryPlan::GroupByAggregate {
+                aggregates, filters, group_by, ..
+            } => 1.0 + 0.4 * (aggregates.len() + filters.len() + group_by.len()) as f64,
+            QueryPlan::JoinAggregate {
+                aggregates,
+                fact_filters,
+                dim_filters,
+                ..
+            } => 1.5 + 0.4 * (aggregates.len() + fact_filters.len() + dim_filters.len()) as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{CmpOp, ScalarExpr};
+
+    fn q6_like() -> QueryPlan {
+        QueryPlan::Aggregate {
+            table: "orderline".into(),
+            filters: vec![Predicate::new("ol_quantity", CmpOp::Lt, 25.0)],
+            aggregates: vec![AggExpr::Sum(ScalarExpr::col("ol_amount"))],
+        }
+    }
+
+    #[test]
+    fn labels_and_tables() {
+        assert_eq!(q6_like().label(), "aggregate");
+        assert_eq!(q6_like().tables(), vec!["orderline"]);
+        let join = QueryPlan::JoinAggregate {
+            fact: "orderline".into(),
+            dim: "item".into(),
+            fact_key: "ol_i_id".into(),
+            dim_key: "i_id".into(),
+            fact_filters: vec![],
+            dim_filters: vec![],
+            aggregates: vec![AggExpr::Count],
+        };
+        assert_eq!(join.label(), "join");
+        assert_eq!(join.tables(), vec!["orderline", "item"]);
+    }
+
+    #[test]
+    fn accessed_columns_deduplicate_and_cover_all_clauses() {
+        let plan = QueryPlan::GroupByAggregate {
+            table: "orderline".into(),
+            filters: vec![Predicate::new("ol_delivery_d", CmpOp::Gt, 10.0)],
+            group_by: vec!["ol_number".into()],
+            aggregates: vec![
+                AggExpr::Sum(ScalarExpr::col("ol_amount")),
+                AggExpr::Avg(ScalarExpr::col("ol_amount")),
+                AggExpr::Count,
+            ],
+        };
+        let cols = plan.accessed_columns();
+        assert_eq!(
+            cols["orderline"],
+            vec!["ol_amount".to_string(), "ol_delivery_d".into(), "ol_number".into()]
+        );
+    }
+
+    #[test]
+    fn join_accessed_columns_split_by_table() {
+        let plan = QueryPlan::JoinAggregate {
+            fact: "orderline".into(),
+            dim: "item".into(),
+            fact_key: "ol_i_id".into(),
+            dim_key: "i_id".into(),
+            fact_filters: vec![Predicate::new("ol_quantity", CmpOp::Le, 10.0)],
+            dim_filters: vec![Predicate::new("i_price", CmpOp::Ge, 1.0)],
+            aggregates: vec![AggExpr::Sum(ScalarExpr::col("ol_amount"))],
+        };
+        let cols = plan.accessed_columns();
+        assert_eq!(
+            cols["orderline"],
+            vec!["ol_amount".to_string(), "ol_i_id".into(), "ol_quantity".into()]
+        );
+        assert_eq!(cols["item"], vec!["i_id".to_string(), "i_price".into()]);
+    }
+
+    #[test]
+    fn cpu_cost_orders_plans_by_complexity() {
+        let agg = q6_like().cpu_ns_per_tuple();
+        let group = QueryPlan::GroupByAggregate {
+            table: "t".into(),
+            filters: vec![],
+            group_by: vec!["g".into()],
+            aggregates: vec![AggExpr::Count],
+        }
+        .cpu_ns_per_tuple();
+        let join = QueryPlan::JoinAggregate {
+            fact: "f".into(),
+            dim: "d".into(),
+            fact_key: "k".into(),
+            dim_key: "k".into(),
+            fact_filters: vec![],
+            dim_filters: vec![],
+            aggregates: vec![AggExpr::Count],
+        }
+        .cpu_ns_per_tuple();
+        assert!(agg < group && group < join);
+    }
+}

@@ -1,0 +1,288 @@
+//! Block-routing policies.
+//!
+//! "The OLAP engine parallelizes query execution by routing blocks between
+//! different pipelines that execute concurrently. ... Based on the placement
+//! of the data, the OLAP engine balances the load across worker threads using
+//! protocols (hash-based, load-aware, locality-aware and combinations). By
+//! default, the OLAP engine uses locality-and-load-aware policies" (§3.3).
+//!
+//! A routing decision assigns each data segment to the socket whose workers
+//! will consume it. The decision matters for work accounting (which socket
+//! pulls which bytes, and whether they cross the interconnect); the
+//! byte-accurate time is then produced by the cost model.
+
+use crate::source::ScanSource;
+use htap_sim::{ExecPlacement, SocketId};
+use std::collections::BTreeMap;
+
+/// The available routing policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingPolicy {
+    /// Round-robin assignment of segments to sockets with workers.
+    Hash,
+    /// Balance bytes across sockets proportionally to their worker counts,
+    /// ignoring locality.
+    LoadAware,
+    /// Always consume a segment from workers on its own socket when any
+    /// exist, otherwise from the socket with the most workers.
+    LocalityAware,
+    /// Prefer local workers, but ship a share of local segments to remote
+    /// workers when the local socket would otherwise be the straggler
+    /// (the engine's default).
+    #[default]
+    LocalityAndLoadAware,
+}
+
+/// Assignment of segments (by index within the [`ScanSource`]) to consumer sockets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentAssignment {
+    /// `segment index -> consumer socket`.
+    pub consumer_of: Vec<SocketId>,
+    /// Bytes consumed by workers of each socket.
+    pub bytes_per_consumer: BTreeMap<SocketId, u64>,
+    /// Bytes that cross the interconnect (consumer socket != data socket).
+    pub remote_bytes: u64,
+}
+
+impl SegmentAssignment {
+    /// Ratio of bytes consumed remotely (0 = perfect locality).
+    pub fn remote_fraction(&self) -> f64 {
+        let total: u64 = self.bytes_per_consumer.values().sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.remote_bytes as f64 / total as f64
+        }
+    }
+
+    /// Load imbalance: max over min bytes per consumer socket (1 = perfectly balanced).
+    pub fn imbalance(&self) -> f64 {
+        let loads: Vec<u64> = self.bytes_per_consumer.values().copied().collect();
+        if loads.is_empty() {
+            return 1.0;
+        }
+        let max = *loads.iter().max().unwrap() as f64;
+        let min = *loads.iter().min().unwrap() as f64;
+        if min == 0.0 {
+            if max == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            max / min
+        }
+    }
+}
+
+/// Route the segments of `source` (restricted to the `columns` a query reads)
+/// to the sockets of `placement` according to `policy`.
+pub fn route(
+    policy: RoutingPolicy,
+    source: &ScanSource,
+    columns: &[&str],
+    placement: &ExecPlacement,
+) -> SegmentAssignment {
+    let worker_sockets: Vec<SocketId> = placement.sockets();
+    let mut consumer_of = Vec::with_capacity(source.segments.len());
+    let mut bytes_per_consumer: BTreeMap<SocketId, u64> = BTreeMap::new();
+    let mut remote_bytes = 0u64;
+
+    if worker_sockets.is_empty() {
+        return SegmentAssignment {
+            consumer_of,
+            bytes_per_consumer,
+            remote_bytes,
+        };
+    }
+
+    // Per-segment byte size for the accessed columns.
+    let seg_bytes: Vec<u64> = source
+        .segments
+        .iter()
+        .map(|seg| {
+            let schema = seg.table.schema();
+            let width: u64 = columns
+                .iter()
+                .filter_map(|c| schema.column_index(c))
+                .map(|i| schema.column(i).dtype.width_bytes())
+                .sum();
+            seg.row_count() * width
+        })
+        .collect();
+
+    let most_workers = *worker_sockets
+        .iter()
+        .max_by_key(|s| placement.cores_on(**s))
+        .expect("non-empty worker sockets");
+
+    for (i, seg) in source.segments.iter().enumerate() {
+        let consumer = match policy {
+            RoutingPolicy::Hash => worker_sockets[i % worker_sockets.len()],
+            RoutingPolicy::LoadAware => {
+                // Send the segment to the socket with the least load per worker.
+                *worker_sockets
+                    .iter()
+                    .min_by(|a, b| {
+                        let la = *bytes_per_consumer.get(a).unwrap_or(&0) as f64
+                            / placement.cores_on(**a).max(1) as f64;
+                        let lb = *bytes_per_consumer.get(b).unwrap_or(&0) as f64
+                            / placement.cores_on(**b).max(1) as f64;
+                        la.partial_cmp(&lb).unwrap()
+                    })
+                    .expect("non-empty worker sockets")
+            }
+            RoutingPolicy::LocalityAware => {
+                if placement.cores_on(seg.socket) > 0 {
+                    seg.socket
+                } else {
+                    most_workers
+                }
+            }
+            RoutingPolicy::LocalityAndLoadAware => {
+                if placement.cores_on(seg.socket) > 0 {
+                    // Prefer locality, but fall back to the least-loaded socket
+                    // when the local socket already carries twice its fair share.
+                    let local_load = *bytes_per_consumer.get(&seg.socket).unwrap_or(&0) as f64
+                        / placement.cores_on(seg.socket).max(1) as f64;
+                    let (least, least_load) = worker_sockets
+                        .iter()
+                        .map(|s| {
+                            (
+                                *s,
+                                *bytes_per_consumer.get(s).unwrap_or(&0) as f64
+                                    / placement.cores_on(*s).max(1) as f64,
+                            )
+                        })
+                        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                        .expect("non-empty worker sockets");
+                    if local_load > 2.0 * least_load + seg_bytes[i] as f64 {
+                        least
+                    } else {
+                        seg.socket
+                    }
+                } else {
+                    most_workers
+                }
+            }
+        };
+        consumer_of.push(consumer);
+        *bytes_per_consumer.entry(consumer).or_insert(0) += seg_bytes[i];
+        if consumer != seg.socket {
+            remote_bytes += seg_bytes[i];
+        }
+    }
+
+    SegmentAssignment {
+        consumer_of,
+        bytes_per_consumer,
+        remote_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{ScanSegmentSource, SegmentOrigin};
+    use htap_storage::{ColumnDef, ColumnarTable, DataType, TableSchema, Value};
+    use std::sync::Arc;
+
+    fn table_with(n: u64) -> Arc<ColumnarTable> {
+        let schema = TableSchema::new(
+            "t",
+            vec![ColumnDef::new("k", DataType::I64), ColumnDef::new("v", DataType::F64)],
+            Some(0),
+        );
+        let t = ColumnarTable::new(schema);
+        for i in 0..n {
+            t.append_row(&[Value::I64(i as i64), Value::F64(0.0)]).unwrap();
+        }
+        Arc::new(t)
+    }
+
+    fn source_with_segments(rows: &[(u64, SocketId)]) -> ScanSource {
+        ScanSource {
+            table: "t".into(),
+            segments: rows
+                .iter()
+                .map(|&(n, socket)| ScanSegmentSource {
+                    table: table_with(n),
+                    rows: 0..n,
+                    socket,
+                    origin: SegmentOrigin::OlapInstance,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn locality_aware_keeps_segments_local_when_possible() {
+        let src = source_with_segments(&[(100, SocketId(0)), (100, SocketId(1))]);
+        let placement = ExecPlacement::single_socket(SocketId(1), 8).with(SocketId(0), 4);
+        let a = route(RoutingPolicy::LocalityAware, &src, &["v"], &placement);
+        assert_eq!(a.consumer_of, vec![SocketId(0), SocketId(1)]);
+        assert_eq!(a.remote_bytes, 0);
+        assert_eq!(a.remote_fraction(), 0.0);
+    }
+
+    #[test]
+    fn locality_aware_falls_back_to_largest_worker_pool() {
+        let src = source_with_segments(&[(100, SocketId(0))]);
+        let placement = ExecPlacement::single_socket(SocketId(1), 14);
+        let a = route(RoutingPolicy::LocalityAware, &src, &["v"], &placement);
+        assert_eq!(a.consumer_of, vec![SocketId(1)]);
+        assert_eq!(a.remote_bytes, 800);
+        assert!(a.remote_fraction() > 0.99);
+    }
+
+    #[test]
+    fn load_aware_balances_bytes_per_worker() {
+        let src = source_with_segments(&[
+            (100, SocketId(0)),
+            (100, SocketId(0)),
+            (100, SocketId(0)),
+            (100, SocketId(0)),
+        ]);
+        let placement = ExecPlacement::single_socket(SocketId(0), 7).with(SocketId(1), 7);
+        let a = route(RoutingPolicy::LoadAware, &src, &["v"], &placement);
+        assert_eq!(a.bytes_per_consumer[&SocketId(0)], a.bytes_per_consumer[&SocketId(1)]);
+        assert!((a.imbalance() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hash_policy_round_robins() {
+        let src = source_with_segments(&[(10, SocketId(0)), (10, SocketId(0)), (10, SocketId(0))]);
+        let placement = ExecPlacement::single_socket(SocketId(0), 2).with(SocketId(1), 2);
+        let a = route(RoutingPolicy::Hash, &src, &["v"], &placement);
+        assert_eq!(a.consumer_of, vec![SocketId(0), SocketId(1), SocketId(0)]);
+    }
+
+    #[test]
+    fn default_policy_prefers_locality_but_offloads_stragglers() {
+        // Many local segments, few local workers: some segments ship remotely.
+        let src = source_with_segments(&[
+            (1000, SocketId(0)),
+            (1000, SocketId(0)),
+            (1000, SocketId(0)),
+            (1000, SocketId(0)),
+            (1000, SocketId(0)),
+            (1000, SocketId(0)),
+        ]);
+        let placement = ExecPlacement::single_socket(SocketId(0), 1).with(SocketId(1), 13);
+        let a = route(RoutingPolicy::LocalityAndLoadAware, &src, &["v"], &placement);
+        assert!(a.remote_bytes > 0, "straggler segments must be offloaded");
+        assert!(
+            a.bytes_per_consumer[&SocketId(0)] > 0,
+            "local workers still consume some local data"
+        );
+    }
+
+    #[test]
+    fn empty_placement_yields_empty_assignment() {
+        let src = source_with_segments(&[(10, SocketId(0))]);
+        let a = route(RoutingPolicy::default(), &src, &["v"], &ExecPlacement::new());
+        assert!(a.consumer_of.is_empty());
+        assert_eq!(a.remote_fraction(), 0.0);
+        assert_eq!(a.imbalance(), 1.0);
+    }
+}

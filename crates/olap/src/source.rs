@@ -1,0 +1,329 @@
+//! Access-path plugins: how a query reads a relation.
+//!
+//! The paper's OLAP storage manager "is agnostic of the data format and
+//! layout. The data access paths are decided by input plugins ... In our HTAP
+//! setting, we use two access methods. The first method considers that data
+//! are stored in the same contiguous memory area. The second method considers
+//! that data are partitioned in several (contiguous) memory areas, and it is
+//! useful when we need to access only the fresh data from the OLTP storage and
+//! the rest from the OLAP storage" (§3.3).
+//!
+//! A [`ScanSource`] is a list of [`ScanSegmentSource`]s; a single segment is
+//! the contiguous access method, several segments are the partitioned /
+//! split-access method. Each segment carries the socket its memory lives on
+//! so that routing and the cost model stay NUMA-aware.
+
+use crate::block::{Block, DEFAULT_BLOCK_ROWS};
+use htap_sim::SocketId;
+use htap_storage::{ColumnarTable, DataType, TableSnapshot};
+use std::collections::BTreeMap;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Provenance of a segment (used for reporting and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentOrigin {
+    /// Rows served from the OLAP engine's own instance.
+    OlapInstance,
+    /// Rows served from an OLTP twin-instance snapshot (fresh data).
+    OltpSnapshot,
+}
+
+/// One contiguous memory area of a relation, visible to a query.
+#[derive(Debug, Clone)]
+pub struct ScanSegmentSource {
+    /// The columnar instance holding the rows.
+    pub table: Arc<ColumnarTable>,
+    /// Row range served by this segment.
+    pub rows: Range<u64>,
+    /// Socket whose DRAM holds the segment.
+    pub socket: SocketId,
+    /// Where the segment comes from.
+    pub origin: SegmentOrigin,
+}
+
+impl ScanSegmentSource {
+    /// Number of rows in the segment.
+    pub fn row_count(&self) -> u64 {
+        self.rows.end.saturating_sub(self.rows.start)
+    }
+}
+
+/// The access path of one relation for one query.
+#[derive(Debug, Clone)]
+pub struct ScanSource {
+    /// Relation name.
+    pub table: String,
+    /// Ordered list of contiguous segments.
+    pub segments: Vec<ScanSegmentSource>,
+}
+
+impl ScanSource {
+    /// Contiguous access method over an OLTP snapshot (states S1/S3 full
+    /// remote, or any query over the freshest twin instance).
+    pub fn contiguous_snapshot(snapshot: &TableSnapshot, socket: SocketId) -> Self {
+        ScanSource {
+            table: snapshot.name().to_string(),
+            segments: vec![ScanSegmentSource {
+                table: Arc::clone(snapshot.table()),
+                rows: 0..snapshot.rows(),
+                socket,
+                origin: SegmentOrigin::OltpSnapshot,
+            }],
+        }
+    }
+
+    /// Contiguous access method over the OLAP engine's own instance.
+    pub fn contiguous_olap(
+        name: impl Into<String>,
+        table: Arc<ColumnarTable>,
+        rows: u64,
+        socket: SocketId,
+    ) -> Self {
+        ScanSource {
+            table: name.into(),
+            segments: vec![ScanSegmentSource {
+                table,
+                rows: 0..rows,
+                socket,
+                origin: SegmentOrigin::OlapInstance,
+            }],
+        }
+    }
+
+    /// Partitioned (split-access) method: OLAP-local rows `[0, olap_rows)`
+    /// plus the fresh tail `[olap_rows, snapshot.rows())` read from the OLTP
+    /// snapshot (§3.3, §5.2 "split-access").
+    pub fn split(
+        olap_table: Arc<ColumnarTable>,
+        olap_rows: u64,
+        olap_socket: SocketId,
+        snapshot: &TableSnapshot,
+        oltp_socket: SocketId,
+    ) -> Self {
+        let mut segments = Vec::new();
+        if olap_rows > 0 {
+            segments.push(ScanSegmentSource {
+                table: olap_table,
+                rows: 0..olap_rows,
+                socket: olap_socket,
+                origin: SegmentOrigin::OlapInstance,
+            });
+        }
+        if snapshot.rows() > olap_rows {
+            segments.push(ScanSegmentSource {
+                table: Arc::clone(snapshot.table()),
+                rows: olap_rows..snapshot.rows(),
+                socket: oltp_socket,
+                origin: SegmentOrigin::OltpSnapshot,
+            });
+        }
+        ScanSource {
+            table: snapshot.name().to_string(),
+            segments,
+        }
+    }
+
+    /// Total rows across segments.
+    pub fn total_rows(&self) -> u64 {
+        self.segments.iter().map(ScanSegmentSource::row_count).sum()
+    }
+
+    /// Bytes the query will read from each socket if it accesses `columns`
+    /// of this source (columnar accounting). This is the input of the cost
+    /// model's [`htap_sim::ScanWork`].
+    pub fn bytes_per_socket(&self, columns: &[&str]) -> BTreeMap<SocketId, u64> {
+        let mut out = BTreeMap::new();
+        for seg in &self.segments {
+            let schema = seg.table.schema();
+            let width: u64 = columns
+                .iter()
+                .filter_map(|c| schema.column_index(c))
+                .map(|i| schema.column(i).dtype.width_bytes())
+                .sum();
+            *out.entry(seg.socket).or_insert(0) += seg.row_count() * width;
+        }
+        out
+    }
+
+    /// Rows served from OLTP snapshots (fresh rows accessed by the query).
+    pub fn fresh_rows(&self) -> u64 {
+        self.segments
+            .iter()
+            .filter(|s| s.origin == SegmentOrigin::OltpSnapshot)
+            .map(ScanSegmentSource::row_count)
+            .sum()
+    }
+
+    /// Produce the blocks of the requested columns, one segment at a time,
+    /// `block_rows` tuples per block. `numeric` columns are converted to
+    /// `f64`; `keys` columns to `i64`. String columns cannot be requested.
+    pub fn for_each_block<F: FnMut(Block)>(
+        &self,
+        numeric: &[&str],
+        keys: &[&str],
+        block_rows: usize,
+        mut f: F,
+    ) {
+        let block_rows = if block_rows == 0 { DEFAULT_BLOCK_ROWS } else { block_rows };
+        for seg in &self.segments {
+            let schema = seg.table.schema();
+            let mut start = seg.rows.start;
+            while start < seg.rows.end {
+                let end = (start + block_rows as u64).min(seg.rows.end);
+                let len = (end - start) as usize;
+                let mut block = Block::new(len, seg.socket);
+                for &col in numeric {
+                    let idx = schema
+                        .column_index(col)
+                        .unwrap_or_else(|| panic!("column {col} not in table {}", self.table));
+                    block.add_numeric(col, read_numeric(&seg.table, idx, start, len));
+                }
+                for &col in keys {
+                    let idx = schema
+                        .column_index(col)
+                        .unwrap_or_else(|| panic!("column {col} not in table {}", self.table));
+                    block.add_key(col, read_key(&seg.table, idx, start, len));
+                }
+                f(block);
+                start = end;
+            }
+        }
+    }
+}
+
+fn read_numeric(table: &ColumnarTable, column: usize, start: u64, len: usize) -> Vec<f64> {
+    let col = table.column(column);
+    let s = start as usize;
+    match col.dtype() {
+        DataType::F64 => col.with_f64(s + len, |v| v[s..s + len].to_vec()),
+        DataType::I64 => col.with_i64(s + len, |v| v[s..s + len].iter().map(|&x| x as f64).collect()),
+        DataType::I32 => col.with_i32(s + len, |v| v[s..s + len].iter().map(|&x| x as f64).collect()),
+        DataType::Str => panic!("string column cannot be read as numeric"),
+    }
+}
+
+fn read_key(table: &ColumnarTable, column: usize, start: u64, len: usize) -> Vec<i64> {
+    let col = table.column(column);
+    let s = start as usize;
+    match col.dtype() {
+        DataType::I64 => col.with_i64(s + len, |v| v[s..s + len].to_vec()),
+        DataType::I32 => col.with_i32(s + len, |v| v[s..s + len].iter().map(|&x| x as i64).collect()),
+        DataType::F64 => panic!("float column cannot be used as a key"),
+        DataType::Str => panic!("string column cannot be used as a key"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htap_storage::{ColumnDef, TableSchema, Value};
+
+    fn table_with(n: u64) -> Arc<ColumnarTable> {
+        let schema = TableSchema::new(
+            "lineitem",
+            vec![
+                ColumnDef::new("id", DataType::I64),
+                ColumnDef::new("qty", DataType::I32),
+                ColumnDef::new("amount", DataType::F64),
+            ],
+            Some(0),
+        );
+        let t = ColumnarTable::new(schema);
+        for i in 0..n {
+            t.append_row(&[
+                Value::I64(i as i64),
+                Value::I32((i % 10) as i32),
+                Value::F64(i as f64 * 1.5),
+            ])
+            .unwrap();
+        }
+        Arc::new(t)
+    }
+
+    #[test]
+    fn contiguous_source_produces_all_rows_in_blocks() {
+        let table = table_with(100);
+        let snap = TableSnapshot::new("lineitem".into(), table, 100, 0);
+        let src = ScanSource::contiguous_snapshot(&snap, SocketId(0));
+        assert_eq!(src.total_rows(), 100);
+        assert_eq!(src.fresh_rows(), 100);
+        let mut rows = 0usize;
+        let mut blocks = 0usize;
+        let mut sum = 0.0;
+        src.for_each_block(&["amount"], &["id"], 32, |b| {
+            rows += b.rows();
+            blocks += 1;
+            sum += b.numeric("amount").unwrap().iter().sum::<f64>();
+            assert_eq!(b.socket(), SocketId(0));
+        });
+        assert_eq!(rows, 100);
+        assert_eq!(blocks, 4); // 32+32+32+4
+        assert_eq!(sum, (0..100).map(|i| i as f64 * 1.5).sum::<f64>());
+    }
+
+    #[test]
+    fn split_source_partitions_rows_between_sockets() {
+        let olap = table_with(80);
+        let oltp = table_with(100);
+        let snap = TableSnapshot::new("lineitem".into(), oltp, 100, 1);
+        let src = ScanSource::split(olap, 80, SocketId(1), &snap, SocketId(0));
+        assert_eq!(src.segments.len(), 2);
+        assert_eq!(src.total_rows(), 100);
+        assert_eq!(src.fresh_rows(), 20);
+        let bytes = src.bytes_per_socket(&["amount"]);
+        assert_eq!(bytes[&SocketId(1)], 80 * 8);
+        assert_eq!(bytes[&SocketId(0)], 20 * 8);
+
+        let mut seen_sockets = Vec::new();
+        let mut rows = 0;
+        src.for_each_block(&["amount", "qty"], &[], 64, |b| {
+            seen_sockets.push(b.socket());
+            rows += b.rows();
+        });
+        assert_eq!(rows, 100);
+        assert!(seen_sockets.contains(&SocketId(0)) && seen_sockets.contains(&SocketId(1)));
+    }
+
+    #[test]
+    fn split_source_with_no_fresh_tail_has_single_segment() {
+        let olap = table_with(50);
+        let oltp = table_with(50);
+        let snap = TableSnapshot::new("lineitem".into(), oltp, 50, 0);
+        let src = ScanSource::split(olap, 50, SocketId(1), &snap, SocketId(0));
+        assert_eq!(src.segments.len(), 1);
+        assert_eq!(src.fresh_rows(), 0);
+        assert_eq!(src.segments[0].origin, SegmentOrigin::OlapInstance);
+    }
+
+    #[test]
+    fn olap_contiguous_source_reports_olap_origin() {
+        let olap = table_with(10);
+        let src = ScanSource::contiguous_olap("lineitem", olap, 10, SocketId(1));
+        assert_eq!(src.fresh_rows(), 0);
+        assert_eq!(src.segments[0].origin, SegmentOrigin::OlapInstance);
+        // i32 column can serve as both numeric and key.
+        let mut key_sum = 0i64;
+        src.for_each_block(&["qty"], &["qty"], 0, |b| {
+            key_sum += b.key("qty").unwrap().iter().sum::<i64>();
+        });
+        assert_eq!(key_sum, (0..10).map(|i| i % 10).sum::<i64>());
+    }
+
+    #[test]
+    fn bytes_per_socket_accounts_column_widths() {
+        let table = table_with(10);
+        let snap = TableSnapshot::new("lineitem".into(), table, 10, 0);
+        let src = ScanSource::contiguous_snapshot(&snap, SocketId(0));
+        let bytes = src.bytes_per_socket(&["id", "qty", "amount"]);
+        assert_eq!(bytes[&SocketId(0)], 10 * (8 + 4 + 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in table")]
+    fn unknown_column_panics() {
+        let table = table_with(5);
+        let snap = TableSnapshot::new("lineitem".into(), table, 5, 0);
+        ScanSource::contiguous_snapshot(&snap, SocketId(0)).for_each_block(&["nope"], &[], 0, |_| {});
+    }
+}

@@ -1,0 +1,134 @@
+//! The OLAP engine's worker manager.
+//!
+//! "The OLAP engine also includes a Worker Manager, which works in a similar
+//! way to the WM of the OLTP engine" (§3.3): it holds the CPUs the RDE engine
+//! has granted and exposes them as an execution placement. Each pipeline
+//! worker is affinitised to one core; the placement (cores per socket) is what
+//! both the routing policies and the cost model consume.
+
+use htap_sim::{CoreId, CpuSet, ExecPlacement, SocketId, Topology};
+use parking_lot::RwLock;
+
+/// Elastic pool of OLAP pipeline workers.
+#[derive(Debug)]
+pub struct OlapWorkerManager {
+    topology: Topology,
+    cores: RwLock<CpuSet>,
+}
+
+impl OlapWorkerManager {
+    /// New manager with no cores assigned.
+    pub fn new(topology: Topology) -> Self {
+        OlapWorkerManager {
+            topology,
+            cores: RwLock::new(CpuSet::new()),
+        }
+    }
+
+    /// Replace the worker pool with one worker per core of `cores`
+    /// (called by the RDE engine during state migration).
+    pub fn set_workers(&self, cores: CpuSet) {
+        *self.cores.write() = cores;
+    }
+
+    /// Add cores to the pool (elastic scale-up).
+    pub fn add_cores(&self, cores: &CpuSet) {
+        let mut current = self.cores.write();
+        *current = current.union(cores);
+    }
+
+    /// Remove cores from the pool (elastic scale-down); returns the cores
+    /// actually removed.
+    pub fn remove_cores(&self, cores: &CpuSet) -> CpuSet {
+        let mut current = self.cores.write();
+        let removed: CpuSet = current.iter().filter(|c| cores.contains(*c)).collect();
+        *current = current.difference(cores);
+        removed
+    }
+
+    /// The cores currently assigned.
+    pub fn cores(&self) -> CpuSet {
+        self.cores.read().clone()
+    }
+
+    /// Number of workers.
+    pub fn worker_count(&self) -> usize {
+        self.cores.read().len()
+    }
+
+    /// Cores on a given socket.
+    pub fn cores_on(&self, socket: SocketId) -> usize {
+        self.cores.read().count_on_socket(&self.topology, socket)
+    }
+
+    /// The execution placement (cores per socket) used by routing and the
+    /// cost model.
+    pub fn placement(&self) -> ExecPlacement {
+        let cores = self.cores.read();
+        let mut placement = ExecPlacement::new();
+        for socket in self.topology.socket_ids() {
+            let n = cores.count_on_socket(&self.topology, socket);
+            if n > 0 {
+                placement = placement.with(socket, n);
+            }
+        }
+        placement
+    }
+
+    /// Worker-to-core assignment, in worker order.
+    pub fn affinity(&self) -> Vec<CoreId> {
+        self.cores.read().iter().collect()
+    }
+
+    /// The machine topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_reflects_assigned_cores() {
+        let topo = Topology::two_socket();
+        let wm = OlapWorkerManager::new(topo.clone());
+        assert_eq!(wm.worker_count(), 0);
+        assert_eq!(wm.placement().total_cores(), 0);
+
+        wm.set_workers(CpuSet::socket(&topo, SocketId(1)));
+        assert_eq!(wm.worker_count(), 14);
+        assert_eq!(wm.cores_on(SocketId(1)), 14);
+        assert_eq!(wm.placement().cores_on(SocketId(1)), 14);
+        assert_eq!(wm.placement().cores_on(SocketId(0)), 0);
+    }
+
+    #[test]
+    fn elastic_add_and_remove() {
+        let topo = Topology::two_socket();
+        let wm = OlapWorkerManager::new(topo.clone());
+        wm.set_workers(CpuSet::socket(&topo, SocketId(1)));
+        let borrowed = CpuSet::from_cores([CoreId(0), CoreId(1), CoreId(2), CoreId(3)]);
+        wm.add_cores(&borrowed);
+        assert_eq!(wm.worker_count(), 18);
+        assert_eq!(wm.placement().cores_on(SocketId(0)), 4);
+
+        let removed = wm.remove_cores(&borrowed);
+        assert_eq!(removed.len(), 4);
+        assert_eq!(wm.worker_count(), 14);
+        assert_eq!(wm.cores_on(SocketId(0)), 0);
+        // Removing cores we do not hold is a no-op.
+        let removed = wm.remove_cores(&CpuSet::from_cores([CoreId(0)]));
+        assert_eq!(removed.len(), 0);
+    }
+
+    #[test]
+    fn affinity_lists_cores_in_order() {
+        let topo = Topology::tiny();
+        let wm = OlapWorkerManager::new(topo.clone());
+        wm.set_workers(CpuSet::from_cores([CoreId(3), CoreId(0)]));
+        assert_eq!(wm.affinity(), vec![CoreId(0), CoreId(3)]);
+        assert_eq!(wm.topology().sockets, 2);
+    }
+}

@@ -1,0 +1,30 @@
+//! In-memory OLTP engine (§3.2 of the paper).
+//!
+//! The engine follows the standard in-memory OLTP design the paper describes:
+//!
+//! * a **Storage Manager** — the twin-instance columnar store, delta/version
+//!   storage and cuckoo index from `htap-storage`, wrapped per relation in a
+//!   [`engine::TableRuntime`];
+//! * a **Transaction Manager** ([`txn`]) implementing multi-version two-phase
+//!   locking (MV2PL) with NO-WAIT deadlock avoidance and snapshot-isolation
+//!   reads over the version chains;
+//! * a **Worker Manager** ([`worker`]) that keeps a pool of worker threads
+//!   (one hardware thread per transaction), exposes an API to set the number
+//!   of active workers and their CPU affinities, and lets the RDE engine scale
+//!   the engine up and down elastically.
+//!
+//! The engine exposes exactly the hooks the RDE engine needs (§3.4): switching
+//! the active instance, synchronising the twin instances, and reporting
+//! fresh-data statistics, all without interrupting transaction execution.
+
+pub mod engine;
+pub mod locks;
+pub mod metrics;
+pub mod txn;
+pub mod worker;
+
+pub use engine::{OltpEngine, TableRuntime};
+pub use locks::{LockKey, LockMode, LockTable};
+pub use metrics::ThroughputCounter;
+pub use txn::{Transaction, TxnError, TxnId, TxnManager, TxnOutcome};
+pub use worker::{WorkerManager, WorkerReport};

@@ -1,0 +1,101 @@
+//! Transactional throughput accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters of committed and aborted transactions.
+///
+/// The counters are purely functional bookkeeping; the *modelled* throughput
+/// reported in the figures comes from `htap_sim::InterferenceModel`, fed with
+/// the worker placement that produced these counts.
+#[derive(Debug, Default)]
+pub struct ThroughputCounter {
+    committed: AtomicU64,
+    aborted: AtomicU64,
+}
+
+impl ThroughputCounter {
+    /// New counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a commit.
+    pub fn record_commit(&self) {
+        self.committed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an abort.
+    pub fn record_abort(&self) {
+        self.aborted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Committed transactions so far.
+    pub fn committed(&self) -> u64 {
+        self.committed.load(Ordering::Relaxed)
+    }
+
+    /// Aborted transactions so far.
+    pub fn aborted(&self) -> u64 {
+        self.aborted.load(Ordering::Relaxed)
+    }
+
+    /// Abort rate in `[0, 1]` (0 when nothing has run yet).
+    pub fn abort_rate(&self) -> f64 {
+        let c = self.committed() as f64;
+        let a = self.aborted() as f64;
+        if c + a == 0.0 {
+            0.0
+        } else {
+            a / (c + a)
+        }
+    }
+
+    /// Reset both counters.
+    pub fn reset(&self) {
+        self.committed.store(0, Ordering::Relaxed);
+        self.aborted.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_abort_rate() {
+        let c = ThroughputCounter::new();
+        assert_eq!(c.abort_rate(), 0.0);
+        for _ in 0..8 {
+            c.record_commit();
+        }
+        for _ in 0..2 {
+            c.record_abort();
+        }
+        assert_eq!(c.committed(), 8);
+        assert_eq!(c.aborted(), 2);
+        assert!((c.abort_rate() - 0.2).abs() < 1e-12);
+        c.reset();
+        assert_eq!(c.committed(), 0);
+        assert_eq!(c.aborted(), 0);
+    }
+
+    #[test]
+    fn concurrent_updates_are_not_lost() {
+        use std::sync::Arc;
+        let c = Arc::new(ThroughputCounter::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.record_commit();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.committed(), 4000);
+    }
+}

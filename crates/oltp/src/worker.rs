@@ -1,0 +1,221 @@
+//! Worker manager: an elastic pool of transaction workers.
+//!
+//! The paper's OLTP engine "uses one hardware thread per transaction. The WM
+//! keeps a worker pool of active threads. We set each thread to first generate
+//! a transaction and then execute it, simulating a full transaction queue. The
+//! WM exposes an API to set the number of active worker threads and their CPU
+//! affinities, thus enabling the OLTP engine to elastically scale up and down
+//! upon request" (§3.2).
+//!
+//! CPU affinities are logical: each worker is associated with a simulated
+//! [`CoreId`] from `htap-sim`, and the resulting placement is what the
+//! interference model uses to compute modelled throughput. Pinning to host
+//! OS cores is deliberately not performed — the evaluation machine is
+//! simulated (see DESIGN.md).
+
+use htap_sim::{CoreId, CpuSet};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Result of a worker-pool run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WorkerReport {
+    /// Transactions committed, per worker.
+    pub committed_per_worker: Vec<u64>,
+    /// Transactions aborted, per worker.
+    pub aborted_per_worker: Vec<u64>,
+}
+
+impl WorkerReport {
+    /// Total committed transactions.
+    pub fn committed(&self) -> u64 {
+        self.committed_per_worker.iter().sum()
+    }
+
+    /// Total aborted transactions.
+    pub fn aborted(&self) -> u64 {
+        self.aborted_per_worker.iter().sum()
+    }
+}
+
+/// The elastic worker pool.
+#[derive(Debug, Default)]
+pub struct WorkerManager {
+    /// Cores currently assigned to the pool, in worker order.
+    affinity: RwLock<Vec<CoreId>>,
+    /// Number of workers that are allowed to run (≤ `affinity.len()`).
+    active_workers: AtomicU64,
+}
+
+impl WorkerManager {
+    /// New manager with no workers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the worker pool to one worker per core of `cores`, all active.
+    /// This is the API the RDE engine calls when migrating states.
+    pub fn set_workers(&self, cores: &CpuSet) {
+        let cores: Vec<CoreId> = cores.iter().collect();
+        self.active_workers.store(cores.len() as u64, Ordering::Release);
+        *self.affinity.write() = cores;
+    }
+
+    /// Restrict the number of active workers without changing affinities
+    /// (scale down); panics if `n` exceeds the pool size.
+    pub fn set_active_workers(&self, n: usize) {
+        let pool = self.affinity.read().len();
+        assert!(n <= pool, "cannot activate {n} workers with a pool of {pool}");
+        self.active_workers.store(n as u64, Ordering::Release);
+    }
+
+    /// Number of active workers.
+    pub fn active_workers(&self) -> usize {
+        self.active_workers.load(Ordering::Acquire) as usize
+    }
+
+    /// The cores assigned to the active workers.
+    pub fn affinity(&self) -> Vec<CoreId> {
+        let all = self.affinity.read();
+        all.iter().take(self.active_workers()).copied().collect()
+    }
+
+    /// Run `txns_per_worker` transactions on every active worker, in
+    /// parallel. The body receives `(worker_id, core, txn_index)` and returns
+    /// whether the transaction committed. Returns per-worker counts.
+    pub fn run<F>(&self, txns_per_worker: u64, body: F) -> WorkerReport
+    where
+        F: Fn(usize, CoreId, u64) -> bool + Sync,
+    {
+        let cores = self.affinity();
+        if cores.is_empty() {
+            return WorkerReport::default();
+        }
+        let mut committed = vec![0u64; cores.len()];
+        let mut aborted = vec![0u64; cores.len()];
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = cores
+                .iter()
+                .enumerate()
+                .map(|(worker_id, &core)| {
+                    let body = &body;
+                    scope.spawn(move || {
+                        let mut c = 0u64;
+                        let mut a = 0u64;
+                        for txn_index in 0..txns_per_worker {
+                            if body(worker_id, core, txn_index) {
+                                c += 1;
+                            } else {
+                                a += 1;
+                            }
+                        }
+                        (c, a)
+                    })
+                })
+                .collect();
+            for (i, h) in handles.into_iter().enumerate() {
+                let (c, a) = h.join().expect("worker panicked");
+                committed[i] = c;
+                aborted[i] = a;
+            }
+        });
+        WorkerReport {
+            committed_per_worker: committed,
+            aborted_per_worker: aborted,
+        }
+    }
+
+    /// Run the workers sequentially on the calling thread (deterministic mode
+    /// used by benchmarks on single-core hosts). Semantics match [`Self::run`].
+    pub fn run_sequential<F>(&self, txns_per_worker: u64, mut body: F) -> WorkerReport
+    where
+        F: FnMut(usize, CoreId, u64) -> bool,
+    {
+        let cores = self.affinity();
+        let mut committed = vec![0u64; cores.len()];
+        let mut aborted = vec![0u64; cores.len()];
+        for (worker_id, &core) in cores.iter().enumerate() {
+            for txn_index in 0..txns_per_worker {
+                if body(worker_id, core, txn_index) {
+                    committed[worker_id] += 1;
+                } else {
+                    aborted[worker_id] += 1;
+                }
+            }
+        }
+        WorkerReport {
+            committed_per_worker: committed,
+            aborted_per_worker: aborted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htap_sim::{SocketId, Topology};
+
+    fn cores(n: u16) -> CpuSet {
+        CpuSet::from_cores((0..n).map(CoreId))
+    }
+
+    #[test]
+    fn set_workers_and_scale_down() {
+        let wm = WorkerManager::new();
+        assert_eq!(wm.active_workers(), 0);
+        wm.set_workers(&cores(8));
+        assert_eq!(wm.active_workers(), 8);
+        assert_eq!(wm.affinity().len(), 8);
+        wm.set_active_workers(3);
+        assert_eq!(wm.active_workers(), 3);
+        assert_eq!(wm.affinity(), vec![CoreId(0), CoreId(1), CoreId(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot activate")]
+    fn scaling_beyond_pool_panics() {
+        let wm = WorkerManager::new();
+        wm.set_workers(&cores(2));
+        wm.set_active_workers(5);
+    }
+
+    #[test]
+    fn parallel_run_counts_commits_and_aborts() {
+        let wm = WorkerManager::new();
+        wm.set_workers(&cores(4));
+        // Every third transaction "aborts".
+        let report = wm.run(30, |_, _, i| i % 3 != 0);
+        assert_eq!(report.committed_per_worker.len(), 4);
+        assert_eq!(report.committed(), 4 * 20);
+        assert_eq!(report.aborted(), 4 * 10);
+    }
+
+    #[test]
+    fn sequential_run_matches_parallel_semantics() {
+        let wm = WorkerManager::new();
+        wm.set_workers(&cores(3));
+        let report = wm.run_sequential(10, |_, _, i| i % 2 == 0);
+        assert_eq!(report.committed(), 15);
+        assert_eq!(report.aborted(), 15);
+    }
+
+    #[test]
+    fn workers_receive_their_assigned_core() {
+        let topology = Topology::two_socket();
+        let wm = WorkerManager::new();
+        wm.set_workers(&CpuSet::socket(&topology, SocketId(1)));
+        let report = wm.run(1, |worker_id, core, _| {
+            // Workers are enumerated over socket-1 cores in ascending order.
+            core == CoreId(14 + worker_id as u16)
+        });
+        assert_eq!(report.committed(), 14, "every worker must see its own core");
+    }
+
+    #[test]
+    fn empty_pool_runs_nothing() {
+        let wm = WorkerManager::new();
+        let report = wm.run(100, |_, _, _| true);
+        assert_eq!(report.committed(), 0);
+        assert_eq!(report.aborted(), 0);
+    }
+}

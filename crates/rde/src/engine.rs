@@ -1,0 +1,549 @@
+//! The RDE engine proper: owner of memory and CPU resources, driver of
+//! instance switches, twin synchronisation and ETL, and provider of data
+//! access paths to the OLAP engine.
+
+use crate::state::SystemState;
+use htap_olap::{OlapEngine, ScanSource};
+use htap_oltp::OltpEngine;
+use htap_sim::clock::Activity;
+use htap_sim::{
+    CostModel, EngineId, ExecPlacement, InterferenceModel, OlapTraffic, RegionKind, ResourcePool,
+    Seconds, SimClock, SocketId, Stream, Topology, TransferWork, TxnWork,
+};
+use htap_sim::region::RegionDirectory;
+use htap_storage::TableSchema;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// How the OLAP engine accesses the data of a query (§3.3's two access methods
+/// plus the OLAP-local case after an ETL).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessMethod {
+    /// Read everything from the (inactive) OLTP instance — contiguous access
+    /// to the OLTP socket (states S1 and S3-IS "full remote").
+    OltpSnapshot,
+    /// Read everything from the OLAP engine's own instance (state S2, after ETL).
+    OlapLocal,
+    /// Split access: OLAP-local rows plus the freshly inserted tail from the
+    /// OLTP snapshot (states S3-IS and S3-NI).
+    Split,
+}
+
+/// Configuration of the RDE engine.
+#[derive(Debug, Clone)]
+pub struct RdeConfig {
+    /// The simulated machine.
+    pub topology: Topology,
+    /// Socket holding the OLTP instances, index and delta storage.
+    pub oltp_socket: SocketId,
+    /// Socket holding the OLAP instance.
+    pub olap_socket: SocketId,
+    /// Administrator-set minimum OLTP cores per socket it occupies
+    /// (`OLTPCpuThres` of Algorithm 1).
+    pub oltp_min_cores_per_socket: usize,
+    /// Administrator-set minimum number of OLTP sockets (`OLTPSockThres`).
+    pub oltp_min_sockets: usize,
+    /// Number of OLTP-socket cores the OLAP engine may borrow in the
+    /// non-isolated hybrid state (set by the DBA; the paper's sensitivity
+    /// analysis picks 4, §5.2/§5.3).
+    pub elastic_cores: usize,
+    /// Throughput of a single OLTP worker with local data and no interference.
+    pub base_tps_per_worker: f64,
+}
+
+impl Default for RdeConfig {
+    fn default() -> Self {
+        let topology = Topology::two_socket();
+        RdeConfig {
+            oltp_socket: SocketId(0),
+            olap_socket: SocketId(1),
+            oltp_min_cores_per_socket: 4,
+            oltp_min_sockets: 1,
+            elastic_cores: 4,
+            base_tps_per_worker: 85_000.0,
+            topology,
+        }
+    }
+}
+
+/// Outcome of an instance switch + twin synchronisation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SwitchReport {
+    /// Rows visible in the new snapshot, across relations.
+    pub snapshot_rows: u64,
+    /// Records that had to be synchronised into the new active instance.
+    pub synced_records: u64,
+    /// Records skipped because the active instance had already overwritten them.
+    pub skipped_records: u64,
+    /// Fresh rows (vs. the OLAP instance) after the switch.
+    pub fresh_rows_vs_olap: u64,
+    /// Modelled time of the switch + synchronisation.
+    pub modeled_time: Seconds,
+}
+
+/// Outcome of an ETL into the OLAP instance.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EtlReport {
+    /// Rows copied into the OLAP instance.
+    pub copied_rows: u64,
+    /// Bytes copied.
+    pub copied_bytes: u64,
+    /// Modelled transfer time (charged to the query, §3.4).
+    pub modeled_time: Seconds,
+}
+
+/// The Resource and Data Exchange engine.
+#[derive(Debug)]
+pub struct RdeEngine {
+    config: RdeConfig,
+    oltp: Arc<OltpEngine>,
+    olap: Arc<OlapEngine>,
+    pool: Mutex<ResourcePool>,
+    regions: Mutex<RegionDirectory>,
+    cost: CostModel,
+    interference: InterferenceModel,
+    clock: SimClock,
+    state: Mutex<Option<SystemState>>,
+}
+
+impl RdeEngine {
+    /// Bootstrap the HTAP system: create both engines, give each one socket
+    /// (the paper's bootstrap corresponds to the full-isolation state S2) and
+    /// pre-register the memory regions.
+    pub fn bootstrap(config: RdeConfig) -> Self {
+        config.topology.validate().expect("invalid topology");
+        let oltp = Arc::new(OltpEngine::new());
+        let olap = Arc::new(OlapEngine::new(config.topology.clone(), config.olap_socket));
+        let mut pool = ResourcePool::bootstrap(config.topology.clone());
+        pool.oltp_min_cores_per_socket = config.oltp_min_cores_per_socket;
+        pool.oltp_min_sockets = config.oltp_min_sockets;
+
+        let mut regions = RegionDirectory::new();
+        regions.register(config.oltp_socket, RegionKind::OltpInstance(0), 0);
+        regions.register(config.oltp_socket, RegionKind::OltpInstance(1), 0);
+        regions.register(config.oltp_socket, RegionKind::OltpDelta, 0);
+        regions.register(config.oltp_socket, RegionKind::OltpIndex, 0);
+        regions.register(config.olap_socket, RegionKind::OlapInstance, 0);
+        regions.register(config.olap_socket, RegionKind::OlapScratch, 0);
+
+        let engine = RdeEngine {
+            cost: CostModel::new(config.topology.clone()),
+            interference: InterferenceModel::new(config.topology.clone()),
+            clock: SimClock::new(),
+            oltp,
+            olap,
+            pool: Mutex::new(pool),
+            regions: Mutex::new(regions),
+            state: Mutex::new(None),
+            config,
+        };
+        engine.apply_pool_to_engines();
+        engine
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &RdeConfig {
+        &self.config
+    }
+
+    /// The transactional engine.
+    pub fn oltp(&self) -> &Arc<OltpEngine> {
+        &self.oltp
+    }
+
+    /// The analytical engine.
+    pub fn olap(&self) -> &Arc<OlapEngine> {
+        &self.olap
+    }
+
+    /// The shared simulated clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The cost model used for modelled times.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The interference model used for modelled OLTP throughput.
+    pub fn interference_model(&self) -> &InterferenceModel {
+        &self.interference
+    }
+
+    /// The state the system was last migrated to, if any.
+    pub fn current_state(&self) -> Option<SystemState> {
+        *self.state.lock()
+    }
+
+    pub(crate) fn set_current_state(&self, state: SystemState) {
+        *self.state.lock() = Some(state);
+    }
+
+    /// Run `f` with exclusive access to the resource pool.
+    pub fn with_pool<R>(&self, f: impl FnOnce(&mut ResourcePool) -> R) -> R {
+        f(&mut self.pool.lock())
+    }
+
+    /// A human-readable description of the current CPU distribution.
+    pub fn describe_resources(&self) -> String {
+        self.pool.lock().describe()
+    }
+
+    /// Create a relation in both engines (OLTP twin instances + OLAP instance)
+    /// and account its memory regions.
+    pub fn create_table(&self, schema: TableSchema) -> Result<(), String> {
+        self.oltp.create_table(schema.clone())?;
+        self.olap.store().create_table(schema)?;
+        Ok(())
+    }
+
+    /// Push the current pool assignment into both engines' worker managers.
+    pub fn apply_pool_to_engines(&self) {
+        let pool = self.pool.lock();
+        self.oltp
+            .worker_manager()
+            .set_workers(&pool.cores_of(EngineId::Oltp));
+        self.olap.set_workers(pool.cores_of(EngineId::Olap));
+    }
+
+    /// OLTP worker placement as a cost-model descriptor.
+    pub fn txn_work(&self) -> TxnWork {
+        let pool = self.pool.lock();
+        let cores = pool.cores_of(EngineId::Oltp);
+        let mut workers_on = BTreeMap::new();
+        for socket in self.config.topology.socket_ids() {
+            let n = cores.count_on_socket(&self.config.topology, socket);
+            if n > 0 {
+                workers_on.insert(socket, n);
+            }
+        }
+        TxnWork {
+            workers_on,
+            data_socket: self.config.oltp_socket,
+            base_tps_per_worker: self.config.base_tps_per_worker,
+        }
+    }
+
+    /// OLAP compute placement (cores per socket).
+    pub fn olap_placement(&self) -> ExecPlacement {
+        self.olap.workers().placement()
+    }
+
+    /// Modelled OLTP throughput given the OLAP traffic currently active.
+    pub fn modeled_oltp_throughput(&self, olap_traffic: &OlapTraffic) -> f64 {
+        self.interference.oltp_throughput(&self.txn_work(), olap_traffic)
+    }
+
+    /// Modelled OLTP throughput with an idle OLAP engine.
+    pub fn modeled_oltp_throughput_idle(&self) -> f64 {
+        self.modeled_oltp_throughput(&OlapTraffic::idle())
+    }
+
+    /// The OLAP traffic descriptor for a query that scans `bytes_per_socket`
+    /// with the current OLAP placement (used to model interference on OLTP).
+    pub fn olap_traffic_for(&self, bytes_per_socket: &BTreeMap<SocketId, u64>) -> OlapTraffic {
+        let placement = self.olap_placement();
+        let mut streams = Vec::new();
+        for (&source, &bytes) in bytes_per_socket {
+            if bytes == 0 {
+                continue;
+            }
+            for (&consumer, &cores) in &placement.cores_on {
+                if cores > 0 {
+                    streams.push(Stream::sequential(source, consumer, cores));
+                }
+            }
+        }
+        OlapTraffic::new(streams, placement.cores_on.clone())
+    }
+
+    /// Instruct the OLTP engine to switch its active instance and synchronise
+    /// the twins (consuming the update-indication bits). The modelled time is
+    /// charged to the [`Activity::InstanceSync`] counter.
+    pub fn switch_and_sync(&self) -> SwitchReport {
+        let outcomes = self.oltp.switch_instance();
+        let sync = self.oltp.sync_instances();
+
+        let snapshot_rows: u64 = outcomes.values().map(|o| o.snapshot_rows).sum();
+        let synced_records: u64 = sync.values().map(|s| s.copied_records).sum();
+        let skipped_records: u64 = sync.values().map(|s| s.skipped_records).sum();
+        let copied_bytes: u64 = sync.values().map(|s| s.copied_bytes).sum();
+        let bytes_per_record = if synced_records == 0 {
+            64
+        } else {
+            (copied_bytes / synced_records).max(1)
+        };
+        // The RDE engine synchronises with a couple of helper threads; the
+        // paper reports ~10 ms for ~1 M modified tuples.
+        let modeled_time = self.cost.sync_time(synced_records, bytes_per_record, 2);
+        self.clock.advance(Activity::InstanceSync, modeled_time);
+
+        // Keep the region directory in step with the instance sizes.
+        {
+            let mut regions = self.regions.lock();
+            let bytes = self.oltp.instance_bytes();
+            let ids: Vec<_> = regions
+                .iter()
+                .filter(|r| matches!(r.kind, RegionKind::OltpInstance(_)))
+                .map(|r| r.id)
+                .collect();
+            for id in ids {
+                regions.resize(id, bytes);
+            }
+        }
+
+        SwitchReport {
+            snapshot_rows,
+            synced_records,
+            skipped_records,
+            fresh_rows_vs_olap: self.oltp.fresh_rows_vs_olap(),
+            modeled_time,
+        }
+    }
+
+    /// Transfer the fresh delta (inserted + updated records since the last
+    /// ETL) from the OLTP snapshot into the OLAP instance. The modelled time
+    /// is charged to [`Activity::DataTransfer`] and, per §3.4, is paid by the
+    /// query that triggered it.
+    pub fn etl_to_olap(&self) -> EtlReport {
+        let mut copied_rows = 0u64;
+        let mut copied_bytes = 0u64;
+        for twin in self.oltp.store().tables() {
+            let snapshot = twin.snapshot();
+            let (updated, inserted) = twin.olap_delta();
+            let rows = updated.len() as u64 + (inserted.end - inserted.start);
+            if rows == 0 {
+                continue;
+            }
+            let applied = self.olap.store().apply_delta(&snapshot, &updated, inserted);
+            twin.mark_olap_synced();
+            copied_rows += applied;
+            copied_bytes += applied * twin.schema().row_width_bytes();
+        }
+        let cores = self
+            .olap_placement()
+            .cores_on(self.config.olap_socket)
+            .max(1);
+        let modeled_time = if copied_bytes == 0 {
+            0.0
+        } else {
+            self.cost.transfer_time(&TransferWork {
+                bytes: copied_bytes,
+                from: self.config.oltp_socket,
+                to: self.config.olap_socket,
+                cores,
+            })
+        };
+        self.clock.advance(Activity::DataTransfer, modeled_time);
+
+        // Track the OLAP instance growth.
+        {
+            let mut regions = self.regions.lock();
+            let ids: Vec<_> = regions
+                .iter()
+                .filter(|r| r.kind == RegionKind::OlapInstance)
+                .map(|r| r.id)
+                .collect();
+            for id in ids {
+                regions.resize(id, self.olap.store().bytes());
+            }
+        }
+
+        EtlReport {
+            copied_rows,
+            copied_bytes,
+            modeled_time,
+        }
+    }
+
+    /// Build the per-relation access paths for a query over `tables`, using
+    /// the given access method.
+    pub fn sources_for(&self, tables: &[&str], method: AccessMethod) -> BTreeMap<String, ScanSource> {
+        let mut out = BTreeMap::new();
+        for &name in tables {
+            let source = match method {
+                AccessMethod::OltpSnapshot => {
+                    let twin = self
+                        .oltp
+                        .store()
+                        .table(name)
+                        .unwrap_or_else(|| panic!("relation {name} not registered with OLTP"));
+                    ScanSource::contiguous_snapshot(&twin.snapshot(), self.config.oltp_socket)
+                }
+                AccessMethod::OlapLocal => self
+                    .olap
+                    .store()
+                    .local_source(name)
+                    .unwrap_or_else(|| panic!("relation {name} not registered with OLAP")),
+                AccessMethod::Split => {
+                    let twin = self
+                        .oltp
+                        .store()
+                        .table(name)
+                        .unwrap_or_else(|| panic!("relation {name} not registered with OLTP"));
+                    let olap_table = self
+                        .olap
+                        .store()
+                        .table(name)
+                        .unwrap_or_else(|| panic!("relation {name} not registered with OLAP"));
+                    ScanSource::split(
+                        Arc::clone(olap_table.table()),
+                        olap_table.rows(),
+                        self.config.olap_socket,
+                        &twin.snapshot(),
+                        self.config.oltp_socket,
+                    )
+                }
+            };
+            out.insert(name.to_string(), source);
+        }
+        out
+    }
+
+    /// Total memory registered per socket (for capacity checks and reports).
+    pub fn memory_per_socket(&self) -> BTreeMap<SocketId, u64> {
+        let regions = self.regions.lock();
+        self.config
+            .topology
+            .socket_ids()
+            .into_iter()
+            .map(|s| (s, regions.bytes_on_socket(s)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htap_storage::{ColumnDef, DataType, Value};
+
+    fn schema(name: &str) -> TableSchema {
+        TableSchema::new(
+            name,
+            vec![
+                ColumnDef::new("id", DataType::I64),
+                ColumnDef::new("amount", DataType::F64),
+            ],
+            Some(0),
+        )
+    }
+
+    fn engine_with_data(rows: u64) -> RdeEngine {
+        let rde = RdeEngine::bootstrap(RdeConfig::default());
+        rde.create_table(schema("sales")).unwrap();
+        for i in 0..rows {
+            rde.oltp()
+                .bulk_load("sales", i, vec![Value::I64(i as i64), Value::F64(i as f64)])
+                .unwrap();
+        }
+        rde
+    }
+
+    #[test]
+    fn bootstrap_assigns_one_socket_per_engine() {
+        let rde = RdeEngine::bootstrap(RdeConfig::default());
+        let txn = rde.txn_work();
+        assert_eq!(txn.total_workers(), 14);
+        assert_eq!(txn.data_socket, SocketId(0));
+        let placement = rde.olap_placement();
+        assert_eq!(placement.total_cores(), 14);
+        assert_eq!(placement.cores_on(SocketId(1)), 14);
+        assert!(rde.current_state().is_none());
+        assert!(rde.describe_resources().contains("OLTP: 14"));
+        // Regions registered for both sockets.
+        assert_eq!(rde.memory_per_socket().len(), 2);
+    }
+
+    #[test]
+    fn switch_and_sync_reports_fresh_rows_and_charges_time() {
+        let rde = engine_with_data(100);
+        // Update a few records transactionally.
+        for key in 0..5u64 {
+            rde.oltp().execute(|mut t| {
+                t.update("sales", key, 1, Value::F64(1000.0)).unwrap();
+                t.commit().unwrap();
+            });
+        }
+        let report = rde.switch_and_sync();
+        assert_eq!(report.snapshot_rows, 100);
+        assert_eq!(report.synced_records, 5);
+        assert_eq!(report.fresh_rows_vs_olap, 100, "nothing propagated to OLAP yet");
+        assert!(report.modeled_time > 0.0);
+        assert!(rde.clock().elapsed(Activity::InstanceSync) > 0.0);
+    }
+
+    #[test]
+    fn etl_fills_olap_instance_and_is_idempotent() {
+        let rde = engine_with_data(50);
+        rde.switch_and_sync();
+        let etl = rde.etl_to_olap();
+        assert_eq!(etl.copied_rows, 50);
+        assert_eq!(etl.copied_bytes, 50 * 16);
+        assert!(etl.modeled_time > 0.0);
+        assert_eq!(rde.olap().store().table("sales").unwrap().rows(), 50);
+        assert_eq!(rde.oltp().fresh_rows_vs_olap(), 0);
+        // Nothing new: second ETL copies nothing and costs nothing.
+        let second = rde.etl_to_olap();
+        assert_eq!(second.copied_rows, 0);
+        assert_eq!(second.modeled_time, 0.0);
+    }
+
+    #[test]
+    fn sources_reflect_access_methods() {
+        let rde = engine_with_data(40);
+        rde.switch_and_sync();
+        rde.etl_to_olap();
+        // Add fresh rows after the ETL.
+        for i in 40..60u64 {
+            rde.oltp()
+                .bulk_load("sales", i, vec![Value::I64(i as i64), Value::F64(0.0)])
+                .unwrap();
+        }
+        rde.switch_and_sync();
+
+        let remote = rde.sources_for(&["sales"], AccessMethod::OltpSnapshot);
+        assert_eq!(remote["sales"].total_rows(), 60);
+        assert_eq!(remote["sales"].fresh_rows(), 60);
+
+        let local = rde.sources_for(&["sales"], AccessMethod::OlapLocal);
+        assert_eq!(local["sales"].total_rows(), 40);
+        assert_eq!(local["sales"].fresh_rows(), 0);
+
+        let split = rde.sources_for(&["sales"], AccessMethod::Split);
+        assert_eq!(split["sales"].total_rows(), 60);
+        assert_eq!(split["sales"].fresh_rows(), 20);
+        let bytes = split["sales"].bytes_per_socket(&["amount"]);
+        assert_eq!(bytes[&SocketId(1)], 40 * 8);
+        assert_eq!(bytes[&SocketId(0)], 20 * 8);
+    }
+
+    #[test]
+    fn modeled_oltp_throughput_reacts_to_olap_traffic() {
+        let rde = engine_with_data(10);
+        let idle = rde.modeled_oltp_throughput_idle();
+        assert!(idle > 1.0e6, "14 workers at 85k tps each");
+        let mut bytes = BTreeMap::new();
+        bytes.insert(SocketId(0), 10_000_000_000u64);
+        let traffic = rde.olap_traffic_for(&bytes);
+        let busy = rde.modeled_oltp_throughput(&traffic);
+        assert!(busy < idle);
+    }
+
+    #[test]
+    fn create_table_registers_in_both_engines() {
+        let rde = RdeEngine::bootstrap(RdeConfig::default());
+        rde.create_table(schema("t1")).unwrap();
+        assert!(rde.oltp().table("t1").is_some());
+        assert!(rde.olap().store().table("t1").is_some());
+        assert!(rde.create_table(schema("t1")).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn sources_for_unknown_relation_panic() {
+        let rde = RdeEngine::bootstrap(RdeConfig::default());
+        rde.sources_for(&["ghost"], AccessMethod::OltpSnapshot);
+    }
+}

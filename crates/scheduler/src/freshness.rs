@@ -1,0 +1,226 @@
+//! The freshness-rate metric (§2.1) and its per-query specialisation (§4.2).
+//!
+//! Following the paper, freshness is measured as the rate of tuples that are
+//! identical between the OLAP engine's private storage and the current OLTP
+//! snapshot. Algorithm 2 needs two absolute quantities besides the rate:
+//!
+//! * `Nfq` — the amount of fresh data the query would have to fetch from the
+//!   OLTP instance to reach freshness-rate 1 (computed only over the columns
+//!   the query accesses);
+//! * `Nft` — the amount of fresh data in the whole database (what a full ETL
+//!   would have to move).
+
+use htap_olap::QueryPlan;
+use htap_rde::RdeEngine;
+
+/// Freshness of one relation with respect to the OLAP instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FreshnessReport {
+    /// Relation name.
+    pub table: String,
+    /// Rows visible in the current OLTP snapshot.
+    pub snapshot_rows: u64,
+    /// Rows of the relation that are fresh (not yet propagated to OLAP).
+    pub fresh_rows: u64,
+    /// Fresh bytes over all columns of the relation.
+    pub fresh_bytes: u64,
+}
+
+impl FreshnessReport {
+    /// The freshness-rate metric of the relation: identical tuples over total
+    /// tuples (1.0 when the OLAP instance is fully up to date).
+    pub fn freshness_rate(&self) -> f64 {
+        if self.snapshot_rows == 0 {
+            1.0
+        } else {
+            1.0 - self.fresh_rows as f64 / self.snapshot_rows as f64
+        }
+    }
+}
+
+/// The per-query freshness quantities Algorithm 2 consumes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueryFreshness {
+    /// Fresh bytes the query needs from the OLTP instance (`Nfq` in bytes),
+    /// restricted to the columns the query accesses.
+    pub query_fresh_bytes: u64,
+    /// Fresh bytes in the whole database (`Nft` in bytes), over all columns.
+    pub total_fresh_bytes: u64,
+    /// Fresh tuples in the relations the query accesses (`Nfq` in tuples).
+    pub query_fresh_rows: u64,
+    /// Fresh tuples in the whole database (`Nft` in tuples).
+    pub total_fresh_rows: u64,
+    /// Total tuples the query touches.
+    pub query_total_rows: u64,
+    /// Per-relation breakdown.
+    pub per_table: Vec<FreshnessReport>,
+}
+
+impl QueryFreshness {
+    /// Freshness-rate over the relations the query accesses.
+    pub fn freshness_rate(&self) -> f64 {
+        if self.query_total_rows == 0 {
+            1.0
+        } else {
+            1.0 - self.query_fresh_rows as f64 / self.query_total_rows as f64
+        }
+    }
+
+    /// `Nfq / Nft` in bytes — used for cost estimates and reporting.
+    pub fn query_share_of_fresh(&self) -> f64 {
+        if self.total_fresh_bytes == 0 {
+            0.0
+        } else {
+            self.query_fresh_bytes as f64 / self.total_fresh_bytes as f64
+        }
+    }
+
+    /// `Nfq / Nft` in tuples — the fraction Algorithm 2 compares against α
+    /// (the paper measures fresh data in tuples, §2.1).
+    pub fn row_share_of_fresh(&self) -> f64 {
+        if self.total_fresh_rows == 0 {
+            0.0
+        } else {
+            self.query_fresh_rows as f64 / self.total_fresh_rows as f64
+        }
+    }
+}
+
+/// Measure the freshness quantities for `plan` against the current state of
+/// the engines (OLTP snapshot vs. OLAP instance).
+pub fn measure(rde: &RdeEngine, plan: &QueryPlan) -> QueryFreshness {
+    let accessed = plan.accessed_columns();
+    let mut out = QueryFreshness::default();
+
+    // Nft: fresh tuples/bytes across the whole database (all relations, all columns).
+    for twin in rde.oltp().store().tables() {
+        let fresh_rows = twin.fresh_rows_vs_olap();
+        out.total_fresh_rows += fresh_rows;
+        out.total_fresh_bytes += fresh_rows * twin.schema().row_width_bytes();
+    }
+
+    // Nfq: fresh bytes over the columns the query accesses.
+    for (table, columns) in &accessed {
+        let Some(twin) = rde.oltp().store().table(table) else {
+            continue;
+        };
+        let schema = twin.schema();
+        let width: u64 = columns
+            .iter()
+            .filter_map(|c| schema.column_index(c))
+            .map(|i| schema.column(i).dtype.width_bytes())
+            .sum();
+        let fresh_rows = twin.fresh_rows_vs_olap();
+        let snapshot_rows = twin.snapshot().rows();
+        out.query_fresh_bytes += fresh_rows * width;
+        out.query_fresh_rows += fresh_rows;
+        out.query_total_rows += snapshot_rows;
+        out.per_table.push(FreshnessReport {
+            table: table.clone(),
+            snapshot_rows,
+            fresh_rows,
+            fresh_bytes: fresh_rows * schema.row_width_bytes(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htap_olap::{AggExpr, ScalarExpr};
+    use htap_rde::RdeConfig;
+    use htap_storage::{ColumnDef, DataType, TableSchema, Value};
+
+    fn plan() -> QueryPlan {
+        QueryPlan::Aggregate {
+            table: "sales".into(),
+            filters: vec![],
+            aggregates: vec![AggExpr::Sum(ScalarExpr::col("amount"))],
+        }
+    }
+
+    fn rde_with_rows(rows: u64) -> RdeEngine {
+        let rde = RdeEngine::bootstrap(RdeConfig::default());
+        for name in ["sales", "other"] {
+            rde.create_table(TableSchema::new(
+                name,
+                vec![
+                    ColumnDef::new("id", DataType::I64),
+                    ColumnDef::new("amount", DataType::F64),
+                ],
+                Some(0),
+            ))
+            .unwrap();
+        }
+        for i in 0..rows {
+            rde.oltp()
+                .bulk_load("sales", i, vec![Value::I64(i as i64), Value::F64(1.0)])
+                .unwrap();
+            rde.oltp()
+                .bulk_load("other", i, vec![Value::I64(i as i64), Value::F64(1.0)])
+                .unwrap();
+        }
+        rde
+    }
+
+    #[test]
+    fn everything_fresh_before_first_etl() {
+        let rde = rde_with_rows(100);
+        rde.switch_and_sync();
+        let f = measure(&rde, &plan());
+        assert_eq!(f.query_fresh_rows, 100);
+        assert_eq!(f.query_total_rows, 100);
+        assert_eq!(f.freshness_rate(), 0.0);
+        // Nfq counts only the accessed column (amount, 8 bytes/row); Nft counts
+        // both relations over all columns (16 bytes/row each).
+        assert_eq!(f.query_fresh_bytes, 100 * 8);
+        assert_eq!(f.total_fresh_bytes, 2 * 100 * 16);
+        assert!(f.query_share_of_fresh() < 0.5);
+    }
+
+    #[test]
+    fn nothing_fresh_after_etl() {
+        let rde = rde_with_rows(50);
+        rde.switch_and_sync();
+        rde.etl_to_olap();
+        let f = measure(&rde, &plan());
+        assert_eq!(f.query_fresh_rows, 0);
+        assert_eq!(f.freshness_rate(), 1.0);
+        assert_eq!(f.query_share_of_fresh(), 0.0);
+        assert_eq!(f.total_fresh_bytes, 0);
+    }
+
+    #[test]
+    fn fresh_share_tracks_new_inserts() {
+        let rde = rde_with_rows(80);
+        rde.switch_and_sync();
+        rde.etl_to_olap();
+        // 20 new rows into the queried relation only.
+        for i in 80..100u64 {
+            rde.oltp()
+                .bulk_load("sales", i, vec![Value::I64(i as i64), Value::F64(1.0)])
+                .unwrap();
+        }
+        rde.switch_and_sync();
+        let f = measure(&rde, &plan());
+        assert_eq!(f.query_fresh_rows, 20);
+        assert_eq!(f.query_total_rows, 100);
+        assert!((f.freshness_rate() - 0.8).abs() < 1e-9);
+        // The query accesses the only relation with fresh data, so Nfq/Nft is
+        // the column-width fraction (8 of 16 bytes).
+        assert!((f.query_share_of_fresh() - 0.5).abs() < 1e-9);
+        assert_eq!(f.per_table.len(), 1);
+        assert!((f.per_table[0].freshness_rate() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_database_is_fully_fresh() {
+        let rde = rde_with_rows(0);
+        rde.switch_and_sync();
+        let f = measure(&rde, &plan());
+        assert_eq!(f.freshness_rate(), 1.0);
+        assert_eq!(f.query_share_of_fresh(), 0.0);
+        assert_eq!(f.per_table[0].freshness_rate(), 1.0);
+    }
+}

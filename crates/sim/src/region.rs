@@ -1,0 +1,189 @@
+//! Memory regions: the unit at which the RDE engine grants memory to engines.
+//!
+//! A region models a pre-faulted, socket-local allocation (the paper uses 2 MB
+//! huge pages and pre-faults them at bootstrap). Regions carry no data — the
+//! actual tuples live in the columnar storage crate — they only record *where*
+//! data of a given kind resides, which is what the placement and cost models
+//! need.
+
+use crate::topology::SocketId;
+
+/// Identifier of a memory region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(pub u32);
+
+/// What a memory region is used for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionKind {
+    /// One of the two OLTP columnar instances.
+    OltpInstance(u8),
+    /// The OLTP delta / version storage.
+    OltpDelta,
+    /// The OLTP index.
+    OltpIndex,
+    /// The OLAP columnar instance.
+    OlapInstance,
+    /// OLAP query scratch space (hash tables, buffers).
+    OlapScratch,
+}
+
+impl std::fmt::Display for RegionKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegionKind::OltpInstance(i) => write!(f, "oltp-instance-{i}"),
+            RegionKind::OltpDelta => write!(f, "oltp-delta"),
+            RegionKind::OltpIndex => write!(f, "oltp-index"),
+            RegionKind::OlapInstance => write!(f, "olap-instance"),
+            RegionKind::OlapScratch => write!(f, "olap-scratch"),
+        }
+    }
+}
+
+/// A socket-resident memory region granted by the RDE engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryRegion {
+    /// Region identifier, unique within a [`RegionDirectory`].
+    pub id: RegionId,
+    /// Socket whose DRAM backs the region.
+    pub socket: SocketId,
+    /// Region purpose.
+    pub kind: RegionKind,
+    /// Size in bytes.
+    pub bytes: u64,
+}
+
+/// Directory of all regions handed out by the RDE engine, with per-socket
+/// capacity accounting.
+#[derive(Debug, Clone, Default)]
+pub struct RegionDirectory {
+    regions: Vec<MemoryRegion>,
+    next_id: u32,
+}
+
+impl RegionDirectory {
+    /// Empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a new region and return its id.
+    pub fn register(&mut self, socket: SocketId, kind: RegionKind, bytes: u64) -> RegionId {
+        let id = RegionId(self.next_id);
+        self.next_id += 1;
+        self.regions.push(MemoryRegion {
+            id,
+            socket,
+            kind,
+            bytes,
+        });
+        id
+    }
+
+    /// Look up a region.
+    pub fn get(&self, id: RegionId) -> Option<&MemoryRegion> {
+        self.regions.iter().find(|r| r.id == id)
+    }
+
+    /// Resize a region (e.g. when an instance grows from inserts).
+    pub fn resize(&mut self, id: RegionId, bytes: u64) -> bool {
+        if let Some(r) = self.regions.iter_mut().find(|r| r.id == id) {
+            r.bytes = bytes;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Move a region to another socket (ownership change during state migration).
+    pub fn relocate(&mut self, id: RegionId, socket: SocketId) -> bool {
+        if let Some(r) = self.regions.iter_mut().find(|r| r.id == id) {
+            r.socket = socket;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Total bytes registered on a socket.
+    pub fn bytes_on_socket(&self, socket: SocketId) -> u64 {
+        self.regions
+            .iter()
+            .filter(|r| r.socket == socket)
+            .map(|r| r.bytes)
+            .sum()
+    }
+
+    /// All regions of a given kind.
+    pub fn of_kind(&self, kind: RegionKind) -> Vec<&MemoryRegion> {
+        self.regions.iter().filter(|r| r.kind == kind).collect()
+    }
+
+    /// Iterate over all regions.
+    pub fn iter(&self) -> impl Iterator<Item = &MemoryRegion> {
+        self.regions.iter()
+    }
+
+    /// Number of registered regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Whether the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut dir = RegionDirectory::new();
+        let id = dir.register(SocketId(0), RegionKind::OltpInstance(0), 1024);
+        let r = dir.get(id).unwrap();
+        assert_eq!(r.socket, SocketId(0));
+        assert_eq!(r.bytes, 1024);
+        assert_eq!(dir.len(), 1);
+    }
+
+    #[test]
+    fn per_socket_accounting_sums_regions() {
+        let mut dir = RegionDirectory::new();
+        dir.register(SocketId(0), RegionKind::OltpInstance(0), 100);
+        dir.register(SocketId(0), RegionKind::OltpInstance(1), 150);
+        dir.register(SocketId(1), RegionKind::OlapInstance, 400);
+        assert_eq!(dir.bytes_on_socket(SocketId(0)), 250);
+        assert_eq!(dir.bytes_on_socket(SocketId(1)), 400);
+    }
+
+    #[test]
+    fn resize_and_relocate() {
+        let mut dir = RegionDirectory::new();
+        let id = dir.register(SocketId(0), RegionKind::OlapInstance, 10);
+        assert!(dir.resize(id, 99));
+        assert!(dir.relocate(id, SocketId(1)));
+        let r = dir.get(id).unwrap();
+        assert_eq!(r.bytes, 99);
+        assert_eq!(r.socket, SocketId(1));
+        assert!(!dir.resize(RegionId(42), 1));
+        assert!(!dir.relocate(RegionId(42), SocketId(0)));
+    }
+
+    #[test]
+    fn of_kind_filters() {
+        let mut dir = RegionDirectory::new();
+        dir.register(SocketId(0), RegionKind::OltpDelta, 1);
+        dir.register(SocketId(0), RegionKind::OltpIndex, 2);
+        dir.register(SocketId(1), RegionKind::OltpDelta, 3);
+        assert_eq!(dir.of_kind(RegionKind::OltpDelta).len(), 2);
+        assert_eq!(dir.of_kind(RegionKind::OlapScratch).len(), 0);
+    }
+
+    #[test]
+    fn kind_display_is_stable() {
+        assert_eq!(RegionKind::OltpInstance(1).to_string(), "oltp-instance-1");
+        assert_eq!(RegionKind::OlapInstance.to_string(), "olap-instance");
+    }
+}

@@ -1,0 +1,291 @@
+//! Typed, append-friendly columns.
+//!
+//! Each column stores its values contiguously (one `Vec` per type), which is
+//! what gives the OLAP engine sequential scans at memory bandwidth over the
+//! inactive twin instance (§3.2: "each instance keeps data in a columnar
+//! layout, to allow the OLAP engine to perform fast scans"). Columns are
+//! individually lockable so that transactional appends/updates on the active
+//! instance never conflict with scans of the inactive one.
+
+use crate::schema::{DataType, Value};
+use parking_lot::RwLock;
+
+/// Typed column storage.
+#[derive(Debug)]
+pub enum Column {
+    /// 64-bit integer column.
+    I64(RwLock<Vec<i64>>),
+    /// 64-bit float column.
+    F64(RwLock<Vec<f64>>),
+    /// 32-bit integer column.
+    I32(RwLock<Vec<i32>>),
+    /// String column.
+    Str(RwLock<Vec<String>>),
+}
+
+impl Column {
+    /// Create an empty column of the given type.
+    pub fn new(dtype: DataType) -> Self {
+        match dtype {
+            DataType::I64 => Column::I64(RwLock::new(Vec::new())),
+            DataType::F64 => Column::F64(RwLock::new(Vec::new())),
+            DataType::I32 => Column::I32(RwLock::new(Vec::new())),
+            DataType::Str => Column::Str(RwLock::new(Vec::new())),
+        }
+    }
+
+    /// Create an empty column with pre-allocated capacity (the RDE engine
+    /// pre-faults memory before handing it to the engines).
+    pub fn with_capacity(dtype: DataType, capacity: usize) -> Self {
+        match dtype {
+            DataType::I64 => Column::I64(RwLock::new(Vec::with_capacity(capacity))),
+            DataType::F64 => Column::F64(RwLock::new(Vec::with_capacity(capacity))),
+            DataType::I32 => Column::I32(RwLock::new(Vec::with_capacity(capacity))),
+            DataType::Str => Column::Str(RwLock::new(Vec::with_capacity(capacity))),
+        }
+    }
+
+    /// The column's data type.
+    pub fn dtype(&self) -> DataType {
+        match self {
+            Column::I64(_) => DataType::I64,
+            Column::F64(_) => DataType::F64,
+            Column::I32(_) => DataType::I32,
+            Column::Str(_) => DataType::Str,
+        }
+    }
+
+    /// Number of values stored.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::I64(v) => v.read().len(),
+            Column::F64(v) => v.read().len(),
+            Column::I32(v) => v.read().len(),
+            Column::Str(v) => v.read().len(),
+        }
+    }
+
+    /// Whether the column is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes occupied by the stored values (columnar accounting, used by the
+    /// cost model and the freshness metric).
+    pub fn bytes(&self) -> u64 {
+        self.len() as u64 * self.dtype().width_bytes()
+    }
+
+    /// Append a value. Panics on type mismatch (schema violations are caught
+    /// at the table layer; reaching this with a wrong type is a logic error).
+    pub fn append(&self, value: &Value) {
+        match (self, value) {
+            (Column::I64(v), Value::I64(x)) => v.write().push(*x),
+            (Column::F64(v), Value::F64(x)) => v.write().push(*x),
+            (Column::I32(v), Value::I32(x)) => v.write().push(*x),
+            (Column::Str(v), Value::Str(x)) => v.write().push(x.clone()),
+            (col, val) => panic!("type mismatch: column {:?} value {val:?}", col.dtype()),
+        }
+    }
+
+    /// Overwrite the value at `row`. Panics on type mismatch or out-of-range row.
+    pub fn update(&self, row: usize, value: &Value) {
+        match (self, value) {
+            (Column::I64(v), Value::I64(x)) => v.write()[row] = *x,
+            (Column::F64(v), Value::F64(x)) => v.write()[row] = *x,
+            (Column::I32(v), Value::I32(x)) => v.write()[row] = *x,
+            (Column::Str(v), Value::Str(x)) => v.write()[row] = x.clone(),
+            (col, val) => panic!("type mismatch: column {:?} value {val:?}", col.dtype()),
+        }
+    }
+
+    /// Read the value at `row`, or `None` if out of range.
+    pub fn get(&self, row: usize) -> Option<Value> {
+        match self {
+            Column::I64(v) => v.read().get(row).map(|x| Value::I64(*x)),
+            Column::F64(v) => v.read().get(row).map(|x| Value::F64(*x)),
+            Column::I32(v) => v.read().get(row).map(|x| Value::I32(*x)),
+            Column::Str(v) => v.read().get(row).map(|x| Value::Str(x.clone())),
+        }
+    }
+
+    /// Copy the value at `row` from `src` into `self` at the same row,
+    /// growing `self` with default values if needed. Used by twin-instance
+    /// synchronisation and ETL.
+    pub fn copy_row_from(&self, src: &Column, row: usize) {
+        match (self, src) {
+            (Column::I64(dst), Column::I64(s)) => {
+                let val = s.read()[row];
+                let mut d = dst.write();
+                if d.len() <= row {
+                    d.resize(row + 1, 0);
+                }
+                d[row] = val;
+            }
+            (Column::F64(dst), Column::F64(s)) => {
+                let val = s.read()[row];
+                let mut d = dst.write();
+                if d.len() <= row {
+                    d.resize(row + 1, 0.0);
+                }
+                d[row] = val;
+            }
+            (Column::I32(dst), Column::I32(s)) => {
+                let val = s.read()[row];
+                let mut d = dst.write();
+                if d.len() <= row {
+                    d.resize(row + 1, 0);
+                }
+                d[row] = val;
+            }
+            (Column::Str(dst), Column::Str(s)) => {
+                let val = s.read()[row].clone();
+                let mut d = dst.write();
+                if d.len() <= row {
+                    d.resize(row + 1, String::new());
+                }
+                d[row] = val;
+            }
+            _ => panic!("copy_row_from between mismatched column types"),
+        }
+    }
+
+    /// Run `f` over the column's `i64` values limited to the first `limit`
+    /// rows. Panics if the column is not `I64`.
+    pub fn with_i64<R>(&self, limit: usize, f: impl FnOnce(&[i64]) -> R) -> R {
+        match self {
+            Column::I64(v) => {
+                let guard = v.read();
+                let n = limit.min(guard.len());
+                f(&guard[..n])
+            }
+            other => panic!("expected i64 column, found {:?}", other.dtype()),
+        }
+    }
+
+    /// Run `f` over the column's `f64` values limited to the first `limit`
+    /// rows. Panics if the column is not `F64`.
+    pub fn with_f64<R>(&self, limit: usize, f: impl FnOnce(&[f64]) -> R) -> R {
+        match self {
+            Column::F64(v) => {
+                let guard = v.read();
+                let n = limit.min(guard.len());
+                f(&guard[..n])
+            }
+            other => panic!("expected f64 column, found {:?}", other.dtype()),
+        }
+    }
+
+    /// Run `f` over the column's `i32` values limited to the first `limit`
+    /// rows. Panics if the column is not `I32`.
+    pub fn with_i32<R>(&self, limit: usize, f: impl FnOnce(&[i32]) -> R) -> R {
+        match self {
+            Column::I32(v) => {
+                let guard = v.read();
+                let n = limit.min(guard.len());
+                f(&guard[..n])
+            }
+            other => panic!("expected i32 column, found {:?}", other.dtype()),
+        }
+    }
+
+    /// Run `f` over the column's string values limited to the first `limit`
+    /// rows. Panics if the column is not `Str`.
+    pub fn with_str<R>(&self, limit: usize, f: impl FnOnce(&[String]) -> R) -> R {
+        match self {
+            Column::Str(v) => {
+                let guard = v.read();
+                let n = limit.min(guard.len());
+                f(&guard[..n])
+            }
+            other => panic!("expected str column, found {:?}", other.dtype()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_get_update_roundtrip() {
+        let col = Column::new(DataType::I64);
+        col.append(&Value::I64(10));
+        col.append(&Value::I64(20));
+        assert_eq!(col.len(), 2);
+        assert_eq!(col.get(1), Some(Value::I64(20)));
+        col.update(1, &Value::I64(25));
+        assert_eq!(col.get(1), Some(Value::I64(25)));
+        assert_eq!(col.get(5), None);
+    }
+
+    #[test]
+    fn string_column_roundtrip() {
+        let col = Column::new(DataType::Str);
+        col.append(&Value::from("a"));
+        col.append(&Value::from("b"));
+        col.update(0, &Value::from("z"));
+        assert_eq!(col.get(0), Some(Value::from("z")));
+        col.with_str(10, |s| assert_eq!(s, &["z".to_string(), "b".to_string()]));
+    }
+
+    #[test]
+    fn bytes_accounting_uses_type_width() {
+        let col = Column::new(DataType::I32);
+        for i in 0..10 {
+            col.append(&Value::I32(i));
+        }
+        assert_eq!(col.bytes(), 40);
+        assert!(!col.is_empty());
+    }
+
+    #[test]
+    fn slice_access_respects_limit() {
+        let col = Column::new(DataType::F64);
+        for i in 0..100 {
+            col.append(&Value::F64(i as f64));
+        }
+        let sum = col.with_f64(10, |s| s.iter().sum::<f64>());
+        assert_eq!(sum, 45.0);
+        let all = col.with_f64(1000, |s| s.len());
+        assert_eq!(all, 100);
+    }
+
+    #[test]
+    fn copy_row_from_grows_destination() {
+        let src = Column::new(DataType::I64);
+        for i in 0..5 {
+            src.append(&Value::I64(i * 100));
+        }
+        let dst = Column::new(DataType::I64);
+        dst.append(&Value::I64(0));
+        dst.copy_row_from(&src, 3);
+        assert_eq!(dst.len(), 4);
+        assert_eq!(dst.get(3), Some(Value::I64(300)));
+        // Rows that were never written are zero-filled placeholders.
+        assert_eq!(dst.get(1), Some(Value::I64(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn append_type_mismatch_panics() {
+        Column::new(DataType::I64).append(&Value::F64(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected i64 column")]
+    fn wrong_slice_accessor_panics() {
+        Column::new(DataType::F64).with_i64(1, |_| ());
+    }
+
+    #[test]
+    fn with_capacity_preallocates() {
+        let col = Column::with_capacity(DataType::I64, 1000);
+        assert_eq!(col.len(), 0);
+        if let Column::I64(v) = &col {
+            assert!(v.read().capacity() >= 1000);
+        } else {
+            unreachable!();
+        }
+    }
+}

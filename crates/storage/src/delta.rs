@@ -1,0 +1,247 @@
+//! MVCC delta storage: newest-to-oldest version chains.
+//!
+//! The OLTP engine "maintains a delta storage to allow transactions to
+//! traverse older versions of the objects in Newest-to-Oldest ordering,
+//! following the standard multi-versioned concurrency control process"
+//! (§3.2). The twin instances always hold the *latest committed* value; when a
+//! transaction overwrites a record, the overwritten (older) version is pushed
+//! here so that concurrent snapshot-isolation readers can still find the value
+//! that was current when their snapshot began.
+
+use crate::schema::Value;
+use crate::RowId;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Commit timestamp type (monotonically increasing, assigned by the
+/// transaction manager).
+pub type CommitTs = u64;
+
+/// One saved version of one attribute of a record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Version {
+    /// Commit timestamp of the transaction that *wrote* this (old) value.
+    pub begin_ts: CommitTs,
+    /// Commit timestamp of the transaction that *overwrote* it (i.e. the
+    /// version is visible to snapshots in `[begin_ts, end_ts)`).
+    pub end_ts: CommitTs,
+    /// Column the value belongs to.
+    pub column: usize,
+    /// The saved value.
+    pub value: Value,
+}
+
+/// Per-table version store. Chains are kept per row, newest first.
+#[derive(Debug, Default)]
+pub struct DeltaStorage {
+    shards: Vec<RwLock<HashMap<RowId, Vec<Version>>>>,
+}
+
+const DEFAULT_SHARDS: usize = 16;
+
+impl DeltaStorage {
+    /// New delta storage with the default shard count.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// New delta storage with `shards` lock shards.
+    pub fn with_shards(shards: usize) -> Self {
+        DeltaStorage {
+            shards: (0..shards.max(1)).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, row: RowId) -> &RwLock<HashMap<RowId, Vec<Version>>> {
+        &self.shards[(row as usize) % self.shards.len()]
+    }
+
+    /// Record that `column` of `row` held `value` from `begin_ts` until it was
+    /// overwritten at `end_ts`. Versions are prepended so chains stay
+    /// newest-to-oldest.
+    pub fn push_version(
+        &self,
+        row: RowId,
+        column: usize,
+        value: Value,
+        begin_ts: CommitTs,
+        end_ts: CommitTs,
+    ) {
+        let mut shard = self.shard(row).write();
+        let chain = shard.entry(row).or_default();
+        chain.insert(
+            0,
+            Version {
+                begin_ts,
+                end_ts,
+                column,
+                value,
+            },
+        );
+    }
+
+    /// The value of `column` of `row` visible to a snapshot taken at `ts`,
+    /// or `None` if the latest committed value (in the twin instance) is the
+    /// visible one, i.e. no saved version covers `ts`.
+    ///
+    /// Traversal is newest-to-oldest: the first version whose interval
+    /// contains `ts` wins.
+    pub fn visible_version(&self, row: RowId, column: usize, ts: CommitTs) -> Option<Value> {
+        let shard = self.shard(row).read();
+        let chain = shard.get(&row)?;
+        // A snapshot at `ts` must see an old version if the current value was
+        // written *after* ts, i.e. if some saved version has end_ts > ts.
+        // Among the versions of this column whose validity interval contains
+        // `ts`, the correct one is the *oldest overwrite after the snapshot*,
+        // i.e. the version with the smallest `end_ts` greater than `ts`.
+        let mut candidate: Option<&Version> = None;
+        for v in chain.iter().filter(|v| v.column == column) {
+            if v.begin_ts <= ts && ts < v.end_ts {
+                match candidate {
+                    Some(best) if best.end_ts <= v.end_ts => {}
+                    _ => candidate = Some(v),
+                }
+            }
+        }
+        candidate.map(|v| v.value.clone())
+    }
+
+    /// Number of rows with at least one saved version.
+    pub fn versioned_rows(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Total number of saved versions.
+    pub fn version_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().values().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+
+    /// Garbage-collect versions that are invisible to every snapshot at or
+    /// after `watermark` (i.e. versions with `end_ts <= watermark`). Returns
+    /// the number of versions dropped.
+    pub fn gc(&self, watermark: CommitTs) -> usize {
+        let mut dropped = 0;
+        for shard in &self.shards {
+            let mut shard = shard.write();
+            shard.retain(|_, chain| {
+                let before = chain.len();
+                chain.retain(|v| v.end_ts > watermark);
+                dropped += before - chain.len();
+                !chain.is_empty()
+            });
+        }
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_sees_old_version_while_current_is_newer() {
+        let delta = DeltaStorage::new();
+        // Value 10 written at ts=1, overwritten at ts=5 (new value lives in
+        // the instance).
+        delta.push_version(0, 2, Value::I64(10), 1, 5);
+        // A snapshot at ts=3 must see the old value.
+        assert_eq!(delta.visible_version(0, 2, 3), Some(Value::I64(10)));
+        // A snapshot at ts=5 or later sees the live value.
+        assert_eq!(delta.visible_version(0, 2, 5), None);
+        assert_eq!(delta.visible_version(0, 2, 9), None);
+        // Other columns are unaffected.
+        assert_eq!(delta.visible_version(0, 1, 3), None);
+    }
+
+    #[test]
+    fn chains_are_traversed_newest_to_oldest() {
+        let delta = DeltaStorage::new();
+        delta.push_version(7, 0, Value::I64(1), 1, 4); // oldest
+        delta.push_version(7, 0, Value::I64(2), 4, 8);
+        delta.push_version(7, 0, Value::I64(3), 8, 12); // newest saved
+        assert_eq!(delta.visible_version(7, 0, 2), Some(Value::I64(1)));
+        assert_eq!(delta.visible_version(7, 0, 5), Some(Value::I64(2)));
+        assert_eq!(delta.visible_version(7, 0, 9), Some(Value::I64(3)));
+        assert_eq!(delta.visible_version(7, 0, 12), None);
+    }
+
+    #[test]
+    fn snapshot_older_than_all_versions_sees_nothing_live() {
+        let delta = DeltaStorage::new();
+        delta.push_version(1, 0, Value::I64(5), 3, 6);
+        // Snapshot at ts=1 precedes the record's first saved version; the row
+        // did exist (begin_ts 3 > 1 means value 5 was written at 3)... the
+        // caller (transaction manager) handles row-existence via row counts;
+        // the delta store just reports that no saved version covers ts=1 and
+        // that the live value is NOT visible (end_ts 6 > 1).
+        assert_eq!(delta.visible_version(1, 0, 1), None);
+    }
+
+    #[test]
+    fn gc_drops_only_invisible_versions() {
+        let delta = DeltaStorage::new();
+        delta.push_version(0, 0, Value::I64(1), 1, 3);
+        delta.push_version(0, 0, Value::I64(2), 3, 7);
+        delta.push_version(1, 0, Value::I64(9), 2, 4);
+        assert_eq!(delta.version_count(), 3);
+        let dropped = delta.gc(4);
+        assert_eq!(dropped, 2);
+        assert_eq!(delta.version_count(), 1);
+        // The surviving version is still readable.
+        assert_eq!(delta.visible_version(0, 0, 5), Some(Value::I64(2)));
+        assert_eq!(delta.versioned_rows(), 1);
+    }
+
+    #[test]
+    fn counts_track_rows_and_versions() {
+        let delta = DeltaStorage::with_shards(4);
+        assert_eq!(delta.versioned_rows(), 0);
+        delta.push_version(0, 0, Value::I64(1), 1, 2);
+        delta.push_version(64, 1, Value::I64(2), 1, 2);
+        delta.push_version(64, 1, Value::I64(3), 2, 3);
+        assert_eq!(delta.versioned_rows(), 2);
+        assert_eq!(delta.version_count(), 3);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// For any sequence of overwrites of a single (row, column) with
+        /// increasing timestamps, every snapshot sees exactly the value that
+        /// was current at its timestamp.
+        #[test]
+        fn visibility_matches_history(values in prop::collection::vec(-1000i64..1000, 1..20), probe in 0u64..100) {
+            let delta = DeltaStorage::new();
+            // Build a history: value[i] written at ts=i+1, overwritten at ts=i+2.
+            let n = values.len() as u64;
+            for (i, v) in values.iter().enumerate() {
+                let begin = i as u64 + 1;
+                let end = i as u64 + 2;
+                if end <= n {
+                    // all but the last value get overwritten; last lives in the instance
+                    delta.push_version(0, 0, Value::I64(*v), begin, end);
+                }
+            }
+            let got = delta.visible_version(0, 0, probe);
+            if probe >= n {
+                // Snapshot after the last write sees the live value.
+                prop_assert_eq!(got, None);
+            } else if probe >= 1 {
+                let expected = values[(probe - 1) as usize];
+                prop_assert_eq!(got, Some(Value::I64(expected)));
+            } else {
+                // Before the first write the row did not exist yet; no saved
+                // version covers it and the live value is not visible either,
+                // which the store reports as None (existence handled upstream).
+                prop_assert_eq!(got, None);
+            }
+        }
+    }
+}

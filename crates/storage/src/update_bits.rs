@@ -1,0 +1,238 @@
+//! Atomic update-indication bitmaps.
+//!
+//! The paper's storage manager "maintains an update indication bit for each
+//! record, which is set when the record gets updated. Access to the update
+//! indication bits is synchronized using atomic operations" (§3.2). The RDE
+//! engine consumes the bits during instance synchronisation and ETL and clears
+//! them as records are copied.
+//!
+//! The bitmap also keeps an approximate popcount so that the scheduler can ask
+//! "how much fresh data is there?" (the `Nft` input of Algorithm 2) without
+//! scanning the bit words.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const BITS_PER_WORD: usize = 64;
+
+/// A concurrently updatable bitmap that grows on demand.
+#[derive(Debug, Default)]
+pub struct AtomicBitmap {
+    words: parking_lot::RwLock<Vec<AtomicU64>>,
+    /// Number of bits currently set (maintained on 0→1 and 1→0 transitions).
+    set_count: AtomicU64,
+}
+
+impl AtomicBitmap {
+    /// Empty bitmap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bitmap pre-sized for `bits` bits.
+    pub fn with_capacity(bits: usize) -> Self {
+        let words = (bits + BITS_PER_WORD - 1) / BITS_PER_WORD;
+        AtomicBitmap {
+            words: parking_lot::RwLock::new((0..words).map(|_| AtomicU64::new(0)).collect()),
+            set_count: AtomicU64::new(0),
+        }
+    }
+
+    fn ensure_capacity(&self, bit: usize) {
+        let word = bit / BITS_PER_WORD;
+        {
+            let words = self.words.read();
+            if word < words.len() {
+                return;
+            }
+        }
+        let mut words = self.words.write();
+        while words.len() <= word {
+            words.push(AtomicU64::new(0));
+        }
+    }
+
+    /// Set bit `bit`. Returns `true` if the bit transitioned from 0 to 1.
+    pub fn set(&self, bit: usize) -> bool {
+        self.ensure_capacity(bit);
+        let words = self.words.read();
+        let mask = 1u64 << (bit % BITS_PER_WORD);
+        let prev = words[bit / BITS_PER_WORD].fetch_or(mask, Ordering::AcqRel);
+        let newly_set = prev & mask == 0;
+        if newly_set {
+            self.set_count.fetch_add(1, Ordering::AcqRel);
+        }
+        newly_set
+    }
+
+    /// Clear bit `bit`. Returns `true` if the bit transitioned from 1 to 0.
+    pub fn clear(&self, bit: usize) -> bool {
+        let words = self.words.read();
+        let word = bit / BITS_PER_WORD;
+        if word >= words.len() {
+            return false;
+        }
+        let mask = 1u64 << (bit % BITS_PER_WORD);
+        let prev = words[word].fetch_and(!mask, Ordering::AcqRel);
+        let was_set = prev & mask != 0;
+        if was_set {
+            self.set_count.fetch_sub(1, Ordering::AcqRel);
+        }
+        was_set
+    }
+
+    /// Whether bit `bit` is set.
+    pub fn get(&self, bit: usize) -> bool {
+        let words = self.words.read();
+        let word = bit / BITS_PER_WORD;
+        if word >= words.len() {
+            return false;
+        }
+        words[word].load(Ordering::Acquire) & (1u64 << (bit % BITS_PER_WORD)) != 0
+    }
+
+    /// Number of set bits (exact, maintained incrementally).
+    pub fn count(&self) -> u64 {
+        self.set_count.load(Ordering::Acquire)
+    }
+
+    /// Collect the indices of all set bits, in ascending order.
+    pub fn iter_set(&self) -> Vec<usize> {
+        let words = self.words.read();
+        let mut out = Vec::with_capacity(self.count() as usize);
+        for (wi, w) in words.iter().enumerate() {
+            let mut bits = w.load(Ordering::Acquire);
+            while bits != 0 {
+                let tz = bits.trailing_zeros() as usize;
+                out.push(wi * BITS_PER_WORD + tz);
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+
+    /// Clear every bit and return the indices that were set.
+    pub fn drain(&self) -> Vec<usize> {
+        let set = self.iter_set();
+        for &bit in &set {
+            self.clear(bit);
+        }
+        set
+    }
+
+    /// Clear all bits without collecting them.
+    pub fn clear_all(&self) {
+        let words = self.words.read();
+        for w in words.iter() {
+            let prev = w.swap(0, Ordering::AcqRel);
+            let ones = prev.count_ones() as u64;
+            if ones > 0 {
+                self.set_count.fetch_sub(ones, Ordering::AcqRel);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn set_get_clear_roundtrip() {
+        let b = AtomicBitmap::new();
+        assert!(!b.get(100));
+        assert!(b.set(100));
+        assert!(!b.set(100), "second set is not a transition");
+        assert!(b.get(100));
+        assert_eq!(b.count(), 1);
+        assert!(b.clear(100));
+        assert!(!b.clear(100));
+        assert_eq!(b.count(), 0);
+    }
+
+    #[test]
+    fn iter_set_returns_sorted_indices() {
+        let b = AtomicBitmap::with_capacity(1024);
+        for i in [5usize, 63, 64, 512, 7] {
+            b.set(i);
+        }
+        assert_eq!(b.iter_set(), vec![5, 7, 63, 64, 512]);
+        assert_eq!(b.count(), 5);
+    }
+
+    #[test]
+    fn drain_clears_and_returns() {
+        let b = AtomicBitmap::new();
+        b.set(1);
+        b.set(2);
+        let drained = b.drain();
+        assert_eq!(drained, vec![1, 2]);
+        assert_eq!(b.count(), 0);
+        assert!(b.iter_set().is_empty());
+    }
+
+    #[test]
+    fn clear_all_resets_count() {
+        let b = AtomicBitmap::new();
+        for i in 0..1000 {
+            b.set(i * 3);
+        }
+        assert_eq!(b.count(), 1000);
+        b.clear_all();
+        assert_eq!(b.count(), 0);
+        assert!(!b.get(3));
+    }
+
+    #[test]
+    fn clearing_out_of_range_bit_is_noop() {
+        let b = AtomicBitmap::new();
+        assert!(!b.clear(1_000_000));
+        assert!(!b.get(1_000_000));
+    }
+
+    #[test]
+    fn concurrent_sets_count_exactly_once_per_bit() {
+        let b = Arc::new(AtomicBitmap::with_capacity(10_000));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                // Threads overlap on every other bit.
+                for i in 0..5_000usize {
+                    b.set(i * 2 + (t % 2));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(b.count(), 10_000);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    proptest! {
+        /// The bitmap behaves exactly like a set of indices.
+        #[test]
+        fn model_based_against_btreeset(ops in prop::collection::vec((0usize..2048, prop::bool::ANY), 0..300)) {
+            let bitmap = AtomicBitmap::new();
+            let mut model = BTreeSet::new();
+            for (bit, set) in ops {
+                if set {
+                    bitmap.set(bit);
+                    model.insert(bit);
+                } else {
+                    bitmap.clear(bit);
+                    model.remove(&bit);
+                }
+            }
+            prop_assert_eq!(bitmap.count() as usize, model.len());
+            prop_assert_eq!(bitmap.iter_set(), model.into_iter().collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! A miniature version of the paper's Figure-5 experiment: the {Q1, Q6, Q19}
+//! mix executed repeatedly while NewOrder transactions keep arriving, under a
+//! static schedule (always S3-IS) and under the adaptive scheduler. The
+//! adaptive run starts identical, pays one ETL when the fresh delta has grown
+//! enough, and from then on every sequence is faster.
+//!
+//! Run with: `cargo run --example adaptive_vs_static --release`
+
+use adaptive_htap::core::{run_mixed_workload, MixedWorkload, SchedulerPolicy};
+use adaptive_htap::{HtapConfig, HtapSystem, Schedule, SystemState};
+
+fn run(label: &str, schedule: Schedule, sequences: usize) -> Result<Vec<f64>, String> {
+    let system = HtapSystem::build(HtapConfig::small().with_schedule(schedule))?;
+    let workload = MixedWorkload::figure5(sequences, 40);
+    let report = run_mixed_workload(&system, &workload);
+    println!(
+        "{label:<14} total={:.3}s mean OLTP={:.2} MTPS etls={}",
+        report.total_query_time(),
+        report.mean_oltp_mtps(),
+        report.etl_count()
+    );
+    Ok(report.sequence_times())
+}
+
+fn main() -> Result<(), String> {
+    let sequences = 12;
+    let static_times = run(
+        "static S3-IS",
+        Schedule::Static(SystemState::S3HybridIsolated),
+        sequences,
+    )?;
+    let adaptive_times = run(
+        "adaptive",
+        Schedule::Adaptive(SchedulerPolicy::adaptive_isolated(0.5)),
+        sequences,
+    )?;
+
+    println!("\nsequence   static-S3-IS   adaptive   gain");
+    for (i, (s, a)) in static_times.iter().zip(&adaptive_times).enumerate() {
+        println!(
+            "{i:>8}   {s:>12.4}   {a:>8.4}   {:>5.1}%",
+            (s - a) / s * 100.0
+        );
+    }
+    let total_static: f64 = static_times.iter().sum();
+    let total_adaptive: f64 = adaptive_times.iter().sum();
+    println!(
+        "\ncumulative gain over {sequences} sequences: {:.1}%",
+        (total_static - total_adaptive) / total_static * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,32 @@
+//! A reporting workload (§2.3 "query batches"): periodic report generation
+//! runs a batch of queries over one consistent snapshot. Batches always take
+//! the ETL branch of Algorithm 2, so the transfer cost is paid once and then
+//! amortised across the whole batch — the decoupled-storage sweet spot.
+//!
+//! Run with: `cargo run --example reporting_batch --release`
+
+use adaptive_htap::core::{run_mixed_workload, MixedWorkload};
+use adaptive_htap::{HtapConfig, HtapSystem, QueryId};
+
+fn main() -> Result<(), String> {
+    let system = HtapSystem::build(HtapConfig::small())?;
+    println!("nightly reporting over {} rows", system.population().total_rows);
+
+    // Compare how the per-query cost changes with the size of the report batch.
+    for batch_size in [1usize, 2, 4, 8, 16] {
+        let workload = MixedWorkload::batches(QueryId::Q1, batch_size, 1, 100);
+        let report = run_mixed_workload(&system, &workload);
+        let sequence = &report.sequences[0];
+        let scheduling: f64 = sequence.queries.iter().map(|q| q.scheduling_time).sum();
+        let execution: f64 = sequence.queries.iter().map(|q| q.execution_time).sum();
+        println!(
+            "batch of {batch_size:>2}: total={:.4}s (etl+switch {:.4}s, execution {:.4}s) -> {:.4}s per report, OLTP {:.2} MTPS",
+            sequence.total_time(),
+            scheduling,
+            execution,
+            sequence.total_time() / batch_size as f64,
+            sequence.oltp_mtps(),
+        );
+    }
+    Ok(())
+}

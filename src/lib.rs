@@ -1,0 +1,38 @@
+//! # adaptive-htap
+//!
+//! Umbrella crate for the reproduction of *Adaptive HTAP through Elastic
+//! Resource Scheduling* (Raza et al., SIGMOD 2020).
+//!
+//! It re-exports the public API of every component so the examples and
+//! integration tests in this repository read like downstream user code:
+//!
+//! * [`core`](htap_core) — the assembled system ([`htap_core::HtapSystem`]).
+//! * [`sim`](htap_sim) — the simulated NUMA machine and cost models.
+//! * [`storage`](htap_storage) — twin-instance columnar storage.
+//! * [`oltp`](htap_oltp) / [`olap`](htap_olap) — the two engines.
+//! * [`rde`](htap_rde) — the resource and data exchange engine.
+//! * [`scheduler`](htap_scheduler) — Algorithm 2 and the static schedules.
+//! * [`chbench`](htap_chbench) — the CH-benCHmark workload.
+//! * [`baselines`](htap_baselines) — the Figure-1 ETL and CoW baselines.
+
+pub use htap_baselines as baselines;
+pub use htap_chbench as chbench;
+pub use htap_core as core;
+pub use htap_olap as olap;
+pub use htap_oltp as oltp;
+pub use htap_rde as rde;
+pub use htap_scheduler as scheduler;
+pub use htap_sim as sim;
+pub use htap_storage as storage;
+
+pub use htap_core::{HtapConfig, HtapSystem, MixedWorkload, QueryId, Schedule, SystemState};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn umbrella_reexports_compose() {
+        let cfg = crate::HtapConfig::tiny();
+        assert!(cfg.validate().is_ok());
+        assert_eq!(crate::SystemState::S2Isolated.label(), "S2");
+    }
+}
