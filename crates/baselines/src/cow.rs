@@ -76,7 +76,10 @@ impl CowBaseline {
         let mut query_exec_time = 0.0;
         let mut bytes_per_socket = std::collections::BTreeMap::new();
         for _ in 0..queries_per_snapshot {
-            let exec = rde.olap().run_query(plan, &sources, Some(&txn));
+            let exec = rde
+                .olap()
+                .run_query(plan, &sources, Some(&txn))
+                .expect("baseline plans always match their snapshot sources");
             query_exec_time += exec.modeled.total;
             for (&socket, &bytes) in &exec.output.work.bytes_per_socket {
                 *bytes_per_socket.entry(socket).or_insert(0) += bytes;
@@ -137,7 +140,10 @@ mod tests {
         let point = cow.run_snapshot(&rde, &ch_q6(), 4, txns);
         assert_eq!(point.label, "CoW");
         assert_eq!(point.data_transfer_time, 0.0);
-        assert!(point.pages_copied > 0, "transactions must have dirtied pages");
+        assert!(
+            point.pages_copied > 0,
+            "transactions must have dirtied pages"
+        );
         assert!(point.query_exec_time > 0.0);
         // Paying page copies keeps throughput below the isolated baseline.
         assert!(point.oltp_tps < rde.modeled_oltp_throughput_idle());
@@ -146,8 +152,12 @@ mod tests {
     #[test]
     fn smaller_pages_mean_more_copies_but_each_is_cheaper() {
         let (rde, driver) = populated_rde();
-        let small = CowBaseline { page_bytes: 4 * 1024 };
-        let large = CowBaseline { page_bytes: 2 * 1024 * 1024 };
+        let small = CowBaseline {
+            page_bytes: 4 * 1024,
+        };
+        let large = CowBaseline {
+            page_bytes: 2 * 1024 * 1024,
+        };
         driver.run_new_orders(rde.oltp(), 0, 30, 5);
         rde.switch_and_sync();
         let pages_small = small.dirty_pages(&rde);

@@ -36,7 +36,10 @@ impl EtlBaseline {
         let txn = rde.txn_work();
         let mut query_exec_time = 0.0;
         for _ in 0..queries_per_snapshot {
-            let exec = rde.olap().run_query(plan, &sources, Some(&txn));
+            let exec = rde
+                .olap()
+                .run_query(plan, &sources, Some(&txn))
+                .expect("baseline plans always match their snapshot sources");
             query_exec_time += exec.modeled.total;
         }
         // OLAP scans its own socket: interference with OLTP is negligible.
@@ -75,10 +78,16 @@ mod tests {
         let (rde, _) = populated_rde();
         let point = EtlBaseline.run_snapshot(&rde, &ch_q6(), 4);
         assert_eq!(point.label, "ETL");
-        assert!(point.data_transfer_time > 0.0, "initial ETL moves the whole database");
+        assert!(
+            point.data_transfer_time > 0.0,
+            "initial ETL moves the whole database"
+        );
         assert!(point.query_exec_time > 0.0);
         assert_eq!(point.pages_copied, 0);
-        assert!(point.oltp_tps > 1.0e6, "isolated OLTP stays near its base rate");
+        assert!(
+            point.oltp_tps > 1.0e6,
+            "isolated OLTP stays near its base rate"
+        );
         // All data is now analytical-local.
         assert_eq!(rde.oltp().fresh_rows_vs_olap(), 0);
     }

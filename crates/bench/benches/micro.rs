@@ -120,11 +120,59 @@ fn ch_query_execution(c: &mut Criterion) {
     let sources_q6 = rde.sources_for(&q6.tables(), AccessMethod::OlapLocal);
     let sources_q1 = rde.sources_for(&q1.tables(), AccessMethod::OlapLocal);
     c.bench_function("olap/ch_q6_60k_rows", |b| {
-        b.iter(|| black_box(executor.execute(&q6, &sources_q6).result.row_count()))
+        b.iter(|| {
+            black_box(
+                executor
+                    .execute(&q6, &sources_q6)
+                    .expect("CH plan matches its sources")
+                    .result
+                    .row_count(),
+            )
+        })
     });
     c.bench_function("olap/ch_q1_60k_rows", |b| {
-        b.iter(|| black_box(executor.execute(&q1, &sources_q1).result.row_count()))
+        b.iter(|| {
+            black_box(
+                executor
+                    .execute(&q1, &sources_q1)
+                    .expect("CH plan matches its sources")
+                    .result
+                    .row_count(),
+            )
+        })
     });
+}
+
+/// Measured scaling of the morsel-driven executor: the same CH-Q6/CH-Q1 scan
+/// with 1, 2 and 4 pipeline workers. Wall-clock time should drop
+/// monotonically as workers are added (the acceptance signal of the elastic
+/// core grants).
+fn parallel_scan_scaling(c: &mut Criterion) {
+    use htap_olap::WorkerTeam;
+    use htap_sim::CoreId;
+
+    let rde = RdeEngine::bootstrap(RdeConfig::default());
+    ChGenerator::new(ChConfig::small()).build(&rde).unwrap();
+    rde.switch_and_sync();
+    rde.etl_to_olap();
+    let executor = QueryExecutor::with_block_rows(4 * 1024);
+    for (label, plan) in [("q6", ch_q6()), ("q1", ch_q1())] {
+        let sources = rde.sources_for(&plan.tables(), AccessMethod::OlapLocal);
+        for workers in [1u16, 2, 4] {
+            let team = WorkerTeam::from_cores((0..workers).map(CoreId).collect());
+            c.bench_function(&format!("olap/parallel_{label}_{workers}w"), |b| {
+                b.iter(|| {
+                    black_box(
+                        executor
+                            .execute_parallel(&plan, &sources, &team)
+                            .expect("CH plan matches its sources")
+                            .result
+                            .row_count(),
+                    )
+                })
+            });
+        }
+    }
 }
 
 fn etl_delta_copy(c: &mut Criterion) {
@@ -176,6 +224,7 @@ criterion_group! {
     name = benches;
     config = configured();
     targets = column_scan, cuckoo_index, twin_switch_sync, lock_table,
-              neworder_transaction, ch_query_execution, etl_delta_copy, cost_models
+              neworder_transaction, ch_query_execution, parallel_scan_scaling,
+              etl_delta_copy, cost_models
 }
 criterion_main!(benches);

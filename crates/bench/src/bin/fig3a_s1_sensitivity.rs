@@ -40,20 +40,25 @@ fn main() {
         harness.ingest(300, 4, step as u64);
         // Trade `traded` CPUs: OLTP gives up cores on its socket and receives
         // the same number on the OLAP socket.
-        let report = harness.rde.migrate_state_s1_with(&[
-            (SocketId(0), 14 - traded),
-            (SocketId(1), traded),
-        ]);
+        let report = harness
+            .rde
+            .migrate_state_s1_with(&[(SocketId(0), 14 - traded), (SocketId(1), traded)]);
         assert_eq!(report.oltp_cores, 14);
 
-        let sources = harness.rde.sources_for(&["orderline"], AccessMethod::OltpSnapshot);
+        let sources = harness
+            .rde
+            .sources_for(&["orderline"], AccessMethod::OltpSnapshot);
         let txn = harness.rde.txn_work();
 
         // Average response time of the 16-query batch.
         let mut total = 0.0;
         let mut bytes = std::collections::BTreeMap::new();
         for _ in 0..QUERIES {
-            let exec = harness.rde.olap().run_query(&plan, &sources, Some(&txn));
+            let exec = harness
+                .rde
+                .olap()
+                .run_query(&plan, &sources, Some(&txn))
+                .expect("CH plan matches the scheduled sources");
             total += exec.modeled.total;
             for (&s, &b) in &exec.output.work.bytes_per_socket {
                 *bytes.entry(s).or_insert(0) += b;

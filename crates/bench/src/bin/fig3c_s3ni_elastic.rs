@@ -7,8 +7,13 @@
 //! without the concurrent query) and the query response time.
 //!
 //! `cargo run --release -p htap-bench --bin fig3c_s3ni_elastic`
+//!
+//! With `--measured`, a second sweep executes the same CH-Q1 scan with real
+//! pipeline-worker teams of 1–8 granted cores and reports *wall-clock* times:
+//! the morsel-driven executor makes elastic core grants visible as measured
+//! throughput, not just as modelled time.
 
-use htap_bench::{fmt_mtps, fmt_secs, Harness, HarnessArgs};
+use htap_bench::{fmt_mtps, fmt_secs, measured_scan_scaling, Harness, HarnessArgs};
 use htap_chbench::ch_q1;
 use htap_core::ExperimentTable;
 use htap_rde::AccessMethod;
@@ -17,7 +22,10 @@ fn main() {
     let args = HarnessArgs::parse();
     let harness = Harness::two_socket(&args);
     let plan = ch_q1();
-    println!("Figure 3(c): S3-NI elasticity sweep, {} rows loaded", harness.rows_loaded);
+    println!(
+        "Figure 3(c): S3-NI elasticity sweep, {} rows loaded",
+        harness.rows_loaded
+    );
 
     // Bring the OLAP instance up to date, then accumulate a sizeable fresh tail.
     harness.rde.switch_and_sync();
@@ -40,7 +48,11 @@ fn main() {
         let tables: Vec<&str> = plan.tables();
         let sources = harness.rde.sources_for(&tables, AccessMethod::Split);
         let txn = harness.rde.txn_work();
-        let exec = harness.rde.olap().run_query(&plan, &sources, Some(&txn));
+        let exec = harness
+            .rde
+            .olap()
+            .run_query(&plan, &sources, Some(&txn))
+            .expect("CH plan matches the scheduled sources");
 
         let oltp_only = harness.rde.modeled_oltp_throughput_idle();
         let oltp_with = harness.rde.modeled_oltp_throughput(
@@ -67,4 +79,39 @@ fn main() {
          around six borrowed cores saturate the fresh-data bandwidth, while OLTP throughput keeps\n\
          dropping as it loses cores and shares its memory bus."
     );
+
+    if args.measured {
+        println!();
+        let host_cpus = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        println!("host parallelism: {host_cpus} CPU(s)");
+        let mut measured = ExperimentTable::new(
+            "Measured scaling — wall-clock CH-Q1 execution vs granted cores (morsel-driven)",
+            &["granted_cores", "wall_clock_s", "tuples_per_s"],
+        );
+        let points =
+            measured_scan_scaling(&harness.rde, &plan, AccessMethod::Split, &[1, 2, 4, 8], 5);
+        for p in &points {
+            measured.push_row(vec![
+                p.workers.to_string(),
+                fmt_secs(p.best_seconds),
+                format!("{:.0}", p.tuples_per_second),
+            ]);
+        }
+        if args.csv {
+            print!("{}", measured.to_csv());
+        } else {
+            print!("{}", measured.render());
+        }
+        println!();
+        println!(
+            "Expected shape: wall-clock time drops monotonically from 1 to 4 granted cores\n\
+             (and keeps improving to 8) on hosts with at least that many CPUs — the elastic\n\
+             grant now changes measured runtime, not only the modelled one. On a host with\n\
+             fewer CPUs the workers time-share and the curve flattens at the host's\n\
+             parallelism; near-flat times there still confirm the morsel pipeline adds no\n\
+             measurable overhead."
+        );
+    }
 }

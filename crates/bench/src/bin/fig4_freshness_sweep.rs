@@ -60,6 +60,7 @@ fn main() {
             .rde
             .olap()
             .run_query(&plan, &sources, Some(&txn))
+            .expect("CH plan matches the scheduled sources")
             .modeled
             .total;
 
@@ -72,6 +73,7 @@ fn main() {
                 .rde
                 .olap()
                 .run_query(&plan, &sources, Some(&txn))
+                .expect("CH plan matches the scheduled sources")
                 .modeled
                 .total;
 
@@ -84,6 +86,7 @@ fn main() {
             .rde
             .olap()
             .run_query(&plan, &sources, Some(&txn))
+            .expect("CH plan matches the scheduled sources")
             .modeled
             .total;
 

@@ -21,7 +21,7 @@ fn run_schedule(args: &HarnessArgs, schedule: Schedule) -> (Vec<f64>, Vec<f64>, 
         .with_schedule(schedule);
     let system = HtapSystem::build(config).expect("system builds");
     let workload = MixedWorkload::figure5(args.sequences, TXNS_PER_WORKER_BETWEEN);
-    let report = run_mixed_workload(&system, &workload);
+    let report = run_mixed_workload(&system, &workload).expect("CH workload matches the CH schema");
     (
         report.sequence_times(),
         report.sequence_mtps(),

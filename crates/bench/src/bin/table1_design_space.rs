@@ -23,15 +23,57 @@ fn main() {
     println!("Table 1 — HTAP design classification (paper) and measured trade-off probes\n");
     let mut classification = ExperimentTable::new(
         "Table 1 — classification of HTAP designs",
-        &["storage", "system_class", "snapshot_mechanism", "freshness_perf_tradeoff", "emulated_by"],
+        &[
+            "storage",
+            "system_class",
+            "snapshot_mechanism",
+            "freshness_perf_tradeoff",
+            "emulated_by",
+        ],
     );
     let rows = [
-        ("Unified", "HyPer-Fork / Caldera", "CoW", "OLTP pays page copies", "CoW baseline"),
-        ("Unified", "HyPer-MVOCC / MemSQL / BLU", "MVCC", "OLAP pays version traversal", "state S1"),
-        ("Unified", "SAP HANA", "Delta-versioning", "both engines pay merges", "state S1 + sync"),
-        ("Decoupled", "BatchDB", "Batch-ETL", "OLAP pays ETL latency", "state S2 / ETL baseline"),
-        ("Decoupled", "SQL Server", "MVCC-Delta", "OLAP pays tail-record scan", "state S3-IS"),
-        ("Decoupled", "Oracle dual-format", "Txn journal & ETL", "OLAP pays tail-record scan", "state S3-NI"),
+        (
+            "Unified",
+            "HyPer-Fork / Caldera",
+            "CoW",
+            "OLTP pays page copies",
+            "CoW baseline",
+        ),
+        (
+            "Unified",
+            "HyPer-MVOCC / MemSQL / BLU",
+            "MVCC",
+            "OLAP pays version traversal",
+            "state S1",
+        ),
+        (
+            "Unified",
+            "SAP HANA",
+            "Delta-versioning",
+            "both engines pay merges",
+            "state S1 + sync",
+        ),
+        (
+            "Decoupled",
+            "BatchDB",
+            "Batch-ETL",
+            "OLAP pays ETL latency",
+            "state S2 / ETL baseline",
+        ),
+        (
+            "Decoupled",
+            "SQL Server",
+            "MVCC-Delta",
+            "OLAP pays tail-record scan",
+            "state S3-IS",
+        ),
+        (
+            "Decoupled",
+            "Oracle dual-format",
+            "Txn journal & ETL",
+            "OLAP pays tail-record scan",
+            "state S3-NI",
+        ),
     ];
     for (storage, class, mech, tradeoff, emulated) in rows {
         classification.push_row(vec![
@@ -49,7 +91,12 @@ fn main() {
     // report what it cost each side.
     let mut probes = ExperimentTable::new(
         "Table 1 probes — measured freshness/performance trade-off per emulated design",
-        &["emulation", "query_resp_s", "freshness_cost_s", "oltp_mtps_during_query"],
+        &[
+            "emulation",
+            "query_resp_s",
+            "freshness_cost_s",
+            "oltp_mtps_during_query",
+        ],
     );
 
     // States of our system.
@@ -61,7 +108,11 @@ fn main() {
         let migration = harness.rde.migrate(state);
         let sources = harness.rde.sources_for(&plan.tables(), migration.access);
         let txn = harness.rde.txn_work();
-        let exec = harness.rde.olap().run_query(&plan, &sources, Some(&txn));
+        let exec = harness
+            .rde
+            .olap()
+            .run_query(&plan, &sources, Some(&txn))
+            .expect("CH plan matches the scheduled sources");
         let tps = harness.rde.modeled_oltp_throughput(
             &harness
                 .rde

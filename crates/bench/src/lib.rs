@@ -20,9 +20,11 @@
 //! target (see EXPERIMENTS.md).
 
 use htap_chbench::{ChConfig, ChGenerator, TransactionDriver};
-use htap_rde::{RdeConfig, RdeEngine};
-use htap_sim::Topology;
+use htap_olap::{QueryExecutor, QueryPlan, WorkerTeam};
+use htap_rde::{AccessMethod, RdeConfig, RdeEngine};
+use htap_sim::{CoreId, Topology};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Command-line options shared by the harness binaries.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,6 +35,9 @@ pub struct HarnessArgs {
     pub sequences: usize,
     /// Emit CSV instead of an aligned text table.
     pub csv: bool,
+    /// Also run the measured (wall-clock) scaling sweep where the harness
+    /// supports one — real threads over real data instead of modelled time.
+    pub measured: bool,
 }
 
 impl Default for HarnessArgs {
@@ -41,6 +46,7 @@ impl Default for HarnessArgs {
             scale: 0.02,
             sequences: 30,
             csv: false,
+            measured: false,
         }
     }
 }
@@ -49,11 +55,11 @@ impl HarnessArgs {
     /// Parse `--scale`, `--sequences` and `--csv` from the process arguments,
     /// falling back to the defaults for anything absent.
     pub fn parse() -> Self {
-        Self::from_iter(std::env::args().skip(1))
+        Self::parse_from(std::env::args().skip(1))
     }
 
     /// Parse from an explicit iterator (testable).
-    pub fn from_iter<I: IntoIterator<Item = String>>(args: I) -> Self {
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
         let mut out = Self::default();
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
@@ -69,6 +75,7 @@ impl HarnessArgs {
                     }
                 }
                 "--csv" => out.csv = true,
+                "--measured" => out.measured = true,
                 _ => {}
             }
         }
@@ -132,10 +139,72 @@ impl Harness {
         let per_worker = (txns / workers).max(1);
         let mut committed = 0;
         for w in 0..workers {
-            committed += self.driver.run_new_orders(self.rde.oltp(), w, per_worker, seed + w);
+            committed += self
+                .driver
+                .run_new_orders(self.rde.oltp(), w, per_worker, seed + w);
         }
         committed
     }
+}
+
+/// One point of a measured (wall-clock) scaling sweep: the same plan over
+/// the same data, executed by a worker team of the given size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasuredPoint {
+    /// Pipeline workers (granted cores) of the run.
+    pub workers: usize,
+    /// Best wall-clock execution time over the repetitions, seconds.
+    pub best_seconds: f64,
+    /// Scan throughput at the best time, tuples per second.
+    pub tuples_per_second: f64,
+}
+
+/// Measure wall-clock scan scaling of the morsel-driven executor: execute
+/// `plan` with each worker count of `worker_counts` and report the best of
+/// `repetitions` runs (the modelled times elsewhere in the harnesses are
+/// deterministic; this is the one place real threads touch real data, so the
+/// minimum over a few runs filters scheduler noise).
+pub fn measured_scan_scaling(
+    rde: &RdeEngine,
+    plan: &QueryPlan,
+    access: AccessMethod,
+    worker_counts: &[usize],
+    repetitions: usize,
+) -> Vec<MeasuredPoint> {
+    let sources = rde.sources_for(&plan.tables(), access);
+    // Morsels small enough that even the tiny default scale gives every
+    // worker of the largest team a queue to pull from.
+    let executor = QueryExecutor::with_block_rows(4 * 1024);
+    worker_counts
+        .iter()
+        .map(|&workers| {
+            let team = WorkerTeam::from_cores((0..workers as u16).map(CoreId).collect());
+            // Warm-up run: faults the columns in and spins the threads up once.
+            let output = executor
+                .execute_parallel(plan, &sources, &team)
+                .expect("CH plan matches its sources");
+            let tuples = output.work.tuples_scanned;
+            let mut best = f64::INFINITY;
+            for _ in 0..repetitions.max(1) {
+                let start = Instant::now();
+                let out = executor
+                    .execute_parallel(plan, &sources, &team)
+                    .expect("CH plan matches its sources");
+                let elapsed = start.elapsed().as_secs_f64();
+                assert_eq!(out.result, output.result, "parallel runs must agree");
+                best = best.min(elapsed);
+            }
+            MeasuredPoint {
+                workers,
+                best_seconds: best,
+                tuples_per_second: if best > 0.0 {
+                    tuples as f64 / best
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect()
 }
 
 /// Format a seconds value with µs precision for the experiment tables.
@@ -154,7 +223,7 @@ mod tests {
 
     #[test]
     fn args_parse_known_flags_and_ignore_others() {
-        let args = HarnessArgs::from_iter(
+        let args = HarnessArgs::parse_from(
             ["--scale", "0.05", "--junk", "--sequences", "12", "--csv"]
                 .into_iter()
                 .map(String::from),
@@ -162,7 +231,7 @@ mod tests {
         assert_eq!(args.scale, 0.05);
         assert_eq!(args.sequences, 12);
         assert!(args.csv);
-        let defaults = HarnessArgs::from_iter(std::iter::empty());
+        let defaults = HarnessArgs::parse_from(std::iter::empty());
         assert_eq!(defaults, HarnessArgs::default());
     }
 
@@ -181,6 +250,7 @@ mod tests {
             scale: 0.001,
             sequences: 1,
             csv: false,
+            measured: false,
         };
         let harness = Harness::two_socket(&args);
         assert!(harness.rows_loaded > 0);

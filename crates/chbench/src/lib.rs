@@ -21,7 +21,7 @@ pub mod sequence;
 pub mod transactions;
 
 pub use generator::{ChConfig, ChGenerator, PopulationReport};
-pub use queries::{ch_q1, ch_q6, ch_q19, query_mix, QueryId};
+pub use queries::{ch_q1, ch_q19, ch_q6, query_mix, QueryId};
 pub use schema::{keys, tables, ALL_TABLES};
 pub use sequence::{QuerySequence, SequenceKind};
 pub use transactions::{NewOrderParams, TransactionDriver, TxnStats};

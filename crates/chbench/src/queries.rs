@@ -69,7 +69,7 @@ pub fn ch_q6() -> QueryPlan {
             Predicate::new("ol_quantity", CmpOp::Ge, 1.0),
         ],
         aggregates: vec![AggExpr::Sum(
-            ScalarExpr::col("ol_amount").mul(ScalarExpr::col("ol_quantity")),
+            ScalarExpr::col("ol_amount") * ScalarExpr::col("ol_quantity"),
         )],
     }
 }

@@ -276,7 +276,11 @@ mod tests {
         assert_eq!(schemas.len(), ALL_TABLES.len());
         for (schema, name) in schemas.iter().zip(ALL_TABLES) {
             assert_eq!(schema.name, name);
-            assert_eq!(schema.primary_key, Some(0), "{name} keys on its first column");
+            assert_eq!(
+                schema.primary_key,
+                Some(0),
+                "{name} keys on its first column"
+            );
             assert!(schema.row_width_bytes() > 0);
         }
     }
@@ -306,7 +310,10 @@ mod tests {
                 for o in 1..=50u64 {
                     assert!(seen.insert(keys::order(w, d, o) << 32), "order collision");
                     for l in 1..=15u64 {
-                        assert!(seen.insert(keys::orderline(w, d, o, l)), "orderline collision");
+                        assert!(
+                            seen.insert(keys::orderline(w, d, o, l)),
+                            "orderline collision"
+                        );
                     }
                 }
             }

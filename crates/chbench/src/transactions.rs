@@ -201,7 +201,9 @@ impl TransactionDriver {
             }
             let lines = params.lines.len() as u64;
             txn.commit()?;
-            self.stats.orderlines_inserted.fetch_add(lines, Ordering::Relaxed);
+            self.stats
+                .orderlines_inserted
+                .fetch_add(lines, Ordering::Relaxed);
             Ok(o_key)
         });
         match &result {
@@ -253,7 +255,13 @@ impl TransactionDriver {
     /// Run `count` `NewOrder` transactions on behalf of worker `worker_id`
     /// (bound to warehouse `1 + worker_id % warehouses`), retrying aborted
     /// transactions with new parameters. Returns the number of commits.
-    pub fn run_new_orders(&self, engine: &OltpEngine, worker_id: u64, count: u64, seed: u64) -> u64 {
+    pub fn run_new_orders(
+        &self,
+        engine: &OltpEngine,
+        worker_id: u64,
+        count: u64,
+        seed: u64,
+    ) -> u64 {
         let mut rng = StdRng::seed_from_u64(seed ^ (worker_id + 1).wrapping_mul(0x9E3779B9));
         let w_id = 1 + worker_id % self.warehouses;
         let mut committed = 0;
@@ -291,7 +299,10 @@ mod tests {
         assert_eq!(after - before, params.lines.len() as u64);
         assert!(params.lines.len() >= 5 && params.lines.len() <= 15);
         assert_eq!(driver.stats().committed(), 1);
-        assert_eq!(driver.stats().orderlines_inserted(), params.lines.len() as u64);
+        assert_eq!(
+            driver.stats().orderlines_inserted(),
+            params.lines.len() as u64
+        );
 
         // The order is readable through the transactional API.
         let ol_cnt = rde
@@ -304,7 +315,12 @@ mod tests {
 
         // The district's next order id advanced.
         let d_key = keys::district(params.w_id, params.d_id);
-        let next = rde.oltp().begin().read("district", d_key, 5).unwrap().as_i64();
+        let next = rde
+            .oltp()
+            .begin()
+            .read("district", d_key, 5)
+            .unwrap()
+            .as_i64();
         assert_eq!(next, 3002);
     }
 
@@ -316,7 +332,10 @@ mod tests {
         // Fresh rows include the inserted orders/orderlines/neworders and the
         // updated stock/district records.
         let fresh = rde.oltp().fresh_rows_vs_olap();
-        assert!(fresh >= rde.oltp().total_rows().min(10 * 5), "expected fresh rows, got {fresh}");
+        assert!(
+            fresh >= rde.oltp().total_rows().min(10 * 5),
+            "expected fresh rows, got {fresh}"
+        );
         assert!(driver.stats().committed() >= 10);
     }
 
@@ -327,9 +346,19 @@ mod tests {
         let w_ytd = rde.oltp().begin().read("warehouse", 1, 2).unwrap().as_f64();
         assert_eq!(w_ytd, 300_100.0);
         let c_key = keys::customer(1, 1, 5);
-        let balance = rde.oltp().begin().read("customer", c_key, 4).unwrap().as_f64();
+        let balance = rde
+            .oltp()
+            .begin()
+            .read("customer", c_key, 4)
+            .unwrap()
+            .as_f64();
         assert_eq!(balance, -110.0);
-        let cnt = rde.oltp().begin().read("customer", c_key, 6).unwrap().as_i32();
+        let cnt = rde
+            .oltp()
+            .begin()
+            .read("customer", c_key, 6)
+            .unwrap()
+            .as_i32();
         assert_eq!(cnt, 2);
     }
 

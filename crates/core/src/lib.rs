@@ -9,7 +9,7 @@
 //!
 //! let mut system = HtapSystem::build(HtapConfig::tiny()).unwrap();
 //! system.run_oltp(100);                       // NewOrder transactions
-//! let report = system.execute_query(QueryId::Q6); // scheduled + executed
+//! let report = system.execute_query(QueryId::Q6).unwrap(); // scheduled + executed
 //! println!("{} in {:.3}s under {}", report.query, report.total_time(), report.state);
 //! ```
 //!

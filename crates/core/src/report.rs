@@ -103,7 +103,11 @@ impl ExperimentTable {
 
     /// Append a row (stringified cells).
     pub fn push_row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.header.len(), "row arity must match header");
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row arity must match header"
+        );
         self.rows.push(cells);
     }
 

@@ -3,7 +3,7 @@
 use crate::config::HtapConfig;
 use crate::report::QueryReport;
 use htap_chbench::{ChGenerator, PopulationReport, QueryId, TransactionDriver};
-use htap_olap::QueryPlan;
+use htap_olap::{OlapError, QueryPlan};
 use htap_rde::RdeEngine;
 use htap_scheduler::{HtapScheduler, Schedule};
 use parking_lot::Mutex;
@@ -116,18 +116,40 @@ impl HtapSystem {
                     scope.spawn(move || driver.run_new_orders(oltp, worker, count_per_worker, seed))
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .sum()
         })
     }
 
+    /// Number of pipeline workers the OLAP engine currently fields — the
+    /// cores the RDE engine has granted it. Elastic migrations change this
+    /// between queries, and with it the measured parallelism of the next
+    /// query.
+    pub fn olap_worker_count(&self) -> usize {
+        self.rde.olap().workers().worker_count()
+    }
+
     /// Schedule and execute one analytical query plan.
-    pub fn execute_plan(&self, label: &str, plan: &QueryPlan, is_batch: bool) -> QueryReport {
+    ///
+    /// Errors (rather than panicking) when the plan references relations or
+    /// columns the scheduled access paths cannot serve.
+    pub fn execute_plan(
+        &self,
+        label: &str,
+        plan: &QueryPlan,
+        is_batch: bool,
+    ) -> Result<QueryReport, OlapError> {
         let scheduled = {
             let scheduler = self.scheduler.lock();
             scheduler.schedule_query(plan, is_batch)
         };
         let txn = self.rde.txn_work();
-        let execution = self.rde.olap().run_query(plan, &scheduled.sources, Some(&txn));
+        let execution = self
+            .rde
+            .olap()
+            .run_query(plan, &scheduled.sources, Some(&txn))?;
         let olap_traffic = self
             .rde
             .olap_traffic_for(&execution.output.work.bytes_per_socket);
@@ -136,7 +158,7 @@ impl HtapSystem {
             htap_sim::clock::Activity::QueryExecution,
             execution.modeled.total,
         );
-        QueryReport {
+        Ok(QueryReport {
             query: label.to_string(),
             state: scheduled.state,
             execution_time: execution.modeled.total,
@@ -147,11 +169,11 @@ impl HtapSystem {
             oltp_tps,
             result_rows: execution.output.result.row_count(),
             performed_etl: scheduled.migration.etl.is_some(),
-        }
+        })
     }
 
     /// Schedule and execute one CH-benCHmark query.
-    pub fn execute_query(&self, query: QueryId) -> QueryReport {
+    pub fn execute_query(&self, query: QueryId) -> Result<QueryReport, OlapError> {
         self.execute_plan(query.label(), &query.plan(), false)
     }
 
@@ -159,13 +181,17 @@ impl HtapSystem {
     /// (batches always take the ETL branch of Algorithm 2). Follow-up queries
     /// of the batch reuse the snapshot, so their report carries no scheduling
     /// overhead.
-    pub fn execute_batch_query(&self, query: QueryId, is_follow_up: bool) -> QueryReport {
-        let mut report = self.execute_plan(query.label(), &query.plan(), true);
+    pub fn execute_batch_query(
+        &self,
+        query: QueryId,
+        is_follow_up: bool,
+    ) -> Result<QueryReport, OlapError> {
+        let mut report = self.execute_plan(query.label(), &query.plan(), true)?;
         if is_follow_up {
             report.scheduling_time = 0.0;
             report.performed_etl = false;
         }
-        report
+        Ok(report)
     }
 }
 
@@ -196,7 +222,7 @@ mod tests {
         let system = tiny_system();
         let committed = system.run_oltp(5);
         assert!(committed > 0);
-        let report = system.execute_query(QueryId::Q6);
+        let report = system.execute_query(QueryId::Q6).unwrap();
         assert!(report.execution_time > 0.0);
         assert!(report.result_rows >= 1);
         assert!(report.oltp_tps > 0.0);
@@ -220,8 +246,12 @@ mod tests {
             system.set_schedule(schedule);
             let plan = QueryId::Q6.plan();
             let scheduled = system.with_scheduler(|s| s.schedule_query(&plan, false));
-            let exec = system.rde().olap().run_query(&plan, &scheduled.sources, None);
-            answers.push(exec.output.result.scalars()[0]);
+            let exec = system
+                .rde()
+                .olap()
+                .run_query(&plan, &scheduled.sources, None)
+                .unwrap();
+            answers.push(exec.output.result.scalars().unwrap()[0]);
         }
         for pair in answers.windows(2) {
             assert!(
@@ -244,12 +274,12 @@ mod tests {
     fn schedule_changes_take_effect() {
         let system = tiny_system();
         system.set_schedule(Schedule::Static(SystemState::S2Isolated));
-        let report = system.execute_query(QueryId::Q1);
+        let report = system.execute_query(QueryId::Q1).unwrap();
         assert_eq!(report.state, SystemState::S2Isolated);
         assert!(report.performed_etl);
 
         system.set_schedule(Schedule::Static(SystemState::S3HybridIsolated));
-        let report = system.execute_query(QueryId::Q1);
+        let report = system.execute_query(QueryId::Q1).unwrap();
         assert_eq!(report.state, SystemState::S3HybridIsolated);
         assert!(!report.performed_etl);
         assert_eq!(system.schedule().label(), "S3-IS");
@@ -258,8 +288,8 @@ mod tests {
     #[test]
     fn batch_follow_up_queries_do_not_pay_scheduling() {
         let system = tiny_system();
-        let first = system.execute_batch_query(QueryId::Q6, false);
-        let follow_up = system.execute_batch_query(QueryId::Q6, true);
+        let first = system.execute_batch_query(QueryId::Q6, false).unwrap();
+        let follow_up = system.execute_batch_query(QueryId::Q6, true).unwrap();
         assert!(first.scheduling_time >= 0.0);
         assert_eq!(follow_up.scheduling_time, 0.0);
         assert!(!follow_up.performed_etl);

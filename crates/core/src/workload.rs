@@ -4,6 +4,7 @@
 use crate::report::{QueryReport, SequenceReport};
 use crate::system::HtapSystem;
 use htap_chbench::{QuerySequence, SequenceKind};
+use htap_olap::OlapError;
 
 /// Description of a mixed workload: `sequences` analytical sequences, with
 /// `txns_per_worker_between` NewOrder transactions per worker ingested before
@@ -60,7 +61,10 @@ impl MixedWorkloadReport {
         if self.sequences.is_empty() {
             return 0.0;
         }
-        self.sequences.iter().map(SequenceReport::oltp_mtps).sum::<f64>()
+        self.sequences
+            .iter()
+            .map(SequenceReport::oltp_mtps)
+            .sum::<f64>()
             / self.sequences.len() as f64
     }
 
@@ -71,17 +75,30 @@ impl MixedWorkloadReport {
 
     /// The per-sequence execution times (the series Figure 5(a) plots).
     pub fn sequence_times(&self) -> Vec<f64> {
-        self.sequences.iter().map(SequenceReport::total_time).collect()
+        self.sequences
+            .iter()
+            .map(SequenceReport::total_time)
+            .collect()
     }
 
     /// The per-sequence OLTP throughputs in MTPS (Figure 5(b) series).
     pub fn sequence_mtps(&self) -> Vec<f64> {
-        self.sequences.iter().map(SequenceReport::oltp_mtps).collect()
+        self.sequences
+            .iter()
+            .map(SequenceReport::oltp_mtps)
+            .collect()
     }
 }
 
 /// Execute a mixed workload against a system, under its current schedule.
-pub fn run_mixed_workload(system: &HtapSystem, workload: &MixedWorkload) -> MixedWorkloadReport {
+///
+/// Stops at — and reports — the first query the OLAP engine rejects; the
+/// CH-benCHmark plans always match the CH schema, so an error here means the
+/// system was built without its relations.
+pub fn run_mixed_workload(
+    system: &HtapSystem,
+    workload: &MixedWorkload,
+) -> Result<MixedWorkloadReport, OlapError> {
     let mut report = MixedWorkloadReport::default();
     for sequence_idx in 0..workload.sequences {
         if workload.txns_per_worker_between > 0 {
@@ -93,16 +110,16 @@ pub fn run_mixed_workload(system: &HtapSystem, workload: &MixedWorkload) -> Mixe
         };
         for (i, &query) in workload.sequence.queries.iter().enumerate() {
             let query_report: QueryReport = match workload.sequence.kind {
-                SequenceKind::Independent => system.execute_query(query),
+                SequenceKind::Independent => system.execute_query(query)?,
                 SequenceKind::Batch => {
-                    system.execute_batch_query(query, workload.sequence.is_batch_member(i))
+                    system.execute_batch_query(query, workload.sequence.is_batch_member(i))?
                 }
             };
             seq_report.queries.push(query_report);
         }
         report.sequences.push(seq_report);
     }
-    report
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -121,7 +138,7 @@ mod tests {
     fn mixed_workload_runs_all_sequences_and_ingests_transactions() {
         let system = tiny_system();
         let workload = MixedWorkload::figure5(3, 2);
-        let report = run_mixed_workload(&system, &workload);
+        let report = run_mixed_workload(&system, &workload).unwrap();
         assert_eq!(report.sequences.len(), 3);
         assert!(report.transactions_committed >= 3 * 2);
         assert_eq!(report.sequence_times().len(), 3);
@@ -136,7 +153,7 @@ mod tests {
         let system = tiny_system();
         system.set_schedule(Schedule::Static(SystemState::S2Isolated));
         let workload = MixedWorkload::batches(QueryId::Q6, 4, 1, 1);
-        let report = run_mixed_workload(&system, &workload);
+        let report = run_mixed_workload(&system, &workload).unwrap();
         let queries = &report.sequences[0].queries;
         assert_eq!(queries.len(), 4);
         assert!(queries[0].scheduling_time > 0.0 || queries[0].performed_etl);
@@ -151,7 +168,7 @@ mod tests {
         let system = tiny_system();
         system.set_schedule(Schedule::Static(SystemState::S2Isolated));
         let workload = MixedWorkload::figure5(2, 1);
-        let report = run_mixed_workload(&system, &workload);
+        let report = run_mixed_workload(&system, &workload).unwrap();
         // Three independent queries per sequence, each taking the ETL path.
         assert_eq!(report.etl_count(), 2 * 3);
     }

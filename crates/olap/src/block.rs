@@ -49,13 +49,21 @@ impl Block {
 
     /// Attach a numeric column. Panics if its length differs from the block size.
     pub fn add_numeric(&mut self, name: impl Into<String>, values: Vec<f64>) {
-        assert_eq!(values.len(), self.rows, "column length must match block rows");
+        assert_eq!(
+            values.len(),
+            self.rows,
+            "column length must match block rows"
+        );
         self.numeric.insert(name.into(), values);
     }
 
     /// Attach a key column. Panics if its length differs from the block size.
     pub fn add_key(&mut self, name: impl Into<String>, values: Vec<i64>) {
-        assert_eq!(values.len(), self.rows, "column length must match block rows");
+        assert_eq!(
+            values.len(),
+            self.rows,
+            "column length must match block rows"
+        );
         self.keys.insert(name.into(), values);
     }
 

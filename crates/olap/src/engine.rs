@@ -9,6 +9,7 @@
 //! query is executed over whatever [`ScanSource`]s the RDE engine / scheduler
 //! wires up — OLAP-local, OLTP snapshot, or split access.
 
+use crate::error::OlapError;
 use crate::exec::{QueryExecutor, QueryOutput};
 use crate::plan::QueryPlan;
 use crate::source::ScanSource;
@@ -81,7 +82,10 @@ impl OlapStore {
     pub fn create_table(&self, schema: TableSchema) -> Result<Arc<OlapTable>, String> {
         let mut tables = self.tables.write();
         if tables.contains_key(&schema.name) {
-            return Err(format!("table {} already exists in OLAP store", schema.name));
+            return Err(format!(
+                "table {} already exists in OLAP store",
+                schema.name
+            ));
         }
         let table = Arc::new(OlapTable::new(schema.clone()));
         tables.insert(schema.name.clone(), Arc::clone(&table));
@@ -131,7 +135,9 @@ impl OlapStore {
         }
         let new_rows = inserted.end.max(table.rows.load(Ordering::Acquire));
         table.rows.store(new_rows, Ordering::Release);
-        table.synced_epoch.store(snapshot.epoch(), Ordering::Release);
+        table
+            .synced_epoch
+            .store(snapshot.epoch(), Ordering::Release);
         copied
     }
 
@@ -211,20 +217,27 @@ impl OlapEngine {
 
     /// Execute a query over the provided access paths and model its execution
     /// time, optionally accounting for a concurrent transactional workload.
+    ///
+    /// Execution is morsel-driven and parallel: the worker team — one
+    /// pipeline worker per core the RDE engine has granted — claims morsels
+    /// of the scan, so elastic grants change the measured wall-clock time of
+    /// the query, not just the modelled one. With no cores granted the query
+    /// still runs, on a single unpinned worker.
     pub fn run_query(
         &self,
         plan: &QueryPlan,
         sources: &BTreeMap<String, ScanSource>,
         concurrent_txn: Option<&TxnWork>,
-    ) -> QueryExecution {
-        let output = self.executor.execute(plan, sources);
+    ) -> Result<QueryExecution, OlapError> {
+        let team = self.workers.team();
+        let output = self.executor.execute_parallel(plan, sources, &team)?;
         let placement = self.workers.placement();
         let scan_work = output.work.scan_work(plan.cpu_ns_per_tuple());
         let join_work = output.work.join_work();
         let modeled =
             self.cost_model
                 .scan_time(&scan_work, &placement, join_work.as_ref(), concurrent_txn);
-        QueryExecution { output, modeled }
+        Ok(QueryExecution { output, modeled })
     }
 }
 
@@ -255,7 +268,8 @@ mod tests {
     fn twin_with_rows(n: u64) -> TwinTable {
         let twin = TwinTable::new(schema());
         for i in 0..n {
-            twin.insert(&[Value::I64(i as i64), Value::F64(i as f64)]).unwrap();
+            twin.insert(&[Value::I64(i as i64), Value::F64(i as f64)])
+                .unwrap();
         }
         twin.switch_active();
         twin
@@ -315,12 +329,21 @@ mod tests {
             aggregates: vec![AggExpr::Sum(ScalarExpr::col("amount")), AggExpr::Count],
         };
         let mut sources = BTreeMap::new();
-        sources.insert("sales".to_string(), e.store().local_source("sales").unwrap());
-        let exec = e.run_query(&plan, &sources, None);
-        assert_eq!(exec.output.result.scalars()[1], 1000.0);
-        assert_eq!(exec.output.result.scalars()[0], (0..1000).map(|i| i as f64).sum::<f64>());
+        sources.insert(
+            "sales".to_string(),
+            e.store().local_source("sales").unwrap(),
+        );
+        let exec = e.run_query(&plan, &sources, None).unwrap();
+        assert_eq!(exec.output.result.scalars().unwrap()[1], 1000.0);
+        assert_eq!(
+            exec.output.result.scalars().unwrap()[0],
+            (0..1000).map(|i| i as f64).sum::<f64>()
+        );
         assert!(exec.modeled.total > 0.0);
-        assert_eq!(exec.output.work.fresh_rows, 0, "local source holds no fresh rows");
+        assert_eq!(
+            exec.output.work.fresh_rows, 0,
+            "local source holds no fresh rows"
+        );
     }
 
     #[test]
@@ -339,15 +362,18 @@ mod tests {
         };
         // Local access (OLAP instance on socket 1, workers on socket 1).
         let mut local = BTreeMap::new();
-        local.insert("sales".to_string(), e.store().local_source("sales").unwrap());
-        let t_local = e.run_query(&plan, &local, None).modeled.total;
+        local.insert(
+            "sales".to_string(),
+            e.store().local_source("sales").unwrap(),
+        );
+        let t_local = e.run_query(&plan, &local, None).unwrap().modeled.total;
         // Remote access (OLTP snapshot on socket 0, workers on socket 1).
         let mut remote = BTreeMap::new();
         remote.insert(
             "sales".to_string(),
             ScanSource::contiguous_snapshot(&snap, SocketId(0)),
         );
-        let t_remote = e.run_query(&plan, &remote, None).modeled.total;
+        let t_remote = e.run_query(&plan, &remote, None).unwrap().modeled.total;
         assert!(
             t_remote > t_local * 1.5,
             "remote reads must be modeled slower: local={t_local} remote={t_remote}"
@@ -370,9 +396,13 @@ mod tests {
             "sales".to_string(),
             ScanSource::contiguous_snapshot(&snap, SocketId(0)),
         );
-        let alone = e.run_query(&plan, &sources, None).modeled.total;
+        let alone = e.run_query(&plan, &sources, None).unwrap().modeled.total;
         let txn = TxnWork::colocated(SocketId(0), 14, 85_000.0);
-        let contended = e.run_query(&plan, &sources, Some(&txn)).modeled.total;
+        let contended = e
+            .run_query(&plan, &sources, Some(&txn))
+            .unwrap()
+            .modeled
+            .total;
         assert!(contended >= alone);
     }
 }

@@ -1,42 +1,74 @@
-//! The vectorised query executor.
+//! The morsel-driven, vectorised query executor.
 //!
-//! Plans are executed one block of tuples at a time without materialising
-//! intermediate results (§3.3). Besides the query result, the executor
-//! produces a [`WorkProfile`]: how many bytes were read from each socket, how
-//! many tuples flowed through the pipeline, and the join-specific quantities
-//! (build size, probe count). The work profile is what the cost model converts
-//! into modelled execution time on the simulated NUMA machine.
+//! Every plan is executed as a set of pipelines over [`Morsel`]s — NUMA-tagged
+//! row ranges cut from the query's [`ScanSource`]s (§3.3 processes "one block
+//! of tuples at a time"; here a block is the unit a worker *claims*, not just
+//! the unit it processes). The [`crate::worker::WorkerTeam`] — one pipeline
+//! worker per core the RDE engine has granted — pulls morsels from a shared
+//! cursor, folds each one into a private partial result, and the partials are
+//! merged in morsel-index order.
+//!
+//! Two properties follow from that structure:
+//!
+//! * **Determinism** — partial aggregation states are per *morsel*, and the
+//!   merge order is the morsel order, so the result is bit-for-bit identical
+//!   for every worker count (including the solo worker), no matter how the
+//!   workers interleave their claims.
+//! * **Exact accounting** — every worker tracks its own [`WorkProfile`]
+//!   (bytes per socket, tuples, fresh rows) from the morsels it actually
+//!   processed; the per-worker profiles are summed, and the totals equal what
+//!   the old sequential executor reported. The scheduler and the cost model
+//!   consume those totals unchanged.
 
-use crate::block::DEFAULT_BLOCK_ROWS;
+use crate::error::OlapError;
 use crate::expr::{evaluate_conjunction, AggExpr, AggState};
+use crate::morsel::Morsel;
 use crate::plan::QueryPlan;
 use crate::source::ScanSource;
+use crate::worker::WorkerTeam;
 use htap_sim::{JoinWork, ScanSegment, ScanWork, SocketId};
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One grouped result row: the group key values followed by the aggregates.
+pub type GroupRow = (Vec<i64>, Vec<f64>);
 
 /// Result rows of a query.
 #[derive(Debug, Clone, PartialEq)]
 pub enum QueryResult {
     /// One value per aggregate expression (no grouping).
     Scalars(Vec<f64>),
-    /// One row per group: the group key values followed by the aggregates.
-    Groups(Vec<(Vec<i64>, Vec<f64>)>),
+    /// One row per group.
+    Groups(Vec<GroupRow>),
 }
 
 impl QueryResult {
-    /// The scalar results; panics if the result is grouped.
-    pub fn scalars(&self) -> &[f64] {
+    fn shape(&self) -> &'static str {
         match self {
-            QueryResult::Scalars(v) => v,
-            QueryResult::Groups(_) => panic!("expected scalar result, found groups"),
+            QueryResult::Scalars(_) => "scalar",
+            QueryResult::Groups(_) => "grouped",
         }
     }
 
-    /// The grouped results; panics if the result is scalar.
-    pub fn groups(&self) -> &[(Vec<i64>, Vec<f64>)] {
+    /// The scalar results, or an error if the result is grouped.
+    pub fn scalars(&self) -> Result<&[f64], OlapError> {
         match self {
-            QueryResult::Groups(g) => g,
-            QueryResult::Scalars(_) => panic!("expected grouped result, found scalars"),
+            QueryResult::Scalars(v) => Ok(v),
+            QueryResult::Groups(_) => Err(OlapError::WrongResultShape {
+                expected: "scalar",
+                found: self.shape(),
+            }),
+        }
+    }
+
+    /// The grouped results, or an error if the result is scalar.
+    pub fn groups(&self) -> Result<&[GroupRow], OlapError> {
+        match self {
+            QueryResult::Groups(g) => Ok(g),
+            QueryResult::Scalars(_) => Err(OlapError::WrongResultShape {
+                expected: "grouped",
+                found: self.shape(),
+            }),
         }
     }
 
@@ -50,6 +82,9 @@ impl QueryResult {
 }
 
 /// Measured work of one query execution, used as cost-model input.
+///
+/// Under parallel execution each worker accumulates its own profile from the
+/// morsels it processed; [`WorkProfile::merge`] sums them.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct WorkProfile {
     /// Bytes read from each socket (columnar accounting over accessed columns).
@@ -72,6 +107,20 @@ impl WorkProfile {
     /// Total bytes read across sockets.
     pub fn total_bytes(&self) -> u64 {
         self.bytes_per_socket.values().sum()
+    }
+
+    /// Sum another profile into this one (partial profiles of workers or
+    /// pipeline phases).
+    pub fn merge(&mut self, other: &WorkProfile) {
+        for (&socket, &bytes) in &other.bytes_per_socket {
+            *self.bytes_per_socket.entry(socket).or_insert(0) += bytes;
+        }
+        self.tuples_scanned += other.tuples_scanned;
+        self.tuples_selected += other.tuples_selected;
+        self.fresh_rows += other.fresh_rows;
+        self.build_bytes += other.build_bytes;
+        self.probes += other.probes;
+        self.hash_table_bytes += other.hash_table_bytes;
     }
 
     /// Convert the profile into the cost model's scan-work descriptor.
@@ -101,12 +150,14 @@ impl WorkProfile {
         }
     }
 
-    fn absorb_source(&mut self, source: &ScanSource, columns: &[&str]) {
-        for (socket, bytes) in source.bytes_per_socket(columns) {
-            *self.bytes_per_socket.entry(socket).or_insert(0) += bytes;
+    /// Account one processed morsel: bytes on its socket, tuples, freshness.
+    fn absorb_morsel(&mut self, source: &ScanSource, morsel: &Morsel, columns: &[&str]) {
+        *self.bytes_per_socket.entry(morsel.socket).or_insert(0) +=
+            source.morsel_bytes(morsel, columns);
+        self.tuples_scanned += morsel.row_count() as u64;
+        if morsel.is_fresh() {
+            self.fresh_rows += morsel.row_count() as u64;
         }
-        self.tuples_scanned += source.total_rows();
-        self.fresh_rows += source.fresh_rows();
     }
 }
 
@@ -115,49 +166,88 @@ impl WorkProfile {
 pub struct QueryOutput {
     /// The query result.
     pub result: QueryResult,
-    /// The measured work (cost-model input).
+    /// The measured work (cost-model input), summed over all workers.
     pub work: WorkProfile,
 }
 
-/// The block-at-a-time query executor.
+/// Partial result of one morsel of an aggregation pipeline.
+struct AggPartial {
+    states: Vec<AggState>,
+    profile: WorkProfile,
+}
+
+/// Partial result of one morsel of a group-by pipeline.
+struct GroupPartial {
+    groups: BTreeMap<Vec<i64>, Vec<AggState>>,
+    profile: WorkProfile,
+}
+
+/// Partial result of one morsel of a join build pipeline.
+struct BuildPartial {
+    keys: HashSet<i64>,
+    profile: WorkProfile,
+}
+
+/// Partial result of one morsel of a join probe pipeline.
+struct ProbePartial {
+    states: Vec<AggState>,
+    probes: u64,
+    profile: WorkProfile,
+}
+
+/// The morsel-driven query executor.
 #[derive(Debug, Clone)]
 pub struct QueryExecutor {
-    /// Tuples per block.
+    /// Tuples per morsel (the unit of work a pipeline worker claims).
     pub block_rows: usize,
 }
 
 impl Default for QueryExecutor {
     fn default() -> Self {
         QueryExecutor {
-            block_rows: DEFAULT_BLOCK_ROWS,
+            block_rows: crate::block::DEFAULT_BLOCK_ROWS,
         }
     }
 }
 
 impl QueryExecutor {
-    /// Executor with a custom block size (tests use small blocks).
+    /// Executor with a custom morsel size (tests use small morsels).
     pub fn with_block_rows(block_rows: usize) -> Self {
         QueryExecutor { block_rows }
     }
 
-    /// Execute `plan` over the given per-relation access paths.
+    /// Execute `plan` sequentially (a solo worker team) over the given
+    /// per-relation access paths.
+    pub fn execute(
+        &self,
+        plan: &QueryPlan,
+        sources: &BTreeMap<String, ScanSource>,
+    ) -> Result<QueryOutput, OlapError> {
+        self.execute_parallel(plan, sources, &WorkerTeam::solo())
+    }
+
+    /// Execute `plan` with one pipeline worker per core of `team`.
     ///
-    /// Panics if a relation required by the plan has no source — wiring the
-    /// sources is the responsibility of the RDE engine / scheduler, and a
-    /// missing one is a logic error, not a runtime condition.
-    pub fn execute(&self, plan: &QueryPlan, sources: &BTreeMap<String, ScanSource>) -> QueryOutput {
+    /// The result is identical — bit for bit — to the solo execution of the
+    /// same plan over the same sources; only wall-clock time changes.
+    pub fn execute_parallel(
+        &self,
+        plan: &QueryPlan,
+        sources: &BTreeMap<String, ScanSource>,
+        team: &WorkerTeam,
+    ) -> Result<QueryOutput, OlapError> {
         match plan {
             QueryPlan::Aggregate {
                 table,
                 filters,
                 aggregates,
-            } => self.execute_aggregate(table, filters, aggregates, sources),
+            } => self.execute_aggregate(table, filters, aggregates, sources, team),
             QueryPlan::GroupByAggregate {
                 table,
                 filters,
                 group_by,
                 aggregates,
-            } => self.execute_group_by(table, filters, group_by, aggregates, sources),
+            } => self.execute_group_by(table, filters, group_by, aggregates, sources, team),
             QueryPlan::JoinAggregate {
                 fact,
                 dim,
@@ -175,6 +265,7 @@ impl QueryExecutor {
                 dim_filters,
                 aggregates,
                 sources,
+                team,
             ),
         }
     }
@@ -182,21 +273,70 @@ impl QueryExecutor {
     fn source<'a>(
         sources: &'a BTreeMap<String, ScanSource>,
         table: &str,
-    ) -> &'a ScanSource {
-        sources
-            .get(table)
-            .unwrap_or_else(|| panic!("no access path provided for relation {table}"))
+    ) -> Result<&'a ScanSource, OlapError> {
+        sources.get(table).ok_or_else(|| OlapError::MissingSource {
+            table: table.to_string(),
+        })
     }
 
-    fn numeric_columns(
-        filters: &[crate::expr::Predicate],
-        aggregates: &[AggExpr],
-    ) -> Vec<String> {
+    fn numeric_columns(filters: &[crate::expr::Predicate], aggregates: &[AggExpr]) -> Vec<String> {
         let mut cols: Vec<String> = filters.iter().map(|p| p.column.clone()).collect();
         cols.extend(aggregates.iter().flat_map(AggExpr::columns));
         cols.sort();
         cols.dedup();
         cols
+    }
+
+    /// Drive one pipeline over `morsels` with the team's workers.
+    ///
+    /// Workers claim morsels from a shared cursor (dynamic load balancing —
+    /// remote morsels take longer than local ones, so static partitioning
+    /// would leave cores idle). `task` produces one partial per morsel; the
+    /// partials are returned in morsel-index order so callers can merge them
+    /// deterministically.
+    fn run_pipeline<P, F>(
+        team: &WorkerTeam,
+        morsels: &[Morsel],
+        task: F,
+    ) -> Result<Vec<P>, OlapError>
+    where
+        P: Send,
+        F: Fn(&Morsel) -> Result<P, OlapError> + Sync,
+    {
+        let cursor = AtomicUsize::new(0);
+        let worker_results = team.capped(morsels.len()).run(|_worker| {
+            let mut claimed: Vec<(usize, P)> = Vec::new();
+            loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= morsels.len() {
+                    break;
+                }
+                claimed.push((idx, task(&morsels[idx])?));
+            }
+            Ok(claimed)
+        });
+        let mut partials: Vec<(usize, P)> = Vec::with_capacity(morsels.len());
+        for result in worker_results {
+            partials.extend(result?);
+        }
+        partials.sort_by_key(|(idx, _)| *idx);
+        Ok(partials.into_iter().map(|(_, p)| p).collect())
+    }
+
+    /// Evaluate the aggregate inputs of one block (None for `COUNT(*)`).
+    fn aggregate_inputs(
+        aggregates: &[AggExpr],
+        block: &crate::block::Block,
+    ) -> Vec<Option<Vec<f64>>> {
+        aggregates
+            .iter()
+            .map(|agg| match agg {
+                AggExpr::Count => None,
+                AggExpr::Sum(e) | AggExpr::Avg(e) | AggExpr::Min(e) | AggExpr::Max(e) => {
+                    Some(e.evaluate(block))
+                }
+            })
+            .collect()
     }
 
     fn execute_aggregate(
@@ -205,43 +345,47 @@ impl QueryExecutor {
         filters: &[crate::expr::Predicate],
         aggregates: &[AggExpr],
         sources: &BTreeMap<String, ScanSource>,
-    ) -> QueryOutput {
-        let source = Self::source(sources, table);
+        team: &WorkerTeam,
+    ) -> Result<QueryOutput, OlapError> {
+        let source = Self::source(sources, table)?;
         let numeric = Self::numeric_columns(filters, aggregates);
         let numeric_refs: Vec<&str> = numeric.iter().map(String::as_str).collect();
+        let morsels = source.morsels(self.block_rows);
 
-        let mut states = vec![AggState::default(); aggregates.len()];
-        let mut selected = 0u64;
-        source.for_each_block(&numeric_refs, &[], self.block_rows, |block| {
+        let partials = Self::run_pipeline(team, &morsels, |morsel| {
+            let block = source.read_morsel(morsel, &numeric_refs, &[])?;
             let selection = evaluate_conjunction(filters, &block);
-            // Evaluate aggregate inputs once per block, fold selected rows.
-            for (agg, state) in aggregates.iter().zip(states.iter_mut()) {
-                match agg {
-                    AggExpr::Count => {
-                        for &sel in &selection {
-                            if sel {
-                                state.update_count();
-                            }
-                        }
-                    }
-                    AggExpr::Sum(e) | AggExpr::Avg(e) | AggExpr::Min(e) | AggExpr::Max(e) => {
-                        let values = e.evaluate(&block);
-                        for (v, &sel) in values.iter().zip(&selection) {
-                            if sel {
-                                state.update(*v);
-                            }
-                        }
+            let mut states = vec![AggState::default(); aggregates.len()];
+            let inputs = Self::aggregate_inputs(aggregates, &block);
+            let mut selected = 0u64;
+            for row in 0..block.rows() {
+                if !selection[row] {
+                    continue;
+                }
+                selected += 1;
+                for (state, input) in states.iter_mut().zip(&inputs) {
+                    match input {
+                        None => state.update_count(),
+                        Some(values) => state.update(values[row]),
                     }
                 }
             }
-            selected += selection.iter().filter(|&&s| s).count() as u64;
-        });
+            let mut profile = WorkProfile::default();
+            profile.absorb_morsel(source, morsel, &numeric_refs);
+            profile.tuples_selected = selected;
+            Ok(AggPartial { states, profile })
+        })?;
 
         let mut work = WorkProfile::default();
-        work.absorb_source(source, &numeric_refs);
-        work.tuples_selected = selected;
+        let mut states = vec![AggState::default(); aggregates.len()];
+        for partial in &partials {
+            work.merge(&partial.profile);
+            for (state, partial_state) in states.iter_mut().zip(&partial.states) {
+                state.merge(partial_state);
+            }
+        }
 
-        QueryOutput {
+        Ok(QueryOutput {
             result: QueryResult::Scalars(
                 aggregates
                     .iter()
@@ -250,7 +394,7 @@ impl QueryExecutor {
                     .collect(),
             ),
             work,
-        }
+        })
     }
 
     fn execute_group_by(
@@ -260,30 +404,24 @@ impl QueryExecutor {
         group_by: &[String],
         aggregates: &[AggExpr],
         sources: &BTreeMap<String, ScanSource>,
-    ) -> QueryOutput {
-        let source = Self::source(sources, table);
+        team: &WorkerTeam,
+    ) -> Result<QueryOutput, OlapError> {
+        let source = Self::source(sources, table)?;
         let numeric = Self::numeric_columns(filters, aggregates);
         let numeric_refs: Vec<&str> = numeric.iter().map(String::as_str).collect();
         let key_refs: Vec<&str> = group_by.iter().map(String::as_str).collect();
+        let morsels = source.morsels(self.block_rows);
 
-        let mut groups: BTreeMap<Vec<i64>, Vec<AggState>> = BTreeMap::new();
-        let mut selected = 0u64;
-        source.for_each_block(&numeric_refs, &key_refs, self.block_rows, |block| {
+        let partials = Self::run_pipeline(team, &morsels, |morsel| {
+            let block = source.read_morsel(morsel, &numeric_refs, &key_refs)?;
             let selection = evaluate_conjunction(filters, &block);
             let key_columns: Vec<&[i64]> = key_refs
                 .iter()
                 .map(|k| block.key(k).expect("group key column loaded"))
                 .collect();
-            // Pre-evaluate aggregate inputs for the block.
-            let agg_inputs: Vec<Option<Vec<f64>>> = aggregates
-                .iter()
-                .map(|agg| match agg {
-                    AggExpr::Count => None,
-                    AggExpr::Sum(e) | AggExpr::Avg(e) | AggExpr::Min(e) | AggExpr::Max(e) => {
-                        Some(e.evaluate(&block))
-                    }
-                })
-                .collect();
+            let inputs = Self::aggregate_inputs(aggregates, &block);
+            let mut groups: BTreeMap<Vec<i64>, Vec<AggState>> = BTreeMap::new();
+            let mut selected = 0u64;
             for row in 0..block.rows() {
                 if !selection[row] {
                     continue;
@@ -293,20 +431,42 @@ impl QueryExecutor {
                 let states = groups
                     .entry(key)
                     .or_insert_with(|| vec![AggState::default(); aggregates.len()]);
-                for (i, input) in agg_inputs.iter().enumerate() {
+                for (i, input) in inputs.iter().enumerate() {
                     match input {
                         None => states[i].update_count(),
                         Some(values) => states[i].update(values[row]),
                     }
                 }
             }
-        });
+            let mut accessed: Vec<&str> = numeric_refs.clone();
+            accessed.extend(&key_refs);
+            let mut profile = WorkProfile::default();
+            profile.absorb_morsel(source, morsel, &accessed);
+            profile.tuples_selected = selected;
+            Ok(GroupPartial { groups, profile })
+        })?;
 
+        // Merge the per-morsel hash tables in morsel order: the BTreeMap keeps
+        // group keys sorted, and folding morsel `i` before morsel `i + 1`
+        // keeps every group's aggregation order equal to the scan order —
+        // hence identical floating-point results for every worker count.
         let mut work = WorkProfile::default();
-        let mut accessed: Vec<&str> = numeric_refs.clone();
-        accessed.extend(&key_refs);
-        work.absorb_source(source, &accessed);
-        work.tuples_selected = selected;
+        let mut groups: BTreeMap<Vec<i64>, Vec<AggState>> = BTreeMap::new();
+        for partial in partials {
+            work.merge(&partial.profile);
+            for (key, states) in partial.groups {
+                match groups.entry(key) {
+                    std::collections::btree_map::Entry::Vacant(slot) => {
+                        slot.insert(states);
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut slot) => {
+                        for (merged, state) in slot.get_mut().iter_mut().zip(&states) {
+                            merged.merge(state);
+                        }
+                    }
+                }
+            }
+        }
 
         let rows = groups
             .into_iter()
@@ -319,10 +479,10 @@ impl QueryExecutor {
                 (key, aggs)
             })
             .collect();
-        QueryOutput {
+        Ok(QueryOutput {
             result: QueryResult::Groups(rows),
             work,
-        }
+        })
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -336,69 +496,93 @@ impl QueryExecutor {
         dim_filters: &[crate::expr::Predicate],
         aggregates: &[AggExpr],
         sources: &BTreeMap<String, ScanSource>,
-    ) -> QueryOutput {
-        let fact_source = Self::source(sources, fact);
-        let dim_source = Self::source(sources, dim);
+        team: &WorkerTeam,
+    ) -> Result<QueryOutput, OlapError> {
+        let fact_source = Self::source(sources, fact)?;
+        let dim_source = Self::source(sources, dim)?;
 
-        // Build phase: hash set of dimension keys passing the dimension filters.
+        // Build phase: hash set of dimension keys passing the dimension
+        // filters, built from per-morsel partial sets (set union is
+        // order-insensitive, so the build needs no ordering discipline).
         let dim_numeric: Vec<String> = dim_filters.iter().map(|p| p.column.clone()).collect();
         let dim_numeric_refs: Vec<&str> = dim_numeric.iter().map(String::as_str).collect();
-        let mut build: HashSet<i64> = HashSet::new();
-        dim_source.for_each_block(&dim_numeric_refs, &[dim_key], self.block_rows, |block| {
+        let mut dim_cols: Vec<&str> = dim_numeric_refs.clone();
+        dim_cols.push(dim_key);
+        let dim_morsels = dim_source.morsels(self.block_rows);
+        let build_partials = Self::run_pipeline(team, &dim_morsels, |morsel| {
+            let block = dim_source.read_morsel(morsel, &dim_numeric_refs, &[dim_key])?;
             let selection = evaluate_conjunction(dim_filters, &block);
             let keys = block.key(dim_key).expect("dim key loaded");
+            let mut passing = HashSet::new();
             for (row, &sel) in selection.iter().enumerate() {
                 if sel {
-                    build.insert(keys[row]);
+                    passing.insert(keys[row]);
                 }
             }
-        });
+            let mut profile = WorkProfile::default();
+            profile.absorb_morsel(dim_source, morsel, &dim_cols);
+            Ok(BuildPartial {
+                keys: passing,
+                profile,
+            })
+        })?;
+        let mut work = WorkProfile::default();
+        let mut build: HashSet<i64> = HashSet::new();
+        for partial in build_partials {
+            work.merge(&partial.profile);
+            build.extend(partial.keys);
+        }
 
-        // Probe phase.
+        // Probe phase: the build set is shared read-only with every worker.
         let fact_numeric = Self::numeric_columns(fact_filters, aggregates);
         let fact_numeric_refs: Vec<&str> = fact_numeric.iter().map(String::as_str).collect();
-        let mut states = vec![AggState::default(); aggregates.len()];
-        let mut probes = 0u64;
-        let mut selected = 0u64;
-        fact_source.for_each_block(&fact_numeric_refs, &[fact_key], self.block_rows, |block| {
+        let mut fact_cols: Vec<&str> = fact_numeric_refs.clone();
+        fact_cols.push(fact_key);
+        let fact_morsels = fact_source.morsels(self.block_rows);
+        let build_ref = &build;
+        let probe_partials = Self::run_pipeline(team, &fact_morsels, |morsel| {
+            let block = fact_source.read_morsel(morsel, &fact_numeric_refs, &[fact_key])?;
             let selection = evaluate_conjunction(fact_filters, &block);
             let keys = block.key(fact_key).expect("fact key loaded");
-            let agg_inputs: Vec<Option<Vec<f64>>> = aggregates
-                .iter()
-                .map(|agg| match agg {
-                    AggExpr::Count => None,
-                    AggExpr::Sum(e) | AggExpr::Avg(e) | AggExpr::Min(e) | AggExpr::Max(e) => {
-                        Some(e.evaluate(&block))
-                    }
-                })
-                .collect();
+            let inputs = Self::aggregate_inputs(aggregates, &block);
+            let mut states = vec![AggState::default(); aggregates.len()];
+            let mut probes = 0u64;
+            let mut selected = 0u64;
             for row in 0..block.rows() {
                 if !selection[row] {
                     continue;
                 }
                 probes += 1;
-                if !build.contains(&keys[row]) {
+                if !build_ref.contains(&keys[row]) {
                     continue;
                 }
                 selected += 1;
-                for (i, input) in agg_inputs.iter().enumerate() {
+                for (i, input) in inputs.iter().enumerate() {
                     match input {
                         None => states[i].update_count(),
                         Some(values) => states[i].update(values[row]),
                     }
                 }
             }
-        });
+            let mut profile = WorkProfile::default();
+            profile.absorb_morsel(fact_source, morsel, &fact_cols);
+            profile.tuples_selected = selected;
+            Ok(ProbePartial {
+                states,
+                probes,
+                profile,
+            })
+        })?;
 
-        let mut work = WorkProfile::default();
-        let mut fact_cols: Vec<&str> = fact_numeric_refs.clone();
-        fact_cols.push(fact_key);
-        work.absorb_source(fact_source, &fact_cols);
-        let mut dim_cols: Vec<&str> = dim_numeric_refs.clone();
-        dim_cols.push(dim_key);
-        work.absorb_source(dim_source, &dim_cols);
-        work.tuples_selected = selected;
-        work.probes = probes;
+        let mut states = vec![AggState::default(); aggregates.len()];
+        for partial in &probe_partials {
+            work.merge(&partial.profile);
+            work.probes += partial.probes;
+            for (state, partial_state) in states.iter_mut().zip(&partial.states) {
+                state.merge(partial_state);
+            }
+        }
+
         // The build side is broadcast: account its bytes and hash-table size.
         let dim_schema_width: u64 = dim_cols
             .iter()
@@ -415,7 +599,7 @@ impl QueryExecutor {
         // 16 bytes per hash-table entry (key + bucket overhead).
         work.hash_table_bytes = build.len() as u64 * 16;
 
-        QueryOutput {
+        Ok(QueryOutput {
             result: QueryResult::Scalars(
                 aggregates
                     .iter()
@@ -424,7 +608,7 @@ impl QueryExecutor {
                     .collect(),
             ),
             work,
-        }
+        })
     }
 }
 
@@ -445,6 +629,7 @@ mod tests {
     use super::*;
     use crate::expr::{CmpOp, Predicate, ScalarExpr};
     use crate::source::ScanSource;
+    use htap_sim::CoreId;
     use htap_storage::{ColumnDef, ColumnarTable, DataType, TableSchema, TableSnapshot, Value};
     use std::sync::Arc;
 
@@ -465,7 +650,7 @@ mod tests {
             t.append_row(&[
                 Value::I64(i as i64),
                 Value::I32((i % 10) as i32),
-                Value::F64((i % 100) as f64),
+                Value::F64((i % 100) as f64 + 0.1),
                 Value::I64((i % 5) as i64),
             ])
             .unwrap();
@@ -485,7 +670,8 @@ mod tests {
         );
         let t = ColumnarTable::new(schema);
         for i in 0..n {
-            t.append_row(&[Value::I64(i as i64), Value::F64(i as f64 * 10.0)]).unwrap();
+            t.append_row(&[Value::I64(i as i64), Value::F64(i as f64 * 10.0)])
+                .unwrap();
         }
         Arc::new(t)
     }
@@ -501,6 +687,10 @@ mod tests {
         m
     }
 
+    fn team_of(n: u16) -> WorkerTeam {
+        WorkerTeam::from_cores((0..n).map(CoreId).collect())
+    }
+
     #[test]
     fn aggregate_plan_computes_filtered_sum_and_count() {
         let plan = QueryPlan::Aggregate {
@@ -508,18 +698,23 @@ mod tests {
             filters: vec![Predicate::new("ol_quantity", CmpOp::Lt, 5.0)],
             aggregates: vec![AggExpr::Sum(ScalarExpr::col("ol_amount")), AggExpr::Count],
         };
-        let out = QueryExecutor::with_block_rows(64).execute(&plan, &sources_for(1000));
+        let out = QueryExecutor::with_block_rows(64)
+            .execute(&plan, &sources_for(1000))
+            .unwrap();
         // Rows with quantity in 0..=4: i%10 < 5, i.e. 500 rows.
         let expected_sum: f64 = (0..1000u64)
             .filter(|i| i % 10 < 5)
-            .map(|i| (i % 100) as f64)
+            .map(|i| (i % 100) as f64 + 0.1)
             .sum();
-        assert_eq!(out.result.scalars()[0], expected_sum);
-        assert_eq!(out.result.scalars()[1], 500.0);
+        assert!((out.result.scalars().unwrap()[0] - expected_sum).abs() < 1e-9);
+        assert_eq!(out.result.scalars().unwrap()[1], 500.0);
         assert_eq!(out.work.tuples_scanned, 1000);
         assert_eq!(out.work.tuples_selected, 500);
         assert!(out.work.total_bytes() > 0);
-        assert_eq!(out.work.fresh_rows, 1000, "all rows came from an OLTP snapshot");
+        assert_eq!(
+            out.work.fresh_rows, 1000,
+            "all rows came from an OLTP snapshot"
+        );
         assert!(out.work.join_work().is_none());
     }
 
@@ -531,8 +726,10 @@ mod tests {
             group_by: vec!["ol_i_id".into()],
             aggregates: vec![AggExpr::Sum(ScalarExpr::col("ol_amount")), AggExpr::Count],
         };
-        let out = QueryExecutor::with_block_rows(128).execute(&plan, &sources_for(1000));
-        let groups = out.result.groups();
+        let out = QueryExecutor::with_block_rows(128)
+            .execute(&plan, &sources_for(1000))
+            .unwrap();
+        let groups = out.result.groups().unwrap();
         assert_eq!(groups.len(), 5);
         // Every group has 200 rows.
         for (key, aggs) in groups {
@@ -540,8 +737,8 @@ mod tests {
             assert_eq!(aggs[1], 200.0);
         }
         let total: f64 = groups.iter().map(|(_, a)| a[0]).sum();
-        let expected: f64 = (0..1000u64).map(|i| (i % 100) as f64).sum();
-        assert_eq!(total, expected);
+        let expected: f64 = (0..1000u64).map(|i| (i % 100) as f64 + 0.1).sum();
+        assert!((total - expected).abs() < 1e-6);
         assert_eq!(out.result.row_count(), 5);
     }
 
@@ -550,7 +747,10 @@ mod tests {
         let mut sources = sources_for(1000);
         let it = item(5);
         let snap = TableSnapshot::new("item".into(), it, 5, 0);
-        sources.insert("item".into(), ScanSource::contiguous_snapshot(&snap, SocketId(1)));
+        sources.insert(
+            "item".into(),
+            ScanSource::contiguous_snapshot(&snap, SocketId(1)),
+        );
 
         let plan = QueryPlan::JoinAggregate {
             fact: "orderline".into(),
@@ -562,14 +762,16 @@ mod tests {
             dim_filters: vec![Predicate::new("i_price", CmpOp::Ge, 20.0)],
             aggregates: vec![AggExpr::Sum(ScalarExpr::col("ol_amount")), AggExpr::Count],
         };
-        let out = QueryExecutor::with_block_rows(100).execute(&plan, &sources);
+        let out = QueryExecutor::with_block_rows(100)
+            .execute(&plan, &sources)
+            .unwrap();
         let expected: f64 = (0..1000u64)
             .filter(|i| i % 10 < 5 && i % 5 >= 2)
-            .map(|i| (i % 100) as f64)
+            .map(|i| (i % 100) as f64 + 0.1)
             .sum();
         let expected_count = (0..1000u64).filter(|i| i % 10 < 5 && i % 5 >= 2).count() as f64;
-        assert_eq!(out.result.scalars()[0], expected);
-        assert_eq!(out.result.scalars()[1], expected_count);
+        assert!((out.result.scalars().unwrap()[0] - expected).abs() < 1e-9);
+        assert_eq!(out.result.scalars().unwrap()[1], expected_count);
         assert_eq!(out.work.probes, 500, "every filtered fact row probes");
         assert!(out.work.build_bytes > 0);
         assert!(out.work.hash_table_bytes > 0);
@@ -593,8 +795,8 @@ mod tests {
             filters: vec![],
             aggregates: vec![AggExpr::Count, AggExpr::Sum(ScalarExpr::col("ol_amount"))],
         };
-        let out = QueryExecutor::default().execute(&plan, &sources);
-        assert_eq!(out.result.scalars()[0], 1000.0);
+        let out = QueryExecutor::default().execute(&plan, &sources).unwrap();
+        assert_eq!(out.result.scalars().unwrap()[0], 1000.0);
         assert_eq!(out.work.fresh_rows, 200);
         assert!(out.work.bytes_per_socket[&SocketId(1)] > out.work.bytes_per_socket[&SocketId(0)]);
     }
@@ -606,7 +808,9 @@ mod tests {
             filters: vec![],
             aggregates: vec![AggExpr::Sum(ScalarExpr::col("ol_amount"))],
         };
-        let out = QueryExecutor::default().execute(&plan, &sources_for(500));
+        let out = QueryExecutor::default()
+            .execute(&plan, &sources_for(500))
+            .unwrap();
         let sw = out.work.scan_work(1.0);
         assert_eq!(sw.tuples, 500);
         assert_eq!(sw.total_bytes(), out.work.total_bytes());
@@ -620,9 +824,136 @@ mod tests {
             group_by: vec!["ol_quantity".into()],
             aggregates: vec![AggExpr::Sum(ScalarExpr::col("ol_amount")), AggExpr::Count],
         };
-        let small = QueryExecutor::with_block_rows(7).execute(&plan, &sources_for(997));
-        let large = QueryExecutor::with_block_rows(100_000).execute(&plan, &sources_for(997));
-        assert_eq!(small.result, large.result);
+        let small = QueryExecutor::with_block_rows(7)
+            .execute(&plan, &sources_for(997))
+            .unwrap();
+        let large = QueryExecutor::with_block_rows(100_000)
+            .execute(&plan, &sources_for(997))
+            .unwrap();
+        assert_eq!(small.result.row_count(), large.result.row_count());
+        for (s, l) in small
+            .result
+            .groups()
+            .unwrap()
+            .iter()
+            .zip(large.result.groups().unwrap())
+        {
+            assert_eq!(s.0, l.0);
+            for (a, b) in s.1.iter().zip(&l.1) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// The determinism contract of the tentpole: the same plan over the same
+    /// sources produces bit-for-bit identical results and work profiles for
+    /// every worker count — for a CH-Q6 shape (scan-filter-reduce)...
+    #[test]
+    fn q6_shape_is_bit_identical_across_worker_counts() {
+        let plan = QueryPlan::Aggregate {
+            table: "orderline".into(),
+            filters: vec![Predicate::new("ol_quantity", CmpOp::Lt, 7.0)],
+            aggregates: vec![
+                AggExpr::Sum(ScalarExpr::col("ol_amount") * ScalarExpr::col("ol_quantity")),
+                AggExpr::Avg(ScalarExpr::col("ol_amount")),
+                AggExpr::Min(ScalarExpr::col("ol_amount")),
+                AggExpr::Max(ScalarExpr::col("ol_amount")),
+                AggExpr::Count,
+            ],
+        };
+        let sources = sources_for(10_007);
+        let executor = QueryExecutor::with_block_rows(251);
+        let solo = executor.execute(&plan, &sources).unwrap();
+        for workers in [2u16, 3, 4, 8] {
+            let parallel = executor
+                .execute_parallel(&plan, &sources, &team_of(workers))
+                .unwrap();
+            assert_eq!(solo, parallel, "{workers} workers diverged from solo");
+        }
+    }
+
+    /// ...and for a CH-Q1 shape (scan-filter-group-by).
+    #[test]
+    fn q1_shape_is_bit_identical_across_worker_counts() {
+        let plan = QueryPlan::GroupByAggregate {
+            table: "orderline".into(),
+            filters: vec![Predicate::new("ol_amount", CmpOp::Ge, 3.0)],
+            group_by: vec!["ol_quantity".into(), "ol_i_id".into()],
+            aggregates: vec![
+                AggExpr::Sum(ScalarExpr::col("ol_amount")),
+                AggExpr::Avg(ScalarExpr::col("ol_amount")),
+                AggExpr::Count,
+            ],
+        };
+        let sources = sources_for(10_007);
+        let executor = QueryExecutor::with_block_rows(173);
+        let solo = executor.execute(&plan, &sources).unwrap();
+        for workers in [2u16, 4, 8] {
+            let parallel = executor
+                .execute_parallel(&plan, &sources, &team_of(workers))
+                .unwrap();
+            assert_eq!(solo, parallel, "{workers} workers diverged from solo");
+        }
+    }
+
+    #[test]
+    fn join_shape_is_bit_identical_across_worker_counts() {
+        let mut sources = sources_for(5_003);
+        let it = item(5);
+        let snap = TableSnapshot::new("item".into(), it, 5, 0);
+        sources.insert(
+            "item".into(),
+            ScanSource::contiguous_snapshot(&snap, SocketId(1)),
+        );
+        let plan = QueryPlan::JoinAggregate {
+            fact: "orderline".into(),
+            dim: "item".into(),
+            fact_key: "ol_i_id".into(),
+            dim_key: "i_id".into(),
+            fact_filters: vec![Predicate::new("ol_quantity", CmpOp::Lt, 6.0)],
+            dim_filters: vec![Predicate::new("i_price", CmpOp::Ge, 10.0)],
+            aggregates: vec![AggExpr::Sum(ScalarExpr::col("ol_amount")), AggExpr::Count],
+        };
+        let executor = QueryExecutor::with_block_rows(97);
+        let solo = executor.execute(&plan, &sources).unwrap();
+        for workers in [2u16, 4, 7] {
+            let parallel = executor
+                .execute_parallel(&plan, &sources, &team_of(workers))
+                .unwrap();
+            assert_eq!(solo, parallel, "{workers} workers diverged from solo");
+        }
+    }
+
+    #[test]
+    fn parallel_work_profile_sums_to_sequential_totals() {
+        let plan = QueryPlan::Aggregate {
+            table: "orderline".into(),
+            filters: vec![Predicate::new("ol_quantity", CmpOp::Lt, 5.0)],
+            aggregates: vec![AggExpr::Count],
+        };
+        let sources = sources_for(4_321);
+        let executor = QueryExecutor::with_block_rows(100);
+        let solo = executor.execute(&plan, &sources).unwrap();
+        let parallel = executor
+            .execute_parallel(&plan, &sources, &team_of(6))
+            .unwrap();
+        assert_eq!(solo.work, parallel.work);
+        assert_eq!(parallel.work.tuples_scanned, 4_321);
+    }
+
+    #[test]
+    fn empty_source_executes_to_empty_result() {
+        let plan = QueryPlan::GroupByAggregate {
+            table: "orderline".into(),
+            filters: vec![],
+            group_by: vec!["ol_i_id".into()],
+            aggregates: vec![AggExpr::Count],
+        };
+        let out = QueryExecutor::default()
+            .execute_parallel(&plan, &sources_for(0), &team_of(4))
+            .unwrap();
+        assert_eq!(out.result.row_count(), 0);
+        assert_eq!(out.work.tuples_scanned, 0);
     }
 
     #[test]
@@ -632,13 +963,62 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no access path provided")]
-    fn missing_source_panics() {
+    fn missing_source_is_a_typed_error() {
         let plan = QueryPlan::Aggregate {
             table: "nope".into(),
             filters: vec![],
             aggregates: vec![AggExpr::Count],
         };
-        QueryExecutor::default().execute(&plan, &BTreeMap::new());
+        let err = QueryExecutor::default()
+            .execute(&plan, &BTreeMap::new())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            OlapError::MissingSource {
+                table: "nope".into()
+            }
+        );
+        assert!(err.to_string().contains("no access path provided"));
+    }
+
+    #[test]
+    fn unknown_plan_column_is_a_typed_error() {
+        let plan = QueryPlan::Aggregate {
+            table: "orderline".into(),
+            filters: vec![Predicate::new("ol_ghost", CmpOp::Lt, 1.0)],
+            aggregates: vec![AggExpr::Count],
+        };
+        let err = QueryExecutor::default()
+            .execute(&plan, &sources_for(10))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            OlapError::UnknownColumn {
+                table: "orderline".into(),
+                column: "ol_ghost".into()
+            }
+        );
+    }
+
+    #[test]
+    fn wrong_shape_accessors_are_typed_errors() {
+        let scalars = QueryResult::Scalars(vec![1.0]);
+        assert!(scalars.scalars().is_ok());
+        assert_eq!(
+            scalars.groups().unwrap_err(),
+            OlapError::WrongResultShape {
+                expected: "grouped",
+                found: "scalar"
+            }
+        );
+        let groups = QueryResult::Groups(vec![]);
+        assert!(groups.groups().is_ok());
+        assert_eq!(
+            groups.scalars().unwrap_err(),
+            OlapError::WrongResultShape {
+                expected: "scalar",
+                found: "grouped"
+            }
+        );
     }
 }

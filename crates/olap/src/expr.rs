@@ -35,21 +35,6 @@ impl ScalarExpr {
         ScalarExpr::Literal(v)
     }
 
-    /// `self * other`.
-    pub fn mul(self, other: ScalarExpr) -> Self {
-        ScalarExpr::Mul(Box::new(self), Box::new(other))
-    }
-
-    /// `self - other`.
-    pub fn sub(self, other: ScalarExpr) -> Self {
-        ScalarExpr::Sub(Box::new(self), Box::new(other))
-    }
-
-    /// `self + other`.
-    pub fn add(self, other: ScalarExpr) -> Self {
-        ScalarExpr::Add(Box::new(self), Box::new(other))
-    }
-
     /// Columns referenced by the expression.
     pub fn columns(&self) -> Vec<String> {
         let mut out = Vec::new();
@@ -86,6 +71,27 @@ impl ScalarExpr {
 
     fn zip(a: Vec<f64>, b: Vec<f64>, f: impl Fn(f64, f64) -> f64) -> Vec<f64> {
         a.into_iter().zip(b).map(|(x, y)| f(x, y)).collect()
+    }
+}
+
+impl std::ops::Mul for ScalarExpr {
+    type Output = ScalarExpr;
+    fn mul(self, rhs: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Mul(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Sub for ScalarExpr {
+    type Output = ScalarExpr;
+    fn sub(self, rhs: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Sub(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Add for ScalarExpr {
+    type Output = ScalarExpr;
+    fn add(self, rhs: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Add(Box::new(self), Box::new(rhs))
     }
 }
 
@@ -147,9 +153,16 @@ impl Predicate {
         let values = block
             .numeric(&self.column)
             .map(|s| s.to_vec())
-            .or_else(|| block.key(&self.column).map(|s| s.iter().map(|&v| v as f64).collect()))
+            .or_else(|| {
+                block
+                    .key(&self.column)
+                    .map(|s| s.iter().map(|&v| v as f64).collect())
+            })
             .unwrap_or_else(|| panic!("column {} not present in block", self.column));
-        values.iter().map(|&v| self.op.apply(v, self.literal)).collect()
+        values
+            .iter()
+            .map(|&v| self.op.apply(v, self.literal))
+            .collect()
     }
 }
 
@@ -270,11 +283,14 @@ mod tests {
     #[test]
     fn scalar_expressions_evaluate_vectorised() {
         let b = block();
-        let expr = ScalarExpr::col("price").mul(ScalarExpr::lit(1.0).sub(ScalarExpr::col("discount")));
+        let expr = ScalarExpr::col("price") * (ScalarExpr::lit(1.0) - ScalarExpr::col("discount"));
         let out = expr.evaluate(&b);
         assert_eq!(out, vec![9.0, 16.0, 30.0, 20.0]);
-        assert_eq!(expr.columns(), vec!["discount".to_string(), "price".to_string()]);
-        let plus = ScalarExpr::col("price").add(ScalarExpr::lit(1.0));
+        assert_eq!(
+            expr.columns(),
+            vec!["discount".to_string(), "price".to_string()]
+        );
+        let plus = ScalarExpr::col("price") + ScalarExpr::lit(1.0);
         assert_eq!(plus.evaluate(&b), vec![11.0, 21.0, 31.0, 41.0]);
     }
 
@@ -304,8 +320,55 @@ mod tests {
             (CmpOp::Ge, vec![false, true, true, true]),
         ];
         for (op, expected) in cases {
-            assert_eq!(Predicate::new("price", op, 20.0).evaluate(&b), expected, "{op:?}");
+            assert_eq!(
+                Predicate::new("price", op, 20.0).evaluate(&b),
+                expected,
+                "{op:?}"
+            );
         }
+    }
+
+    #[test]
+    fn conjunction_on_empty_block_is_empty() {
+        let empty = Block::new(0, SocketId(0));
+        assert!(evaluate_conjunction(&[], &empty).is_empty());
+    }
+
+    #[test]
+    fn conjunction_order_does_not_change_selection() {
+        let b = block();
+        let p1 = Predicate::new("price", CmpOp::Ge, 20.0);
+        let p2 = Predicate::new("discount", CmpOp::Lt, 0.3);
+        let forward = evaluate_conjunction(&[p1.clone(), p2.clone()], &b);
+        let backward = evaluate_conjunction(&[p2, p1], &b);
+        assert_eq!(forward, backward);
+        assert_eq!(forward, vec![false, true, true, false]);
+    }
+
+    #[test]
+    fn contradictory_conjunction_selects_nothing() {
+        let b = block();
+        let selection = evaluate_conjunction(
+            &[
+                Predicate::new("price", CmpOp::Lt, 20.0),
+                Predicate::new("price", CmpOp::Gt, 20.0),
+            ],
+            &b,
+        );
+        assert_eq!(selection, vec![false; 4]);
+    }
+
+    #[test]
+    fn mixed_numeric_and_key_conjunction() {
+        let b = block();
+        let selection = evaluate_conjunction(
+            &[
+                Predicate::new("id", CmpOp::Le, 3.0),
+                Predicate::new("discount", CmpOp::Gt, 0.05),
+            ],
+            &b,
+        );
+        assert_eq!(selection, vec![true, true, false, false]);
     }
 
     #[test]

@@ -13,22 +13,34 @@
 //!   (the OLAP instance or an OLTP snapshot) or a partitioned set of areas
 //!   (the *split-access* method: OLAP-local rows plus the fresh tail from the
 //!   OLTP snapshot).
+//! * [`morsel`] — NUMA-tagged morsels, the claimable work units every scan is
+//!   split into (the scheduling granularity of the parallel pipelines).
 //! * [`block`], [`expr`] — typed tuple blocks and scalar/predicate expressions
 //!   evaluated over them.
 //! * [`plan`] — the query plans the CH-benCHmark workload needs:
 //!   scan-filter-reduce, scan-filter-group-by and fact–dimension hash joins.
-//! * [`exec`] — the vectorised executor; besides results it produces a
-//!   [`exec::WorkProfile`] (bytes touched per socket, tuples processed, join
-//!   probes) that the cost model converts into modelled time.
+//! * [`exec`] — the morsel-driven parallel executor; besides results it
+//!   produces a [`exec::WorkProfile`] (bytes touched per socket, tuples
+//!   processed, join probes), accumulated per worker and summed, that the
+//!   cost model converts into modelled time.
+//! * [`error`] — the typed [`OlapError`] every fallible query-path step
+//!   reports.
 //! * [`routing`] — block-routing policies (hash, load-aware, locality-aware)
 //!   that decide which socket's workers consume which data segment.
-//! * [`worker`], [`engine`] — the elastic worker manager and the engine
-//!   facade, including the engine-local OLAP storage instance that ETL fills.
+//! * [`worker`], [`engine`] — the elastic worker manager (whose granted
+//!   [`htap_sim::CpuSet`] sizes and pins the pipeline [`worker::WorkerTeam`])
+//!   and the engine facade, including the engine-local OLAP storage instance
+//!   that ETL fills.
+//!
+//! The crate layering and the execution flow are described in the repository's
+//! `ARCHITECTURE.md`.
 
 pub mod block;
 pub mod engine;
+pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod morsel;
 pub mod plan;
 pub mod routing;
 pub mod source;
@@ -36,9 +48,11 @@ pub mod worker;
 
 pub use block::Block;
 pub use engine::{OlapEngine, OlapStore};
+pub use error::OlapError;
 pub use exec::{QueryExecutor, QueryOutput, QueryResult, WorkProfile};
 pub use expr::{AggExpr, CmpOp, Predicate, ScalarExpr};
+pub use morsel::{split_morsels, Morsel};
 pub use plan::QueryPlan;
 pub use routing::{RoutingPolicy, SegmentAssignment};
 pub use source::{ScanSegmentSource, ScanSource};
-pub use worker::OlapWorkerManager;
+pub use worker::{OlapWorkerManager, WorkerTeam};

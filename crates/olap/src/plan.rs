@@ -133,11 +133,16 @@ impl QueryPlan {
     /// CPU term. Group-bys and joins pay more per tuple than plain reductions.
     pub fn cpu_ns_per_tuple(&self) -> f64 {
         match self {
-            QueryPlan::Aggregate { aggregates, filters, .. } => {
-                0.5 + 0.3 * (aggregates.len() + filters.len()) as f64
-            }
+            QueryPlan::Aggregate {
+                aggregates,
+                filters,
+                ..
+            } => 0.5 + 0.3 * (aggregates.len() + filters.len()) as f64,
             QueryPlan::GroupByAggregate {
-                aggregates, filters, group_by, ..
+                aggregates,
+                filters,
+                group_by,
+                ..
             } => 1.0 + 0.4 * (aggregates.len() + filters.len() + group_by.len()) as f64,
             QueryPlan::JoinAggregate {
                 aggregates,
@@ -194,7 +199,11 @@ mod tests {
         let cols = plan.accessed_columns();
         assert_eq!(
             cols["orderline"],
-            vec!["ol_amount".to_string(), "ol_delivery_d".into(), "ol_number".into()]
+            vec![
+                "ol_amount".to_string(),
+                "ol_delivery_d".into(),
+                "ol_number".into()
+            ]
         );
     }
 
@@ -212,7 +221,11 @@ mod tests {
         let cols = plan.accessed_columns();
         assert_eq!(
             cols["orderline"],
-            vec!["ol_amount".to_string(), "ol_i_id".into(), "ol_quantity".into()]
+            vec![
+                "ol_amount".to_string(),
+                "ol_i_id".into(),
+                "ol_quantity".into()
+            ]
         );
         assert_eq!(cols["item"], vec!["i_id".to_string(), "i_price".into()]);
     }

@@ -190,12 +190,16 @@ mod tests {
     fn table_with(n: u64) -> Arc<ColumnarTable> {
         let schema = TableSchema::new(
             "t",
-            vec![ColumnDef::new("k", DataType::I64), ColumnDef::new("v", DataType::F64)],
+            vec![
+                ColumnDef::new("k", DataType::I64),
+                ColumnDef::new("v", DataType::F64),
+            ],
             Some(0),
         );
         let t = ColumnarTable::new(schema);
         for i in 0..n {
-            t.append_row(&[Value::I64(i as i64), Value::F64(0.0)]).unwrap();
+            t.append_row(&[Value::I64(i as i64), Value::F64(0.0)])
+                .unwrap();
         }
         Arc::new(t)
     }
@@ -245,7 +249,10 @@ mod tests {
         ]);
         let placement = ExecPlacement::single_socket(SocketId(0), 7).with(SocketId(1), 7);
         let a = route(RoutingPolicy::LoadAware, &src, &["v"], &placement);
-        assert_eq!(a.bytes_per_consumer[&SocketId(0)], a.bytes_per_consumer[&SocketId(1)]);
+        assert_eq!(
+            a.bytes_per_consumer[&SocketId(0)],
+            a.bytes_per_consumer[&SocketId(1)]
+        );
         assert!((a.imbalance() - 1.0).abs() < 1e-9);
     }
 
@@ -269,7 +276,12 @@ mod tests {
             (1000, SocketId(0)),
         ]);
         let placement = ExecPlacement::single_socket(SocketId(0), 1).with(SocketId(1), 13);
-        let a = route(RoutingPolicy::LocalityAndLoadAware, &src, &["v"], &placement);
+        let a = route(
+            RoutingPolicy::LocalityAndLoadAware,
+            &src,
+            &["v"],
+            &placement,
+        );
         assert!(a.remote_bytes > 0, "straggler segments must be offloaded");
         assert!(
             a.bytes_per_consumer[&SocketId(0)] > 0,
@@ -280,7 +292,12 @@ mod tests {
     #[test]
     fn empty_placement_yields_empty_assignment() {
         let src = source_with_segments(&[(10, SocketId(0))]);
-        let a = route(RoutingPolicy::default(), &src, &["v"], &ExecPlacement::new());
+        let a = route(
+            RoutingPolicy::default(),
+            &src,
+            &["v"],
+            &ExecPlacement::new(),
+        );
         assert!(a.consumer_of.is_empty());
         assert_eq!(a.remote_fraction(), 0.0);
         assert_eq!(a.imbalance(), 1.0);

@@ -13,7 +13,9 @@
 //! split-access method. Each segment carries the socket its memory lives on
 //! so that routing and the cost model stay NUMA-aware.
 
-use crate::block::{Block, DEFAULT_BLOCK_ROWS};
+use crate::block::Block;
+use crate::error::OlapError;
+use crate::morsel::{split_morsels, Morsel};
 use htap_sim::SocketId;
 use htap_storage::{ColumnarTable, DataType, TableSnapshot};
 use std::collections::BTreeMap;
@@ -155,62 +157,122 @@ impl ScanSource {
             .sum()
     }
 
+    /// Split the source into [`Morsel`]s of at most `morsel_rows` rows — the
+    /// claimable work units of the parallel executor. Like
+    /// [`split_morsels`], a `morsel_rows` of zero means one (unsplit) morsel
+    /// per segment.
+    pub fn morsels(&self, morsel_rows: usize) -> Vec<Morsel> {
+        split_morsels(self, morsel_rows)
+    }
+
+    /// Materialise the block of one morsel: `numeric` columns converted to
+    /// `f64`, `keys` columns to `i64`.
+    pub fn read_morsel(
+        &self,
+        morsel: &Morsel,
+        numeric: &[&str],
+        keys: &[&str],
+    ) -> Result<Block, OlapError> {
+        let seg = &self.segments[morsel.segment];
+        let schema = seg.table.schema();
+        let start = morsel.rows.start;
+        let len = morsel.row_count();
+        let mut block = Block::new(len, morsel.socket);
+        for &col in numeric {
+            let idx = schema
+                .column_index(col)
+                .ok_or_else(|| OlapError::UnknownColumn {
+                    table: self.table.clone(),
+                    column: col.to_string(),
+                })?;
+            let values = read_numeric(&seg.table, idx, start, len).ok_or_else(|| {
+                OlapError::UnsupportedColumnType {
+                    table: self.table.clone(),
+                    column: col.to_string(),
+                    role: "a numeric input",
+                }
+            })?;
+            block.add_numeric(col, values);
+        }
+        for &col in keys {
+            let idx = schema
+                .column_index(col)
+                .ok_or_else(|| OlapError::UnknownColumn {
+                    table: self.table.clone(),
+                    column: col.to_string(),
+                })?;
+            let values = read_key(&seg.table, idx, start, len).ok_or_else(|| {
+                OlapError::UnsupportedColumnType {
+                    table: self.table.clone(),
+                    column: col.to_string(),
+                    role: "a key",
+                }
+            })?;
+            block.add_key(col, values);
+        }
+        Ok(block)
+    }
+
+    /// Bytes a scan of `columns` over `morsel` reads (columnar accounting,
+    /// consistent with [`ScanSource::bytes_per_socket`]). This is what makes
+    /// per-worker [`crate::exec::WorkProfile`]s sum to the same totals the
+    /// sequential executor reported.
+    pub fn morsel_bytes(&self, morsel: &Morsel, columns: &[&str]) -> u64 {
+        let schema = self.segments[morsel.segment].table.schema();
+        let width: u64 = columns
+            .iter()
+            .filter_map(|c| schema.column_index(c))
+            .map(|i| schema.column(i).dtype.width_bytes())
+            .sum();
+        morsel.row_count() as u64 * width
+    }
+
     /// Produce the blocks of the requested columns, one segment at a time,
-    /// `block_rows` tuples per block. `numeric` columns are converted to
-    /// `f64`; `keys` columns to `i64`. String columns cannot be requested.
+    /// `block_rows` tuples per block (zero = one block per segment).
+    /// `numeric` columns are converted to `f64`; `keys` columns to `i64`.
+    ///
+    /// This is the sequential view of the morsel split: one block per morsel,
+    /// in morsel order. The parallel executor claims the same morsels from
+    /// worker threads instead. Stops at — and reports — the first morsel
+    /// that cannot be materialised (unknown column, unsupported type).
     pub fn for_each_block<F: FnMut(Block)>(
         &self,
         numeric: &[&str],
         keys: &[&str],
         block_rows: usize,
         mut f: F,
-    ) {
-        let block_rows = if block_rows == 0 { DEFAULT_BLOCK_ROWS } else { block_rows };
-        for seg in &self.segments {
-            let schema = seg.table.schema();
-            let mut start = seg.rows.start;
-            while start < seg.rows.end {
-                let end = (start + block_rows as u64).min(seg.rows.end);
-                let len = (end - start) as usize;
-                let mut block = Block::new(len, seg.socket);
-                for &col in numeric {
-                    let idx = schema
-                        .column_index(col)
-                        .unwrap_or_else(|| panic!("column {col} not in table {}", self.table));
-                    block.add_numeric(col, read_numeric(&seg.table, idx, start, len));
-                }
-                for &col in keys {
-                    let idx = schema
-                        .column_index(col)
-                        .unwrap_or_else(|| panic!("column {col} not in table {}", self.table));
-                    block.add_key(col, read_key(&seg.table, idx, start, len));
-                }
-                f(block);
-                start = end;
-            }
+    ) -> Result<(), OlapError> {
+        for morsel in self.morsels(block_rows) {
+            f(self.read_morsel(&morsel, numeric, keys)?);
         }
+        Ok(())
     }
 }
 
-fn read_numeric(table: &ColumnarTable, column: usize, start: u64, len: usize) -> Vec<f64> {
+fn read_numeric(table: &ColumnarTable, column: usize, start: u64, len: usize) -> Option<Vec<f64>> {
     let col = table.column(column);
     let s = start as usize;
     match col.dtype() {
-        DataType::F64 => col.with_f64(s + len, |v| v[s..s + len].to_vec()),
-        DataType::I64 => col.with_i64(s + len, |v| v[s..s + len].iter().map(|&x| x as f64).collect()),
-        DataType::I32 => col.with_i32(s + len, |v| v[s..s + len].iter().map(|&x| x as f64).collect()),
-        DataType::Str => panic!("string column cannot be read as numeric"),
+        DataType::F64 => Some(col.with_f64(s + len, |v| v[s..s + len].to_vec())),
+        DataType::I64 => Some(col.with_i64(s + len, |v| {
+            v[s..s + len].iter().map(|&x| x as f64).collect()
+        })),
+        DataType::I32 => Some(col.with_i32(s + len, |v| {
+            v[s..s + len].iter().map(|&x| x as f64).collect()
+        })),
+        DataType::Str => None,
     }
 }
 
-fn read_key(table: &ColumnarTable, column: usize, start: u64, len: usize) -> Vec<i64> {
+fn read_key(table: &ColumnarTable, column: usize, start: u64, len: usize) -> Option<Vec<i64>> {
     let col = table.column(column);
     let s = start as usize;
     match col.dtype() {
-        DataType::I64 => col.with_i64(s + len, |v| v[s..s + len].to_vec()),
-        DataType::I32 => col.with_i32(s + len, |v| v[s..s + len].iter().map(|&x| x as i64).collect()),
-        DataType::F64 => panic!("float column cannot be used as a key"),
-        DataType::Str => panic!("string column cannot be used as a key"),
+        DataType::I64 => Some(col.with_i64(s + len, |v| v[s..s + len].to_vec())),
+        DataType::I32 => Some(col.with_i32(s + len, |v| {
+            v[s..s + len].iter().map(|&x| x as i64).collect()
+        })),
+        DataType::F64 | DataType::Str => None,
     }
 }
 
@@ -256,7 +318,8 @@ mod tests {
             blocks += 1;
             sum += b.numeric("amount").unwrap().iter().sum::<f64>();
             assert_eq!(b.socket(), SocketId(0));
-        });
+        })
+        .unwrap();
         assert_eq!(rows, 100);
         assert_eq!(blocks, 4); // 32+32+32+4
         assert_eq!(sum, (0..100).map(|i| i as f64 * 1.5).sum::<f64>());
@@ -280,7 +343,8 @@ mod tests {
         src.for_each_block(&["amount", "qty"], &[], 64, |b| {
             seen_sockets.push(b.socket());
             rows += b.rows();
-        });
+        })
+        .unwrap();
         assert_eq!(rows, 100);
         assert!(seen_sockets.contains(&SocketId(0)) && seen_sockets.contains(&SocketId(1)));
     }
@@ -306,7 +370,8 @@ mod tests {
         let mut key_sum = 0i64;
         src.for_each_block(&["qty"], &["qty"], 0, |b| {
             key_sum += b.key("qty").unwrap().iter().sum::<i64>();
-        });
+        })
+        .unwrap();
         assert_eq!(key_sum, (0..10).map(|i| i % 10).sum::<i64>());
     }
 
@@ -320,10 +385,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not in table")]
-    fn unknown_column_panics() {
+    fn unknown_column_is_a_typed_error() {
         let table = table_with(5);
         let snap = TableSnapshot::new("lineitem".into(), table, 5, 0);
-        ScanSource::contiguous_snapshot(&snap, SocketId(0)).for_each_block(&["nope"], &[], 0, |_| {});
+        let err = ScanSource::contiguous_snapshot(&snap, SocketId(0))
+            .for_each_block(&["nope"], &[], 0, |_| {})
+            .unwrap_err();
+        assert_eq!(
+            err,
+            OlapError::UnknownColumn {
+                table: "lineitem".into(),
+                column: "nope".into()
+            }
+        );
     }
 }

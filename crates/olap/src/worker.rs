@@ -1,13 +1,123 @@
-//! The OLAP engine's worker manager.
+//! The OLAP engine's worker manager and the elastic worker team.
 //!
 //! "The OLAP engine also includes a Worker Manager, which works in a similar
 //! way to the WM of the OLTP engine" (§3.3): it holds the CPUs the RDE engine
 //! has granted and exposes them as an execution placement. Each pipeline
 //! worker is affinitised to one core; the placement (cores per socket) is what
 //! both the routing policies and the cost model consume.
+//!
+//! Execution side: [`OlapWorkerManager::team`] snapshots the current grant
+//! into a [`WorkerTeam`] — one pipeline worker per granted core. The team
+//! runs morsel-driven pipelines on real OS threads (see
+//! [`crate::exec::QueryExecutor::execute_parallel`]), pinning each worker to
+//! its core where the host allows it, so an elastic grant changes *measured*
+//! scan time, not just the modelled one.
 
 use htap_sim::{CoreId, CpuSet, ExecPlacement, SocketId, Topology};
 use parking_lot::RwLock;
+
+/// Best-effort pinning of the calling thread to one CPU.
+///
+/// The simulated topology's core numbering is passed straight to the host;
+/// on machines with fewer CPUs than the simulated server (or ones that
+/// refuse the affinity mask) the call fails and the worker simply stays
+/// unpinned — correctness never depends on placement, only locality does.
+#[cfg(target_os = "linux")]
+fn pin_current_thread(core: CoreId) {
+    // `cpu_set_t` is 1024 bits; `sched_setaffinity` is provided by the libc
+    // that std already links against.
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
+    let mut mask = [0u64; 16];
+    let cpu = core.0 as usize;
+    if cpu < 1024 {
+        mask[cpu / 64] |= 1 << (cpu % 64);
+        // SAFETY: the mask is a valid, live 128-byte buffer and pid 0 means
+        // "the calling thread". Failure is deliberately ignored.
+        unsafe {
+            sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr());
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn pin_current_thread(_core: CoreId) {}
+
+/// A snapshot of the granted cores, ready to execute one pipeline.
+///
+/// The team is taken per query ([`OlapWorkerManager::team`]) so that elastic
+/// grants and revocations between queries resize the next query's
+/// parallelism without synchronising with a running one.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerTeam {
+    cores: Vec<CoreId>,
+}
+
+impl WorkerTeam {
+    /// A team over an explicit core list (tests, benches).
+    pub fn from_cores(cores: Vec<CoreId>) -> Self {
+        WorkerTeam { cores }
+    }
+
+    /// A single unpinned worker: the degenerate team every query falls back
+    /// to when the OLAP engine currently holds no cores.
+    pub fn solo() -> Self {
+        WorkerTeam::default()
+    }
+
+    /// Number of pipeline workers the team fields.
+    pub fn size(&self) -> usize {
+        self.cores.len().max(1)
+    }
+
+    /// The cores backing the team (empty for [`WorkerTeam::solo`]).
+    pub fn cores(&self) -> &[CoreId] {
+        &self.cores
+    }
+
+    /// A team limited to at most `n` workers (no point fielding more workers
+    /// than there are morsels).
+    pub fn capped(&self, n: usize) -> WorkerTeam {
+        let n = n.max(1);
+        WorkerTeam {
+            cores: self.cores.iter().copied().take(n).collect(),
+        }
+    }
+
+    /// Run `worker` once per team member, in parallel, and collect the
+    /// per-worker results in worker order (deterministic).
+    ///
+    /// A [`WorkerTeam::solo`] team (no cores) runs inline on the calling
+    /// thread — the sequential executor is literally the parallel one with
+    /// one worker, which is what makes the 1-vs-N determinism contract
+    /// testable. A team *with* cores always spawns, even for one worker, so
+    /// every point of a measured scaling sweep runs pinned the same way.
+    pub fn run<T: Send, F: Fn(usize) -> T + Sync>(&self, worker: F) -> Vec<T> {
+        let n = self.size();
+        if self.cores.is_empty() {
+            return vec![worker(0)];
+        }
+        std::thread::scope(|scope| {
+            let worker = &worker;
+            let handles: Vec<_> = (0..n)
+                .map(|idx| {
+                    let core = self.cores.get(idx).copied();
+                    scope.spawn(move || {
+                        if let Some(core) = core {
+                            pin_current_thread(core);
+                        }
+                        worker(idx)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("OLAP pipeline worker panicked"))
+                .collect()
+        })
+    }
+}
 
 /// Elastic pool of OLAP pipeline workers.
 #[derive(Debug)]
@@ -64,20 +174,17 @@ impl OlapWorkerManager {
     /// The execution placement (cores per socket) used by routing and the
     /// cost model.
     pub fn placement(&self) -> ExecPlacement {
-        let cores = self.cores.read();
-        let mut placement = ExecPlacement::new();
-        for socket in self.topology.socket_ids() {
-            let n = cores.count_on_socket(&self.topology, socket);
-            if n > 0 {
-                placement = placement.with(socket, n);
-            }
-        }
-        placement
+        ExecPlacement::of_cpuset(&self.topology, &self.cores.read())
     }
 
     /// Worker-to-core assignment, in worker order.
     pub fn affinity(&self) -> Vec<CoreId> {
         self.cores.read().iter().collect()
+    }
+
+    /// Snapshot the current grant into an executable [`WorkerTeam`].
+    pub fn team(&self) -> WorkerTeam {
+        WorkerTeam::from_cores(self.affinity())
     }
 
     /// The machine topology.
@@ -130,5 +237,58 @@ mod tests {
         wm.set_workers(CpuSet::from_cores([CoreId(3), CoreId(0)]));
         assert_eq!(wm.affinity(), vec![CoreId(0), CoreId(3)]);
         assert_eq!(wm.topology().sockets, 2);
+    }
+
+    #[test]
+    fn team_snapshots_the_current_grant() {
+        let topo = Topology::tiny();
+        let wm = OlapWorkerManager::new(topo);
+        assert_eq!(wm.team().size(), 1, "no grant still fields a solo worker");
+        wm.set_workers(CpuSet::from_cores([CoreId(0), CoreId(1), CoreId(2)]));
+        let team = wm.team();
+        assert_eq!(team.size(), 3);
+        assert_eq!(team.cores(), &[CoreId(0), CoreId(1), CoreId(2)]);
+        // The snapshot is decoupled from later elastic changes.
+        wm.set_workers(CpuSet::new());
+        assert_eq!(team.size(), 3);
+    }
+
+    #[test]
+    fn team_runs_one_task_per_worker_in_worker_order() {
+        let team = WorkerTeam::from_cores((0..6).map(CoreId).collect());
+        let results = team.run(|worker| worker * 10);
+        assert_eq!(results, vec![0, 10, 20, 30, 40, 50]);
+        // Solo teams run inline.
+        let solo = WorkerTeam::solo();
+        assert_eq!(solo.size(), 1);
+        assert_eq!(solo.run(|w| w), vec![0]);
+    }
+
+    #[test]
+    fn team_workers_run_concurrently_and_share_state() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let team = WorkerTeam::from_cores((0..4).map(CoreId).collect());
+        let counter = AtomicUsize::new(0);
+        let claims = team.run(|_| {
+            let mut mine = 0;
+            while counter.fetch_add(1, Ordering::Relaxed) < 100 {
+                mine += 1;
+            }
+            mine
+        });
+        let total: usize = claims.iter().sum();
+        assert!(
+            total >= 100,
+            "all claims must be accounted for, got {total}"
+        );
+    }
+
+    #[test]
+    fn capped_team_never_exceeds_the_cap_and_never_drops_to_zero() {
+        let team = WorkerTeam::from_cores((0..8).map(CoreId).collect());
+        assert_eq!(team.capped(3).size(), 3);
+        assert_eq!(team.capped(100).size(), 8);
+        assert_eq!(team.capped(0).size(), 1);
+        assert_eq!(WorkerTeam::solo().capped(5).size(), 1);
     }
 }

@@ -233,7 +233,8 @@ mod tests {
         assert!(engine.create_table(schema("stock")).is_err());
 
         let committed = engine.execute(|mut txn| {
-            txn.insert("stock", 1, vec![Value::I64(1), Value::I32(5)]).unwrap();
+            txn.insert("stock", 1, vec![Value::I64(1), Value::I32(5)])
+                .unwrap();
             txn.commit().is_ok()
         });
         assert!(committed);
@@ -262,7 +263,9 @@ mod tests {
     fn switch_and_snapshot_expose_committed_data() {
         let engine = OltpEngine::new();
         engine.create_table(schema("stock")).unwrap();
-        engine.bulk_load("stock", 1, vec![Value::I64(1), Value::I32(10)]).unwrap();
+        engine
+            .bulk_load("stock", 1, vec![Value::I64(1), Value::I32(10)])
+            .unwrap();
         engine.execute(|mut txn| {
             txn.update("stock", 1, 1, Value::I32(42)).unwrap();
             txn.commit().unwrap();
@@ -288,8 +291,12 @@ mod tests {
         let engine = OltpEngine::new();
         engine.create_table(schema("a")).unwrap();
         engine.create_table(schema("b")).unwrap();
-        engine.bulk_load("a", 1, vec![Value::I64(1), Value::I32(1)]).unwrap();
-        engine.bulk_load("b", 1, vec![Value::I64(1), Value::I32(1)]).unwrap();
+        engine
+            .bulk_load("a", 1, vec![Value::I64(1), Value::I32(1)])
+            .unwrap();
+        engine
+            .bulk_load("b", 1, vec![Value::I64(1), Value::I32(1)])
+            .unwrap();
         engine.switch_instance();
         assert_eq!(engine.fresh_rows_vs_olap(), 2);
         assert!(engine.instance_bytes() > 0);
@@ -300,7 +307,9 @@ mod tests {
         use std::sync::atomic::{AtomicBool, Ordering};
         let engine = Arc::new(OltpEngine::new());
         engine.create_table(schema("stock")).unwrap();
-        engine.bulk_load("stock", 1, vec![Value::I64(1), Value::I32(0)]).unwrap();
+        engine
+            .bulk_load("stock", 1, vec![Value::I64(1), Value::I32(0)])
+            .unwrap();
 
         let in_txn = Arc::new(AtomicBool::new(false));
         let release = Arc::new(AtomicBool::new(false));
@@ -330,13 +339,19 @@ mod tests {
             std::thread::spawn(move || engine.switch_instance())
         };
         std::thread::sleep(std::time::Duration::from_millis(20));
-        assert!(!switcher.is_finished(), "switch must wait for the open transaction");
+        assert!(
+            !switcher.is_finished(),
+            "switch must wait for the open transaction"
+        );
         release.store(true, Ordering::SeqCst);
         worker.join().unwrap();
         let outcomes = switcher.join().unwrap();
         // The committed update is part of the snapshot.
         assert_eq!(outcomes["stock"].pending_sync_records, 1);
         let snap = engine.snapshot();
-        assert_eq!(snap.table("stock").unwrap().table().get_value(0, 1), Some(Value::I32(7)));
+        assert_eq!(
+            snap.table("stock").unwrap().table().get_value(0, 1),
+            Some(Value::I32(7))
+        );
     }
 }

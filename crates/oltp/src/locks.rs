@@ -70,7 +70,9 @@ impl LockTable {
     /// Create a lock table with `shards` shards.
     pub fn new(shards: usize) -> Self {
         LockTable {
-            shards: (0..shards.max(1)).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
         }
     }
 
@@ -88,17 +90,15 @@ impl LockTable {
         let mut shard = self.shard(&key).lock();
         let state = shard.entry(key).or_default();
         match mode {
-            LockMode::Shared => {
-                match state.exclusive {
-                    Some(owner) if owner != txn => false,
-                    _ => {
-                        if !state.shared.contains(&txn) {
-                            state.shared.push(txn);
-                        }
-                        true
+            LockMode::Shared => match state.exclusive {
+                Some(owner) if owner != txn => false,
+                _ => {
+                    if !state.shared.contains(&txn) {
+                        state.shared.push(txn);
                     }
+                    true
                 }
-            }
+            },
             LockMode::Exclusive => {
                 let other_exclusive = state.exclusive.is_some_and(|o| o != txn);
                 let other_shared = state.shared.iter().any(|&o| o != txn);
@@ -147,7 +147,10 @@ mod tests {
         let lt = LockTable::default();
         let k = LockKey::new("orders", 7);
         assert!(lt.try_acquire(1, k, LockMode::Exclusive));
-        assert!(!lt.try_acquire(2, k, LockMode::Exclusive), "NO-WAIT must fail fast");
+        assert!(
+            !lt.try_acquire(2, k, LockMode::Exclusive),
+            "NO-WAIT must fail fast"
+        );
         assert!(!lt.try_acquire(2, k, LockMode::Shared));
         lt.release(1, k);
         assert!(lt.try_acquire(2, k, LockMode::Exclusive));
@@ -173,7 +176,10 @@ mod tests {
         let k = LockKey::new("orders", 1);
         assert!(lt.try_acquire(1, k, LockMode::Shared));
         assert!(lt.try_acquire(1, k, LockMode::Shared));
-        assert!(lt.try_acquire(1, k, LockMode::Exclusive), "self-upgrade allowed");
+        assert!(
+            lt.try_acquire(1, k, LockMode::Exclusive),
+            "self-upgrade allowed"
+        );
         assert!(lt.try_acquire(1, k, LockMode::Exclusive));
         assert!(!lt.try_acquire(2, k, LockMode::Shared));
     }
@@ -230,7 +236,11 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(max_seen.load(Ordering::SeqCst), 1, "mutual exclusion violated");
+        assert_eq!(
+            max_seen.load(Ordering::SeqCst),
+            1,
+            "mutual exclusion violated"
+        );
         assert_eq!(lt.locked_records(), 0);
     }
 }

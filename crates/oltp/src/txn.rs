@@ -210,10 +210,7 @@ impl<'a> Transaction<'a> {
         {
             return Ok(ins.values[column].clone());
         }
-        let loc = rt
-            .index()
-            .get(key)
-            .ok_or(TxnError::KeyNotFound(key))?;
+        let loc = rt.index().get(key).ok_or(TxnError::KeyNotFound(key))?;
         if let Some(upd) = self
             .updates
             .iter()
@@ -239,7 +236,12 @@ impl<'a> Transaction<'a> {
     /// Read the *latest committed* value, acquiring an exclusive lock on the
     /// record (read-for-update). Use before an [`Self::update`] that depends
     /// on the current value.
-    pub fn read_for_update(&mut self, table: &str, key: u64, column: usize) -> Result<Value, TxnError> {
+    pub fn read_for_update(
+        &mut self,
+        table: &str,
+        key: u64,
+        column: usize,
+    ) -> Result<Value, TxnError> {
         self.check_active()?;
         let rt = self.runtime(table)?;
         let loc = rt.index().get(key).ok_or(TxnError::KeyNotFound(key))?;
@@ -295,7 +297,10 @@ impl<'a> Transaction<'a> {
         self.check_active()?;
         let rt = self.runtime(table)?;
         // Lock the key space entry to serialise concurrent inserts of the same key.
-        self.acquire(LockKey::new(table, key ^ 0x8000_0000_0000_0000), LockMode::Exclusive)?;
+        self.acquire(
+            LockKey::new(table, key ^ 0x8000_0000_0000_0000),
+            LockMode::Exclusive,
+        )?;
         if rt.index().contains(key)
             || self
                 .inserts
@@ -351,9 +356,11 @@ impl<'a> Transaction<'a> {
                 .push_version(upd.row, upd.column, old, 0, commit_ts);
             // The index keeps pointing at the freshest instance.
             let active = upd.table.twin().active_instance() as u8;
-            upd.table.index().update(upd.key, |loc: &mut RecordLocation| {
-                loc.instance = active;
-            });
+            upd.table
+                .index()
+                .update(upd.key, |loc: &mut RecordLocation| {
+                    loc.instance = active;
+                });
         }
 
         for ins in &self.inserts {
@@ -422,8 +429,12 @@ mod tests {
 
     fn seed_account(mgr: &TxnManager, key: u64, balance: f64) {
         let mut t = mgr.begin();
-        t.insert("accounts", key, vec![Value::I64(key as i64), Value::F64(balance)])
-            .unwrap();
+        t.insert(
+            "accounts",
+            key,
+            vec![Value::I64(key as i64), Value::F64(balance)],
+        )
+        .unwrap();
         t.commit().unwrap();
     }
 
@@ -446,7 +457,8 @@ mod tests {
         let mut t = mgr.begin();
         t.update("accounts", 1, 1, Value::F64(50.0)).unwrap();
         assert_eq!(t.read("accounts", 1, 1).unwrap(), Value::F64(50.0));
-        t.insert("accounts", 2, vec![Value::I64(2), Value::F64(7.0)]).unwrap();
+        t.insert("accounts", 2, vec![Value::I64(2), Value::F64(7.0)])
+            .unwrap();
         assert_eq!(t.read("accounts", 2, 1).unwrap(), Value::F64(7.0));
         t.commit().unwrap();
         let t2 = mgr.begin();
@@ -518,7 +530,10 @@ mod tests {
         late.update("accounts", 1, 1, Value::F64(20.0)).unwrap();
         assert_eq!(late.commit().unwrap_err(), TxnError::WriteConflict);
         // The early committer's value survives.
-        assert_eq!(mgr.begin().read("accounts", 1, 1).unwrap(), Value::F64(10.0));
+        assert_eq!(
+            mgr.begin().read("accounts", 1, 1).unwrap(),
+            Value::F64(10.0)
+        );
     }
 
     #[test]
@@ -533,7 +548,8 @@ mod tests {
         );
         // Duplicate within the same transaction's buffer is also rejected.
         let mut t2 = mgr.begin();
-        t2.insert("accounts", 7, vec![Value::I64(7), Value::F64(0.0)]).unwrap();
+        t2.insert("accounts", 7, vec![Value::I64(7), Value::F64(0.0)])
+            .unwrap();
         assert_eq!(
             t2.insert("accounts", 7, vec![Value::I64(7), Value::F64(0.0)])
                 .unwrap_err(),
@@ -550,12 +566,18 @@ mod tests {
             t.update("accounts", 1, 1, Value::F64(0.0)).unwrap();
             t.abort();
         }
-        assert_eq!(mgr.begin().read("accounts", 1, 1).unwrap(), Value::F64(100.0));
+        assert_eq!(
+            mgr.begin().read("accounts", 1, 1).unwrap(),
+            Value::F64(100.0)
+        );
         // Lock was released: a new writer succeeds.
         let mut t = mgr.begin();
         t.update("accounts", 1, 1, Value::F64(55.0)).unwrap();
         t.commit().unwrap();
-        assert_eq!(mgr.begin().read("accounts", 1, 1).unwrap(), Value::F64(55.0));
+        assert_eq!(
+            mgr.begin().read("accounts", 1, 1).unwrap(),
+            Value::F64(55.0)
+        );
     }
 
     #[test]
@@ -584,9 +606,13 @@ mod tests {
             t2.update("accounts", 1, 1, Value::F64(5.0)).unwrap_err(),
             TxnError::LockConflict
         );
-        t1.update("accounts", 1, 1, Value::F64(v.as_f64() + 1.0)).unwrap();
+        t1.update("accounts", 1, 1, Value::F64(v.as_f64() + 1.0))
+            .unwrap();
         t1.commit().unwrap();
-        assert_eq!(mgr.begin().read("accounts", 1, 1).unwrap(), Value::F64(101.0));
+        assert_eq!(
+            mgr.begin().read("accounts", 1, 1).unwrap(),
+            Value::F64(101.0)
+        );
     }
 
     #[test]

@@ -57,7 +57,8 @@ impl WorkerManager {
     /// This is the API the RDE engine calls when migrating states.
     pub fn set_workers(&self, cores: &CpuSet) {
         let cores: Vec<CoreId> = cores.iter().collect();
-        self.active_workers.store(cores.len() as u64, Ordering::Release);
+        self.active_workers
+            .store(cores.len() as u64, Ordering::Release);
         *self.affinity.write() = cores;
     }
 
@@ -65,7 +66,10 @@ impl WorkerManager {
     /// (scale down); panics if `n` exceeds the pool size.
     pub fn set_active_workers(&self, n: usize) {
         let pool = self.affinity.read().len();
-        assert!(n <= pool, "cannot activate {n} workers with a pool of {pool}");
+        assert!(
+            n <= pool,
+            "cannot activate {n} workers with a pool of {pool}"
+        );
         self.active_workers.store(n as u64, Ordering::Release);
     }
 

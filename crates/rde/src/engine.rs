@@ -6,11 +6,11 @@ use crate::state::SystemState;
 use htap_olap::{OlapEngine, ScanSource};
 use htap_oltp::OltpEngine;
 use htap_sim::clock::Activity;
+use htap_sim::region::RegionDirectory;
 use htap_sim::{
     CostModel, EngineId, ExecPlacement, InterferenceModel, OlapTraffic, RegionKind, ResourcePool,
     Seconds, SimClock, SocketId, Stream, Topology, TransferWork, TxnWork,
 };
-use htap_sim::region::RegionDirectory;
 use htap_storage::TableSchema;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -231,9 +231,16 @@ impl RdeEngine {
         self.olap.workers().placement()
     }
 
+    /// Number of pipeline workers the OLAP engine fields with the current
+    /// grant — the parallelism the next analytical query executes with.
+    pub fn olap_worker_count(&self) -> usize {
+        self.olap.workers().worker_count()
+    }
+
     /// Modelled OLTP throughput given the OLAP traffic currently active.
     pub fn modeled_oltp_throughput(&self, olap_traffic: &OlapTraffic) -> f64 {
-        self.interference.oltp_throughput(&self.txn_work(), olap_traffic)
+        self.interference
+            .oltp_throughput(&self.txn_work(), olap_traffic)
     }
 
     /// Modelled OLTP throughput with an idle OLAP engine.
@@ -270,11 +277,9 @@ impl RdeEngine {
         let synced_records: u64 = sync.values().map(|s| s.copied_records).sum();
         let skipped_records: u64 = sync.values().map(|s| s.skipped_records).sum();
         let copied_bytes: u64 = sync.values().map(|s| s.copied_bytes).sum();
-        let bytes_per_record = if synced_records == 0 {
-            64
-        } else {
-            (copied_bytes / synced_records).max(1)
-        };
+        let bytes_per_record = copied_bytes
+            .checked_div(synced_records)
+            .map_or(64, |b| b.max(1));
         // The RDE engine synchronises with a couple of helper threads; the
         // paper reports ~10 ms for ~1 M modified tuples.
         let modeled_time = self.cost.sync_time(synced_records, bytes_per_record, 2);
@@ -360,44 +365,36 @@ impl RdeEngine {
 
     /// Build the per-relation access paths for a query over `tables`, using
     /// the given access method.
-    pub fn sources_for(&self, tables: &[&str], method: AccessMethod) -> BTreeMap<String, ScanSource> {
+    pub fn sources_for(
+        &self,
+        tables: &[&str],
+        method: AccessMethod,
+    ) -> BTreeMap<String, ScanSource> {
         let mut out = BTreeMap::new();
         for &name in tables {
+            // A relation neither engine knows gets no entry: the executor then
+            // reports a typed `MissingSource` error instead of this layer
+            // panicking mid-schedule.
             let source = match method {
-                AccessMethod::OltpSnapshot => {
-                    let twin = self
-                        .oltp
-                        .store()
-                        .table(name)
-                        .unwrap_or_else(|| panic!("relation {name} not registered with OLTP"));
+                AccessMethod::OltpSnapshot => self.oltp.store().table(name).map(|twin| {
                     ScanSource::contiguous_snapshot(&twin.snapshot(), self.config.oltp_socket)
-                }
-                AccessMethod::OlapLocal => self
-                    .olap
-                    .store()
-                    .local_source(name)
-                    .unwrap_or_else(|| panic!("relation {name} not registered with OLAP")),
-                AccessMethod::Split => {
-                    let twin = self
-                        .oltp
-                        .store()
-                        .table(name)
-                        .unwrap_or_else(|| panic!("relation {name} not registered with OLTP"));
-                    let olap_table = self
-                        .olap
-                        .store()
-                        .table(name)
-                        .unwrap_or_else(|| panic!("relation {name} not registered with OLAP"));
-                    ScanSource::split(
-                        Arc::clone(olap_table.table()),
-                        olap_table.rows(),
-                        self.config.olap_socket,
-                        &twin.snapshot(),
-                        self.config.oltp_socket,
-                    )
-                }
+                }),
+                AccessMethod::OlapLocal => self.olap.store().local_source(name),
+                AccessMethod::Split => self.oltp.store().table(name).and_then(|twin| {
+                    self.olap.store().table(name).map(|olap_table| {
+                        ScanSource::split(
+                            Arc::clone(olap_table.table()),
+                            olap_table.rows(),
+                            self.config.olap_socket,
+                            &twin.snapshot(),
+                            self.config.oltp_socket,
+                        )
+                    })
+                }),
             };
-            out.insert(name.to_string(), source);
+            if let Some(source) = source {
+                out.insert(name.to_string(), source);
+            }
         }
         out
     }
@@ -469,7 +466,10 @@ mod tests {
         let report = rde.switch_and_sync();
         assert_eq!(report.snapshot_rows, 100);
         assert_eq!(report.synced_records, 5);
-        assert_eq!(report.fresh_rows_vs_olap, 100, "nothing propagated to OLAP yet");
+        assert_eq!(
+            report.fresh_rows_vs_olap, 100,
+            "nothing propagated to OLAP yet"
+        );
         assert!(report.modeled_time > 0.0);
         assert!(rde.clock().elapsed(Activity::InstanceSync) > 0.0);
     }
@@ -541,9 +541,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not registered")]
-    fn sources_for_unknown_relation_panic() {
+    fn sources_for_unknown_relation_yields_no_entry() {
+        // The executor turns the missing entry into a typed `MissingSource`
+        // error; this layer must not panic mid-schedule.
         let rde = RdeEngine::bootstrap(RdeConfig::default());
-        rde.sources_for(&["ghost"], AccessMethod::OltpSnapshot);
+        for method in [
+            AccessMethod::OltpSnapshot,
+            AccessMethod::OlapLocal,
+            AccessMethod::Split,
+        ] {
+            assert!(rde.sources_for(&["ghost"], method).is_empty());
+        }
     }
 }

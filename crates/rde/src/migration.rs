@@ -46,7 +46,12 @@ impl RdeEngine {
         self.set_oltp_cores_per_socket(&per_socket);
         let switch = self.switch_and_sync();
         self.set_current_state(SystemState::S1Colocated);
-        self.finish_report(SystemState::S1Colocated, AccessMethod::OltpSnapshot, switch, None)
+        self.finish_report(
+            SystemState::S1Colocated,
+            AccessMethod::OltpSnapshot,
+            switch,
+            None,
+        )
     }
 
     /// `MigrateStateS1` with an explicit per-socket OLTP CPU distribution
@@ -55,7 +60,12 @@ impl RdeEngine {
         self.set_oltp_cores_per_socket(oltp_per_socket);
         let switch = self.switch_and_sync();
         self.set_current_state(SystemState::S1Colocated);
-        self.finish_report(SystemState::S1Colocated, AccessMethod::OltpSnapshot, switch, None)
+        self.finish_report(
+            SystemState::S1Colocated,
+            AccessMethod::OltpSnapshot,
+            switch,
+            None,
+        )
     }
 
     /// `MigrateStateS2`: socket-level isolation plus ETL. The OLTP engine
@@ -67,7 +77,12 @@ impl RdeEngine {
         let switch = self.switch_and_sync();
         let etl = self.etl_to_olap();
         self.set_current_state(SystemState::S2Isolated);
-        self.finish_report(SystemState::S2Isolated, AccessMethod::OlapLocal, switch, Some(etl))
+        self.finish_report(
+            SystemState::S2Isolated,
+            AccessMethod::OlapLocal,
+            switch,
+            Some(etl),
+        )
     }
 
     /// `MigrateStateS3(ISOLATED)`: socket-level compute isolation; the OLAP
@@ -77,7 +92,12 @@ impl RdeEngine {
         self.assign_sockets(self.config().oltp_min_sockets);
         let switch = self.switch_and_sync();
         self.set_current_state(SystemState::S3HybridIsolated);
-        self.finish_report(SystemState::S3HybridIsolated, AccessMethod::Split, switch, None)
+        self.finish_report(
+            SystemState::S3HybridIsolated,
+            AccessMethod::Split,
+            switch,
+            None,
+        )
     }
 
     /// `MigrateStateS3(NON-ISOLATED)`: the OLAP engine borrows
@@ -177,7 +197,10 @@ mod tests {
         // OLTP keeps the minimum (4) on each of the two sockets.
         assert_eq!(report.oltp_cores, 8);
         assert_eq!(report.olap_cores, 28 - 8);
-        assert!(rde.olap_placement().cores_on(SocketId(0)) > 0, "OLAP co-located on the OLTP socket");
+        assert!(
+            rde.olap_placement().cores_on(SocketId(0)) > 0,
+            "OLAP co-located on the OLTP socket"
+        );
         assert_eq!(rde.current_state(), Some(SystemState::S1Colocated));
     }
 

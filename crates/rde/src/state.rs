@@ -22,7 +22,10 @@ pub enum SystemState {
 impl SystemState {
     /// Whether the state lets OLAP compute run on the OLTP engine's sockets.
     pub fn shares_oltp_compute(self) -> bool {
-        matches!(self, SystemState::S1Colocated | SystemState::S3HybridNonIsolated)
+        matches!(
+            self,
+            SystemState::S1Colocated | SystemState::S3HybridNonIsolated
+        )
     }
 
     /// Whether the state performs an ETL into the OLAP instance.

@@ -193,8 +193,14 @@ mod tests {
             alpha: 0.0,
             ..SchedulerPolicy::default()
         };
-        assert_eq!(policy.decide(&freshness(0, 100), false).state, SystemState::S2Isolated);
-        assert_eq!(policy.decide(&freshness(0, 0), false).state, SystemState::S2Isolated);
+        assert_eq!(
+            policy.decide(&freshness(0, 100), false).state,
+            SystemState::S2Isolated
+        );
+        assert_eq!(
+            policy.decide(&freshness(0, 0), false).state,
+            SystemState::S2Isolated
+        );
     }
 
     #[test]

@@ -73,7 +73,14 @@ mod tests {
         let labels: Vec<&str> = set.iter().map(|(l, _)| l.as_str()).collect();
         assert_eq!(
             labels,
-            vec!["S1", "S2", "S3-IS", "Adaptive-S3-IS", "S3-NI", "Adaptive-S3-NI"]
+            vec![
+                "S1",
+                "S2",
+                "S3-IS",
+                "Adaptive-S3-IS",
+                "S3-NI",
+                "Adaptive-S3-NI"
+            ]
         );
         assert_eq!(set.iter().filter(|(_, s)| s.is_adaptive()).count(), 2);
     }

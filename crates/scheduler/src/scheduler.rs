@@ -24,6 +24,9 @@ pub struct ScheduledQuery {
     pub access: AccessMethod,
     /// Per-relation access paths.
     pub sources: BTreeMap<String, ScanSource>,
+    /// Pipeline workers the OLAP engine fields after the migration — the
+    /// measured parallelism the query will execute with.
+    pub olap_workers: usize,
     /// The freshness picture the decision was based on.
     pub freshness: QueryFreshness,
     /// Modelled scheduling overhead charged to this query (instance switch,
@@ -95,6 +98,7 @@ impl HtapScheduler {
             state,
             access: migration.access,
             sources,
+            olap_workers: self.rde.olap_worker_count(),
             freshness,
             scheduling_time: switch.modeled_time + migration.modeled_time,
             migration,
@@ -154,7 +158,8 @@ mod tests {
     #[test]
     fn static_s2_schedule_performs_an_etl_per_query() {
         let rde = rde_with_rows(50);
-        let scheduler = HtapScheduler::new(Arc::clone(&rde), Schedule::Static(SystemState::S2Isolated));
+        let scheduler =
+            HtapScheduler::new(Arc::clone(&rde), Schedule::Static(SystemState::S2Isolated));
         let q = scheduler.schedule_query(&plan(), false);
         assert_eq!(q.access, AccessMethod::OlapLocal);
         assert_eq!(scheduler.etl_count(), 1);
@@ -187,7 +192,10 @@ mod tests {
         // the policy returns to the elastic branch.
         rde.create_table(TableSchema::new(
             "audit",
-            vec![ColumnDef::new("id", DataType::I64), ColumnDef::new("x", DataType::F64)],
+            vec![
+                ColumnDef::new("id", DataType::I64),
+                ColumnDef::new("x", DataType::F64),
+            ],
             Some(0),
         ))
         .unwrap();
@@ -247,7 +255,10 @@ mod tests {
         let rde = rde_with_rows(10);
         rde.create_table(TableSchema::new(
             "audit",
-            vec![ColumnDef::new("id", DataType::I64), ColumnDef::new("x", DataType::F64)],
+            vec![
+                ColumnDef::new("id", DataType::I64),
+                ColumnDef::new("x", DataType::F64),
+            ],
             Some(0),
         ))
         .unwrap();
@@ -269,7 +280,10 @@ mod tests {
         let rde = rde_with_rows(20);
         rde.create_table(TableSchema::new(
             "item",
-            vec![ColumnDef::new("i_id", DataType::I64), ColumnDef::new("i_price", DataType::F64)],
+            vec![
+                ColumnDef::new("i_id", DataType::I64),
+                ColumnDef::new("i_price", DataType::F64),
+            ],
             Some(0),
         ))
         .unwrap();

@@ -263,7 +263,8 @@ impl BandwidthModel {
                     }
                     let members = link_members(from, to);
                     let used: f64 = members.iter().map(|&i| rates[i]).sum();
-                    if !members.is_empty() && used + EPS >= self.topology.interconnect_bandwidth_gbps
+                    if !members.is_empty()
+                        && used + EPS >= self.topology.interconnect_bandwidth_gbps
                     {
                         for &i in &members {
                             frozen[i] = true;
@@ -312,7 +313,10 @@ mod tests {
     fn solo_remote_scan_is_interconnect_limited() {
         let m = model();
         let r = m.solo_rate(&Stream::sequential(S0, S1, 14));
-        assert!((r - 33.0).abs() < 1e-6, "remote scan should cap at interconnect, got {r}");
+        assert!(
+            (r - 33.0).abs() < 1e-6,
+            "remote scan should cap at interconnect, got {r}"
+        );
     }
 
     #[test]
@@ -337,7 +341,10 @@ mod tests {
         // Demand weighting: the scan gets the lion's share but the random
         // stream is not pushed to zero.
         assert!(olap > 80.0, "scan should dominate, got {olap}");
-        assert!(oltp > 5.0, "random stream should retain progress, got {oltp}");
+        assert!(
+            oltp > 5.0,
+            "random stream should retain progress, got {oltp}"
+        );
     }
 
     #[test]
@@ -362,10 +369,7 @@ mod tests {
     #[test]
     fn interconnect_is_shared_between_streams_on_same_link() {
         let m = model();
-        let streams = vec![
-            Stream::sequential(S0, S1, 7),
-            Stream::sequential(S0, S1, 7),
-        ];
+        let streams = vec![Stream::sequential(S0, S1, 7), Stream::sequential(S0, S1, 7)];
         let alloc = m.allocate(&streams);
         let total = alloc.rate(0) + alloc.rate(1);
         assert!(total <= 33.0 + 1e-6);
@@ -415,8 +419,14 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_stream() -> impl Strategy<Value = Stream> {
-        (0u16..2, 0u16..2, 0usize..20, prop::bool::ANY, prop::option::of(0.5f64..200.0)).prop_map(
-            |(src, dst, cores, seq, cap)| Stream {
+        (
+            0u16..2,
+            0u16..2,
+            0usize..20,
+            prop::bool::ANY,
+            prop::option::of(0.5f64..200.0),
+        )
+            .prop_map(|(src, dst, cores, seq, cap)| Stream {
                 source: SocketId(src),
                 consumer: SocketId(dst),
                 cores,
@@ -426,8 +436,7 @@ mod proptests {
                     StreamClass::Random
                 },
                 demand_cap_gbps: cap,
-            },
-        )
+            })
     }
 
     proptest! {

@@ -14,6 +14,7 @@
 //! interconnect").
 
 use crate::bandwidth::{BandwidthModel, Stream, StreamClass};
+use crate::resources::CpuSet;
 use crate::topology::{SocketId, Topology};
 use crate::{GBps, Seconds};
 use std::collections::BTreeMap;
@@ -36,6 +37,21 @@ impl ExecPlacement {
         let mut cores_on = BTreeMap::new();
         cores_on.insert(socket, cores);
         ExecPlacement { cores_on }
+    }
+
+    /// The placement of a concrete core grant: how many cores of `cores` sit
+    /// on each socket of `topology`. This is the bridge between the elastic
+    /// [`CpuSet`] grants the RDE engine hands out and the per-socket core
+    /// counts the bandwidth and interference models reason about.
+    pub fn of_cpuset(topology: &Topology, cores: &CpuSet) -> Self {
+        let mut placement = ExecPlacement::new();
+        for socket in topology.socket_ids() {
+            let n = cores.count_on_socket(topology, socket);
+            if n > 0 {
+                placement = placement.with(socket, n);
+            }
+        }
+        placement
     }
 
     /// Add cores on a socket.
@@ -335,7 +351,12 @@ impl CostModel {
         // Bandwidth term: for each source socket, the bytes resident there
         // flow at the aggregate rate of the OLAP streams sourced there.
         let mut bandwidth_time: Seconds = 0.0;
-        for seg_socket in scan.segments.iter().map(|s| s.socket).collect::<std::collections::BTreeSet<_>>() {
+        for seg_socket in scan
+            .segments
+            .iter()
+            .map(|s| s.socket)
+            .collect::<std::collections::BTreeSet<_>>()
+        {
             let bytes = scan.bytes_on(seg_socket);
             if bytes == 0 {
                 continue;
@@ -446,8 +467,8 @@ impl CostModel {
         if modified_records == 0 {
             return self.params.switch_fixed_overhead;
         }
-        let gather = modified_records as f64 * self.params.sync_ns_per_record
-            / (cores.max(1) as f64 * 1e9);
+        let gather =
+            modified_records as f64 * self.params.sync_ns_per_record / (cores.max(1) as f64 * 1e9);
         let bytes = modified_records.saturating_mul(bytes_per_record);
         let copy = bytes as f64 / (self.topology.dram_bandwidth_gbps * 1e9);
         self.params.switch_fixed_overhead + gather + copy
@@ -516,17 +537,26 @@ mod tests {
                 None,
             )
             .total;
-        assert!(with_4_local < remote_only * 0.75, "4 local cores should help");
+        assert!(
+            with_4_local < remote_only * 0.75,
+            "4 local cores should help"
+        );
         // Beyond DRAM saturation, extra local cores give little additional benefit.
         let gain_4_to_8 = (with_4_local - with_8_local) / with_4_local;
-        assert!(gain_4_to_8 < 0.25, "benefit should flatten, got {gain_4_to_8}");
+        assert!(
+            gain_4_to_8 < 0.25,
+            "benefit should flatten, got {gain_4_to_8}"
+        );
     }
 
     #[test]
     fn cpu_bound_query_is_limited_by_cores_not_bandwidth() {
         let m = model();
         let scan = ScanWork {
-            segments: vec![ScanSegment { socket: S1, bytes: GB }],
+            segments: vec![ScanSegment {
+                socket: S1,
+                bytes: GB,
+            }],
             tuples: 1_000_000_000,
             cpu_ns_per_tuple: 10.0,
         };
@@ -557,15 +587,24 @@ mod tests {
         let full_remote = ScanWork::simple(S0, 60 * GB, 0);
         let split = ScanWork {
             segments: vec![
-                ScanSegment { socket: S1, bytes: 55 * GB },
-                ScanSegment { socket: S0, bytes: 5 * GB },
+                ScanSegment {
+                    socket: S1,
+                    bytes: 55 * GB,
+                },
+                ScanSegment {
+                    socket: S0,
+                    bytes: 5 * GB,
+                },
             ],
             tuples: 0,
             cpu_ns_per_tuple: 1.0,
         };
         let t_full = m.scan_time(&full_remote, &placement, None, None).total;
         let t_split = m.scan_time(&split, &placement, None, None).total;
-        assert!(t_split < t_full * 0.5, "split access should win: {t_split} vs {t_full}");
+        assert!(
+            t_split < t_full * 0.5,
+            "split access should win: {t_split} vs {t_full}"
+        );
     }
 
     #[test]
@@ -577,7 +616,12 @@ mod tests {
             probes: 100_000_000,
             hash_table_bytes: 64 * 1024 * 1024,
         };
-        let single = m.scan_time(&scan, &ExecPlacement::single_socket(S1, 14), Some(&join), None);
+        let single = m.scan_time(
+            &scan,
+            &ExecPlacement::single_socket(S1, 14),
+            Some(&join),
+            None,
+        );
         let multi = m.scan_time(
             &scan,
             &ExecPlacement::single_socket(S1, 10).with(S0, 4),
@@ -585,7 +629,10 @@ mod tests {
             None,
         );
         assert_eq!(single.broadcast_time, 0.0);
-        assert!(multi.broadcast_time > 0.0, "cross-socket join must pay broadcast");
+        assert!(
+            multi.broadcast_time > 0.0,
+            "cross-socket join must pay broadcast"
+        );
         assert!(single.probe_time > 0.0);
     }
 
@@ -612,14 +659,29 @@ mod tests {
     #[test]
     fn transfer_time_scales_with_bytes_and_is_link_limited() {
         let m = model();
-        let t1 = m.transfer_time(&TransferWork { bytes: GB, from: S0, to: S1, cores: 14 });
-        let t2 = m.transfer_time(&TransferWork { bytes: 10 * GB, from: S0, to: S1, cores: 14 });
+        let t1 = m.transfer_time(&TransferWork {
+            bytes: GB,
+            from: S0,
+            to: S1,
+            cores: 14,
+        });
+        let t2 = m.transfer_time(&TransferWork {
+            bytes: 10 * GB,
+            from: S0,
+            to: S1,
+            cores: 14,
+        });
         assert!(t2 > t1 * 8.0);
         // 10 GB over 33 GB/s ~ 0.3 s.
         assert!((t2 - 10.0 / 33.0).abs() < 0.05);
         // Zero bytes -> zero time.
         assert_eq!(
-            m.transfer_time(&TransferWork { bytes: 0, from: S0, to: S1, cores: 14 }),
+            m.transfer_time(&TransferWork {
+                bytes: 0,
+                from: S0,
+                to: S1,
+                cores: 14
+            }),
             0.0
         );
     }
@@ -629,7 +691,10 @@ mod tests {
         // Paper §3.4: ~10 ms to synchronise ~1 M modified tuples.
         let m = model();
         let t = m.sync_time(1_000_000, 64, 1);
-        assert!(t > 0.005 && t < 0.05, "sync of 1M tuples should be ~10ms, got {t}");
+        assert!(
+            t > 0.005 && t < 0.05,
+            "sync of 1M tuples should be ~10ms, got {t}"
+        );
     }
 
     #[test]
@@ -642,7 +707,10 @@ mod tests {
     fn cow_page_copy_is_microseconds() {
         let m = model();
         let t = m.cow_page_copy_time(2 * 1024 * 1024);
-        assert!(t > 1e-6 && t < 1e-3, "2MB page copy should be tens of microseconds, got {t}");
+        assert!(
+            t > 1e-6 && t < 1e-3,
+            "2MB page copy should be tens of microseconds, got {t}"
+        );
     }
 
     #[test]

@@ -40,7 +40,10 @@ impl OlapTraffic {
     }
 
     /// Traffic built from streams and a per-socket core count map.
-    pub fn new(streams: Vec<Stream>, cores_on: std::collections::BTreeMap<SocketId, usize>) -> Self {
+    pub fn new(
+        streams: Vec<Stream>,
+        cores_on: std::collections::BTreeMap<SocketId, usize>,
+    ) -> Self {
         OlapTraffic { streams, cores_on }
     }
 
@@ -151,7 +154,8 @@ impl InterferenceModel {
         // 2. Cross-socket atomics: grows with how evenly the workers are
         // spread across sockets (maximal at a 50/50 split).
         let remote_fraction = txn.remote_worker_fraction();
-        let spread = 2.0 * remote_fraction * (1.0 - remote_fraction) + remote_fraction * remote_fraction;
+        let spread =
+            2.0 * remote_fraction * (1.0 - remote_fraction) + remote_fraction * remote_fraction;
         let atomics_factor = 1.0 - self.params.atomics_spread_penalty * spread.min(1.0);
 
         // 3. Bandwidth: how much of the data socket's DRAM bandwidth the OLAP
@@ -257,7 +261,10 @@ mod tests {
         let base = m.oltp_throughput(&txn_local(14), &OlapTraffic::idle());
         let spread = m.oltp_throughput(&txn, &OlapTraffic::idle());
         let drop = 1.0 - spread / base;
-        assert!(drop > 0.15 && drop < 0.45, "expected a 15-45% drop, got {drop}");
+        assert!(
+            drop > 0.15 && drop < 0.45,
+            "expected a 15-45% drop, got {drop}"
+        );
     }
 
     #[test]
@@ -273,9 +280,15 @@ mod tests {
         let with_olap = m.oltp_throughput(&txn, &olap);
         assert!(with_olap < without_olap);
         let total_drop = 1.0 - with_olap / base;
-        assert!(total_drop > 0.3 && total_drop < 0.65, "expected 30-65% drop, got {total_drop}");
+        assert!(
+            total_drop > 0.3 && total_drop < 0.65,
+            "expected 30-65% drop, got {total_drop}"
+        );
         let extra = (without_olap - with_olap) / base;
-        assert!(extra > 0.05 && extra < 0.35, "extra interference should be tens of percent, got {extra}");
+        assert!(
+            extra > 0.05 && extra < 0.35,
+            "extra interference should be tens of percent, got {extra}"
+        );
     }
 
     #[test]
@@ -288,7 +301,10 @@ mod tests {
         let olap = OlapTraffic::new(vec![Stream::sequential(S1, S1, 14)], cores);
         let idle = m.oltp_throughput(&txn, &OlapTraffic::idle());
         let busy = m.oltp_throughput(&txn, &olap);
-        assert!((idle - busy) / idle < 0.02, "isolated OLAP should not hurt OLTP");
+        assert!(
+            (idle - busy) / idle < 0.02,
+            "isolated OLAP should not hurt OLTP"
+        );
     }
 
     #[test]
@@ -300,7 +316,10 @@ mod tests {
         let colocated = olap_scanning_socket0(7, 7);
         let t_remote = m.oltp_throughput(&txn, &remote_reader);
         let t_coloc = m.oltp_throughput(&txn, &colocated);
-        assert!(t_remote > t_coloc, "remote access should interfere less: {t_remote} vs {t_coloc}");
+        assert!(
+            t_remote > t_coloc,
+            "remote access should interfere less: {t_remote} vs {t_coloc}"
+        );
     }
 
     #[test]
@@ -311,7 +330,12 @@ mod tests {
         let olap = olap_scanning_socket0(4, 10);
         for socket in [S0, S1] {
             let s = m.slowdown(&txn, socket, &olap);
-            for f in [s.locality_factor, s.atomics_factor, s.bandwidth_factor, s.cache_factor] {
+            for f in [
+                s.locality_factor,
+                s.atomics_factor,
+                s.bandwidth_factor,
+                s.cache_factor,
+            ] {
                 assert!(f > 0.0 && f <= 1.0, "factor out of range: {s:?}");
             }
             assert!(s.combined() > 0.0 && s.combined() <= 1.0);

@@ -93,7 +93,9 @@ impl CpuSet {
 
     /// Number of cores of this set on `socket`.
     pub fn count_on_socket(&self, topology: &Topology, socket: SocketId) -> usize {
-        self.iter().filter(|c| topology.socket_of(*c) == socket).count()
+        self.iter()
+            .filter(|c| topology.socket_of(*c) == socket)
+            .count()
     }
 
     /// Union of two sets.
@@ -263,7 +265,8 @@ impl ResourcePool {
 
     /// Number of cores owned by `engine` on `socket`.
     pub fn count_on_socket(&self, engine: EngineId, socket: SocketId) -> usize {
-        self.cores_of(engine).count_on_socket(&self.topology, socket)
+        self.cores_of(engine)
+            .count_on_socket(&self.topology, socket)
     }
 
     /// Number of sockets on which `engine` owns at least one core.
@@ -350,7 +353,11 @@ impl ResourcePool {
                     (n > 0).then(|| format!("s{}:{}", s.0, n))
                 })
                 .collect();
-            parts.push(format!("{engine}: {} ({})", cores.len(), per_socket.join(",")));
+            parts.push(format!(
+                "{engine}: {} ({})",
+                cores.len(),
+                per_socket.join(",")
+            ));
         }
         parts.join(" | ")
     }
@@ -437,7 +444,9 @@ mod tests {
         let mut all = CpuSet::socket(&t, SocketId(0));
         let taken = all.take_from_socket(&t, SocketId(0), 3);
         assert_eq!(taken.len(), 3);
-        assert!(taken.contains(CoreId(0)) && taken.contains(CoreId(1)) && taken.contains(CoreId(2)));
+        assert!(
+            taken.contains(CoreId(0)) && taken.contains(CoreId(1)) && taken.contains(CoreId(2))
+        );
         assert_eq!(all.len(), 11);
         assert!(!all.contains(CoreId(0)));
     }

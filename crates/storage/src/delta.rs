@@ -48,7 +48,9 @@ impl DeltaStorage {
     /// New delta storage with `shards` lock shards.
     pub fn with_shards(shards: usize) -> Self {
         DeltaStorage {
-            shards: (0..shards.max(1)).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..shards.max(1))
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
         }
     }
 

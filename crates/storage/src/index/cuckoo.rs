@@ -96,11 +96,9 @@ impl<V: Copy> CuckooIndex<V> {
         let inner = self.inner.read();
         let n = inner.buckets.len();
         for bucket in [Self::hash1(key, n), Self::hash2(key, n)] {
-            for slot in &inner.buckets[bucket] {
-                if let Some(e) = slot {
-                    if e.key == key {
-                        return Some(e.value);
-                    }
+            for e in inner.buckets[bucket].iter().flatten() {
+                if e.key == key {
+                    return Some(e.value);
                 }
             }
         }
@@ -126,12 +124,10 @@ impl<V: Copy> CuckooIndex<V> {
         let mut inner = self.inner.write();
         let n = inner.buckets.len();
         for bucket in [Self::hash1(key, n), Self::hash2(key, n)] {
-            for slot in inner.buckets[bucket].iter_mut() {
-                if let Some(e) = slot {
-                    if e.key == key {
-                        f(&mut e.value);
-                        return true;
-                    }
+            for e in inner.buckets[bucket].iter_mut().flatten() {
+                if e.key == key {
+                    f(&mut e.value);
+                    return true;
                 }
             }
         }
@@ -161,13 +157,11 @@ impl<V: Copy> CuckooIndex<V> {
         let n = inner.buckets.len();
         // Overwrite if present.
         for bucket in [Self::hash1(key, n), Self::hash2(key, n)] {
-            for slot in inner.buckets[bucket].iter_mut() {
-                if let Some(e) = slot {
-                    if e.key == key {
-                        let old = e.value;
-                        e.value = value;
-                        return Some(old);
-                    }
+            for e in inner.buckets[bucket].iter_mut().flatten() {
+                if e.key == key {
+                    let old = e.value;
+                    e.value = value;
+                    return Some(old);
                 }
             }
         }
@@ -318,7 +312,11 @@ mod tests {
             })
         };
         writer.join().unwrap();
-        assert_eq!(reader.join().unwrap(), 10_000, "pre-existing keys must stay visible");
+        assert_eq!(
+            reader.join().unwrap(),
+            10_000,
+            "pre-existing keys must stay visible"
+        );
         assert_eq!(idx.len(), 3000);
     }
 }

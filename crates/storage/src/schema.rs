@@ -277,11 +277,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "primary key must be an i64 column")]
     fn non_i64_primary_key_is_rejected() {
-        TableSchema::new(
-            "bad",
-            vec![ColumnDef::new("x", DataType::F64)],
-            Some(0),
-        );
+        TableSchema::new("bad", vec![ColumnDef::new("x", DataType::F64)], Some(0));
     }
 
     #[test]

@@ -144,7 +144,8 @@ mod tests {
         );
         let t = ColumnarTable::new(schema);
         for i in 0..n {
-            t.append_row(&[Value::I64(i), Value::F64(i as f64 * 2.0)]).unwrap();
+            t.append_row(&[Value::I64(i), Value::F64(i as f64 * 2.0)])
+                .unwrap();
         }
         Arc::new(t)
     }

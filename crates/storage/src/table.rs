@@ -23,7 +23,11 @@ pub struct ColumnarTable {
 impl ColumnarTable {
     /// Create an empty instance for `schema`.
     pub fn new(schema: TableSchema) -> Self {
-        let columns = schema.columns.iter().map(|c| Column::new(c.dtype)).collect();
+        let columns = schema
+            .columns
+            .iter()
+            .map(|c| Column::new(c.dtype))
+            .collect();
         let column_stats = schema.columns.iter().map(|_| ColumnStats::new()).collect();
         ColumnarTable {
             schema,

@@ -276,14 +276,13 @@ impl TwinTable {
         let synced = self.olap_synced_rows.load(Ordering::Acquire);
         let mut cleared = 0;
         for row in self.dirty_olap.iter_set() {
-            if (row as u64) < snapshot_rows {
-                if self.dirty_olap.clear(row) {
-                    cleared += 1;
-                }
+            if (row as u64) < snapshot_rows && self.dirty_olap.clear(row) {
+                cleared += 1;
             }
         }
         if snapshot_rows > synced {
-            self.olap_synced_rows.store(snapshot_rows, Ordering::Release);
+            self.olap_synced_rows
+                .store(snapshot_rows, Ordering::Release);
         }
         cleared
     }
@@ -376,7 +375,11 @@ impl TwinStore {
 
     /// Total size of one instance of the database, in bytes.
     pub fn instance_bytes(&self) -> u64 {
-        self.tables.read().values().map(|t| t.instance_bytes()).sum()
+        self.tables
+            .read()
+            .values()
+            .map(|t| t.instance_bytes())
+            .sum()
     }
 
     /// Total number of rows across all relations.
@@ -436,7 +439,11 @@ mod tests {
         assert_eq!(t.get_from(1 - active, 0, 1), Some(Value::F64(100.0)));
         assert!(t.update_presence().is_set());
         assert_eq!(t.stats().updated_since_sync, 1);
-        assert_eq!(t.stats().fresh_vs_olap, 0, "no switch yet: snapshot watermark is 0");
+        assert_eq!(
+            t.stats().fresh_vs_olap,
+            0,
+            "no switch yet: snapshot watermark is 0"
+        );
     }
 
     #[test]
@@ -490,7 +497,11 @@ mod tests {
         t.switch_active();
         t.insert(&row(2, 2.0)).unwrap();
         let snap = t.snapshot();
-        assert_eq!(snap.rows(), 1, "row inserted after the switch is not yet visible");
+        assert_eq!(
+            snap.rows(),
+            1,
+            "row inserted after the switch is not yet visible"
+        );
         t.switch_active();
         let snap = t.snapshot();
         assert_eq!(snap.rows(), 2);
@@ -515,7 +526,11 @@ mod tests {
         // New update + new insert become fresh after the next switch.
         t.update(3, 1, &Value::F64(33.0)).unwrap();
         t.insert(&row(100, 100.0)).unwrap();
-        assert_eq!(t.fresh_rows_vs_olap(), 1, "update counts immediately; insert waits for switch");
+        assert_eq!(
+            t.fresh_rows_vs_olap(),
+            1,
+            "update counts immediately; insert waits for switch"
+        );
         t.switch_active();
         assert_eq!(t.fresh_rows_vs_olap(), 2);
         let (updated, inserts) = t.olap_delta();

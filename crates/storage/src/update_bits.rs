@@ -30,7 +30,7 @@ impl AtomicBitmap {
 
     /// Bitmap pre-sized for `bits` bits.
     pub fn with_capacity(bits: usize) -> Self {
-        let words = (bits + BITS_PER_WORD - 1) / BITS_PER_WORD;
+        let words = bits.div_ceil(BITS_PER_WORD);
         AtomicBitmap {
             words: parking_lot::RwLock::new((0..words).map(|_| AtomicU64::new(0)).collect()),
             set_count: AtomicU64::new(0),

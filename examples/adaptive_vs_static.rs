@@ -12,7 +12,7 @@ use adaptive_htap::{HtapConfig, HtapSystem, Schedule, SystemState};
 fn run(label: &str, schedule: Schedule, sequences: usize) -> Result<Vec<f64>, String> {
     let system = HtapSystem::build(HtapConfig::small().with_schedule(schedule))?;
     let workload = MixedWorkload::figure5(sequences, 40);
-    let report = run_mixed_workload(&system, &workload);
+    let report = run_mixed_workload(&system, &workload).expect("CH workload matches the CH schema");
     println!(
         "{label:<14} total={:.3}s mean OLTP={:.2} MTPS etls={}",
         report.total_query_time(),

@@ -23,7 +23,7 @@ fn main() -> Result<(), String> {
     // Analytical queries arrive one by one; the scheduler picks a state for
     // each based on the freshness of the data it touches.
     for query in [QueryId::Q1, QueryId::Q6, QueryId::Q19] {
-        let report = system.execute_query(query);
+        let report = system.execute_query(query).expect("CH query executes");
         println!(
             "{:>3}: state={:<5} exec={:.4}s sched={:.4}s freshness={:.3} fresh_rows={} oltp={:.2} MTPS{}",
             report.query,
@@ -39,7 +39,9 @@ fn main() -> Result<(), String> {
 
     // More transactions arrive, making the OLAP instance stale again.
     system.run_oltp(200);
-    let report = system.execute_query(QueryId::Q6);
+    let report = system
+        .execute_query(QueryId::Q6)
+        .expect("CH query executes");
     println!(
         "after more ingest -> {} chose {} (freshness {:.3})",
         report.query,

@@ -10,12 +10,16 @@ use adaptive_htap::{HtapConfig, HtapSystem, QueryId};
 
 fn main() -> Result<(), String> {
     let system = HtapSystem::build(HtapConfig::small())?;
-    println!("nightly reporting over {} rows", system.population().total_rows);
+    println!(
+        "nightly reporting over {} rows",
+        system.population().total_rows
+    );
 
     // Compare how the per-query cost changes with the size of the report batch.
     for batch_size in [1usize, 2, 4, 8, 16] {
         let workload = MixedWorkload::batches(QueryId::Q1, batch_size, 1, 100);
-        let report = run_mixed_workload(&system, &workload);
+        let report =
+            run_mixed_workload(&system, &workload).expect("CH workload matches the CH schema");
         let sequence = &report.sequences[0];
         let scheduling: f64 = sequence.queries.iter().map(|q| q.scheduling_time).sum();
         let execution: f64 = sequence.queries.iter().map(|q| q.execution_time).sum();

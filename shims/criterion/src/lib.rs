@@ -1,0 +1,218 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the macro and builder surface this workspace's benches use —
+//! `criterion_group!` / `criterion_main!`, `Criterion::bench_function`,
+//! `Bencher::iter` / `iter_batched`, `BatchSize` — as a plain wall-clock
+//! harness: each benchmark is warmed up, then run for the configured
+//! measurement time, and the mean iteration time is printed. There is no
+//! statistical analysis, outlier rejection or HTML report; the numbers are
+//! honest means, good enough to compare two runs on the same machine.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` (criterion-compatible name).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How batched inputs are grouped. The stand-in runs one input per batch
+/// regardless; the variants exist for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup values.
+    SmallInput,
+    /// Large per-iteration setup values.
+    LargeInput,
+    /// One value per batch.
+    PerIteration,
+}
+
+/// The benchmark driver handed to `bench_function` closures.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    min_samples: usize,
+    /// (total elapsed, iterations) recorded by the last `iter*` call.
+    recorded: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly and record the mean iteration time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up: run until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            std_black_box(routine());
+        }
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        while elapsed < self.measurement || (iters as usize) < self.min_samples {
+            let start = Instant::now();
+            std_black_box(routine());
+            elapsed += start.elapsed();
+            iters += 1;
+        }
+        self.recorded = Some((elapsed, iters));
+    }
+
+    /// Measure `routine` over inputs produced by `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            let input = setup();
+            std_black_box(routine(input));
+        }
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        while elapsed < self.measurement || (iters as usize) < self.min_samples {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            elapsed += start.elapsed();
+            iters += 1;
+        }
+        self.recorded = Some((elapsed, iters));
+    }
+}
+
+/// Benchmark registry and configuration.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(800),
+        }
+    }
+}
+
+impl Criterion {
+    /// Minimum number of measured iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Time spent warming up before measurement.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Time spent measuring.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Run one named benchmark and print its mean iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            min_samples: self.sample_size,
+            recorded: None,
+        };
+        f(&mut bencher);
+        match bencher.recorded {
+            Some((elapsed, iters)) if iters > 0 => {
+                let mean = elapsed.as_secs_f64() / iters as f64;
+                println!("{name:<45} {:>12}  ({iters} iterations)", format_time(mean));
+            }
+            _ => println!("{name:<45} {:>12}", "no samples"),
+        }
+        self
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Group benchmark functions, optionally with a shared configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Entry point running every registered group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut runs = 0u64;
+        c.bench_function("shim/self_test", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        assert!(runs >= 3);
+    }
+
+    #[test]
+    fn iter_batched_uses_fresh_inputs() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        c.bench_function("shim/batched", |b| {
+            b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    #[test]
+    fn time_formatting_covers_magnitudes() {
+        assert!(format_time(2.0).ends_with(" s"));
+        assert!(format_time(2e-3).ends_with("ms"));
+        assert!(format_time(2e-6).ends_with("µs"));
+        assert!(format_time(2e-9).ends_with("ns"));
+    }
+}

@@ -1,0 +1,188 @@
+//! Offline stand-in for `rand` (0.9 API subset).
+//!
+//! Implements the surface this workspace uses — `StdRng`, `SeedableRng::
+//! seed_from_u64` and `Rng::random_range` over integer and float ranges —
+//! with a xoshiro256** generator seeded through SplitMix64. The sequences
+//! are deterministic per seed (the workload generators rely on that) but are
+//! NOT the sequences the real `rand` produces; any test asserting exact
+//! populations must derive its expectations through the same generator.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The standard generator: xoshiro256**.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    state: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, the canonical way to seed xoshiro.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            state: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
+    }
+
+    /// A uniform f64 in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Debiased uniform integer in `[0, bound)` (Lemire-style rejection).
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let v = self.next_u64();
+            let (hi, lo) = {
+                let wide = (v as u128) * (bound as u128);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo >= threshold {
+                return hi;
+            }
+        }
+    }
+}
+
+/// Ranges `random_range` can sample from (subset of `rand::distr`).
+pub trait SampleRange<T> {
+    /// Draw a uniform sample from the range. Panics if the range is empty.
+    fn sample(self, rng: &mut StdRng) -> T;
+}
+
+macro_rules! impl_int_sample_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample(self, rng: &mut StdRng) -> $ty {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $ty
+            }
+        }
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            fn sample(self, rng: &mut StdRng) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Only reachable for the full u64/i64 domain.
+                    return rng.next_u64() as $ty;
+                }
+                (start as i128 + rng.below(span as u64) as i128) as $ty
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample(self, rng: &mut StdRng) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + rng.next_f64() as f32 * (self.end - self.start)
+    }
+}
+
+/// User-facing generator methods (subset of `rand::Rng`).
+pub trait Rng {
+    /// Uniform sample from `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+
+    /// A Bernoulli draw with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool;
+}
+
+impl Rng for StdRng {
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+/// Namespace mirror of `rand::rngs`.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: i64 = rng.random_range(-5..5);
+            assert!((-5..5).contains(&v));
+            let w: usize = rng.random_range(1..=15);
+            assert!((1..=15).contains(&w));
+            let f: f64 = rng.random_range(0.5..2.0);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn full_domain_inclusive_range_is_reachable() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _: u64 = rng.random_range(0..=u64::MAX);
+        let _: i64 = rng.random_range(i64::MIN..=i64::MAX);
+    }
+
+    #[test]
+    fn bool_probabilities_are_sane() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+}

@@ -1,0 +1,8 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` derive names (as no-op derives)
+//! so the crates in this workspace build without network access. Swap the
+//! workspace `[workspace.dependencies]` entry for the real crates.io `serde`
+//! to restore actual serialisation support.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -14,6 +14,11 @@
 //! * [`scheduler`](htap_scheduler) — Algorithm 2 and the static schedules.
 //! * [`chbench`](htap_chbench) — the CH-benCHmark workload.
 //! * [`baselines`](htap_baselines) — the Figure-1 ETL and CoW baselines.
+//!
+//! The crate layering (sim → storage → engines → rde → scheduler → core) and
+//! the morsel-driven parallel execution flow are documented in
+//! [`ARCHITECTURE.md`](https://github.com/paper-repo-growth/adaptive-htap/blob/main/ARCHITECTURE.md)
+//! at the repository root.
 
 pub use htap_baselines as baselines;
 pub use htap_chbench as chbench;

@@ -18,10 +18,10 @@ fn transactions_become_visible_to_analytics_under_every_schedule() {
         Schedule::Adaptive(SchedulerPolicy::adaptive_non_isolated(0.5)),
     ] {
         let system = tiny_system_with_schedule(schedule);
-        let before = system.execute_query(QueryId::Q6);
+        let before = system.execute_query(QueryId::Q6).unwrap();
         let committed = system.run_oltp(10);
         assert!(committed > 0);
-        let after = system.execute_query(QueryId::Q6);
+        let after = system.execute_query(QueryId::Q6).unwrap();
         // The orderline relation only grows, so the count of scanned tuples
         // (and therefore bytes) must grow once new transactions committed.
         assert!(
@@ -55,8 +55,12 @@ fn all_schedules_agree_on_query_answers() {
             (QueryId::Q19.plan(), &mut q19_answers),
         ] {
             let scheduled = system.with_scheduler(|s| s.schedule_query(&plan, false));
-            let exec = system.rde().olap().run_query(&plan, &scheduled.sources, None);
-            sink.push(exec.output.result.scalars()[0]);
+            let exec = system
+                .rde()
+                .olap()
+                .run_query(&plan, &scheduled.sources, None)
+                .unwrap();
+            sink.push(exec.output.result.scalars().unwrap()[0]);
         }
     }
     for answers in [&q6_answers, &q19_answers] {
@@ -81,9 +85,11 @@ fn group_by_results_match_between_olap_local_and_oltp_snapshot_paths() {
         .rde()
         .olap()
         .run_query(&plan, &local.sources, None)
+        .unwrap()
         .output
         .result
         .groups()
+        .unwrap()
         .to_vec();
 
     // S1: straight from the OLTP snapshot.
@@ -93,9 +99,11 @@ fn group_by_results_match_between_olap_local_and_oltp_snapshot_paths() {
         .rde()
         .olap()
         .run_query(&plan, &remote.sources, None)
+        .unwrap()
         .output
         .result
         .groups()
+        .unwrap()
         .to_vec();
 
     assert_eq!(local_rows.len(), remote_rows.len());
@@ -109,18 +117,19 @@ fn group_by_results_match_between_olap_local_and_oltp_snapshot_paths() {
 
 #[test]
 fn adaptive_scheduler_reacts_to_accumulating_fresh_data() {
-    let system =
-        tiny_system_with_schedule(Schedule::Adaptive(SchedulerPolicy::adaptive_non_isolated(0.5)));
+    let system = tiny_system_with_schedule(Schedule::Adaptive(
+        SchedulerPolicy::adaptive_non_isolated(0.5),
+    ));
     // Drain the initial load into the OLAP instance with a first query (the
     // whole database is fresh, so the policy must pick the ETL branch).
-    let first = system.execute_query(QueryId::Q6);
+    let first = system.execute_query(QueryId::Q6).unwrap();
     assert_eq!(first.state, SystemState::S2Isolated);
     assert!(first.performed_etl);
 
     // With little fresh data relative to the whole fresh set, the scheduler
     // stays in the elastic states.
     system.run_oltp(3);
-    let report = system.execute_query(QueryId::Q19);
+    let report = system.execute_query(QueryId::Q19).unwrap();
     assert!(
         matches!(
             report.state,
@@ -136,7 +145,7 @@ fn adaptive_scheduler_reacts_to_accumulating_fresh_data() {
     let mut states = Vec::new();
     for _ in 0..6 {
         system.run_oltp(5);
-        states.push(system.execute_query(QueryId::Q6).state);
+        states.push(system.execute_query(QueryId::Q6).unwrap().state);
     }
     assert!(
         states.contains(&SystemState::S3HybridNonIsolated),
@@ -148,11 +157,11 @@ fn adaptive_scheduler_reacts_to_accumulating_fresh_data() {
 fn oltp_throughput_is_higher_in_isolation_than_under_colocation() {
     let system = tiny_system_with_schedule(Schedule::Static(SystemState::S2Isolated));
     system.run_oltp(5);
-    let isolated = system.execute_query(QueryId::Q6);
+    let isolated = system.execute_query(QueryId::Q6).unwrap();
 
     system.set_schedule(Schedule::Static(SystemState::S1Colocated));
     system.run_oltp(5);
-    let colocated = system.execute_query(QueryId::Q6);
+    let colocated = system.execute_query(QueryId::Q6).unwrap();
 
     assert!(
         isolated.oltp_tps > colocated.oltp_tps,
@@ -164,9 +173,10 @@ fn oltp_throughput_is_higher_in_isolation_than_under_colocation() {
 
 #[test]
 fn mixed_workload_reports_are_internally_consistent() {
-    let system =
-        tiny_system_with_schedule(Schedule::Adaptive(SchedulerPolicy::adaptive_non_isolated(0.5)));
-    let report = run_mixed_workload(&system, &MixedWorkload::figure5(4, 3));
+    let system = tiny_system_with_schedule(Schedule::Adaptive(
+        SchedulerPolicy::adaptive_non_isolated(0.5),
+    ));
+    let report = run_mixed_workload(&system, &MixedWorkload::figure5(4, 3)).unwrap();
     assert_eq!(report.sequences.len(), 4);
     let sum: f64 = report.sequence_times().iter().sum();
     assert!((sum - report.total_query_time()).abs() < 1e-9);
@@ -201,13 +211,16 @@ fn concurrent_oltp_and_analytics_preserve_correctness() {
     // Analytical queries run while transactions are being ingested.
     let mut last_bytes = 0;
     for _ in 0..4 {
-        let report = system.execute_query(QueryId::Q6);
-        assert!(report.bytes_scanned >= last_bytes, "scanned data must not shrink");
+        let report = system.execute_query(QueryId::Q6).unwrap();
+        assert!(
+            report.bytes_scanned >= last_bytes,
+            "scanned data must not shrink"
+        );
         last_bytes = report.bytes_scanned;
     }
     let committed = writer.join().unwrap();
     assert!(committed > 0);
     // A final query sees at least all committed order lines.
-    let final_report = system.execute_query(QueryId::Q6);
+    let final_report = system.execute_query(QueryId::Q6).unwrap();
     assert!(final_report.bytes_scanned >= last_bytes);
 }

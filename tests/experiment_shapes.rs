@@ -41,7 +41,10 @@ fn figure1_shape_etl_amortises_and_cow_taxes_oltp() {
 
     let txns = driver.run_new_orders(rde.oltp(), 0, 30, 3);
     let cow_point = cow.run_snapshot(&rde, &ch_q6(), 16, txns);
-    assert_eq!(cow_point.data_transfer_time, 0.0, "CoW takes instant snapshots");
+    assert_eq!(
+        cow_point.data_transfer_time, 0.0,
+        "CoW takes instant snapshots"
+    );
     assert!(
         cow_point.oltp_tps < etl_batch.oltp_tps,
         "CoW must cost OLTP throughput relative to decoupled ETL: {} vs {}",
@@ -60,14 +63,20 @@ fn figure3a_shape_trading_cpus_costs_oltp_throughput() {
         let keep = 14 - traded;
         rde.migrate_state_s1_with(&[(SocketId(0), keep), (SocketId(1), traded)]);
         let idle = rde.modeled_oltp_throughput_idle();
-        assert!(idle <= last_idle + 1.0, "OLTP-only throughput must not increase as CPUs are traded");
+        assert!(
+            idle <= last_idle + 1.0,
+            "OLTP-only throughput must not increase as CPUs are traded"
+        );
         last_idle = idle;
 
         // With a concurrent scan of the OLTP socket the throughput drops further.
         let sources = rde.sources_for(&["orderline"], AccessMethod::OltpSnapshot);
         let bytes = sources["orderline"].bytes_per_socket(&["ol_amount", "ol_quantity"]);
         let busy = rde.modeled_oltp_throughput(&rde.olap_traffic_for(&bytes));
-        assert!(busy < idle, "analytics must add interference (traded={traded})");
+        assert!(
+            busy < idle,
+            "analytics must add interference (traded={traded})"
+        );
     }
 }
 
@@ -80,9 +89,10 @@ fn figure3b_shape_batching_amortises_the_transfer() {
     system.set_schedule(Schedule::Static(SystemState::S2Isolated));
 
     system.run_oltp(10);
-    let single = run_mixed_workload(&system, &MixedWorkload::batches(QueryId::Q6, 1, 1, 0));
+    let single =
+        run_mixed_workload(&system, &MixedWorkload::batches(QueryId::Q6, 1, 1, 0)).unwrap();
     system.run_oltp(10);
-    let batch = run_mixed_workload(&system, &MixedWorkload::batches(QueryId::Q6, 8, 1, 0));
+    let batch = run_mixed_workload(&system, &MixedWorkload::batches(QueryId::Q6, 8, 1, 0)).unwrap();
 
     let per_query_single = single.sequences[0].total_time();
     let per_query_batch = batch.sequences[0].total_time() / 8.0;
@@ -90,7 +100,10 @@ fn figure3b_shape_batching_amortises_the_transfer() {
         per_query_batch < per_query_single,
         "batched S2 must be cheaper per query: {per_query_batch} vs {per_query_single}"
     );
-    assert!(batch.sequences[0].oltp_mtps() > 0.5, "isolated OLTP keeps most of its throughput");
+    assert!(
+        batch.sequences[0].oltp_mtps() > 0.5,
+        "isolated OLTP keeps most of its throughput"
+    );
 }
 
 /// Figure 4: for a small fresh fraction, split access beats re-reading
@@ -113,8 +126,18 @@ fn figure4_shape_split_access_beats_full_remote_until_fresh_data_grows() {
 
         let split_sources = rde.sources_for(&tables, AccessMethod::Split);
         let remote_sources = rde.sources_for(&tables, AccessMethod::OltpSnapshot);
-        let split = rde.olap().run_query(&q1, &split_sources, None).modeled.total;
-        let remote = rde.olap().run_query(&q1, &remote_sources, None).modeled.total;
+        let split = rde
+            .olap()
+            .run_query(&q1, &split_sources, None)
+            .unwrap()
+            .modeled
+            .total;
+        let remote = rde
+            .olap()
+            .run_query(&q1, &remote_sources, None)
+            .unwrap()
+            .modeled
+            .total;
         assert!(
             split < remote,
             "split access must beat full remote while fresh data is small: {split} vs {remote}"
@@ -138,8 +161,12 @@ fn figure5_shape_adaptive_beats_static_s3is_cumulatively() {
     let sequences = 20;
     let run = |schedule: Schedule| {
         let system = HtapSystem::build(HtapConfig::tiny().with_schedule(schedule)).unwrap();
-        let report = run_mixed_workload(&system, &MixedWorkload::figure5(sequences, 400));
-        (report.total_query_time(), report.mean_oltp_mtps(), report.etl_count())
+        let report = run_mixed_workload(&system, &MixedWorkload::figure5(sequences, 400)).unwrap();
+        (
+            report.total_query_time(),
+            report.mean_oltp_mtps(),
+            report.etl_count(),
+        )
     };
 
     let (static_time, static_mtps, static_etls) =
@@ -148,7 +175,10 @@ fn figure5_shape_adaptive_beats_static_s3is_cumulatively() {
         run(Schedule::Adaptive(SchedulerPolicy::adaptive_isolated(0.5)));
 
     assert_eq!(static_etls, 0);
-    assert!(adaptive_etls >= 1, "the adaptive run must pay at least one ETL");
+    assert!(
+        adaptive_etls >= 1,
+        "the adaptive run must pay at least one ETL"
+    );
     assert!(
         adaptive_time < static_time,
         "adaptive must win cumulatively: {adaptive_time} vs {static_time}"
@@ -165,10 +195,10 @@ fn elasticity_trades_oltp_throughput_for_olap_locality() {
     system.run_oltp(5);
 
     system.set_schedule(Schedule::Static(SystemState::S3HybridIsolated));
-    let isolated = system.execute_query(QueryId::Q1);
+    let isolated = system.execute_query(QueryId::Q1).unwrap();
     system.run_oltp(5);
     system.set_schedule(Schedule::Static(SystemState::S3HybridNonIsolated));
-    let elastic = system.execute_query(QueryId::Q1);
+    let elastic = system.execute_query(QueryId::Q1).unwrap();
 
     assert!(
         elastic.oltp_tps < isolated.oltp_tps,
