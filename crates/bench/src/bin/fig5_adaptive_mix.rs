@@ -7,33 +7,61 @@
 //! time; Figure 5(b) the corresponding OLTP throughput.
 //!
 //! `cargo run --release -p htap-bench --bin fig5_adaptive_mix -- --sequences 100`
+//!
+//! With `--concurrent`, NewOrder ingest runs *continuously* on the
+//! OLTP-granted cores while each sequence executes: freshness is measured
+//! per query against the live delta stream and the Figure 5(b) throughput
+//! comes from real commit counters sampled around each query. `--smoke`
+//! bounds the run to a few seconds for CI.
 
 use htap_bench::HarnessArgs;
 use htap_core::{
-    run_mixed_workload, ExperimentTable, HtapConfig, HtapSystem, MixedWorkload, Schedule,
+    run_mixed_workload, run_mixed_workload_concurrent, ConcurrentOptions, ExperimentTable,
+    HtapConfig, HtapSystem, MixedWorkload, Schedule,
 };
 
 const TXNS_PER_WORKER_BETWEEN: u64 = 150;
 
-fn run_schedule(args: &HarnessArgs, schedule: Schedule) -> (Vec<f64>, Vec<f64>, usize) {
+fn run_schedule(args: &HarnessArgs, schedule: Schedule) -> (Vec<f64>, Vec<f64>, usize, u64) {
     let config = HtapConfig::small()
         .with_chbench(args.chbench())
         .with_schedule(schedule);
     let system = HtapSystem::build(config).expect("system builds");
     let workload = MixedWorkload::figure5(args.sequences, TXNS_PER_WORKER_BETWEEN);
-    let report = run_mixed_workload(&system, &workload).expect("CH workload matches the CH schema");
+    let report = if args.concurrent {
+        let options = if args.smoke {
+            ConcurrentOptions::smoke()
+        } else {
+            ConcurrentOptions::default()
+        };
+        run_mixed_workload_concurrent(&system, &workload, &options)
+    } else {
+        run_mixed_workload(&system, &workload)
+    }
+    .expect("CH workload matches the CH schema");
     (
         report.sequence_times(),
         report.sequence_mtps(),
         report.etl_count(),
+        report.transactions_aborted,
     )
 }
 
 fn main() {
-    let args = HarnessArgs::parse();
+    let mut args = HarnessArgs::parse();
+    if args.smoke {
+        // CI-bounded: tiny population, two sequences per schedule.
+        args.scale = args.scale.min(0.002);
+        args.sequences = args.sequences.min(2);
+    }
     println!(
-        "Figure 5: adaptive vs static schedules, {} sequences of the {{Q1, Q6, Q19}} mix, alpha=0.5",
-        args.sequences
+        "Figure 5: adaptive vs static schedules, {} sequences of the {{Q1, Q6, Q19}} mix, alpha=0.5{}",
+        args.sequences,
+        if args.concurrent {
+            " [concurrent ingest]"
+        } else {
+            ""
+        }
     );
 
     let schedules = Schedule::figure5_set(0.5);
@@ -41,9 +69,9 @@ fn main() {
     let mut mtps: Vec<(String, Vec<f64>)> = Vec::new();
     let mut etls: Vec<(String, usize)> = Vec::new();
     for (label, schedule) in &schedules {
-        let (t, m, e) = run_schedule(&args, *schedule);
+        let (t, m, e, aborted) = run_schedule(&args, *schedule);
         println!(
-            "  {label:<15} total={:.4}s mean_oltp={:.3} MTPS etls={e}",
+            "  {label:<15} total={:.4}s mean_oltp={:.3} MTPS etls={e} aborted={aborted}",
             t.iter().sum::<f64>(),
             m.iter().sum::<f64>() / m.len().max(1) as f64
         );

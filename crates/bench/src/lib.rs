@@ -15,7 +15,9 @@
 //!
 //! All binaries accept `--scale <sf>` (CH scale factor, default 0.02),
 //! `--sequences <n>` where applicable, and `--csv` to print machine-readable
-//! output. Modelled times come from the simulated machine described in
+//! output. `fig5_adaptive_mix` additionally accepts `--concurrent` (NewOrder
+//! ingest runs continuously while the sequences execute) and `--smoke`
+//! (CI-bounded tiny run). Modelled times come from the simulated machine described in
 //! DESIGN.md; the shapes — not the absolute values — are the reproduction
 //! target (see EXPERIMENTS.md).
 
@@ -38,6 +40,13 @@ pub struct HarnessArgs {
     /// Also run the measured (wall-clock) scaling sweep where the harness
     /// supports one — real threads over real data instead of modelled time.
     pub measured: bool,
+    /// Run OLTP ingest continuously *while* the analytical sequences execute
+    /// (fig5): per-query freshness against the live delta stream and
+    /// measured, not modelled, per-query OLTP throughput.
+    pub concurrent: bool,
+    /// Bound the run to a CI-friendly few seconds (tiny scale, few
+    /// sequences); used by the concurrent smoke step.
+    pub smoke: bool,
 }
 
 impl Default for HarnessArgs {
@@ -47,6 +56,8 @@ impl Default for HarnessArgs {
             sequences: 30,
             csv: false,
             measured: false,
+            concurrent: false,
+            smoke: false,
         }
     }
 }
@@ -76,6 +87,8 @@ impl HarnessArgs {
                 }
                 "--csv" => out.csv = true,
                 "--measured" => out.measured = true,
+                "--concurrent" => out.concurrent = true,
+                "--smoke" => out.smoke = true,
                 _ => {}
             }
         }
@@ -224,13 +237,24 @@ mod tests {
     #[test]
     fn args_parse_known_flags_and_ignore_others() {
         let args = HarnessArgs::parse_from(
-            ["--scale", "0.05", "--junk", "--sequences", "12", "--csv"]
-                .into_iter()
-                .map(String::from),
+            [
+                "--scale",
+                "0.05",
+                "--junk",
+                "--sequences",
+                "12",
+                "--csv",
+                "--concurrent",
+                "--smoke",
+            ]
+            .into_iter()
+            .map(String::from),
         );
         assert_eq!(args.scale, 0.05);
         assert_eq!(args.sequences, 12);
         assert!(args.csv);
+        assert!(args.concurrent);
+        assert!(args.smoke);
         let defaults = HarnessArgs::parse_from(std::iter::empty());
         assert_eq!(defaults, HarnessArgs::default());
     }
@@ -249,8 +273,7 @@ mod tests {
         let args = HarnessArgs {
             scale: 0.001,
             sequences: 1,
-            csv: false,
-            measured: false,
+            ..HarnessArgs::default()
         };
         let harness = Harness::two_socket(&args);
         assert!(harness.rows_loaded > 0);

@@ -26,7 +26,10 @@ pub mod workload;
 pub use config::HtapConfig;
 pub use report::{ExperimentTable, QueryReport, SequenceReport};
 pub use system::HtapSystem;
-pub use workload::{run_mixed_workload, MixedWorkload, MixedWorkloadReport};
+pub use workload::{
+    run_mixed_workload, run_mixed_workload_concurrent, ConcurrentOptions, MixedWorkload,
+    MixedWorkloadReport,
+};
 
 // Re-export the vocabulary types users need alongside the facade.
 pub use htap_chbench::{ChConfig, QueryId, QuerySequence};

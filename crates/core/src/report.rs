@@ -21,8 +21,17 @@ pub struct QueryReport {
     pub fresh_rows_accessed: u64,
     /// Bytes the query scanned.
     pub bytes_scanned: u64,
-    /// Modelled OLTP throughput while the query ran (transactions/s).
+    /// OLTP throughput while the query ran (transactions/s). Modelled by the
+    /// interference model in sequential mode; measured from live commit
+    /// counters when the concurrent driver ran the query
+    /// (see [`Self::oltp_tps_measured`]).
     pub oltp_tps: f64,
+    /// Whether `oltp_tps` was measured from the live ingest counters sampled
+    /// around the query rather than modelled.
+    pub oltp_tps_measured: bool,
+    /// Wall-clock window over which `oltp_tps` was measured (pacing wait plus
+    /// query execution), in seconds; 0 when the throughput is modelled.
+    pub oltp_sample_window: Seconds,
     /// Number of result rows produced.
     pub result_rows: usize,
     /// Whether the scheduler performed an ETL for this query.
@@ -56,13 +65,34 @@ impl SequenceReport {
         self.queries.iter().map(QueryReport::total_time).sum()
     }
 
-    /// Average modelled OLTP throughput over the sequence, in MTPS
-    /// (the y-axis of Figure 5(b)).
+    /// OLTP throughput over the sequence, in MTPS (the y-axis of
+    /// Figure 5(b)), weighted by each query's share of the sequence time —
+    /// a 1 ms query must not count as much as a 10 s one. Measured rates are
+    /// weighted by the wall-clock window they were sampled over (so the mean
+    /// equals total commits over total elapsed time), modelled rates by the
+    /// query's modelled time; zero-duration sequences fall back to the
+    /// unweighted mean.
     pub fn oltp_mtps(&self) -> f64 {
         if self.queries.is_empty() {
             return 0.0;
         }
-        self.queries.iter().map(QueryReport::oltp_mtps).sum::<f64>() / self.queries.len() as f64
+        let weight = |q: &QueryReport| {
+            if q.oltp_tps_measured {
+                q.oltp_sample_window
+            } else {
+                q.total_time()
+            }
+        };
+        let total: Seconds = self.queries.iter().map(weight).sum();
+        if total <= 0.0 {
+            return self.queries.iter().map(QueryReport::oltp_mtps).sum::<f64>()
+                / self.queries.len() as f64;
+        }
+        self.queries
+            .iter()
+            .map(|q| q.oltp_mtps() * weight(q))
+            .sum::<f64>()
+            / total
     }
 
     /// Number of ETLs performed during the sequence.
@@ -173,6 +203,8 @@ mod tests {
             fresh_rows_accessed: 10,
             bytes_scanned: 1000,
             oltp_tps: 1.2e6,
+            oltp_tps_measured: false,
+            oltp_sample_window: 0.0,
             result_rows: 1,
             performed_etl: etl,
         }
@@ -203,6 +235,55 @@ mod tests {
         let seq = SequenceReport::default();
         assert_eq!(seq.total_time(), 0.0);
         assert_eq!(seq.oltp_mtps(), 0.0);
+    }
+
+    #[test]
+    fn oltp_mtps_is_weighted_by_query_duration() {
+        // A 9.9 s query at 1.0 MTPS and a 0.1 s query at 2.0 MTPS: the long
+        // query dominates — the unweighted mean (1.5) would be wrong.
+        let mut long = query(SystemState::S2Isolated, 9.9, 0.0, false);
+        long.oltp_tps = 1.0e6;
+        let mut short = query(SystemState::S2Isolated, 0.1, 0.0, false);
+        short.oltp_tps = 2.0e6;
+        let seq = SequenceReport {
+            sequence: 0,
+            queries: vec![long, short],
+        };
+        assert!((seq.oltp_mtps() - 1.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measured_rates_are_weighted_by_their_sample_window() {
+        // Measured throughput must average as total commits over total
+        // wall-clock time, regardless of the modelled query times.
+        let mut slow = query(SystemState::S2Isolated, 9.0, 1.0, true);
+        slow.oltp_tps = 1.0e6; // 2.0e6 commits over a 2 s window
+        slow.oltp_tps_measured = true;
+        slow.oltp_sample_window = 2.0;
+        let mut fast = query(SystemState::S3HybridNonIsolated, 0.001, 0.0, false);
+        fast.oltp_tps = 4.0e6; // 8.0e6 commits over a 2 s window
+        fast.oltp_tps_measured = true;
+        fast.oltp_sample_window = 2.0;
+        let seq = SequenceReport {
+            sequence: 0,
+            queries: vec![slow, fast],
+        };
+        // (2.0e6 + 8.0e6) commits / 4 s = 2.5 MTPS — the modelled times
+        // (9 s vs 1 ms) must not skew the measured mean.
+        assert!((seq.oltp_mtps() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_duration_sequence_falls_back_to_unweighted_mean() {
+        let mut a = query(SystemState::S2Isolated, 0.0, 0.0, false);
+        a.oltp_tps = 1.0e6;
+        let mut b = query(SystemState::S2Isolated, 0.0, 0.0, false);
+        b.oltp_tps = 3.0e6;
+        let seq = SequenceReport {
+            sequence: 0,
+            queries: vec![a, b],
+        };
+        assert!((seq.oltp_mtps() - 2.0).abs() < 1e-12);
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::config::HtapConfig;
 use crate::report::QueryReport;
 use htap_chbench::{ChGenerator, PopulationReport, QueryId, TransactionDriver};
 use htap_olap::{OlapError, QueryPlan};
+use htap_oltp::WorkerReport;
 use htap_rde::RdeEngine;
 use htap_scheduler::{HtapScheduler, Schedule};
 use parking_lot::Mutex;
@@ -98,6 +99,48 @@ impl HtapSystem {
         committed
     }
 
+    /// Start continuous NewOrder ingest: one long-running worker thread per
+    /// core the machine could ever grant the OLTP engine (parked beyond the
+    /// current grant), each generating and executing transactions back to
+    /// back (the paper's "complete transactional queue", §3.2). Elastic
+    /// migrations resize the pool mid-flight in both directions; aborted
+    /// transactions are counted, not retried. Returns the number of worker
+    /// threads started (0 when ingest is already running).
+    pub fn start_oltp_ingest(&self) -> usize {
+        if self.oltp_ingest_running() {
+            // No-op starts must not consume a seed: the parameter stream of
+            // later runs would shift and break reproducibility.
+            return 0;
+        }
+        let driver = Arc::clone(&self.txn_driver);
+        let oltp = Arc::clone(self.rde.oltp());
+        let seed = self.txn_seed.fetch_add(1, Ordering::Relaxed);
+        let capacity = self.config.topology.total_cores() as usize;
+        self.rde.oltp().worker_manager().start_with_capacity(
+            capacity,
+            move |worker_id, _core, txn_index| {
+                driver.run_one_new_order(&oltp, worker_id as u64, seed, txn_index)
+            },
+        )
+    }
+
+    /// Stop the continuous ingest pool and return its per-worker counts.
+    pub fn stop_oltp_ingest(&self) -> WorkerReport {
+        self.rde.oltp().worker_manager().stop()
+    }
+
+    /// Whether the continuous ingest pool is running.
+    pub fn oltp_ingest_running(&self) -> bool {
+        self.rde.oltp().worker_manager().ingest_running()
+    }
+
+    /// Live `(committed, aborted)` totals of the continuous ingest pool —
+    /// sampled around each analytical query to derive measured OLTP
+    /// throughput. `(0, 0)` when ingest is not running.
+    pub fn oltp_live_counts(&self) -> (u64, u64) {
+        self.rde.oltp().worker_manager().live_counts()
+    }
+
     /// Run `count` NewOrder transactions per worker using one OS thread per
     /// worker (exercises the concurrent transaction path).
     pub fn run_oltp_parallel(&self, count_per_worker: u64) -> u64 {
@@ -167,6 +210,8 @@ impl HtapSystem {
             fresh_rows_accessed: execution.output.work.fresh_rows,
             bytes_scanned: execution.output.work.total_bytes(),
             oltp_tps,
+            oltp_tps_measured: false,
+            oltp_sample_window: 0.0,
             result_rows: execution.output.result.row_count(),
             performed_etl: scheduled.migration.etl.is_some(),
         })
@@ -192,6 +237,14 @@ impl HtapSystem {
             report.performed_etl = false;
         }
         Ok(report)
+    }
+}
+
+impl Drop for HtapSystem {
+    /// The ingest threads hold `Arc`s into the engines, so a system dropped
+    /// mid-ingest would leave them running forever — stop the pool first.
+    fn drop(&mut self) {
+        self.stop_oltp_ingest();
     }
 }
 
@@ -268,6 +321,35 @@ mod tests {
         // Two warehouses in the tiny config -> at most 2 concurrent workers.
         assert_eq!(committed, 2 * 3);
         assert!(system.txn_driver().stats().committed() >= committed);
+    }
+
+    #[test]
+    fn continuous_ingest_runs_until_stopped() {
+        let system = tiny_system();
+        let workers = system.start_oltp_ingest();
+        assert!(workers > 0);
+        assert!(system.oltp_ingest_running());
+        // A second start leaves the running pool untouched.
+        assert_eq!(system.start_oltp_ingest(), 0);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while system.oltp_live_counts().0 == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "no commits within 30s"
+            );
+            std::thread::yield_now();
+        }
+        // Analytics work while ingest runs (the switch gate quiesces workers).
+        let report = system.execute_query(QueryId::Q6).unwrap();
+        assert!(report.execution_time > 0.0);
+        let pool = system.stop_oltp_ingest();
+        assert!(!system.oltp_ingest_running());
+        assert!(pool.committed() > 0);
+        assert_eq!(
+            pool.committed(),
+            system.txn_driver().stats().committed(),
+            "pool counters must agree with the driver's statistics"
+        );
     }
 
     #[test]

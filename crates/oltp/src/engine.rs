@@ -172,13 +172,39 @@ impl OltpEngine {
 
     /// Synchronise the active instance of every relation from its snapshot
     /// twin (consumes the update-indication bits). Usually invoked by the RDE
-    /// engine immediately after [`Self::switch_instance`].
+    /// engine immediately after [`Self::switch_instance`]. The caller must
+    /// guarantee no transactions run concurrently; with a live worker pool
+    /// use [`Self::switch_and_sync_instances`] instead.
     pub fn sync_instances(&self) -> BTreeMap<String, SyncOutcome> {
         self.runtimes
             .read()
             .iter()
             .map(|(name, rt)| (name.clone(), rt.twin().sync_active_from_snapshot()))
             .collect()
+    }
+
+    /// Switch the active instance of every relation *and* synchronise the new
+    /// active instance from the snapshot, inside one quiescence window: the
+    /// switch gate is held across both steps so no transaction can execute
+    /// against the un-synced active instance — it would read pre-switch
+    /// values (e.g. a stale district order counter) or have its committed
+    /// writes overwritten by the sync copy. This is the entry point the RDE
+    /// engine uses while the continuous ingest pool runs.
+    pub fn switch_and_sync_instances(
+        &self,
+    ) -> (
+        BTreeMap<String, SwitchOutcome>,
+        BTreeMap<String, SyncOutcome>,
+    ) {
+        let _guard = self.switch_gate.write();
+        let switched = self.store.switch_all();
+        let synced = self
+            .runtimes
+            .read()
+            .iter()
+            .map(|(name, rt)| (name.clone(), rt.twin().sync_active_from_snapshot()))
+            .collect();
+        (switched, synced)
     }
 
     /// A consistent snapshot handle over the inactive instance of every
@@ -300,6 +326,27 @@ mod tests {
         engine.switch_instance();
         assert_eq!(engine.fresh_rows_vs_olap(), 2);
         assert!(engine.instance_bytes() > 0);
+    }
+
+    #[test]
+    fn switch_and_sync_instances_is_one_quiescence_window() {
+        let engine = OltpEngine::new();
+        engine.create_table(schema("stock")).unwrap();
+        engine
+            .bulk_load("stock", 1, vec![Value::I64(1), Value::I32(10)])
+            .unwrap();
+        engine.execute(|mut txn| {
+            txn.update("stock", 1, 1, Value::I32(42)).unwrap();
+            txn.commit().unwrap();
+        });
+        let (switched, synced) = engine.switch_and_sync_instances();
+        assert_eq!(switched["stock"].pending_sync_records, 1);
+        assert_eq!(synced["stock"].copied_records, 1);
+        // Both instances agree immediately after the combined step — no
+        // transaction can ever observe the in-between state.
+        let rt = engine.table("stock").unwrap();
+        assert_eq!(rt.twin().get_from(0, 0, 1), Some(Value::I32(42)));
+        assert_eq!(rt.twin().get_from(1, 0, 1), Some(Value::I32(42)));
     }
 
     #[test]

@@ -14,8 +14,10 @@
 //! simulated (see DESIGN.md).
 
 use htap_sim::{CoreId, CpuSet};
-use parking_lot::RwLock;
-use std::sync::atomic::{AtomicU64, Ordering};
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Result of a worker-pool run.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -38,13 +40,89 @@ impl WorkerReport {
     }
 }
 
-/// The elastic worker pool.
+/// Pool assignment shared with long-running ingest threads, so mid-flight
+/// grants and revocations by the RDE engine take effect without restarting
+/// the pool.
 #[derive(Debug, Default)]
-pub struct WorkerManager {
+struct PoolState {
     /// Cores currently assigned to the pool, in worker order.
     affinity: RwLock<Vec<CoreId>>,
     /// Number of workers that are allowed to run (≤ `affinity.len()`).
     active_workers: AtomicU64,
+    /// Revoked ingest workers block here instead of sleep-polling (polling
+    /// would burn scheduler cycles on the very host whose ingest throughput
+    /// is being measured); every resize and stop notifies.
+    resize_mutex: std::sync::Mutex<()>,
+    resize_cv: std::sync::Condvar,
+}
+
+impl PoolState {
+    /// Wake every parked worker (after a resize or stop). Holding the mutex
+    /// while notifying closes the check-then-wait race in
+    /// [`Self::park_until_resize`].
+    fn notify_resize(&self) {
+        let _guard = self
+            .resize_mutex
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        self.resize_cv.notify_all();
+    }
+
+    /// Park the calling worker until the next resize/stop notification (with
+    /// a timeout backstop). `should_park` is re-checked under the lock so a
+    /// notification between the caller's last check and this call is never
+    /// lost.
+    fn park_until_resize(&self, should_park: impl Fn() -> bool) {
+        let guard = self
+            .resize_mutex
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if should_park() {
+            let _ = self
+                .resize_cv
+                .wait_timeout(guard, Duration::from_millis(50));
+        }
+    }
+}
+
+/// Live counters of a continuously running pool.
+#[derive(Debug)]
+struct IngestShared {
+    committed: Vec<AtomicU64>,
+    aborted: Vec<AtomicU64>,
+    stop: AtomicBool,
+}
+
+impl IngestShared {
+    fn report(&self) -> WorkerReport {
+        WorkerReport {
+            committed_per_worker: self
+                .committed
+                .iter()
+                .map(|c| c.load(Ordering::Acquire))
+                .collect(),
+            aborted_per_worker: self
+                .aborted
+                .iter()
+                .map(|a| a.load(Ordering::Acquire))
+                .collect(),
+        }
+    }
+}
+
+/// A continuously running set of ingest threads (long-running mode).
+#[derive(Debug)]
+struct IngestPool {
+    shared: Arc<IngestShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// The elastic worker pool.
+#[derive(Debug, Default)]
+pub struct WorkerManager {
+    state: Arc<PoolState>,
+    /// Long-running ingest pool, when one has been started.
+    ingest: Mutex<Option<IngestPool>>,
 }
 
 impl WorkerManager {
@@ -54,34 +132,180 @@ impl WorkerManager {
     }
 
     /// Set the worker pool to one worker per core of `cores`, all active.
-    /// This is the API the RDE engine calls when migrating states.
+    /// This is the API the RDE engine calls when migrating states; a running
+    /// ingest pool observes the new assignment mid-flight.
     pub fn set_workers(&self, cores: &CpuSet) {
         let cores: Vec<CoreId> = cores.iter().collect();
-        self.active_workers
-            .store(cores.len() as u64, Ordering::Release);
-        *self.affinity.write() = cores;
+        let n = cores.len() as u64;
+        *self.state.affinity.write() = cores;
+        self.state.active_workers.store(n, Ordering::Release);
+        self.state.notify_resize();
     }
 
     /// Restrict the number of active workers without changing affinities
-    /// (scale down); panics if `n` exceeds the pool size.
-    pub fn set_active_workers(&self, n: usize) {
-        let pool = self.affinity.read().len();
-        assert!(
-            n <= pool,
-            "cannot activate {n} workers with a pool of {pool}"
-        );
-        self.active_workers.store(n as u64, Ordering::Release);
+    /// (scale down). `n` is clamped to the pool size — the RDE migration
+    /// paths may request more workers than the pool holds — and the
+    /// effective count is returned.
+    pub fn set_active_workers(&self, n: usize) -> usize {
+        let pool = self.state.affinity.read().len();
+        let effective = n.min(pool);
+        self.state
+            .active_workers
+            .store(effective as u64, Ordering::Release);
+        self.state.notify_resize();
+        effective
     }
 
     /// Number of active workers.
     pub fn active_workers(&self) -> usize {
-        self.active_workers.load(Ordering::Acquire) as usize
+        self.state.active_workers.load(Ordering::Acquire) as usize
     }
 
     /// The cores assigned to the active workers.
     pub fn affinity(&self) -> Vec<CoreId> {
-        let all = self.affinity.read();
+        let all = self.state.affinity.read();
         all.iter().take(self.active_workers()).copied().collect()
+    }
+
+    /// Start the long-running ingest mode with capacity for the current pool
+    /// size only; see [`Self::start_with_capacity`] for grants that may grow
+    /// beyond it.
+    pub fn start<F>(&self, body: F) -> usize
+    where
+        F: Fn(usize, CoreId, u64) -> bool + Send + Sync + 'static,
+    {
+        self.start_with_capacity(0, body)
+    }
+
+    /// Start the long-running ingest mode: one OS thread per potential
+    /// worker, each repeatedly invoking `body(worker_id, core, txn_index)`
+    /// and recording whether the transaction committed. The pool keeps
+    /// running until [`Self::stop`]; while it runs, [`Self::set_workers`] /
+    /// [`Self::set_active_workers`] resize it mid-flight — deactivated
+    /// workers park until they are granted back, and affinity changes are
+    /// picked up on the next transaction.
+    ///
+    /// Threads are spawned for `max(max_workers, current pool size)` workers,
+    /// so a later grant *larger* than the pool at start time still finds a
+    /// thread to resume (parked threads block on a condition variable until
+    /// a resize wakes them). Pass the machine's core count to cover every
+    /// possible grant.
+    ///
+    /// Returns the number of threads spawned: 0 when the capacity is zero or
+    /// an ingest run is already active (the running pool is left untouched).
+    pub fn start_with_capacity<F>(&self, max_workers: usize, body: F) -> usize
+    where
+        F: Fn(usize, CoreId, u64) -> bool + Send + Sync + 'static,
+    {
+        let mut slot = self.ingest.lock();
+        if slot.is_some() {
+            return 0;
+        }
+        let pool_size = self.state.affinity.read().len().max(max_workers);
+        if pool_size == 0 {
+            return 0;
+        }
+        let shared = Arc::new(IngestShared {
+            committed: (0..pool_size).map(|_| AtomicU64::new(0)).collect(),
+            aborted: (0..pool_size).map(|_| AtomicU64::new(0)).collect(),
+            stop: AtomicBool::new(false),
+        });
+        let body = Arc::new(body);
+        let handles = (0..pool_size)
+            .map(|worker_id| {
+                let state = Arc::clone(&self.state);
+                let shared = Arc::clone(&shared);
+                let body = Arc::clone(&body);
+                std::thread::Builder::new()
+                    .name(format!("oltp-ingest-{worker_id}"))
+                    .spawn(move || {
+                        // The worker's core, when it is inside the current
+                        // grant (active and with an assigned affinity slot).
+                        let granted_core = |state: &PoolState| {
+                            if worker_id < state.active_workers.load(Ordering::Acquire) as usize {
+                                state.affinity.read().get(worker_id).copied()
+                            } else {
+                                None
+                            }
+                        };
+                        let mut txn_index = 0u64;
+                        while !shared.stop.load(Ordering::Acquire) {
+                            let Some(core) = granted_core(&state) else {
+                                state.park_until_resize(|| {
+                                    !shared.stop.load(Ordering::Acquire)
+                                        && granted_core(&state).is_none()
+                                });
+                                continue;
+                            };
+                            if body(worker_id, core, txn_index) {
+                                shared.committed[worker_id].fetch_add(1, Ordering::Release);
+                            } else {
+                                shared.aborted[worker_id].fetch_add(1, Ordering::Release);
+                            }
+                            txn_index += 1;
+                        }
+                    })
+                    .expect("spawning an ingest worker")
+            })
+            .collect();
+        *slot = Some(IngestPool { shared, handles });
+        pool_size
+    }
+
+    /// Whether a long-running ingest pool is active.
+    pub fn ingest_running(&self) -> bool {
+        self.ingest.lock().is_some()
+    }
+
+    /// Live `(committed, aborted)` totals of the running ingest pool —
+    /// sampled without stopping it, so callers can derive measured OLTP
+    /// throughput around each analytical query. `(0, 0)` when no pool runs.
+    /// Allocation-free: pacing loops poll this at high frequency.
+    pub fn live_counts(&self) -> (u64, u64) {
+        match self.ingest.lock().as_ref() {
+            Some(pool) => (
+                pool.shared
+                    .committed
+                    .iter()
+                    .map(|c| c.load(Ordering::Acquire))
+                    .sum(),
+                pool.shared
+                    .aborted
+                    .iter()
+                    .map(|a| a.load(Ordering::Acquire))
+                    .sum(),
+            ),
+            None => (0, 0),
+        }
+    }
+
+    /// Live per-worker commit counts of the running ingest pool (empty when
+    /// no pool runs). Lets callers observe which workers a mid-flight resize
+    /// parked or resumed.
+    pub fn per_worker_committed(&self) -> Vec<u64> {
+        match self.ingest.lock().as_ref() {
+            Some(pool) => pool.shared.report().committed_per_worker,
+            None => Vec::new(),
+        }
+    }
+
+    /// Stop the long-running ingest pool: signal every thread, join them and
+    /// return the final per-worker counts. A no-op returning an empty report
+    /// when no pool is running.
+    pub fn stop(&self) -> WorkerReport {
+        let Some(pool) = self.ingest.lock().take() else {
+            return WorkerReport::default();
+        };
+        pool.shared.stop.store(true, Ordering::Release);
+        self.state.notify_resize();
+        for handle in pool.handles {
+            // A panicked worker must not panic stop(): it is reachable from
+            // Drop during unwinding, where a second panic aborts the whole
+            // process and masks the original failure. The worker's partial
+            // counts are still in the shared counters.
+            let _ = handle.join();
+        }
+        pool.shared.report()
     }
 
     /// Run `txns_per_worker` transactions on every active worker, in
@@ -170,17 +394,20 @@ mod tests {
         wm.set_workers(&cores(8));
         assert_eq!(wm.active_workers(), 8);
         assert_eq!(wm.affinity().len(), 8);
-        wm.set_active_workers(3);
+        assert_eq!(wm.set_active_workers(3), 3);
         assert_eq!(wm.active_workers(), 3);
         assert_eq!(wm.affinity(), vec![CoreId(0), CoreId(1), CoreId(2)]);
     }
 
     #[test]
-    #[should_panic(expected = "cannot activate")]
-    fn scaling_beyond_pool_panics() {
+    fn scaling_beyond_pool_clamps_to_pool_size() {
         let wm = WorkerManager::new();
         wm.set_workers(&cores(2));
-        wm.set_active_workers(5);
+        assert_eq!(wm.set_active_workers(5), 2, "clamped to the pool");
+        assert_eq!(wm.active_workers(), 2);
+        // An empty pool clamps everything to zero.
+        let empty = WorkerManager::new();
+        assert_eq!(empty.set_active_workers(4), 0);
     }
 
     #[test]
@@ -221,5 +448,103 @@ mod tests {
         let report = wm.run(100, |_, _, _| true);
         assert_eq!(report.committed(), 0);
         assert_eq!(report.aborted(), 0);
+    }
+
+    fn wait_until(mut condition: impl FnMut() -> bool) {
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while !condition() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "condition not reached within 30s"
+            );
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn long_running_pool_counts_live_and_reports_on_stop() {
+        let wm = WorkerManager::new();
+        wm.set_workers(&cores(2));
+        // Every fourth transaction "aborts".
+        assert_eq!(wm.start(|_, _, i| i % 4 != 3), 2);
+        assert!(wm.ingest_running());
+        // A second start must not spawn a second pool.
+        assert_eq!(wm.start(|_, _, _| true), 0);
+        wait_until(|| {
+            let (committed, aborted) = wm.live_counts();
+            committed > 0 && aborted > 0
+        });
+        let report = wm.stop();
+        assert!(!wm.ingest_running());
+        assert_eq!(report.committed_per_worker.len(), 2);
+        assert!(report.committed() > 0);
+        assert!(report.aborted() > 0);
+        // Stopping again is a no-op.
+        assert_eq!(wm.stop(), WorkerReport::default());
+        assert_eq!(wm.live_counts(), (0, 0));
+    }
+
+    #[test]
+    fn long_running_pool_resizes_mid_flight() {
+        let wm = WorkerManager::new();
+        wm.set_workers(&cores(4));
+        assert_eq!(wm.start(|_, _, _| true), 4);
+        wait_until(|| wm.live_counts().0 > 0);
+
+        // Revoke all but one worker (the RDE engine shrinking the grant):
+        // only worker 0 may make further progress. A revoked worker can
+        // still finish the single transaction in flight at revocation time,
+        // so the deterministic bound is "at most one more commit each" — no
+        // matter how long worker 0 keeps running.
+        assert_eq!(wm.set_active_workers(1), 1);
+        let at_revocation = wm.per_worker_committed();
+        wait_until(|| wm.per_worker_committed()[0] > at_revocation[0] + 5);
+        let later = wm.per_worker_committed();
+        for w in 1..4 {
+            assert!(
+                later[w] <= at_revocation[w] + 1,
+                "revoked worker {w} kept committing: {} -> {}",
+                at_revocation[w],
+                later[w]
+            );
+        }
+
+        // Grant everything back: the parked workers resume.
+        assert_eq!(wm.set_active_workers(4), 4);
+        wait_until(|| {
+            let now = wm.per_worker_committed();
+            (1..4).all(|w| now[w] > later[w] + 1)
+        });
+        let report = wm.stop();
+        assert_eq!(report.committed_per_worker.len(), 4);
+    }
+
+    #[test]
+    fn starting_an_empty_pool_spawns_nothing() {
+        let wm = WorkerManager::new();
+        assert_eq!(wm.start(|_, _, _| true), 0);
+        assert!(!wm.ingest_running());
+    }
+
+    #[test]
+    fn pool_grows_beyond_its_start_time_grant_up_to_capacity() {
+        let wm = WorkerManager::new();
+        wm.set_workers(&cores(2));
+        // Capacity for 4 workers even though only 2 cores are granted now.
+        assert_eq!(wm.start_with_capacity(4, |_, _, _| true), 4);
+        wait_until(|| wm.live_counts().0 > 0);
+        let before = wm.per_worker_committed();
+        assert_eq!(before.len(), 4);
+
+        // A larger grant activates the spare threads.
+        wm.set_workers(&cores(4));
+        assert_eq!(wm.active_workers(), 4);
+        wait_until(|| {
+            let now = wm.per_worker_committed();
+            (2..4).all(|w| now[w] > before[w])
+        });
+        let report = wm.stop();
+        assert_eq!(report.committed_per_worker.len(), 4);
+        assert!(report.committed_per_worker.iter().all(|&c| c > 0));
     }
 }

@@ -200,6 +200,9 @@ impl RdeEngine {
     }
 
     /// Push the current pool assignment into both engines' worker managers.
+    /// This is the mid-flight elasticity hook: a continuously running OLTP
+    /// ingest pool observes the new grant immediately — revoked workers park,
+    /// granted workers resume — without being restarted.
     pub fn apply_pool_to_engines(&self) {
         let pool = self.pool.lock();
         self.oltp
@@ -267,11 +270,12 @@ impl RdeEngine {
     }
 
     /// Instruct the OLTP engine to switch its active instance and synchronise
-    /// the twins (consuming the update-indication bits). The modelled time is
-    /// charged to the [`Activity::InstanceSync`] counter.
+    /// the twins (consuming the update-indication bits), in one quiescence
+    /// window so concurrent ingest workers never observe the un-synced
+    /// active instance. The modelled time is charged to the
+    /// [`Activity::InstanceSync`] counter.
     pub fn switch_and_sync(&self) -> SwitchReport {
-        let outcomes = self.oltp.switch_instance();
-        let sync = self.oltp.sync_instances();
+        let (outcomes, sync) = self.oltp.switch_and_sync_instances();
 
         let snapshot_rows: u64 = outcomes.values().map(|o| o.snapshot_rows).sum();
         let synced_records: u64 = sync.values().map(|s| s.copied_records).sum();
@@ -538,6 +542,34 @@ mod tests {
         assert!(rde.oltp().table("t1").is_some());
         assert!(rde.olap().store().table("t1").is_some());
         assert!(rde.create_table(schema("t1")).is_err());
+    }
+
+    #[test]
+    fn migrations_resize_a_running_ingest_pool_mid_flight() {
+        use crate::state::SystemState;
+        let rde = engine_with_data(10);
+        let wm = rde.oltp().worker_manager();
+        // Start the pool while S3-NI has lent 4 OLTP-socket cores away (10
+        // active), with capacity for the whole machine so later grants can
+        // grow it.
+        rde.migrate(SystemState::S3HybridNonIsolated);
+        let capacity = rde.config().topology.total_cores() as usize;
+        assert_eq!(wm.start_with_capacity(capacity, |_, _, _| true), capacity);
+        assert!(wm.ingest_running());
+        assert_eq!(wm.active_workers(), 10);
+
+        // S2 hands the whole socket back: the running pool must grow to 14
+        // active workers without restarting.
+        rde.migrate(SystemState::S2Isolated);
+        assert_eq!(wm.active_workers(), 14);
+
+        // And shrinking again parks the reclaimed workers.
+        rde.migrate(SystemState::S3HybridNonIsolated);
+        assert_eq!(wm.active_workers(), 10);
+
+        let report = wm.stop();
+        assert_eq!(report.committed_per_worker.len(), capacity);
+        assert!(report.committed() > 0);
     }
 
     #[test]

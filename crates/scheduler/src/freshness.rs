@@ -28,12 +28,15 @@ pub struct FreshnessReport {
 
 impl FreshnessReport {
     /// The freshness-rate metric of the relation: identical tuples over total
-    /// tuples (1.0 when the OLAP instance is fully up to date).
+    /// tuples (1.0 when the OLAP instance is fully up to date). With
+    /// concurrent ingest, rows committed between the snapshot and the
+    /// fresh-row sample can push `fresh_rows` past `snapshot_rows`; the rate
+    /// is clamped to `[0, 1]` so the race never yields a negative rate.
     pub fn freshness_rate(&self) -> f64 {
         if self.snapshot_rows == 0 {
             1.0
         } else {
-            1.0 - self.fresh_rows as f64 / self.snapshot_rows as f64
+            (1.0 - self.fresh_rows as f64 / self.snapshot_rows as f64).clamp(0.0, 1.0)
         }
     }
 }
@@ -57,12 +60,15 @@ pub struct QueryFreshness {
 }
 
 impl QueryFreshness {
-    /// Freshness-rate over the relations the query accesses.
+    /// Freshness-rate over the relations the query accesses, clamped to
+    /// `[0, 1]` (concurrent ingest can commit rows between the snapshot and
+    /// the fresh-row sample, making `query_fresh_rows` momentarily exceed
+    /// `query_total_rows`).
     pub fn freshness_rate(&self) -> f64 {
         if self.query_total_rows == 0 {
             1.0
         } else {
-            1.0 - self.query_fresh_rows as f64 / self.query_total_rows as f64
+            (1.0 - self.query_fresh_rows as f64 / self.query_total_rows as f64).clamp(0.0, 1.0)
         }
     }
 
@@ -212,6 +218,27 @@ mod tests {
         assert!((f.query_share_of_fresh() - 0.5).abs() < 1e-9);
         assert_eq!(f.per_table.len(), 1);
         assert!((f.per_table[0].freshness_rate() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn freshness_rate_is_clamped_under_concurrent_ingest() {
+        // Rows committed between the snapshot and the fresh-row sample can
+        // make fresh exceed the snapshot; the rate must clamp, not go
+        // negative.
+        let table = FreshnessReport {
+            table: "sales".into(),
+            snapshot_rows: 100,
+            fresh_rows: 130,
+            fresh_bytes: 130 * 16,
+        };
+        assert_eq!(table.freshness_rate(), 0.0);
+
+        let query = QueryFreshness {
+            query_fresh_rows: 130,
+            query_total_rows: 100,
+            ..QueryFreshness::default()
+        };
+        assert_eq!(query.freshness_rate(), 0.0);
     }
 
     #[test]

@@ -20,7 +20,7 @@ use crate::stats::{InstanceStats, UpdatePresence};
 use crate::table::ColumnarTable;
 use crate::update_bits::AtomicBitmap;
 use crate::{Epoch, RowId};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -76,6 +76,11 @@ pub struct TwinTable {
     visible_rows: [AtomicU64; 2],
     /// Hierarchical update-presence flag for this relation.
     update_presence: UpdatePresence,
+    /// Serialises concurrent inserts: the per-column appends within an
+    /// instance, and the appends to the two instances, must not interleave
+    /// across writers or the twins fall out of step (concurrent ingest
+    /// workers commit inserts to the same relation at any time).
+    append_lock: Mutex<()>,
 }
 
 impl TwinTable {
@@ -94,6 +99,7 @@ impl TwinTable {
             olap_synced_rows: AtomicU64::new(0),
             visible_rows: [AtomicU64::new(0), AtomicU64::new(0)],
             update_presence: UpdatePresence::new(),
+            append_lock: Mutex::new(()),
         }
     }
 
@@ -138,9 +144,11 @@ impl TwinTable {
     }
 
     /// Insert a row into both instances. Returns the row id (identical in
-    /// both instances).
+    /// both instances — concurrent inserters are serialised per relation so
+    /// the twins never fall out of step).
     pub fn insert(&self, row: &[Value]) -> Result<RowId, String> {
         self.schema.check_row(row)?;
+        let _guard = self.append_lock.lock();
         let id0 = self.instances[0].append_row_unchecked(row);
         let id1 = self.instances[1].append_row_unchecked(row);
         debug_assert_eq!(id0, id1, "twin instances out of step");
@@ -551,6 +559,31 @@ mod tests {
         assert_eq!(stats.visible_rows, 3);
         assert_eq!(stats.inserted_since_switch, 2);
         assert_eq!(stats.epoch, 1);
+    }
+
+    #[test]
+    fn concurrent_inserts_keep_twins_in_step() {
+        let t = TwinTable::new(schema());
+        std::thread::scope(|scope| {
+            for w in 0..4i64 {
+                let t = &t;
+                scope.spawn(move || {
+                    for i in 0..200i64 {
+                        t.insert(&row(w * 1000 + i, i as f64)).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(t.instance(0).row_count(), 800);
+        assert_eq!(t.instance(1).row_count(), 800);
+        // Both instances hold the identical row at every id — interleaved
+        // appends across writers must never cross-assign rows.
+        for r in 0..800 {
+            let id = t.get_from(0, r, 0);
+            assert!(id.is_some());
+            assert_eq!(id, t.get_from(1, r, 0), "row {r} diverged");
+            assert_eq!(t.get_from(0, r, 1), t.get_from(1, r, 1), "row {r} diverged");
+        }
     }
 
     #[test]
