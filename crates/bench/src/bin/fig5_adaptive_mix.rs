@@ -1,18 +1,19 @@
 //! Figure 5 — adaptive HTAP scheduling versus the static schedules.
 //!
-//! The {Q1, Q6, Q19} mix runs for `--sequences` sequences (the paper uses
-//! 100) while NewOrder transactions keep arriving, under six schedules:
+//! The widened {Q1, Q3, Q4, Q6, Q12, Q14, Q19} mix (or, with `--paper-mix`,
+//! the paper's original {Q1, Q6, Q19}) runs for `--sequences` sequences (the
+//! paper uses 100) while transactions keep arriving, under six schedules:
 //! static S1, S2, S3-IS, S3-NI and the adaptive variants Adaptive-S3-IS and
 //! Adaptive-S3-NI (α = 0.5). Figure 5(a) plots the per-sequence execution
 //! time; Figure 5(b) the corresponding OLTP throughput.
 //!
 //! `cargo run --release -p htap-bench --bin fig5_adaptive_mix -- --sequences 100`
 //!
-//! With `--concurrent`, NewOrder ingest runs *continuously* on the
-//! OLTP-granted cores while each sequence executes: freshness is measured
-//! per query against the live delta stream and the Figure 5(b) throughput
-//! comes from real commit counters sampled around each query. `--smoke`
-//! bounds the run to a few seconds for CI.
+//! With `--concurrent`, OLTP ingest (the NewOrder/Payment/Delivery/StockLevel
+//! mix) runs *continuously* on the OLTP-granted cores while each sequence
+//! executes: freshness is measured per query against the live delta stream
+//! and the Figure 5(b) throughput comes from real commit counters sampled
+//! around each query. `--smoke` bounds the run to a few seconds for CI.
 
 use htap_bench::HarnessArgs;
 use htap_core::{
@@ -27,7 +28,11 @@ fn run_schedule(args: &HarnessArgs, schedule: Schedule) -> (Vec<f64>, Vec<f64>, 
         .with_chbench(args.chbench())
         .with_schedule(schedule);
     let system = HtapSystem::build(config).expect("system builds");
-    let workload = MixedWorkload::figure5(args.sequences, TXNS_PER_WORKER_BETWEEN);
+    let workload = if args.paper_mix {
+        MixedWorkload::figure5(args.sequences, TXNS_PER_WORKER_BETWEEN)
+    } else {
+        MixedWorkload::figure5_wide(args.sequences, TXNS_PER_WORKER_BETWEEN)
+    };
     let report = if args.concurrent {
         let options = if args.smoke {
             ConcurrentOptions::smoke()
@@ -55,8 +60,13 @@ fn main() {
         args.sequences = args.sequences.min(2);
     }
     println!(
-        "Figure 5: adaptive vs static schedules, {} sequences of the {{Q1, Q6, Q19}} mix, alpha=0.5{}",
+        "Figure 5: adaptive vs static schedules, {} sequences of the {} mix, alpha=0.5{}",
         args.sequences,
+        if args.paper_mix {
+            "{Q1, Q6, Q19}"
+        } else {
+            "{Q1, Q3, Q4, Q6, Q12, Q14, Q19}"
+        },
         if args.concurrent {
             " [concurrent ingest]"
         } else {

@@ -15,9 +15,11 @@
 //!
 //! All binaries accept `--scale <sf>` (CH scale factor, default 0.02),
 //! `--sequences <n>` where applicable, and `--csv` to print machine-readable
-//! output. `fig5_adaptive_mix` additionally accepts `--concurrent` (NewOrder
-//! ingest runs continuously while the sequences execute) and `--smoke`
-//! (CI-bounded tiny run). Modelled times come from the simulated machine described in
+//! output. `fig5_adaptive_mix` additionally accepts `--concurrent` (OLTP
+//! ingest runs continuously while the sequences execute), `--smoke`
+//! (CI-bounded tiny run) and `--paper-mix` (the paper's original
+//! {Q1, Q6, Q19} sequence instead of the widened seven-query default).
+//! Modelled times come from the simulated machine described in
 //! DESIGN.md; the shapes — not the absolute values — are the reproduction
 //! target (see EXPERIMENTS.md).
 
@@ -47,6 +49,9 @@ pub struct HarnessArgs {
     /// Bound the run to a CI-friendly few seconds (tiny scale, few
     /// sequences); used by the concurrent smoke step.
     pub smoke: bool,
+    /// Restrict fig5 to the paper's original {Q1, Q6, Q19} mix instead of
+    /// the widened {Q1, Q3, Q4, Q6, Q12, Q14, Q19} default.
+    pub paper_mix: bool,
 }
 
 impl Default for HarnessArgs {
@@ -58,6 +63,7 @@ impl Default for HarnessArgs {
             measured: false,
             concurrent: false,
             smoke: false,
+            paper_mix: false,
         }
     }
 }
@@ -89,6 +95,7 @@ impl HarnessArgs {
                 "--measured" => out.measured = true,
                 "--concurrent" => out.concurrent = true,
                 "--smoke" => out.smoke = true,
+                "--paper-mix" => out.paper_mix = true,
                 _ => {}
             }
         }
@@ -246,6 +253,7 @@ mod tests {
                 "--csv",
                 "--concurrent",
                 "--smoke",
+                "--paper-mix",
             ]
             .into_iter()
             .map(String::from),
@@ -255,6 +263,7 @@ mod tests {
         assert!(args.csv);
         assert!(args.concurrent);
         assert!(args.smoke);
+        assert!(args.paper_mix);
         let defaults = HarnessArgs::parse_from(std::iter::empty());
         assert_eq!(defaults, HarnessArgs::default());
     }

@@ -18,6 +18,11 @@ pub const LINEITEM_SF1: u64 = 6_001_215;
 /// Order lines per order at load time (paper §5.1).
 pub const ORDERLINES_PER_ORDER: u64 = 15;
 
+/// The `d_next_o_id` value every district is loaded with (TPC-C §1.3: 3001).
+/// Orders inserted by `NewOrder` transactions take ids from here upwards;
+/// the `Delivery` transaction's per-district cursor starts here too.
+pub const INITIAL_NEXT_O_ID: u64 = 3001;
+
 /// Configuration of the generated database.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ChConfig {
@@ -141,7 +146,22 @@ impl ChGenerator {
         let mut report = PopulationReport::default();
         let oltp = rde.oltp();
 
-        // Warehouses and districts.
+        // Warehouses and districts. A district's next order id is TPC-C's
+        // 3001 — unless the scale factor loads more than 3000 orders per
+        // district, in which case it must clear the loaded ids or the first
+        // NewOrder would collide with a loaded order key and abort forever.
+        let districts_total = cfg.warehouses * cfg.districts_per_warehouse;
+        let loaded_orders_in = |w: u64, d: u64| -> u64 {
+            // Orders are dealt round-robin: order o_seq lands in the district
+            // with linear index o_seq % districts_total (w cycles fastest).
+            let j = (w - 1) + cfg.warehouses * (d - 1);
+            let orders = cfg.orders();
+            if j < orders {
+                (orders - 1 - j) / districts_total + 1
+            } else {
+                0
+            }
+        };
         for w in 1..=cfg.warehouses {
             oltp.bulk_load(
                 "warehouse",
@@ -154,6 +174,7 @@ impl ChGenerator {
             )?;
             report.warehouses += 1;
             for d in 1..=cfg.districts_per_warehouse {
+                let next_o_id = INITIAL_NEXT_O_ID.max(loaded_orders_in(w, d) + 1);
                 oltp.bulk_load(
                     "district",
                     keys::district(w, d),
@@ -163,7 +184,7 @@ impl ChGenerator {
                         Value::I64(d as i64),
                         Value::F64(rng.random_range(0.0..0.2)),
                         Value::F64(30_000.0),
-                        Value::I64(3001),
+                        Value::I64(next_o_id as i64),
                     ],
                 )?;
                 report.districts += 1;
@@ -355,6 +376,50 @@ mod tests {
                 .collect::<Vec<f64>>()
         };
         assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn next_order_id_clears_the_loaded_orders_at_large_scale() {
+        // More than 3000 loaded orders per district: d_next_o_id must clear
+        // them, or the first NewOrder collides with a loaded order key and
+        // every retry aborts forever.
+        let rde = RdeEngine::bootstrap(RdeConfig::default());
+        let cfg = ChConfig {
+            warehouses: 1,
+            districts_per_warehouse: 1,
+            customers_per_district: 5,
+            items: 20,
+            orderlines: 3_100 * ORDERLINES_PER_ORDER,
+            seed: 1,
+        };
+        ChGenerator::new(cfg.clone()).build(&rde).unwrap();
+        let next = rde
+            .oltp()
+            .begin()
+            .read("district", crate::schema::keys::district(1, 1), 5)
+            .unwrap()
+            .as_i64();
+        assert_eq!(next, 3_101);
+
+        // A NewOrder commits instead of aborting on a duplicate order key.
+        let driver = crate::transactions::TransactionDriver::for_config(&cfg);
+        let mut rng = StdRng::seed_from_u64(2);
+        let params = driver.generate_new_order(1, &mut rng);
+        driver.execute_new_order(rde.oltp(), &params).unwrap();
+        assert_eq!(driver.stats().aborted(), 0);
+    }
+
+    #[test]
+    fn small_scales_keep_the_tpcc_next_order_id() {
+        let rde = RdeEngine::bootstrap(RdeConfig::default());
+        ChGenerator::new(ChConfig::tiny()).build(&rde).unwrap();
+        let next = rde
+            .oltp()
+            .begin()
+            .read("district", crate::schema::keys::district(1, 1), 5)
+            .unwrap()
+            .as_i64();
+        assert_eq!(next, INITIAL_NEXT_O_ID as i64);
     }
 
     #[test]

@@ -10,9 +10,15 @@
 //! * each OLTP worker owns one warehouse and runs `NewOrder` transactions
 //!   (5–15 order lines each) back to back, simulating a full transaction
 //!   queue;
-//! * the analytical side runs CH-Q1 (scan–filter–group-by), CH-Q6
-//!   (scan–filter–reduce) and CH-Q19 (fact–dimension join, `LIKE` removed),
-//!   with 100 % selectivity on date predicates as the paper assumes.
+//! * the analytical side runs the paper's CH-Q1 (scan–filter–group-by),
+//!   CH-Q6 (scan–filter–reduce) and CH-Q19 (fact–dimension join, `LIKE`
+//!   removed), with 100 % selectivity on date predicates as the paper
+//!   assumes — plus the widened mix's Q3 (three-table chain join), Q4
+//!   (join-group-by with top-k), Q12 (join-group-by) and Q14 (promotion
+//!   join), adapted to the integer/float schema the same way;
+//! * the transactional mix adds `Payment`, `Delivery` and `StockLevel`
+//!   alongside `NewOrder` (see [`transactions`] for the key-addressed
+//!   `Delivery` adaptation).
 
 pub mod generator;
 pub mod queries;
@@ -20,8 +26,10 @@ pub mod schema;
 pub mod sequence;
 pub mod transactions;
 
-pub use generator::{ChConfig, ChGenerator, PopulationReport};
-pub use queries::{ch_q1, ch_q19, ch_q6, query_mix, QueryId};
+pub use generator::{ChConfig, ChGenerator, PopulationReport, INITIAL_NEXT_O_ID};
+pub use queries::{
+    ch_q1, ch_q12, ch_q14, ch_q19, ch_q3, ch_q4, ch_q6, query_mix, query_mix_wide, QueryId,
+};
 pub use schema::{keys, tables, ALL_TABLES};
 pub use sequence::{QuerySequence, SequenceKind};
-pub use transactions::{NewOrderParams, TransactionDriver, TxnStats};
+pub use transactions::{NewOrderParams, TransactionDriver, TxnStats, DELIVERY_DATE_BASE};

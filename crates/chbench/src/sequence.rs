@@ -6,7 +6,7 @@
 //! the {Q1, Q6, Q19} mix (Figure 5) and with batches of the same query over
 //! one snapshot (Figures 1 and 3(b)). This module generates both.
 
-use crate::queries::{query_mix, QueryId};
+use crate::queries::{query_mix, query_mix_wide, QueryId};
 
 /// The kind of analytical workload being generated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +34,16 @@ impl QuerySequence {
     pub fn mix() -> Self {
         QuerySequence {
             queries: query_mix(),
+            kind: SequenceKind::Independent,
+        }
+    }
+
+    /// The widened mix: all seven implemented queries {Q1, Q3, Q4, Q6, Q12,
+    /// Q14, Q19}, scheduled independently — every plan shape and relation
+    /// footprint the engine supports in one sequence.
+    pub fn wide_mix() -> Self {
+        QuerySequence {
+            queries: query_mix_wide(),
             kind: SequenceKind::Independent,
         }
     }
@@ -90,6 +100,15 @@ mod tests {
         assert!(!seq.is_batch_member(0));
         assert!(!seq.is_batch_member(2));
         assert!(!seq.is_empty());
+    }
+
+    #[test]
+    fn wide_mix_sequence_has_seven_independent_queries() {
+        let seq = QuerySequence::wide_mix();
+        assert_eq!(seq.len(), 7);
+        assert_eq!(seq.kind, SequenceKind::Independent);
+        assert!(seq.queries.contains(&QueryId::Q3));
+        assert!(seq.queries.contains(&QueryId::Q12));
     }
 
     #[test]

@@ -1,18 +1,39 @@
 //! The transactional side of the CH-benCHmark: TPC-C `NewOrder` (the
-//! transaction the paper's OLTP workers run) and `Payment` as a secondary
-//! write transaction.
+//! transaction the paper's OLTP workers run), `Payment`, `Delivery` and
+//! `StockLevel`.
 //!
 //! Each worker owns one warehouse ("we assign one warehouse to every worker
 //! thread, which generates and executes transactions simulating a complete
 //! transactional queue", §5.1). Transactions run through the OLTP engine's
-//! MV2PL transaction manager; conflicts abort and are retried by the caller.
+//! MV2PL transaction manager; conflicts abort and are retried by the caller
+//! (or merely counted, in the continuous ingest pool).
+//!
+//! `Delivery` adaptations to the key-addressed storage: TPC-C finds the
+//! oldest undelivered order by scanning `neworder`; the engine's transaction
+//! API is primary-key-only, so the driver keeps a per-district delivery
+//! cursor starting at [`crate::generator::INITIAL_NEXT_O_ID`] — exactly the
+//! order ids `NewOrder` hands out — and delivers them in id order. The
+//! engine has no delete, so the delivered `neworder` row stays (its order is
+//! marked delivered via `o_carrier_id`). A delivery finding no undelivered
+//! order commits empty and is counted under `deliveries_skipped`, as TPC-C
+//! asks skipped deliveries to be reported.
 
+use crate::generator::INITIAL_NEXT_O_ID;
 use crate::schema::keys;
 use htap_oltp::{OltpEngine, TxnError};
 use htap_storage::Value;
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// First date value the `Delivery` transaction stamps into `ol_delivery_d`.
+/// Order-entry dates (generator and `NewOrder`) stay strictly below this, so
+/// `ol_delivery_d >= DELIVERY_DATE_BASE` identifies exactly the delivered
+/// order lines (CH-Q12 relies on this to watch deliveries happen).
+pub const DELIVERY_DATE_BASE: i64 = 3_000;
 
 /// Parameters of one `NewOrder` transaction.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,6 +56,9 @@ pub struct TxnStats {
     committed: AtomicU64,
     aborted: AtomicU64,
     orderlines_inserted: AtomicU64,
+    orders_delivered: AtomicU64,
+    deliveries_skipped: AtomicU64,
+    stock_levels_checked: AtomicU64,
 }
 
 impl TxnStats {
@@ -52,6 +76,22 @@ impl TxnStats {
     pub fn orderlines_inserted(&self) -> u64 {
         self.orderlines_inserted.load(Ordering::Relaxed)
     }
+
+    /// Orders delivered by committed `Delivery` transactions.
+    pub fn orders_delivered(&self) -> u64 {
+        self.orders_delivered.load(Ordering::Relaxed)
+    }
+
+    /// `Delivery` transactions that found no undelivered order (committed
+    /// empty; TPC-C requires skipped deliveries to be reported).
+    pub fn deliveries_skipped(&self) -> u64 {
+        self.deliveries_skipped.load(Ordering::Relaxed)
+    }
+
+    /// Committed `StockLevel` transactions (read-only).
+    pub fn stock_levels_checked(&self) -> u64 {
+        self.stock_levels_checked.load(Ordering::Relaxed)
+    }
 }
 
 /// Generates and executes CH-benCHmark transactions against an OLTP engine.
@@ -62,6 +102,13 @@ pub struct TransactionDriver {
     customers_per_district: u64,
     items: u64,
     stats: TxnStats,
+    /// Per-district delivery cursors: the next order id to deliver, keyed by
+    /// the encoded district key. The outer map lock is held only to fetch a
+    /// district's cursor cell; the cell's own lock is held across that
+    /// district's delivery so concurrent deliveries of one district cannot
+    /// double-deliver (an aborted delivery leaves its order for the next
+    /// attempt) while deliveries to *different* districts stay concurrent.
+    delivery_cursors: Mutex<BTreeMap<u64, Arc<Mutex<u64>>>>,
 }
 
 impl TransactionDriver {
@@ -78,6 +125,7 @@ impl TransactionDriver {
             customers_per_district,
             items,
             stats: TxnStats::default(),
+            delivery_cursors: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -252,6 +300,174 @@ impl TransactionDriver {
         result
     }
 
+    /// Execute one `Delivery` transaction for one district: deliver the
+    /// oldest undelivered order (per the driver's delivery cursor), stamping
+    /// `o_carrier_id` and the lines' `ol_delivery_d`, and crediting the
+    /// order's amount to the customer. Returns `Ok(true)` when an order was
+    /// delivered, `Ok(false)` when the district had no undelivered order
+    /// (the transaction still commits, counted under `deliveries_skipped`).
+    pub fn execute_delivery(
+        &self,
+        engine: &OltpEngine,
+        w_id: u64,
+        d_id: u64,
+        carrier_id: i32,
+        delivery_d: i64,
+    ) -> Result<bool, TxnError> {
+        let d_key = keys::district(w_id, d_id);
+        let cursor_cell = {
+            let mut cursors = self.delivery_cursors.lock();
+            Arc::clone(
+                cursors
+                    .entry(d_key)
+                    .or_insert_with(|| Arc::new(Mutex::new(INITIAL_NEXT_O_ID))),
+            )
+        };
+        let mut cursor = cursor_cell.lock();
+        let o_id = *cursor;
+        let result = engine.execute(|mut txn| -> Result<bool, TxnError> {
+            let next_o_id = txn.read("district", d_key, 5)?.as_i64() as u64;
+            if o_id >= next_o_id {
+                // Nothing to deliver; commit empty (skipped delivery).
+                txn.commit()?;
+                return Ok(false);
+            }
+            let o_key = keys::order(w_id, d_id, o_id);
+            let o_c_id = txn.read("orders", o_key, 4)?.as_i64() as u64;
+            let ol_cnt = txn.read("orders", o_key, 7)?.as_i32();
+            txn.update("orders", o_key, 6, Value::I32(carrier_id))?;
+            let mut amount_sum = 0.0;
+            for number in 1..=ol_cnt as u64 {
+                let ol_key = keys::orderline(w_id, d_id, o_id, number);
+                amount_sum += txn.read("orderline", ol_key, 9)?.as_f64();
+                txn.update("orderline", ol_key, 7, Value::I64(delivery_d))?;
+            }
+            let c_key = keys::customer(w_id, d_id, o_c_id);
+            let balance = txn.read_for_update("customer", c_key, 4)?.as_f64();
+            txn.update("customer", c_key, 4, Value::F64(balance + amount_sum))?;
+            let deliveries = txn.read("customer", c_key, 7)?.as_i32();
+            txn.update("customer", c_key, 7, Value::I32(deliveries + 1))?;
+            txn.commit()?;
+            Ok(true)
+        });
+        match &result {
+            Ok(delivered) => {
+                self.stats.committed.fetch_add(1, Ordering::Relaxed);
+                if *delivered {
+                    // Advance only after the commit: an aborted delivery
+                    // leaves its order for the next attempt.
+                    *cursor += 1;
+                    self.stats.orders_delivered.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.stats
+                        .deliveries_skipped
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(_) => {
+                self.stats.aborted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        result
+    }
+
+    /// Execute one `StockLevel` transaction (read-only): count the distinct
+    /// items of the district's last 20 orders whose stock quantity sits below
+    /// `threshold`. Order ids in the gap between the loaded population and
+    /// [`INITIAL_NEXT_O_ID`] simply have no order and are skipped.
+    pub fn execute_stock_level(
+        &self,
+        engine: &OltpEngine,
+        w_id: u64,
+        d_id: u64,
+        threshold: i32,
+    ) -> Result<u64, TxnError> {
+        let d_key = keys::district(w_id, d_id);
+        let result = engine.execute(|txn| -> Result<u64, TxnError> {
+            let next_o_id = txn.read("district", d_key, 5)?.as_i64() as u64;
+            let lo = next_o_id.saturating_sub(20).max(1);
+            let mut low_stock: HashSet<u64> = HashSet::new();
+            for o_id in lo..next_o_id {
+                let o_key = keys::order(w_id, d_id, o_id);
+                let ol_cnt = match txn.read("orders", o_key, 7) {
+                    Ok(v) => v.as_i32(),
+                    Err(TxnError::KeyNotFound(_)) => continue,
+                    Err(e) => return Err(e),
+                };
+                for number in 1..=ol_cnt as u64 {
+                    let ol_key = keys::orderline(w_id, d_id, o_id, number);
+                    let i_id = match txn.read("orderline", ol_key, 5) {
+                        Ok(v) => v.as_i64() as u64,
+                        Err(TxnError::KeyNotFound(_)) => continue,
+                        Err(e) => return Err(e),
+                    };
+                    let s_key = keys::stock(w_id, i_id);
+                    let quantity = txn.read("stock", s_key, 3)?.as_i32();
+                    if quantity < threshold {
+                        low_stock.insert(i_id);
+                    }
+                }
+            }
+            txn.commit()?;
+            Ok(low_stock.len() as u64)
+        });
+        match &result {
+            Ok(_) => {
+                self.stats.committed.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .stock_levels_checked
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.stats.aborted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        result
+    }
+
+    /// Generate and execute a single transaction of the TPC-C-style mix on
+    /// behalf of worker `worker_id`: 45 % `NewOrder`, 43 % `Payment`, 6 %
+    /// `Delivery`, 6 % `StockLevel` (OrderStatus's share folded into its
+    /// neighbours — the engine has no customer-name index to probe).
+    /// Deterministically parameterised by `(seed, worker_id, txn_index)`
+    /// like [`Self::run_one_new_order`]; aborts are counted, not retried.
+    /// This is the body the continuous ingest pool runs.
+    pub fn run_one_mixed(
+        &self,
+        engine: &OltpEngine,
+        worker_id: u64,
+        seed: u64,
+        txn_index: u64,
+    ) -> bool {
+        let mut rng = StdRng::seed_from_u64(
+            seed ^ (worker_id + 1).wrapping_mul(0x9E37_79B9)
+                ^ (txn_index + 1).wrapping_mul(0x85EB_CA6B),
+        );
+        let w_id = 1 + worker_id % self.warehouses;
+        let roll = rng.random_range(0..100u32);
+        if roll < 45 {
+            let params = self.generate_new_order(w_id, &mut rng);
+            self.execute_new_order(engine, &params).is_ok()
+        } else if roll < 88 {
+            let d_id = rng.random_range(1..=self.districts_per_warehouse);
+            let c_id = rng.random_range(1..=self.customers_per_district);
+            let amount = rng.random_range(1.0..5_000.0);
+            self.execute_payment(engine, w_id, d_id, c_id, amount)
+                .is_ok()
+        } else if roll < 94 {
+            let d_id = rng.random_range(1..=self.districts_per_warehouse);
+            let carrier_id = rng.random_range(1..=10i32);
+            let delivery_d = rng.random_range(DELIVERY_DATE_BASE..2 * DELIVERY_DATE_BASE);
+            self.execute_delivery(engine, w_id, d_id, carrier_id, delivery_d)
+                .is_ok()
+        } else {
+            let d_id = rng.random_range(1..=self.districts_per_warehouse);
+            let threshold = rng.random_range(10..=20);
+            self.execute_stock_level(engine, w_id, d_id, threshold)
+                .is_ok()
+        }
+    }
+
     /// Generate and execute a single `NewOrder` transaction on behalf of
     /// worker `worker_id`, deterministically parameterised by
     /// `(seed, worker_id, txn_index)`. Returns whether it committed — the
@@ -407,6 +623,146 @@ mod tests {
         assert!(driver.run_one_new_order(rde.oltp(), 1, 42, 1));
         assert_eq!(driver.stats().committed(), 2);
         assert_eq!(driver.stats().aborted(), 0);
+    }
+
+    #[test]
+    fn delivery_delivers_ingested_orders_in_id_order() {
+        let (rde, driver) = setup();
+        // Two orders into district (1, 1): ids 3001 and 3002.
+        for _ in 0..2 {
+            let params = NewOrderParams {
+                w_id: 1,
+                d_id: 1,
+                c_id: 5,
+                lines: vec![(1, 1, 2), (2, 1, 3)],
+                entry_d: 1_500,
+            };
+            driver.execute_new_order(rde.oltp(), &params).unwrap();
+        }
+        let balance_before = rde
+            .oltp()
+            .begin()
+            .read("customer", keys::customer(1, 1, 5), 4)
+            .unwrap()
+            .as_f64();
+
+        assert!(driver.execute_delivery(rde.oltp(), 1, 1, 7, 5_000).unwrap());
+        let o_key = keys::order(1, 1, 3001);
+        let t = rde.oltp().begin();
+        assert_eq!(t.read("orders", o_key, 6).unwrap().as_i32(), 7);
+        let ol_key = keys::orderline(1, 1, 3001, 1);
+        assert_eq!(t.read("orderline", ol_key, 7).unwrap().as_i64(), 5_000);
+        // The customer was credited with the order's amount and one delivery.
+        let amount: f64 = (1..=2u64)
+            .map(|n| {
+                t.read("orderline", keys::orderline(1, 1, 3001, n), 9)
+                    .unwrap()
+                    .as_f64()
+            })
+            .sum();
+        let c_key = keys::customer(1, 1, 5);
+        assert!(
+            (t.read("customer", c_key, 4).unwrap().as_f64() - (balance_before + amount)).abs()
+                < 1e-9
+        );
+        assert_eq!(t.read("customer", c_key, 7).unwrap().as_i32(), 1);
+        drop(t);
+
+        // Second delivery takes the next order; the third finds none.
+        assert!(driver.execute_delivery(rde.oltp(), 1, 1, 8, 5_001).unwrap());
+        assert!(!driver.execute_delivery(rde.oltp(), 1, 1, 9, 5_002).unwrap());
+        assert_eq!(driver.stats().orders_delivered(), 2);
+        assert_eq!(driver.stats().deliveries_skipped(), 1);
+        // All three delivery attempts committed (the skip commits empty).
+        assert_eq!(driver.stats().committed(), 2 + 3);
+    }
+
+    #[test]
+    fn stock_level_counts_distinct_low_stock_items_of_recent_orders() {
+        let (rde, driver) = setup();
+        // One order with items {1, 2}; item 1 appears on two lines.
+        let params = NewOrderParams {
+            w_id: 1,
+            d_id: 1,
+            c_id: 3,
+            lines: vec![(1, 1, 2), (2, 1, 3), (1, 1, 1)],
+            entry_d: 1_500,
+        };
+        driver.execute_new_order(rde.oltp(), &params).unwrap();
+        // Threshold above every stock level: both distinct items count once.
+        let low = driver.execute_stock_level(rde.oltp(), 1, 1, 1_000).unwrap();
+        assert_eq!(low, 2);
+        // Threshold below every stock level: nothing counts.
+        assert_eq!(driver.execute_stock_level(rde.oltp(), 1, 1, 0).unwrap(), 0);
+        assert_eq!(driver.stats().stock_levels_checked(), 2);
+        // Read-only transactions still count as commits.
+        assert_eq!(driver.stats().committed(), 1 + 2);
+    }
+
+    #[test]
+    fn stock_level_skips_the_gap_below_the_initial_next_order_id() {
+        // Freshly loaded districts have next_o_id = 3001 but orders only up
+        // to the loaded population: the last-20-orders window falls entirely
+        // into the gap and must come back empty rather than abort.
+        let (rde, driver) = setup();
+        assert_eq!(
+            driver.execute_stock_level(rde.oltp(), 1, 1, 100).unwrap(),
+            0
+        );
+        assert_eq!(driver.stats().aborted(), 0);
+    }
+
+    #[test]
+    fn mixed_transaction_stream_is_deterministic_and_covers_all_types() {
+        let run = || {
+            let (rde, driver) = setup();
+            let mut commits = 0u64;
+            for worker in 0..2u64 {
+                for txn in 0..120u64 {
+                    if driver.run_one_mixed(rde.oltp(), worker, 11, txn) {
+                        commits += 1;
+                    }
+                }
+            }
+            let stats = driver.stats();
+            (
+                commits,
+                stats.committed(),
+                stats.orderlines_inserted(),
+                stats.orders_delivered() + stats.deliveries_skipped(),
+                stats.stock_levels_checked(),
+            )
+        };
+        let first = run();
+        assert_eq!(first, run(), "the mixed stream must be reproducible");
+        let (commits, committed, orderlines, deliveries, stock_levels) = first;
+        assert_eq!(commits, committed, "driver stats agree with return values");
+        assert!(orderlines > 0, "NewOrder ran");
+        assert!(deliveries > 0, "Delivery ran");
+        assert!(stock_levels > 0, "StockLevel ran");
+        // Deliveries eventually find undelivered NewOrder output.
+        let stats = run_deliveries_until_one_lands();
+        assert!(stats > 0);
+    }
+
+    /// Keep interleaving NewOrder and Delivery on one district until a
+    /// delivery actually lands — Delivery must consume NewOrder output.
+    fn run_deliveries_until_one_lands() -> u64 {
+        let (rde, driver) = setup();
+        driver
+            .execute_new_order(
+                rde.oltp(),
+                &NewOrderParams {
+                    w_id: 1,
+                    d_id: 2,
+                    c_id: 1,
+                    lines: vec![(3, 1, 1)],
+                    entry_d: 1_200,
+                },
+            )
+            .unwrap();
+        assert!(driver.execute_delivery(rde.oltp(), 1, 2, 5, 4_000).unwrap());
+        driver.stats().orders_delivered()
     }
 
     #[test]

@@ -99,10 +99,11 @@ impl HtapSystem {
         committed
     }
 
-    /// Start continuous NewOrder ingest: one long-running worker thread per
+    /// Start continuous OLTP ingest: one long-running worker thread per
     /// core the machine could ever grant the OLTP engine (parked beyond the
-    /// current grant), each generating and executing transactions back to
-    /// back (the paper's "complete transactional queue", §3.2). Elastic
+    /// current grant), each generating and executing transactions of the
+    /// TPC-C-style mix — NewOrder, Payment, Delivery and StockLevel — back
+    /// to back (the paper's "complete transactional queue", §3.2). Elastic
     /// migrations resize the pool mid-flight in both directions; aborted
     /// transactions are counted, not retried. Returns the number of worker
     /// threads started (0 when ingest is already running).
@@ -119,7 +120,7 @@ impl HtapSystem {
         self.rde.oltp().worker_manager().start_with_capacity(
             capacity,
             move |worker_id, _core, txn_index| {
-                driver.run_one_new_order(&oltp, worker_id as u64, seed, txn_index)
+                driver.run_one_mixed(&oltp, worker_id as u64, seed, txn_index)
             },
         )
     }

@@ -32,6 +32,19 @@ impl MixedWorkload {
         }
     }
 
+    /// The widened Figure-5 workload: `n` repetitions of the full
+    /// {Q1, Q3, Q4, Q6, Q12, Q14, Q19} mix — all five plan shapes and
+    /// relation footprints from one to three tables, so the adaptive
+    /// scheduler's per-query freshness decisions actually diverge within a
+    /// sequence.
+    pub fn figure5_wide(n: usize, txns_per_worker_between: u64) -> Self {
+        MixedWorkload {
+            sequence: QuerySequence::wide_mix(),
+            sequences: n,
+            txns_per_worker_between,
+        }
+    }
+
     /// A batch workload: `n` snapshots, each with a batch of `batch_size`
     /// copies of one query (Figure 3(b) shape).
     pub fn batches(query: htap_chbench::QueryId, batch_size: usize, n: usize, txns: u64) -> Self {
@@ -323,6 +336,58 @@ mod tests {
             report.transactions_aborted,
             system.txn_driver().stats().aborted()
         );
+    }
+
+    #[test]
+    fn wide_mix_runs_all_seven_queries_per_sequence() {
+        let system = tiny_system();
+        let workload = MixedWorkload::figure5_wide(2, 2);
+        let report = run_mixed_workload(&system, &workload).unwrap();
+        assert_eq!(report.sequences.len(), 2);
+        for seq in &report.sequences {
+            let labels: Vec<&str> = seq.queries.iter().map(|q| q.query.as_str()).collect();
+            assert_eq!(labels, vec!["Q1", "Q3", "Q4", "Q6", "Q12", "Q14", "Q19"]);
+            for q in &seq.queries {
+                assert!(
+                    (0.0..=1.0).contains(&q.freshness_rate),
+                    "{}: freshness {} out of range",
+                    q.query,
+                    q.freshness_rate
+                );
+                assert!(q.execution_time > 0.0, "{} must execute", q.query);
+            }
+        }
+    }
+
+    /// Acceptance criterion of the widened workload: the new queries run
+    /// through the *concurrent* driver, against live mixed-transaction
+    /// ingest, each reporting per-query freshness and measured throughput.
+    #[test]
+    fn wide_mix_runs_concurrently_with_per_query_freshness() {
+        let system = tiny_system();
+        let workload = MixedWorkload::figure5_wide(1, 0);
+        let options = ConcurrentOptions {
+            pacing_commits: 3,
+            max_pacing_wait: std::time::Duration::from_secs(60),
+        };
+        let report = run_mixed_workload_concurrent(&system, &workload, &options).unwrap();
+        assert_eq!(report.sequences.len(), 1);
+        let queries = &report.sequences[0].queries;
+        assert_eq!(queries.len(), 7);
+        for required in ["Q3", "Q4", "Q12", "Q14"] {
+            let q = queries
+                .iter()
+                .find(|q| q.query == required)
+                .unwrap_or_else(|| panic!("{required} missing from the wide mix"));
+            assert!(
+                (0.0..=1.0).contains(&q.freshness_rate),
+                "{required}: freshness {} out of range",
+                q.freshness_rate
+            );
+            assert!(q.oltp_tps_measured, "{required} must carry measured tps");
+        }
+        assert!(report.transactions_committed > 0);
+        assert!(!system.oltp_ingest_running());
     }
 
     #[test]

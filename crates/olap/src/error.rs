@@ -34,6 +34,14 @@ pub enum OlapError {
         /// The shape the result actually has.
         found: &'static str,
     },
+    /// A top-k specification orders by an aggregate index the plan does not
+    /// have.
+    InvalidTopK {
+        /// The out-of-range aggregate index.
+        agg_index: usize,
+        /// Number of aggregates the plan computes.
+        aggregates: usize,
+    },
     /// A column was asked to serve a role its type cannot fill (e.g. a
     /// string column as a numeric input, a float column as a group key).
     UnsupportedColumnType {
@@ -57,6 +65,15 @@ impl fmt::Display for OlapError {
             }
             OlapError::WrongResultShape { expected, found } => {
                 write!(f, "expected {expected} result, found {found}")
+            }
+            OlapError::InvalidTopK {
+                agg_index,
+                aggregates,
+            } => {
+                write!(
+                    f,
+                    "top-k orders by aggregate {agg_index} but the plan has only {aggregates}"
+                )
             }
             OlapError::UnsupportedColumnType {
                 table,

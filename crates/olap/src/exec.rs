@@ -21,9 +21,9 @@
 //!   consume those totals unchanged.
 
 use crate::error::OlapError;
-use crate::expr::{evaluate_conjunction, AggExpr, AggState};
+use crate::expr::{evaluate_conjunction, AggExpr, AggState, ScalarExpr};
 use crate::morsel::Morsel;
-use crate::plan::QueryPlan;
+use crate::plan::{BuildSide, QueryPlan, TopK};
 use crate::source::ScanSource;
 use crate::worker::WorkerTeam;
 use htap_sim::{JoinWork, ScanSegment, ScanWork, SocketId};
@@ -95,12 +95,19 @@ pub struct WorkProfile {
     pub tuples_selected: u64,
     /// Rows read from OLTP snapshots (fresh data touched by the query).
     pub fresh_rows: u64,
-    /// Join build side size in bytes (0 when the plan has no join).
+    /// Join build side size in bytes (0 when the plan has no join). For a
+    /// three-table plan this is the *mid* (first) build side.
     pub build_bytes: u64,
-    /// Number of hash-join probes.
+    /// Number of hash-join probes, across all probe pipelines (for a
+    /// three-table plan: mid-build membership probes plus fact probes).
     pub probes: u64,
-    /// Size of the join hash table in bytes.
+    /// Size of the join hash table in bytes (first build side).
     pub hash_table_bytes: u64,
+    /// Bytes of the second (far) build side of a three-table plan
+    /// (0 for plans with at most one join).
+    pub far_build_bytes: u64,
+    /// Hash-table bytes of the second build side.
+    pub far_hash_table_bytes: u64,
 }
 
 impl WorkProfile {
@@ -121,6 +128,8 @@ impl WorkProfile {
         self.build_bytes += other.build_bytes;
         self.probes += other.probes;
         self.hash_table_bytes += other.hash_table_bytes;
+        self.far_build_bytes += other.far_build_bytes;
+        self.far_hash_table_bytes += other.far_hash_table_bytes;
     }
 
     /// Convert the profile into the cost model's scan-work descriptor.
@@ -137,15 +146,17 @@ impl WorkProfile {
     }
 
     /// Convert the profile into the cost model's join-work descriptor, if the
-    /// plan had a join phase.
+    /// plan had a join phase. Both build sides of a three-table plan are
+    /// broadcast and probed, so their bytes are summed into one descriptor.
     pub fn join_work(&self) -> Option<JoinWork> {
-        if self.build_bytes == 0 && self.probes == 0 {
+        let build_bytes = self.build_bytes + self.far_build_bytes;
+        if build_bytes == 0 && self.probes == 0 {
             None
         } else {
             Some(JoinWork {
-                build_bytes: self.build_bytes,
+                build_bytes,
                 probes: self.probes,
-                hash_table_bytes: self.hash_table_bytes,
+                hash_table_bytes: self.hash_table_bytes + self.far_hash_table_bytes,
             })
         }
     }
@@ -182,15 +193,25 @@ struct GroupPartial {
     profile: WorkProfile,
 }
 
-/// Partial result of one morsel of a join build pipeline.
+/// Partial result of one morsel of a join build pipeline. `probes` counts
+/// membership checks against an earlier build side (the mid build of a
+/// three-table plan probes the far set; plain builds leave it at zero).
 struct BuildPartial {
     keys: HashSet<i64>,
+    probes: u64,
     profile: WorkProfile,
 }
 
 /// Partial result of one morsel of a join probe pipeline.
 struct ProbePartial {
     states: Vec<AggState>,
+    probes: u64,
+    profile: WorkProfile,
+}
+
+/// Partial result of one morsel of a join-then-group-by probe pipeline.
+struct GroupProbePartial {
+    groups: BTreeMap<Vec<i64>, Vec<AggState>>,
     probes: u64,
     profile: WorkProfile,
 }
@@ -267,6 +288,44 @@ impl QueryExecutor {
                 sources,
                 team,
             ),
+            QueryPlan::MultiJoinAggregate {
+                fact,
+                fact_key,
+                fact_filters,
+                mid,
+                mid_fk,
+                far,
+                aggregates,
+            } => self.execute_multi_join(
+                fact,
+                fact_key,
+                fact_filters,
+                mid,
+                mid_fk,
+                far,
+                aggregates,
+                sources,
+                team,
+            ),
+            QueryPlan::JoinGroupByAggregate {
+                fact,
+                fact_key,
+                fact_filters,
+                dim,
+                group_by,
+                aggregates,
+                top_k,
+            } => self.execute_join_group_by(
+                fact,
+                fact_key,
+                fact_filters,
+                dim,
+                group_by,
+                aggregates,
+                *top_k,
+                sources,
+                team,
+            ),
         }
     }
 
@@ -285,6 +344,144 @@ impl QueryExecutor {
         cols.sort();
         cols.dedup();
         cols
+    }
+
+    /// Evaluate a join-key expression over a block and cast to `i64`. Key
+    /// expressions combine integer-valued columns (encoded TPC-C keys), so
+    /// the intermediate `f64` arithmetic is exact below 2^53.
+    fn key_values(expr: &ScalarExpr, block: &crate::block::Block) -> Vec<i64> {
+        expr.evaluate(block).into_iter().map(|v| v as i64).collect()
+    }
+
+    /// Join keys of one block: a plain column reference loaded through the
+    /// exact `i64` key path reads exactly (full `i64` range); a computed
+    /// expression goes through [`Self::key_values`] (exact below 2^53).
+    fn expr_keys(expr: &ScalarExpr, block: &crate::block::Block) -> Vec<i64> {
+        if let ScalarExpr::Col(name) = expr {
+            if let Some(keys) = block.key(name) {
+                return keys.to_vec();
+            }
+        }
+        Self::key_values(expr, block)
+    }
+
+    /// Bytes of a fully materialised build side over the accessed `columns`
+    /// (columnar accounting) — the broadcast size the cost model charges.
+    fn side_build_bytes<S: AsRef<str>>(source: &ScanSource, columns: &[S]) -> u64 {
+        let Some(seg) = source.segments.first() else {
+            return 0;
+        };
+        let schema = seg.table.schema();
+        let width: u64 = columns
+            .iter()
+            .filter_map(|c| {
+                schema
+                    .column_index(c.as_ref())
+                    .map(|i| schema.column(i).dtype.width_bytes())
+            })
+            .sum();
+        source.total_rows() * width
+    }
+
+    /// The deduplicated union of the numeric and key column lists a pipeline
+    /// materialises — a column serving both as filter/aggregate input and as
+    /// group key must be byte-accounted once, not twice.
+    fn accessed_refs<'a>(numeric_refs: &[&'a str], key_refs: &[&'a str]) -> Vec<&'a str> {
+        let mut accessed: Vec<&'a str> = numeric_refs.to_vec();
+        accessed.extend(key_refs);
+        accessed.sort_unstable();
+        accessed.dedup();
+        accessed
+    }
+
+    /// Split the columns one pipeline side reads into `(numeric, keys)` load
+    /// lists. Plain-column join keys and `group_by` columns go through the
+    /// exact `i64` key path (full `i64` range); computed key expressions and
+    /// aggregate inputs must load as numeric — [`ScalarExpr::evaluate`] has
+    /// no key-column fallback — and evaluate in `f64` (exact below 2^53).
+    /// Filter-only columns that are already key-loaded are dropped from the
+    /// numeric list ([`crate::expr::Predicate`] falls back to key columns);
+    /// a column needed by both paths is loaded in both representations and
+    /// byte-accounted once via [`Self::accessed_refs`].
+    fn split_read_columns(
+        filters: &[crate::expr::Predicate],
+        aggregates: &[AggExpr],
+        key_exprs: &[&ScalarExpr],
+        group_by: &[String],
+    ) -> (Vec<String>, Vec<String>) {
+        let mut keys: Vec<String> = group_by.to_vec();
+        let mut computed: Vec<String> = aggregates.iter().flat_map(AggExpr::columns).collect();
+        for expr in key_exprs {
+            match expr {
+                ScalarExpr::Col(name) => keys.push(name.clone()),
+                other => computed.extend(other.columns()),
+            }
+        }
+        keys.sort();
+        keys.dedup();
+        let mut numeric: Vec<String> = filters.iter().map(|p| p.column.clone()).collect();
+        numeric.retain(|c| !keys.contains(c));
+        numeric.extend(computed);
+        numeric.sort();
+        numeric.dedup();
+        (numeric, keys)
+    }
+
+    /// Build the hash set of join keys of one [`BuildSide`]: rows passing the
+    /// side's filters — and, when `membership` is given, whose foreign-key
+    /// expression hits the earlier build set (the chain step of a three-table
+    /// join; those membership checks are counted as probes). Per-morsel
+    /// partial sets are unioned, which is order-insensitive, so the build
+    /// needs no ordering discipline.
+    fn build_key_set(
+        &self,
+        source: &ScanSource,
+        side: &BuildSide,
+        membership: Option<(&ScalarExpr, &HashSet<i64>)>,
+        team: &WorkerTeam,
+        work: &mut WorkProfile,
+    ) -> Result<HashSet<i64>, OlapError> {
+        let fk_expr = membership.map(|(fk, _)| fk);
+        let key_exprs: Vec<&ScalarExpr> = std::iter::once(&side.key).chain(fk_expr).collect();
+        let (numeric, key_cols) = Self::split_read_columns(&side.filters, &[], &key_exprs, &[]);
+        let numeric_refs: Vec<&str> = numeric.iter().map(String::as_str).collect();
+        let key_refs: Vec<&str> = key_cols.iter().map(String::as_str).collect();
+        let accessed = Self::accessed_refs(&numeric_refs, &key_refs);
+        let morsels = source.morsels(self.block_rows);
+        let partials = Self::run_pipeline(team, &morsels, |morsel| {
+            let block = source.read_morsel(morsel, &numeric_refs, &key_refs)?;
+            let selection = evaluate_conjunction(&side.filters, &block);
+            let keys = Self::expr_keys(&side.key, &block);
+            let fks = fk_expr.map(|fk| Self::expr_keys(fk, &block));
+            let mut passing = HashSet::new();
+            let mut probes = 0u64;
+            for (row, &sel) in selection.iter().enumerate() {
+                if !sel {
+                    continue;
+                }
+                if let (Some(fks), Some((_, set))) = (&fks, membership) {
+                    probes += 1;
+                    if !set.contains(&fks[row]) {
+                        continue;
+                    }
+                }
+                passing.insert(keys[row]);
+            }
+            let mut profile = WorkProfile::default();
+            profile.absorb_morsel(source, morsel, &accessed);
+            Ok(BuildPartial {
+                keys: passing,
+                probes,
+                profile,
+            })
+        })?;
+        let mut set = HashSet::new();
+        for partial in partials {
+            work.merge(&partial.profile);
+            work.probes += partial.probes;
+            set.extend(partial.keys);
+        }
+        Ok(set)
     }
 
     /// Drive one pipeline over `morsels` with the team's workers.
@@ -410,6 +607,7 @@ impl QueryExecutor {
         let numeric = Self::numeric_columns(filters, aggregates);
         let numeric_refs: Vec<&str> = numeric.iter().map(String::as_str).collect();
         let key_refs: Vec<&str> = group_by.iter().map(String::as_str).collect();
+        let accessed = Self::accessed_refs(&numeric_refs, &key_refs);
         let morsels = source.morsels(self.block_rows);
 
         let partials = Self::run_pipeline(team, &morsels, |morsel| {
@@ -438,37 +636,56 @@ impl QueryExecutor {
                     }
                 }
             }
-            let mut accessed: Vec<&str> = numeric_refs.clone();
-            accessed.extend(&key_refs);
             let mut profile = WorkProfile::default();
             profile.absorb_morsel(source, morsel, &accessed);
             profile.tuples_selected = selected;
             Ok(GroupPartial { groups, profile })
         })?;
 
-        // Merge the per-morsel hash tables in morsel order: the BTreeMap keeps
-        // group keys sorted, and folding morsel `i` before morsel `i + 1`
-        // keeps every group's aggregation order equal to the scan order —
-        // hence identical floating-point results for every worker count.
         let mut work = WorkProfile::default();
         let mut groups: BTreeMap<Vec<i64>, Vec<AggState>> = BTreeMap::new();
         for partial in partials {
             work.merge(&partial.profile);
-            for (key, states) in partial.groups {
-                match groups.entry(key) {
-                    std::collections::btree_map::Entry::Vacant(slot) => {
-                        slot.insert(states);
-                    }
-                    std::collections::btree_map::Entry::Occupied(mut slot) => {
-                        for (merged, state) in slot.get_mut().iter_mut().zip(&states) {
-                            merged.merge(state);
-                        }
+            Self::merge_group_table(&mut groups, partial.groups);
+        }
+
+        Ok(QueryOutput {
+            result: QueryResult::Groups(Self::finalize_groups(groups, aggregates)),
+            work,
+        })
+    }
+
+    /// Fold one morsel's group table into the accumulated one. Callers
+    /// iterate partials in morsel order: the BTreeMap keeps group keys
+    /// sorted, and folding morsel `i` before morsel `i + 1` keeps every
+    /// group's aggregation order equal to the scan order — hence identical
+    /// floating-point results for every worker count. Shared by the plain
+    /// group-by and the join-group-by pipelines so the merge discipline
+    /// cannot drift between them.
+    fn merge_group_table(
+        into: &mut BTreeMap<Vec<i64>, Vec<AggState>>,
+        from: BTreeMap<Vec<i64>, Vec<AggState>>,
+    ) {
+        for (key, states) in from {
+            match into.entry(key) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(states);
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    for (merged, state) in slot.get_mut().iter_mut().zip(&states) {
+                        merged.merge(state);
                     }
                 }
             }
         }
+    }
 
-        let rows = groups
+    /// Finalise a merged group table into result rows, keys ascending.
+    fn finalize_groups(
+        groups: BTreeMap<Vec<i64>, Vec<AggState>>,
+        aggregates: &[AggExpr],
+    ) -> Vec<GroupRow> {
+        groups
             .into_iter()
             .map(|(key, states)| {
                 let aggs = aggregates
@@ -478,11 +695,7 @@ impl QueryExecutor {
                     .collect();
                 (key, aggs)
             })
-            .collect();
-        Ok(QueryOutput {
-            result: QueryResult::Groups(rows),
-            work,
-        })
+            .collect()
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -501,43 +714,17 @@ impl QueryExecutor {
         let fact_source = Self::source(sources, fact)?;
         let dim_source = Self::source(sources, dim)?;
 
-        // Build phase: hash set of dimension keys passing the dimension
-        // filters, built from per-morsel partial sets (set union is
-        // order-insensitive, so the build needs no ordering discipline).
-        let dim_numeric: Vec<String> = dim_filters.iter().map(|p| p.column.clone()).collect();
-        let dim_numeric_refs: Vec<&str> = dim_numeric.iter().map(String::as_str).collect();
-        let mut dim_cols: Vec<&str> = dim_numeric_refs.clone();
-        dim_cols.push(dim_key);
-        let dim_morsels = dim_source.morsels(self.block_rows);
-        let build_partials = Self::run_pipeline(team, &dim_morsels, |morsel| {
-            let block = dim_source.read_morsel(morsel, &dim_numeric_refs, &[dim_key])?;
-            let selection = evaluate_conjunction(dim_filters, &block);
-            let keys = block.key(dim_key).expect("dim key loaded");
-            let mut passing = HashSet::new();
-            for (row, &sel) in selection.iter().enumerate() {
-                if sel {
-                    passing.insert(keys[row]);
-                }
-            }
-            let mut profile = WorkProfile::default();
-            profile.absorb_morsel(dim_source, morsel, &dim_cols);
-            Ok(BuildPartial {
-                keys: passing,
-                profile,
-            })
-        })?;
+        // Build phase: the column-keyed join is the degenerate BuildSide, so
+        // it shares the build pipeline of the three-table and join-group-by
+        // shapes (i64 keys round-trip exactly through the f64 key path).
+        let dim_side = BuildSide::new(dim, ScalarExpr::col(dim_key), dim_filters.to_vec());
         let mut work = WorkProfile::default();
-        let mut build: HashSet<i64> = HashSet::new();
-        for partial in build_partials {
-            work.merge(&partial.profile);
-            build.extend(partial.keys);
-        }
+        let build = self.build_key_set(dim_source, &dim_side, None, team, &mut work)?;
 
         // Probe phase: the build set is shared read-only with every worker.
         let fact_numeric = Self::numeric_columns(fact_filters, aggregates);
         let fact_numeric_refs: Vec<&str> = fact_numeric.iter().map(String::as_str).collect();
-        let mut fact_cols: Vec<&str> = fact_numeric_refs.clone();
-        fact_cols.push(fact_key);
+        let fact_cols = Self::accessed_refs(&fact_numeric_refs, &[fact_key]);
         let fact_morsels = fact_source.morsels(self.block_rows);
         let build_ref = &build;
         let probe_partials = Self::run_pipeline(team, &fact_morsels, |morsel| {
@@ -584,18 +771,7 @@ impl QueryExecutor {
         }
 
         // The build side is broadcast: account its bytes and hash-table size.
-        let dim_schema_width: u64 = dim_cols
-            .iter()
-            .filter_map(|c| {
-                dim_source.segments.first().and_then(|seg| {
-                    seg.table
-                        .schema()
-                        .column_index(c)
-                        .map(|i| seg.table.schema().column(i).dtype.width_bytes())
-                })
-            })
-            .sum();
-        work.build_bytes = dim_source.total_rows() * dim_schema_width;
+        work.build_bytes = Self::side_build_bytes(dim_source, &dim_side.read_columns(None));
         // 16 bytes per hash-table entry (key + bucket overhead).
         work.hash_table_bytes = build.len() as u64 * 16;
 
@@ -607,6 +783,212 @@ impl QueryExecutor {
                     .map(|(agg, st)| st.finalize(agg))
                     .collect(),
             ),
+            work,
+        })
+    }
+
+    /// Three-table chain join: build the far key set, build the mid key set
+    /// chained through `mid_fk`, then probe the fact side and aggregate.
+    /// Fact-side partial states are merged in morsel order, so the result is
+    /// bit-for-bit identical for every worker count.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_multi_join(
+        &self,
+        fact: &str,
+        fact_key: &ScalarExpr,
+        fact_filters: &[crate::expr::Predicate],
+        mid: &BuildSide,
+        mid_fk: &ScalarExpr,
+        far: &BuildSide,
+        aggregates: &[AggExpr],
+        sources: &BTreeMap<String, ScanSource>,
+        team: &WorkerTeam,
+    ) -> Result<QueryOutput, OlapError> {
+        let fact_source = Self::source(sources, fact)?;
+        let mid_source = Self::source(sources, &mid.table)?;
+        let far_source = Self::source(sources, &far.table)?;
+        let mut work = WorkProfile::default();
+
+        // Far build side (second hash table of the chain).
+        let far_set = self.build_key_set(far_source, far, None, team, &mut work)?;
+        work.far_build_bytes = Self::side_build_bytes(far_source, &far.read_columns(None));
+        work.far_hash_table_bytes = far_set.len() as u64 * 16;
+
+        // Mid build side, chained through the far set.
+        let mid_set =
+            self.build_key_set(mid_source, mid, Some((mid_fk, &far_set)), team, &mut work)?;
+        work.build_bytes = Self::side_build_bytes(mid_source, &mid.read_columns(Some(mid_fk)));
+        work.hash_table_bytes = mid_set.len() as u64 * 16;
+
+        // Fact probe phase.
+        let (fact_numeric, fact_keys) =
+            Self::split_read_columns(fact_filters, aggregates, &[fact_key], &[]);
+        let fact_refs: Vec<&str> = fact_numeric.iter().map(String::as_str).collect();
+        let fact_key_refs: Vec<&str> = fact_keys.iter().map(String::as_str).collect();
+        let accessed = Self::accessed_refs(&fact_refs, &fact_key_refs);
+        let fact_morsels = fact_source.morsels(self.block_rows);
+        let mid_ref = &mid_set;
+        let probe_partials = Self::run_pipeline(team, &fact_morsels, |morsel| {
+            let block = fact_source.read_morsel(morsel, &fact_refs, &fact_key_refs)?;
+            let selection = evaluate_conjunction(fact_filters, &block);
+            let keys = Self::expr_keys(fact_key, &block);
+            let inputs = Self::aggregate_inputs(aggregates, &block);
+            let mut states = vec![AggState::default(); aggregates.len()];
+            let mut probes = 0u64;
+            let mut selected = 0u64;
+            for row in 0..block.rows() {
+                if !selection[row] {
+                    continue;
+                }
+                probes += 1;
+                if !mid_ref.contains(&keys[row]) {
+                    continue;
+                }
+                selected += 1;
+                for (i, input) in inputs.iter().enumerate() {
+                    match input {
+                        None => states[i].update_count(),
+                        Some(values) => states[i].update(values[row]),
+                    }
+                }
+            }
+            let mut profile = WorkProfile::default();
+            profile.absorb_morsel(fact_source, morsel, &accessed);
+            profile.tuples_selected = selected;
+            Ok(ProbePartial {
+                states,
+                probes,
+                profile,
+            })
+        })?;
+
+        let mut states = vec![AggState::default(); aggregates.len()];
+        for partial in &probe_partials {
+            work.merge(&partial.profile);
+            work.probes += partial.probes;
+            for (state, partial_state) in states.iter_mut().zip(&partial.states) {
+                state.merge(partial_state);
+            }
+        }
+
+        Ok(QueryOutput {
+            result: QueryResult::Scalars(
+                aggregates
+                    .iter()
+                    .zip(&states)
+                    .map(|(agg, st)| st.finalize(agg))
+                    .collect(),
+            ),
+            work,
+        })
+    }
+
+    /// Hash join followed by a hash group-by over fact columns. Per-morsel
+    /// group tables are merged in morsel order (same discipline as the plain
+    /// group-by), and the optional top-k sorts the *finalised* groups
+    /// descending by one aggregate with ties broken by ascending group key —
+    /// all deterministic, so results stay identical across worker counts.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_join_group_by(
+        &self,
+        fact: &str,
+        fact_key: &ScalarExpr,
+        fact_filters: &[crate::expr::Predicate],
+        dim: &BuildSide,
+        group_by: &[String],
+        aggregates: &[AggExpr],
+        top_k: Option<TopK>,
+        sources: &BTreeMap<String, ScanSource>,
+        team: &WorkerTeam,
+    ) -> Result<QueryOutput, OlapError> {
+        if let Some(tk) = top_k {
+            if tk.agg_index >= aggregates.len() {
+                return Err(OlapError::InvalidTopK {
+                    agg_index: tk.agg_index,
+                    aggregates: aggregates.len(),
+                });
+            }
+        }
+        let fact_source = Self::source(sources, fact)?;
+        let dim_source = Self::source(sources, &dim.table)?;
+        let mut work = WorkProfile::default();
+
+        // Build side.
+        let build = self.build_key_set(dim_source, dim, None, team, &mut work)?;
+        work.build_bytes = Self::side_build_bytes(dim_source, &dim.read_columns(None));
+        work.hash_table_bytes = build.len() as u64 * 16;
+
+        // Fact probe + group-by phase. The key list carries the group-by
+        // columns plus a plain-column join key (exact i64 path).
+        let (fact_numeric, fact_keys) =
+            Self::split_read_columns(fact_filters, aggregates, &[fact_key], group_by);
+        let fact_refs: Vec<&str> = fact_numeric.iter().map(String::as_str).collect();
+        let fact_key_refs: Vec<&str> = fact_keys.iter().map(String::as_str).collect();
+        let accessed = Self::accessed_refs(&fact_refs, &fact_key_refs);
+        let fact_morsels = fact_source.morsels(self.block_rows);
+        let build_ref = &build;
+        let partials = Self::run_pipeline(team, &fact_morsels, |morsel| {
+            let block = fact_source.read_morsel(morsel, &fact_refs, &fact_key_refs)?;
+            let selection = evaluate_conjunction(fact_filters, &block);
+            let join_keys = Self::expr_keys(fact_key, &block);
+            let key_columns: Vec<&[i64]> = group_by
+                .iter()
+                .map(|k| block.key(k).expect("group key column loaded"))
+                .collect();
+            let inputs = Self::aggregate_inputs(aggregates, &block);
+            let mut groups: BTreeMap<Vec<i64>, Vec<AggState>> = BTreeMap::new();
+            let mut probes = 0u64;
+            let mut selected = 0u64;
+            for row in 0..block.rows() {
+                if !selection[row] {
+                    continue;
+                }
+                probes += 1;
+                if !build_ref.contains(&join_keys[row]) {
+                    continue;
+                }
+                selected += 1;
+                let key: Vec<i64> = key_columns.iter().map(|col| col[row]).collect();
+                let states = groups
+                    .entry(key)
+                    .or_insert_with(|| vec![AggState::default(); aggregates.len()]);
+                for (i, input) in inputs.iter().enumerate() {
+                    match input {
+                        None => states[i].update_count(),
+                        Some(values) => states[i].update(values[row]),
+                    }
+                }
+            }
+            let mut profile = WorkProfile::default();
+            profile.absorb_morsel(fact_source, morsel, &accessed);
+            profile.tuples_selected = selected;
+            Ok(GroupProbePartial {
+                groups,
+                probes,
+                profile,
+            })
+        })?;
+
+        // Merge per-morsel group tables in morsel order (see merge_group_table
+        // for why this keeps results identical across worker counts).
+        let mut groups: BTreeMap<Vec<i64>, Vec<AggState>> = BTreeMap::new();
+        for partial in partials {
+            work.merge(&partial.profile);
+            work.probes += partial.probes;
+            Self::merge_group_table(&mut groups, partial.groups);
+        }
+
+        let mut rows = Self::finalize_groups(groups, aggregates);
+        if let Some(tk) = top_k {
+            rows.sort_by(|a, b| {
+                b.1[tk.agg_index]
+                    .total_cmp(&a.1[tk.agg_index])
+                    .then_with(|| a.0.cmp(&b.0))
+            });
+            rows.truncate(tk.k);
+        }
+        Ok(QueryOutput {
+            result: QueryResult::Groups(rows),
             work,
         })
     }
@@ -689,6 +1071,231 @@ mod tests {
 
     fn team_of(n: u16) -> WorkerTeam {
         WorkerTeam::from_cores((0..n).map(CoreId).collect())
+    }
+
+    /// mid dimension for the chain join: (m_id i64, m_c i64) with
+    /// m_id in 0..n and m_c = m_id % 3.
+    fn mid_dim(n: u64) -> Arc<ColumnarTable> {
+        let schema = TableSchema::new(
+            "mid",
+            vec![
+                ColumnDef::new("m_id", DataType::I64),
+                ColumnDef::new("m_c", DataType::I64),
+            ],
+            Some(0),
+        );
+        let t = ColumnarTable::new(schema);
+        for i in 0..n {
+            t.append_row(&[Value::I64(i as i64), Value::I64((i % 3) as i64)])
+                .unwrap();
+        }
+        Arc::new(t)
+    }
+
+    /// far dimension: (c_id i64, c_v f64) with c_id in 0..n, c_v = c_id * 1.5.
+    fn far_dim(n: u64) -> Arc<ColumnarTable> {
+        let schema = TableSchema::new(
+            "far",
+            vec![
+                ColumnDef::new("c_id", DataType::I64),
+                ColumnDef::new("c_v", DataType::F64),
+            ],
+            Some(0),
+        );
+        let t = ColumnarTable::new(schema);
+        for i in 0..n {
+            t.append_row(&[Value::I64(i as i64), Value::F64(i as f64 * 1.5)])
+                .unwrap();
+        }
+        Arc::new(t)
+    }
+
+    /// orderline ⋈ mid ⋈ far sources: mid keys match ol_i_id (0..5), far keys
+    /// match m_c (0..3).
+    fn chain_sources(n: u64) -> BTreeMap<String, ScanSource> {
+        let mut sources = sources_for(n);
+        let mid = mid_dim(5);
+        let snap = TableSnapshot::new("mid".into(), mid, 5, 0);
+        sources.insert(
+            "mid".into(),
+            ScanSource::contiguous_snapshot(&snap, SocketId(1)),
+        );
+        let far = far_dim(3);
+        let snap = TableSnapshot::new("far".into(), far, 3, 0);
+        sources.insert(
+            "far".into(),
+            ScanSource::contiguous_snapshot(&snap, SocketId(1)),
+        );
+        sources
+    }
+
+    fn chain_plan() -> QueryPlan {
+        QueryPlan::MultiJoinAggregate {
+            fact: "orderline".into(),
+            fact_key: ScalarExpr::col("ol_i_id"),
+            fact_filters: vec![Predicate::new("ol_quantity", CmpOp::Lt, 5.0)],
+            mid: BuildSide::new("mid", ScalarExpr::col("m_id"), vec![]),
+            mid_fk: ScalarExpr::col("m_c"),
+            // far keys with c_v >= 1.5 -> c_id in {1, 2}.
+            far: BuildSide::new(
+                "far",
+                ScalarExpr::col("c_id"),
+                vec![Predicate::new("c_v", CmpOp::Ge, 1.5)],
+            ),
+            aggregates: vec![AggExpr::Sum(ScalarExpr::col("ol_amount")), AggExpr::Count],
+        }
+    }
+
+    #[test]
+    fn multi_join_chain_filters_through_both_dims() {
+        // far set = {1, 2}; mid rows with m_c in {1, 2} -> m_id in {1, 2, 4};
+        // fact rows pass when ol_quantity < 5 and ol_i_id in {1, 2, 4}.
+        let out = QueryExecutor::with_block_rows(64)
+            .execute(&chain_plan(), &chain_sources(1000))
+            .unwrap();
+        let survives = |i: &u64| i % 10 < 5 && matches!(i % 5, 1 | 2 | 4);
+        let expected_sum: f64 = (0..1000u64)
+            .filter(survives)
+            .map(|i| (i % 100) as f64 + 0.1)
+            .sum();
+        let expected_count = (0..1000u64).filter(survives).count() as f64;
+        assert!((out.result.scalars().unwrap()[0] - expected_sum).abs() < 1e-9);
+        assert_eq!(out.result.scalars().unwrap()[1], expected_count);
+        // Probes: 5 mid rows checked against the far set + 500 filtered fact rows.
+        assert_eq!(out.work.probes, 5 + 500);
+    }
+
+    #[test]
+    fn multi_join_accounts_both_build_sides() {
+        let out = QueryExecutor::with_block_rows(128)
+            .execute(&chain_plan(), &chain_sources(500))
+            .unwrap();
+        assert!(out.work.build_bytes > 0, "mid build side accounted");
+        assert!(out.work.far_build_bytes > 0, "far build side accounted");
+        assert_eq!(out.work.hash_table_bytes, 3 * 16, "mid set {{1, 2, 4}}");
+        assert_eq!(out.work.far_hash_table_bytes, 2 * 16, "far set {{1, 2}}");
+        let jw = out.work.join_work().unwrap();
+        assert_eq!(
+            jw.build_bytes,
+            out.work.build_bytes + out.work.far_build_bytes,
+            "the cost model sees both broadcasts"
+        );
+        assert_eq!(
+            jw.hash_table_bytes,
+            out.work.hash_table_bytes + out.work.far_hash_table_bytes
+        );
+    }
+
+    #[test]
+    fn multi_join_is_bit_identical_across_worker_counts() {
+        let sources = chain_sources(5_003);
+        let executor = QueryExecutor::with_block_rows(97);
+        let solo = executor.execute(&chain_plan(), &sources).unwrap();
+        for workers in [2u16, 4, 7] {
+            let parallel = executor
+                .execute_parallel(&chain_plan(), &sources, &team_of(workers))
+                .unwrap();
+            assert_eq!(solo, parallel, "{workers} workers diverged from solo");
+        }
+    }
+
+    fn join_group_by_plan(top_k: Option<TopK>) -> QueryPlan {
+        QueryPlan::JoinGroupByAggregate {
+            fact: "orderline".into(),
+            fact_key: ScalarExpr::col("ol_i_id"),
+            fact_filters: vec![Predicate::new("ol_amount", CmpOp::Ge, 10.0)],
+            // mid keys with m_c == 1 -> m_id in {1, 4}.
+            dim: BuildSide::new(
+                "mid",
+                ScalarExpr::col("m_id"),
+                vec![Predicate::new("m_c", CmpOp::Eq, 1.0)],
+            ),
+            group_by: vec!["ol_quantity".into()],
+            aggregates: vec![AggExpr::Count, AggExpr::Sum(ScalarExpr::col("ol_amount"))],
+            top_k,
+        }
+    }
+
+    #[test]
+    fn join_group_by_groups_fact_rows_matching_dim() {
+        let out = QueryExecutor::with_block_rows(128)
+            .execute(&join_group_by_plan(None), &chain_sources(1000))
+            .unwrap();
+        let survives = |i: &u64| (i % 100) as f64 + 0.1 >= 10.0 && matches!(i % 5, 1 | 4);
+        let groups = out.result.groups().unwrap();
+        // One group per surviving quantity value, keys ascending.
+        let mut expected: BTreeMap<i64, (f64, f64)> = BTreeMap::new();
+        for i in (0..1000u64).filter(survives) {
+            let e = expected.entry((i % 10) as i64).or_insert((0.0, 0.0));
+            e.0 += 1.0;
+            e.1 += (i % 100) as f64 + 0.1;
+        }
+        assert_eq!(groups.len(), expected.len());
+        for ((key, aggs), (exp_key, (exp_count, exp_sum))) in groups.iter().zip(&expected) {
+            assert_eq!(key[0], *exp_key);
+            assert_eq!(aggs[0], *exp_count);
+            assert!((aggs[1] - exp_sum).abs() < 1e-9);
+        }
+        assert!(out.work.probes > 0);
+        assert!(out.work.build_bytes > 0);
+        assert_eq!(out.work.far_build_bytes, 0, "only one build side");
+    }
+
+    #[test]
+    fn join_group_by_top_k_orders_groups_descending_with_key_tiebreak() {
+        let top_k = Some(TopK { agg_index: 0, k: 3 });
+        let out = QueryExecutor::with_block_rows(64)
+            .execute(&join_group_by_plan(top_k), &chain_sources(1000))
+            .unwrap();
+        let groups = out.result.groups().unwrap();
+        assert_eq!(groups.len(), 3);
+        for pair in groups.windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            assert!(
+                a.1[0] > b.1[0] || (a.1[0] == b.1[0] && a.0 < b.0),
+                "descending count with ascending key tie-break: {groups:?}"
+            );
+        }
+        // The top-k rows are a prefix of the full descending ordering.
+        let full = QueryExecutor::with_block_rows(64)
+            .execute(&join_group_by_plan(None), &chain_sources(1000))
+            .unwrap();
+        let mut all = full.result.groups().unwrap().to_vec();
+        all.sort_by(|a, b| b.1[0].total_cmp(&a.1[0]).then_with(|| a.0.cmp(&b.0)));
+        assert_eq!(groups, &all[..3]);
+    }
+
+    #[test]
+    fn join_group_by_is_bit_identical_across_worker_counts() {
+        let sources = chain_sources(5_003);
+        let plan = join_group_by_plan(Some(TopK { agg_index: 1, k: 4 }));
+        let executor = QueryExecutor::with_block_rows(173);
+        let solo = executor.execute(&plan, &sources).unwrap();
+        for workers in [2u16, 4, 8] {
+            let parallel = executor
+                .execute_parallel(&plan, &sources, &team_of(workers))
+                .unwrap();
+            assert_eq!(solo, parallel, "{workers} workers diverged from solo");
+        }
+    }
+
+    #[test]
+    fn invalid_top_k_is_a_typed_error() {
+        let plan = match join_group_by_plan(Some(TopK { agg_index: 9, k: 3 })) {
+            p @ QueryPlan::JoinGroupByAggregate { .. } => p,
+            _ => unreachable!(),
+        };
+        let err = QueryExecutor::default()
+            .execute(&plan, &chain_sources(10))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            OlapError::InvalidTopK {
+                agg_index: 9,
+                aggregates: 2
+            }
+        );
+        assert!(err.to_string().contains("top-k"));
     }
 
     #[test]
@@ -954,6 +1561,120 @@ mod tests {
             .unwrap();
         assert_eq!(out.result.row_count(), 0);
         assert_eq!(out.work.tuples_scanned, 0);
+    }
+
+    #[test]
+    fn group_key_reused_as_filter_column_is_byte_accounted_once() {
+        // ol_quantity serves as both filter input and group key: the morsel
+        // byte accounting must charge its 4 bytes per row once, not twice.
+        let plan = QueryPlan::GroupByAggregate {
+            table: "orderline".into(),
+            filters: vec![Predicate::new("ol_quantity", CmpOp::Lt, 5.0)],
+            group_by: vec!["ol_quantity".into()],
+            aggregates: vec![AggExpr::Count],
+        };
+        let out = QueryExecutor::with_block_rows(64)
+            .execute(&plan, &sources_for(100))
+            .unwrap();
+        assert_eq!(out.work.total_bytes(), 100 * 4);
+    }
+
+    #[test]
+    fn plain_column_join_keys_stay_exact_beyond_2_pow_53() {
+        // 2^53 and 2^53 + 1 are distinct i64 keys but collapse to the same
+        // f64; plain-column join keys must take the exact i64 path, so the
+        // probe of 2^53 + 1 against a build set holding 2^53 finds nothing.
+        const BIG: i64 = 1 << 53;
+        let dim = ColumnarTable::new(TableSchema::new(
+            "dim64",
+            vec![ColumnDef::new("d_id", DataType::I64)],
+            Some(0),
+        ));
+        dim.append_row(&[Value::I64(BIG)]).unwrap();
+        let fact = ColumnarTable::new(TableSchema::new(
+            "fact64",
+            vec![
+                ColumnDef::new("f_key", DataType::I64),
+                ColumnDef::new("f_a", DataType::F64),
+            ],
+            Some(0),
+        ));
+        fact.append_row(&[Value::I64(BIG + 1), Value::F64(1.0)])
+            .unwrap();
+        let mut sources = BTreeMap::new();
+        let snap = TableSnapshot::new("dim64".into(), Arc::new(dim), 1, 0);
+        sources.insert(
+            "dim64".to_string(),
+            ScanSource::contiguous_snapshot(&snap, SocketId(0)),
+        );
+        let snap = TableSnapshot::new("fact64".into(), Arc::new(fact), 1, 0);
+        sources.insert(
+            "fact64".to_string(),
+            ScanSource::contiguous_snapshot(&snap, SocketId(0)),
+        );
+        let plan = QueryPlan::JoinAggregate {
+            fact: "fact64".into(),
+            dim: "dim64".into(),
+            fact_key: "f_key".into(),
+            dim_key: "d_id".into(),
+            fact_filters: vec![],
+            dim_filters: vec![],
+            aggregates: vec![AggExpr::Count],
+        };
+        let out = QueryExecutor::default().execute(&plan, &sources).unwrap();
+        assert_eq!(
+            out.result.scalars().unwrap()[0],
+            0.0,
+            "2^53 and 2^53 + 1 must not join"
+        );
+
+        // The expression-keyed shapes route plain-column keys through the
+        // same exact path, on both the build and the probe side.
+        let jgb = QueryPlan::JoinGroupByAggregate {
+            fact: "fact64".into(),
+            fact_key: ScalarExpr::col("f_key"),
+            fact_filters: vec![],
+            dim: BuildSide::new("dim64", ScalarExpr::col("d_id"), vec![]),
+            group_by: vec!["f_key".into()],
+            aggregates: vec![AggExpr::Count],
+            top_k: None,
+        };
+        let out = QueryExecutor::default().execute(&jgb, &sources).unwrap();
+        assert!(out.result.groups().unwrap().is_empty());
+        let multi = QueryPlan::MultiJoinAggregate {
+            fact: "fact64".into(),
+            fact_key: ScalarExpr::col("f_key"),
+            fact_filters: vec![],
+            mid: BuildSide::new("dim64", ScalarExpr::col("d_id"), vec![]),
+            mid_fk: ScalarExpr::col("d_id"),
+            far: BuildSide::new("dim64", ScalarExpr::col("d_id"), vec![]),
+            aggregates: vec![AggExpr::Count],
+        };
+        let out = QueryExecutor::default().execute(&multi, &sources).unwrap();
+        assert_eq!(out.result.scalars().unwrap()[0], 0.0);
+    }
+
+    #[test]
+    fn shared_column_between_plain_key_and_computed_expression_does_not_panic() {
+        // mid.key loads m_id through the key path while mid_fk *computes*
+        // over the same column: m_id must stay numeric-loaded too, because
+        // ScalarExpr::evaluate has no key-column fallback.
+        let plan = QueryPlan::MultiJoinAggregate {
+            fact: "orderline".into(),
+            fact_key: ScalarExpr::col("ol_i_id"),
+            fact_filters: vec![],
+            mid: BuildSide::new("mid", ScalarExpr::col("m_id"), vec![]),
+            // fk = m_id * 0 + m_c == m_c, but references m_id in a
+            // computed expression.
+            mid_fk: ScalarExpr::col("m_id") * ScalarExpr::lit(0.0) + ScalarExpr::col("m_c"),
+            far: BuildSide::new("far", ScalarExpr::col("c_id"), vec![]),
+            aggregates: vec![AggExpr::Count],
+        };
+        let out = QueryExecutor::with_block_rows(64)
+            .execute(&plan, &chain_sources(200))
+            .unwrap();
+        // far = {0, 1, 2} ⊇ m_c values, so every mid and fact row joins.
+        assert_eq!(out.result.scalars().unwrap()[0], 200.0);
     }
 
     #[test]

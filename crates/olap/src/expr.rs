@@ -207,6 +207,10 @@ impl AggExpr {
 pub struct AggState {
     sum: f64,
     count: u64,
+    /// Values actually folded via [`AggState::update`] — distinct from
+    /// `count`, which [`AggState::update_count`] also advances. MIN/MAX
+    /// emptiness is defined by this, not by `count`.
+    values: u64,
     min: f64,
     max: f64,
 }
@@ -216,6 +220,7 @@ impl Default for AggState {
         AggState {
             sum: 0.0,
             count: 0,
+            values: 0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
         }
@@ -227,6 +232,7 @@ impl AggState {
     pub fn update(&mut self, value: f64) {
         self.sum += value;
         self.count += 1;
+        self.values += 1;
         self.min = self.min.min(value);
         self.max = self.max.max(value);
     }
@@ -240,11 +246,18 @@ impl AggState {
     pub fn merge(&mut self, other: &AggState) {
         self.sum += other.sum;
         self.count += other.count;
+        self.values += other.values;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
 
     /// Finalise the state for the given aggregate kind.
+    ///
+    /// Aggregates over zero folded values finalise to `0.0` — not to the
+    /// `±INFINITY` sentinels MIN/MAX track internally, and not to a NaN for
+    /// AVG. SQL would return NULL here; in this engine's all-`f64` result
+    /// representation `0.0` is the defined empty value, and the reference
+    /// executor mirrors it.
     pub fn finalize(&self, agg: &AggExpr) -> f64 {
         match agg {
             AggExpr::Sum(_) => self.sum,
@@ -255,8 +268,20 @@ impl AggState {
                     self.sum / self.count as f64
                 }
             }
-            AggExpr::Min(_) => self.min,
-            AggExpr::Max(_) => self.max,
+            AggExpr::Min(_) => {
+                if self.values == 0 {
+                    0.0
+                } else {
+                    self.min
+                }
+            }
+            AggExpr::Max(_) => {
+                if self.values == 0 {
+                    0.0
+                } else {
+                    self.max
+                }
+            }
             AggExpr::Count => self.count as f64,
         }
     }
@@ -395,6 +420,44 @@ mod tests {
         let s = AggState::default();
         assert_eq!(s.finalize(&AggExpr::Avg(ScalarExpr::lit(0.0))), 0.0);
         assert_eq!(s.finalize(&AggExpr::Count), 0.0);
+    }
+
+    /// The differential oracle exposed these: a state that never folded a
+    /// value (empty group after filtering, or a COUNT-only path) must not
+    /// leak the `±INFINITY` MIN/MAX sentinels or a NaN AVG into results.
+    #[test]
+    fn empty_min_max_finalise_to_zero_not_infinity() {
+        let s = AggState::default();
+        assert_eq!(s.finalize(&AggExpr::Min(ScalarExpr::lit(0.0))), 0.0);
+        assert_eq!(s.finalize(&AggExpr::Max(ScalarExpr::lit(0.0))), 0.0);
+        assert!(s.finalize(&AggExpr::Avg(ScalarExpr::lit(0.0))).is_finite());
+    }
+
+    #[test]
+    fn count_only_updates_do_not_poison_min_max() {
+        // COUNT(*) folds via update_count, which must leave MIN/MAX empty.
+        let mut s = AggState::default();
+        s.update_count();
+        s.update_count();
+        assert_eq!(s.finalize(&AggExpr::Count), 2.0);
+        assert_eq!(s.finalize(&AggExpr::Min(ScalarExpr::lit(0.0))), 0.0);
+        assert_eq!(s.finalize(&AggExpr::Max(ScalarExpr::lit(0.0))), 0.0);
+    }
+
+    #[test]
+    fn merging_an_empty_state_is_the_identity() {
+        let mut a = AggState::default();
+        a.update(3.0);
+        a.update(-1.0);
+        let before = a;
+        a.merge(&AggState::default());
+        assert_eq!(a, before);
+        // And the symmetric case: empty absorbing non-empty.
+        let mut e = AggState::default();
+        e.merge(&before);
+        assert_eq!(e.finalize(&AggExpr::Min(ScalarExpr::lit(0.0))), -1.0);
+        assert_eq!(e.finalize(&AggExpr::Max(ScalarExpr::lit(0.0))), 3.0);
+        assert_eq!(e.finalize(&AggExpr::Sum(ScalarExpr::lit(0.0))), 2.0);
     }
 
     #[test]

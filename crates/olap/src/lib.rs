@@ -18,7 +18,12 @@
 //! * [`block`], [`expr`] — typed tuple blocks and scalar/predicate expressions
 //!   evaluated over them.
 //! * [`plan`] — the query plans the CH-benCHmark workload needs:
-//!   scan-filter-reduce, scan-filter-group-by and fact–dimension hash joins.
+//!   scan-filter-reduce, scan-filter-group-by, fact–dimension hash joins,
+//!   three-table chain joins ([`plan::BuildSide`]) and join-then-group-by
+//!   with optional top-k ([`plan::TopK`]).
+//! * [`reference`] — a naive row-at-a-time interpreter over the same plans,
+//!   the oracle of the differential test suite (`tests/differential_exec.rs`);
+//!   never used on the production query path.
 //! * [`exec`] — the morsel-driven parallel executor; besides results it
 //!   produces a [`exec::WorkProfile`] (bytes touched per socket, tuples
 //!   processed, join probes), accumulated per worker and summed, that the
@@ -42,6 +47,7 @@ pub mod exec;
 pub mod expr;
 pub mod morsel;
 pub mod plan;
+pub mod reference;
 pub mod routing;
 pub mod source;
 pub mod worker;
@@ -52,7 +58,8 @@ pub use error::OlapError;
 pub use exec::{QueryExecutor, QueryOutput, QueryResult, WorkProfile};
 pub use expr::{AggExpr, CmpOp, Predicate, ScalarExpr};
 pub use morsel::{split_morsels, Morsel};
-pub use plan::QueryPlan;
+pub use plan::{BuildSide, QueryPlan, TopK};
+pub use reference::execute_reference;
 pub use routing::{RoutingPolicy, SegmentAssignment};
 pub use source::{ScanSegmentSource, ScanSource};
 pub use worker::{OlapWorkerManager, WorkerTeam};

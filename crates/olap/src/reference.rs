@@ -1,0 +1,505 @@
+//! A naive, sequential, row-at-a-time reference executor — the differential
+//! testing oracle of the morsel-driven engine.
+//!
+//! The interpreter deliberately shares no evaluation machinery with
+//! [`crate::exec::QueryExecutor`]: scalar expressions are evaluated
+//! recursively per row (not vectorised per block), predicates are re-derived
+//! from [`CmpOp`] here, and aggregation uses its own accumulator instead of
+//! [`crate::expr::AggState`]. Two independent implementations agreeing on
+//! randomized plans is the correctness argument (the strategy HTAP engines
+//! like oxibase use: validate the optimised engine against a semantic
+//! oracle). It is used only by tests and the differential harness —
+//! production queries always run through the morsel engine.
+//!
+//! Floating-point caveat: the oracle accumulates strictly in scan order while
+//! the engine merges per-morsel partial sums, so SUM/AVG results agree only
+//! up to floating-point associativity — differential tests compare them with
+//! a relative tolerance. COUNT, MIN, MAX and group keys are exact.
+
+use crate::block::Block;
+use crate::error::OlapError;
+use crate::exec::{GroupRow, QueryResult};
+use crate::expr::{AggExpr, CmpOp, Predicate, ScalarExpr};
+use crate::plan::{BuildSide, QueryPlan, TopK};
+use crate::source::ScanSource;
+use std::collections::{BTreeMap, HashSet};
+
+/// Row-at-a-time scalar evaluation (recursive, unvectorised).
+fn scalar_at(expr: &ScalarExpr, block: &Block, row: usize) -> f64 {
+    match expr {
+        ScalarExpr::Col(name) => block
+            .numeric(name)
+            .map(|c| c[row])
+            .or_else(|| block.key(name).map(|c| c[row] as f64))
+            .unwrap_or_else(|| panic!("column {name} not present in block")),
+        ScalarExpr::Literal(v) => *v,
+        ScalarExpr::Add(a, b) => scalar_at(a, block, row) + scalar_at(b, block, row),
+        ScalarExpr::Sub(a, b) => scalar_at(a, block, row) - scalar_at(b, block, row),
+        ScalarExpr::Mul(a, b) => scalar_at(a, block, row) * scalar_at(b, block, row),
+    }
+}
+
+/// Row-at-a-time join-key evaluation, mirroring the engine's exactness rule:
+/// a plain column reference reads through the exact `i64` key path (full
+/// `i64` range); a computed expression evaluates in `f64` (exact below 2^53).
+fn key_at(expr: &ScalarExpr, block: &Block, row: usize) -> i64 {
+    if let ScalarExpr::Col(name) = expr {
+        if let Some(keys) = block.key(name) {
+            return keys[row];
+        }
+    }
+    scalar_at(expr, block, row) as i64
+}
+
+/// Split a key expression between the key and numeric load lists, the same
+/// rule the engine applies: plain columns load as keys, computed-expression
+/// inputs as numerics.
+fn push_key_columns(expr: &ScalarExpr, numeric: &mut Vec<String>, keys: &mut Vec<String>) {
+    match expr {
+        ScalarExpr::Col(name) => keys.push(name.clone()),
+        computed => numeric.extend(computed.columns()),
+    }
+}
+
+/// Row-at-a-time predicate evaluation, re-derived from the operator.
+fn passes(filters: &[Predicate], block: &Block, row: usize) -> bool {
+    filters.iter().all(|p| {
+        let v = block
+            .numeric(&p.column)
+            .map(|c| c[row])
+            .or_else(|| block.key(&p.column).map(|c| c[row] as f64))
+            .unwrap_or_else(|| panic!("column {} not present in block", p.column));
+        match p.op {
+            CmpOp::Eq => v == p.literal,
+            CmpOp::Ne => v != p.literal,
+            CmpOp::Lt => v < p.literal,
+            CmpOp::Le => v <= p.literal,
+            CmpOp::Gt => v > p.literal,
+            CmpOp::Ge => v >= p.literal,
+        }
+    })
+}
+
+/// The oracle's aggregate accumulator — independent of [`crate::expr::AggState`].
+#[derive(Debug, Clone, Copy, Default)]
+struct RefAcc {
+    sum: f64,
+    count: u64,
+    min: Option<f64>,
+    max: Option<f64>,
+}
+
+impl RefAcc {
+    fn add(&mut self, v: f64) {
+        self.sum += v;
+        self.count += 1;
+        self.min = Some(match self.min {
+            Some(m) if m <= v => m,
+            _ => v,
+        });
+        self.max = Some(match self.max {
+            Some(m) if m >= v => m,
+            _ => v,
+        });
+    }
+
+    fn add_count(&mut self) {
+        self.count += 1;
+    }
+
+    /// Matches the engine's defined empty values: 0.0 for empty AVG/MIN/MAX.
+    fn finalize(&self, agg: &AggExpr) -> f64 {
+        match agg {
+            AggExpr::Sum(_) => self.sum,
+            AggExpr::Avg(_) => {
+                if self.count == 0 {
+                    0.0
+                } else {
+                    self.sum / self.count as f64
+                }
+            }
+            AggExpr::Min(_) => self.min.unwrap_or(0.0),
+            AggExpr::Max(_) => self.max.unwrap_or(0.0),
+            AggExpr::Count => self.count as f64,
+        }
+    }
+}
+
+fn fold(accs: &mut [RefAcc], aggregates: &[AggExpr], block: &Block, row: usize) {
+    for (acc, agg) in accs.iter_mut().zip(aggregates) {
+        match agg {
+            AggExpr::Count => acc.add_count(),
+            AggExpr::Sum(e) | AggExpr::Avg(e) | AggExpr::Min(e) | AggExpr::Max(e) => {
+                acc.add(scalar_at(e, block, row));
+            }
+        }
+    }
+}
+
+fn finalize_all(accs: &[RefAcc], aggregates: &[AggExpr]) -> Vec<f64> {
+    accs.iter()
+        .zip(aggregates)
+        .map(|(acc, agg)| acc.finalize(agg))
+        .collect()
+}
+
+fn source<'a>(
+    sources: &'a BTreeMap<String, ScanSource>,
+    table: &str,
+) -> Result<&'a ScanSource, OlapError> {
+    sources.get(table).ok_or_else(|| OlapError::MissingSource {
+        table: table.to_string(),
+    })
+}
+
+/// Materialise a whole relation as blocks, one per segment, in scan order.
+fn load(src: &ScanSource, numeric: &[String], keys: &[String]) -> Result<Vec<Block>, OlapError> {
+    let mut sorted: Vec<&str> = numeric.iter().map(String::as_str).collect();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+    key_refs.sort_unstable();
+    key_refs.dedup();
+    let mut blocks = Vec::new();
+    src.for_each_block(&sorted, &key_refs, 0, |b| blocks.push(b))?;
+    Ok(blocks)
+}
+
+/// Columns a predicate list reads.
+fn filter_columns(filters: &[Predicate]) -> Vec<String> {
+    filters.iter().map(|p| p.column.clone()).collect()
+}
+
+/// Columns an aggregate list reads.
+fn agg_columns(aggregates: &[AggExpr]) -> Vec<String> {
+    aggregates.iter().flat_map(AggExpr::columns).collect()
+}
+
+/// Build the key set of one [`BuildSide`], optionally chained through a
+/// foreign-key membership check against an earlier set.
+fn reference_build(
+    src: &ScanSource,
+    side: &BuildSide,
+    membership: Option<(&ScalarExpr, &HashSet<i64>)>,
+) -> Result<HashSet<i64>, OlapError> {
+    let mut numeric = filter_columns(&side.filters);
+    let mut keys = Vec::new();
+    push_key_columns(&side.key, &mut numeric, &mut keys);
+    if let Some((fk, _)) = membership {
+        push_key_columns(fk, &mut numeric, &mut keys);
+    }
+    let mut set = HashSet::new();
+    for block in load(src, &numeric, &keys)? {
+        for row in 0..block.rows() {
+            if !passes(&side.filters, &block, row) {
+                continue;
+            }
+            if let Some((fk, earlier)) = membership {
+                if !earlier.contains(&key_at(fk, &block, row)) {
+                    continue;
+                }
+            }
+            set.insert(key_at(&side.key, &block, row));
+        }
+    }
+    Ok(set)
+}
+
+/// Scan a probe side, aggregating rows that pass `filters` and whose
+/// `key_of` value (if any) hits `build`.
+fn reference_scalar_scan(
+    src: &ScanSource,
+    filters: &[Predicate],
+    aggregates: &[AggExpr],
+    probe: Option<(&ScalarExpr, &HashSet<i64>)>,
+) -> Result<Vec<f64>, OlapError> {
+    let mut numeric = filter_columns(filters);
+    numeric.extend(agg_columns(aggregates));
+    let mut keys = Vec::new();
+    if let Some((key, _)) = probe {
+        push_key_columns(key, &mut numeric, &mut keys);
+    }
+    let mut accs = vec![RefAcc::default(); aggregates.len()];
+    for block in load(src, &numeric, &keys)? {
+        for row in 0..block.rows() {
+            if !passes(filters, &block, row) {
+                continue;
+            }
+            if let Some((key, build)) = probe {
+                if !build.contains(&key_at(key, &block, row)) {
+                    continue;
+                }
+            }
+            fold(&mut accs, aggregates, &block, row);
+        }
+    }
+    Ok(finalize_all(&accs, aggregates))
+}
+
+/// Scan a probe side into groups keyed by `group_by` columns.
+fn reference_grouped_scan(
+    src: &ScanSource,
+    filters: &[Predicate],
+    group_by: &[String],
+    aggregates: &[AggExpr],
+    probe: Option<(&ScalarExpr, &HashSet<i64>)>,
+) -> Result<Vec<GroupRow>, OlapError> {
+    let mut numeric = filter_columns(filters);
+    numeric.extend(agg_columns(aggregates));
+    let mut keys = group_by.to_vec();
+    if let Some((key, _)) = probe {
+        push_key_columns(key, &mut numeric, &mut keys);
+    }
+    let mut groups: BTreeMap<Vec<i64>, Vec<RefAcc>> = BTreeMap::new();
+    for block in load(src, &numeric, &keys)? {
+        let key_columns: Vec<&[i64]> = group_by
+            .iter()
+            .map(|k| block.key(k).expect("group key column loaded"))
+            .collect();
+        for row in 0..block.rows() {
+            if !passes(filters, &block, row) {
+                continue;
+            }
+            if let Some((key, build)) = probe {
+                if !build.contains(&key_at(key, &block, row)) {
+                    continue;
+                }
+            }
+            let key: Vec<i64> = key_columns.iter().map(|col| col[row]).collect();
+            let accs = groups
+                .entry(key)
+                .or_insert_with(|| vec![RefAcc::default(); aggregates.len()]);
+            fold(accs, aggregates, &block, row);
+        }
+    }
+    Ok(groups
+        .into_iter()
+        .map(|(key, accs)| (key, finalize_all(&accs, aggregates)))
+        .collect())
+}
+
+/// Apply a top-k over finalised groups: descending by the ordering aggregate,
+/// ties broken by ascending group key — the same deterministic rule the
+/// morsel engine implements.
+fn apply_top_k(mut rows: Vec<GroupRow>, tk: TopK) -> Vec<GroupRow> {
+    rows.sort_by(|a, b| {
+        b.1[tk.agg_index]
+            .total_cmp(&a.1[tk.agg_index])
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    rows.truncate(tk.k);
+    rows
+}
+
+/// Execute `plan` with the naive row-at-a-time interpreter.
+pub fn execute_reference(
+    plan: &QueryPlan,
+    sources: &BTreeMap<String, ScanSource>,
+) -> Result<QueryResult, OlapError> {
+    match plan {
+        QueryPlan::Aggregate {
+            table,
+            filters,
+            aggregates,
+        } => Ok(QueryResult::Scalars(reference_scalar_scan(
+            source(sources, table)?,
+            filters,
+            aggregates,
+            None,
+        )?)),
+        QueryPlan::GroupByAggregate {
+            table,
+            filters,
+            group_by,
+            aggregates,
+        } => Ok(QueryResult::Groups(reference_grouped_scan(
+            source(sources, table)?,
+            filters,
+            group_by,
+            aggregates,
+            None,
+        )?)),
+        QueryPlan::JoinAggregate {
+            fact,
+            dim,
+            fact_key,
+            dim_key,
+            fact_filters,
+            dim_filters,
+            aggregates,
+        } => {
+            let build = reference_build(
+                source(sources, dim)?,
+                &BuildSide::new(
+                    dim.clone(),
+                    ScalarExpr::col(dim_key.clone()),
+                    dim_filters.clone(),
+                ),
+                None,
+            )?;
+            let key = ScalarExpr::col(fact_key.clone());
+            Ok(QueryResult::Scalars(reference_scalar_scan(
+                source(sources, fact)?,
+                fact_filters,
+                aggregates,
+                Some((&key, &build)),
+            )?))
+        }
+        QueryPlan::MultiJoinAggregate {
+            fact,
+            fact_key,
+            fact_filters,
+            mid,
+            mid_fk,
+            far,
+            aggregates,
+        } => {
+            let far_set = reference_build(source(sources, &far.table)?, far, None)?;
+            let mid_set =
+                reference_build(source(sources, &mid.table)?, mid, Some((mid_fk, &far_set)))?;
+            Ok(QueryResult::Scalars(reference_scalar_scan(
+                source(sources, fact)?,
+                fact_filters,
+                aggregates,
+                Some((fact_key, &mid_set)),
+            )?))
+        }
+        QueryPlan::JoinGroupByAggregate {
+            fact,
+            fact_key,
+            fact_filters,
+            dim,
+            group_by,
+            aggregates,
+            top_k,
+        } => {
+            if let Some(tk) = top_k {
+                if tk.agg_index >= aggregates.len() {
+                    return Err(OlapError::InvalidTopK {
+                        agg_index: tk.agg_index,
+                        aggregates: aggregates.len(),
+                    });
+                }
+            }
+            let build = reference_build(source(sources, &dim.table)?, dim, None)?;
+            let rows = reference_grouped_scan(
+                source(sources, fact)?,
+                fact_filters,
+                group_by,
+                aggregates,
+                Some((fact_key, &build)),
+            )?;
+            Ok(QueryResult::Groups(match top_k {
+                Some(tk) => apply_top_k(rows, *tk),
+                None => rows,
+            }))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htap_sim::SocketId;
+    use htap_storage::{ColumnDef, ColumnarTable, DataType, TableSchema, TableSnapshot, Value};
+    use std::sync::Arc;
+
+    fn sources() -> BTreeMap<String, ScanSource> {
+        let schema = TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("id", DataType::I64),
+                ColumnDef::new("g", DataType::I32),
+                ColumnDef::new("v", DataType::F64),
+            ],
+            Some(0),
+        );
+        let t = ColumnarTable::new(schema);
+        for i in 0..100u64 {
+            t.append_row(&[
+                Value::I64(i as i64),
+                Value::I32((i % 4) as i32),
+                Value::F64(i as f64 * 0.5),
+            ])
+            .unwrap();
+        }
+        let snap = TableSnapshot::new("t".into(), Arc::new(t), 100, 0);
+        let mut m = BTreeMap::new();
+        m.insert(
+            "t".to_string(),
+            ScanSource::contiguous_snapshot(&snap, SocketId(0)),
+        );
+        m
+    }
+
+    #[test]
+    fn reference_aggregate_matches_hand_computation() {
+        let plan = QueryPlan::Aggregate {
+            table: "t".into(),
+            filters: vec![Predicate::new("v", CmpOp::Ge, 10.0)],
+            aggregates: vec![
+                AggExpr::Sum(ScalarExpr::col("v")),
+                AggExpr::Count,
+                AggExpr::Min(ScalarExpr::col("v")),
+                AggExpr::Max(ScalarExpr::col("v")),
+            ],
+        };
+        let out = execute_reference(&plan, &sources()).unwrap();
+        let vals = out.scalars().unwrap();
+        let expected: Vec<f64> = (0..100u64)
+            .map(|i| i as f64 * 0.5)
+            .filter(|v| *v >= 10.0)
+            .collect();
+        assert_eq!(vals[0], expected.iter().sum::<f64>());
+        assert_eq!(vals[1], expected.len() as f64);
+        assert_eq!(vals[2], 10.0);
+        assert_eq!(vals[3], 49.5);
+    }
+
+    #[test]
+    fn reference_empty_selection_finalises_to_engine_empty_values() {
+        let plan = QueryPlan::Aggregate {
+            table: "t".into(),
+            filters: vec![Predicate::new("v", CmpOp::Lt, -1.0)],
+            aggregates: vec![
+                AggExpr::Min(ScalarExpr::col("v")),
+                AggExpr::Max(ScalarExpr::col("v")),
+                AggExpr::Avg(ScalarExpr::col("v")),
+            ],
+        };
+        let out = execute_reference(&plan, &sources()).unwrap();
+        assert_eq!(out.scalars().unwrap(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn reference_group_by_produces_sorted_groups() {
+        let plan = QueryPlan::GroupByAggregate {
+            table: "t".into(),
+            filters: vec![],
+            group_by: vec!["g".into()],
+            aggregates: vec![AggExpr::Count],
+        };
+        let out = execute_reference(&plan, &sources()).unwrap();
+        let groups = out.groups().unwrap();
+        assert_eq!(groups.len(), 4);
+        for (i, (key, aggs)) in groups.iter().enumerate() {
+            assert_eq!(key[0], i as i64);
+            assert_eq!(aggs[0], 25.0);
+        }
+    }
+
+    #[test]
+    fn reference_missing_source_is_a_typed_error() {
+        let plan = QueryPlan::Aggregate {
+            table: "nope".into(),
+            filters: vec![],
+            aggregates: vec![AggExpr::Count],
+        };
+        assert_eq!(
+            execute_reference(&plan, &BTreeMap::new()).unwrap_err(),
+            OlapError::MissingSource {
+                table: "nope".into()
+            }
+        );
+    }
+}

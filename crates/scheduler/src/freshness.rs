@@ -250,4 +250,130 @@ mod tests {
         assert_eq!(f.query_share_of_fresh(), 0.0);
         assert_eq!(f.per_table[0].freshness_rate(), 1.0);
     }
+
+    /// A three-table RDE: fact(16 B/row: id + amount), mid(16 B), far(16 B),
+    /// plus an untouched `bystander` relation, with `rows` rows each.
+    fn rde_three_tables(rows: u64) -> RdeEngine {
+        let rde = RdeEngine::bootstrap(RdeConfig::default());
+        for (name, cols) in [
+            ("fact", vec!["id", "amount"]),
+            ("mid", vec!["m_id", "m_fk"]),
+            ("far", vec!["r_id", "r_v"]),
+            ("bystander", vec!["b_id", "b_v"]),
+        ] {
+            rde.create_table(TableSchema::new(
+                name,
+                vec![
+                    ColumnDef::new(cols[0], DataType::I64),
+                    ColumnDef::new(cols[1], DataType::F64),
+                ],
+                Some(0),
+            ))
+            .unwrap();
+            for i in 0..rows {
+                rde.oltp()
+                    .bulk_load(name, i, vec![Value::I64(i as i64), Value::F64(1.0)])
+                    .unwrap();
+            }
+        }
+        rde
+    }
+
+    fn three_table_plan() -> QueryPlan {
+        use htap_olap::{BuildSide, CmpOp, Predicate};
+        QueryPlan::MultiJoinAggregate {
+            fact: "fact".into(),
+            fact_key: ScalarExpr::col("id"),
+            fact_filters: vec![],
+            mid: BuildSide::new("mid", ScalarExpr::col("m_id"), vec![]),
+            mid_fk: ScalarExpr::col("m_fk"),
+            far: BuildSide::new(
+                "far",
+                ScalarExpr::col("r_id"),
+                vec![Predicate::new("r_v", CmpOp::Ge, 0.0)],
+            ),
+            aggregates: vec![AggExpr::Sum(ScalarExpr::col("amount"))],
+        }
+    }
+
+    /// Algorithm 2 computes Nfq "only for the columns which will be accessed
+    /// by every query": a three-table plan reports exactly its three
+    /// relations, with per-relation byte accounting restricted to the
+    /// accessed columns.
+    #[test]
+    fn three_table_plan_reports_freshness_for_exactly_its_tables() {
+        let rde = rde_three_tables(50);
+        rde.switch_and_sync();
+        let f = measure(&rde, &three_table_plan());
+        let names: Vec<&str> = f.per_table.iter().map(|t| t.table.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["fact", "far", "mid"],
+            "BTreeMap order, no bystander"
+        );
+        // Nfq in rows: the three accessed relations, all fresh.
+        assert_eq!(f.query_fresh_rows, 3 * 50);
+        assert_eq!(f.query_total_rows, 3 * 50);
+        // Nfq in bytes counts only accessed columns: fact reads id (key
+        // expr, 8 B) + amount (8 B); mid reads m_id + m_fk (16 B); far reads
+        // r_id + r_v (16 B).
+        assert_eq!(f.query_fresh_bytes, 50 * (16 + 16 + 16));
+        // Nft spans all four relations over all columns.
+        assert_eq!(f.total_fresh_rows, 4 * 50);
+        assert_eq!(f.total_fresh_bytes, 4 * 50 * 16);
+        assert!(f.row_share_of_fresh() < 1.0, "bystander keeps Nfq < Nft");
+    }
+
+    /// Fresh rows landing only in relations the plan does not read leave the
+    /// per-query freshness untouched (that is the whole point of the
+    /// per-query metric: a query over stale-but-unchanged relations can run
+    /// elastically while the database at large is dirty).
+    #[test]
+    fn fresh_rows_in_unaccessed_tables_do_not_change_query_freshness() {
+        let rde = rde_three_tables(40);
+        rde.switch_and_sync();
+        rde.etl_to_olap();
+        // Dirty only the bystander.
+        for i in 40..140u64 {
+            rde.oltp()
+                .bulk_load("bystander", i, vec![Value::I64(i as i64), Value::F64(2.0)])
+                .unwrap();
+        }
+        rde.switch_and_sync();
+        let f = measure(&rde, &three_table_plan());
+        assert_eq!(f.query_fresh_rows, 0);
+        assert_eq!(f.freshness_rate(), 1.0, "the plan's tables are all synced");
+        assert_eq!(f.total_fresh_rows, 100, "Nft still sees the bystander");
+        assert_eq!(f.row_share_of_fresh(), 0.0);
+        for t in &f.per_table {
+            assert_eq!(t.fresh_rows, 0, "{} must be clean", t.table);
+            assert_eq!(t.freshness_rate(), 1.0);
+        }
+    }
+
+    /// Fresh rows in one of the three accessed relations surface in that
+    /// relation's report — and only there.
+    #[test]
+    fn fresh_rows_in_one_joined_dimension_are_attributed_to_it() {
+        let rde = rde_three_tables(40);
+        rde.switch_and_sync();
+        rde.etl_to_olap();
+        for i in 40..60u64 {
+            rde.oltp()
+                .bulk_load("far", i, vec![Value::I64(i as i64), Value::F64(3.0)])
+                .unwrap();
+        }
+        rde.switch_and_sync();
+        let f = measure(&rde, &three_table_plan());
+        assert_eq!(f.query_fresh_rows, 20);
+        assert_eq!(f.query_total_rows, 40 + 60 + 40);
+        let far = f.per_table.iter().find(|t| t.table == "far").unwrap();
+        assert_eq!(far.fresh_rows, 20);
+        assert!((far.freshness_rate() - 40.0 / 60.0).abs() < 1e-9);
+        for t in f.per_table.iter().filter(|t| t.table != "far") {
+            assert_eq!(t.fresh_rows, 0, "{} must be clean", t.table);
+        }
+        // Nfq in bytes: 20 fresh far rows × the 16 accessed bytes per row.
+        assert_eq!(f.query_fresh_bytes, 20 * 16);
+    }
 }

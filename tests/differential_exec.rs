@@ -1,0 +1,478 @@
+//! Differential test suite: randomized plans executed by both the
+//! morsel-driven engine and the naive reference executor.
+//!
+//! The harness generates a deterministic random dataset (a fact relation and
+//! two chained dimensions) plus 140 seeded random plans covering all five
+//! plan shapes — Aggregate, GroupByAggregate, JoinAggregate,
+//! MultiJoinAggregate and JoinGroupByAggregate — with random filters,
+//! aggregates, group keys, morsel sizes and (every third plan) a split
+//! two-segment access path. Each plan is executed by the engine with 1, 2
+//! and 4 workers (results must be bit-for-bit identical) and by the
+//! row-at-a-time oracle in `htap_olap::reference` (results must agree up to
+//! floating-point associativity: the oracle accumulates in scan order while
+//! the engine merges per-morsel partials, so SUM/AVG are compared with a
+//! relative tolerance; COUNT, MIN, MAX and group keys match exactly by the
+//! same comparison since both sides compute them order-insensitively).
+
+use adaptive_htap::olap::{
+    execute_reference, AggExpr, BuildSide, CmpOp, Predicate, QueryExecutor, QueryPlan, QueryResult,
+    ScalarExpr, ScanSource, TopK, WorkerTeam,
+};
+use adaptive_htap::sim::{CoreId, SocketId};
+use adaptive_htap::storage::{
+    ColumnDef, ColumnarTable, DataType, TableSchema, TableSnapshot, Value,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const FACT_ROWS: u64 = 3_001;
+const MID_ROWS: u64 = 30;
+const FAR_ROWS: u64 = 12;
+
+/// fact(f_id, f_mid, f_g, f_h, f_a, f_b): f_mid joins mid.m_id, and the
+/// expression `f_g * 4 + f_h` lands in the mid key range too (used to
+/// exercise expression-computed join keys).
+fn fact_table(rng: &mut StdRng) -> Arc<ColumnarTable> {
+    let schema = TableSchema::new(
+        "fact",
+        vec![
+            ColumnDef::new("f_id", DataType::I64),
+            ColumnDef::new("f_mid", DataType::I64),
+            ColumnDef::new("f_g", DataType::I32),
+            ColumnDef::new("f_h", DataType::I32),
+            ColumnDef::new("f_a", DataType::F64),
+            ColumnDef::new("f_b", DataType::F64),
+        ],
+        Some(0),
+    );
+    let t = ColumnarTable::new(schema);
+    for i in 0..FACT_ROWS {
+        t.append_row(&[
+            Value::I64(i as i64),
+            Value::I64(rng.random_range(0..MID_ROWS) as i64),
+            Value::I32(rng.random_range(0..6)),
+            Value::I32(rng.random_range(0..4)),
+            Value::F64(rng.random_range(0.0..25.0)),
+            Value::F64(rng.random_range(-10.0..10.0)),
+        ])
+        .unwrap();
+    }
+    Arc::new(t)
+}
+
+/// mid(m_id, m_far, m_v): m_far joins far.r_id.
+fn mid_table(rng: &mut StdRng) -> Arc<ColumnarTable> {
+    let schema = TableSchema::new(
+        "mid",
+        vec![
+            ColumnDef::new("m_id", DataType::I64),
+            ColumnDef::new("m_far", DataType::I64),
+            ColumnDef::new("m_v", DataType::F64),
+        ],
+        Some(0),
+    );
+    let t = ColumnarTable::new(schema);
+    for i in 0..MID_ROWS {
+        t.append_row(&[
+            Value::I64(i as i64),
+            Value::I64(rng.random_range(0..FAR_ROWS) as i64),
+            Value::F64(rng.random_range(0.0..100.0)),
+        ])
+        .unwrap();
+    }
+    Arc::new(t)
+}
+
+/// far(r_id, r_v).
+fn far_table(rng: &mut StdRng) -> Arc<ColumnarTable> {
+    let schema = TableSchema::new(
+        "far",
+        vec![
+            ColumnDef::new("r_id", DataType::I64),
+            ColumnDef::new("r_v", DataType::F64),
+        ],
+        Some(0),
+    );
+    let t = ColumnarTable::new(schema);
+    for i in 0..FAR_ROWS {
+        t.append_row(&[
+            Value::I64(i as i64),
+            Value::F64(rng.random_range(0.0..50.0)),
+        ])
+        .unwrap();
+    }
+    Arc::new(t)
+}
+
+struct Dataset {
+    fact: Arc<ColumnarTable>,
+    mid: Arc<ColumnarTable>,
+    far: Arc<ColumnarTable>,
+}
+
+impl Dataset {
+    fn build() -> Self {
+        let mut rng = StdRng::seed_from_u64(0xD1FF);
+        Dataset {
+            fact: fact_table(&mut rng),
+            mid: mid_table(&mut rng),
+            far: far_table(&mut rng),
+        }
+    }
+
+    /// Access paths: the dimensions are contiguous snapshots; the fact side
+    /// is either contiguous or a two-segment split (OLAP-local head + OLTP
+    /// tail over the same rows), exercising multi-segment morsel layouts.
+    fn sources(&self, split_fact: bool) -> BTreeMap<String, ScanSource> {
+        let mut sources = BTreeMap::new();
+        let fact_snap = TableSnapshot::new("fact".into(), Arc::clone(&self.fact), FACT_ROWS, 0);
+        let fact_source = if split_fact {
+            ScanSource::split(
+                Arc::clone(&self.fact),
+                FACT_ROWS / 2,
+                SocketId(1),
+                &fact_snap,
+                SocketId(0),
+            )
+        } else {
+            ScanSource::contiguous_snapshot(&fact_snap, SocketId(0))
+        };
+        sources.insert("fact".to_string(), fact_source);
+        let mid_snap = TableSnapshot::new("mid".into(), Arc::clone(&self.mid), MID_ROWS, 0);
+        sources.insert(
+            "mid".to_string(),
+            ScanSource::contiguous_snapshot(&mid_snap, SocketId(1)),
+        );
+        let far_snap = TableSnapshot::new("far".into(), Arc::clone(&self.far), FAR_ROWS, 0);
+        sources.insert(
+            "far".to_string(),
+            ScanSource::contiguous_snapshot(&far_snap, SocketId(1)),
+        );
+        sources
+    }
+}
+
+/// (column, sampling range) pools per relation.
+const FACT_COLS: [(&str, f64, f64); 6] = [
+    ("f_id", 0.0, 3_001.0),
+    ("f_mid", 0.0, 30.0),
+    ("f_g", 0.0, 6.0),
+    ("f_h", 0.0, 4.0),
+    ("f_a", 0.0, 25.0),
+    ("f_b", -10.0, 10.0),
+];
+const MID_COLS: [(&str, f64, f64); 3] = [
+    ("m_id", 0.0, 30.0),
+    ("m_far", 0.0, 12.0),
+    ("m_v", 0.0, 100.0),
+];
+const FAR_COLS: [(&str, f64, f64); 2] = [("r_id", 0.0, 12.0), ("r_v", 0.0, 50.0)];
+
+fn rand_op(rng: &mut StdRng) -> CmpOp {
+    match rng.random_range(0..6u32) {
+        0 => CmpOp::Eq,
+        1 => CmpOp::Ne,
+        2 => CmpOp::Lt,
+        3 => CmpOp::Le,
+        4 => CmpOp::Gt,
+        _ => CmpOp::Ge,
+    }
+}
+
+/// Up to `max` random predicates over a column pool. Equality predicates on
+/// float columns would be vacuous, so Eq/Ne literals are rounded (they then
+/// actually hit the integer-valued columns).
+fn rand_filters(rng: &mut StdRng, pool: &[(&str, f64, f64)], max: u32) -> Vec<Predicate> {
+    (0..rng.random_range(0..=max))
+        .map(|_| {
+            let (col, lo, hi) = pool[rng.random_range(0..pool.len())];
+            let op = rand_op(rng);
+            let mut literal = rng.random_range(lo..hi);
+            if matches!(op, CmpOp::Eq | CmpOp::Ne) {
+                literal = literal.round();
+            }
+            Predicate::new(col, op, literal)
+        })
+        .collect()
+}
+
+/// 1..=3 random aggregates over the fact measures. When `count_first` is set
+/// the first aggregate is COUNT(*) (top-k plans order by it: counts are
+/// exact in both executors, so the ordering is identical).
+fn rand_aggregates(rng: &mut StdRng, count_first: bool) -> Vec<AggExpr> {
+    let mut aggs: Vec<AggExpr> = Vec::new();
+    if count_first {
+        aggs.push(AggExpr::Count);
+    }
+    let measures = ["f_a", "f_b"];
+    let n = rng.random_range(1..=3usize);
+    for _ in 0..n {
+        let col = ScalarExpr::col(measures[rng.random_range(0..measures.len())]);
+        aggs.push(match rng.random_range(0..6u32) {
+            0 => AggExpr::Count,
+            1 => AggExpr::Sum(col),
+            2 => AggExpr::Avg(col),
+            3 => AggExpr::Min(col),
+            4 => AggExpr::Max(col),
+            _ => AggExpr::Sum(ScalarExpr::col("f_a") * col),
+        });
+    }
+    aggs
+}
+
+fn rand_group_by(rng: &mut StdRng) -> Vec<String> {
+    if rng.random_range(0..3u32) == 0 {
+        vec!["f_g".to_string(), "f_h".into()]
+    } else {
+        vec![["f_g", "f_h"][rng.random_range(0..2usize)].to_string()]
+    }
+}
+
+/// The fact-side join key: usually the plain fk column, sometimes an
+/// expression-computed key (`f_g * 4 + f_h` also lands in the mid id range).
+fn rand_fact_key(rng: &mut StdRng) -> ScalarExpr {
+    if rng.random_range(0..4u32) == 0 {
+        ScalarExpr::col("f_g") * ScalarExpr::lit(4.0) + ScalarExpr::col("f_h")
+    } else {
+        ScalarExpr::col("f_mid")
+    }
+}
+
+fn rand_plan(rng: &mut StdRng, shape: u32) -> QueryPlan {
+    match shape {
+        0 => QueryPlan::Aggregate {
+            table: "fact".into(),
+            filters: rand_filters(rng, &FACT_COLS, 2),
+            aggregates: rand_aggregates(rng, false),
+        },
+        1 => QueryPlan::GroupByAggregate {
+            table: "fact".into(),
+            filters: rand_filters(rng, &FACT_COLS, 2),
+            group_by: rand_group_by(rng),
+            aggregates: rand_aggregates(rng, false),
+        },
+        2 => QueryPlan::JoinAggregate {
+            fact: "fact".into(),
+            dim: "mid".into(),
+            fact_key: "f_mid".into(),
+            dim_key: "m_id".into(),
+            fact_filters: rand_filters(rng, &FACT_COLS, 2),
+            dim_filters: rand_filters(rng, &MID_COLS, 2),
+            aggregates: rand_aggregates(rng, false),
+        },
+        3 => QueryPlan::MultiJoinAggregate {
+            fact: "fact".into(),
+            fact_key: rand_fact_key(rng),
+            fact_filters: rand_filters(rng, &FACT_COLS, 2),
+            mid: BuildSide::new(
+                "mid",
+                ScalarExpr::col("m_id"),
+                rand_filters(rng, &MID_COLS, 2),
+            ),
+            mid_fk: ScalarExpr::col("m_far"),
+            far: BuildSide::new(
+                "far",
+                ScalarExpr::col("r_id"),
+                rand_filters(rng, &FAR_COLS, 2),
+            ),
+            aggregates: rand_aggregates(rng, false),
+        },
+        _ => {
+            let top_k = if rng.random_range(0..2u32) == 0 {
+                Some(TopK {
+                    agg_index: 0,
+                    k: rng.random_range(1..=6usize),
+                })
+            } else {
+                None
+            };
+            QueryPlan::JoinGroupByAggregate {
+                fact: "fact".into(),
+                fact_key: rand_fact_key(rng),
+                fact_filters: rand_filters(rng, &FACT_COLS, 2),
+                dim: BuildSide::new(
+                    "mid",
+                    ScalarExpr::col("m_id"),
+                    rand_filters(rng, &MID_COLS, 2),
+                ),
+                group_by: rand_group_by(rng),
+                aggregates: rand_aggregates(rng, top_k.is_some()),
+                top_k,
+            }
+        }
+    }
+}
+
+/// Relative tolerance for SUM/AVG associativity differences.
+fn assert_close(a: f64, b: f64, ctx: &str) {
+    let tol = 1e-9 * a.abs().max(b.abs()).max(1.0);
+    assert!((a - b).abs() <= tol, "{ctx}: engine {a} vs reference {b}");
+}
+
+fn assert_matches_reference(engine: &QueryResult, reference: &QueryResult, ctx: &str) {
+    match (engine, reference) {
+        (QueryResult::Scalars(e), QueryResult::Scalars(r)) => {
+            assert_eq!(e.len(), r.len(), "{ctx}: scalar arity");
+            for (i, (a, b)) in e.iter().zip(r).enumerate() {
+                assert_close(*a, *b, &format!("{ctx} scalar {i}"));
+            }
+        }
+        (QueryResult::Groups(e), QueryResult::Groups(r)) => {
+            assert_eq!(e.len(), r.len(), "{ctx}: group count");
+            for (i, ((ek, ea), (rk, ra))) in e.iter().zip(r).enumerate() {
+                assert_eq!(ek, rk, "{ctx}: group {i} key");
+                assert_eq!(ea.len(), ra.len(), "{ctx}: group {i} arity");
+                for (j, (a, b)) in ea.iter().zip(ra).enumerate() {
+                    assert_close(*a, *b, &format!("{ctx} group {i} agg {j}"));
+                }
+            }
+        }
+        _ => panic!("{ctx}: result shapes differ"),
+    }
+}
+
+/// ≥ 100 randomized plans, every shape: 1/2/4-worker engine runs must be
+/// bit-for-bit identical and all must agree with the reference oracle.
+#[test]
+fn randomized_plans_match_reference_across_worker_counts() {
+    let dataset = Dataset::build();
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let mut per_shape = [0u32; 5];
+    for case in 0..140u32 {
+        let shape = case % 5;
+        per_shape[shape as usize] += 1;
+        let plan = rand_plan(&mut rng, shape);
+        let sources = dataset.sources(case % 3 == 0);
+        let executor = QueryExecutor::with_block_rows(rng.random_range(16..512));
+        let ctx = format!("case {case} ({})", plan.label());
+
+        let baseline = executor
+            .execute_parallel(&plan, &sources, &WorkerTeam::from_cores(vec![CoreId(0)]))
+            .unwrap_or_else(|e| panic!("{ctx}: engine failed: {e}"));
+        for workers in [2u16, 4] {
+            let team = WorkerTeam::from_cores((0..workers).map(CoreId).collect());
+            let parallel = executor.execute_parallel(&plan, &sources, &team).unwrap();
+            assert_eq!(
+                baseline, parallel,
+                "{ctx}: {workers} workers diverged from 1 worker"
+            );
+        }
+
+        let reference = execute_reference(&plan, &sources)
+            .unwrap_or_else(|e| panic!("{ctx}: reference failed: {e}"));
+        assert_matches_reference(&baseline.result, &reference, &ctx);
+    }
+    assert!(
+        per_shape.iter().all(|&n| n >= 20),
+        "every shape gets a fair share of the 140 cases: {per_shape:?}"
+    );
+}
+
+/// The solo team (no cores, runs inline) is the same executor as the
+/// spawned one-worker team — and both match the oracle.
+#[test]
+fn solo_and_single_worker_teams_agree_with_reference() {
+    let dataset = Dataset::build();
+    let mut rng = StdRng::seed_from_u64(7);
+    for shape in 0..5u32 {
+        let plan = rand_plan(&mut rng, shape);
+        let sources = dataset.sources(false);
+        let executor = QueryExecutor::with_block_rows(128);
+        let solo = executor
+            .execute_parallel(&plan, &sources, &WorkerTeam::solo())
+            .unwrap();
+        let one = executor
+            .execute_parallel(&plan, &sources, &WorkerTeam::from_cores(vec![CoreId(0)]))
+            .unwrap();
+        assert_eq!(solo, one, "shape {shape}: solo vs one-worker");
+        let reference = execute_reference(&plan, &sources).unwrap();
+        assert_matches_reference(&solo.result, &reference, &format!("shape {shape}"));
+    }
+}
+
+/// Contradictory filters drive every pipeline to an empty selection: the
+/// engine and the oracle must agree on the defined empty values (0.0 for
+/// SUM/AVG/MIN/MAX/COUNT, zero group rows) for every shape.
+#[test]
+fn empty_selections_agree_with_reference_for_every_shape() {
+    let dataset = Dataset::build();
+    let contradiction = vec![
+        Predicate::new("f_a", CmpOp::Lt, 1.0),
+        Predicate::new("f_a", CmpOp::Gt, 24.0),
+    ];
+    let aggregates = vec![
+        AggExpr::Sum(ScalarExpr::col("f_a")),
+        AggExpr::Avg(ScalarExpr::col("f_a")),
+        AggExpr::Min(ScalarExpr::col("f_a")),
+        AggExpr::Max(ScalarExpr::col("f_b")),
+        AggExpr::Count,
+    ];
+    let plans = vec![
+        QueryPlan::Aggregate {
+            table: "fact".into(),
+            filters: contradiction.clone(),
+            aggregates: aggregates.clone(),
+        },
+        QueryPlan::GroupByAggregate {
+            table: "fact".into(),
+            filters: contradiction.clone(),
+            group_by: vec!["f_g".into()],
+            aggregates: aggregates.clone(),
+        },
+        QueryPlan::JoinAggregate {
+            fact: "fact".into(),
+            dim: "mid".into(),
+            fact_key: "f_mid".into(),
+            dim_key: "m_id".into(),
+            fact_filters: contradiction.clone(),
+            dim_filters: vec![],
+            aggregates: aggregates.clone(),
+        },
+        QueryPlan::MultiJoinAggregate {
+            fact: "fact".into(),
+            fact_key: ScalarExpr::col("f_mid"),
+            fact_filters: vec![],
+            mid: BuildSide::new("mid", ScalarExpr::col("m_id"), vec![]),
+            mid_fk: ScalarExpr::col("m_far"),
+            // An empty far set empties the whole chain.
+            far: BuildSide::new(
+                "far",
+                ScalarExpr::col("r_id"),
+                vec![Predicate::new("r_v", CmpOp::Lt, -1.0)],
+            ),
+            aggregates: aggregates.clone(),
+        },
+        QueryPlan::JoinGroupByAggregate {
+            fact: "fact".into(),
+            fact_key: ScalarExpr::col("f_mid"),
+            fact_filters: contradiction,
+            dim: BuildSide::new("mid", ScalarExpr::col("m_id"), vec![]),
+            group_by: vec!["f_g".into()],
+            aggregates,
+            top_k: Some(TopK { agg_index: 4, k: 3 }),
+        },
+    ];
+    let sources = dataset.sources(true);
+    let executor = QueryExecutor::with_block_rows(64);
+    for plan in plans {
+        let out = executor
+            .execute_parallel(&plan, &sources, &WorkerTeam::from_cores(vec![CoreId(0)]))
+            .unwrap();
+        let reference = execute_reference(&plan, &sources).unwrap();
+        assert_matches_reference(&out.result, &reference, plan.label());
+        match &out.result {
+            QueryResult::Scalars(v) => {
+                assert!(
+                    v.iter().all(|x| *x == 0.0),
+                    "{}: empty selection must finalise to 0.0, got {v:?}",
+                    plan.label()
+                );
+            }
+            QueryResult::Groups(g) => {
+                assert!(g.is_empty(), "{}: expected zero groups", plan.label());
+            }
+        }
+    }
+}
