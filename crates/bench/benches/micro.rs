@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use htap_chbench::{ch_q1, ch_q6, ChConfig, ChGenerator, TransactionDriver};
-use htap_olap::QueryExecutor;
+use htap_olap::{BaselineExecutor, QueryExecutor};
 use htap_oltp::{LockKey, LockMode, LockTable};
 use htap_rde::{AccessMethod, RdeConfig, RdeEngine};
 use htap_sim::{BandwidthModel, CostModel, ExecPlacement, ScanWork, SocketId, Stream, Topology};
@@ -175,6 +175,48 @@ fn parallel_scan_scaling(c: &mut Criterion) {
     }
 }
 
+/// The perf-trajectory benchmarks of the vectorized executor: the five plan
+/// shapes of `htap_bench::exec_trajectory` (a synthetic orderline-like fact
+/// table with two dimensions), once through the vectorized engine
+/// (`olap/vectorized_*`) and once through the frozen pre-vectorization
+/// interpreter (`olap/baseline_*`). The rows/sec ratio between the pairs is
+/// what `bench_exec` records into `BENCH_exec.json`.
+fn vectorized_vs_baseline(c: &mut Criterion) {
+    let sources = htap_bench::exec_trajectory::sources(128 * 1024);
+    let vectorized = QueryExecutor::with_block_rows(16 * 1024);
+    let baseline = BaselineExecutor::with_block_rows(16 * 1024);
+    for (label, plan) in htap_bench::exec_trajectory::plans() {
+        let out = vectorized.execute(&plan, &sources).unwrap();
+        assert_eq!(
+            out,
+            baseline.execute(&plan, &sources).unwrap(),
+            "engines must agree before being compared for speed ({label})"
+        );
+        c.bench_function(&format!("olap/vectorized_{label}"), |b| {
+            b.iter(|| {
+                black_box(
+                    vectorized
+                        .execute(&plan, &sources)
+                        .expect("plan matches its sources")
+                        .result
+                        .row_count(),
+                )
+            })
+        });
+        c.bench_function(&format!("olap/baseline_{label}"), |b| {
+            b.iter(|| {
+                black_box(
+                    baseline
+                        .execute(&plan, &sources)
+                        .expect("plan matches its sources")
+                        .result
+                        .row_count(),
+                )
+            })
+        });
+    }
+}
+
 fn etl_delta_copy(c: &mut Criterion) {
     c.bench_function("rde/switch_sync_etl_tiny_db", |b| {
         b.iter_batched(
@@ -225,6 +267,6 @@ criterion_group! {
     config = configured();
     targets = column_scan, cuckoo_index, twin_switch_sync, lock_table,
               neworder_transaction, ch_query_execution, parallel_scan_scaling,
-              etl_delta_copy, cost_models
+              vectorized_vs_baseline, etl_delta_copy, cost_models
 }
 criterion_main!(benches);

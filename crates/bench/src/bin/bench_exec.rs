@@ -1,0 +1,148 @@
+//! Executor perf-trajectory recorder: measures rows/sec of the vectorized
+//! morsel engine against the frozen pre-vectorization interpreter
+//! ([`htap_olap::BaselineExecutor`]) on the five plan shapes of
+//! [`htap_bench::exec_trajectory`], and writes the result to
+//! `BENCH_exec.json` so every PR leaves a measured before/after on the same
+//! machine.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p htap-bench --bin bench_exec [-- --quick] [--out PATH]
+//! ```
+//!
+//! * `--quick` — CI smoke mode: fewer rows and iterations (seconds, not
+//!   minutes); the ratios are noisier but the artifact shape is identical.
+//! * `--out PATH` — where to write the JSON (default `BENCH_exec.json`).
+//! * `--rows N` / `--iters N` — override the workload size / repetitions.
+//!
+//! Both engines execute every plan once up front and the outputs are
+//! asserted equal (results *and* work profiles) — a perf number measured
+//! against a divergent engine would be meaningless.
+
+use htap_bench::exec_trajectory;
+use htap_olap::{BaselineExecutor, QueryExecutor};
+use std::time::Instant;
+
+struct Args {
+    rows: u64,
+    iters: u32,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut rows = 256 * 1024u64;
+    let mut iters = 20u32;
+    let mut out = "BENCH_exec.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => {
+                rows = 32 * 1024;
+                iters = 3;
+            }
+            "--rows" => {
+                rows = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--rows takes a number");
+            }
+            "--iters" => {
+                iters = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--iters takes a number");
+            }
+            "--out" => {
+                out = args.next().expect("--out takes a path");
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    Args { rows, iters, out }
+}
+
+/// Median-of-iterations wall time of one closure, in seconds.
+fn measure<F: FnMut()>(iters: u32, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..iters.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let args = parse_args();
+    let block_rows = 16 * 1024;
+    let sources = exec_trajectory::sources(args.rows);
+    let vectorized = QueryExecutor::with_block_rows(block_rows);
+    let baseline = BaselineExecutor::with_block_rows(block_rows);
+
+    println!(
+        "executor trajectory: {} fact rows, {} iterations/shape, morsels of {}",
+        args.rows, args.iters, block_rows
+    );
+    println!(
+        "{:<20} {:>14} {:>14} {:>8}",
+        "shape", "baseline r/s", "vectorized r/s", "speedup"
+    );
+
+    let mut entries = Vec::new();
+    for (label, plan) in exec_trajectory::plans() {
+        let expected = vectorized.execute(&plan, &sources).unwrap();
+        assert_eq!(
+            expected,
+            baseline.execute(&plan, &sources).unwrap(),
+            "engines disagree on {label}; refusing to record a perf number"
+        );
+        // rows/sec = tuples that flowed through the scan pipelines (the
+        // profile counts build-side tuples too) over wall-clock time.
+        let tuples = expected.work.tuples_scanned as f64;
+        // Warm-up round per engine, then median of `iters`.
+        let base_secs = measure(args.iters, || {
+            baseline.execute(&plan, &sources).unwrap();
+        });
+        let vec_secs = measure(args.iters, || {
+            vectorized.execute(&plan, &sources).unwrap();
+        });
+        let base_rps = tuples / base_secs;
+        let vec_rps = tuples / vec_secs;
+        let speedup = vec_rps / base_rps;
+        println!("{label:<20} {base_rps:>14.0} {vec_rps:>14.0} {speedup:>7.2}x");
+        entries.push(format!(
+            concat!(
+                "    \"{}\": {{\n",
+                "      \"baseline_rows_per_sec\": {:.0},\n",
+                "      \"vectorized_rows_per_sec\": {:.0},\n",
+                "      \"speedup\": {:.3}\n",
+                "    }}"
+            ),
+            label, base_rps, vec_rps, speedup
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"exec\",\n",
+            "  \"generated_by\": \"cargo run --release -p htap-bench --bin bench_exec\",\n",
+            "  \"fact_rows\": {},\n",
+            "  \"block_rows\": {},\n",
+            "  \"iterations_per_shape\": {},\n",
+            "  \"baseline\": \"pre-vectorization block interpreter (htap_olap::BaselineExecutor)\",\n",
+            "  \"metric\": \"tuples scanned per second, median of iterations, solo worker\",\n",
+            "  \"shapes\": {{\n{}\n  }}\n",
+            "}}\n"
+        ),
+        args.rows,
+        block_rows,
+        args.iters,
+        entries.join(",\n")
+    );
+    std::fs::write(&args.out, &json).expect("write BENCH_exec.json");
+    println!("wrote {}", args.out);
+}

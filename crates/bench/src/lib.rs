@@ -237,6 +237,186 @@ pub fn fmt_mtps(tps: f64) -> String {
     format!("{:.3}", tps / 1e6)
 }
 
+/// The executor perf-trajectory fixture: one synthetic fact relation with
+/// two dimensions plus the five plan shapes of the morsel executor, shared
+/// by the `olap/vectorized_*` / `olap/baseline_*` criterion benches and the
+/// `bench_exec` binary that records `BENCH_exec.json`.
+pub mod exec_trajectory {
+    use htap_olap::{
+        AggExpr, BuildSide, CmpOp, Predicate, QueryPlan, ScalarExpr, ScanSource, TopK,
+    };
+    use htap_sim::SocketId;
+    use htap_storage::{ColumnDef, ColumnarTable, DataType, TableSchema, TableSnapshot, Value};
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    /// Build the fact/dim/far access paths with `rows` fact tuples.
+    pub fn sources(rows: u64) -> BTreeMap<String, ScanSource> {
+        let fact = {
+            let schema = TableSchema::new(
+                "fact",
+                vec![
+                    ColumnDef::new("f_id", DataType::I64),
+                    ColumnDef::new("f_mid", DataType::I64),
+                    ColumnDef::new("f_g", DataType::I32),
+                    ColumnDef::new("f_a", DataType::F64),
+                    ColumnDef::new("f_b", DataType::F64),
+                ],
+                Some(0),
+            );
+            let t = ColumnarTable::new(schema);
+            for i in 0..rows {
+                t.append_row(&[
+                    Value::I64(i as i64),
+                    Value::I64((i % 64) as i64),
+                    Value::I32((i % 24) as i32),
+                    Value::F64((i % 100) as f64 + 0.25),
+                    Value::F64((i % 13) as f64 * 0.5),
+                ])
+                .unwrap();
+            }
+            Arc::new(t)
+        };
+        let dim = {
+            let schema = TableSchema::new(
+                "dim",
+                vec![
+                    ColumnDef::new("d_id", DataType::I64),
+                    ColumnDef::new("d_far", DataType::I64),
+                    ColumnDef::new("d_v", DataType::F64),
+                ],
+                Some(0),
+            );
+            let t = ColumnarTable::new(schema);
+            for i in 0..64u64 {
+                t.append_row(&[
+                    Value::I64(i as i64),
+                    Value::I64((i % 8) as i64),
+                    Value::F64(i as f64 * 3.0),
+                ])
+                .unwrap();
+            }
+            Arc::new(t)
+        };
+        let far = {
+            let schema = TableSchema::new(
+                "far",
+                vec![
+                    ColumnDef::new("r_id", DataType::I64),
+                    ColumnDef::new("r_v", DataType::F64),
+                ],
+                Some(0),
+            );
+            let t = ColumnarTable::new(schema);
+            for i in 0..8u64 {
+                t.append_row(&[Value::I64(i as i64), Value::F64(i as f64)])
+                    .unwrap();
+            }
+            Arc::new(t)
+        };
+        let mut sources = BTreeMap::new();
+        let snap = TableSnapshot::new("fact".into(), fact, rows, 0);
+        sources.insert(
+            "fact".to_string(),
+            ScanSource::contiguous_snapshot(&snap, SocketId(0)),
+        );
+        let snap = TableSnapshot::new("dim".into(), dim, 64, 0);
+        sources.insert(
+            "dim".to_string(),
+            ScanSource::contiguous_snapshot(&snap, SocketId(0)),
+        );
+        let snap = TableSnapshot::new("far".into(), far, 8, 0);
+        sources.insert(
+            "far".to_string(),
+            ScanSource::contiguous_snapshot(&snap, SocketId(0)),
+        );
+        sources
+    }
+
+    /// The five plan shapes of the trajectory, labelled by the CH query
+    /// whose shape they mirror.
+    pub fn plans() -> Vec<(&'static str, QueryPlan)> {
+        vec![
+            (
+                "q6_aggregate",
+                QueryPlan::Aggregate {
+                    table: "fact".into(),
+                    filters: vec![Predicate::new("f_a", CmpOp::Lt, 60.0)],
+                    aggregates: vec![
+                        AggExpr::Sum(ScalarExpr::col("f_a") * ScalarExpr::col("f_b")),
+                        AggExpr::Avg(ScalarExpr::col("f_a")),
+                        AggExpr::Count,
+                    ],
+                },
+            ),
+            (
+                // Mirrors the repo's ch_q1: sums, averages and a count over
+                // two measures, grouped by a small integer key.
+                "q1_group_by",
+                QueryPlan::GroupByAggregate {
+                    table: "fact".into(),
+                    filters: vec![Predicate::new("f_a", CmpOp::Ge, 10.0)],
+                    group_by: vec!["f_g".into()],
+                    aggregates: vec![
+                        AggExpr::Sum(ScalarExpr::col("f_a")),
+                        AggExpr::Sum(ScalarExpr::col("f_b")),
+                        AggExpr::Avg(ScalarExpr::col("f_a")),
+                        AggExpr::Avg(ScalarExpr::col("f_b")),
+                        AggExpr::Count,
+                    ],
+                },
+            ),
+            (
+                "q19_join",
+                QueryPlan::JoinAggregate {
+                    fact: "fact".into(),
+                    dim: "dim".into(),
+                    fact_key: "f_mid".into(),
+                    dim_key: "d_id".into(),
+                    fact_filters: vec![Predicate::new("f_a", CmpOp::Ge, 5.0)],
+                    dim_filters: vec![Predicate::new("d_v", CmpOp::Ge, 30.0)],
+                    aggregates: vec![AggExpr::Sum(ScalarExpr::col("f_a")), AggExpr::Count],
+                },
+            ),
+            (
+                "q3_multi_join",
+                QueryPlan::MultiJoinAggregate {
+                    fact: "fact".into(),
+                    fact_key: ScalarExpr::col("f_mid"),
+                    fact_filters: vec![Predicate::new("f_b", CmpOp::Ge, 1.0)],
+                    mid: BuildSide::new("dim", ScalarExpr::col("d_id"), vec![]),
+                    mid_fk: ScalarExpr::col("d_far"),
+                    far: BuildSide::new(
+                        "far",
+                        ScalarExpr::col("r_id"),
+                        vec![Predicate::new("r_v", CmpOp::Ge, 2.0)],
+                    ),
+                    aggregates: vec![AggExpr::Sum(ScalarExpr::col("f_a")), AggExpr::Count],
+                },
+            ),
+            (
+                "q4_join_group_by",
+                QueryPlan::JoinGroupByAggregate {
+                    fact: "fact".into(),
+                    fact_key: ScalarExpr::col("f_mid"),
+                    fact_filters: vec![Predicate::new("f_a", CmpOp::Ge, 10.0)],
+                    dim: BuildSide::new(
+                        "dim",
+                        ScalarExpr::col("d_id"),
+                        vec![Predicate::new("d_v", CmpOp::Ge, 15.0)],
+                    ),
+                    group_by: vec!["f_g".into()],
+                    aggregates: vec![AggExpr::Count, AggExpr::Sum(ScalarExpr::col("f_a"))],
+                    top_k: Some(TopK {
+                        agg_index: 0,
+                        k: 10,
+                    }),
+                },
+            ),
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

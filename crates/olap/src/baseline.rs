@@ -1,0 +1,772 @@
+//! The frozen block-interpreted executor — the pre-vectorization morsel
+//! kernels, kept verbatim as a measured performance baseline.
+//!
+//! [`BaselineExecutor`] is the executor this crate shipped before the
+//! vectorized rewrite: expression trees are interpreted per block with a
+//! fresh `Vec<f64>` per node, filters materialise `Vec<bool>` masks, the
+//! group-by keys heap-allocated `Vec<i64>` into per-morsel `BTreeMap`s, and
+//! join build sides rebuild `std::collections::HashSet`s per morsel.
+//!
+//! It exists for two reasons and is **never** on the production query path:
+//!
+//! 1. **Perf trajectory** — `cargo run -p htap-bench --bin bench_exec`
+//!    executes every plan shape on both engines and writes the rows/sec
+//!    ratio to `BENCH_exec.json`, so each PR leaves a measured before/after
+//!    on the same machine.
+//! 2. **Differential testing** — `tests/differential_exec.rs` asserts the
+//!    vectorized engine produces *bit-for-bit* the same [`QueryOutput`]
+//!    (results and [`WorkProfile`] accounting) as this baseline on every
+//!    randomized plan: both fold rows in morsel order, so not even the
+//!    floating-point sums may differ.
+//!
+//! Everything below mirrors the old `exec.rs` pipelines; only the
+//! `Result`-returning expression API (the typed `MissingColumn` error that
+//! replaced the evaluation panics) required touch-ups.
+
+use crate::error::OlapError;
+use crate::exec::{
+    accessed_refs, finalize_groups, merge_group_table, numeric_columns, side_build_bytes,
+    source_for, split_read_columns, QueryOutput, QueryResult, WorkProfile,
+};
+use crate::expr::{evaluate_conjunction, AggExpr, AggState, ScalarExpr};
+use crate::morsel::Morsel;
+use crate::plan::{BuildSide, QueryPlan, TopK};
+use crate::source::ScanSource;
+use crate::worker::WorkerTeam;
+use std::collections::{BTreeMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Partial result of one morsel of an aggregation pipeline.
+struct AggPartial {
+    states: Vec<AggState>,
+    profile: WorkProfile,
+}
+
+/// Partial result of one morsel of a group-by pipeline.
+struct GroupPartial {
+    groups: BTreeMap<Vec<i64>, Vec<AggState>>,
+    profile: WorkProfile,
+}
+
+/// Partial result of one morsel of a join build pipeline.
+struct BuildPartial {
+    keys: HashSet<i64>,
+    probes: u64,
+    profile: WorkProfile,
+}
+
+/// Partial result of one morsel of a join probe pipeline.
+struct ProbePartial {
+    states: Vec<AggState>,
+    probes: u64,
+    profile: WorkProfile,
+}
+
+/// Partial result of one morsel of a join-then-group-by probe pipeline.
+struct GroupProbePartial {
+    groups: BTreeMap<Vec<i64>, Vec<AggState>>,
+    probes: u64,
+    profile: WorkProfile,
+}
+
+/// The frozen block-interpreted morsel executor (see the module docs).
+#[derive(Debug, Clone)]
+pub struct BaselineExecutor {
+    /// Tuples per morsel (the unit of work a pipeline worker claims).
+    pub block_rows: usize,
+}
+
+impl Default for BaselineExecutor {
+    fn default() -> Self {
+        BaselineExecutor {
+            block_rows: crate::block::DEFAULT_BLOCK_ROWS,
+        }
+    }
+}
+
+impl BaselineExecutor {
+    /// Executor with a custom morsel size (tests and benches).
+    pub fn with_block_rows(block_rows: usize) -> Self {
+        BaselineExecutor { block_rows }
+    }
+
+    /// Execute `plan` sequentially (a solo worker team).
+    pub fn execute(
+        &self,
+        plan: &QueryPlan,
+        sources: &BTreeMap<String, ScanSource>,
+    ) -> Result<QueryOutput, OlapError> {
+        self.execute_parallel(plan, sources, &WorkerTeam::solo())
+    }
+
+    /// Execute `plan` with one pipeline worker per core of `team`.
+    pub fn execute_parallel(
+        &self,
+        plan: &QueryPlan,
+        sources: &BTreeMap<String, ScanSource>,
+        team: &WorkerTeam,
+    ) -> Result<QueryOutput, OlapError> {
+        match plan {
+            QueryPlan::Aggregate {
+                table,
+                filters,
+                aggregates,
+            } => self.execute_aggregate(table, filters, aggregates, sources, team),
+            QueryPlan::GroupByAggregate {
+                table,
+                filters,
+                group_by,
+                aggregates,
+            } => self.execute_group_by(table, filters, group_by, aggregates, sources, team),
+            QueryPlan::JoinAggregate {
+                fact,
+                dim,
+                fact_key,
+                dim_key,
+                fact_filters,
+                dim_filters,
+                aggregates,
+            } => self.execute_join(
+                fact,
+                dim,
+                fact_key,
+                dim_key,
+                fact_filters,
+                dim_filters,
+                aggregates,
+                sources,
+                team,
+            ),
+            QueryPlan::MultiJoinAggregate {
+                fact,
+                fact_key,
+                fact_filters,
+                mid,
+                mid_fk,
+                far,
+                aggregates,
+            } => self.execute_multi_join(
+                fact,
+                fact_key,
+                fact_filters,
+                mid,
+                mid_fk,
+                far,
+                aggregates,
+                sources,
+                team,
+            ),
+            QueryPlan::JoinGroupByAggregate {
+                fact,
+                fact_key,
+                fact_filters,
+                dim,
+                group_by,
+                aggregates,
+                top_k,
+            } => self.execute_join_group_by(
+                fact,
+                fact_key,
+                fact_filters,
+                dim,
+                group_by,
+                aggregates,
+                *top_k,
+                sources,
+                team,
+            ),
+        }
+    }
+
+    /// Evaluate a join-key expression over a block and cast to `i64`.
+    fn key_values(expr: &ScalarExpr, block: &crate::block::Block) -> Result<Vec<i64>, OlapError> {
+        Ok(expr
+            .evaluate(block)?
+            .into_iter()
+            .map(|v| v as i64)
+            .collect())
+    }
+
+    /// Join keys of one block: plain column references take the exact `i64`
+    /// key path, computed expressions go through [`Self::key_values`].
+    fn expr_keys(expr: &ScalarExpr, block: &crate::block::Block) -> Result<Vec<i64>, OlapError> {
+        if let ScalarExpr::Col(name) = expr {
+            if let Some(keys) = block.key(name) {
+                return Ok(keys.to_vec());
+            }
+        }
+        Self::key_values(expr, block)
+    }
+
+    /// Build the hash set of join keys of one [`BuildSide`] — per-morsel
+    /// `HashSet` partials unioned after the pipeline (the allocation pattern
+    /// the vectorized engine's per-worker [`crate::hashtable::KeySet`]
+    /// replaced).
+    fn build_key_set(
+        &self,
+        source: &ScanSource,
+        side: &BuildSide,
+        membership: Option<(&ScalarExpr, &HashSet<i64>)>,
+        team: &WorkerTeam,
+        work: &mut WorkProfile,
+    ) -> Result<HashSet<i64>, OlapError> {
+        let fk_expr = membership.map(|(fk, _)| fk);
+        let key_exprs: Vec<&ScalarExpr> = std::iter::once(&side.key).chain(fk_expr).collect();
+        let (numeric, key_cols) = split_read_columns(&side.filters, &[], &key_exprs, &[]);
+        let numeric_refs: Vec<&str> = numeric.iter().map(String::as_str).collect();
+        let key_refs: Vec<&str> = key_cols.iter().map(String::as_str).collect();
+        let accessed = accessed_refs(&numeric_refs, &key_refs);
+        let morsels = source.morsels(self.block_rows);
+        let partials = Self::run_pipeline(team, &morsels, |morsel| {
+            let block = source.read_morsel(morsel, &numeric_refs, &key_refs)?;
+            let selection = evaluate_conjunction(&side.filters, &block)?;
+            let keys = Self::expr_keys(&side.key, &block)?;
+            let fks = fk_expr.map(|fk| Self::expr_keys(fk, &block)).transpose()?;
+            let mut passing = HashSet::new();
+            let mut probes = 0u64;
+            for (row, &sel) in selection.iter().enumerate() {
+                if !sel {
+                    continue;
+                }
+                if let (Some(fks), Some((_, set))) = (&fks, membership) {
+                    probes += 1;
+                    if !set.contains(&fks[row]) {
+                        continue;
+                    }
+                }
+                passing.insert(keys[row]);
+            }
+            let mut profile = WorkProfile::default();
+            profile.absorb_morsel(source, morsel, &accessed);
+            Ok(BuildPartial {
+                keys: passing,
+                probes,
+                profile,
+            })
+        })?;
+        let mut set = HashSet::new();
+        for partial in partials {
+            work.merge(&partial.profile);
+            work.probes += partial.probes;
+            set.extend(partial.keys);
+        }
+        Ok(set)
+    }
+
+    /// Drive one pipeline over `morsels` with the team's workers, returning
+    /// per-morsel partials in morsel-index order.
+    fn run_pipeline<P, F>(
+        team: &WorkerTeam,
+        morsels: &[Morsel],
+        task: F,
+    ) -> Result<Vec<P>, OlapError>
+    where
+        P: Send,
+        F: Fn(&Morsel) -> Result<P, OlapError> + Sync,
+    {
+        let cursor = AtomicUsize::new(0);
+        let worker_results = team.capped(morsels.len()).run(|_worker| {
+            let mut claimed: Vec<(usize, P)> = Vec::new();
+            loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= morsels.len() {
+                    break;
+                }
+                claimed.push((idx, task(&morsels[idx])?));
+            }
+            Ok(claimed)
+        });
+        let mut partials: Vec<(usize, P)> = Vec::with_capacity(morsels.len());
+        for result in worker_results {
+            partials.extend(result?);
+        }
+        partials.sort_by_key(|(idx, _)| *idx);
+        Ok(partials.into_iter().map(|(_, p)| p).collect())
+    }
+
+    /// Evaluate the aggregate inputs of one block (None for `COUNT(*)`).
+    fn aggregate_inputs(
+        aggregates: &[AggExpr],
+        block: &crate::block::Block,
+    ) -> Result<Vec<Option<Vec<f64>>>, OlapError> {
+        aggregates
+            .iter()
+            .map(|agg| match agg {
+                AggExpr::Count => Ok(None),
+                AggExpr::Sum(e) | AggExpr::Avg(e) | AggExpr::Min(e) | AggExpr::Max(e) => {
+                    e.evaluate(block).map(Some)
+                }
+            })
+            .collect()
+    }
+
+    fn execute_aggregate(
+        &self,
+        table: &str,
+        filters: &[crate::expr::Predicate],
+        aggregates: &[AggExpr],
+        sources: &BTreeMap<String, ScanSource>,
+        team: &WorkerTeam,
+    ) -> Result<QueryOutput, OlapError> {
+        let source = source_for(sources, table)?;
+        let numeric = numeric_columns(filters, aggregates);
+        let numeric_refs: Vec<&str> = numeric.iter().map(String::as_str).collect();
+        let morsels = source.morsels(self.block_rows);
+
+        let partials = Self::run_pipeline(team, &morsels, |morsel| {
+            let block = source.read_morsel(morsel, &numeric_refs, &[])?;
+            let selection = evaluate_conjunction(filters, &block)?;
+            let mut states = vec![AggState::default(); aggregates.len()];
+            let inputs = Self::aggregate_inputs(aggregates, &block)?;
+            let mut selected = 0u64;
+            for row in 0..block.rows() {
+                if !selection[row] {
+                    continue;
+                }
+                selected += 1;
+                for (state, input) in states.iter_mut().zip(&inputs) {
+                    match input {
+                        None => state.update_count(),
+                        Some(values) => state.update(values[row]),
+                    }
+                }
+            }
+            let mut profile = WorkProfile::default();
+            profile.absorb_morsel(source, morsel, &numeric_refs);
+            profile.tuples_selected = selected;
+            Ok(AggPartial { states, profile })
+        })?;
+
+        let mut work = WorkProfile::default();
+        let mut states = vec![AggState::default(); aggregates.len()];
+        for partial in &partials {
+            work.merge(&partial.profile);
+            for (state, partial_state) in states.iter_mut().zip(&partial.states) {
+                state.merge(partial_state);
+            }
+        }
+
+        Ok(QueryOutput {
+            result: QueryResult::Scalars(
+                aggregates
+                    .iter()
+                    .zip(&states)
+                    .map(|(agg, st)| st.finalize(agg))
+                    .collect(),
+            ),
+            work,
+        })
+    }
+
+    fn execute_group_by(
+        &self,
+        table: &str,
+        filters: &[crate::expr::Predicate],
+        group_by: &[String],
+        aggregates: &[AggExpr],
+        sources: &BTreeMap<String, ScanSource>,
+        team: &WorkerTeam,
+    ) -> Result<QueryOutput, OlapError> {
+        let source = source_for(sources, table)?;
+        let numeric = numeric_columns(filters, aggregates);
+        let numeric_refs: Vec<&str> = numeric.iter().map(String::as_str).collect();
+        let key_refs: Vec<&str> = group_by.iter().map(String::as_str).collect();
+        let accessed = accessed_refs(&numeric_refs, &key_refs);
+        let morsels = source.morsels(self.block_rows);
+
+        let partials = Self::run_pipeline(team, &morsels, |morsel| {
+            let block = source.read_morsel(morsel, &numeric_refs, &key_refs)?;
+            let selection = evaluate_conjunction(filters, &block)?;
+            let key_columns: Vec<&[i64]> = key_refs
+                .iter()
+                .map(|k| block.key(k).expect("group key column loaded"))
+                .collect();
+            let inputs = Self::aggregate_inputs(aggregates, &block)?;
+            let mut groups: BTreeMap<Vec<i64>, Vec<AggState>> = BTreeMap::new();
+            let mut selected = 0u64;
+            for row in 0..block.rows() {
+                if !selection[row] {
+                    continue;
+                }
+                selected += 1;
+                let key: Vec<i64> = key_columns.iter().map(|col| col[row]).collect();
+                let states = groups
+                    .entry(key)
+                    .or_insert_with(|| vec![AggState::default(); aggregates.len()]);
+                for (i, input) in inputs.iter().enumerate() {
+                    match input {
+                        None => states[i].update_count(),
+                        Some(values) => states[i].update(values[row]),
+                    }
+                }
+            }
+            let mut profile = WorkProfile::default();
+            profile.absorb_morsel(source, morsel, &accessed);
+            profile.tuples_selected = selected;
+            Ok(GroupPartial { groups, profile })
+        })?;
+
+        let mut work = WorkProfile::default();
+        let mut groups: BTreeMap<Vec<i64>, Vec<AggState>> = BTreeMap::new();
+        for partial in partials {
+            work.merge(&partial.profile);
+            merge_group_table(&mut groups, partial.groups);
+        }
+
+        Ok(QueryOutput {
+            result: QueryResult::Groups(finalize_groups(groups, aggregates)),
+            work,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn execute_join(
+        &self,
+        fact: &str,
+        dim: &str,
+        fact_key: &str,
+        dim_key: &str,
+        fact_filters: &[crate::expr::Predicate],
+        dim_filters: &[crate::expr::Predicate],
+        aggregates: &[AggExpr],
+        sources: &BTreeMap<String, ScanSource>,
+        team: &WorkerTeam,
+    ) -> Result<QueryOutput, OlapError> {
+        let fact_source = source_for(sources, fact)?;
+        let dim_source = source_for(sources, dim)?;
+
+        let dim_side = BuildSide::new(dim, ScalarExpr::col(dim_key), dim_filters.to_vec());
+        let mut work = WorkProfile::default();
+        let build = self.build_key_set(dim_source, &dim_side, None, team, &mut work)?;
+
+        let fact_numeric = numeric_columns(fact_filters, aggregates);
+        let fact_numeric_refs: Vec<&str> = fact_numeric.iter().map(String::as_str).collect();
+        let fact_cols = accessed_refs(&fact_numeric_refs, &[fact_key]);
+        let fact_morsels = fact_source.morsels(self.block_rows);
+        let build_ref = &build;
+        let probe_partials = Self::run_pipeline(team, &fact_morsels, |morsel| {
+            let block = fact_source.read_morsel(morsel, &fact_numeric_refs, &[fact_key])?;
+            let selection = evaluate_conjunction(fact_filters, &block)?;
+            let keys = block.key(fact_key).expect("fact key loaded");
+            let inputs = Self::aggregate_inputs(aggregates, &block)?;
+            let mut states = vec![AggState::default(); aggregates.len()];
+            let mut probes = 0u64;
+            let mut selected = 0u64;
+            for row in 0..block.rows() {
+                if !selection[row] {
+                    continue;
+                }
+                probes += 1;
+                if !build_ref.contains(&keys[row]) {
+                    continue;
+                }
+                selected += 1;
+                for (i, input) in inputs.iter().enumerate() {
+                    match input {
+                        None => states[i].update_count(),
+                        Some(values) => states[i].update(values[row]),
+                    }
+                }
+            }
+            let mut profile = WorkProfile::default();
+            profile.absorb_morsel(fact_source, morsel, &fact_cols);
+            profile.tuples_selected = selected;
+            Ok(ProbePartial {
+                states,
+                probes,
+                profile,
+            })
+        })?;
+
+        let mut states = vec![AggState::default(); aggregates.len()];
+        for partial in &probe_partials {
+            work.merge(&partial.profile);
+            work.probes += partial.probes;
+            for (state, partial_state) in states.iter_mut().zip(&partial.states) {
+                state.merge(partial_state);
+            }
+        }
+
+        work.build_bytes = side_build_bytes(dim_source, &dim_side.read_columns(None));
+        work.hash_table_bytes = build.len() as u64 * 16;
+
+        Ok(QueryOutput {
+            result: QueryResult::Scalars(
+                aggregates
+                    .iter()
+                    .zip(&states)
+                    .map(|(agg, st)| st.finalize(agg))
+                    .collect(),
+            ),
+            work,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn execute_multi_join(
+        &self,
+        fact: &str,
+        fact_key: &ScalarExpr,
+        fact_filters: &[crate::expr::Predicate],
+        mid: &BuildSide,
+        mid_fk: &ScalarExpr,
+        far: &BuildSide,
+        aggregates: &[AggExpr],
+        sources: &BTreeMap<String, ScanSource>,
+        team: &WorkerTeam,
+    ) -> Result<QueryOutput, OlapError> {
+        let fact_source = source_for(sources, fact)?;
+        let mid_source = source_for(sources, &mid.table)?;
+        let far_source = source_for(sources, &far.table)?;
+        let mut work = WorkProfile::default();
+
+        let far_set = self.build_key_set(far_source, far, None, team, &mut work)?;
+        work.far_build_bytes = side_build_bytes(far_source, &far.read_columns(None));
+        work.far_hash_table_bytes = far_set.len() as u64 * 16;
+
+        let mid_set =
+            self.build_key_set(mid_source, mid, Some((mid_fk, &far_set)), team, &mut work)?;
+        work.build_bytes = side_build_bytes(mid_source, &mid.read_columns(Some(mid_fk)));
+        work.hash_table_bytes = mid_set.len() as u64 * 16;
+
+        let (fact_numeric, fact_keys) =
+            split_read_columns(fact_filters, aggregates, &[fact_key], &[]);
+        let fact_refs: Vec<&str> = fact_numeric.iter().map(String::as_str).collect();
+        let fact_key_refs: Vec<&str> = fact_keys.iter().map(String::as_str).collect();
+        let accessed = accessed_refs(&fact_refs, &fact_key_refs);
+        let fact_morsels = fact_source.morsels(self.block_rows);
+        let mid_ref = &mid_set;
+        let probe_partials = Self::run_pipeline(team, &fact_morsels, |morsel| {
+            let block = fact_source.read_morsel(morsel, &fact_refs, &fact_key_refs)?;
+            let selection = evaluate_conjunction(fact_filters, &block)?;
+            let keys = Self::expr_keys(fact_key, &block)?;
+            let inputs = Self::aggregate_inputs(aggregates, &block)?;
+            let mut states = vec![AggState::default(); aggregates.len()];
+            let mut probes = 0u64;
+            let mut selected = 0u64;
+            for row in 0..block.rows() {
+                if !selection[row] {
+                    continue;
+                }
+                probes += 1;
+                if !mid_ref.contains(&keys[row]) {
+                    continue;
+                }
+                selected += 1;
+                for (i, input) in inputs.iter().enumerate() {
+                    match input {
+                        None => states[i].update_count(),
+                        Some(values) => states[i].update(values[row]),
+                    }
+                }
+            }
+            let mut profile = WorkProfile::default();
+            profile.absorb_morsel(fact_source, morsel, &accessed);
+            profile.tuples_selected = selected;
+            Ok(ProbePartial {
+                states,
+                probes,
+                profile,
+            })
+        })?;
+
+        let mut states = vec![AggState::default(); aggregates.len()];
+        for partial in &probe_partials {
+            work.merge(&partial.profile);
+            work.probes += partial.probes;
+            for (state, partial_state) in states.iter_mut().zip(&partial.states) {
+                state.merge(partial_state);
+            }
+        }
+
+        Ok(QueryOutput {
+            result: QueryResult::Scalars(
+                aggregates
+                    .iter()
+                    .zip(&states)
+                    .map(|(agg, st)| st.finalize(agg))
+                    .collect(),
+            ),
+            work,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn execute_join_group_by(
+        &self,
+        fact: &str,
+        fact_key: &ScalarExpr,
+        fact_filters: &[crate::expr::Predicate],
+        dim: &BuildSide,
+        group_by: &[String],
+        aggregates: &[AggExpr],
+        top_k: Option<TopK>,
+        sources: &BTreeMap<String, ScanSource>,
+        team: &WorkerTeam,
+    ) -> Result<QueryOutput, OlapError> {
+        if let Some(tk) = top_k {
+            if tk.agg_index >= aggregates.len() {
+                return Err(OlapError::InvalidTopK {
+                    agg_index: tk.agg_index,
+                    aggregates: aggregates.len(),
+                });
+            }
+        }
+        let fact_source = source_for(sources, fact)?;
+        let dim_source = source_for(sources, &dim.table)?;
+        let mut work = WorkProfile::default();
+
+        let build = self.build_key_set(dim_source, dim, None, team, &mut work)?;
+        work.build_bytes = side_build_bytes(dim_source, &dim.read_columns(None));
+        work.hash_table_bytes = build.len() as u64 * 16;
+
+        let (fact_numeric, fact_keys) =
+            split_read_columns(fact_filters, aggregates, &[fact_key], group_by);
+        let fact_refs: Vec<&str> = fact_numeric.iter().map(String::as_str).collect();
+        let fact_key_refs: Vec<&str> = fact_keys.iter().map(String::as_str).collect();
+        let accessed = accessed_refs(&fact_refs, &fact_key_refs);
+        let fact_morsels = fact_source.morsels(self.block_rows);
+        let build_ref = &build;
+        let partials = Self::run_pipeline(team, &fact_morsels, |morsel| {
+            let block = fact_source.read_morsel(morsel, &fact_refs, &fact_key_refs)?;
+            let selection = evaluate_conjunction(fact_filters, &block)?;
+            let join_keys = Self::expr_keys(fact_key, &block)?;
+            let key_columns: Vec<&[i64]> = group_by
+                .iter()
+                .map(|k| block.key(k).expect("group key column loaded"))
+                .collect();
+            let inputs = Self::aggregate_inputs(aggregates, &block)?;
+            let mut groups: BTreeMap<Vec<i64>, Vec<AggState>> = BTreeMap::new();
+            let mut probes = 0u64;
+            let mut selected = 0u64;
+            for row in 0..block.rows() {
+                if !selection[row] {
+                    continue;
+                }
+                probes += 1;
+                if !build_ref.contains(&join_keys[row]) {
+                    continue;
+                }
+                selected += 1;
+                let key: Vec<i64> = key_columns.iter().map(|col| col[row]).collect();
+                let states = groups
+                    .entry(key)
+                    .or_insert_with(|| vec![AggState::default(); aggregates.len()]);
+                for (i, input) in inputs.iter().enumerate() {
+                    match input {
+                        None => states[i].update_count(),
+                        Some(values) => states[i].update(values[row]),
+                    }
+                }
+            }
+            let mut profile = WorkProfile::default();
+            profile.absorb_morsel(fact_source, morsel, &accessed);
+            profile.tuples_selected = selected;
+            Ok(GroupProbePartial {
+                groups,
+                probes,
+                profile,
+            })
+        })?;
+
+        let mut groups: BTreeMap<Vec<i64>, Vec<AggState>> = BTreeMap::new();
+        for partial in partials {
+            work.merge(&partial.profile);
+            work.probes += partial.probes;
+            merge_group_table(&mut groups, partial.groups);
+        }
+
+        let mut rows = finalize_groups(groups, aggregates);
+        if let Some(tk) = top_k {
+            rows.sort_by(|a, b| {
+                b.1[tk.agg_index]
+                    .total_cmp(&a.1[tk.agg_index])
+                    .then_with(|| a.0.cmp(&b.0))
+            });
+            rows.truncate(tk.k);
+        }
+        Ok(QueryOutput {
+            result: QueryResult::Groups(rows),
+            work,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::QueryExecutor;
+    use crate::expr::{CmpOp, Predicate};
+    use htap_sim::SocketId;
+    use htap_storage::{ColumnDef, ColumnarTable, DataType, TableSchema, TableSnapshot, Value};
+    use std::sync::Arc;
+
+    fn sources_for(n: u64) -> BTreeMap<String, ScanSource> {
+        let schema = TableSchema::new(
+            "orderline",
+            vec![
+                ColumnDef::new("ol_number", DataType::I64),
+                ColumnDef::new("ol_quantity", DataType::I32),
+                ColumnDef::new("ol_amount", DataType::F64),
+                ColumnDef::new("ol_i_id", DataType::I64),
+            ],
+            Some(0),
+        );
+        let t = ColumnarTable::new(schema);
+        for i in 0..n {
+            t.append_row(&[
+                Value::I64(i as i64),
+                Value::I32((i % 10) as i32),
+                Value::F64((i % 100) as f64 + 0.1),
+                Value::I64((i % 5) as i64),
+            ])
+            .unwrap();
+        }
+        let snap = TableSnapshot::new("orderline".into(), Arc::new(t), n, 0);
+        let mut m = BTreeMap::new();
+        m.insert(
+            "orderline".to_string(),
+            ScanSource::contiguous_snapshot(&snap, SocketId(0)),
+        );
+        m
+    }
+
+    /// The contract the perf trajectory rests on: the frozen baseline and
+    /// the vectorized engine produce bit-for-bit identical outputs
+    /// (results *and* work profiles) — any drift would invalidate the
+    /// before/after comparison in `BENCH_exec.json`.
+    #[test]
+    fn baseline_and_vectorized_agree_bit_for_bit() {
+        let sources = sources_for(2_003);
+        let plans = [
+            QueryPlan::Aggregate {
+                table: "orderline".into(),
+                filters: vec![Predicate::new("ol_quantity", CmpOp::Lt, 7.0)],
+                aggregates: vec![
+                    AggExpr::Sum(ScalarExpr::col("ol_amount") * ScalarExpr::col("ol_quantity")),
+                    AggExpr::Avg(ScalarExpr::col("ol_amount")),
+                    AggExpr::Count,
+                ],
+            },
+            QueryPlan::GroupByAggregate {
+                table: "orderline".into(),
+                filters: vec![Predicate::new("ol_amount", CmpOp::Ge, 3.0)],
+                group_by: vec!["ol_quantity".into()],
+                aggregates: vec![
+                    AggExpr::Sum(ScalarExpr::col("ol_amount")),
+                    AggExpr::Min(ScalarExpr::col("ol_amount")),
+                    AggExpr::Count,
+                ],
+            },
+        ];
+        for plan in &plans {
+            let baseline = BaselineExecutor::with_block_rows(97)
+                .execute(plan, &sources)
+                .unwrap();
+            let vectorized = QueryExecutor::with_block_rows(97)
+                .execute(plan, &sources)
+                .unwrap();
+            assert_eq!(baseline, vectorized, "{} diverged", plan.label());
+        }
+    }
+}

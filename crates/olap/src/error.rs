@@ -26,6 +26,15 @@ pub enum OlapError {
         /// The missing column.
         column: String,
     },
+    /// An expression or predicate referenced a column the evaluated block
+    /// does not carry. Unlike [`OlapError::UnknownColumn`] (raised while
+    /// binding a plan to a relation), this is raised by expression
+    /// evaluation itself, where only the block — not the relation — is in
+    /// scope.
+    MissingColumn {
+        /// The column the expression wanted.
+        column: String,
+    },
     /// A result accessor was called on the wrong result shape (e.g.
     /// [`crate::exec::QueryResult::scalars`] on a grouped result).
     WrongResultShape {
@@ -62,6 +71,9 @@ impl fmt::Display for OlapError {
             }
             OlapError::UnknownColumn { table, column } => {
                 write!(f, "column {column} not in table {table}")
+            }
+            OlapError::MissingColumn { column } => {
+                write!(f, "column {column} not present in block")
             }
             OlapError::WrongResultShape { expected, found } => {
                 write!(f, "expected {expected} result, found {found}")
@@ -106,6 +118,10 @@ mod tests {
             column: "i_nope".into(),
         };
         assert!(e.to_string().contains("i_nope") && e.to_string().contains("item"));
+        let e = OlapError::MissingColumn {
+            column: "ol_ghost".into(),
+        };
+        assert!(e.to_string().contains("ol_ghost"));
         let e = OlapError::WrongResultShape {
             expected: "scalar",
             found: "groups",

@@ -1,4 +1,4 @@
-//! The morsel-driven, vectorised query executor.
+//! The morsel-driven, vectorized query executor.
 //!
 //! Every plan is executed as a set of pipelines over [`Morsel`]s — NUMA-tagged
 //! row ranges cut from the query's [`ScanSource`]s (§3.3 processes "one block
@@ -8,12 +8,33 @@
 //! cursor, folds each one into a private partial result, and the partials are
 //! merged in morsel-index order.
 //!
-//! Two properties follow from that structure:
+//! The per-core execution path is vectorized end to end:
+//!
+//! * **Compiled programs** — every [`ScalarExpr`]/predicate is compiled at
+//!   plan-bind time into a flat register program over column *indices*
+//!   ([`crate::program`]); the morsel loop never resolves a name or walks a
+//!   tree.
+//! * **Selection vectors** — filters produce compacted `u32` row-id vectors
+//!   instead of `Vec<bool>` masks; join probes and aggregations only touch
+//!   surviving rows, and a filterless scan iterates the dense range without
+//!   materialising ids at all.
+//! * **Open-addressing tables** — the group-by operator and the join build
+//!   sides use the linear-probing tables of [`crate::hashtable`] with inline
+//!   flat keys; group keys are sorted exactly once, at final merge.
+//! * **Zero steady-state allocation** — each worker carries one
+//!   [`crate::scratch::ExecScratch`] per pipeline; column data is borrowed
+//!   from storage where the dtype allows and converted into reused buffers
+//!   otherwise, so after warm-up the morsel loop does not allocate
+//!   (`tests/alloc_steady_state.rs` counts).
+//!
+//! Two properties are preserved from the interpreted engine (kept frozen in
+//! [`crate::baseline`] for measured before/after comparisons):
 //!
 //! * **Determinism** — partial aggregation states are per *morsel*, and the
 //!   merge order is the morsel order, so the result is bit-for-bit identical
 //!   for every worker count (including the solo worker), no matter how the
-//!   workers interleave their claims.
+//!   workers interleave their claims. The vectorized kernels fold rows in
+//!   the same order the interpreter did, so the two engines agree exactly.
 //! * **Exact accounting** — every worker tracks its own [`WorkProfile`]
 //!   (bytes per socket, tuples, fresh rows) from the morsels it actually
 //!   processed; the per-worker profiles are summed, and the totals equal what
@@ -21,13 +42,19 @@
 //!   consume those totals unchanged.
 
 use crate::error::OlapError;
-use crate::expr::{evaluate_conjunction, AggExpr, AggState, ScalarExpr};
+use crate::expr::{AggExpr, AggState, ScalarExpr};
+use crate::hashtable::KeySet;
 use crate::morsel::Morsel;
 use crate::plan::{BuildSide, QueryPlan, TopK};
-use crate::source::ScanSource;
+use crate::program::{
+    apply_filters, eval_expr, resolve, AggKind, ColumnResolver, CompiledAgg, CompiledKey,
+    CompiledPredicate, ProgramPool, ValView,
+};
+use crate::scratch::{load_morsel, ExecScratch, MorselData};
+use crate::source::{BoundLayout, ScanSource};
 use crate::worker::WorkerTeam;
 use htap_sim::{JoinWork, ScanSegment, ScanWork, SocketId};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One grouped result row: the group key values followed by the aggregates.
@@ -162,9 +189,24 @@ impl WorkProfile {
     }
 
     /// Account one processed morsel: bytes on its socket, tuples, freshness.
-    fn absorb_morsel(&mut self, source: &ScanSource, morsel: &Morsel, columns: &[&str]) {
+    /// The block-interpreted [`crate::baseline::BaselineExecutor`] path: byte
+    /// widths are re-summed per morsel from the column names.
+    pub(crate) fn absorb_morsel(&mut self, source: &ScanSource, morsel: &Morsel, columns: &[&str]) {
         *self.bytes_per_socket.entry(morsel.socket).or_insert(0) +=
             source.morsel_bytes(morsel, columns);
+        self.tuples_scanned += morsel.row_count() as u64;
+        if morsel.is_fresh() {
+            self.fresh_rows += morsel.row_count() as u64;
+        }
+    }
+
+    /// Account one processed morsel from a bind-time row width — the
+    /// vectorized path: one multiplication, no per-morsel schema lookups.
+    /// Produces exactly the bytes [`WorkProfile::absorb_morsel`] would.
+    #[inline]
+    pub(crate) fn absorb_morsel_rows(&mut self, morsel: &Morsel, row_bytes: u64) {
+        *self.bytes_per_socket.entry(morsel.socket).or_insert(0) +=
+            morsel.row_count() as u64 * row_bytes;
         self.tuples_scanned += morsel.row_count() as u64;
         if morsel.is_fresh() {
             self.fresh_rows += morsel.row_count() as u64;
@@ -181,39 +223,447 @@ pub struct QueryOutput {
     pub work: WorkProfile,
 }
 
-/// Partial result of one morsel of an aggregation pipeline.
-struct AggPartial {
-    states: Vec<AggState>,
-    profile: WorkProfile,
+// ---------------------------------------------------------------------------
+// Bind-time helpers shared with the frozen baseline executor.
+// ---------------------------------------------------------------------------
+
+/// Look up the access path of `table`.
+pub(crate) fn source_for<'a>(
+    sources: &'a BTreeMap<String, ScanSource>,
+    table: &str,
+) -> Result<&'a ScanSource, OlapError> {
+    sources.get(table).ok_or_else(|| OlapError::MissingSource {
+        table: table.to_string(),
+    })
 }
 
-/// Partial result of one morsel of a group-by pipeline.
-struct GroupPartial {
+/// The sorted, deduplicated numeric load list of a scan: filter columns plus
+/// aggregate inputs.
+pub(crate) fn numeric_columns(
+    filters: &[crate::expr::Predicate],
+    aggregates: &[AggExpr],
+) -> Vec<String> {
+    let mut cols: Vec<String> = filters.iter().map(|p| p.column.clone()).collect();
+    cols.extend(aggregates.iter().flat_map(AggExpr::columns));
+    cols.sort();
+    cols.dedup();
+    cols
+}
+
+/// Bytes of a fully materialised build side over the accessed `columns`
+/// (columnar accounting) — the broadcast size the cost model charges.
+pub(crate) fn side_build_bytes<S: AsRef<str>>(source: &ScanSource, columns: &[S]) -> u64 {
+    let Some(seg) = source.segments.first() else {
+        return 0;
+    };
+    let schema = seg.table.schema();
+    let width: u64 = columns
+        .iter()
+        .filter_map(|c| {
+            schema
+                .column_index(c.as_ref())
+                .map(|i| schema.column(i).dtype.width_bytes())
+        })
+        .sum();
+    source.total_rows() * width
+}
+
+/// The deduplicated union of the numeric and key column lists a pipeline
+/// materialises — a column serving both as filter/aggregate input and as
+/// group key must be byte-accounted once, not twice. Computed once at
+/// plan-bind time and reused for every morsel's accounting.
+pub(crate) fn accessed_refs<'a>(numeric_refs: &[&'a str], key_refs: &[&'a str]) -> Vec<&'a str> {
+    let mut accessed: Vec<&'a str> = numeric_refs.to_vec();
+    accessed.extend(key_refs);
+    accessed.sort_unstable();
+    accessed.dedup();
+    accessed
+}
+
+/// Split the columns one pipeline side reads into `(numeric, keys)` load
+/// lists. Plain-column join keys and `group_by` columns go through the
+/// exact `i64` key path (full `i64` range); computed key expressions and
+/// aggregate inputs must load as numeric — expression evaluation has no
+/// key-column fallback — and evaluate in `f64` (exact below 2^53).
+/// Filter-only columns that are already key-loaded are dropped from the
+/// numeric list (predicates fall back to key columns); a column needed by
+/// both paths is loaded in both representations and byte-accounted once via
+/// [`accessed_refs`].
+pub(crate) fn split_read_columns(
+    filters: &[crate::expr::Predicate],
+    aggregates: &[AggExpr],
+    key_exprs: &[&ScalarExpr],
+    group_by: &[String],
+) -> (Vec<String>, Vec<String>) {
+    let mut keys: Vec<String> = group_by.to_vec();
+    let mut computed: Vec<String> = aggregates.iter().flat_map(AggExpr::columns).collect();
+    for expr in key_exprs {
+        match expr {
+            ScalarExpr::Col(name) => keys.push(name.clone()),
+            other => computed.extend(other.columns()),
+        }
+    }
+    keys.sort();
+    keys.dedup();
+    let mut numeric: Vec<String> = filters.iter().map(|p| p.column.clone()).collect();
+    numeric.retain(|c| !keys.contains(c));
+    numeric.extend(computed);
+    numeric.sort();
+    numeric.dedup();
+    (numeric, keys)
+}
+
+/// Fold one morsel's group table into the accumulated one. Callers
+/// iterate partials in morsel order: the BTreeMap keeps group keys
+/// sorted, and folding morsel `i` before morsel `i + 1` keeps every
+/// group's aggregation order equal to the scan order — hence identical
+/// floating-point results for every worker count.
+pub(crate) fn merge_group_table(
+    into: &mut BTreeMap<Vec<i64>, Vec<AggState>>,
+    from: BTreeMap<Vec<i64>, Vec<AggState>>,
+) {
+    for (key, states) in from {
+        match into.entry(key) {
+            std::collections::btree_map::Entry::Vacant(slot) => {
+                slot.insert(states);
+            }
+            std::collections::btree_map::Entry::Occupied(mut slot) => {
+                for (merged, state) in slot.get_mut().iter_mut().zip(&states) {
+                    merged.merge(state);
+                }
+            }
+        }
+    }
+}
+
+/// Finalise a merged group table into result rows, keys ascending — the
+/// single point where group keys are sorted.
+pub(crate) fn finalize_groups(
     groups: BTreeMap<Vec<i64>, Vec<AggState>>,
-    profile: WorkProfile,
+    aggregates: &[AggExpr],
+) -> Vec<GroupRow> {
+    groups
+        .into_iter()
+        .map(|(key, states)| {
+            let aggs = aggregates
+                .iter()
+                .zip(&states)
+                .map(|(agg, st)| st.finalize(agg))
+                .collect();
+            (key, aggs)
+        })
+        .collect()
 }
 
-/// Partial result of one morsel of a join build pipeline. `probes` counts
-/// membership checks against an earlier build side (the mid build of a
-/// three-table plan probes the far set; plain builds leave it at zero).
-struct BuildPartial {
-    keys: HashSet<i64>,
+// ---------------------------------------------------------------------------
+// Vectorized pipeline machinery.
+// ---------------------------------------------------------------------------
+
+/// The bind-time product of one scan pipeline: load lists, resolved segment
+/// layout, and the compiled filter/aggregate programs. Built once per query;
+/// shared read-only by every worker.
+struct Pipeline {
+    numeric: Vec<String>,
+    keys: Vec<String>,
+    layout: BoundLayout,
+    pool: ProgramPool,
+    filters: Vec<CompiledPredicate>,
+    aggs: Vec<CompiledAgg>,
+}
+
+impl Pipeline {
+    fn bind(
+        source: &ScanSource,
+        numeric: Vec<String>,
+        keys: Vec<String>,
+        filters: &[crate::expr::Predicate],
+        aggregates: &[AggExpr],
+    ) -> Result<Pipeline, OlapError> {
+        let numeric_refs: Vec<&str> = numeric.iter().map(String::as_str).collect();
+        let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+        let accessed = accessed_refs(&numeric_refs, &key_refs);
+        let layout = source.bind_columns(&numeric_refs, &key_refs, &accessed)?;
+        let mut pool = ProgramPool::default();
+        let resolver = ColumnResolver::new(&numeric, &keys);
+        let filters = pool.compile_filters(filters, &resolver)?;
+        let aggs = pool.compile_aggregates(aggregates, &resolver)?;
+        Ok(Pipeline {
+            numeric,
+            keys,
+            layout,
+            pool,
+            filters,
+            aggs,
+        })
+    }
+
+    fn compile_key(&mut self, expr: &ScalarExpr) -> Result<CompiledKey, OlapError> {
+        let resolver = ColumnResolver::new(&self.numeric, &self.keys);
+        self.pool.compile_key(expr, &resolver)
+    }
+
+    /// Key-list slot of a column loaded through the key path.
+    fn key_slot(&self, name: &str) -> usize {
+        self.keys
+            .iter()
+            .position(|c| c == name)
+            .expect("group key is part of the key load list")
+    }
+
+    /// Fresh per-worker scratch sized for this pipeline.
+    fn scratch<'env>(&self) -> ExecScratch<'env> {
+        ExecScratch::for_pipeline(
+            self.pool.n_regs as usize,
+            self.numeric.len(),
+            self.keys.len(),
+        )
+    }
+
+    /// Row width of the accessed columns of `morsel`'s segment.
+    #[inline]
+    fn row_bytes(&self, morsel: &Morsel) -> u64 {
+        self.layout.segments[morsel.segment].accessed_row_bytes
+    }
+}
+
+/// The resolved join-key values of one morsel: the exact `i64` slice of a
+/// key column, or the `f64` lanes of a computed expression (cast per probe,
+/// exact below 2^53).
+enum KeyVals<'a> {
+    Exact(&'a [i64]),
+    Computed(ValView<'a>),
+}
+
+impl KeyVals<'_> {
+    #[inline(always)]
+    fn get(&self, i: usize) -> i64 {
+        match self {
+            KeyVals::Exact(s) => s[i],
+            KeyVals::Computed(v) => v.get(i) as i64,
+        }
+    }
+}
+
+/// Materialise a compiled key's computed lanes (if any) and return the
+/// per-row accessor. `eval_expr` must have been driven for the same rows
+/// already — this only resolves.
+#[inline]
+fn key_vals<'a>(
+    key: &CompiledKey,
+    data: &'a MorselData<'_>,
+    regs: &'a [Vec<f64>],
+    consts: &[f64],
+) -> KeyVals<'a> {
+    match key {
+        CompiledKey::Key(slot) => KeyVals::Exact(data.key(*slot as usize)),
+        CompiledKey::Expr(e) => KeyVals::Computed(resolve(e.output, data, regs, consts)),
+    }
+}
+
+/// Run `f` over every selected row index.
+#[inline(always)]
+fn for_each_selected(rows: usize, sel: Option<&[u32]>, mut f: impl FnMut(usize)) {
+    match sel {
+        None => (0..rows).for_each(&mut f),
+        Some(ids) => ids.iter().for_each(|&i| f(i as usize)),
+    }
+}
+
+/// Fold one aggregate input over the selection into `state` — the
+/// column-at-a-time inner loop of every aggregation pipeline, specialised
+/// per aggregate kind so each tuple touches only the state fields its
+/// finalisation reads.
+#[inline]
+fn fold_agg(kind: AggKind, state: &mut AggState, v: ValView<'_>, rows: usize, sel: Option<&[u32]>) {
+    match kind {
+        AggKind::Sum => for_each_selected(rows, sel, |i| state.fold_sum(v.get(i))),
+        AggKind::Avg => for_each_selected(rows, sel, |i| state.fold_avg(v.get(i))),
+        AggKind::Min => for_each_selected(rows, sel, |i| state.fold_min(v.get(i))),
+        AggKind::Max => for_each_selected(rows, sel, |i| state.fold_max(v.get(i))),
+    }
+}
+
+/// Per-worker output of a scalar-aggregation pipeline: per-morsel states in
+/// claim order plus the worker's accumulated profile. All buffers are
+/// reserved up front so the morsel loop never reallocates.
+struct ScalarOut {
+    /// Morsel index of each processed morsel, in claim order.
+    order: Vec<u32>,
+    /// Flat per-morsel states, `n_aggs` per entry of `order`.
+    states: Vec<AggState>,
     probes: u64,
     profile: WorkProfile,
+    n_aggs: usize,
 }
 
-/// Partial result of one morsel of a join probe pipeline.
-struct ProbePartial {
+impl ScalarOut {
+    fn new(n_aggs: usize, morsels: usize) -> Self {
+        ScalarOut {
+            order: Vec::with_capacity(morsels),
+            states: Vec::with_capacity(morsels * n_aggs),
+            probes: 0,
+            profile: WorkProfile::default(),
+            n_aggs,
+        }
+    }
+
+    /// Append default states for morsel `idx` and return them for folding.
+    fn push_morsel(&mut self, idx: usize) -> &mut [AggState] {
+        self.order.push(idx as u32);
+        let at = self.states.len();
+        self.states.resize(at + self.n_aggs, AggState::default());
+        &mut self.states[at..]
+    }
+}
+
+/// Per-worker output of a grouping pipeline: per-morsel flat group tables in
+/// claim order.
+struct GroupOut {
+    order: Vec<u32>,
+    /// Groups per processed morsel, aligned with `order`.
+    counts: Vec<u32>,
+    /// Flat keys: `n_keys` per group, morsels concatenated in claim order.
+    keys: Vec<i64>,
+    /// Flat states: `n_aggs` per group.
     states: Vec<AggState>,
     probes: u64,
     profile: WorkProfile,
 }
 
-/// Partial result of one morsel of a join-then-group-by probe pipeline.
-struct GroupProbePartial {
-    groups: BTreeMap<Vec<i64>, Vec<AggState>>,
+impl GroupOut {
+    fn new(morsels: usize) -> Self {
+        GroupOut {
+            order: Vec::with_capacity(morsels),
+            counts: Vec::with_capacity(morsels),
+            keys: Vec::new(),
+            states: Vec::new(),
+            probes: 0,
+            profile: WorkProfile::default(),
+        }
+    }
+}
+
+/// Per-worker output of a join build pipeline: the worker's open-addressing
+/// key set, reused across every morsel it claims (set union across workers
+/// is order-insensitive, so determinism is preserved).
+struct BuildOut {
+    set: KeySet,
     probes: u64,
     profile: WorkProfile,
+}
+
+/// Drive one pipeline over `morsels`: the team's workers claim morsels from
+/// a shared atomic cursor (dynamic load balancing); each worker builds its
+/// scratch and output once via `make` and reuses them for every morsel it
+/// claims; `step` processes one claimed morsel. Per-worker outputs are
+/// returned in worker order — shape-specific merges then order the
+/// per-morsel partials they carry by morsel index.
+fn run_morsel_pipeline<S, O, M, F>(
+    team: &WorkerTeam,
+    morsels: &[Morsel],
+    make: M,
+    step: F,
+) -> Result<Vec<O>, OlapError>
+where
+    O: Send,
+    M: Fn() -> (S, O) + Sync,
+    F: Fn(usize, &Morsel, &mut S, &mut O) -> Result<(), OlapError> + Sync,
+{
+    let cursor = AtomicUsize::new(0);
+    let results = team.capped(morsels.len()).run(|_| {
+        let (mut scratch, mut out) = make();
+        loop {
+            let idx = cursor.fetch_add(1, Ordering::Relaxed);
+            if idx >= morsels.len() {
+                break;
+            }
+            step(idx, &morsels[idx], &mut scratch, &mut out)?;
+        }
+        Ok(out)
+    });
+    results.into_iter().collect()
+}
+
+/// Merge per-worker scalar outputs: sort the per-morsel partials by morsel
+/// index and fold them in that order (bit-for-bit identical for every worker
+/// count), summing profiles and probes into `work`.
+fn merge_scalar_outs(
+    outs: Vec<ScalarOut>,
+    n_aggs: usize,
+    morsel_count: usize,
+    work: &mut WorkProfile,
+) -> Vec<AggState> {
+    let mut parts: Vec<(u32, &[AggState])> = Vec::with_capacity(morsel_count);
+    for out in &outs {
+        for (k, &m) in out.order.iter().enumerate() {
+            parts.push((m, &out.states[k * n_aggs..(k + 1) * n_aggs]));
+        }
+    }
+    parts.sort_unstable_by_key(|(m, _)| *m);
+    let mut states = vec![AggState::default(); n_aggs];
+    for (_, chunk) in parts {
+        for (state, partial) in states.iter_mut().zip(chunk) {
+            state.merge(partial);
+        }
+    }
+    for out in &outs {
+        work.merge(&out.profile);
+        work.probes += out.probes;
+    }
+    states
+}
+
+/// Merge per-worker group outputs in morsel order into the final sorted
+/// group table (the only place group keys get sorted).
+fn merge_group_outs(
+    outs: Vec<GroupOut>,
+    n_keys: usize,
+    n_aggs: usize,
+    morsel_count: usize,
+    work: &mut WorkProfile,
+) -> BTreeMap<Vec<i64>, Vec<AggState>> {
+    let mut parts: Vec<(u32, usize, &[i64], &[AggState])> = Vec::with_capacity(morsel_count);
+    for out in &outs {
+        let mut key_at = 0usize;
+        let mut state_at = 0usize;
+        for (k, &m) in out.order.iter().enumerate() {
+            let groups = out.counts[k] as usize;
+            parts.push((
+                m,
+                groups,
+                &out.keys[key_at..key_at + groups * n_keys],
+                &out.states[state_at..state_at + groups * n_aggs],
+            ));
+            key_at += groups * n_keys;
+            state_at += groups * n_aggs;
+        }
+    }
+    parts.sort_unstable_by_key(|(m, _, _, _)| *m);
+    let mut groups: BTreeMap<Vec<i64>, Vec<AggState>> = BTreeMap::new();
+    for (_, count, keys, states) in parts {
+        for g in 0..count {
+            let key = &keys[g * n_keys..(g + 1) * n_keys];
+            let chunk = &states[g * n_aggs..(g + 1) * n_aggs];
+            // Borrowed-slice lookup first: the key and state vectors are
+            // cloned only for groups seen for the first time, so merge-time
+            // allocation scales with distinct groups, not morsels x groups.
+            match groups.get_mut(key) {
+                Some(merged_states) => {
+                    for (merged, state) in merged_states.iter_mut().zip(chunk) {
+                        merged.merge(state);
+                    }
+                }
+                None => {
+                    groups.insert(key.to_vec(), chunk.to_vec());
+                }
+            }
+        }
+    }
+    for out in &outs {
+        work.merge(&out.profile);
+        work.probes += out.probes;
+    }
+    groups
 }
 
 /// The morsel-driven query executor.
@@ -329,211 +779,93 @@ impl QueryExecutor {
         }
     }
 
-    fn source<'a>(
-        sources: &'a BTreeMap<String, ScanSource>,
-        table: &str,
-    ) -> Result<&'a ScanSource, OlapError> {
-        sources.get(table).ok_or_else(|| OlapError::MissingSource {
-            table: table.to_string(),
-        })
-    }
-
-    fn numeric_columns(filters: &[crate::expr::Predicate], aggregates: &[AggExpr]) -> Vec<String> {
-        let mut cols: Vec<String> = filters.iter().map(|p| p.column.clone()).collect();
-        cols.extend(aggregates.iter().flat_map(AggExpr::columns));
-        cols.sort();
-        cols.dedup();
-        cols
-    }
-
-    /// Evaluate a join-key expression over a block and cast to `i64`. Key
-    /// expressions combine integer-valued columns (encoded TPC-C keys), so
-    /// the intermediate `f64` arithmetic is exact below 2^53.
-    fn key_values(expr: &ScalarExpr, block: &crate::block::Block) -> Vec<i64> {
-        expr.evaluate(block).into_iter().map(|v| v as i64).collect()
-    }
-
-    /// Join keys of one block: a plain column reference loaded through the
-    /// exact `i64` key path reads exactly (full `i64` range); a computed
-    /// expression goes through [`Self::key_values`] (exact below 2^53).
-    fn expr_keys(expr: &ScalarExpr, block: &crate::block::Block) -> Vec<i64> {
-        if let ScalarExpr::Col(name) = expr {
-            if let Some(keys) = block.key(name) {
-                return keys.to_vec();
-            }
-        }
-        Self::key_values(expr, block)
-    }
-
-    /// Bytes of a fully materialised build side over the accessed `columns`
-    /// (columnar accounting) — the broadcast size the cost model charges.
-    fn side_build_bytes<S: AsRef<str>>(source: &ScanSource, columns: &[S]) -> u64 {
-        let Some(seg) = source.segments.first() else {
-            return 0;
-        };
-        let schema = seg.table.schema();
-        let width: u64 = columns
-            .iter()
-            .filter_map(|c| {
-                schema
-                    .column_index(c.as_ref())
-                    .map(|i| schema.column(i).dtype.width_bytes())
-            })
-            .sum();
-        source.total_rows() * width
-    }
-
-    /// The deduplicated union of the numeric and key column lists a pipeline
-    /// materialises — a column serving both as filter/aggregate input and as
-    /// group key must be byte-accounted once, not twice.
-    fn accessed_refs<'a>(numeric_refs: &[&'a str], key_refs: &[&'a str]) -> Vec<&'a str> {
-        let mut accessed: Vec<&'a str> = numeric_refs.to_vec();
-        accessed.extend(key_refs);
-        accessed.sort_unstable();
-        accessed.dedup();
-        accessed
-    }
-
-    /// Split the columns one pipeline side reads into `(numeric, keys)` load
-    /// lists. Plain-column join keys and `group_by` columns go through the
-    /// exact `i64` key path (full `i64` range); computed key expressions and
-    /// aggregate inputs must load as numeric — [`ScalarExpr::evaluate`] has
-    /// no key-column fallback — and evaluate in `f64` (exact below 2^53).
-    /// Filter-only columns that are already key-loaded are dropped from the
-    /// numeric list ([`crate::expr::Predicate`] falls back to key columns);
-    /// a column needed by both paths is loaded in both representations and
-    /// byte-accounted once via [`Self::accessed_refs`].
-    fn split_read_columns(
-        filters: &[crate::expr::Predicate],
-        aggregates: &[AggExpr],
-        key_exprs: &[&ScalarExpr],
-        group_by: &[String],
-    ) -> (Vec<String>, Vec<String>) {
-        let mut keys: Vec<String> = group_by.to_vec();
-        let mut computed: Vec<String> = aggregates.iter().flat_map(AggExpr::columns).collect();
-        for expr in key_exprs {
-            match expr {
-                ScalarExpr::Col(name) => keys.push(name.clone()),
-                other => computed.extend(other.columns()),
-            }
-        }
-        keys.sort();
-        keys.dedup();
-        let mut numeric: Vec<String> = filters.iter().map(|p| p.column.clone()).collect();
-        numeric.retain(|c| !keys.contains(c));
-        numeric.extend(computed);
-        numeric.sort();
-        numeric.dedup();
-        (numeric, keys)
-    }
-
-    /// Build the hash set of join keys of one [`BuildSide`]: rows passing the
-    /// side's filters — and, when `membership` is given, whose foreign-key
-    /// expression hits the earlier build set (the chain step of a three-table
-    /// join; those membership checks are counted as probes). Per-morsel
-    /// partial sets are unioned, which is order-insensitive, so the build
-    /// needs no ordering discipline.
+    /// Build the open-addressing key set of one [`BuildSide`]: rows passing
+    /// the side's filters — and, when `membership` is given, whose
+    /// foreign-key expression hits the earlier build set (the chain step of
+    /// a three-table join; those membership checks are counted as probes).
+    /// Each worker owns one [`KeySet`] reused across all the morsels it
+    /// claims; the per-worker sets are unioned (order-insensitive).
     fn build_key_set(
         &self,
         source: &ScanSource,
         side: &BuildSide,
-        membership: Option<(&ScalarExpr, &HashSet<i64>)>,
+        membership: Option<(&ScalarExpr, &KeySet)>,
         team: &WorkerTeam,
         work: &mut WorkProfile,
-    ) -> Result<HashSet<i64>, OlapError> {
+    ) -> Result<KeySet, OlapError> {
         let fk_expr = membership.map(|(fk, _)| fk);
         let key_exprs: Vec<&ScalarExpr> = std::iter::once(&side.key).chain(fk_expr).collect();
-        let (numeric, key_cols) = Self::split_read_columns(&side.filters, &[], &key_exprs, &[]);
-        let numeric_refs: Vec<&str> = numeric.iter().map(String::as_str).collect();
-        let key_refs: Vec<&str> = key_cols.iter().map(String::as_str).collect();
-        let accessed = Self::accessed_refs(&numeric_refs, &key_refs);
+        let (numeric, keys) = split_read_columns(&side.filters, &[], &key_exprs, &[]);
+        let mut pipe = Pipeline::bind(source, numeric, keys, &side.filters, &[])?;
+        let key = pipe.compile_key(&side.key)?;
+        let fk = fk_expr.map(|e| pipe.compile_key(e)).transpose()?;
+        let far = membership.map(|(_, set)| set);
         let morsels = source.morsels(self.block_rows);
-        let partials = Self::run_pipeline(team, &morsels, |morsel| {
-            let block = source.read_morsel(morsel, &numeric_refs, &key_refs)?;
-            let selection = evaluate_conjunction(&side.filters, &block);
-            let keys = Self::expr_keys(&side.key, &block);
-            let fks = fk_expr.map(|fk| Self::expr_keys(fk, &block));
-            let mut passing = HashSet::new();
-            let mut probes = 0u64;
-            for (row, &sel) in selection.iter().enumerate() {
-                if !sel {
-                    continue;
+        let make = || {
+            (
+                pipe.scratch(),
+                BuildOut {
+                    set: KeySet::new(),
+                    probes: 0,
+                    profile: WorkProfile::default(),
+                },
+            )
+        };
+        let outs = run_morsel_pipeline(team, &morsels, make, |_idx, morsel, scratch, out| {
+            {
+                let rows = morsel.row_count();
+                load_morsel(source, &pipe.layout, morsel, &mut scratch.data);
+                scratch.ensure_regs(rows);
+                let sel = apply_filters(&pipe.filters, &scratch.data, rows, &mut scratch.sel);
+                if let CompiledKey::Expr(e) = &key {
+                    eval_expr(
+                        e,
+                        &scratch.data,
+                        &mut scratch.regs,
+                        &pipe.pool.consts,
+                        rows,
+                        sel,
+                    );
                 }
-                if let (Some(fks), Some((_, set))) = (&fks, membership) {
-                    probes += 1;
-                    if !set.contains(&fks[row]) {
-                        continue;
+                if let Some(CompiledKey::Expr(e)) = &fk {
+                    eval_expr(
+                        e,
+                        &scratch.data,
+                        &mut scratch.regs,
+                        &pipe.pool.consts,
+                        rows,
+                        sel,
+                    );
+                }
+                let kv = key_vals(&key, &scratch.data, &scratch.regs, &pipe.pool.consts);
+                let fkv = fk
+                    .as_ref()
+                    .map(|f| key_vals(f, &scratch.data, &scratch.regs, &pipe.pool.consts));
+                let mut insert = |i: usize| {
+                    if let (Some(fkv), Some(far)) = (&fkv, far) {
+                        out.probes += 1;
+                        if !far.contains(fkv.get(i)) {
+                            return;
+                        }
                     }
+                    out.set.insert(kv.get(i));
+                };
+                match sel {
+                    None => (0..rows).for_each(&mut insert),
+                    Some(ids) => ids.iter().for_each(|&i| insert(i as usize)),
                 }
-                passing.insert(keys[row]);
+                out.profile
+                    .absorb_morsel_rows(morsel, pipe.row_bytes(morsel));
             }
-            let mut profile = WorkProfile::default();
-            profile.absorb_morsel(source, morsel, &accessed);
-            Ok(BuildPartial {
-                keys: passing,
-                probes,
-                profile,
-            })
+            Ok(())
         })?;
-        let mut set = HashSet::new();
-        for partial in partials {
-            work.merge(&partial.profile);
-            work.probes += partial.probes;
-            set.extend(partial.keys);
+        let mut set = KeySet::new();
+        for out in outs {
+            work.merge(&out.profile);
+            work.probes += out.probes;
+            set.union(&out.set);
         }
         Ok(set)
-    }
-
-    /// Drive one pipeline over `morsels` with the team's workers.
-    ///
-    /// Workers claim morsels from a shared cursor (dynamic load balancing —
-    /// remote morsels take longer than local ones, so static partitioning
-    /// would leave cores idle). `task` produces one partial per morsel; the
-    /// partials are returned in morsel-index order so callers can merge them
-    /// deterministically.
-    fn run_pipeline<P, F>(
-        team: &WorkerTeam,
-        morsels: &[Morsel],
-        task: F,
-    ) -> Result<Vec<P>, OlapError>
-    where
-        P: Send,
-        F: Fn(&Morsel) -> Result<P, OlapError> + Sync,
-    {
-        let cursor = AtomicUsize::new(0);
-        let worker_results = team.capped(morsels.len()).run(|_worker| {
-            let mut claimed: Vec<(usize, P)> = Vec::new();
-            loop {
-                let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                if idx >= morsels.len() {
-                    break;
-                }
-                claimed.push((idx, task(&morsels[idx])?));
-            }
-            Ok(claimed)
-        });
-        let mut partials: Vec<(usize, P)> = Vec::with_capacity(morsels.len());
-        for result in worker_results {
-            partials.extend(result?);
-        }
-        partials.sort_by_key(|(idx, _)| *idx);
-        Ok(partials.into_iter().map(|(_, p)| p).collect())
-    }
-
-    /// Evaluate the aggregate inputs of one block (None for `COUNT(*)`).
-    fn aggregate_inputs(
-        aggregates: &[AggExpr],
-        block: &crate::block::Block,
-    ) -> Vec<Option<Vec<f64>>> {
-        aggregates
-            .iter()
-            .map(|agg| match agg {
-                AggExpr::Count => None,
-                AggExpr::Sum(e) | AggExpr::Avg(e) | AggExpr::Min(e) | AggExpr::Max(e) => {
-                    Some(e.evaluate(block))
-                }
-            })
-            .collect()
     }
 
     fn execute_aggregate(
@@ -544,44 +876,47 @@ impl QueryExecutor {
         sources: &BTreeMap<String, ScanSource>,
         team: &WorkerTeam,
     ) -> Result<QueryOutput, OlapError> {
-        let source = Self::source(sources, table)?;
-        let numeric = Self::numeric_columns(filters, aggregates);
-        let numeric_refs: Vec<&str> = numeric.iter().map(String::as_str).collect();
+        let source = source_for(sources, table)?;
+        let numeric = numeric_columns(filters, aggregates);
+        let pipe = Pipeline::bind(source, numeric, Vec::new(), filters, aggregates)?;
         let morsels = source.morsels(self.block_rows);
-
-        let partials = Self::run_pipeline(team, &morsels, |morsel| {
-            let block = source.read_morsel(morsel, &numeric_refs, &[])?;
-            let selection = evaluate_conjunction(filters, &block);
-            let mut states = vec![AggState::default(); aggregates.len()];
-            let inputs = Self::aggregate_inputs(aggregates, &block);
-            let mut selected = 0u64;
-            for row in 0..block.rows() {
-                if !selection[row] {
-                    continue;
-                }
-                selected += 1;
-                for (state, input) in states.iter_mut().zip(&inputs) {
-                    match input {
-                        None => state.update_count(),
-                        Some(values) => state.update(values[row]),
+        let n_aggs = aggregates.len();
+        let make = || (pipe.scratch(), ScalarOut::new(n_aggs, morsels.len()));
+        let outs = run_morsel_pipeline(team, &morsels, make, |idx, morsel, scratch, out| {
+            {
+                let rows = morsel.row_count();
+                load_morsel(source, &pipe.layout, morsel, &mut scratch.data);
+                scratch.ensure_regs(rows);
+                let sel = apply_filters(&pipe.filters, &scratch.data, rows, &mut scratch.sel);
+                let selected = sel.map_or(rows, <[u32]>::len) as u64;
+                let states = out.push_morsel(idx);
+                for (agg, state) in pipe.aggs.iter().zip(states) {
+                    match agg {
+                        CompiledAgg::Count => state.update_count_n(selected),
+                        CompiledAgg::Fold(kind, e) => {
+                            eval_expr(
+                                e,
+                                &scratch.data,
+                                &mut scratch.regs,
+                                &pipe.pool.consts,
+                                rows,
+                                sel,
+                            );
+                            let v =
+                                resolve(e.output, &scratch.data, &scratch.regs, &pipe.pool.consts);
+                            fold_agg(*kind, state, v, rows, sel);
+                        }
                     }
                 }
+                out.profile
+                    .absorb_morsel_rows(morsel, pipe.row_bytes(morsel));
+                out.profile.tuples_selected += selected;
             }
-            let mut profile = WorkProfile::default();
-            profile.absorb_morsel(source, morsel, &numeric_refs);
-            profile.tuples_selected = selected;
-            Ok(AggPartial { states, profile })
+            Ok(())
         })?;
 
         let mut work = WorkProfile::default();
-        let mut states = vec![AggState::default(); aggregates.len()];
-        for partial in &partials {
-            work.merge(&partial.profile);
-            for (state, partial_state) in states.iter_mut().zip(&partial.states) {
-                state.merge(partial_state);
-            }
-        }
-
+        let states = merge_scalar_outs(outs, n_aggs, morsels.len(), &mut work);
         Ok(QueryOutput {
             result: QueryResult::Scalars(
                 aggregates
@@ -603,99 +938,54 @@ impl QueryExecutor {
         sources: &BTreeMap<String, ScanSource>,
         team: &WorkerTeam,
     ) -> Result<QueryOutput, OlapError> {
-        let source = Self::source(sources, table)?;
-        let numeric = Self::numeric_columns(filters, aggregates);
-        let numeric_refs: Vec<&str> = numeric.iter().map(String::as_str).collect();
-        let key_refs: Vec<&str> = group_by.iter().map(String::as_str).collect();
-        let accessed = Self::accessed_refs(&numeric_refs, &key_refs);
+        let source = source_for(sources, table)?;
+        let numeric = numeric_columns(filters, aggregates);
+        let pipe = Pipeline::bind(source, numeric, group_by.to_vec(), filters, aggregates)?;
+        let group_slots: Vec<usize> = (0..group_by.len()).collect();
         let morsels = source.morsels(self.block_rows);
-
-        let partials = Self::run_pipeline(team, &morsels, |morsel| {
-            let block = source.read_morsel(morsel, &numeric_refs, &key_refs)?;
-            let selection = evaluate_conjunction(filters, &block);
-            let key_columns: Vec<&[i64]> = key_refs
-                .iter()
-                .map(|k| block.key(k).expect("group key column loaded"))
-                .collect();
-            let inputs = Self::aggregate_inputs(aggregates, &block);
-            let mut groups: BTreeMap<Vec<i64>, Vec<AggState>> = BTreeMap::new();
-            let mut selected = 0u64;
-            for row in 0..block.rows() {
-                if !selection[row] {
-                    continue;
-                }
-                selected += 1;
-                let key: Vec<i64> = key_columns.iter().map(|col| col[row]).collect();
-                let states = groups
-                    .entry(key)
-                    .or_insert_with(|| vec![AggState::default(); aggregates.len()]);
-                for (i, input) in inputs.iter().enumerate() {
-                    match input {
-                        None => states[i].update_count(),
-                        Some(values) => states[i].update(values[row]),
-                    }
-                }
+        let n_aggs = aggregates.len();
+        let n_keys = group_by.len();
+        let make = || {
+            let mut scratch = pipe.scratch();
+            scratch.groups.configure(n_keys, n_aggs);
+            (scratch, GroupOut::new(morsels.len()))
+        };
+        let outs = run_morsel_pipeline(team, &morsels, make, |idx, morsel, scratch, out| {
+            {
+                let rows = morsel.row_count();
+                load_morsel(source, &pipe.layout, morsel, &mut scratch.data);
+                scratch.ensure_regs(rows);
+                let sel = apply_filters(&pipe.filters, &scratch.data, rows, &mut scratch.sel);
+                let selected = sel.map_or(rows, <[u32]>::len) as u64;
+                group_and_fold(
+                    &pipe.aggs,
+                    &pipe.pool.consts,
+                    &group_slots,
+                    &scratch.data,
+                    &mut scratch.regs,
+                    &mut scratch.groups,
+                    &mut scratch.group_rows,
+                    &mut scratch.key_tmp,
+                    rows,
+                    sel,
+                );
+                out.order.push(idx as u32);
+                out.counts.push(scratch.groups.group_count() as u32);
+                out.keys.extend_from_slice(scratch.groups.keys_flat());
+                out.states.extend_from_slice(scratch.groups.states_flat());
+                out.profile
+                    .absorb_morsel_rows(morsel, pipe.row_bytes(morsel));
+                out.profile.tuples_selected += selected;
             }
-            let mut profile = WorkProfile::default();
-            profile.absorb_morsel(source, morsel, &accessed);
-            profile.tuples_selected = selected;
-            Ok(GroupPartial { groups, profile })
+            Ok(())
         })?;
 
         let mut work = WorkProfile::default();
-        let mut groups: BTreeMap<Vec<i64>, Vec<AggState>> = BTreeMap::new();
-        for partial in partials {
-            work.merge(&partial.profile);
-            Self::merge_group_table(&mut groups, partial.groups);
-        }
-
+        let groups = merge_group_outs(outs, n_keys, n_aggs, morsels.len(), &mut work);
         Ok(QueryOutput {
-            result: QueryResult::Groups(Self::finalize_groups(groups, aggregates)),
+            result: QueryResult::Groups(finalize_groups(groups, aggregates)),
             work,
         })
-    }
-
-    /// Fold one morsel's group table into the accumulated one. Callers
-    /// iterate partials in morsel order: the BTreeMap keeps group keys
-    /// sorted, and folding morsel `i` before morsel `i + 1` keeps every
-    /// group's aggregation order equal to the scan order — hence identical
-    /// floating-point results for every worker count. Shared by the plain
-    /// group-by and the join-group-by pipelines so the merge discipline
-    /// cannot drift between them.
-    fn merge_group_table(
-        into: &mut BTreeMap<Vec<i64>, Vec<AggState>>,
-        from: BTreeMap<Vec<i64>, Vec<AggState>>,
-    ) {
-        for (key, states) in from {
-            match into.entry(key) {
-                std::collections::btree_map::Entry::Vacant(slot) => {
-                    slot.insert(states);
-                }
-                std::collections::btree_map::Entry::Occupied(mut slot) => {
-                    for (merged, state) in slot.get_mut().iter_mut().zip(&states) {
-                        merged.merge(state);
-                    }
-                }
-            }
-        }
-    }
-
-    /// Finalise a merged group table into result rows, keys ascending.
-    fn finalize_groups(
-        groups: BTreeMap<Vec<i64>, Vec<AggState>>,
-        aggregates: &[AggExpr],
-    ) -> Vec<GroupRow> {
-        groups
-            .into_iter()
-            .map(|(key, states)| {
-                let aggs = aggregates
-                    .iter()
-                    .zip(&states)
-                    .map(|(agg, st)| st.finalize(agg))
-                    .collect();
-                (key, aggs)
-            })
-            .collect()
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -711,67 +1001,77 @@ impl QueryExecutor {
         sources: &BTreeMap<String, ScanSource>,
         team: &WorkerTeam,
     ) -> Result<QueryOutput, OlapError> {
-        let fact_source = Self::source(sources, fact)?;
-        let dim_source = Self::source(sources, dim)?;
+        let fact_source = source_for(sources, fact)?;
+        let dim_source = source_for(sources, dim)?;
 
         // Build phase: the column-keyed join is the degenerate BuildSide, so
         // it shares the build pipeline of the three-table and join-group-by
-        // shapes (i64 keys round-trip exactly through the f64 key path).
+        // shapes.
         let dim_side = BuildSide::new(dim, ScalarExpr::col(dim_key), dim_filters.to_vec());
         let mut work = WorkProfile::default();
         let build = self.build_key_set(dim_source, &dim_side, None, team, &mut work)?;
 
         // Probe phase: the build set is shared read-only with every worker.
-        let fact_numeric = Self::numeric_columns(fact_filters, aggregates);
-        let fact_numeric_refs: Vec<&str> = fact_numeric.iter().map(String::as_str).collect();
-        let fact_cols = Self::accessed_refs(&fact_numeric_refs, &[fact_key]);
-        let fact_morsels = fact_source.morsels(self.block_rows);
+        let fact_numeric = numeric_columns(fact_filters, aggregates);
+        let mut pipe = Pipeline::bind(
+            fact_source,
+            fact_numeric,
+            vec![fact_key.to_string()],
+            fact_filters,
+            aggregates,
+        )?;
+        let key = pipe.compile_key(&ScalarExpr::col(fact_key))?;
+        let morsels = fact_source.morsels(self.block_rows);
+        let n_aggs = aggregates.len();
         let build_ref = &build;
-        let probe_partials = Self::run_pipeline(team, &fact_morsels, |morsel| {
-            let block = fact_source.read_morsel(morsel, &fact_numeric_refs, &[fact_key])?;
-            let selection = evaluate_conjunction(fact_filters, &block);
-            let keys = block.key(fact_key).expect("fact key loaded");
-            let inputs = Self::aggregate_inputs(aggregates, &block);
-            let mut states = vec![AggState::default(); aggregates.len()];
-            let mut probes = 0u64;
-            let mut selected = 0u64;
-            for row in 0..block.rows() {
-                if !selection[row] {
-                    continue;
-                }
-                probes += 1;
-                if !build_ref.contains(&keys[row]) {
-                    continue;
-                }
-                selected += 1;
-                for (i, input) in inputs.iter().enumerate() {
-                    match input {
-                        None => states[i].update_count(),
-                        Some(values) => states[i].update(values[row]),
+        let make = || (pipe.scratch(), ScalarOut::new(n_aggs, morsels.len()));
+        let outs = run_morsel_pipeline(team, &morsels, make, |idx, morsel, scratch, out| {
+            {
+                let rows = morsel.row_count();
+                load_morsel(fact_source, &pipe.layout, morsel, &mut scratch.data);
+                scratch.ensure_regs(rows);
+                let sel = apply_filters(&pipe.filters, &scratch.data, rows, &mut scratch.sel);
+                let (probes, joined) = probe_into(
+                    &key,
+                    build_ref,
+                    &pipe,
+                    &scratch.data,
+                    &mut scratch.regs,
+                    rows,
+                    sel,
+                    &mut scratch.sel2,
+                );
+                let states = out.push_morsel(idx);
+                for (agg, state) in pipe.aggs.iter().zip(states) {
+                    match agg {
+                        CompiledAgg::Count => state.update_count_n(joined.len() as u64),
+                        CompiledAgg::Fold(kind, e) => {
+                            eval_expr(
+                                e,
+                                &scratch.data,
+                                &mut scratch.regs,
+                                &pipe.pool.consts,
+                                rows,
+                                Some(joined),
+                            );
+                            let v =
+                                resolve(e.output, &scratch.data, &scratch.regs, &pipe.pool.consts);
+                            fold_agg(*kind, state, v, rows, Some(joined));
+                        }
                     }
                 }
+                out.probes += probes;
+                out.profile
+                    .absorb_morsel_rows(morsel, pipe.row_bytes(morsel));
+                out.profile.tuples_selected += joined.len() as u64;
             }
-            let mut profile = WorkProfile::default();
-            profile.absorb_morsel(fact_source, morsel, &fact_cols);
-            profile.tuples_selected = selected;
-            Ok(ProbePartial {
-                states,
-                probes,
-                profile,
-            })
+            Ok(())
         })?;
 
-        let mut states = vec![AggState::default(); aggregates.len()];
-        for partial in &probe_partials {
-            work.merge(&partial.profile);
-            work.probes += partial.probes;
-            for (state, partial_state) in states.iter_mut().zip(&partial.states) {
-                state.merge(partial_state);
-            }
-        }
+        let states = merge_scalar_outs(outs, n_aggs, morsels.len(), &mut work);
 
         // The build side is broadcast: account its bytes and hash-table size.
-        work.build_bytes = Self::side_build_bytes(dim_source, &dim_side.read_columns(None));
+        work.build_bytes = side_build_bytes(dim_source, &dim_side.read_columns(None));
         // 16 bytes per hash-table entry (key + bucket overhead).
         work.hash_table_bytes = build.len() as u64 * 16;
 
@@ -804,73 +1104,81 @@ impl QueryExecutor {
         sources: &BTreeMap<String, ScanSource>,
         team: &WorkerTeam,
     ) -> Result<QueryOutput, OlapError> {
-        let fact_source = Self::source(sources, fact)?;
-        let mid_source = Self::source(sources, &mid.table)?;
-        let far_source = Self::source(sources, &far.table)?;
+        let fact_source = source_for(sources, fact)?;
+        let mid_source = source_for(sources, &mid.table)?;
+        let far_source = source_for(sources, &far.table)?;
         let mut work = WorkProfile::default();
 
         // Far build side (second hash table of the chain).
         let far_set = self.build_key_set(far_source, far, None, team, &mut work)?;
-        work.far_build_bytes = Self::side_build_bytes(far_source, &far.read_columns(None));
+        work.far_build_bytes = side_build_bytes(far_source, &far.read_columns(None));
         work.far_hash_table_bytes = far_set.len() as u64 * 16;
 
         // Mid build side, chained through the far set.
         let mid_set =
             self.build_key_set(mid_source, mid, Some((mid_fk, &far_set)), team, &mut work)?;
-        work.build_bytes = Self::side_build_bytes(mid_source, &mid.read_columns(Some(mid_fk)));
+        work.build_bytes = side_build_bytes(mid_source, &mid.read_columns(Some(mid_fk)));
         work.hash_table_bytes = mid_set.len() as u64 * 16;
 
         // Fact probe phase.
         let (fact_numeric, fact_keys) =
-            Self::split_read_columns(fact_filters, aggregates, &[fact_key], &[]);
-        let fact_refs: Vec<&str> = fact_numeric.iter().map(String::as_str).collect();
-        let fact_key_refs: Vec<&str> = fact_keys.iter().map(String::as_str).collect();
-        let accessed = Self::accessed_refs(&fact_refs, &fact_key_refs);
-        let fact_morsels = fact_source.morsels(self.block_rows);
+            split_read_columns(fact_filters, aggregates, &[fact_key], &[]);
+        let mut pipe = Pipeline::bind(
+            fact_source,
+            fact_numeric,
+            fact_keys,
+            fact_filters,
+            aggregates,
+        )?;
+        let key = pipe.compile_key(fact_key)?;
+        let morsels = fact_source.morsels(self.block_rows);
+        let n_aggs = aggregates.len();
         let mid_ref = &mid_set;
-        let probe_partials = Self::run_pipeline(team, &fact_morsels, |morsel| {
-            let block = fact_source.read_morsel(morsel, &fact_refs, &fact_key_refs)?;
-            let selection = evaluate_conjunction(fact_filters, &block);
-            let keys = Self::expr_keys(fact_key, &block);
-            let inputs = Self::aggregate_inputs(aggregates, &block);
-            let mut states = vec![AggState::default(); aggregates.len()];
-            let mut probes = 0u64;
-            let mut selected = 0u64;
-            for row in 0..block.rows() {
-                if !selection[row] {
-                    continue;
-                }
-                probes += 1;
-                if !mid_ref.contains(&keys[row]) {
-                    continue;
-                }
-                selected += 1;
-                for (i, input) in inputs.iter().enumerate() {
-                    match input {
-                        None => states[i].update_count(),
-                        Some(values) => states[i].update(values[row]),
+        let make = || (pipe.scratch(), ScalarOut::new(n_aggs, morsels.len()));
+        let outs = run_morsel_pipeline(team, &morsels, make, |idx, morsel, scratch, out| {
+            {
+                let rows = morsel.row_count();
+                load_morsel(fact_source, &pipe.layout, morsel, &mut scratch.data);
+                scratch.ensure_regs(rows);
+                let sel = apply_filters(&pipe.filters, &scratch.data, rows, &mut scratch.sel);
+                let (probes, joined) = probe_into(
+                    &key,
+                    mid_ref,
+                    &pipe,
+                    &scratch.data,
+                    &mut scratch.regs,
+                    rows,
+                    sel,
+                    &mut scratch.sel2,
+                );
+                let states = out.push_morsel(idx);
+                for (agg, state) in pipe.aggs.iter().zip(states) {
+                    match agg {
+                        CompiledAgg::Count => state.update_count_n(joined.len() as u64),
+                        CompiledAgg::Fold(kind, e) => {
+                            eval_expr(
+                                e,
+                                &scratch.data,
+                                &mut scratch.regs,
+                                &pipe.pool.consts,
+                                rows,
+                                Some(joined),
+                            );
+                            let v =
+                                resolve(e.output, &scratch.data, &scratch.regs, &pipe.pool.consts);
+                            fold_agg(*kind, state, v, rows, Some(joined));
+                        }
                     }
                 }
+                out.probes += probes;
+                out.profile
+                    .absorb_morsel_rows(morsel, pipe.row_bytes(morsel));
+                out.profile.tuples_selected += joined.len() as u64;
             }
-            let mut profile = WorkProfile::default();
-            profile.absorb_morsel(fact_source, morsel, &accessed);
-            profile.tuples_selected = selected;
-            Ok(ProbePartial {
-                states,
-                probes,
-                profile,
-            })
+            Ok(())
         })?;
 
-        let mut states = vec![AggState::default(); aggregates.len()];
-        for partial in &probe_partials {
-            work.merge(&partial.profile);
-            work.probes += partial.probes;
-            for (state, partial_state) in states.iter_mut().zip(&partial.states) {
-                state.merge(partial_state);
-            }
-        }
-
+        let states = merge_scalar_outs(outs, n_aggs, morsels.len(), &mut work);
         Ok(QueryOutput {
             result: QueryResult::Scalars(
                 aggregates
@@ -909,76 +1217,80 @@ impl QueryExecutor {
                 });
             }
         }
-        let fact_source = Self::source(sources, fact)?;
-        let dim_source = Self::source(sources, &dim.table)?;
+        let fact_source = source_for(sources, fact)?;
+        let dim_source = source_for(sources, &dim.table)?;
         let mut work = WorkProfile::default();
 
         // Build side.
         let build = self.build_key_set(dim_source, dim, None, team, &mut work)?;
-        work.build_bytes = Self::side_build_bytes(dim_source, &dim.read_columns(None));
+        work.build_bytes = side_build_bytes(dim_source, &dim.read_columns(None));
         work.hash_table_bytes = build.len() as u64 * 16;
 
         // Fact probe + group-by phase. The key list carries the group-by
         // columns plus a plain-column join key (exact i64 path).
         let (fact_numeric, fact_keys) =
-            Self::split_read_columns(fact_filters, aggregates, &[fact_key], group_by);
-        let fact_refs: Vec<&str> = fact_numeric.iter().map(String::as_str).collect();
-        let fact_key_refs: Vec<&str> = fact_keys.iter().map(String::as_str).collect();
-        let accessed = Self::accessed_refs(&fact_refs, &fact_key_refs);
-        let fact_morsels = fact_source.morsels(self.block_rows);
+            split_read_columns(fact_filters, aggregates, &[fact_key], group_by);
+        let mut pipe = Pipeline::bind(
+            fact_source,
+            fact_numeric,
+            fact_keys,
+            fact_filters,
+            aggregates,
+        )?;
+        let key = pipe.compile_key(fact_key)?;
+        let group_slots: Vec<usize> = group_by.iter().map(|g| pipe.key_slot(g)).collect();
+        let morsels = fact_source.morsels(self.block_rows);
+        let n_aggs = aggregates.len();
+        let n_keys = group_by.len();
         let build_ref = &build;
-        let partials = Self::run_pipeline(team, &fact_morsels, |morsel| {
-            let block = fact_source.read_morsel(morsel, &fact_refs, &fact_key_refs)?;
-            let selection = evaluate_conjunction(fact_filters, &block);
-            let join_keys = Self::expr_keys(fact_key, &block);
-            let key_columns: Vec<&[i64]> = group_by
-                .iter()
-                .map(|k| block.key(k).expect("group key column loaded"))
-                .collect();
-            let inputs = Self::aggregate_inputs(aggregates, &block);
-            let mut groups: BTreeMap<Vec<i64>, Vec<AggState>> = BTreeMap::new();
-            let mut probes = 0u64;
-            let mut selected = 0u64;
-            for row in 0..block.rows() {
-                if !selection[row] {
-                    continue;
-                }
-                probes += 1;
-                if !build_ref.contains(&join_keys[row]) {
-                    continue;
-                }
-                selected += 1;
-                let key: Vec<i64> = key_columns.iter().map(|col| col[row]).collect();
-                let states = groups
-                    .entry(key)
-                    .or_insert_with(|| vec![AggState::default(); aggregates.len()]);
-                for (i, input) in inputs.iter().enumerate() {
-                    match input {
-                        None => states[i].update_count(),
-                        Some(values) => states[i].update(values[row]),
-                    }
-                }
+        let make = || {
+            let mut scratch = pipe.scratch();
+            scratch.groups.configure(n_keys, n_aggs);
+            (scratch, GroupOut::new(morsels.len()))
+        };
+        let outs = run_morsel_pipeline(team, &morsels, make, |idx, morsel, scratch, out| {
+            {
+                let rows = morsel.row_count();
+                load_morsel(fact_source, &pipe.layout, morsel, &mut scratch.data);
+                scratch.ensure_regs(rows);
+                let sel = apply_filters(&pipe.filters, &scratch.data, rows, &mut scratch.sel);
+                let (probes, joined) = probe_into(
+                    &key,
+                    build_ref,
+                    &pipe,
+                    &scratch.data,
+                    &mut scratch.regs,
+                    rows,
+                    sel,
+                    &mut scratch.sel2,
+                );
+                let selected = joined.len() as u64;
+                group_and_fold(
+                    &pipe.aggs,
+                    &pipe.pool.consts,
+                    &group_slots,
+                    &scratch.data,
+                    &mut scratch.regs,
+                    &mut scratch.groups,
+                    &mut scratch.group_rows,
+                    &mut scratch.key_tmp,
+                    rows,
+                    Some(joined),
+                );
+                out.order.push(idx as u32);
+                out.counts.push(scratch.groups.group_count() as u32);
+                out.keys.extend_from_slice(scratch.groups.keys_flat());
+                out.states.extend_from_slice(scratch.groups.states_flat());
+                out.probes += probes;
+                out.profile
+                    .absorb_morsel_rows(morsel, pipe.row_bytes(morsel));
+                out.profile.tuples_selected += selected;
             }
-            let mut profile = WorkProfile::default();
-            profile.absorb_morsel(fact_source, morsel, &accessed);
-            profile.tuples_selected = selected;
-            Ok(GroupProbePartial {
-                groups,
-                probes,
-                profile,
-            })
+            Ok(())
         })?;
 
-        // Merge per-morsel group tables in morsel order (see merge_group_table
-        // for why this keeps results identical across worker counts).
-        let mut groups: BTreeMap<Vec<i64>, Vec<AggState>> = BTreeMap::new();
-        for partial in partials {
-            work.merge(&partial.profile);
-            work.probes += partial.probes;
-            Self::merge_group_table(&mut groups, partial.groups);
-        }
-
-        let mut rows = Self::finalize_groups(groups, aggregates);
+        let groups = merge_group_outs(outs, n_keys, n_aggs, morsels.len(), &mut work);
+        let mut rows = finalize_groups(groups, aggregates);
         if let Some(tk) = top_k {
             rows.sort_by(|a, b| {
                 b.1[tk.agg_index]
@@ -994,6 +1306,216 @@ impl QueryExecutor {
     }
 }
 
+/// Probe the build set with the morsel's join keys over the current
+/// selection, compacting the survivors into `sel2`. Returns the probe count
+/// (one per input row, the same accounting the interpreted engine used) and
+/// the surviving selection.
+#[allow(clippy::too_many_arguments)]
+fn probe_into<'s>(
+    key: &CompiledKey,
+    build: &KeySet,
+    pipe: &Pipeline,
+    data: &MorselData<'_>,
+    regs: &mut [Vec<f64>],
+    rows: usize,
+    sel: Option<&[u32]>,
+    sel2: &'s mut Vec<u32>,
+) -> (u64, &'s [u32]) {
+    if let CompiledKey::Expr(e) = key {
+        eval_expr(e, data, regs, &pipe.pool.consts, rows, sel);
+    }
+    let kv = key_vals(key, data, regs, &pipe.pool.consts);
+    sel2.clear();
+    let probes;
+    match sel {
+        None => {
+            probes = rows as u64;
+            for i in 0..rows {
+                if build.contains(kv.get(i)) {
+                    sel2.push(i as u32);
+                }
+            }
+        }
+        Some(ids) => {
+            probes = ids.len() as u64;
+            for &i in ids {
+                if build.contains(kv.get(i as usize)) {
+                    sel2.push(i);
+                }
+            }
+        }
+    }
+    (probes, sel2.as_slice())
+}
+
+/// Assign every surviving row to its group and fold all aggregate inputs in
+/// a single row-wise pass: one upsert plus one state-slice fetch per row.
+/// The per-state fold order is row order — exactly the order the two-phase
+/// and interpreted variants produce — so results are bit-identical; only the
+/// traversal count changes. Pipelines with more aggregates than the fused
+/// view array holds fall back to a column-at-a-time second phase.
+#[allow(clippy::too_many_arguments)]
+fn group_and_fold(
+    aggs: &[CompiledAgg],
+    consts: &[f64],
+    group_slots: &[usize],
+    data: &MorselData<'_>,
+    regs: &mut [Vec<f64>],
+    groups: &mut crate::hashtable::GroupTable,
+    group_rows: &mut Vec<u32>,
+    key_tmp: &mut Vec<i64>,
+    rows: usize,
+    sel: Option<&[u32]>,
+) {
+    groups.begin_morsel();
+    // Evaluate every fold input up front (each compiled expression writes
+    // its own registers, so there is no aliasing between aggregates).
+    for agg in aggs {
+        if let CompiledAgg::Fold(_, e) = agg {
+            eval_expr(e, data, regs, consts, rows, sel);
+        }
+    }
+    const MAX_FUSED_AGGS: usize = 8;
+    if aggs.len() <= MAX_FUSED_AGGS {
+        let mut views = [ValView::Const(0.0); MAX_FUSED_AGGS];
+        for (view, agg) in views.iter_mut().zip(aggs) {
+            if let CompiledAgg::Fold(_, e) = agg {
+                *view = resolve(e.output, data, regs, consts);
+            }
+        }
+        match group_slots {
+            [] => {
+                // GROUP BY over no columns: one global group.
+                for_each_selected(rows, sel, |i| {
+                    let g = groups.upsert0();
+                    fold_fused_row(groups, aggs, &views, g, i);
+                });
+            }
+            [s0] => {
+                let k0 = data.key(*s0);
+                for_each_selected(rows, sel, |i| {
+                    let g = groups.upsert1(k0[i]);
+                    fold_fused_row(groups, aggs, &views, g, i);
+                });
+            }
+            [s0, s1] => {
+                let k0 = data.key(*s0);
+                let k1 = data.key(*s1);
+                for_each_selected(rows, sel, |i| {
+                    let g = groups.upsert2(k0[i], k1[i]);
+                    fold_fused_row(groups, aggs, &views, g, i);
+                });
+            }
+            slots => {
+                key_tmp.resize(slots.len(), 0);
+                for_each_selected(rows, sel, |i| {
+                    for (part, &slot) in key_tmp.iter_mut().zip(slots) {
+                        *part = data.key(slot)[i];
+                    }
+                    let g = groups.upsert(key_tmp);
+                    fold_fused_row(groups, aggs, &views, g, i);
+                });
+            }
+        }
+        return;
+    }
+
+    // Fallback for very wide aggregate lists: phase A assigns groups into
+    // the reused `group_rows` buffer, phase B folds column at a time.
+    group_rows.clear();
+    match group_slots {
+        [] => {
+            for_each_selected(rows, sel, |_| {
+                let g = groups.upsert0();
+                group_rows.push(g as u32);
+            });
+        }
+        [s0] => {
+            let k0 = data.key(*s0);
+            for_each_selected(rows, sel, |i| {
+                let g = groups.upsert1(k0[i]);
+                group_rows.push(g as u32);
+            });
+        }
+        [s0, s1] => {
+            let k0 = data.key(*s0);
+            let k1 = data.key(*s1);
+            for_each_selected(rows, sel, |i| {
+                let g = groups.upsert2(k0[i], k1[i]);
+                group_rows.push(g as u32);
+            });
+        }
+        slots => {
+            key_tmp.resize(slots.len(), 0);
+            for_each_selected(rows, sel, |i| {
+                for (part, &slot) in key_tmp.iter_mut().zip(slots) {
+                    *part = data.key(slot)[i];
+                }
+                let g = groups.upsert(key_tmp);
+                group_rows.push(g as u32);
+            });
+        }
+    }
+    for (j, agg) in aggs.iter().enumerate() {
+        match agg {
+            CompiledAgg::Count => {
+                for &g in group_rows.iter() {
+                    groups.agg_state(g as usize, j).update_count();
+                }
+            }
+            CompiledAgg::Fold(kind, e) => {
+                let v = resolve(e.output, data, regs, consts);
+                // Each (position, row) pair folds v[row] into its group's
+                // state `j`, with the fold specialised per aggregate kind.
+                macro_rules! fold_groups {
+                    ($fold:ident) => {
+                        match sel {
+                            None => {
+                                for (i, &g) in group_rows.iter().enumerate() {
+                                    groups.agg_state(g as usize, j).$fold(v.get(i));
+                                }
+                            }
+                            Some(ids) => {
+                                for (pos, &i) in ids.iter().enumerate() {
+                                    let g = group_rows[pos] as usize;
+                                    groups.agg_state(g, j).$fold(v.get(i as usize));
+                                }
+                            }
+                        }
+                    };
+                }
+                match kind {
+                    AggKind::Sum => fold_groups!(fold_sum),
+                    AggKind::Avg => fold_groups!(fold_avg),
+                    AggKind::Min => fold_groups!(fold_min),
+                    AggKind::Max => fold_groups!(fold_max),
+                }
+            }
+        }
+    }
+}
+
+/// Fold one row's value of every aggregate into group `g` — the inner body
+/// of the fused group-by pass.
+#[inline(always)]
+fn fold_fused_row(
+    groups: &mut crate::hashtable::GroupTable,
+    aggs: &[CompiledAgg],
+    views: &[ValView<'_>],
+    g: usize,
+    i: usize,
+) {
+    for ((state, agg), view) in groups.group_states_mut(g).iter_mut().zip(aggs).zip(views) {
+        match agg {
+            CompiledAgg::Count => state.update_count(),
+            CompiledAgg::Fold(AggKind::Sum, _) => state.fold_sum(view.get(i)),
+            CompiledAgg::Fold(AggKind::Avg, _) => state.fold_avg(view.get(i)),
+            CompiledAgg::Fold(AggKind::Min, _) => state.fold_min(view.get(i)),
+            CompiledAgg::Fold(AggKind::Max, _) => state.fold_max(view.get(i)),
+        }
+    }
+}
+
 /// A keyed hash-map based group-by helper exposed for reuse by custom plans
 /// and tests: folds `(key, value)` pairs and returns sorted groups.
 pub fn hash_group_sum(pairs: impl IntoIterator<Item = (i64, f64)>) -> Vec<(i64, f64)> {
@@ -1005,7 +1527,6 @@ pub fn hash_group_sum(pairs: impl IntoIterator<Item = (i64, f64)>) -> Vec<(i64, 
     out.sort_by_key(|(k, _)| *k);
     out
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

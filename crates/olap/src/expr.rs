@@ -8,6 +8,7 @@
 //! block columns.
 
 use crate::block::Block;
+use crate::error::OlapError;
 
 /// A scalar expression producing one `f64` per tuple.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,17 +56,36 @@ impl ScalarExpr {
         }
     }
 
-    /// Evaluate the expression for every tuple of `block`.
-    pub fn evaluate(&self, block: &Block) -> Vec<f64> {
+    /// Evaluate the expression for every tuple of `block`. A reference to a
+    /// column the block does not carry reports [`OlapError::MissingColumn`]
+    /// (expression evaluation sees only the block, not the relation it was
+    /// cut from).
+    pub fn evaluate(&self, block: &Block) -> Result<Vec<f64>, OlapError> {
         match self {
-            ScalarExpr::Col(name) => block
-                .numeric(name)
-                .unwrap_or_else(|| panic!("column {name} not present in block"))
-                .to_vec(),
-            ScalarExpr::Literal(v) => vec![*v; block.rows()],
-            ScalarExpr::Add(a, b) => Self::zip(a.evaluate(block), b.evaluate(block), |x, y| x + y),
-            ScalarExpr::Sub(a, b) => Self::zip(a.evaluate(block), b.evaluate(block), |x, y| x - y),
-            ScalarExpr::Mul(a, b) => Self::zip(a.evaluate(block), b.evaluate(block), |x, y| x * y),
+            ScalarExpr::Col(name) => {
+                block
+                    .numeric(name)
+                    .map(<[f64]>::to_vec)
+                    .ok_or_else(|| OlapError::MissingColumn {
+                        column: name.clone(),
+                    })
+            }
+            ScalarExpr::Literal(v) => Ok(vec![*v; block.rows()]),
+            ScalarExpr::Add(a, b) => {
+                Ok(Self::zip(a.evaluate(block)?, b.evaluate(block)?, |x, y| {
+                    x + y
+                }))
+            }
+            ScalarExpr::Sub(a, b) => {
+                Ok(Self::zip(a.evaluate(block)?, b.evaluate(block)?, |x, y| {
+                    x - y
+                }))
+            }
+            ScalarExpr::Mul(a, b) => {
+                Ok(Self::zip(a.evaluate(block)?, b.evaluate(block)?, |x, y| {
+                    x * y
+                }))
+            }
         }
     }
 
@@ -113,7 +133,10 @@ pub enum CmpOp {
 }
 
 impl CmpOp {
-    fn apply(self, lhs: f64, rhs: f64) -> bool {
+    /// Apply the comparison to one `(lhs, rhs)` pair. Shared by the block
+    /// interpreter and the compiled vectorized predicates so the two cannot
+    /// drift.
+    pub(crate) fn apply(self, lhs: f64, rhs: f64) -> bool {
         match self {
             CmpOp::Eq => lhs == rhs,
             CmpOp::Ne => lhs != rhs,
@@ -148,8 +171,9 @@ impl Predicate {
     }
 
     /// Evaluate the predicate on every tuple of `block`, producing a selection
-    /// vector (`true` = tuple passes).
-    pub fn evaluate(&self, block: &Block) -> Vec<bool> {
+    /// vector (`true` = tuple passes). A predicate over a column the block
+    /// does not carry reports [`OlapError::MissingColumn`].
+    pub fn evaluate(&self, block: &Block) -> Result<Vec<bool>, OlapError> {
         let values = block
             .numeric(&self.column)
             .map(|s| s.to_vec())
@@ -158,23 +182,28 @@ impl Predicate {
                     .key(&self.column)
                     .map(|s| s.iter().map(|&v| v as f64).collect())
             })
-            .unwrap_or_else(|| panic!("column {} not present in block", self.column));
-        values
+            .ok_or_else(|| OlapError::MissingColumn {
+                column: self.column.clone(),
+            })?;
+        Ok(values
             .iter()
             .map(|&v| self.op.apply(v, self.literal))
-            .collect()
+            .collect())
     }
 }
 
 /// Evaluate a conjunction of predicates, producing a combined selection vector.
-pub fn evaluate_conjunction(predicates: &[Predicate], block: &Block) -> Vec<bool> {
+pub fn evaluate_conjunction(
+    predicates: &[Predicate],
+    block: &Block,
+) -> Result<Vec<bool>, OlapError> {
     let mut selection = vec![true; block.rows()];
     for p in predicates {
-        for (sel, pass) in selection.iter_mut().zip(p.evaluate(block)) {
+        for (sel, pass) in selection.iter_mut().zip(p.evaluate(block)?) {
             *sel = *sel && pass;
         }
     }
-    selection
+    Ok(selection)
 }
 
 /// An aggregate expression.
@@ -240,6 +269,47 @@ impl AggState {
     /// Fold a counted-only tuple (for `COUNT(*)`).
     pub fn update_count(&mut self) {
         self.count += 1;
+    }
+
+    /// Fold `n` counted-only tuples at once — the vectorized `COUNT(*)` path
+    /// folds a whole selection per call instead of one tuple at a time. The
+    /// result is identical to `n` calls of [`AggState::update_count`].
+    pub fn update_count_n(&mut self, n: u64) {
+        self.count += n;
+    }
+
+    /// Kind-specialised folds for the vectorized engine: each touches only
+    /// the fields the matching [`AggExpr`]'s [`AggState::finalize`] (and its
+    /// [`AggState::merge`] contributions) read, so the finalised value is
+    /// identical to the full [`AggState::update`] at a fraction of the
+    /// per-tuple cost. A state folded this way is *partial*: it must only
+    /// ever be finalised with the same aggregate kind — which is exactly how
+    /// the executor uses it (state `j` is always finalised with aggregate
+    /// `j`).
+    #[inline(always)]
+    pub fn fold_sum(&mut self, value: f64) {
+        self.sum += value;
+    }
+
+    /// `AVG` fold: running sum and divisor.
+    #[inline(always)]
+    pub fn fold_avg(&mut self, value: f64) {
+        self.sum += value;
+        self.count += 1;
+    }
+
+    /// `MIN` fold: running minimum and the emptiness counter.
+    #[inline(always)]
+    pub fn fold_min(&mut self, value: f64) {
+        self.values += 1;
+        self.min = self.min.min(value);
+    }
+
+    /// `MAX` fold: running maximum and the emptiness counter.
+    #[inline(always)]
+    pub fn fold_max(&mut self, value: f64) {
+        self.values += 1;
+        self.max = self.max.max(value);
     }
 
     /// Merge another state into this one (partial aggregation across pipelines).
@@ -309,28 +379,28 @@ mod tests {
     fn scalar_expressions_evaluate_vectorised() {
         let b = block();
         let expr = ScalarExpr::col("price") * (ScalarExpr::lit(1.0) - ScalarExpr::col("discount"));
-        let out = expr.evaluate(&b);
+        let out = expr.evaluate(&b).unwrap();
         assert_eq!(out, vec![9.0, 16.0, 30.0, 20.0]);
         assert_eq!(
             expr.columns(),
             vec!["discount".to_string(), "price".to_string()]
         );
         let plus = ScalarExpr::col("price") + ScalarExpr::lit(1.0);
-        assert_eq!(plus.evaluate(&b), vec![11.0, 21.0, 31.0, 41.0]);
+        assert_eq!(plus.evaluate(&b).unwrap(), vec![11.0, 21.0, 31.0, 41.0]);
     }
 
     #[test]
     fn predicates_build_selection_vectors() {
         let b = block();
         let p = Predicate::new("price", CmpOp::Ge, 20.0);
-        assert_eq!(p.evaluate(&b), vec![false, true, true, true]);
+        assert_eq!(p.evaluate(&b).unwrap(), vec![false, true, true, true]);
         // Predicates can reference key columns too.
         let k = Predicate::new("id", CmpOp::Eq, 3.0);
-        assert_eq!(k.evaluate(&b), vec![false, false, true, false]);
-        let both = evaluate_conjunction(&[p, k], &b);
+        assert_eq!(k.evaluate(&b).unwrap(), vec![false, false, true, false]);
+        let both = evaluate_conjunction(&[p, k], &b).unwrap();
         assert_eq!(both, vec![false, false, true, false]);
         // Empty conjunction selects everything.
-        assert_eq!(evaluate_conjunction(&[], &b), vec![true; 4]);
+        assert_eq!(evaluate_conjunction(&[], &b).unwrap(), vec![true; 4]);
     }
 
     #[test]
@@ -346,7 +416,7 @@ mod tests {
         ];
         for (op, expected) in cases {
             assert_eq!(
-                Predicate::new("price", op, 20.0).evaluate(&b),
+                Predicate::new("price", op, 20.0).evaluate(&b).unwrap(),
                 expected,
                 "{op:?}"
             );
@@ -356,7 +426,7 @@ mod tests {
     #[test]
     fn conjunction_on_empty_block_is_empty() {
         let empty = Block::new(0, SocketId(0));
-        assert!(evaluate_conjunction(&[], &empty).is_empty());
+        assert!(evaluate_conjunction(&[], &empty).unwrap().is_empty());
     }
 
     #[test]
@@ -364,8 +434,8 @@ mod tests {
         let b = block();
         let p1 = Predicate::new("price", CmpOp::Ge, 20.0);
         let p2 = Predicate::new("discount", CmpOp::Lt, 0.3);
-        let forward = evaluate_conjunction(&[p1.clone(), p2.clone()], &b);
-        let backward = evaluate_conjunction(&[p2, p1], &b);
+        let forward = evaluate_conjunction(&[p1.clone(), p2.clone()], &b).unwrap();
+        let backward = evaluate_conjunction(&[p2, p1], &b).unwrap();
         assert_eq!(forward, backward);
         assert_eq!(forward, vec![false, true, true, false]);
     }
@@ -379,7 +449,8 @@ mod tests {
                 Predicate::new("price", CmpOp::Gt, 20.0),
             ],
             &b,
-        );
+        )
+        .unwrap();
         assert_eq!(selection, vec![false; 4]);
     }
 
@@ -392,7 +463,8 @@ mod tests {
                 Predicate::new("discount", CmpOp::Gt, 0.05),
             ],
             &b,
-        );
+        )
+        .unwrap();
         assert_eq!(selection, vec![true, true, false, false]);
     }
 
@@ -460,9 +532,40 @@ mod tests {
         assert_eq!(e.finalize(&AggExpr::Sum(ScalarExpr::lit(0.0))), 2.0);
     }
 
+    /// The query path must never panic on a mis-wired plan: a reference to
+    /// an absent column is the typed [`OlapError::MissingColumn`] the rest of
+    /// the executor already propagates.
     #[test]
-    #[should_panic(expected = "not present in block")]
-    fn missing_column_panics() {
-        ScalarExpr::col("missing").evaluate(&block());
+    fn missing_column_is_a_typed_error() {
+        let err = ScalarExpr::col("missing").evaluate(&block()).unwrap_err();
+        assert_eq!(
+            err,
+            OlapError::MissingColumn {
+                column: "missing".into()
+            }
+        );
+        assert!(err.to_string().contains("not present in block"));
+        // Nested expressions surface the same error, not a panic.
+        let nested = ScalarExpr::col("price") * ScalarExpr::col("ghost");
+        assert_eq!(
+            nested.evaluate(&block()).unwrap_err(),
+            OlapError::MissingColumn {
+                column: "ghost".into()
+            }
+        );
+        // Predicates and conjunctions report it too.
+        let pred = Predicate::new("ghost", CmpOp::Lt, 1.0);
+        assert_eq!(
+            pred.evaluate(&block()).unwrap_err(),
+            OlapError::MissingColumn {
+                column: "ghost".into()
+            }
+        );
+        assert_eq!(
+            evaluate_conjunction(&[pred], &block()).unwrap_err(),
+            OlapError::MissingColumn {
+                column: "ghost".into()
+            }
+        );
     }
 }

@@ -1,0 +1,454 @@
+//! Cache-friendly open-addressing hash tables for the vectorized hot path.
+//!
+//! Two flavours, both linear-probing with multiplicative hashing:
+//!
+//! * [`KeySet`] — an insert-only `i64` set, the join build sides. Replaces
+//!   the `std::collections::HashSet` (SipHash, per-morsel rebuilds) the
+//!   interpreted engine used: one table per worker is reused across all the
+//!   morsels that worker claims, and the per-worker tables are unioned —
+//!   set union is order-insensitive, so determinism is untouched.
+//! * [`GroupTable`] — the group-by operator's hash table. Group keys are
+//!   stored inline in a flat `i64` arena (`n_keys` slots per group, no
+//!   per-key heap `Vec`), aggregate states in a parallel flat
+//!   [`AggState`] arena. Clearing between morsels is O(1) via an epoch
+//!   stamp, so a worker's table is reused across morsels without paying a
+//!   full `memset` of the slot array.
+//!
+//! Neither table ever sorts: per-morsel partials are emitted in insertion
+//! order and the deterministic merge sorts group keys exactly once, at
+//! final result assembly (see [`crate::exec::QueryExecutor`]).
+
+use crate::expr::AggState;
+
+/// Multiplicative hash of one `i64` key (Knuth's 2^64 golden-ratio constant
+/// with an xor-shift finalizer so the masked low bits are well mixed).
+#[inline(always)]
+fn hash_i64(k: i64) -> u64 {
+    let mut h = (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= h >> 32;
+    h
+}
+
+/// Combine a running hash with the next key part of a composite key.
+#[inline(always)]
+fn hash_combine(h: u64, k: i64) -> u64 {
+    let mut h = (h ^ (k as u64)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= h >> 32;
+    h
+}
+
+const INITIAL_SLOTS: usize = 16;
+
+/// An insert-only open-addressing set of `i64` join keys.
+#[derive(Debug, Clone, Default)]
+pub struct KeySet {
+    /// `0` = empty, otherwise `index + 1` into `keys`.
+    slots: Vec<u32>,
+    keys: Vec<i64>,
+    /// Key count at which the slot array must grow (cached so the hot
+    /// insert path multiplies nothing).
+    grow_at: usize,
+}
+
+impl KeySet {
+    /// An empty set (allocates its first slot array on first insert).
+    pub fn new() -> Self {
+        KeySet::default()
+    }
+
+    /// Number of distinct keys inserted.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Insert `k`; returns `true` if it was not present before.
+    pub fn insert(&mut self, k: i64) -> bool {
+        if self.keys.len() >= self.grow_at {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut slot = (hash_i64(k) as usize) & mask;
+        loop {
+            let entry = self.slots[slot];
+            if entry == 0 {
+                self.keys.push(k);
+                self.slots[slot] = self.keys.len() as u32;
+                return true;
+            }
+            if self.keys[(entry - 1) as usize] == k {
+                return false;
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// Whether `k` is present.
+    #[inline]
+    pub fn contains(&self, k: i64) -> bool {
+        if self.slots.is_empty() {
+            return false;
+        }
+        let mask = self.slots.len() - 1;
+        let mut slot = (hash_i64(k) as usize) & mask;
+        loop {
+            let entry = self.slots[slot];
+            if entry == 0 {
+                return false;
+            }
+            if self.keys[(entry - 1) as usize] == k {
+                return true;
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// Iterate the keys in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = i64> + '_ {
+        self.keys.iter().copied()
+    }
+
+    /// Union another set into this one (the per-worker build merge).
+    pub fn union(&mut self, other: &KeySet) {
+        for k in other.iter() {
+            self.insert(k);
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_len = (self.slots.len() * 2).max(INITIAL_SLOTS);
+        self.slots.clear();
+        self.slots.resize(new_len, 0);
+        self.grow_at = grow_threshold(new_len);
+        let mask = new_len - 1;
+        for (i, &k) in self.keys.iter().enumerate() {
+            let mut slot = (hash_i64(k) as usize) & mask;
+            while self.slots[slot] != 0 {
+                slot = (slot + 1) & mask;
+            }
+            self.slots[slot] = (i + 1) as u32;
+        }
+    }
+}
+
+/// The vectorized group-by hash table: open addressing over inline
+/// fixed-width composite keys with flat aggregate-state storage.
+#[derive(Debug, Clone, Default)]
+pub struct GroupTable {
+    /// Packed slot: `epoch << 32 | (group + 1)`; a slot whose epoch differs
+    /// from the current one is empty (O(1) clear between morsels).
+    slots: Vec<u64>,
+    epoch: u32,
+    n_keys: usize,
+    n_aggs: usize,
+    /// Groups since the last clear (cached so the hot upsert path divides
+    /// nothing).
+    groups: usize,
+    /// Group count at which the slot array must grow (cached so the hot
+    /// upsert path multiplies nothing).
+    grow_at: usize,
+    /// Flat key arena, `n_keys` values per group, insertion order.
+    keys: Vec<i64>,
+    /// Flat state arena, `n_aggs` states per group, insertion order.
+    states: Vec<AggState>,
+}
+
+/// Largest group count a slot array of `slots` entries accepts before
+/// growing (70% load factor).
+#[inline(always)]
+fn grow_threshold(slots: usize) -> usize {
+    slots * 7 / 10
+}
+
+impl GroupTable {
+    /// Configure the table for a pipeline's key/aggregate arity. Retains
+    /// allocated capacity from previous pipelines. A key arity of zero is
+    /// the degenerate "one global group" grouping (`GROUP BY` over no
+    /// columns): every upsert lands in group 0.
+    pub fn configure(&mut self, n_keys: usize, n_aggs: usize) {
+        self.n_keys = n_keys;
+        self.n_aggs = n_aggs;
+        self.keys.clear();
+        self.states.clear();
+        self.groups = 0;
+        if self.slots.is_empty() {
+            self.slots.resize(INITIAL_SLOTS, 0);
+        }
+        self.grow_at = grow_threshold(self.slots.len());
+        self.bump_epoch();
+    }
+
+    /// O(1) clear between morsels: advance the epoch, truncate the arenas.
+    pub fn begin_morsel(&mut self) {
+        self.keys.clear();
+        self.states.clear();
+        self.groups = 0;
+        self.grow_at = grow_threshold(self.slots.len());
+        self.bump_epoch();
+    }
+
+    fn bump_epoch(&mut self) {
+        if self.epoch == u32::MAX {
+            // Epoch wrap: pay one full clear every 2^32 morsels.
+            self.slots.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Groups inserted since the last [`GroupTable::begin_morsel`].
+    pub fn group_count(&self) -> usize {
+        self.groups
+    }
+
+    /// The flat key arena (insertion order, `n_keys` per group).
+    pub fn keys_flat(&self) -> &[i64] {
+        &self.keys
+    }
+
+    /// The flat state arena (insertion order, `n_aggs` per group).
+    pub fn states_flat(&self) -> &[AggState] {
+        &self.states
+    }
+
+    /// Mutable state of aggregate `agg` of group `group`.
+    #[inline(always)]
+    pub fn agg_state(&mut self, group: usize, agg: usize) -> &mut AggState {
+        &mut self.states[group * self.n_aggs + agg]
+    }
+
+    /// All aggregate states of one group (one bounds computation per row
+    /// instead of one per aggregate).
+    #[inline(always)]
+    pub fn group_states_mut(&mut self, group: usize) -> &mut [AggState] {
+        let base = group * self.n_aggs;
+        &mut self.states[base..base + self.n_aggs]
+    }
+
+    /// Upsert the empty group key (zero key columns): every row belongs to
+    /// the single global group.
+    #[inline]
+    pub fn upsert0(&mut self) -> usize {
+        debug_assert_eq!(self.n_keys, 0);
+        if self.groups == 0 {
+            self.groups = 1;
+            self.states.resize(self.n_aggs, AggState::default());
+        }
+        0
+    }
+
+    /// Upsert a single-column group key, returning the group index.
+    #[inline]
+    pub fn upsert1(&mut self, k: i64) -> usize {
+        self.upsert_hashed(hash_i64(k), &[k])
+    }
+
+    /// Upsert a two-column group key.
+    #[inline]
+    pub fn upsert2(&mut self, k0: i64, k1: i64) -> usize {
+        self.upsert_hashed(hash_combine(hash_i64(k0), k1), &[k0, k1])
+    }
+
+    /// Upsert a composite key of any width (`key.len() == n_keys`).
+    #[inline]
+    pub fn upsert(&mut self, key: &[i64]) -> usize {
+        debug_assert_eq!(key.len(), self.n_keys);
+        let mut h = hash_i64(key[0]);
+        for &k in &key[1..] {
+            h = hash_combine(h, k);
+        }
+        self.upsert_hashed(h, key)
+    }
+
+    #[inline]
+    fn upsert_hashed(&mut self, hash: u64, key: &[i64]) -> usize {
+        if self.groups >= self.grow_at {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let live = (self.epoch as u64) << 32;
+        let mut slot = (hash as usize) & mask;
+        loop {
+            let entry = self.slots[slot];
+            if entry & 0xFFFF_FFFF_0000_0000 != live || entry & 0xFFFF_FFFF == 0 {
+                // Empty (stale epoch or never written): claim it.
+                let group = self.groups;
+                self.groups += 1;
+                self.keys.extend_from_slice(key);
+                self.states
+                    .resize(self.states.len() + self.n_aggs, AggState::default());
+                self.slots[slot] = live | (group as u64 + 1);
+                return group;
+            }
+            let group = ((entry & 0xFFFF_FFFF) - 1) as usize;
+            if &self.keys[group * self.n_keys..(group + 1) * self.n_keys] == key {
+                return group;
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// Re-hash into a doubled slot array (mid-morsel growth: amortised, and
+    /// only until the table has seen its high-water group count).
+    fn grow(&mut self) {
+        let new_len = (self.slots.len() * 2).max(INITIAL_SLOTS);
+        self.slots.clear();
+        self.slots.resize(new_len, 0);
+        self.grow_at = grow_threshold(new_len);
+        // A fresh slot array has no stale entries; restart the epoch.
+        self.epoch = 1;
+        let mask = new_len - 1;
+        let live = (self.epoch as u64) << 32;
+        for group in 0..self.groups {
+            let key = &self.keys[group * self.n_keys..(group + 1) * self.n_keys];
+            let mut h = hash_i64(key[0]);
+            for &k in &key[1..] {
+                h = hash_combine(h, k);
+            }
+            let mut slot = (h as usize) & mask;
+            while self.slots[slot] & 0xFFFF_FFFF_0000_0000 == live
+                && self.slots[slot] & 0xFFFF_FFFF != 0
+            {
+                slot = (slot + 1) & mask;
+            }
+            self.slots[slot] = live | (group as u64 + 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::AggExpr;
+    use crate::expr::ScalarExpr;
+
+    #[test]
+    fn key_set_insert_contains_union() {
+        let mut a = KeySet::new();
+        assert!(a.is_empty());
+        assert!(!a.contains(5));
+        assert!(a.insert(5));
+        assert!(!a.insert(5), "duplicate insert reports absence of change");
+        assert!(a.insert(-7));
+        assert!(a.contains(5) && a.contains(-7) && !a.contains(6));
+        assert_eq!(a.len(), 2);
+
+        let mut b = KeySet::new();
+        b.insert(5);
+        b.insert(99);
+        a.union(&b);
+        assert_eq!(a.len(), 3);
+        assert!(a.contains(99));
+    }
+
+    #[test]
+    fn key_set_grows_past_initial_capacity() {
+        let mut s = KeySet::new();
+        for k in 0..10_000i64 {
+            s.insert(k * 7 - 5_000);
+        }
+        assert_eq!(s.len(), 10_000);
+        for k in 0..10_000i64 {
+            assert!(s.contains(k * 7 - 5_000), "{k} lost during growth");
+        }
+        assert!(!s.contains(1), "non-multiple-of-7 offsets are absent");
+    }
+
+    #[test]
+    fn key_set_handles_extreme_keys() {
+        let mut s = KeySet::new();
+        for k in [i64::MIN, i64::MAX, 0, -1, 1 << 53, (1 << 53) + 1] {
+            assert!(s.insert(k));
+        }
+        assert!(s.contains(i64::MIN) && s.contains(i64::MAX));
+        assert!(s.contains(1 << 53) && s.contains((1 << 53) + 1));
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn group_table_single_key_accumulates() {
+        let mut t = GroupTable::default();
+        t.configure(1, 2);
+        for i in 0..100i64 {
+            let g = t.upsert1(i % 4);
+            t.agg_state(g, 0).update(i as f64);
+            t.agg_state(g, 1).update_count();
+        }
+        assert_eq!(t.group_count(), 4);
+        let sum_agg = AggExpr::Sum(ScalarExpr::lit(0.0));
+        for g in 0..4 {
+            let key = t.keys_flat()[g];
+            let expected: f64 = (0..100i64).filter(|i| i % 4 == key).map(|i| i as f64).sum();
+            assert_eq!(t.states_flat()[g * 2].finalize(&sum_agg), expected);
+            assert_eq!(t.states_flat()[g * 2 + 1].finalize(&AggExpr::Count), 25.0);
+        }
+    }
+
+    #[test]
+    fn group_table_composite_keys_do_not_collide() {
+        let mut t = GroupTable::default();
+        t.configure(2, 1);
+        // (1, 2) and (2, 1) must be distinct groups.
+        let a = t.upsert2(1, 2);
+        let b = t.upsert2(2, 1);
+        let a_again = t.upsert2(1, 2);
+        assert_ne!(a, b);
+        assert_eq!(a, a_again);
+        assert_eq!(t.group_count(), 2);
+        // Wide keys through the generic path.
+        let mut w = GroupTable::default();
+        w.configure(3, 1);
+        assert_eq!(w.upsert(&[1, 2, 3]), 0);
+        assert_eq!(w.upsert(&[1, 2, 4]), 1);
+        assert_eq!(w.upsert(&[1, 2, 3]), 0);
+    }
+
+    #[test]
+    fn group_table_grows_mid_morsel_without_losing_groups() {
+        let mut t = GroupTable::default();
+        t.configure(1, 1);
+        // Far beyond INITIAL_SLOTS within one morsel: forces rehash mid-loop.
+        for i in 0..5_000i64 {
+            let g = t.upsert1(i);
+            t.agg_state(g, 0).update(1.0);
+        }
+        assert_eq!(t.group_count(), 5_000);
+        for i in 0..5_000i64 {
+            let g = t.upsert1(i);
+            assert_eq!(g as i64, i, "insertion order preserved across growth");
+        }
+        assert_eq!(t.group_count(), 5_000, "re-upserts create no new groups");
+    }
+
+    #[test]
+    fn group_table_epoch_clear_is_a_real_clear() {
+        let mut t = GroupTable::default();
+        t.configure(1, 1);
+        t.upsert1(7);
+        t.upsert1(8);
+        assert_eq!(t.group_count(), 2);
+        t.begin_morsel();
+        assert_eq!(t.group_count(), 0);
+        // Stale slots from the previous epoch are invisible.
+        let g = t.upsert1(7);
+        assert_eq!(g, 0);
+        assert_eq!(t.group_count(), 1);
+        assert_eq!(t.keys_flat(), &[7]);
+    }
+
+    #[test]
+    fn group_table_duplicate_heavy_keys() {
+        let mut t = GroupTable::default();
+        t.configure(1, 1);
+        for _ in 0..10_000 {
+            let g = t.upsert1(42);
+            t.agg_state(g, 0).update_count();
+        }
+        assert_eq!(t.group_count(), 1);
+        assert_eq!(t.states_flat()[0].finalize(&AggExpr::Count), 10_000.0);
+    }
+}

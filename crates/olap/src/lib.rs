@@ -16,7 +16,16 @@
 //! * [`morsel`] — NUMA-tagged morsels, the claimable work units every scan is
 //!   split into (the scheduling granularity of the parallel pipelines).
 //! * [`block`], [`expr`] — typed tuple blocks and scalar/predicate expressions
-//!   evaluated over them.
+//!   evaluated over them (the interpreted path used by the oracle and the
+//!   frozen baseline; production pipelines run the compiled programs below).
+//! * [`program`] (private), [`hashtable`], [`scratch`] (private) — the
+//!   vectorized hot path: bind-time register programs over column indices,
+//!   open-addressing group/join tables with inline flat keys, and per-worker
+//!   reusable execution scratch (selection vectors, registers, borrowed
+//!   column slices) so the steady-state morsel loop does not allocate.
+//! * [`baseline`] — the pre-vectorization block interpreter, kept frozen as
+//!   the measured before/after of the perf trajectory (`BENCH_exec.json`)
+//!   and as a bit-for-bit differential partner; never on the query path.
 //! * [`plan`] — the query plans the CH-benCHmark workload needs:
 //!   scan-filter-reduce, scan-filter-group-by, fact–dimension hash joins,
 //!   three-table chain joins ([`plan::BuildSide`]) and join-then-group-by
@@ -40,26 +49,32 @@
 //! The crate layering and the execution flow are described in the repository's
 //! `ARCHITECTURE.md`.
 
+pub mod baseline;
 pub mod block;
 pub mod engine;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod hashtable;
 pub mod morsel;
 pub mod plan;
+mod program;
 pub mod reference;
 pub mod routing;
+mod scratch;
 pub mod source;
 pub mod worker;
 
+pub use baseline::BaselineExecutor;
 pub use block::Block;
 pub use engine::{OlapEngine, OlapStore};
 pub use error::OlapError;
 pub use exec::{QueryExecutor, QueryOutput, QueryResult, WorkProfile};
 pub use expr::{AggExpr, CmpOp, Predicate, ScalarExpr};
+pub use hashtable::{GroupTable, KeySet};
 pub use morsel::{split_morsels, Morsel};
 pub use plan::{BuildSide, QueryPlan, TopK};
 pub use reference::execute_reference;
 pub use routing::{RoutingPolicy, SegmentAssignment};
-pub use source::{ScanSegmentSource, ScanSource};
+pub use source::{BoundLayout, ScanSegmentSource, ScanSource};
 pub use worker::{OlapWorkerManager, WorkerTeam};

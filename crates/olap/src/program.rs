@@ -1,0 +1,575 @@
+//! Compiled expression and predicate programs — the bind-time half of the
+//! vectorized executor.
+//!
+//! At plan-bind time every [`ScalarExpr`] and [`Predicate`] a pipeline needs
+//! is compiled into a flat register program: column names are resolved to
+//! indices into the pipeline's load lists exactly once, literals are interned
+//! into a constant pool, and the expression tree is flattened into a sequence
+//! of three-address instructions over per-worker register buffers. The
+//! steady-state morsel loop then never touches a `String`, never walks a
+//! tree, and never allocates — registers live in the worker's
+//! [`crate::scratch::ExecScratch`] and are reused across morsels.
+//!
+//! Selection vectors (`u32` row ids) replace the old `Vec<bool>` masks:
+//! filters *compact* the selection in place, and every downstream operator
+//! (join probe, aggregation, group-by) iterates only the surviving rows.
+
+use crate::error::OlapError;
+use crate::expr::{AggExpr, CmpOp, Predicate, ScalarExpr};
+use crate::scratch::MorselData;
+
+/// Where a compiled operand reads from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Src {
+    /// A numeric column of the morsel (index into the pipeline's numeric
+    /// load list).
+    Num(u32),
+    /// An evaluation register.
+    Reg(u32),
+    /// An interned constant.
+    Const(u32),
+}
+
+/// A three-address instruction: `reg[dst] = a op b` for every selected row.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Instr {
+    pub op: BinOp,
+    pub dst: u32,
+    pub a: Src,
+    pub b: Src,
+}
+
+/// Arithmetic of the expression language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BinOp {
+    Add,
+    Sub,
+    Mul,
+}
+
+impl BinOp {
+    #[inline(always)]
+    fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+        }
+    }
+}
+
+/// A compiled scalar expression: instructions plus the source its value ends
+/// up in. A plain column reference compiles to zero instructions and reads
+/// the column slice directly (zero copies).
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledExpr {
+    pub instrs: Vec<Instr>,
+    pub output: Src,
+}
+
+/// Resolves column names against the pipeline's load lists during
+/// compilation. Numeric and key lists are the exact lists handed to the
+/// morsel reader, so a compiled index is valid for every morsel.
+pub(crate) struct ColumnResolver<'a> {
+    numeric: &'a [String],
+    keys: &'a [String],
+}
+
+/// A resolved column reference: numeric slot or key slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ColRef {
+    Num(u32),
+    Key(u32),
+}
+
+impl<'a> ColumnResolver<'a> {
+    pub fn new(numeric: &'a [String], keys: &'a [String]) -> Self {
+        ColumnResolver { numeric, keys }
+    }
+
+    /// Numeric slot of `name` (expressions evaluate over numeric loads only,
+    /// mirroring [`ScalarExpr::evaluate`]).
+    fn numeric_slot(&self, name: &str) -> Result<u32, OlapError> {
+        self.numeric
+            .iter()
+            .position(|c| c == name)
+            .map(|i| i as u32)
+            .ok_or_else(|| OlapError::MissingColumn {
+                column: name.to_string(),
+            })
+    }
+
+    /// Predicate column resolution: numeric first, then key — the same
+    /// precedence [`Predicate::evaluate`] applies on blocks.
+    fn col_ref(&self, name: &str) -> Result<ColRef, OlapError> {
+        if let Some(i) = self.numeric.iter().position(|c| c == name) {
+            return Ok(ColRef::Num(i as u32));
+        }
+        self.keys
+            .iter()
+            .position(|c| c == name)
+            .map(|i| ColRef::Key(i as u32))
+            .ok_or_else(|| OlapError::MissingColumn {
+                column: name.to_string(),
+            })
+    }
+}
+
+/// A full pipeline program: shared constant pool and register budget for all
+/// the compiled expressions of one pipeline.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ProgramPool {
+    pub consts: Vec<f64>,
+    pub n_regs: u32,
+}
+
+impl ProgramPool {
+    fn intern(&mut self, v: f64) -> u32 {
+        // Constant pools are tiny; linear scan with bitwise equality (NaN
+        // literals each get their own slot, which is still correct).
+        if let Some(i) = self.consts.iter().position(|c| c.to_bits() == v.to_bits()) {
+            return i as u32;
+        }
+        self.consts.push(v);
+        (self.consts.len() - 1) as u32
+    }
+
+    fn fresh_reg(&mut self) -> u32 {
+        self.n_regs += 1;
+        self.n_regs - 1
+    }
+
+    /// Compile `expr` against the resolver, appending to this pool.
+    pub fn compile_expr(
+        &mut self,
+        expr: &ScalarExpr,
+        resolver: &ColumnResolver<'_>,
+    ) -> Result<CompiledExpr, OlapError> {
+        let mut instrs = Vec::new();
+        let output = self.compile_node(expr, resolver, &mut instrs)?;
+        Ok(CompiledExpr { instrs, output })
+    }
+
+    fn compile_node(
+        &mut self,
+        expr: &ScalarExpr,
+        resolver: &ColumnResolver<'_>,
+        instrs: &mut Vec<Instr>,
+    ) -> Result<Src, OlapError> {
+        Ok(match expr {
+            ScalarExpr::Col(name) => Src::Num(resolver.numeric_slot(name)?),
+            ScalarExpr::Literal(v) => Src::Const(self.intern(*v)),
+            ScalarExpr::Add(a, b) => self.compile_bin(BinOp::Add, a, b, resolver, instrs)?,
+            ScalarExpr::Sub(a, b) => self.compile_bin(BinOp::Sub, a, b, resolver, instrs)?,
+            ScalarExpr::Mul(a, b) => self.compile_bin(BinOp::Mul, a, b, resolver, instrs)?,
+        })
+    }
+
+    fn compile_bin(
+        &mut self,
+        op: BinOp,
+        a: &ScalarExpr,
+        b: &ScalarExpr,
+        resolver: &ColumnResolver<'_>,
+        instrs: &mut Vec<Instr>,
+    ) -> Result<Src, OlapError> {
+        let a = self.compile_node(a, resolver, instrs)?;
+        let b = self.compile_node(b, resolver, instrs)?;
+        let dst = self.fresh_reg();
+        instrs.push(Instr { op, dst, a, b });
+        Ok(Src::Reg(dst))
+    }
+
+    /// Compile a predicate list; each predicate resolves its column once.
+    pub fn compile_filters(
+        &mut self,
+        filters: &[Predicate],
+        resolver: &ColumnResolver<'_>,
+    ) -> Result<Vec<CompiledPredicate>, OlapError> {
+        filters
+            .iter()
+            .map(|p| {
+                Ok(CompiledPredicate {
+                    col: resolver.col_ref(&p.column)?,
+                    op: p.op,
+                    literal: p.literal,
+                })
+            })
+            .collect()
+    }
+
+    /// Compile an aggregate list: `COUNT(*)` carries no input program.
+    pub fn compile_aggregates(
+        &mut self,
+        aggregates: &[AggExpr],
+        resolver: &ColumnResolver<'_>,
+    ) -> Result<Vec<CompiledAgg>, OlapError> {
+        aggregates
+            .iter()
+            .map(|agg| {
+                Ok(match agg {
+                    AggExpr::Count => CompiledAgg::Count,
+                    AggExpr::Sum(e) => {
+                        CompiledAgg::Fold(AggKind::Sum, self.compile_expr(e, resolver)?)
+                    }
+                    AggExpr::Avg(e) => {
+                        CompiledAgg::Fold(AggKind::Avg, self.compile_expr(e, resolver)?)
+                    }
+                    AggExpr::Min(e) => {
+                        CompiledAgg::Fold(AggKind::Min, self.compile_expr(e, resolver)?)
+                    }
+                    AggExpr::Max(e) => {
+                        CompiledAgg::Fold(AggKind::Max, self.compile_expr(e, resolver)?)
+                    }
+                })
+            })
+            .collect()
+    }
+
+    /// Compile a join-key expression. A plain column reference that is key-
+    /// loaded takes the exact `i64` path (full `i64` range, no `f64`
+    /// round-trip); computed expressions evaluate in `f64` and cast (exact
+    /// below 2^53) — the same rule the interpreter applied.
+    pub fn compile_key(
+        &mut self,
+        expr: &ScalarExpr,
+        resolver: &ColumnResolver<'_>,
+    ) -> Result<CompiledKey, OlapError> {
+        if let ScalarExpr::Col(name) = expr {
+            if let Some(i) = resolver.keys.iter().position(|c| c == name) {
+                return Ok(CompiledKey::Key(i as u32));
+            }
+        }
+        Ok(CompiledKey::Expr(self.compile_expr(expr, resolver)?))
+    }
+}
+
+/// One compiled filter predicate: resolved column, operator, literal.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CompiledPredicate {
+    pub col: ColRef,
+    pub op: CmpOp,
+    pub literal: f64,
+}
+
+/// The fold kind of a compiled aggregate (decides which [`AggState`]
+/// fields the kernel updates — see `AggState::fold_sum` and friends).
+///
+/// [`AggState`]: crate::expr::AggState
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AggKind {
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+/// A compiled aggregate: `COUNT(*)` or a kind-specialised fold over a
+/// compiled input.
+#[derive(Debug, Clone)]
+pub(crate) enum CompiledAgg {
+    Count,
+    Fold(AggKind, CompiledExpr),
+}
+
+/// A compiled join key: an exact `i64` key column or a computed expression.
+#[derive(Debug, Clone)]
+pub(crate) enum CompiledKey {
+    Key(u32),
+    Expr(CompiledExpr),
+}
+
+/// The value view a compiled source resolves to for one morsel: a dense
+/// column/register slice or a broadcast constant.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ValView<'a> {
+    Slice(&'a [f64]),
+    Const(f64),
+}
+
+impl ValView<'_> {
+    #[inline(always)]
+    pub fn get(&self, i: usize) -> f64 {
+        match self {
+            ValView::Slice(s) => s[i],
+            ValView::Const(c) => *c,
+        }
+    }
+}
+
+/// Resolve a compiled source against the current morsel's data and register
+/// file.
+#[inline]
+pub(crate) fn resolve<'a>(
+    src: Src,
+    data: &'a MorselData<'_>,
+    regs: &'a [Vec<f64>],
+    consts: &[f64],
+) -> ValView<'a> {
+    match src {
+        Src::Num(c) => ValView::Slice(data.numeric(c as usize)),
+        Src::Reg(r) => ValView::Slice(&regs[r as usize]),
+        Src::Const(c) => ValView::Const(consts[c as usize]),
+    }
+}
+
+/// Evaluate a compiled expression's instructions over the selected rows,
+/// leaving the result reachable through [`CompiledExpr::output`]. Registers
+/// are written only at selected positions (sparse evaluation): post-filter
+/// operators never touch eliminated rows.
+pub(crate) fn eval_expr(
+    expr: &CompiledExpr,
+    data: &MorselData<'_>,
+    regs: &mut [Vec<f64>],
+    consts: &[f64],
+    rows: usize,
+    sel: Option<&[u32]>,
+) {
+    for instr in &expr.instrs {
+        // Split the register file around `dst` so the operands can read
+        // sibling registers while `dst` is written.
+        let (before, rest) = regs.split_at_mut(instr.dst as usize);
+        let (dst, after) = rest.split_first_mut().expect("register allocated");
+        let read = |src: Src| -> ValView<'_> {
+            match src {
+                Src::Num(c) => ValView::Slice(data.numeric(c as usize)),
+                Src::Reg(r) => {
+                    let r = r as usize;
+                    ValView::Slice(if r < before.len() {
+                        &before[r]
+                    } else {
+                        &after[r - before.len() - 1]
+                    })
+                }
+                Src::Const(c) => ValView::Const(consts[c as usize]),
+            }
+        };
+        let a = read(instr.a);
+        let b = read(instr.b);
+        match sel {
+            None => {
+                for (i, lane) in dst.iter_mut().enumerate().take(rows) {
+                    *lane = instr.op.apply(a.get(i), b.get(i));
+                }
+            }
+            Some(ids) => {
+                for &i in ids {
+                    let i = i as usize;
+                    dst[i] = instr.op.apply(a.get(i), b.get(i));
+                }
+            }
+        }
+    }
+}
+
+/// Apply a compiled conjunction to one morsel, producing a selection vector.
+///
+/// Returns `None` when the pipeline has no filters (the caller iterates the
+/// dense row range without materialising ids); otherwise fills `sel` with the
+/// surviving row ids, compacting in place predicate by predicate.
+pub(crate) fn apply_filters<'s>(
+    filters: &[CompiledPredicate],
+    data: &MorselData<'_>,
+    rows: usize,
+    sel: &'s mut Vec<u32>,
+) -> Option<&'s [u32]> {
+    let (first, rest) = filters.split_first()?;
+    sel.clear();
+    match first.col {
+        ColRef::Num(c) => {
+            let vals = data.numeric(c as usize);
+            for (i, &v) in vals[..rows].iter().enumerate() {
+                if first.op.apply(v, first.literal) {
+                    sel.push(i as u32);
+                }
+            }
+        }
+        ColRef::Key(c) => {
+            let vals = data.key(c as usize);
+            for (i, &v) in vals[..rows].iter().enumerate() {
+                if first.op.apply(v as f64, first.literal) {
+                    sel.push(i as u32);
+                }
+            }
+        }
+    }
+    for pred in rest {
+        let mut kept = 0usize;
+        match pred.col {
+            ColRef::Num(c) => {
+                let vals = data.numeric(c as usize);
+                for pos in 0..sel.len() {
+                    let i = sel[pos];
+                    if pred.op.apply(vals[i as usize], pred.literal) {
+                        sel[kept] = i;
+                        kept += 1;
+                    }
+                }
+            }
+            ColRef::Key(c) => {
+                let vals = data.key(c as usize);
+                for pos in 0..sel.len() {
+                    let i = sel[pos];
+                    if pred.op.apply(vals[i as usize] as f64, pred.literal) {
+                        sel[kept] = i;
+                        kept += 1;
+                    }
+                }
+            }
+        }
+        sel.truncate(kept);
+    }
+    Some(sel.as_slice())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scratch::ExecScratch;
+
+    fn resolver_lists() -> (Vec<String>, Vec<String>) {
+        (
+            vec!["price".to_string(), "discount".into()],
+            vec!["id".to_string()],
+        )
+    }
+
+    fn test_data(scratch: &mut ExecScratch) {
+        scratch.data.set_test_columns(
+            vec![vec![10.0, 20.0, 30.0, 40.0], vec![0.1, 0.2, 0.0, 0.5]],
+            vec![vec![1, 2, 3, 4]],
+        );
+    }
+
+    #[test]
+    fn plain_column_compiles_to_zero_instructions() {
+        let (num, keys) = resolver_lists();
+        let resolver = ColumnResolver::new(&num, &keys);
+        let mut pool = ProgramPool::default();
+        let compiled = pool
+            .compile_expr(&ScalarExpr::col("price"), &resolver)
+            .unwrap();
+        assert!(compiled.instrs.is_empty());
+        assert_eq!(compiled.output, Src::Num(0));
+        assert_eq!(pool.n_regs, 0);
+    }
+
+    #[test]
+    fn compiled_expression_matches_interpreter() {
+        let (num, keys) = resolver_lists();
+        let resolver = ColumnResolver::new(&num, &keys);
+        let mut pool = ProgramPool::default();
+        let expr = ScalarExpr::col("price") * (ScalarExpr::lit(1.0) - ScalarExpr::col("discount"));
+        let compiled = pool.compile_expr(&expr, &resolver).unwrap();
+        let mut scratch = ExecScratch::new(pool.n_regs as usize);
+        test_data(&mut scratch);
+        scratch.ensure_regs(4);
+        eval_expr(
+            &compiled,
+            &scratch.data,
+            &mut scratch.regs,
+            &pool.consts,
+            4,
+            None,
+        );
+        let out = resolve(compiled.output, &scratch.data, &scratch.regs, &pool.consts);
+        let got: Vec<f64> = (0..4).map(|i| out.get(i)).collect();
+        assert_eq!(got, vec![9.0, 16.0, 30.0, 20.0]);
+    }
+
+    #[test]
+    fn sparse_evaluation_only_touches_selected_rows() {
+        let (num, keys) = resolver_lists();
+        let resolver = ColumnResolver::new(&num, &keys);
+        let mut pool = ProgramPool::default();
+        let expr = ScalarExpr::col("price") + ScalarExpr::lit(1.0);
+        let compiled = pool.compile_expr(&expr, &resolver).unwrap();
+        let mut scratch = ExecScratch::new(pool.n_regs as usize);
+        test_data(&mut scratch);
+        scratch.ensure_regs(4);
+        // Poison the register, then evaluate rows {1, 3} only.
+        scratch.regs[0].iter_mut().for_each(|v| *v = f64::NAN);
+        eval_expr(
+            &compiled,
+            &scratch.data,
+            &mut scratch.regs,
+            &pool.consts,
+            4,
+            Some(&[1, 3]),
+        );
+        assert_eq!(scratch.regs[0][1], 21.0);
+        assert_eq!(scratch.regs[0][3], 41.0);
+        assert!(scratch.regs[0][0].is_nan() && scratch.regs[0][2].is_nan());
+    }
+
+    #[test]
+    fn filters_compact_selection_vectors() {
+        let (num, keys) = resolver_lists();
+        let resolver = ColumnResolver::new(&num, &keys);
+        let mut pool = ProgramPool::default();
+        let filters = pool
+            .compile_filters(
+                &[
+                    Predicate::new("price", CmpOp::Ge, 20.0),
+                    Predicate::new("id", CmpOp::Le, 3.0),
+                ],
+                &resolver,
+            )
+            .unwrap();
+        let mut scratch = ExecScratch::new(0);
+        test_data(&mut scratch);
+        let sel = apply_filters(&filters, &scratch.data, 4, &mut scratch.sel).unwrap();
+        assert_eq!(sel, &[1, 2]);
+        // Empty filter list means dense iteration (no selection vector).
+        assert!(apply_filters(&[], &scratch.data, 4, &mut scratch.sel2).is_none());
+    }
+
+    #[test]
+    fn unknown_columns_fail_at_compile_time() {
+        let (num, keys) = resolver_lists();
+        let resolver = ColumnResolver::new(&num, &keys);
+        let mut pool = ProgramPool::default();
+        assert_eq!(
+            pool.compile_expr(&ScalarExpr::col("ghost"), &resolver)
+                .unwrap_err(),
+            OlapError::MissingColumn {
+                column: "ghost".into()
+            }
+        );
+        assert!(pool
+            .compile_filters(&[Predicate::new("ghost", CmpOp::Lt, 0.0)], &resolver)
+            .is_err());
+    }
+
+    #[test]
+    fn key_compilation_prefers_the_exact_path() {
+        let (num, keys) = resolver_lists();
+        let resolver = ColumnResolver::new(&num, &keys);
+        let mut pool = ProgramPool::default();
+        match pool.compile_key(&ScalarExpr::col("id"), &resolver).unwrap() {
+            CompiledKey::Key(0) => {}
+            other => panic!("expected exact key slot, got {other:?}"),
+        }
+        match pool
+            .compile_key(
+                &(ScalarExpr::col("price") * ScalarExpr::lit(2.0)),
+                &resolver,
+            )
+            .unwrap()
+        {
+            CompiledKey::Expr(_) => {}
+            other => panic!("expected computed key, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn constants_are_interned_once() {
+        let (num, keys) = resolver_lists();
+        let resolver = ColumnResolver::new(&num, &keys);
+        let mut pool = ProgramPool::default();
+        let e = ScalarExpr::col("price") * ScalarExpr::lit(2.0)
+            + ScalarExpr::col("discount") * ScalarExpr::lit(2.0);
+        pool.compile_expr(&e, &resolver).unwrap();
+        assert_eq!(pool.consts, vec![2.0]);
+    }
+}

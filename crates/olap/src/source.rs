@@ -165,6 +165,76 @@ impl ScanSource {
         split_morsels(self, morsel_rows)
     }
 
+    /// Resolve the column lists of one pipeline against every segment of
+    /// this source, exactly once per query (plan-bind time).
+    ///
+    /// The returned [`BoundLayout`] carries, per segment, the column indices
+    /// and dtypes of the `numeric` and `keys` load lists plus the byte width
+    /// of one row over the `accessed` columns — so the steady-state morsel
+    /// loop never repeats a name lookup, a dtype check or a width sum (the
+    /// per-morsel byte accounting becomes one multiplication, consistent
+    /// with [`ScanSource::bytes_per_socket`] and [`ScanSource::morsel_bytes`]).
+    ///
+    /// Binding validates eagerly: unknown columns and role-incompatible
+    /// dtypes (strings as numerics, floats as keys) are typed errors here,
+    /// before any morsel is claimed.
+    pub fn bind_columns(
+        &self,
+        numeric: &[&str],
+        keys: &[&str],
+        accessed: &[&str],
+    ) -> Result<BoundLayout, OlapError> {
+        let mut segments = Vec::with_capacity(self.segments.len());
+        for seg in &self.segments {
+            let schema = seg.table.schema();
+            let resolve = |col: &str| {
+                schema
+                    .column_index(col)
+                    .ok_or_else(|| OlapError::UnknownColumn {
+                        table: self.table.clone(),
+                        column: col.to_string(),
+                    })
+            };
+            let mut numeric_cols = Vec::with_capacity(numeric.len());
+            for &col in numeric {
+                let index = resolve(col)?;
+                let dtype = schema.column(index).dtype;
+                if !matches!(dtype, DataType::F64 | DataType::I64 | DataType::I32) {
+                    return Err(OlapError::UnsupportedColumnType {
+                        table: self.table.clone(),
+                        column: col.to_string(),
+                        role: "a numeric input",
+                    });
+                }
+                numeric_cols.push(BoundColumn { index, dtype });
+            }
+            let mut key_cols = Vec::with_capacity(keys.len());
+            for &col in keys {
+                let index = resolve(col)?;
+                let dtype = schema.column(index).dtype;
+                if !matches!(dtype, DataType::I64 | DataType::I32) {
+                    return Err(OlapError::UnsupportedColumnType {
+                        table: self.table.clone(),
+                        column: col.to_string(),
+                        role: "a key",
+                    });
+                }
+                key_cols.push(BoundColumn { index, dtype });
+            }
+            let accessed_row_bytes: u64 = accessed
+                .iter()
+                .filter_map(|c| schema.column_index(c))
+                .map(|i| schema.column(i).dtype.width_bytes())
+                .sum();
+            segments.push(SegmentBinding {
+                numeric: numeric_cols,
+                keys: key_cols,
+                accessed_row_bytes,
+            });
+        }
+        Ok(BoundLayout { segments })
+    }
+
     /// Materialise the block of one morsel: `numeric` columns converted to
     /// `f64`, `keys` columns to `i64`.
     pub fn read_morsel(
@@ -247,6 +317,35 @@ impl ScanSource {
         }
         Ok(())
     }
+}
+
+/// One load-list column resolved against one segment's schema.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundColumn {
+    /// Index of the column within the segment's schema.
+    pub index: usize,
+    /// The column's storage type (decides borrow vs convert at load time).
+    pub dtype: DataType,
+}
+
+/// One segment's resolved load lists plus its per-row accounting width.
+#[derive(Debug, Clone)]
+pub struct SegmentBinding {
+    /// Resolved numeric load list (aligned with the pipeline's list).
+    pub numeric: Vec<BoundColumn>,
+    /// Resolved key load list (aligned with the pipeline's list).
+    pub keys: Vec<BoundColumn>,
+    /// Bytes one row contributes over the accessed columns.
+    pub accessed_row_bytes: u64,
+}
+
+/// A pipeline's column lists resolved against every segment of a source —
+/// the bind-time product of [`ScanSource::bind_columns`].
+#[derive(Debug, Clone)]
+pub struct BoundLayout {
+    /// One binding per source segment, index-aligned with
+    /// [`ScanSource::segments`].
+    pub segments: Vec<SegmentBinding>,
 }
 
 fn read_numeric(table: &ColumnarTable, column: usize, start: u64, len: usize) -> Option<Vec<f64>> {

@@ -8,7 +8,25 @@
 //! instance never conflict with scans of the inactive one.
 
 use crate::schema::{DataType, Value};
-use parking_lot::RwLock;
+use parking_lot::{RwLock, RwLockReadGuard};
+
+/// A read guard over a whole typed column, exposing its values as a
+/// contiguous slice for the guard's lifetime.
+///
+/// This is the zero-copy access path of the OLAP executor: instead of
+/// copying a row range out of the column under the lock (the `with_*`
+/// closures), a scan holds the guard for the duration of one morsel and
+/// reads the slice in place.
+pub enum ColumnGuard<'a> {
+    /// Guard over a 64-bit integer column.
+    I64(RwLockReadGuard<'a, Vec<i64>>),
+    /// Guard over a 64-bit float column.
+    F64(RwLockReadGuard<'a, Vec<f64>>),
+    /// Guard over a 32-bit integer column.
+    I32(RwLockReadGuard<'a, Vec<i32>>),
+    /// Guard over a string column.
+    Str(RwLockReadGuard<'a, Vec<String>>),
+}
 
 /// Typed column storage.
 #[derive(Debug)]
@@ -150,6 +168,18 @@ impl Column {
         }
     }
 
+    /// Take a typed read guard over the column's storage. The caller can
+    /// borrow contiguous value slices from the guard for as long as it is
+    /// held (writers block for that duration; readers do not).
+    pub fn read_guard(&self) -> ColumnGuard<'_> {
+        match self {
+            Column::I64(v) => ColumnGuard::I64(v.read()),
+            Column::F64(v) => ColumnGuard::F64(v.read()),
+            Column::I32(v) => ColumnGuard::I32(v.read()),
+            Column::Str(v) => ColumnGuard::Str(v.read()),
+        }
+    }
+
     /// Run `f` over the column's `i64` values limited to the first `limit`
     /// rows. Panics if the column is not `I64`.
     pub fn with_i64<R>(&self, limit: usize, f: impl FnOnce(&[i64]) -> R) -> R {
@@ -276,6 +306,24 @@ mod tests {
     #[should_panic(expected = "expected i64 column")]
     fn wrong_slice_accessor_panics() {
         Column::new(DataType::F64).with_i64(1, |_| ());
+    }
+
+    #[test]
+    fn read_guard_borrows_contiguous_slices() {
+        let col = Column::new(DataType::F64);
+        for i in 0..8 {
+            col.append(&Value::F64(i as f64));
+        }
+        match col.read_guard() {
+            ColumnGuard::F64(g) => assert_eq!(&g[2..5], &[2.0, 3.0, 4.0]),
+            _ => panic!("expected an F64 guard"),
+        }
+        let keys = Column::new(DataType::I64);
+        keys.append(&Value::I64(7));
+        match keys.read_guard() {
+            ColumnGuard::I64(g) => assert_eq!(g.as_slice(), &[7]),
+            _ => panic!("expected an I64 guard"),
+        };
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod table;
 pub mod twin;
 pub mod update_bits;
 
-pub use column::Column;
+pub use column::{Column, ColumnGuard};
 pub use delta::{DeltaStorage, Version};
 pub use index::cuckoo::CuckooIndex;
 pub use index::RecordLocation;

@@ -9,7 +9,43 @@
 //! honest means, good enough to compare two runs on the same machine.
 
 use std::hint::black_box as std_black_box;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// Command-line options, mirroring the subset of the real criterion CLI the
+/// CI bench-smoke uses: an optional positional substring filter and
+/// `--quick` (much shorter warm-up/measurement windows).
+struct Cli {
+    filter: Option<String>,
+    quick: bool,
+}
+
+fn cli() -> &'static Cli {
+    static CLI: OnceLock<Cli> = OnceLock::new();
+    CLI.get_or_init(|| {
+        // Under `cargo test` the process arguments belong to the test
+        // harness (test-name filters would be misread as bench filters).
+        if cfg!(test) {
+            return Cli {
+                filter: None,
+                quick: false,
+            };
+        }
+        let mut filter = None;
+        let mut quick = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--quick" => quick = true,
+                // Cargo's bench harness contract passes `--bench`; other
+                // flags (e.g. `--save-baseline x`) are ignored like the
+                // real criterion ignores unknown analysis options here.
+                s if s.starts_with('-') => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Cli { filter, quick }
+    })
+}
 
 /// Re-export of `std::hint::black_box` (criterion-compatible name).
 pub fn black_box<T>(x: T) -> T {
@@ -117,12 +153,28 @@ impl Criterion {
         self
     }
 
-    /// Run one named benchmark and print its mean iteration time.
+    /// Run one named benchmark and print its mean iteration time. Honors
+    /// the CLI: a positional substring filter skips non-matching benchmarks
+    /// and `--quick` shrinks the warm-up/measurement windows.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let cli = cli();
+        if let Some(filter) = &cli.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let (warm_up, measurement) = if cli.quick {
+            (
+                self.warm_up.min(Duration::from_millis(50)),
+                self.measurement.min(Duration::from_millis(150)),
+            )
+        } else {
+            (self.warm_up, self.measurement)
+        };
         let mut bencher = Bencher {
-            warm_up: self.warm_up,
-            measurement: self.measurement,
-            min_samples: self.sample_size,
+            warm_up,
+            measurement,
+            min_samples: if cli.quick { 3 } else { self.sample_size },
             recorded: None,
         };
         f(&mut bencher);

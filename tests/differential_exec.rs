@@ -15,8 +15,8 @@
 //! same comparison since both sides compute them order-insensitively).
 
 use adaptive_htap::olap::{
-    execute_reference, AggExpr, BuildSide, CmpOp, Predicate, QueryExecutor, QueryPlan, QueryResult,
-    ScalarExpr, ScanSource, TopK, WorkerTeam,
+    execute_reference, AggExpr, BaselineExecutor, BuildSide, CmpOp, Predicate, QueryExecutor,
+    QueryPlan, QueryResult, ScalarExpr, ScanSource, TopK, WorkerTeam,
 };
 use adaptive_htap::sim::{CoreId, SocketId};
 use adaptive_htap::storage::{
@@ -363,6 +363,17 @@ fn randomized_plans_match_reference_across_worker_counts() {
         let reference = execute_reference(&plan, &sources)
             .unwrap_or_else(|e| panic!("{ctx}: reference failed: {e}"));
         assert_matches_reference(&baseline.result, &reference, &ctx);
+
+        // The frozen pre-vectorization interpreter must agree with the
+        // vectorized engine bit for bit — results AND WorkProfile accounting
+        // (bytes, probes, tuples) — since both fold rows in morsel order.
+        let interpreted = BaselineExecutor::with_block_rows(executor.block_rows)
+            .execute(&plan, &sources)
+            .unwrap_or_else(|e| panic!("{ctx}: interpreted baseline failed: {e}"));
+        assert_eq!(
+            interpreted, baseline,
+            "{ctx}: vectorized engine diverged from the interpreted baseline"
+        );
     }
     assert!(
         per_shape.iter().all(|&n| n >= 20),
@@ -475,4 +486,252 @@ fn empty_selections_agree_with_reference_for_every_shape() {
             }
         }
     }
+}
+
+/// Run one plan through the vectorized engine at 1/2/4 workers (bit-identical
+/// required), the frozen interpreted baseline (bit-identical required, work
+/// profile included) and the row-at-a-time oracle (tolerance comparison).
+fn assert_all_engines_agree(
+    plan: &QueryPlan,
+    sources: &BTreeMap<String, ScanSource>,
+    block_rows: usize,
+    ctx: &str,
+) {
+    let executor = QueryExecutor::with_block_rows(block_rows);
+    let solo = executor
+        .execute_parallel(plan, sources, &WorkerTeam::from_cores(vec![CoreId(0)]))
+        .unwrap_or_else(|e| panic!("{ctx}: engine failed: {e}"));
+    for workers in [2u16, 4] {
+        let team = WorkerTeam::from_cores((0..workers).map(CoreId).collect());
+        let parallel = executor.execute_parallel(plan, sources, &team).unwrap();
+        assert_eq!(solo, parallel, "{ctx}: {workers} workers diverged");
+    }
+    let interpreted = BaselineExecutor::with_block_rows(block_rows)
+        .execute(plan, sources)
+        .unwrap_or_else(|e| panic!("{ctx}: baseline failed: {e}"));
+    assert_eq!(
+        interpreted, solo,
+        "{ctx}: baseline diverged from vectorized"
+    );
+    let reference =
+        execute_reference(plan, sources).unwrap_or_else(|e| panic!("{ctx}: oracle failed: {e}"));
+    assert_matches_reference(&solo.result, &reference, ctx);
+}
+
+/// Adversarial vectorization case: sources that produce *no* morsels at all
+/// (zero-row relations, including a split access path whose OLAP head is
+/// empty), for every plan shape. The scratch machinery must cope with
+/// pipelines that never load a block.
+#[test]
+fn empty_sources_and_empty_morsel_sets_agree() {
+    let mut rng = StdRng::seed_from_u64(0xE111);
+    let empty_fact = {
+        let schema = TableSchema::new(
+            "fact",
+            vec![
+                ColumnDef::new("f_id", DataType::I64),
+                ColumnDef::new("f_mid", DataType::I64),
+                ColumnDef::new("f_g", DataType::I32),
+                ColumnDef::new("f_h", DataType::I32),
+                ColumnDef::new("f_a", DataType::F64),
+                ColumnDef::new("f_b", DataType::F64),
+            ],
+            Some(0),
+        );
+        Arc::new(ColumnarTable::new(schema))
+    };
+    let dataset = Dataset::build();
+    let mut sources = dataset.sources(false);
+    // Replace the fact side with a zero-row split source: both segments are
+    // empty, so the morsel split is empty too.
+    let snap = TableSnapshot::new("fact".into(), Arc::clone(&empty_fact), 0, 0);
+    sources.insert(
+        "fact".to_string(),
+        ScanSource::split(empty_fact, 0, SocketId(1), &snap, SocketId(0)),
+    );
+    for shape in 0..5u32 {
+        let plan = rand_plan(&mut rng, shape);
+        assert_all_engines_agree(
+            &plan,
+            &sources,
+            64,
+            &format!("empty fact, {}", plan.label()),
+        );
+    }
+}
+
+/// Adversarial vectorization case: a filter that eliminates every row of
+/// every morsel, and one that eliminates every row of *most* morsels (all
+/// rows past a prefix), so whole selections collapse to empty mid-pipeline.
+#[test]
+fn fully_and_mostly_filtered_morsels_agree() {
+    let dataset = Dataset::build();
+    for split in [false, true] {
+        let sources = dataset.sources(split);
+        let aggregates = vec![
+            AggExpr::Sum(ScalarExpr::col("f_a")),
+            AggExpr::Min(ScalarExpr::col("f_b")),
+            AggExpr::Count,
+        ];
+        // f_a is sampled from [0, 25): the first filter keeps nothing at
+        // all; the second keeps only rows of the first few morsels.
+        for (name, filters) in [
+            (
+                "all-eliminated",
+                vec![Predicate::new("f_a", CmpOp::Ge, 25.0)],
+            ),
+            ("prefix-only", vec![Predicate::new("f_id", CmpOp::Lt, 97.0)]),
+        ] {
+            let plans = [
+                QueryPlan::Aggregate {
+                    table: "fact".into(),
+                    filters: filters.clone(),
+                    aggregates: aggregates.clone(),
+                },
+                QueryPlan::GroupByAggregate {
+                    table: "fact".into(),
+                    filters: filters.clone(),
+                    group_by: vec!["f_g".into(), "f_h".into()],
+                    aggregates: aggregates.clone(),
+                },
+                QueryPlan::JoinGroupByAggregate {
+                    fact: "fact".into(),
+                    fact_key: ScalarExpr::col("f_mid"),
+                    fact_filters: filters.clone(),
+                    dim: BuildSide::new("mid", ScalarExpr::col("m_id"), vec![]),
+                    group_by: vec!["f_g".into()],
+                    aggregates: aggregates.clone(),
+                    top_k: None,
+                },
+            ];
+            for plan in &plans {
+                assert_all_engines_agree(
+                    plan,
+                    &sources,
+                    97,
+                    &format!("{name} split={split} {}", plan.label()),
+                );
+            }
+        }
+    }
+}
+
+/// Adversarial vectorization case: every surviving row carries the same
+/// group key, so the open-addressing group table sees maximal duplication
+/// (one group, thousands of upserts per morsel).
+#[test]
+fn all_duplicate_group_keys_agree() {
+    let dataset = Dataset::build();
+    let sources = dataset.sources(true);
+    // f_g == 3 pins the single group; grouping by (f_g, f_h) still
+    // exercises the two-column inline key path with a constant first part.
+    for group_by in [
+        vec!["f_g".to_string()],
+        vec!["f_g".to_string(), "f_h".into()],
+    ] {
+        let plan = QueryPlan::GroupByAggregate {
+            table: "fact".into(),
+            filters: vec![Predicate::new("f_g", CmpOp::Eq, 3.0)],
+            group_by,
+            aggregates: vec![
+                AggExpr::Count,
+                AggExpr::Avg(ScalarExpr::col("f_a")),
+                AggExpr::Max(ScalarExpr::col("f_b")),
+            ],
+        };
+        assert_all_engines_agree(&plan, &sources, 128, "all-duplicate group keys");
+    }
+}
+
+/// Adversarial vectorization case: group counts that blow far past the
+/// group table's initial capacity within a single morsel, forcing
+/// open-addressing growth (rehash) mid-morsel — grouping by the unique row
+/// id makes every row a fresh group.
+#[test]
+fn group_table_growth_mid_morsel_agrees() {
+    let dataset = Dataset::build();
+    let sources = dataset.sources(false);
+    let plan = QueryPlan::GroupByAggregate {
+        table: "fact".into(),
+        filters: vec![],
+        group_by: vec!["f_id".into()],
+        aggregates: vec![AggExpr::Sum(ScalarExpr::col("f_a")), AggExpr::Count],
+    };
+    // 512 distinct groups per 512-row morsel versus a 16-slot initial
+    // table: several growth steps per morsel, for every worker count.
+    assert_all_engines_agree(&plan, &sources, 512, "per-row groups force growth");
+    let out = QueryExecutor::with_block_rows(512)
+        .execute(&plan, &sources)
+        .unwrap();
+    assert_eq!(
+        out.result.groups().unwrap().len(),
+        FACT_ROWS as usize,
+        "every row is its own group"
+    );
+    // The join-group-by pipeline hits the same growth path after a probe.
+    let join_plan = QueryPlan::JoinGroupByAggregate {
+        fact: "fact".into(),
+        fact_key: ScalarExpr::col("f_mid"),
+        fact_filters: vec![],
+        dim: BuildSide::new("mid", ScalarExpr::col("m_id"), vec![]),
+        group_by: vec!["f_id".into()],
+        aggregates: vec![AggExpr::Count],
+        top_k: Some(TopK {
+            agg_index: 0,
+            k: 40,
+        }),
+    };
+    assert_all_engines_agree(&join_plan, &sources, 512, "join-group-by growth");
+}
+
+/// Review regression: `GROUP BY` over zero columns is the degenerate
+/// single-global-group plan. The interpreted engine always returned one
+/// group with an empty key; the vectorized group table must do the same
+/// (and an all-eliminating filter must still yield zero groups).
+#[test]
+fn empty_group_by_produces_one_global_group() {
+    let dataset = Dataset::build();
+    let sources = dataset.sources(true);
+    let plan = QueryPlan::GroupByAggregate {
+        table: "fact".into(),
+        filters: vec![Predicate::new("f_a", CmpOp::Ge, 5.0)],
+        group_by: vec![],
+        aggregates: vec![
+            AggExpr::Sum(ScalarExpr::col("f_a")),
+            AggExpr::Avg(ScalarExpr::col("f_b")),
+            AggExpr::Count,
+        ],
+    };
+    assert_all_engines_agree(&plan, &sources, 128, "empty group_by");
+    let out = QueryExecutor::with_block_rows(128)
+        .execute(&plan, &sources)
+        .unwrap();
+    let groups = out.result.groups().unwrap();
+    assert_eq!(groups.len(), 1, "one global group");
+    assert!(groups[0].0.is_empty(), "the global group has an empty key");
+
+    // Same through the join-group-by pipeline.
+    let join_plan = QueryPlan::JoinGroupByAggregate {
+        fact: "fact".into(),
+        fact_key: ScalarExpr::col("f_mid"),
+        fact_filters: vec![],
+        dim: BuildSide::new("mid", ScalarExpr::col("m_id"), vec![]),
+        group_by: vec![],
+        aggregates: vec![AggExpr::Count],
+        top_k: None,
+    };
+    assert_all_engines_agree(&join_plan, &sources, 128, "empty group_by join");
+
+    // An all-eliminating filter still produces zero groups, not one.
+    let empty = QueryPlan::GroupByAggregate {
+        table: "fact".into(),
+        filters: vec![Predicate::new("f_a", CmpOp::Ge, 25.0)],
+        group_by: vec![],
+        aggregates: vec![AggExpr::Count],
+    };
+    assert_all_engines_agree(&empty, &sources, 128, "empty group_by, empty selection");
+    let out = QueryExecutor::with_block_rows(128)
+        .execute(&empty, &sources)
+        .unwrap();
+    assert!(out.result.groups().unwrap().is_empty());
 }
