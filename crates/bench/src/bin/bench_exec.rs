@@ -19,8 +19,16 @@
 //! Both engines execute every plan once up front and the outputs are
 //! asserted equal (results *and* work profiles) — a perf number measured
 //! against a divergent engine would be meaningless.
+//!
+//! The artifact also records a `planning` section: the SQL frontend's
+//! parse + bind + plan latency for each CH query (median over many
+//! repetitions), so the overhead the declarative surface adds ahead of
+//! execution stays visible in the trajectory. Each SQL text is planned once
+//! up front and asserted equal to the hand-built plan first — a latency for
+//! compiling the *wrong* plan would be meaningless too.
 
 use htap_bench::exec_trajectory;
+use htap_chbench::{catalog, query_mix_wide};
 use htap_olap::{BaselineExecutor, QueryExecutor};
 use std::time::Instant;
 
@@ -125,6 +133,40 @@ fn main() {
         ));
     }
 
+    // SQL planning latency: parse + bind + lower per CH query. Planning is
+    // microseconds while execution is milliseconds-and-up, so the repetition
+    // count is scaled up to keep the median stable.
+    let ch_catalog = catalog();
+    let plan_iters = (args.iters * 50).max(50);
+    println!();
+    println!("SQL planning latency (parse + bind + plan, median of {plan_iters} repetitions)");
+    println!("{:<8} {:>14} {:>12}", "query", "latency", "plans/sec");
+    let mut planning_entries = Vec::new();
+    for query in query_mix_wide() {
+        let sql = query.sql();
+        let planned = htap_sql::plan(&sql, &ch_catalog).expect("CH SQL plans");
+        assert_eq!(
+            planned,
+            query.plan(),
+            "{}: SQL plans differently from the hand-built plan; refusing to record",
+            query.label()
+        );
+        let secs = measure(plan_iters, || {
+            htap_sql::plan(&sql, &ch_catalog).expect("CH SQL plans");
+        });
+        println!(
+            "{:<8} {:>11.1} µs {:>12.0}",
+            query.label(),
+            secs * 1e6,
+            1.0 / secs
+        );
+        planning_entries.push(format!(
+            "    \"{}\": {{ \"parse_bind_plan_us\": {:.2} }}",
+            query.label(),
+            secs * 1e6
+        ));
+    }
+
     let json = format!(
         concat!(
             "{{\n",
@@ -135,13 +177,15 @@ fn main() {
             "  \"iterations_per_shape\": {},\n",
             "  \"baseline\": \"pre-vectorization block interpreter (htap_olap::BaselineExecutor)\",\n",
             "  \"metric\": \"tuples scanned per second, median of iterations, solo worker\",\n",
-            "  \"shapes\": {{\n{}\n  }}\n",
+            "  \"shapes\": {{\n{}\n  }},\n",
+            "  \"planning\": {{\n{}\n  }}\n",
             "}}\n"
         ),
         args.rows,
         block_rows,
         args.iters,
-        entries.join(",\n")
+        entries.join(",\n"),
+        planning_entries.join(",\n")
     );
     std::fs::write(&args.out, &json).expect("write BENCH_exec.json");
     println!("wrote {}", args.out);

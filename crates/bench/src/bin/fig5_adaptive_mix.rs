@@ -23,7 +23,12 @@ use htap_core::{
 
 const TXNS_PER_WORKER_BETWEEN: u64 = 150;
 
-fn run_schedule(args: &HarnessArgs, schedule: Schedule) -> (Vec<f64>, Vec<f64>, usize, u64) {
+/// Per-schedule results: sequence times, sequence MTPS, ETL count, aborted
+/// transactions, and the query legend (label → SQL) taken from the executed
+/// reports themselves, so the printed mix is exactly what ran.
+type ScheduleRun = (Vec<f64>, Vec<f64>, usize, u64, Vec<(String, String)>);
+
+fn run_schedule(args: &HarnessArgs, schedule: Schedule) -> ScheduleRun {
     let config = HtapConfig::small()
         .with_chbench(args.chbench())
         .with_schedule(schedule);
@@ -44,11 +49,27 @@ fn run_schedule(args: &HarnessArgs, schedule: Schedule) -> (Vec<f64>, Vec<f64>, 
         run_mixed_workload(&system, &workload)
     }
     .expect("CH workload matches the CH schema");
+    let legend: Vec<(String, String)> = report
+        .sequences
+        .first()
+        .map(|seq| {
+            seq.queries
+                .iter()
+                .map(|q| {
+                    (
+                        q.query.clone(),
+                        q.sql.clone().unwrap_or_else(|| "<hand-built plan>".into()),
+                    )
+                })
+                .collect()
+        })
+        .unwrap_or_default();
     (
         report.sequence_times(),
         report.sequence_mtps(),
         report.etl_count(),
         report.transactions_aborted,
+        legend,
     )
 }
 
@@ -75,11 +96,23 @@ fn main() {
     );
 
     let schedules = Schedule::figure5_set(0.5);
+    let print_legend = |legend: &[(String, String)]| {
+        println!();
+        println!("query mix (from the executed reports):");
+        for (label, sql) in legend {
+            println!("  {label:<4} {sql}");
+        }
+        println!();
+    };
     let mut times: Vec<(String, Vec<f64>)> = Vec::new();
     let mut mtps: Vec<(String, Vec<f64>)> = Vec::new();
     let mut etls: Vec<(String, usize)> = Vec::new();
+    let mut legend: Vec<(String, String)> = Vec::new();
     for (label, schedule) in &schedules {
-        let (t, m, e, aborted) = run_schedule(&args, *schedule);
+        let (t, m, e, aborted, l) = run_schedule(&args, *schedule);
+        if legend.is_empty() {
+            legend = l;
+        }
         println!(
             "  {label:<15} total={:.4}s mean_oltp={:.3} MTPS etls={e} aborted={aborted}",
             t.iter().sum::<f64>(),
@@ -89,6 +122,8 @@ fn main() {
         mtps.push((label.clone(), m));
         etls.push((label.clone(), e));
     }
+
+    print_legend(&legend);
 
     // Figure 5(a): sequence execution time per schedule.
     let mut header: Vec<&str> = vec!["sequence"];

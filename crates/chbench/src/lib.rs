@@ -20,12 +20,14 @@
 //!   alongside `NewOrder` (see [`transactions`] for the key-addressed
 //!   `Delivery` adaptation).
 
+pub mod catalog;
 pub mod generator;
 pub mod queries;
 pub mod schema;
 pub mod sequence;
 pub mod transactions;
 
+pub use catalog::catalog;
 pub use generator::{ChConfig, ChGenerator, PopulationReport, INITIAL_NEXT_O_ID};
 pub use queries::{
     ch_q1, ch_q12, ch_q14, ch_q19, ch_q3, ch_q4, ch_q6, query_mix, query_mix_wide, QueryId,

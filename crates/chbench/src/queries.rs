@@ -80,6 +80,54 @@ impl QueryId {
             QueryId::Q19 => "Q19",
         }
     }
+
+    /// The query as SQL text. Planning this through the SQL frontend
+    /// ([`htap_sql::plan`] against [`crate::catalog::catalog`]) produces a
+    /// [`QueryPlan`] structurally identical to [`QueryId::plan`] — the
+    /// differential suite (`tests/sql_differential.rs`) proves the two give
+    /// bit-for-bit identical `QueryOutput`s at every worker count.
+    pub fn sql(self) -> String {
+        match self {
+            QueryId::Q1 => "SELECT ol_number, SUM(ol_quantity), SUM(ol_amount), \
+                 AVG(ol_quantity), AVG(ol_amount), COUNT(*) \
+                 FROM orderline WHERE ol_delivery_d >= 0 \
+                 GROUP BY ol_number ORDER BY ol_number"
+                .into(),
+            QueryId::Q3 => "SELECT SUM(ol_amount), COUNT(*) FROM orderline \
+                 JOIN orders ON (ol_w_id * 100 + ol_d_id) * 10000000 + ol_o_id = o_key \
+                 JOIN customer ON (o_w_id * 100 + o_d_id) * 100000 + o_c_id = c_key \
+                 WHERE ol_delivery_d >= 0 AND o_entry_d >= 0 AND c_balance < 0"
+                .into(),
+            QueryId::Q4 => "SELECT o_ol_cnt, COUNT(*) FROM orders \
+                 JOIN orderline ON o_key = (ol_w_id * 100 + ol_d_id) * 10000000 + ol_o_id \
+                 WHERE o_entry_d >= 0 AND ol_amount >= 500 \
+                 GROUP BY o_ol_cnt ORDER BY COUNT(*) DESC LIMIT 5"
+                .into(),
+            QueryId::Q6 => "SELECT SUM(ol_amount * ol_quantity) FROM orderline \
+                 WHERE ol_delivery_d >= 0 AND ol_quantity >= 1"
+                .into(),
+            QueryId::Q12 => format!(
+                "SELECT o_carrier_id, COUNT(*), SUM(o_ol_cnt) FROM orders \
+                 JOIN orderline ON o_key = (ol_w_id * 100 + ol_d_id) * 10000000 + ol_o_id \
+                 WHERE ol_delivery_d >= {DELIVERY_DATE_BASE} \
+                 GROUP BY o_carrier_id ORDER BY o_carrier_id"
+            ),
+            QueryId::Q14 => "SELECT SUM(ol_amount), COUNT(*) FROM orderline \
+                 JOIN item ON ol_i_id = i_id \
+                 WHERE ol_delivery_d >= 0 AND i_data LIKE 'PR%'"
+                .into(),
+            QueryId::Q19 => "SELECT SUM(ol_amount) FROM orderline \
+                 JOIN item ON ol_i_id = i_id \
+                 WHERE ol_quantity >= 1 AND ol_quantity <= 10 AND i_price >= 1"
+                .into(),
+        }
+    }
+
+    /// Compile [`QueryId::sql`] through the SQL frontend. The result equals
+    /// [`QueryId::plan`] structurally; this is the path `execute_sql` takes.
+    pub fn sql_plan(self) -> Result<QueryPlan, htap_sql::SqlError> {
+        htap_sql::plan(&self.sql(), &crate::catalog::catalog())
+    }
 }
 
 /// CH-Q1 — pricing summary report: group order lines by `ol_number` and
@@ -358,6 +406,28 @@ mod tests {
         for q in mix {
             // Every query's plan builds without panicking.
             let _ = q.plan();
+        }
+    }
+
+    /// The tentpole invariant of the SQL frontend: every CH query's SQL text
+    /// plans to a `QueryPlan` *structurally identical* to the hand-built
+    /// plan — same shapes, same predicate order, same key expressions — so
+    /// execution (results and `WorkProfile` accounting) is trivially
+    /// bit-for-bit identical. The differential suite re-proves the output
+    /// equality over real data at 1/2/4 workers.
+    #[test]
+    fn sql_texts_plan_to_the_hand_built_plans() {
+        for q in query_mix_wide() {
+            let sql_plan = q
+                .sql_plan()
+                .unwrap_or_else(|e| panic!("{}: SQL failed to plan: {e}", q.label()));
+            assert_eq!(
+                sql_plan,
+                q.plan(),
+                "{}: SQL {:?} planned differently from the hand-built plan",
+                q.label(),
+                q.sql()
+            );
         }
     }
 

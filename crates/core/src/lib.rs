@@ -25,7 +25,7 @@ pub mod workload;
 
 pub use config::HtapConfig;
 pub use report::{ExperimentTable, QueryReport, SequenceReport};
-pub use system::HtapSystem;
+pub use system::{HtapSystem, SqlRunError};
 pub use workload::{
     run_mixed_workload, run_mixed_workload_concurrent, ConcurrentOptions, MixedWorkload,
     MixedWorkloadReport,
@@ -37,3 +37,4 @@ pub use htap_olap::QueryPlan;
 pub use htap_rde::{AccessMethod, ElasticityMode, SystemState};
 pub use htap_scheduler::{Schedule, SchedulerPolicy};
 pub use htap_sim::Topology;
+pub use htap_sql::SqlError;

@@ -8,6 +8,11 @@ use htap_sim::Seconds;
 pub struct QueryReport {
     /// Query label ("Q1", "Q6", "Q19" or a custom plan label).
     pub query: String,
+    /// The originating SQL text, when the query arrived as (or is expressed
+    /// in) SQL — `None` only for hand-assembled `QueryPlan`s. Makes
+    /// fig5/mixed-workload output self-describing: a report names the exact
+    /// query it measured instead of an opaque label.
+    pub sql: Option<String>,
     /// The system state the query ran in.
     pub state: SystemState,
     /// Modelled query execution time.
@@ -196,6 +201,7 @@ mod tests {
     fn query(state: SystemState, exec: f64, sched: f64, etl: bool) -> QueryReport {
         QueryReport {
             query: "Q6".into(),
+            sql: Some("SELECT SUM(ol_amount * ol_quantity) FROM orderline".into()),
             state,
             execution_time: exec,
             scheduling_time: sched,

@@ -3,13 +3,48 @@
 use crate::config::HtapConfig;
 use crate::report::QueryReport;
 use htap_chbench::{ChGenerator, PopulationReport, QueryId, TransactionDriver};
-use htap_olap::{OlapError, QueryPlan};
+use htap_olap::{OlapError, QueryOutput, QueryPlan};
 use htap_oltp::WorkerReport;
 use htap_rde::RdeEngine;
 use htap_scheduler::{HtapScheduler, Schedule};
+use htap_sql::{Catalog, SqlError};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// An error from [`HtapSystem::execute_sql`]: either the frontend rejected
+/// the query text, or the engine rejected the (well-formed) plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlRunError {
+    /// The SQL frontend could not compile the text (syntax, unknown or
+    /// ambiguous name, unsupported construct) — with position info.
+    Sql(SqlError),
+    /// The engine could not execute the plan.
+    Olap(OlapError),
+}
+
+impl std::fmt::Display for SqlRunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SqlRunError::Sql(e) => write!(f, "SQL frontend: {e}"),
+            SqlRunError::Olap(e) => write!(f, "OLAP engine: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlRunError {}
+
+impl From<SqlError> for SqlRunError {
+    fn from(e: SqlError) -> Self {
+        SqlRunError::Sql(e)
+    }
+}
+
+impl From<OlapError> for SqlRunError {
+    fn from(e: OlapError) -> Self {
+        SqlRunError::Olap(e)
+    }
+}
 
 /// The fully assembled adaptive HTAP system: engines, scheduler and the
 /// CH-benCHmark workload drivers.
@@ -21,6 +56,9 @@ pub struct HtapSystem {
     txn_driver: Arc<TransactionDriver>,
     population: PopulationReport,
     txn_seed: AtomicU64,
+    /// The SQL catalog over the CH-benCHmark schema, built once — name
+    /// resolution and planner cardinalities for [`HtapSystem::execute_sql`].
+    catalog: Catalog,
 }
 
 impl HtapSystem {
@@ -39,8 +77,14 @@ impl HtapSystem {
             txn_driver,
             population,
             txn_seed: AtomicU64::new(config.chbench.seed),
+            catalog: htap_chbench::catalog(),
             config,
         })
+    }
+
+    /// The SQL catalog the frontend binds against.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
     }
 
     /// The system configuration.
@@ -175,16 +219,15 @@ impl HtapSystem {
         self.rde.olap().workers().worker_count()
     }
 
-    /// Schedule and execute one analytical query plan.
-    ///
-    /// Errors (rather than panicking) when the plan references relations or
-    /// columns the scheduled access paths cannot serve.
-    pub fn execute_plan(
+    /// Schedule and execute one plan, returning the report *and* the raw
+    /// engine output (results + `WorkProfile`).
+    fn execute_plan_inner(
         &self,
         label: &str,
+        sql: Option<String>,
         plan: &QueryPlan,
         is_batch: bool,
-    ) -> Result<QueryReport, OlapError> {
+    ) -> Result<(QueryReport, QueryOutput), OlapError> {
         let scheduled = {
             let scheduler = self.scheduler.lock();
             scheduler.schedule_query(plan, is_batch)
@@ -202,8 +245,9 @@ impl HtapSystem {
             htap_sim::clock::Activity::QueryExecution,
             execution.modeled.total,
         );
-        Ok(QueryReport {
+        let report = QueryReport {
             query: label.to_string(),
+            sql,
             state: scheduled.state,
             execution_time: execution.modeled.total,
             scheduling_time: scheduled.scheduling_time,
@@ -215,12 +259,65 @@ impl HtapSystem {
             oltp_sample_window: 0.0,
             result_rows: execution.output.result.row_count(),
             performed_etl: scheduled.migration.etl.is_some(),
-        })
+        };
+        Ok((report, execution.output))
+    }
+
+    /// Schedule and execute one analytical query plan.
+    ///
+    /// Errors (rather than panicking) when the plan references relations or
+    /// columns the scheduled access paths cannot serve.
+    pub fn execute_plan(
+        &self,
+        label: &str,
+        plan: &QueryPlan,
+        is_batch: bool,
+    ) -> Result<QueryReport, OlapError> {
+        self.execute_plan_inner(label, None, plan, is_batch)
+            .map(|(report, _)| report)
+    }
+
+    /// Compile one SQL `SELECT` against the CH-benCHmark catalog without
+    /// executing it — the plan the engine *would* run.
+    pub fn plan_sql(&self, sql: &str) -> Result<QueryPlan, SqlError> {
+        htap_sql::plan(sql, &self.catalog)
+    }
+
+    /// Compile and execute one ad-hoc SQL query: parse → bind → plan →
+    /// schedule → vectorized morsel execution, exactly like
+    /// [`HtapSystem::execute_query`] — including per-query freshness against
+    /// live OLTP ingest. The report carries the SQL text.
+    pub fn execute_sql(&self, sql: &str) -> Result<QueryReport, SqlRunError> {
+        self.execute_sql_with_output(sql).map(|(report, _)| report)
+    }
+
+    /// [`HtapSystem::execute_sql`], additionally returning the raw engine
+    /// output (result rows + `WorkProfile`) — what the SQL shell prints.
+    pub fn execute_sql_with_output(
+        &self,
+        sql: &str,
+    ) -> Result<(QueryReport, QueryOutput), SqlRunError> {
+        let plan = self.plan_sql(sql)?;
+        Ok(self.execute_planned_sql(sql, &plan)?)
+    }
+
+    /// Execute a plan previously compiled by [`HtapSystem::plan_sql`],
+    /// tagging the report with the originating SQL text. Lets callers that
+    /// already hold the plan (the shell prints it first) avoid compiling
+    /// twice.
+    pub fn execute_planned_sql(
+        &self,
+        sql: &str,
+        plan: &QueryPlan,
+    ) -> Result<(QueryReport, QueryOutput), OlapError> {
+        let label = format!("sql-{}", plan.label());
+        self.execute_plan_inner(&label, Some(sql.to_string()), plan, false)
     }
 
     /// Schedule and execute one CH-benCHmark query.
     pub fn execute_query(&self, query: QueryId) -> Result<QueryReport, OlapError> {
-        self.execute_plan(query.label(), &query.plan(), false)
+        self.execute_plan_inner(query.label(), Some(query.sql()), &query.plan(), false)
+            .map(|(report, _)| report)
     }
 
     /// Schedule and execute one CH-benCHmark query as part of a batch
@@ -232,7 +329,8 @@ impl HtapSystem {
         query: QueryId,
         is_follow_up: bool,
     ) -> Result<QueryReport, OlapError> {
-        let mut report = self.execute_plan(query.label(), &query.plan(), true)?;
+        let (mut report, _) =
+            self.execute_plan_inner(query.label(), Some(query.sql()), &query.plan(), true)?;
         if is_follow_up {
             report.scheduling_time = 0.0;
             report.performed_etl = false;
@@ -351,6 +449,81 @@ mod tests {
             system.txn_driver().stats().committed(),
             "pool counters must agree with the driver's statistics"
         );
+    }
+
+    #[test]
+    fn execute_sql_runs_the_full_pipeline() {
+        let system = tiny_system();
+        system.run_oltp(3);
+        // The same query, once as SQL text and once as the hand-built plan:
+        // identical answers, and the SQL report is self-describing.
+        let sql = QueryId::Q6.sql();
+        let report = system.execute_sql(&sql).unwrap();
+        assert_eq!(report.sql.as_deref(), Some(sql.as_str()));
+        assert_eq!(report.query, "sql-aggregate");
+        assert!(report.execution_time > 0.0);
+        assert!((0.0..=1.0).contains(&report.freshness_rate));
+        let by_id = system.execute_query(QueryId::Q6).unwrap();
+        assert_eq!(by_id.sql.as_deref(), Some(sql.as_str()));
+        assert_eq!(report.result_rows, by_id.result_rows);
+        assert_eq!(report.bytes_scanned, by_id.bytes_scanned);
+    }
+
+    #[test]
+    fn execute_sql_with_output_returns_rows_and_work() {
+        let system = tiny_system();
+        let (report, output) = system
+            .execute_sql_with_output(
+                "SELECT ol_number, SUM(ol_amount), COUNT(*) FROM orderline \
+                 GROUP BY ol_number ORDER BY ol_number",
+            )
+            .unwrap();
+        let groups = output.result.groups().unwrap();
+        assert!(!groups.is_empty());
+        assert_eq!(report.result_rows, groups.len());
+        assert!(output.work.tuples_scanned > 0);
+        assert_eq!(report.bytes_scanned, output.work.total_bytes());
+        // Ad-hoc joins plan through the catalog too.
+        let (report, _) = system
+            .execute_sql_with_output(
+                "SELECT COUNT(*) FROM orderline JOIN item ON ol_i_id = i_id \
+                 WHERE i_price >= 5",
+            )
+            .unwrap();
+        assert_eq!(report.query, "sql-join");
+    }
+
+    #[test]
+    fn execute_sql_errors_are_typed_not_panics() {
+        let system = tiny_system();
+        // Frontend rejection: unknown table, with position info.
+        let err = system.execute_sql("SELECT COUNT(*) FROM nope").unwrap_err();
+        match err {
+            SqlRunError::Sql(SqlError::UnknownTable { ref name, pos }) => {
+                assert_eq!(name, "nope");
+                assert_eq!(pos, 21);
+            }
+            other => panic!("expected UnknownTable, got {other:?}"),
+        }
+        // Unknown column.
+        assert!(matches!(
+            system
+                .execute_sql("SELECT SUM(ghost) FROM orderline")
+                .unwrap_err(),
+            SqlRunError::Sql(SqlError::UnknownColumn { .. })
+        ));
+        // Unclosed string.
+        assert!(matches!(
+            system
+                .execute_sql("SELECT COUNT(*) FROM item WHERE i_data LIKE 'PR")
+                .unwrap_err(),
+            SqlRunError::Sql(SqlError::UnclosedString { .. })
+        ));
+        // Unsupported construct; the Display impl mentions the offset.
+        let err = system
+            .execute_sql("SELECT COUNT(*) FROM orderline, orders, customer, item")
+            .unwrap_err();
+        assert!(err.to_string().contains("offset"), "{err}");
     }
 
     #[test]

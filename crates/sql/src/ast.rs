@@ -1,0 +1,215 @@
+//! The abstract syntax tree the parser produces and the binder consumes.
+//!
+//! Every node carries the byte offset of the token it started at, so binder
+//! errors can point back into the query text.
+
+/// Arithmetic operator of a binary scalar expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+}
+
+/// A scalar expression as parsed (unresolved column references).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A column reference, optionally qualified (`table.column`).
+    Column {
+        /// Optional qualifying relation name.
+        table: Option<String>,
+        /// Column name.
+        name: String,
+        /// Byte offset of the reference.
+        pos: usize,
+    },
+    /// A numeric literal (unary minus already folded in).
+    Number {
+        /// The value.
+        value: f64,
+        /// Byte offset of the literal.
+        pos: usize,
+    },
+    /// `lhs op rhs`.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Byte offset of the operator.
+        pos: usize,
+    },
+}
+
+impl Expr {
+    /// Byte offset of the leftmost token of the expression.
+    pub fn pos(&self) -> usize {
+        match self {
+            Expr::Column { pos, .. } | Expr::Number { pos, .. } => *pos,
+            Expr::Binary { lhs, .. } => lhs.pos(),
+        }
+    }
+}
+
+/// Comparison operator of a predicate or join condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Aggregate function name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `SUM(expr)`
+    Sum,
+    /// `AVG(expr)`
+    Avg,
+    /// `MIN(expr)`
+    Min,
+    /// `MAX(expr)`
+    Max,
+    /// `COUNT(*)`
+    Count,
+}
+
+/// One item of the `SELECT` list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// A bare column reference (must be a grouping key).
+    Column {
+        /// Optional qualifying relation name.
+        table: Option<String>,
+        /// Column name.
+        name: String,
+        /// Byte offset.
+        pos: usize,
+    },
+    /// An aggregate call. `arg` is `None` for `COUNT(*)`.
+    Aggregate {
+        /// The aggregate function.
+        func: AggFunc,
+        /// The argument expression (`None` for `COUNT(*)`).
+        arg: Option<Expr>,
+        /// Byte offset of the function name.
+        pos: usize,
+    },
+}
+
+/// One conjunct of the `WHERE` clause (or an `ON` condition, which the
+/// parser folds into the same list — the binder separates filters from join
+/// conditions by which relations each side references).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// `lhs op rhs`.
+    Cmp {
+        /// Left side.
+        lhs: Expr,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right side.
+        rhs: Expr,
+        /// Byte offset of the operator.
+        pos: usize,
+    },
+    /// `column LIKE 'pattern'` — resolved against the catalog's encoded-
+    /// column rewrites.
+    Like {
+        /// Optional qualifying relation name.
+        table: Option<String>,
+        /// The (possibly virtual, encoded) column name.
+        column: String,
+        /// The pattern text, quotes stripped.
+        pattern: String,
+        /// Byte offset of the column reference.
+        pos: usize,
+    },
+}
+
+/// One relation of the `FROM` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Relation name.
+    pub name: String,
+    /// Byte offset of the name.
+    pub pos: usize,
+}
+
+/// The sort key of one `ORDER BY` item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrderKey {
+    /// Order by a (grouping) column.
+    Column {
+        /// Optional qualifying relation name.
+        table: Option<String>,
+        /// Column name.
+        name: String,
+        /// Byte offset.
+        pos: usize,
+    },
+    /// Order by an aggregate that also appears in the `SELECT` list.
+    Aggregate {
+        /// The aggregate function.
+        func: AggFunc,
+        /// The argument expression (`None` for `COUNT(*)`).
+        arg: Option<Expr>,
+        /// Byte offset.
+        pos: usize,
+    },
+}
+
+/// One `ORDER BY` item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    /// What to sort by.
+    pub key: OrderKey,
+    /// `DESC` if true, `ASC` (the default) otherwise.
+    pub desc: bool,
+    /// Byte offset of the item.
+    pub pos: usize,
+}
+
+/// A parsed `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// The `SELECT` list, in order.
+    pub items: Vec<SelectItem>,
+    /// The `FROM` relations, in order (comma list and `JOIN`s flattened).
+    pub from: Vec<TableRef>,
+    /// All conjuncts: `ON` conditions first (in join order), then the
+    /// `WHERE` conjuncts in text order.
+    pub conditions: Vec<Condition>,
+    /// `GROUP BY` columns, in order.
+    pub group_by: Vec<OrderKeyColumn>,
+    /// `ORDER BY` items, in order.
+    pub order_by: Vec<OrderItem>,
+    /// `LIMIT` value, if present.
+    pub limit: Option<(u64, usize)>,
+}
+
+/// A bare, possibly qualified column reference with its position (used by
+/// `GROUP BY`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKeyColumn {
+    /// Optional qualifying relation name.
+    pub table: Option<String>,
+    /// Column name.
+    pub name: String,
+    /// Byte offset.
+    pub pos: usize,
+}

@@ -1,0 +1,154 @@
+//! The catalog the binder resolves names against: relation schemas, row
+//! counts (the planner's cost input) and the encoded-column `LIKE` rewrites.
+//!
+//! The engine's storage is integer/float only — string-valued CH columns
+//! (`i_data`, `c_state`...) exist only through their integer *encodings*
+//! (e.g. `i_data LIKE 'PR%'` is, by the generator's construction, exactly
+//! `i_im_id < 5000`). A [`LikeRewrite`] declares such a virtual column: the
+//! binder accepts `column LIKE 'pattern'` when a rewrite matches and replaces
+//! it with the registered predicate over the encoding column.
+
+use crate::error::SqlError;
+use htap_olap::Predicate;
+use htap_storage::{DataType, TableSchema};
+
+/// A registered rewrite of `table.column LIKE 'pattern'` into a predicate
+/// over the integer encoding column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LikeRewrite {
+    /// Relation the virtual string column belongs to.
+    pub table: String,
+    /// The virtual (encoded) column name as queries spell it.
+    pub column: String,
+    /// The exact pattern the rewrite covers.
+    pub pattern: String,
+    /// The predicate the condition rewrites to.
+    pub predicate: Predicate,
+}
+
+/// One relation known to the catalog.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableInfo {
+    /// The relation's schema.
+    pub schema: TableSchema,
+    /// Estimated (or exact) row count — the planner's join-order cost input.
+    pub rows: u64,
+}
+
+/// The name-resolution and statistics environment of one bind.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Catalog {
+    tables: Vec<TableInfo>,
+    like_rewrites: Vec<LikeRewrite>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a relation with its estimated row count. Returns `self` for
+    /// chaining.
+    pub fn with_table(mut self, schema: TableSchema, rows: u64) -> Self {
+        self.tables.push(TableInfo { schema, rows });
+        self
+    }
+
+    /// Register an encoded-column `LIKE` rewrite. Returns `self` for
+    /// chaining.
+    pub fn with_like_rewrite(
+        mut self,
+        table: impl Into<String>,
+        column: impl Into<String>,
+        pattern: impl Into<String>,
+        predicate: Predicate,
+    ) -> Self {
+        self.like_rewrites.push(LikeRewrite {
+            table: table.into(),
+            column: column.into(),
+            pattern: pattern.into(),
+            predicate,
+        });
+        self
+    }
+
+    /// All registered relations.
+    pub fn tables(&self) -> &[TableInfo] {
+        &self.tables
+    }
+
+    /// Look up a relation by name.
+    pub fn table(&self, name: &str) -> Option<&TableInfo> {
+        self.tables.iter().find(|t| t.schema.name == name)
+    }
+
+    /// Resolve a relation or report [`SqlError::UnknownTable`] at `pos`.
+    pub fn resolve_table(&self, name: &str, pos: usize) -> Result<&TableInfo, SqlError> {
+        self.table(name).ok_or_else(|| SqlError::UnknownTable {
+            name: name.to_string(),
+            pos,
+        })
+    }
+
+    /// The dtype of `column` in `table`, if both exist.
+    pub fn column_type(&self, table: &str, column: &str) -> Option<DataType> {
+        let info = self.table(table)?;
+        let idx = info.schema.column_index(column)?;
+        Some(info.schema.column(idx).dtype)
+    }
+
+    /// The `LIKE` rewrites registered for a column name (any table).
+    pub fn like_rewrites_for(&self, column: &str) -> Vec<&LikeRewrite> {
+        self.like_rewrites
+            .iter()
+            .filter(|r| r.column == column)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htap_olap::CmpOp;
+    use htap_storage::ColumnDef;
+
+    fn catalog() -> Catalog {
+        Catalog::new()
+            .with_table(
+                TableSchema::new(
+                    "item",
+                    vec![
+                        ColumnDef::new("i_id", DataType::I64),
+                        ColumnDef::new("i_im_id", DataType::I64),
+                        ColumnDef::new("i_price", DataType::F64),
+                    ],
+                    Some(0),
+                ),
+                100_000,
+            )
+            .with_like_rewrite(
+                "item",
+                "i_data",
+                "PR%",
+                Predicate::new("i_im_id", CmpOp::Lt, 5_000.0),
+            )
+    }
+
+    #[test]
+    fn resolves_tables_columns_and_rewrites() {
+        let c = catalog();
+        assert_eq!(c.table("item").unwrap().rows, 100_000);
+        assert_eq!(c.column_type("item", "i_price"), Some(DataType::F64));
+        assert_eq!(c.column_type("item", "ghost"), None);
+        assert_eq!(c.like_rewrites_for("i_data").len(), 1);
+        assert!(c.like_rewrites_for("i_name").is_empty());
+        assert_eq!(
+            c.resolve_table("nope", 9).unwrap_err(),
+            SqlError::UnknownTable {
+                name: "nope".into(),
+                pos: 9
+            }
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! The typed error every stage of the SQL frontend reports.
+//!
+//! Every variant carries the byte offset into the original query text where
+//! the problem was detected, so callers (the shell, the fuzz harness) can
+//! point at the offending token. Nothing in this crate panics on user input:
+//! lexing, parsing, binding and lowering all return [`SqlError`].
+
+/// An error from the SQL frontend (lexer, parser, binder or planner).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// A character the lexer has no token for.
+    UnexpectedChar {
+        /// The offending character.
+        ch: char,
+        /// Byte offset into the query text.
+        pos: usize,
+    },
+    /// A string literal whose closing quote is missing.
+    UnclosedString {
+        /// Byte offset of the opening quote.
+        pos: usize,
+    },
+    /// A numeric literal that does not parse.
+    BadNumber {
+        /// The literal text.
+        text: String,
+        /// Byte offset of the literal.
+        pos: usize,
+    },
+    /// The parser met a token it did not expect.
+    UnexpectedToken {
+        /// What was found (rendered token or "end of input").
+        found: String,
+        /// What the parser was looking for.
+        expected: String,
+        /// Byte offset of the found token.
+        pos: usize,
+    },
+    /// A relation name the catalog does not know.
+    UnknownTable {
+        /// The unresolved name.
+        name: String,
+        /// Byte offset of the name.
+        pos: usize,
+    },
+    /// A column name no relation in scope carries.
+    UnknownColumn {
+        /// The unresolved name.
+        name: String,
+        /// Byte offset of the name.
+        pos: usize,
+    },
+    /// A column name more than one relation in scope carries.
+    AmbiguousColumn {
+        /// The ambiguous name.
+        name: String,
+        /// The relations that all carry it.
+        tables: Vec<String>,
+        /// Byte offset of the name.
+        pos: usize,
+    },
+    /// A relation listed twice in `FROM`.
+    DuplicateTable {
+        /// The repeated name.
+        name: String,
+        /// Byte offset of the second occurrence.
+        pos: usize,
+    },
+    /// Syntactically valid SQL the engine has no physical shape or evaluation
+    /// path for (outer joins, HAVING, four-way joins, ORDER BY on scalars...).
+    Unsupported {
+        /// Human-readable description of the unsupported construct.
+        what: String,
+        /// Byte offset of the construct.
+        pos: usize,
+    },
+}
+
+impl SqlError {
+    /// Byte offset into the query text where the error was detected.
+    pub fn pos(&self) -> usize {
+        match self {
+            SqlError::UnexpectedChar { pos, .. }
+            | SqlError::UnclosedString { pos }
+            | SqlError::BadNumber { pos, .. }
+            | SqlError::UnexpectedToken { pos, .. }
+            | SqlError::UnknownTable { pos, .. }
+            | SqlError::UnknownColumn { pos, .. }
+            | SqlError::AmbiguousColumn { pos, .. }
+            | SqlError::DuplicateTable { pos, .. }
+            | SqlError::Unsupported { pos, .. } => *pos,
+        }
+    }
+}
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SqlError::UnexpectedChar { ch, pos } => {
+                write!(f, "unexpected character {ch:?} at offset {pos}")
+            }
+            SqlError::UnclosedString { pos } => {
+                write!(f, "unclosed string literal starting at offset {pos}")
+            }
+            SqlError::BadNumber { text, pos } => {
+                write!(f, "malformed number {text:?} at offset {pos}")
+            }
+            SqlError::UnexpectedToken {
+                found,
+                expected,
+                pos,
+            } => write!(f, "expected {expected}, found {found} at offset {pos}"),
+            SqlError::UnknownTable { name, pos } => {
+                write!(f, "unknown table {name:?} at offset {pos}")
+            }
+            SqlError::UnknownColumn { name, pos } => {
+                write!(f, "unknown column {name:?} at offset {pos}")
+            }
+            SqlError::AmbiguousColumn { name, tables, pos } => write!(
+                f,
+                "ambiguous column {name:?} at offset {pos} (carried by {})",
+                tables.join(", ")
+            ),
+            SqlError::DuplicateTable { name, pos } => {
+                write!(f, "table {name:?} listed twice in FROM at offset {pos}")
+            }
+            SqlError::Unsupported { what, pos } => {
+                write!(f, "unsupported: {what} (at offset {pos})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_their_position() {
+        let cases: Vec<SqlError> = vec![
+            SqlError::UnexpectedChar { ch: '#', pos: 3 },
+            SqlError::UnclosedString { pos: 5 },
+            SqlError::BadNumber {
+                text: "1.2.3".into(),
+                pos: 7,
+            },
+            SqlError::UnexpectedToken {
+                found: "FROM".into(),
+                expected: "an expression".into(),
+                pos: 11,
+            },
+            SqlError::UnknownTable {
+                name: "nope".into(),
+                pos: 13,
+            },
+            SqlError::UnknownColumn {
+                name: "ghost".into(),
+                pos: 17,
+            },
+            SqlError::AmbiguousColumn {
+                name: "id".into(),
+                tables: vec!["a".into(), "b".into()],
+                pos: 19,
+            },
+            SqlError::DuplicateTable {
+                name: "fact".into(),
+                pos: 23,
+            },
+            SqlError::Unsupported {
+                what: "outer joins".into(),
+                pos: 29,
+            },
+        ];
+        for (err, pos) in cases.into_iter().zip([3, 5, 7, 11, 13, 17, 19, 23, 29]) {
+            assert_eq!(err.pos(), pos);
+            assert!(
+                err.to_string().contains(&pos.to_string()),
+                "{err} must mention offset {pos}"
+            );
+        }
+    }
+}

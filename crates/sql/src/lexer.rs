@@ -1,0 +1,361 @@
+//! The SQL lexer: query text → position-tagged tokens.
+//!
+//! Keywords are not distinguished here — they surface as [`Tok::Ident`] and
+//! the parser matches them case-insensitively, which keeps the token set
+//! small and lets column names shadow nothing.
+
+use crate::error::SqlError;
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (case preserved; keyword matching is the
+    /// parser's job).
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// Single-quoted string literal (quotes stripped, no escapes).
+    Str(String),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `.`
+    Dot,
+    /// `;`
+    Semi,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl Tok {
+    /// Render the token for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("{s:?}"),
+            Tok::Number(v) => format!("number {v}"),
+            Tok::Str(s) => format!("string {s:?}"),
+            Tok::Comma => "','".into(),
+            Tok::LParen => "'('".into(),
+            Tok::RParen => "')'".into(),
+            Tok::Star => "'*'".into(),
+            Tok::Plus => "'+'".into(),
+            Tok::Minus => "'-'".into(),
+            Tok::Dot => "'.'".into(),
+            Tok::Semi => "';'".into(),
+            Tok::Eq => "'='".into(),
+            Tok::Ne => "'<>'".into(),
+            Tok::Lt => "'<'".into(),
+            Tok::Le => "'<='".into(),
+            Tok::Gt => "'>'".into(),
+            Tok::Ge => "'>='".into(),
+        }
+    }
+}
+
+/// A token plus the byte offset where it starts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Byte offset into the query text.
+    pub pos: usize,
+}
+
+/// Tokenise `sql`. Unknown characters, unclosed strings and malformed
+/// numbers are typed errors, never panics.
+pub fn lex(sql: &str) -> Result<Vec<Token>, SqlError> {
+    let bytes = sql.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b',' => {
+                out.push(Token {
+                    tok: Tok::Comma,
+                    pos: i,
+                });
+                i += 1;
+            }
+            b'(' => {
+                out.push(Token {
+                    tok: Tok::LParen,
+                    pos: i,
+                });
+                i += 1;
+            }
+            b')' => {
+                out.push(Token {
+                    tok: Tok::RParen,
+                    pos: i,
+                });
+                i += 1;
+            }
+            b'*' => {
+                out.push(Token {
+                    tok: Tok::Star,
+                    pos: i,
+                });
+                i += 1;
+            }
+            b'+' => {
+                out.push(Token {
+                    tok: Tok::Plus,
+                    pos: i,
+                });
+                i += 1;
+            }
+            b'-' => {
+                out.push(Token {
+                    tok: Tok::Minus,
+                    pos: i,
+                });
+                i += 1;
+            }
+            b'.' => {
+                out.push(Token {
+                    tok: Tok::Dot,
+                    pos: i,
+                });
+                i += 1;
+            }
+            b';' => {
+                out.push(Token {
+                    tok: Tok::Semi,
+                    pos: i,
+                });
+                i += 1;
+            }
+            b'=' => {
+                out.push(Token {
+                    tok: Tok::Eq,
+                    pos: i,
+                });
+                i += 1;
+            }
+            b'<' => {
+                let (tok, step) = match bytes.get(i + 1) {
+                    Some(b'=') => (Tok::Le, 2),
+                    Some(b'>') => (Tok::Ne, 2),
+                    _ => (Tok::Lt, 1),
+                };
+                out.push(Token { tok, pos: i });
+                i += step;
+            }
+            b'>' => {
+                let (tok, step) = match bytes.get(i + 1) {
+                    Some(b'=') => (Tok::Ge, 2),
+                    _ => (Tok::Gt, 1),
+                };
+                out.push(Token { tok, pos: i });
+                i += step;
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token {
+                        tok: Tok::Ne,
+                        pos: i,
+                    });
+                    i += 2;
+                } else {
+                    return Err(SqlError::UnexpectedChar { ch: '!', pos: i });
+                }
+            }
+            b'\'' => {
+                let start = i;
+                i += 1;
+                let content_start = i;
+                while i < bytes.len() && bytes[i] != b'\'' {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(SqlError::UnclosedString { pos: start });
+                }
+                out.push(Token {
+                    tok: Tok::Str(sql[content_start..i].to_string()),
+                    pos: start,
+                });
+                i += 1;
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                // One fractional part; a second '.' makes the literal
+                // malformed (the "1.2.3" case) rather than two tokens.
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    if i < bytes.len()
+                        && bytes[i] == b'.'
+                        && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                    {
+                        while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
+                            i += 1;
+                        }
+                        return Err(SqlError::BadNumber {
+                            text: sql[start..i].to_string(),
+                            pos: start,
+                        });
+                    }
+                }
+                let text = &sql[start..i];
+                let value = text.parse::<f64>().map_err(|_| SqlError::BadNumber {
+                    text: text.to_string(),
+                    pos: start,
+                })?;
+                out.push(Token {
+                    tok: Tok::Number(value),
+                    pos: start,
+                });
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Token {
+                    tok: Tok::Ident(sql[start..i].to_string()),
+                    pos: start,
+                });
+            }
+            other => {
+                // Report the full character, not the raw byte, for non-ASCII.
+                let ch = sql[i..].chars().next().unwrap_or(other as char);
+                return Err(SqlError::UnexpectedChar { ch, pos: i });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(sql: &str) -> Vec<Tok> {
+        lex(sql).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn tokenises_a_simple_query() {
+        assert_eq!(
+            toks("SELECT SUM(a) FROM t WHERE b >= 1.5"),
+            vec![
+                Tok::Ident("SELECT".into()),
+                Tok::Ident("SUM".into()),
+                Tok::LParen,
+                Tok::Ident("a".into()),
+                Tok::RParen,
+                Tok::Ident("FROM".into()),
+                Tok::Ident("t".into()),
+                Tok::Ident("WHERE".into()),
+                Tok::Ident("b".into()),
+                Tok::Ge,
+                Tok::Number(1.5),
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators_and_both_ne_spellings() {
+        assert_eq!(
+            toks("a < b <= c > d >= e = f <> g != h"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Lt,
+                Tok::Ident("b".into()),
+                Tok::Le,
+                Tok::Ident("c".into()),
+                Tok::Gt,
+                Tok::Ident("d".into()),
+                Tok::Ge,
+                Tok::Ident("e".into()),
+                Tok::Eq,
+                Tok::Ident("f".into()),
+                Tok::Ne,
+                Tok::Ident("g".into()),
+                Tok::Ne,
+                Tok::Ident("h".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_positions() {
+        let tokens = lex("x LIKE 'PR%'").unwrap();
+        assert_eq!(tokens[2].tok, Tok::Str("PR%".into()));
+        assert_eq!(tokens[2].pos, 7);
+        assert_eq!(tokens[0].pos, 0);
+    }
+
+    #[test]
+    fn unclosed_string_is_a_typed_error() {
+        assert_eq!(lex("a LIKE 'PR"), Err(SqlError::UnclosedString { pos: 7 }));
+    }
+
+    #[test]
+    fn unexpected_characters_are_typed_errors() {
+        assert_eq!(
+            lex("a # b"),
+            Err(SqlError::UnexpectedChar { ch: '#', pos: 2 })
+        );
+        assert_eq!(
+            lex("a ! b"),
+            Err(SqlError::UnexpectedChar { ch: '!', pos: 2 })
+        );
+        // Non-ASCII is reported as the character, not a byte.
+        assert!(matches!(
+            lex("a £ b"),
+            Err(SqlError::UnexpectedChar { ch: '£', .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_number_is_a_typed_error() {
+        assert_eq!(
+            lex("SELECT 1.2.3"),
+            Err(SqlError::BadNumber {
+                text: "1.2.3".into(),
+                pos: 7
+            })
+        );
+    }
+
+    #[test]
+    fn a_trailing_dot_is_its_own_token() {
+        // "t.c" style qualification: the dot separates identifiers.
+        assert_eq!(
+            toks("t.c"),
+            vec![Tok::Ident("t".into()), Tok::Dot, Tok::Ident("c".into())]
+        );
+        // "1." does not swallow the dot into the number.
+        assert_eq!(toks("1."), vec![Tok::Number(1.0), Tok::Dot]);
+    }
+}

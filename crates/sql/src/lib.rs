@@ -1,0 +1,592 @@
+//! SQL frontend for the vectorized morsel engine: lexer → recursive-descent
+//! parser → AST → binder → cost-aware planner.
+//!
+//! The pipeline turns query text into the same physical [`QueryPlan`]s the
+//! hand-built CH-benCHmark queries use, so SQL automatically gets the full
+//! vectorized + selection-vector execution path (compiled register programs,
+//! open-addressing hash tables, per-worker scratch — see PR 4):
+//!
+//! ```text
+//! SQL text ──lex──▶ tokens ──parse──▶ SelectStmt (AST)
+//!          ──bind(catalog)──▶ BoundQuery (resolved names, typed errors)
+//!          ──lower──▶ QueryPlan (one of the five physical shapes)
+//! ```
+//!
+//! Supported grammar (see the "SQL frontend" section of ARCHITECTURE.md for
+//! the full table and the lowering rules): `SELECT` of grouping keys and
+//! `SUM`/`AVG`/`MIN`/`MAX`/`COUNT(*)` aggregates, `FROM` up to three
+//! relations with inner joins (comma list or `JOIN ... ON`), conjunctive
+//! `WHERE` predicates (`column op literal`, `+`/`-`/`*` arithmetic in join
+//! keys and aggregate arguments), `LIKE` on encoded columns, `GROUP BY`,
+//! `ORDER BY` and `LIMIT` (lowering to the engine's deterministic top-k).
+//!
+//! Everything outside the subset — and every unknown table/column, ambiguous
+//! name, unclosed string or malformed number — is a typed [`SqlError`] with
+//! the byte offset of the offending token. No input panics this crate.
+//!
+//! The planner is *cost-aware*: the probe side of a join is pinned by where
+//! the aggregates and grouping keys live; a free (`COUNT(*)`-only) choice
+//! first pins the build to a unique primary-key side (so statistics can
+//! never change an answer) and only then lets the catalog's relation
+//! cardinalities decide — probe with the largest relation, build the hash
+//! set from the smallest (see [`planner`]).
+
+pub mod ast;
+pub mod binder;
+pub mod catalog;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod planner;
+
+pub use binder::{bind, BoundQuery};
+pub use catalog::{Catalog, LikeRewrite, TableInfo};
+pub use error::SqlError;
+pub use parser::parse;
+pub use planner::lower;
+
+use htap_olap::QueryPlan;
+
+/// Compile one SQL `SELECT` into a physical [`QueryPlan`]: parse, bind
+/// against `catalog`, lower. The single entry point most callers need.
+pub fn plan(sql: &str, catalog: &Catalog) -> Result<QueryPlan, SqlError> {
+    let stmt = parser::parse(sql)?;
+    let bound = binder::bind(&stmt, catalog)?;
+    planner::lower(&bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htap_olap::{AggExpr, BuildSide, CmpOp, Predicate, QueryPlan, ScalarExpr, TopK};
+    use htap_storage::{ColumnDef, DataType, TableSchema};
+
+    /// fact(3000 rows) ⋈ mid(30) ⋈ far(12), plus an encoded LIKE on mid.
+    fn catalog() -> Catalog {
+        Catalog::new()
+            .with_table(
+                TableSchema::new(
+                    "fact",
+                    vec![
+                        ColumnDef::new("f_id", DataType::I64),
+                        ColumnDef::new("f_mid", DataType::I64),
+                        ColumnDef::new("f_g", DataType::I32),
+                        ColumnDef::new("f_a", DataType::F64),
+                    ],
+                    Some(0),
+                ),
+                3_000,
+            )
+            .with_table(
+                TableSchema::new(
+                    "mid",
+                    vec![
+                        ColumnDef::new("m_id", DataType::I64),
+                        ColumnDef::new("m_far", DataType::I64),
+                        ColumnDef::new("m_v", DataType::F64),
+                        ColumnDef::new("m_name", DataType::Str),
+                    ],
+                    Some(0),
+                ),
+                30,
+            )
+            .with_table(
+                TableSchema::new(
+                    "far",
+                    vec![
+                        ColumnDef::new("r_id", DataType::I64),
+                        ColumnDef::new("r_v", DataType::F64),
+                    ],
+                    Some(0),
+                ),
+                12,
+            )
+            .with_like_rewrite(
+                "mid",
+                "m_data",
+                "PR%",
+                Predicate::new("m_v", CmpOp::Lt, 50.0),
+            )
+    }
+
+    #[test]
+    fn scalar_aggregate_lowers_to_aggregate_shape() {
+        let plan = plan(
+            "SELECT SUM(f_a * f_a), COUNT(*) FROM fact WHERE f_a >= 1 AND f_g < 4",
+            &catalog(),
+        )
+        .unwrap();
+        assert_eq!(
+            plan,
+            QueryPlan::Aggregate {
+                table: "fact".into(),
+                filters: vec![
+                    Predicate::new("f_a", CmpOp::Ge, 1.0),
+                    Predicate::new("f_g", CmpOp::Lt, 4.0),
+                ],
+                aggregates: vec![
+                    AggExpr::Sum(ScalarExpr::col("f_a") * ScalarExpr::col("f_a")),
+                    AggExpr::Count,
+                ],
+            }
+        );
+    }
+
+    #[test]
+    fn group_by_lowers_with_keys_leading_the_select_list() {
+        let plan = plan(
+            "SELECT f_g, AVG(f_a), COUNT(*) FROM fact GROUP BY f_g ORDER BY f_g",
+            &catalog(),
+        )
+        .unwrap();
+        assert_eq!(
+            plan,
+            QueryPlan::GroupByAggregate {
+                table: "fact".into(),
+                filters: vec![],
+                group_by: vec!["f_g".into()],
+                aggregates: vec![AggExpr::Avg(ScalarExpr::col("f_a")), AggExpr::Count],
+            }
+        );
+    }
+
+    #[test]
+    fn plain_key_join_lowers_to_join_aggregate() {
+        let plan = plan(
+            "SELECT SUM(f_a) FROM fact JOIN mid ON f_mid = m_id WHERE m_v >= 10",
+            &catalog(),
+        )
+        .unwrap();
+        assert_eq!(
+            plan,
+            QueryPlan::JoinAggregate {
+                fact: "fact".into(),
+                dim: "mid".into(),
+                fact_key: "f_mid".into(),
+                dim_key: "m_id".into(),
+                fact_filters: vec![],
+                dim_filters: vec![Predicate::new("m_v", CmpOp::Ge, 10.0)],
+                aggregates: vec![AggExpr::Sum(ScalarExpr::col("f_a"))],
+            }
+        );
+    }
+
+    #[test]
+    fn comma_join_with_where_condition_is_equivalent() {
+        let a = plan(
+            "SELECT SUM(f_a) FROM fact, mid WHERE f_mid = m_id",
+            &catalog(),
+        )
+        .unwrap();
+        let b = plan(
+            "SELECT SUM(f_a) FROM fact JOIN mid ON f_mid = m_id",
+            &catalog(),
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn group_by_join_lowers_with_top_k() {
+        let plan = plan(
+            "SELECT f_g, COUNT(*) FROM fact JOIN mid ON f_mid = m_id \
+             GROUP BY f_g ORDER BY COUNT(*) DESC LIMIT 5",
+            &catalog(),
+        )
+        .unwrap();
+        assert_eq!(
+            plan,
+            QueryPlan::JoinGroupByAggregate {
+                fact: "fact".into(),
+                fact_key: ScalarExpr::col("f_mid"),
+                fact_filters: vec![],
+                dim: BuildSide::new("mid", ScalarExpr::col("m_id"), vec![]),
+                group_by: vec!["f_g".into()],
+                aggregates: vec![AggExpr::Count],
+                top_k: Some(TopK { agg_index: 0, k: 5 }),
+            }
+        );
+    }
+
+    #[test]
+    fn three_table_chain_lowers_to_multi_join() {
+        let plan = plan(
+            "SELECT SUM(f_a), COUNT(*) FROM fact \
+             JOIN mid ON f_mid = m_id JOIN far ON m_far = r_id \
+             WHERE f_a >= 0 AND m_v >= 1 AND r_v < 40",
+            &catalog(),
+        )
+        .unwrap();
+        assert_eq!(
+            plan,
+            QueryPlan::MultiJoinAggregate {
+                fact: "fact".into(),
+                fact_key: ScalarExpr::col("f_mid"),
+                fact_filters: vec![Predicate::new("f_a", CmpOp::Ge, 0.0)],
+                mid: BuildSide::new(
+                    "mid",
+                    ScalarExpr::col("m_id"),
+                    vec![Predicate::new("m_v", CmpOp::Ge, 1.0)],
+                ),
+                mid_fk: ScalarExpr::col("m_far"),
+                far: BuildSide::new(
+                    "far",
+                    ScalarExpr::col("r_id"),
+                    vec![Predicate::new("r_v", CmpOp::Lt, 40.0)],
+                ),
+                aggregates: vec![AggExpr::Sum(ScalarExpr::col("f_a")), AggExpr::Count],
+            }
+        );
+    }
+
+    #[test]
+    fn chain_order_in_the_text_does_not_matter() {
+        // far listed first: the chain is still discovered from the graph.
+        let a = plan(
+            "SELECT SUM(f_a) FROM far, mid, fact WHERE m_far = r_id AND f_mid = m_id",
+            &catalog(),
+        )
+        .unwrap();
+        let b = plan(
+            "SELECT SUM(f_a) FROM fact JOIN mid ON f_mid = m_id JOIN far ON m_far = r_id",
+            &catalog(),
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn count_only_join_probes_the_foreign_key_side() {
+        // Nothing in the SELECT list pins the fact side. `m_id` is mid's
+        // primary key, so mid is the unique build side and fact (the
+        // foreign-key side) probes — whatever order the relations are
+        // written in, and whatever the statistics say (the engine's join is
+        // a key-set semijoin: probing the FK side of an N:1 join preserves
+        // the SQL inner-join count).
+        for sql in [
+            "SELECT COUNT(*) FROM fact JOIN mid ON f_mid = m_id",
+            "SELECT COUNT(*) FROM mid JOIN fact ON m_id = f_mid",
+        ] {
+            let plan = plan(sql, &catalog()).unwrap();
+            let QueryPlan::JoinAggregate { fact, dim, .. } = &plan else {
+                panic!("{sql}: expected a join, got {plan:?}");
+            };
+            assert_eq!(fact, "fact", "{sql}");
+            assert_eq!(dim, "mid", "{sql}");
+        }
+    }
+
+    #[test]
+    fn pk_pin_beats_cardinality_but_cardinality_decides_free_joins() {
+        let schemas = |pk: Option<usize>, fact_rows: u64, mid_rows: u64| {
+            Catalog::new()
+                .with_table(
+                    TableSchema::new(
+                        "fact",
+                        vec![
+                            ColumnDef::new("f_id", DataType::I64),
+                            ColumnDef::new("f_mid", DataType::I64),
+                        ],
+                        pk,
+                    ),
+                    fact_rows,
+                )
+                .with_table(
+                    TableSchema::new("mid", vec![ColumnDef::new("m_id", DataType::I64)], pk),
+                    mid_rows,
+                )
+        };
+        let probe = |catalog: &Catalog| {
+            let plan = plan(
+                "SELECT COUNT(*) FROM fact JOIN mid ON f_mid = m_id",
+                catalog,
+            )
+            .unwrap();
+            let QueryPlan::JoinAggregate { fact, .. } = plan else {
+                panic!("expected a join");
+            };
+            fact
+        };
+        // With mid keyed on m_id, inverting the row counts must NOT flip
+        // the probe side — statistics never change a COUNT(*) answer.
+        assert_eq!(probe(&schemas(Some(0), 3_000, 30)), "fact");
+        assert_eq!(probe(&schemas(Some(0), 30, 3_000)), "fact");
+        // Without any primary keys neither side is semantically pinned:
+        // cost decides, probing the larger relation.
+        assert_eq!(probe(&schemas(None, 3_000, 30)), "fact");
+        assert_eq!(probe(&schemas(None, 30, 3_000)), "mid");
+    }
+
+    #[test]
+    fn count_only_chain_picks_an_endpoint_even_when_the_middle_is_largest() {
+        // mid (the chain's middle relation) dwarfs both endpoints: the
+        // planner must still probe an endpoint — the engine has no shape
+        // that probes the middle — instead of rejecting the query.
+        let big_mid = Catalog::new()
+            .with_table(
+                TableSchema::new(
+                    "fact",
+                    vec![
+                        ColumnDef::new("f_id", DataType::I64),
+                        ColumnDef::new("f_mid", DataType::I64),
+                    ],
+                    Some(0),
+                ),
+                3_000,
+            )
+            .with_table(
+                TableSchema::new(
+                    "mid",
+                    vec![
+                        ColumnDef::new("m_id", DataType::I64),
+                        ColumnDef::new("m_far", DataType::I64),
+                    ],
+                    Some(0),
+                ),
+                1_000_000,
+            )
+            .with_table(
+                TableSchema::new("far", vec![ColumnDef::new("r_id", DataType::I64)], Some(0)),
+                12,
+            );
+        let plan = plan(
+            "SELECT COUNT(*) FROM fact JOIN mid ON f_mid = m_id JOIN far ON m_far = r_id",
+            &big_mid,
+        )
+        .unwrap();
+        let QueryPlan::MultiJoinAggregate { fact, mid, far, .. } = &plan else {
+            panic!("expected a chain join, got {plan:?}");
+        };
+        // fact joins mid on a foreign key (f_mid vs mid's PK m_id), so the
+        // fact endpoint probes; mid stays the middle build.
+        assert_eq!(fact, "fact");
+        assert_eq!(mid.table, "mid");
+        assert_eq!(far.table, "far");
+    }
+
+    #[test]
+    fn aggregates_over_the_chain_middle_are_rejected_with_a_clear_error() {
+        let err = plan(
+            "SELECT SUM(m_v) FROM fact JOIN mid ON f_mid = m_id JOIN far ON m_far = r_id",
+            &catalog(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, SqlError::Unsupported { ref what, .. } if what.contains("middle")),
+            "expected a middle-relation error, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn expression_join_keys_compile_to_scalar_exprs() {
+        let plan = plan(
+            "SELECT f_g, SUM(f_a) FROM fact JOIN mid ON f_g * 4 + f_id = m_id GROUP BY f_g \
+             ORDER BY f_g",
+            &catalog(),
+        )
+        .unwrap();
+        let QueryPlan::JoinGroupByAggregate { fact_key, .. } = &plan else {
+            panic!("expected join-group-by, got {plan:?}");
+        };
+        assert_eq!(
+            *fact_key,
+            ScalarExpr::col("f_g") * ScalarExpr::lit(4.0) + ScalarExpr::col("f_id")
+        );
+    }
+
+    #[test]
+    fn like_on_encoded_column_rewrites_to_the_registered_predicate() {
+        let plan = plan(
+            "SELECT SUM(f_a) FROM fact JOIN mid ON f_mid = m_id WHERE m_data LIKE 'PR%'",
+            &catalog(),
+        )
+        .unwrap();
+        let QueryPlan::JoinAggregate { dim_filters, .. } = &plan else {
+            panic!("expected a join, got {plan:?}");
+        };
+        assert_eq!(dim_filters, &vec![Predicate::new("m_v", CmpOp::Lt, 50.0)]);
+    }
+
+    #[test]
+    fn like_errors_are_typed() {
+        let c = catalog();
+        // Unknown pattern on a registered encoded column.
+        let err = plan(
+            "SELECT SUM(f_a) FROM fact JOIN mid ON f_mid = m_id WHERE m_data LIKE 'XX%'",
+            &c,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SqlError::Unsupported { ref what, .. } if what.contains("PR%")));
+        // LIKE on a real numeric column (no rewrite).
+        let err = plan("SELECT SUM(f_a) FROM fact WHERE f_a LIKE 'x'", &c).unwrap_err();
+        assert!(matches!(err, SqlError::Unsupported { ref what, .. } if what.contains("LIKE")));
+        // LIKE on a column that exists nowhere.
+        let err = plan("SELECT SUM(f_a) FROM fact WHERE ghost LIKE 'x'", &c).unwrap_err();
+        assert!(matches!(err, SqlError::UnknownColumn { .. }));
+        // LIKE on an encoded column whose relation is not in scope.
+        let err = plan("SELECT SUM(f_a) FROM fact WHERE m_data LIKE 'PR%'", &c).unwrap_err();
+        assert!(matches!(err, SqlError::UnknownColumn { .. }));
+        // A qualified LIKE naming an out-of-scope table blames the *table*,
+        // not the column — the qualifier is the actual problem.
+        let err = plan("SELECT SUM(f_a) FROM fact WHERE mid.m_data LIKE 'PR%'", &c).unwrap_err();
+        assert!(
+            matches!(err, SqlError::UnknownTable { ref name, .. } if name == "mid"),
+            "expected UnknownTable(mid), got {err:?}"
+        );
+    }
+
+    #[test]
+    fn name_resolution_errors_are_typed_with_positions() {
+        let c = catalog();
+        let err = plan("SELECT COUNT(*) FROM nope", &c).unwrap_err();
+        assert_eq!(
+            err,
+            SqlError::UnknownTable {
+                name: "nope".into(),
+                pos: 21
+            }
+        );
+        let err = plan("SELECT COUNT(*) FROM fact WHERE ghost > 1", &c).unwrap_err();
+        assert!(matches!(err, SqlError::UnknownColumn { ref name, pos: 32 } if name == "ghost"));
+        // m_v exists only in mid; referencing it from a fact-only scope fails.
+        let err = plan("SELECT COUNT(*) FROM fact WHERE m_v > 1", &c).unwrap_err();
+        assert!(matches!(err, SqlError::UnknownColumn { .. }));
+        // r_v is unambiguous; a column carried by two relations is not.
+        let two = Catalog::new()
+            .with_table(
+                TableSchema::new("a", vec![ColumnDef::new("x", DataType::I64)], Some(0)),
+                10,
+            )
+            .with_table(
+                TableSchema::new("b", vec![ColumnDef::new("x", DataType::I64)], Some(0)),
+                10,
+            );
+        let err = plan("SELECT COUNT(*) FROM a, b WHERE x > 1", &two).unwrap_err();
+        assert!(
+            matches!(err, SqlError::AmbiguousColumn { ref name, ref tables, .. }
+                if name == "x" && tables == &vec!["a".to_string(), "b".into()])
+        );
+        // Qualification resolves the ambiguity — but a cross join is still
+        // out of the subset, which is the next typed error in line.
+        let err = plan("SELECT COUNT(*) FROM a, b WHERE a.x > 1", &two).unwrap_err();
+        assert!(matches!(err, SqlError::Unsupported { ref what, .. } if what.contains("cross")));
+        let ok = plan(
+            "SELECT COUNT(*) FROM a, b WHERE a.x = b.x AND a.x > 1",
+            &two,
+        )
+        .unwrap();
+        assert_eq!(ok.label(), "join");
+    }
+
+    #[test]
+    fn duplicate_tables_and_string_columns_are_rejected() {
+        let c = catalog();
+        let err = plan("SELECT COUNT(*) FROM fact, fact", &c).unwrap_err();
+        assert!(matches!(err, SqlError::DuplicateTable { ref name, .. } if name == "fact"));
+        let err = plan("SELECT COUNT(*) FROM mid WHERE m_name = 1", &c).unwrap_err();
+        assert!(matches!(err, SqlError::Unsupported { ref what, .. } if what.contains("string")));
+    }
+
+    #[test]
+    fn shape_mismatches_are_unsupported_not_panics() {
+        let c = catalog();
+        for (sql, needle) in [
+            // Aggregates from the build side.
+            (
+                "SELECT f_g, SUM(m_v) FROM fact JOIN mid ON f_mid = m_id GROUP BY f_g",
+                "probe side",
+            ),
+            // Top-k without a join.
+            (
+                "SELECT f_g, COUNT(*) FROM fact GROUP BY f_g ORDER BY COUNT(*) DESC LIMIT 3",
+                "GROUP BY",
+            ),
+            // LIMIT without the aggregate ordering.
+            (
+                "SELECT f_g, COUNT(*) FROM fact JOIN mid ON f_mid = m_id GROUP BY f_g LIMIT 3",
+                "LIMIT",
+            ),
+            // Aggregate ordering without LIMIT.
+            (
+                "SELECT f_g, COUNT(*) FROM fact JOIN mid ON f_mid = m_id GROUP BY f_g \
+                 ORDER BY COUNT(*) DESC",
+                "LIMIT",
+            ),
+            // GROUP BY over three relations.
+            (
+                "SELECT f_g, COUNT(*) FROM fact JOIN mid ON f_mid = m_id \
+                 JOIN far ON m_far = r_id GROUP BY f_g",
+                "three-relation",
+            ),
+            // Non-equi join.
+            (
+                "SELECT COUNT(*) FROM fact JOIN mid ON f_mid < m_id",
+                "non-equality",
+            ),
+            // Cross join of three relations.
+            (
+                "SELECT SUM(f_a) FROM fact, mid, far WHERE f_mid = m_id",
+                "chain",
+            ),
+            // Both conditions touch the aggregate-bearing relation: the
+            // chain puts it in the middle, which no physical shape probes.
+            (
+                "SELECT SUM(f_a) FROM fact, mid, far WHERE f_mid = m_id AND f_id = r_id",
+                "middle",
+            ),
+            // Computed filter.
+            ("SELECT SUM(f_a) FROM fact WHERE f_a * 2 > 1", "computed"),
+            // Constant comparison.
+            ("SELECT SUM(f_a) FROM fact WHERE 1 < 2", "constants"),
+            // Non-integer group key.
+            ("SELECT f_a, COUNT(*) FROM fact GROUP BY f_a", "non-integer"),
+            // Grouped select list not led by the keys.
+            ("SELECT COUNT(*) FROM fact GROUP BY f_g", "GROUP BY key"),
+            // ORDER BY a non-key column.
+            (
+                "SELECT f_g, COUNT(*) FROM fact GROUP BY f_g ORDER BY f_id",
+                "GROUP BY order",
+            ),
+            // Four relations.
+            (
+                "SELECT COUNT(*) FROM fact, mid, far, fact WHERE f_mid = m_id",
+                "",
+            ),
+        ] {
+            let err = plan(sql, &c).unwrap_err();
+            match &err {
+                SqlError::Unsupported { what, .. } => {
+                    assert!(what.contains(needle), "{sql}: {what:?} lacks {needle:?}")
+                }
+                SqlError::DuplicateTable { .. } if sql.contains("fact, mid, far, fact") => {}
+                other => panic!("{sql}: expected Unsupported, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn literal_on_the_left_flips_the_operator() {
+        let plan = plan("SELECT SUM(f_a) FROM fact WHERE 10 >= f_a", &catalog()).unwrap();
+        assert_eq!(
+            plan,
+            QueryPlan::Aggregate {
+                table: "fact".into(),
+                filters: vec![Predicate::new("f_a", CmpOp::Le, 10.0)],
+                aggregates: vec![AggExpr::Sum(ScalarExpr::col("f_a"))],
+            }
+        );
+    }
+
+    #[test]
+    fn constant_arithmetic_folds_into_the_literal() {
+        let plan = plan(
+            "SELECT SUM(f_a) FROM fact WHERE f_a < 2 * 3 + 1",
+            &catalog(),
+        )
+        .unwrap();
+        let QueryPlan::Aggregate { filters, .. } = &plan else {
+            panic!("expected aggregate");
+        };
+        assert_eq!(filters, &vec![Predicate::new("f_a", CmpOp::Lt, 7.0)]);
+    }
+}

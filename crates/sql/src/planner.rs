@@ -1,0 +1,376 @@
+//! The planner: bound logical query → physical [`QueryPlan`].
+//!
+//! The engine executes five physical shapes (see `crates/olap/src/plan.rs`);
+//! lowering picks one and decides the join order:
+//!
+//! | bound query | physical shape |
+//! |---|---|
+//! | 1 relation, no `GROUP BY` | [`QueryPlan::Aggregate`] |
+//! | 1 relation, `GROUP BY` | [`QueryPlan::GroupByAggregate`] |
+//! | 2 relations, plain column keys, no `GROUP BY` | [`QueryPlan::JoinAggregate`] |
+//! | 2 relations, `GROUP BY` (or computed keys) | [`QueryPlan::JoinGroupByAggregate`] |
+//! | 3 relations in a chain, no `GROUP BY` | [`QueryPlan::MultiJoinAggregate`] |
+//!
+//! **Join order.** The probe (fact) side must be the relation the aggregates
+//! and grouping keys read — the engine folds fact columns only. When that
+//! constraint does not pin a side (`COUNT(*)`-only queries), semantics come
+//! before cost: a side joining on its unique primary key becomes the *build*
+//! side (the engine's join is a key-set semijoin, so probing the foreign-key
+//! side of an N:1 join preserves the SQL inner-join count — no statistic may
+//! change an answer). Only among the remaining equivalent orders do the
+//! catalog cardinalities decide: probe the largest relation, build the hash
+//! set from the smallest — the classic broadcast-join cost argument.
+//! Three-way joins probe an *endpoint* of the chain fact → mid → far (the
+//! graph, not the text order, determines the roles).
+//!
+//! `ORDER BY aggregate DESC LIMIT k` lowers to the join-group-by shape's
+//! [`TopK`]; `ORDER BY` on grouping keys is validated and then dropped — the
+//! engine already emits groups in ascending key order.
+
+use crate::binder::{BoundOrder, BoundQuery};
+use crate::error::SqlError;
+use htap_olap::{BuildSide, QueryPlan, ScalarExpr, TopK};
+
+/// Lower a bound query onto a physical plan.
+pub fn lower(bound: &BoundQuery) -> Result<QueryPlan, SqlError> {
+    match bound.tables.len() {
+        1 => lower_single(bound),
+        2 => lower_join(bound),
+        3 => lower_chain(bound),
+        n => Err(SqlError::Unsupported {
+            what: format!("a {n}-relation join (at most three relations)"),
+            pos: bound.tables[3].pos,
+        }),
+    }
+}
+
+/// The top-k clause, if the query ordered by an aggregate: requires a LIMIT;
+/// a LIMIT alone (without the ordering) has no physical counterpart.
+fn top_k(bound: &BoundQuery) -> Result<Option<TopK>, SqlError> {
+    let agg_order = bound.order_by.iter().find_map(|(o, pos)| match o {
+        BoundOrder::Aggregate(i) => Some((*i, *pos)),
+        BoundOrder::GroupKey(_) => None,
+    });
+    match (agg_order, bound.limit) {
+        (Some((agg_index, _)), Some((k, _))) => Ok(Some(TopK {
+            agg_index,
+            k: k as usize,
+        })),
+        (Some((_, pos)), None) => Err(SqlError::Unsupported {
+            what: "ORDER BY an aggregate without a LIMIT (top-k needs a bound)".into(),
+            pos,
+        }),
+        (None, Some((_, pos))) => Err(SqlError::Unsupported {
+            what: "LIMIT without ORDER BY <aggregate> DESC (groups cannot be truncated \
+                   order-insensitively)"
+                .into(),
+            pos,
+        }),
+        (None, None) => Ok(None),
+    }
+}
+
+/// Reject top-k / LIMIT on shapes that produce scalars or plain group runs.
+fn reject_top_k(bound: &BoundQuery, shape: &str) -> Result<(), SqlError> {
+    if let Some((_, pos)) = bound
+        .order_by
+        .iter()
+        .find(|(o, _)| matches!(o, BoundOrder::Aggregate(_)))
+    {
+        return Err(SqlError::Unsupported {
+            what: format!("ORDER BY an aggregate on {shape} (top-k needs a join + GROUP BY)"),
+            pos: *pos,
+        });
+    }
+    if let Some((_, pos)) = bound.limit {
+        return Err(SqlError::Unsupported {
+            what: format!("LIMIT on {shape}"),
+            pos,
+        });
+    }
+    Ok(())
+}
+
+/// The fact (probe-side) relation when the query pins one: the relation the
+/// grouping keys come from, else the single relation the aggregate inputs
+/// read. `None` means the choice is free (`COUNT(*)`-only) — the caller
+/// decides, first by join-key uniqueness, then by cardinality.
+fn pinned_fact(bound: &BoundQuery) -> Result<Option<usize>, SqlError> {
+    if let Some(t) = bound.group_table {
+        if let Some(&other) = bound.agg_tables.iter().find(|&&a| a != t) {
+            return Err(SqlError::Unsupported {
+                what: format!(
+                    "aggregates over {} with GROUP BY keys from {} (both must come from the \
+                     probe side)",
+                    bound.tables[other].name, bound.tables[t].name
+                ),
+                pos: bound.agg_pos.first().copied().unwrap_or(0),
+            });
+        }
+        return Ok(Some(t));
+    }
+    match bound.agg_tables.len() {
+        0 => Ok(None),
+        1 => Ok(Some(*bound.agg_tables.first().expect("non-empty"))),
+        _ => Err(SqlError::Unsupported {
+            what: "aggregates over columns of more than one relation".into(),
+            pos: bound.agg_pos.first().copied().unwrap_or(0),
+        }),
+    }
+}
+
+/// Whether `key` is exactly relation `idx`'s declared primary-key column —
+/// i.e. building a hash set from this side loses nothing (unique keys).
+fn key_is_pk(bound: &BoundQuery, idx: usize, key: &ScalarExpr) -> bool {
+    matches!((key, &bound.tables[idx].pk), (ScalarExpr::Col(name), Some(pk)) if name == pk)
+}
+
+/// Pick the probe side of a free (`COUNT(*)`-only) two-sided join.
+///
+/// Semantics first: the engine's join is a key-*set* semijoin, so when
+/// exactly one side joins on its unique primary key, that side must be the
+/// *build* side — probing the other (foreign-key) side then counts exactly
+/// the SQL inner-join rows, and no catalog statistic can change the answer.
+/// Only when both sides are unique (1:1, either order is equivalent) or
+/// neither is (semijoin either way, documented) does cost decide: probe the
+/// larger relation, build from the smaller.
+fn free_probe_side(
+    bound: &BoundQuery,
+    a: usize,
+    a_key: &ScalarExpr,
+    b: usize,
+    b_key: &ScalarExpr,
+) -> usize {
+    match (key_is_pk(bound, a, a_key), key_is_pk(bound, b, b_key)) {
+        (true, false) => b,
+        (false, true) => a,
+        _ => {
+            if bound.tables[a].rows >= bound.tables[b].rows {
+                a
+            } else {
+                b
+            }
+        }
+    }
+}
+
+fn lower_single(bound: &BoundQuery) -> Result<QueryPlan, SqlError> {
+    let table = bound.tables[0].name.clone();
+    let filters = bound.filters[0].clone();
+    if !bound.joins.is_empty() {
+        // bind_cmp already rejects same-table column comparisons, so a join
+        // over one relation cannot reach here; keep the guard typed anyway.
+        return Err(SqlError::Unsupported {
+            what: "a join condition over a single relation".into(),
+            pos: bound.joins[0].pos,
+        });
+    }
+    if bound.group_by.is_empty() {
+        reject_top_k(bound, "a scalar aggregate")?;
+        Ok(QueryPlan::Aggregate {
+            table,
+            filters,
+            aggregates: bound.aggregates.clone(),
+        })
+    } else {
+        reject_top_k(bound, "a single-relation GROUP BY")?;
+        Ok(QueryPlan::GroupByAggregate {
+            table,
+            filters,
+            group_by: bound.group_by.clone(),
+            aggregates: bound.aggregates.clone(),
+        })
+    }
+}
+
+fn lower_join(bound: &BoundQuery) -> Result<QueryPlan, SqlError> {
+    let join = match bound.joins.len() {
+        0 => {
+            return Err(SqlError::Unsupported {
+                what: "a cross join (two relations need an equi-join condition)".into(),
+                pos: bound.tables[1].pos,
+            })
+        }
+        1 => &bound.joins[0],
+        _ => {
+            return Err(SqlError::Unsupported {
+                what: "more than one join condition between two relations".into(),
+                pos: bound.joins[1].pos,
+            })
+        }
+    };
+    let fact = match pinned_fact(bound)? {
+        Some(f) => f,
+        None => free_probe_side(
+            bound,
+            join.left,
+            &join.left_key,
+            join.right,
+            &join.right_key,
+        ),
+    };
+    let dim = 1 - fact;
+    let (fact_key, dim_key) = if join.left == fact {
+        (join.left_key.clone(), join.right_key.clone())
+    } else {
+        (join.right_key.clone(), join.left_key.clone())
+    };
+
+    if bound.group_by.is_empty() {
+        // Plain column keys on both sides take the scalar join shape (exact
+        // i64 key path); computed keys fall through to the join-group-by
+        // pipeline with an empty grouping key — one global group.
+        if let (ScalarExpr::Col(f), ScalarExpr::Col(d)) = (&fact_key, &dim_key) {
+            reject_top_k(bound, "a scalar join aggregate")?;
+            return Ok(QueryPlan::JoinAggregate {
+                fact: bound.tables[fact].name.clone(),
+                dim: bound.tables[dim].name.clone(),
+                fact_key: f.clone(),
+                dim_key: d.clone(),
+                fact_filters: bound.filters[fact].clone(),
+                dim_filters: bound.filters[dim].clone(),
+                aggregates: bound.aggregates.clone(),
+            });
+        }
+        reject_top_k(bound, "a scalar join aggregate")?;
+    }
+    let top_k = top_k(bound)?;
+    Ok(QueryPlan::JoinGroupByAggregate {
+        fact: bound.tables[fact].name.clone(),
+        fact_key,
+        fact_filters: bound.filters[fact].clone(),
+        dim: BuildSide::new(
+            bound.tables[dim].name.clone(),
+            dim_key,
+            bound.filters[dim].clone(),
+        ),
+        group_by: bound.group_by.clone(),
+        aggregates: bound.aggregates.clone(),
+        top_k,
+    })
+}
+
+fn lower_chain(bound: &BoundQuery) -> Result<QueryPlan, SqlError> {
+    if !bound.group_by.is_empty() {
+        return Err(SqlError::Unsupported {
+            what: "GROUP BY over a three-relation join (no physical shape)".into(),
+            pos: bound.group_pos,
+        });
+    }
+    reject_top_k(bound, "a three-relation join")?;
+    if bound.joins.len() != 2 {
+        return Err(SqlError::Unsupported {
+            what: format!(
+                "{} join condition(s) over three relations (a chain needs exactly two)",
+                bound.joins.len()
+            ),
+            pos: bound.joins.last().map_or(bound.tables[2].pos, |j| j.pos),
+        });
+    }
+    // Two equi-joins over three relations always form a path (a "star"
+    // around X is the same path with X in the middle) unless both
+    // conditions join the same pair. The probe side must be a path
+    // *endpoint* — the engine probes the fact against the mid build, so no
+    // physical shape probes the middle relation.
+    let appearances: Vec<usize> = (0..3)
+        .map(|i| {
+            bound
+                .joins
+                .iter()
+                .filter(|j| j.left == i || j.right == i)
+                .count()
+        })
+        .collect();
+    let endpoints: Vec<usize> = (0..3).filter(|&i| appearances[i] == 1).collect();
+    if endpoints.len() != 2 {
+        return Err(SqlError::Unsupported {
+            what: "join conditions that do not chain the three relations (one relation is \
+                   never joined)"
+                .into(),
+            pos: bound.joins[1].pos,
+        });
+    }
+    /// The join-key expression relation `idx` contributes to its (single)
+    /// join condition. Only meaningful for endpoints.
+    fn endpoint_key(bound: &BoundQuery, idx: usize) -> &ScalarExpr {
+        let join = bound
+            .joins
+            .iter()
+            .find(|j| j.left == idx || j.right == idx)
+            .expect("endpoint appears in one join");
+        if join.left == idx {
+            &join.left_key
+        } else {
+            &join.right_key
+        }
+    }
+    let fact = match pinned_fact(bound)? {
+        Some(f) => {
+            if appearances[f] != 1 {
+                return Err(SqlError::Unsupported {
+                    what: format!(
+                        "aggregates over the middle relation {} of the join chain (the probe \
+                         side must be a chain endpoint)",
+                        bound.tables[f].name
+                    ),
+                    pos: bound.agg_pos.first().copied().unwrap_or(bound.group_pos),
+                });
+            }
+            f
+        }
+        None => free_probe_side(
+            bound,
+            endpoints[0],
+            endpoint_key(bound, endpoints[0]),
+            endpoints[1],
+            endpoint_key(bound, endpoints[1]),
+        ),
+    };
+
+    // The chain fact → mid → far: the fact appears in exactly one condition.
+    let fact_joins: Vec<usize> = (0..2)
+        .filter(|&i| bound.joins[i].left == fact || bound.joins[i].right == fact)
+        .collect();
+    let fm = &bound.joins[fact_joins[0]];
+    let mf = &bound.joins[1 - fact_joins[0]];
+    let (fact_key, mid, mid_key) = if fm.left == fact {
+        (fm.left_key.clone(), fm.right, fm.right_key.clone())
+    } else {
+        (fm.right_key.clone(), fm.left, fm.left_key.clone())
+    };
+    let (mid_fk, far, far_key) = if mf.left == mid {
+        (mf.left_key.clone(), mf.right, mf.right_key.clone())
+    } else if mf.right == mid {
+        (mf.right_key.clone(), mf.left, mf.left_key.clone())
+    } else {
+        return Err(SqlError::Unsupported {
+            what: "a disconnected join graph (the second condition must join the middle \
+                   relation)"
+                .into(),
+            pos: mf.pos,
+        });
+    };
+    if far == fact {
+        return Err(SqlError::Unsupported {
+            what: "a cyclic join graph".into(),
+            pos: mf.pos,
+        });
+    }
+    Ok(QueryPlan::MultiJoinAggregate {
+        fact: bound.tables[fact].name.clone(),
+        fact_key,
+        fact_filters: bound.filters[fact].clone(),
+        mid: BuildSide::new(
+            bound.tables[mid].name.clone(),
+            mid_key,
+            bound.filters[mid].clone(),
+        ),
+        mid_fk,
+        far: BuildSide::new(
+            bound.tables[far].name.clone(),
+            far_key,
+            bound.filters[far].clone(),
+        ),
+        aggregates: bound.aggregates.clone(),
+    })
+}

@@ -13,6 +13,8 @@
 //! * [`rde`](htap_rde) — the resource and data exchange engine.
 //! * [`scheduler`](htap_scheduler) — Algorithm 2 and the static schedules.
 //! * [`chbench`](htap_chbench) — the CH-benCHmark workload.
+//! * [`sql`](htap_sql) — the SQL frontend (parser, binder, cost-aware
+//!   planner) lowering query text onto the engine's plans.
 //! * [`baselines`](htap_baselines) — the Figure-1 ETL and CoW baselines.
 //!
 //! The crate layering (sim → storage → engines → rde → scheduler → core) and
@@ -28,9 +30,12 @@ pub use htap_oltp as oltp;
 pub use htap_rde as rde;
 pub use htap_scheduler as scheduler;
 pub use htap_sim as sim;
+pub use htap_sql as sql;
 pub use htap_storage as storage;
 
-pub use htap_core::{HtapConfig, HtapSystem, MixedWorkload, QueryId, Schedule, SystemState};
+pub use htap_core::{
+    HtapConfig, HtapSystem, MixedWorkload, QueryId, Schedule, SqlRunError, SystemState,
+};
 
 #[cfg(test)]
 mod tests {

@@ -59,6 +59,44 @@ fn freshness_decreases_within_a_sequence_while_ingest_runs() {
     assert!(report.transactions_committed > 0);
 }
 
+/// Acceptance criterion of the SQL frontend: an *ad-hoc* SQL query arriving
+/// mid-stream — while continuous OLTP ingest is mutating the very relations
+/// it reads — plans, schedules and executes like `execute_query`, reporting
+/// freshness against the live delta stream and carrying its SQL text.
+#[test]
+fn adhoc_sql_executes_against_live_ingest() {
+    let system = tiny_system_with_schedule(Schedule::Adaptive(
+        SchedulerPolicy::adaptive_non_isolated(0.5),
+    ));
+    assert!(system.start_oltp_ingest() > 0);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while system.oltp_live_counts().0 < 20 {
+        assert!(Instant::now() < deadline, "no commits within 30s");
+        std::thread::yield_now();
+    }
+    let sql = "SELECT ol_number, SUM(ol_amount), COUNT(*) FROM orderline \
+               WHERE ol_quantity >= 1 GROUP BY ol_number ORDER BY ol_number";
+    let report = system.execute_sql(sql).expect("ad-hoc SQL executes");
+    assert_eq!(report.sql.as_deref(), Some(sql));
+    assert_eq!(report.query, "sql-group-by");
+    assert!((0.0..=1.0).contains(&report.freshness_rate));
+    assert!(report.result_rows >= 1);
+    assert!(report.bytes_scanned > 0);
+    // A malformed query mid-stream is a typed error and leaves ingest alive.
+    assert!(system
+        .execute_sql("SELECT SUM(ghost) FROM orderline")
+        .is_err());
+    assert!(system.oltp_ingest_running());
+    // More ingest, another ad-hoc query: a join this time, still live.
+    let join_sql = "SELECT SUM(ol_amount) FROM orderline JOIN item ON ol_i_id = i_id \
+                    WHERE i_price >= 1";
+    let join_report = system.execute_sql(join_sql).expect("ad-hoc join executes");
+    assert_eq!(join_report.query, "sql-join");
+    assert!((0.0..=1.0).contains(&join_report.freshness_rate));
+    let pool = system.stop_oltp_ingest();
+    assert!(pool.committed() >= 20);
+}
+
 #[test]
 fn per_query_throughput_comes_from_real_commit_counters() {
     let system = tiny_system_with_schedule(Schedule::Adaptive(
