@@ -1,6 +1,6 @@
 //! Executor perf-trajectory recorder: measures rows/sec of the vectorized
 //! morsel engine against the frozen pre-vectorization interpreter
-//! ([`htap_olap::BaselineExecutor`]) on the five plan shapes of
+//! ([`htap_olap::BaselineExecutor`]) on the six plan shapes of
 //! [`htap_bench::exec_trajectory`], and writes the result to
 //! `BENCH_exec.json` so every PR leaves a measured before/after on the same
 //! machine.
@@ -20,17 +20,35 @@
 //! asserted equal (results *and* work profiles) — a perf number measured
 //! against a divergent engine would be meaningless.
 //!
-//! The artifact also records a `planning` section: the SQL frontend's
-//! parse + bind + plan latency for each CH query (median over many
-//! repetitions), so the overhead the declarative surface adds ahead of
-//! execution stays visible in the trajectory. Each SQL text is planned once
-//! up front and asserted equal to the hand-built plan first — a latency for
-//! compiling the *wrong* plan would be meaningless too.
+//! Before overwriting the output file, any previously committed per-shape
+//! speedup is compared against the fresh measurement; a drift beyond 15%
+//! prints a loud warning so the committed JSON cannot silently rot as
+//! kernels change.
+//!
+//! The artifact also records:
+//!
+//! * a `scaling` section — rows/sec of the vectorized engine per shape at
+//!   1/2/4/8 pipeline workers plus the parallel efficiency against the
+//!   solo run (`rps[n] / (n * rps[1])`), with the host's CPU count so a
+//!   flat curve on a small container reads as what it is;
+//! * a `planning` section — the SQL frontend's parse + bind + plan latency
+//!   for each CH query (median over many repetitions), so the overhead the
+//!   declarative surface adds ahead of execution stays visible in the
+//!   trajectory. Each SQL text is planned once up front and asserted equal
+//!   to the hand-built plan first — a latency for compiling the *wrong*
+//!   plan would be meaningless too.
 
 use htap_bench::exec_trajectory;
 use htap_chbench::{catalog, query_mix_wide};
-use htap_olap::{BaselineExecutor, QueryExecutor};
+use htap_olap::{BaselineExecutor, QueryExecutor, WorkerTeam};
+use htap_sim::CoreId;
 use std::time::Instant;
+
+/// Worker counts of the scaling sweep.
+const SCALING_WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+/// Committed-vs-measured speedup drift that triggers a warning.
+const DRIFT_TOLERANCE: f64 = 0.15;
 
 struct Args {
     rows: u64,
@@ -83,12 +101,25 @@ fn measure<F: FnMut()>(iters: u32, mut f: F) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// The committed speedup figure of one shape in a previously written
+/// artifact, found by string search (the artifact is hand-rolled JSON, and
+/// a full parser for one number would be overkill).
+fn committed_speedup(json: &str, label: &str) -> Option<f64> {
+    let at = json.find(&format!("\"{label}\""))?;
+    let rest = &json[at..];
+    let at = rest.find("\"speedup\":")?;
+    let rest = &rest[at + "\"speedup\":".len()..];
+    let end = rest.find(['\n', ',', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
 fn main() {
     let args = parse_args();
     let block_rows = 16 * 1024;
     let sources = exec_trajectory::sources(args.rows);
     let vectorized = QueryExecutor::with_block_rows(block_rows);
     let baseline = BaselineExecutor::with_block_rows(block_rows);
+    let committed = std::fs::read_to_string(&args.out).ok();
 
     println!(
         "executor trajectory: {} fact rows, {} iterations/shape, morsels of {}",
@@ -100,6 +131,7 @@ fn main() {
     );
 
     let mut entries = Vec::new();
+    let mut drift_warnings = Vec::new();
     for (label, plan) in exec_trajectory::plans() {
         let expected = vectorized.execute(&plan, &sources).unwrap();
         assert_eq!(
@@ -121,6 +153,20 @@ fn main() {
         let vec_rps = tuples / vec_secs;
         let speedup = vec_rps / base_rps;
         println!("{label:<20} {base_rps:>14.0} {vec_rps:>14.0} {speedup:>7.2}x");
+        if let Some(old) = committed
+            .as_deref()
+            .and_then(|j| committed_speedup(j, label))
+        {
+            let drift = (speedup - old).abs() / old;
+            if drift > DRIFT_TOLERANCE {
+                drift_warnings.push(format!(
+                    "warning: {label} speedup drifted {:.0}% from the committed figure \
+                     ({old:.3}x committed, {speedup:.3}x measured) — regenerate and commit {}",
+                    drift * 100.0,
+                    args.out
+                ));
+            }
+        }
         entries.push(format!(
             concat!(
                 "    \"{}\": {{\n",
@@ -130,6 +176,73 @@ fn main() {
                 "    }}"
             ),
             label, base_rps, vec_rps, speedup
+        ));
+    }
+    for w in &drift_warnings {
+        println!("{w}");
+    }
+
+    // Multi-core scaling sweep: the same plans through worker teams of
+    // 1/2/4/8 pipeline workers. Rows/sec uses the same tuples-scanned
+    // numerator as above; parallel efficiency is measured against the
+    // 1-worker run of the same sweep. On hosts with fewer CPUs than workers
+    // the curve flattens — `host_cpus` is recorded so that reads as a host
+    // property, not an engine regression.
+    let host_cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    println!();
+    println!(
+        "scaling sweep ({host_cpus} host cpu(s)): vectorized rows/sec at {:?} workers",
+        SCALING_WORKERS
+    );
+    println!(
+        "{:<20} {:>12} {:>12} {:>12} {:>12}",
+        "shape", "1w r/s", "2w r/s", "4w r/s", "8w r/s"
+    );
+    let mut scaling_entries = Vec::new();
+    for (label, plan) in exec_trajectory::plans() {
+        let expected = vectorized.execute(&plan, &sources).unwrap();
+        let tuples = expected.work.tuples_scanned as f64;
+        let mut rps = Vec::with_capacity(SCALING_WORKERS.len());
+        for &workers in &SCALING_WORKERS {
+            let team = WorkerTeam::from_cores((0..workers as u16).map(CoreId).collect());
+            // Any worker count must reproduce the solo result bit for bit.
+            assert_eq!(
+                expected,
+                vectorized.execute_parallel(&plan, &sources, &team).unwrap(),
+                "{label} diverges at {workers} workers; refusing to record"
+            );
+            let secs = measure(args.iters, || {
+                vectorized.execute_parallel(&plan, &sources, &team).unwrap();
+            });
+            rps.push(tuples / secs);
+        }
+        let eff: Vec<f64> = SCALING_WORKERS
+            .iter()
+            .zip(&rps)
+            .map(|(&w, &r)| r / (w as f64 * rps[0]))
+            .collect();
+        println!(
+            "{label:<20} {:>12.0} {:>12.0} {:>12.0} {:>12.0}",
+            rps[0], rps[1], rps[2], rps[3]
+        );
+        let rps_json = rps
+            .iter()
+            .map(|r| format!("{r:.0}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let eff_json = eff
+            .iter()
+            .map(|e| format!("{e:.3}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        scaling_entries.push(format!(
+            concat!(
+                "      \"{}\": {{\n",
+                "        \"rows_per_sec\": [{}],\n",
+                "        \"parallel_efficiency\": [{}]\n",
+                "      }}"
+            ),
+            label, rps_json, eff_json
         ));
     }
 
@@ -167,6 +280,11 @@ fn main() {
         ));
     }
 
+    let worker_counts_json = SCALING_WORKERS
+        .iter()
+        .map(|w| w.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
     let json = format!(
         concat!(
             "{{\n",
@@ -178,6 +296,13 @@ fn main() {
             "  \"baseline\": \"pre-vectorization block interpreter (htap_olap::BaselineExecutor)\",\n",
             "  \"metric\": \"tuples scanned per second, median of iterations, solo worker\",\n",
             "  \"shapes\": {{\n{}\n  }},\n",
+            "  \"scaling\": {{\n",
+            "    \"worker_counts\": [{}],\n",
+            "    \"host_cpus\": {},\n",
+            "    \"metric\": \"vectorized tuples scanned per second per worker count; \
+             efficiency = rps[n] / (n * rps[1])\",\n",
+            "    \"shapes\": {{\n{}\n    }}\n",
+            "  }},\n",
             "  \"planning\": {{\n{}\n  }}\n",
             "}}\n"
         ),
@@ -185,6 +310,9 @@ fn main() {
         block_rows,
         args.iters,
         entries.join(",\n"),
+        worker_counts_json,
+        host_cpus,
+        scaling_entries.join(",\n"),
         planning_entries.join(",\n")
     );
     std::fs::write(&args.out, &json).expect("write BENCH_exec.json");

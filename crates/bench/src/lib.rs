@@ -238,7 +238,7 @@ pub fn fmt_mtps(tps: f64) -> String {
 }
 
 /// The executor perf-trajectory fixture: one synthetic fact relation with
-/// two dimensions plus the five plan shapes of the morsel executor, shared
+/// two dimensions plus the six plan shapes of the morsel executor, shared
 /// by the `olap/vectorized_*` / `olap/baseline_*` criterion benches and the
 /// `bench_exec` binary that records `BENCH_exec.json`.
 pub mod exec_trajectory {
@@ -259,6 +259,7 @@ pub mod exec_trajectory {
                     ColumnDef::new("f_id", DataType::I64),
                     ColumnDef::new("f_mid", DataType::I64),
                     ColumnDef::new("f_g", DataType::I32),
+                    ColumnDef::new("f_hc", DataType::I64),
                     ColumnDef::new("f_a", DataType::F64),
                     ColumnDef::new("f_b", DataType::F64),
                 ],
@@ -270,6 +271,7 @@ pub mod exec_trajectory {
                     Value::I64(i as i64),
                     Value::I64((i % 64) as i64),
                     Value::I32((i % 24) as i32),
+                    Value::I64((i.wrapping_mul(2654435761) % 65536) as i64),
                     Value::F64((i % 100) as f64 + 0.25),
                     Value::F64((i % 13) as f64 * 0.5),
                 ])
@@ -333,8 +335,9 @@ pub mod exec_trajectory {
         sources
     }
 
-    /// The five plan shapes of the trajectory, labelled by the CH query
-    /// whose shape they mirror.
+    /// The six plan shapes of the trajectory, labelled by the CH query
+    /// whose shape they mirror (plus a high-cardinality group-by stressing
+    /// the radix-partitioned merge).
     pub fn plans() -> Vec<(&'static str, QueryPlan)> {
         vec![
             (
@@ -362,6 +365,22 @@ pub mod exec_trajectory {
                         AggExpr::Sum(ScalarExpr::col("f_b")),
                         AggExpr::Avg(ScalarExpr::col("f_a")),
                         AggExpr::Avg(ScalarExpr::col("f_b")),
+                        AggExpr::Count,
+                    ],
+                },
+            ),
+            (
+                // High-cardinality GROUP BY: up to 64k scrambled groups, the
+                // shape the radix-partitioned merge exists for. No filter, so
+                // every row upserts into the group table.
+                "hicard_group_by",
+                QueryPlan::GroupByAggregate {
+                    table: "fact".into(),
+                    filters: vec![],
+                    group_by: vec!["f_hc".into()],
+                    aggregates: vec![
+                        AggExpr::Sum(ScalarExpr::col("f_a")),
+                        AggExpr::Max(ScalarExpr::col("f_b")),
                         AggExpr::Count,
                     ],
                 },

@@ -43,7 +43,8 @@
 
 use crate::error::OlapError;
 use crate::expr::{AggExpr, AggState, ScalarExpr};
-use crate::hashtable::KeySet;
+use crate::hashtable::{GroupTable, KeySet};
+use crate::kernels;
 use crate::morsel::Morsel;
 use crate::plan::{BuildSide, QueryPlan, TopK};
 use crate::program::{
@@ -470,16 +471,39 @@ fn for_each_selected(rows: usize, sel: Option<&[u32]>, mut f: impl FnMut(usize))
 }
 
 /// Fold one aggregate input over the selection into `state` — the
-/// column-at-a-time inner loop of every aggregation pipeline, specialised
-/// per aggregate kind so each tuple touches only the state fields its
-/// finalisation reads.
+/// column-at-a-time inner loop of every aggregation pipeline, dispatched to
+/// the chunked fold kernels of [`crate::kernels`]. Slice inputs run the
+/// dense kernel (registers may be longer than the morsel, so the view is
+/// clipped to `rows`) or the gather kernel over the selection; constant
+/// inputs fold the literal once per surviving row. Every kernel accumulates
+/// strictly sequentially, so the result is bit-for-bit the per-row loop's.
 #[inline]
 fn fold_agg(kind: AggKind, state: &mut AggState, v: ValView<'_>, rows: usize, sel: Option<&[u32]>) {
-    match kind {
-        AggKind::Sum => for_each_selected(rows, sel, |i| state.fold_sum(v.get(i))),
-        AggKind::Avg => for_each_selected(rows, sel, |i| state.fold_avg(v.get(i))),
-        AggKind::Min => for_each_selected(rows, sel, |i| state.fold_min(v.get(i))),
-        AggKind::Max => for_each_selected(rows, sel, |i| state.fold_max(v.get(i))),
+    match (v, sel) {
+        (ValView::Slice(s), None) => {
+            let s = &s[..rows];
+            match kind {
+                AggKind::Sum => kernels::fold_sum_dense(state, s),
+                AggKind::Avg => kernels::fold_avg_dense(state, s),
+                AggKind::Min => kernels::fold_min_dense(state, s),
+                AggKind::Max => kernels::fold_max_dense(state, s),
+            }
+        }
+        (ValView::Slice(s), Some(ids)) => match kind {
+            AggKind::Sum => kernels::fold_sum_gather(state, s, ids),
+            AggKind::Avg => kernels::fold_avg_gather(state, s, ids),
+            AggKind::Min => kernels::fold_min_gather(state, s, ids),
+            AggKind::Max => kernels::fold_max_gather(state, s, ids),
+        },
+        (ValView::Const(c), sel) => {
+            let n = sel.map_or(rows, <[u32]>::len);
+            match kind {
+                AggKind::Sum => (0..n).for_each(|_| state.fold_sum(c)),
+                AggKind::Avg => (0..n).for_each(|_| state.fold_avg(c)),
+                AggKind::Min => (0..n).for_each(|_| state.fold_min(c)),
+                AggKind::Max => (0..n).for_each(|_| state.fold_max(c)),
+            }
+        }
     }
 }
 
@@ -516,16 +540,37 @@ impl ScalarOut {
     }
 }
 
+/// Hash-radix fan-out of the partitioned group merge. The partition of a
+/// group is the *top* `RADIX_BITS` of its key hash — the linear-probing
+/// tables consume the hash from the low bits up, so the high bits stay
+/// well-distributed and independent of any table's slot mask.
+const RADIX_BITS: u32 = 4;
+/// Number of radix partitions (16).
+const RADIX_PARTS: usize = 1 << RADIX_BITS;
+
+/// Radix partition of one key hash.
+#[inline(always)]
+fn radix_part(h: u64) -> usize {
+    (h >> (64 - RADIX_BITS)) as usize
+}
+
 /// Per-worker output of a grouping pipeline: per-morsel flat group tables in
-/// claim order.
+/// claim order, with each morsel's groups scattered into hash-radix
+/// partition order so the final merge can process one disjoint partition at
+/// a time (see [`merge_group_outs`]).
 struct GroupOut {
     order: Vec<u32>,
-    /// Groups per processed morsel, aligned with `order`.
-    counts: Vec<u32>,
-    /// Flat keys: `n_keys` per group, morsels concatenated in claim order.
+    /// Groups per radix partition per processed morsel: `RADIX_PARTS`
+    /// entries per entry of `order`.
+    part_counts: Vec<u32>,
+    /// Flat keys: `n_keys` per group, morsels concatenated in claim order,
+    /// groups within a morsel in partition-then-first-seen order.
     keys: Vec<i64>,
-    /// Flat states: `n_aggs` per group.
+    /// Flat states: `n_aggs` per group, same order as `keys`.
     states: Vec<AggState>,
+    /// Key hash per group, same order as `keys` — reused by the merge's
+    /// prehashed upserts.
+    hashes: Vec<u64>,
     probes: u64,
     profile: WorkProfile,
 }
@@ -534,12 +579,54 @@ impl GroupOut {
     fn new(morsels: usize) -> Self {
         GroupOut {
             order: Vec::with_capacity(morsels),
-            counts: Vec::with_capacity(morsels),
+            part_counts: Vec::with_capacity(morsels * RADIX_PARTS),
             keys: Vec::new(),
             states: Vec::new(),
+            hashes: Vec::new(),
             probes: 0,
             profile: WorkProfile::default(),
         }
+    }
+
+    /// Append morsel `idx`'s group table, counting-sort-scattered by radix
+    /// partition. The scatter is stable, so within a partition the groups
+    /// keep their first-seen (row) order — the merge folds partitions morsel
+    /// by morsel, which therefore preserves the scan-order fold discipline
+    /// that makes results bit-for-bit identical across worker counts.
+    fn emit_morsel(&mut self, idx: usize, groups: &GroupTable, n_keys: usize, n_aggs: usize) {
+        let count = groups.group_count();
+        let hashes = groups.hashes_flat();
+        let keys = groups.keys_flat();
+        let states = groups.states_flat();
+        let mut counts = [0u32; RADIX_PARTS];
+        for &h in hashes {
+            counts[radix_part(h)] += 1;
+        }
+        let mut offsets = [0u32; RADIX_PARTS];
+        let mut at = 0u32;
+        for (off, &c) in offsets.iter_mut().zip(&counts) {
+            *off = at;
+            at += c;
+        }
+        let key_base = self.keys.len();
+        let state_base = self.states.len();
+        let hash_base = self.hashes.len();
+        self.keys.resize(key_base + count * n_keys, 0);
+        self.states
+            .resize(state_base + count * n_aggs, AggState::default());
+        self.hashes.resize(hash_base + count, 0);
+        for (g, &h) in hashes.iter().enumerate() {
+            let p = radix_part(h);
+            let dst = offsets[p] as usize;
+            offsets[p] += 1;
+            self.hashes[hash_base + dst] = h;
+            self.keys[key_base + dst * n_keys..key_base + (dst + 1) * n_keys]
+                .copy_from_slice(&keys[g * n_keys..(g + 1) * n_keys]);
+            self.states[state_base + dst * n_aggs..state_base + (dst + 1) * n_aggs]
+                .copy_from_slice(&states[g * n_aggs..(g + 1) * n_aggs]);
+        }
+        self.order.push(idx as u32);
+        self.part_counts.extend_from_slice(&counts);
     }
 }
 
@@ -613,57 +700,111 @@ fn merge_scalar_outs(
     states
 }
 
-/// Merge per-worker group outputs in morsel order into the final sorted
-/// group table (the only place group keys get sorted).
+/// One morsel's partition-scattered group segment, borrowed from a
+/// [`GroupOut`] for the radix merge.
+struct MorselGroups<'a> {
+    keys: &'a [i64],
+    states: &'a [AggState],
+    hashes: &'a [u64],
+    /// Exclusive prefix offsets of the radix partitions within this
+    /// morsel's segment (`offsets[p]..offsets[p + 1]` is partition `p`).
+    offsets: [u32; RADIX_PARTS + 1],
+}
+
+/// Merge per-worker group outputs into the final sorted rows via the radix
+/// partitioning the workers already applied at emission: every group key
+/// lives in exactly one hash-radix partition, so the merge processes one
+/// partition at a time through a single reused prehashed [`GroupTable`] —
+/// re-hashing nothing, probing a table 16x smaller than a global one — and
+/// the partitions concatenate disjointly. Within each partition the morsels
+/// are folded in morsel-index order (first occurrence *copies* the partial
+/// state; `AggState::default().merge` is not a bitwise identity), which
+/// keeps every group's aggregation order equal to the scan order — hence
+/// bit-for-bit identical results for every worker count. Keys are sorted
+/// exactly once, over the final rows.
 fn merge_group_outs(
     outs: Vec<GroupOut>,
     n_keys: usize,
     n_aggs: usize,
     morsel_count: usize,
+    aggregates: &[AggExpr],
     work: &mut WorkProfile,
-) -> BTreeMap<Vec<i64>, Vec<AggState>> {
-    let mut parts: Vec<(u32, usize, &[i64], &[AggState])> = Vec::with_capacity(morsel_count);
+) -> Vec<GroupRow> {
+    let mut parts: Vec<(u32, MorselGroups<'_>)> = Vec::with_capacity(morsel_count);
     for out in &outs {
         let mut key_at = 0usize;
         let mut state_at = 0usize;
+        let mut hash_at = 0usize;
         for (k, &m) in out.order.iter().enumerate() {
-            let groups = out.counts[k] as usize;
+            let counts = &out.part_counts[k * RADIX_PARTS..(k + 1) * RADIX_PARTS];
+            let mut offsets = [0u32; RADIX_PARTS + 1];
+            for (p, &c) in counts.iter().enumerate() {
+                offsets[p + 1] = offsets[p] + c;
+            }
+            let groups = offsets[RADIX_PARTS] as usize;
             parts.push((
                 m,
-                groups,
-                &out.keys[key_at..key_at + groups * n_keys],
-                &out.states[state_at..state_at + groups * n_aggs],
+                MorselGroups {
+                    keys: &out.keys[key_at..key_at + groups * n_keys],
+                    states: &out.states[state_at..state_at + groups * n_aggs],
+                    hashes: &out.hashes[hash_at..hash_at + groups],
+                    offsets,
+                },
             ));
             key_at += groups * n_keys;
             state_at += groups * n_aggs;
+            hash_at += groups;
         }
     }
-    parts.sort_unstable_by_key(|(m, _, _, _)| *m);
-    let mut groups: BTreeMap<Vec<i64>, Vec<AggState>> = BTreeMap::new();
-    for (_, count, keys, states) in parts {
-        for g in 0..count {
-            let key = &keys[g * n_keys..(g + 1) * n_keys];
-            let chunk = &states[g * n_aggs..(g + 1) * n_aggs];
-            // Borrowed-slice lookup first: the key and state vectors are
-            // cloned only for groups seen for the first time, so merge-time
-            // allocation scales with distinct groups, not morsels x groups.
-            match groups.get_mut(key) {
-                Some(merged_states) => {
-                    for (merged, state) in merged_states.iter_mut().zip(chunk) {
+    parts.sort_unstable_by_key(|(m, _)| *m);
+    let mut table = GroupTable::default();
+    table.configure(n_keys, n_aggs);
+    let mut rows: Vec<GroupRow> = Vec::new();
+    for p in 0..RADIX_PARTS {
+        table.begin_morsel();
+        for (_, part) in &parts {
+            let range = part.offsets[p] as usize..part.offsets[p + 1] as usize;
+            for g in range {
+                let key = &part.keys[g * n_keys..(g + 1) * n_keys];
+                let chunk = &part.states[g * n_aggs..(g + 1) * n_aggs];
+                let before = table.group_count();
+                let gi = table.upsert_prehashed(part.hashes[g], key);
+                let states = table.group_states_mut(gi);
+                if table_grew(before, gi) {
+                    states.copy_from_slice(chunk);
+                } else {
+                    for (merged, state) in states.iter_mut().zip(chunk) {
                         merged.merge(state);
                     }
                 }
-                None => {
-                    groups.insert(key.to_vec(), chunk.to_vec());
-                }
             }
         }
+        for gi in 0..table.group_count() {
+            let key = &table.keys_flat()[gi * n_keys..(gi + 1) * n_keys];
+            let states = &table.states_flat()[gi * n_aggs..(gi + 1) * n_aggs];
+            let aggs = aggregates
+                .iter()
+                .zip(states)
+                .map(|(agg, st)| st.finalize(agg))
+                .collect();
+            rows.push((key.to_vec(), aggs));
+        }
     }
+    // Partitions are disjoint key sets, so one final sort restores the
+    // ascending-key order the BTreeMap-based merge produced.
+    rows.sort_unstable_by(|a, b| a.0.cmp(&b.0));
     for out in &outs {
         work.merge(&out.profile);
         work.probes += out.probes;
     }
-    groups
+    rows
+}
+
+/// Did the upsert that returned `gi` claim a fresh group? (New groups are
+/// appended, so a fresh claim returns the previous count as its index.)
+#[inline(always)]
+fn table_grew(before: usize, gi: usize) -> bool {
+    gi == before
 }
 
 /// The morsel-driven query executor.
@@ -966,13 +1107,11 @@ impl QueryExecutor {
                     &mut scratch.groups,
                     &mut scratch.group_rows,
                     &mut scratch.key_tmp,
+                    &mut scratch.hashes,
                     rows,
                     sel,
                 );
-                out.order.push(idx as u32);
-                out.counts.push(scratch.groups.group_count() as u32);
-                out.keys.extend_from_slice(scratch.groups.keys_flat());
-                out.states.extend_from_slice(scratch.groups.states_flat());
+                out.emit_morsel(idx, &scratch.groups, n_keys, n_aggs);
                 out.profile
                     .absorb_morsel_rows(morsel, pipe.row_bytes(morsel));
                 out.profile.tuples_selected += selected;
@@ -981,9 +1120,9 @@ impl QueryExecutor {
         })?;
 
         let mut work = WorkProfile::default();
-        let groups = merge_group_outs(outs, n_keys, n_aggs, morsels.len(), &mut work);
+        let rows = merge_group_outs(outs, n_keys, n_aggs, morsels.len(), aggregates, &mut work);
         Ok(QueryOutput {
-            result: QueryResult::Groups(finalize_groups(groups, aggregates)),
+            result: QueryResult::Groups(rows),
             work,
         })
     }
@@ -1040,6 +1179,7 @@ impl QueryExecutor {
                     rows,
                     sel,
                     &mut scratch.sel2,
+                    &mut scratch.hashes,
                 );
                 let states = out.push_morsel(idx);
                 for (agg, state) in pipe.aggs.iter().zip(states) {
@@ -1150,6 +1290,7 @@ impl QueryExecutor {
                     rows,
                     sel,
                     &mut scratch.sel2,
+                    &mut scratch.hashes,
                 );
                 let states = out.push_morsel(idx);
                 for (agg, state) in pipe.aggs.iter().zip(states) {
@@ -1263,6 +1404,7 @@ impl QueryExecutor {
                     rows,
                     sel,
                     &mut scratch.sel2,
+                    &mut scratch.hashes,
                 );
                 let selected = joined.len() as u64;
                 group_and_fold(
@@ -1274,13 +1416,11 @@ impl QueryExecutor {
                     &mut scratch.groups,
                     &mut scratch.group_rows,
                     &mut scratch.key_tmp,
+                    &mut scratch.hashes,
                     rows,
                     Some(joined),
                 );
-                out.order.push(idx as u32);
-                out.counts.push(scratch.groups.group_count() as u32);
-                out.keys.extend_from_slice(scratch.groups.keys_flat());
-                out.states.extend_from_slice(scratch.groups.states_flat());
+                out.emit_morsel(idx, &scratch.groups, n_keys, n_aggs);
                 out.probes += probes;
                 out.profile
                     .absorb_morsel_rows(morsel, pipe.row_bytes(morsel));
@@ -1289,8 +1429,7 @@ impl QueryExecutor {
             Ok(())
         })?;
 
-        let groups = merge_group_outs(outs, n_keys, n_aggs, morsels.len(), &mut work);
-        let mut rows = finalize_groups(groups, aggregates);
+        let mut rows = merge_group_outs(outs, n_keys, n_aggs, morsels.len(), aggregates, &mut work);
         if let Some(tk) = top_k {
             rows.sort_by(|a, b| {
                 b.1[tk.agg_index]
@@ -1310,6 +1449,11 @@ impl QueryExecutor {
 /// selection, compacting the survivors into `sel2`. Returns the probe count
 /// (one per input row, the same accounting the interpreted engine used) and
 /// the surviving selection.
+///
+/// Exact `i64` key columns take the batch path: the chunked hash kernels
+/// fill `hashes` for the whole selection first, then the probe loop runs
+/// prehashed lookups. Computed keys (cast per probe) stay per-row — the
+/// expression lanes are `f64` and each probe hashes its own cast.
 #[allow(clippy::too_many_arguments)]
 fn probe_into<'s>(
     key: &CompiledKey,
@@ -1320,12 +1464,38 @@ fn probe_into<'s>(
     rows: usize,
     sel: Option<&[u32]>,
     sel2: &'s mut Vec<u32>,
+    hashes: &mut Vec<u64>,
 ) -> (u64, &'s [u32]) {
     if let CompiledKey::Expr(e) = key {
         eval_expr(e, data, regs, &pipe.pool.consts, rows, sel);
     }
-    let kv = key_vals(key, data, regs, &pipe.pool.consts);
     sel2.clear();
+    if let CompiledKey::Key(slot) = key {
+        let keys = &data.key(*slot as usize)[..rows];
+        let probes;
+        match sel {
+            None => {
+                probes = rows as u64;
+                kernels::hash1_dense(keys, hashes);
+                for (i, &h) in hashes.iter().enumerate() {
+                    if build.contains_hashed(h, keys[i]) {
+                        sel2.push(i as u32);
+                    }
+                }
+            }
+            Some(ids) => {
+                probes = ids.len() as u64;
+                kernels::hash1_gather(keys, ids, hashes);
+                for (&i, &h) in ids.iter().zip(hashes.iter()) {
+                    if build.contains_hashed(h, keys[i as usize]) {
+                        sel2.push(i);
+                    }
+                }
+            }
+        }
+        return (probes, sel2.as_slice());
+    }
+    let kv = key_vals(key, data, regs, &pipe.pool.consts);
     let probes;
     match sel {
         None => {
@@ -1354,6 +1524,11 @@ fn probe_into<'s>(
 /// and interpreted variants produce — so results are bit-identical; only the
 /// traversal count changes. Pipelines with more aggregates than the fused
 /// view array holds fall back to a column-at-a-time second phase.
+///
+/// One- and two-column keys (the common shapes) batch-hash the whole
+/// selection with the chunked kernels of [`crate::kernels`] into `hashes`
+/// before the upsert loop; wider keys and the wide-aggregate fallback keep
+/// the per-row hash (the documented scalar fallback).
 #[allow(clippy::too_many_arguments)]
 fn group_and_fold(
     aggs: &[CompiledAgg],
@@ -1361,9 +1536,10 @@ fn group_and_fold(
     group_slots: &[usize],
     data: &MorselData<'_>,
     regs: &mut [Vec<f64>],
-    groups: &mut crate::hashtable::GroupTable,
+    groups: &mut GroupTable,
     group_rows: &mut Vec<u32>,
     key_tmp: &mut Vec<i64>,
+    hashes: &mut Vec<u64>,
     rows: usize,
     sel: Option<&[u32]>,
 ) {
@@ -1393,18 +1569,44 @@ fn group_and_fold(
             }
             [s0] => {
                 let k0 = data.key(*s0);
-                for_each_selected(rows, sel, |i| {
-                    let g = groups.upsert1(k0[i]);
-                    fold_fused_row(groups, aggs, &views, g, i);
-                });
+                match sel {
+                    None => {
+                        kernels::hash1_dense(k0, hashes);
+                        for i in 0..rows {
+                            let g = groups.upsert1_prehashed(hashes[i], k0[i]);
+                            fold_fused_row(groups, aggs, &views, g, i);
+                        }
+                    }
+                    Some(ids) => {
+                        kernels::hash1_gather(k0, ids, hashes);
+                        for (pos, &i) in ids.iter().enumerate() {
+                            let i = i as usize;
+                            let g = groups.upsert1_prehashed(hashes[pos], k0[i]);
+                            fold_fused_row(groups, aggs, &views, g, i);
+                        }
+                    }
+                }
             }
             [s0, s1] => {
                 let k0 = data.key(*s0);
                 let k1 = data.key(*s1);
-                for_each_selected(rows, sel, |i| {
-                    let g = groups.upsert2(k0[i], k1[i]);
-                    fold_fused_row(groups, aggs, &views, g, i);
-                });
+                match sel {
+                    None => {
+                        kernels::hash2_dense(k0, k1, hashes);
+                        for i in 0..rows {
+                            let g = groups.upsert2_prehashed(hashes[i], k0[i], k1[i]);
+                            fold_fused_row(groups, aggs, &views, g, i);
+                        }
+                    }
+                    Some(ids) => {
+                        kernels::hash2_gather(k0, k1, ids, hashes);
+                        for (pos, &i) in ids.iter().enumerate() {
+                            let i = i as usize;
+                            let g = groups.upsert2_prehashed(hashes[pos], k0[i], k1[i]);
+                            fold_fused_row(groups, aggs, &views, g, i);
+                        }
+                    }
+                }
             }
             slots => {
                 key_tmp.resize(slots.len(), 0);

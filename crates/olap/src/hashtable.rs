@@ -17,25 +17,18 @@
 //! Neither table ever sorts: per-morsel partials are emitted in insertion
 //! order and the deterministic merge sorts group keys exactly once, at
 //! final result assembly (see [`crate::exec::QueryExecutor`]).
+//!
+//! The multiplicative hash primitives live in [`crate::kernels`] alongside
+//! the batch-hash kernels, and both tables expose `*_hashed`/`*_prehashed`
+//! entry points so the hot loops can hash a whole morsel's keys up front
+//! and probe/upsert with precomputed hashes. [`GroupTable`] additionally
+//! stores each group's hash in a flat arena ([`GroupTable::hashes_flat`]):
+//! growth rehashes from the arena instead of recomputing, and the executor's
+//! radix-partitioned merge reads the stored hashes to scatter groups into
+//! disjoint partitions.
 
 use crate::expr::AggState;
-
-/// Multiplicative hash of one `i64` key (Knuth's 2^64 golden-ratio constant
-/// with an xor-shift finalizer so the masked low bits are well mixed).
-#[inline(always)]
-fn hash_i64(k: i64) -> u64 {
-    let mut h = (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    h ^= h >> 32;
-    h
-}
-
-/// Combine a running hash with the next key part of a composite key.
-#[inline(always)]
-fn hash_combine(h: u64, k: i64) -> u64 {
-    let mut h = (h ^ (k as u64)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    h ^= h >> 32;
-    h
-}
+use crate::kernels::{hash_i64, hash_key};
 
 const INITIAL_SLOTS: usize = 16;
 
@@ -90,11 +83,19 @@ impl KeySet {
     /// Whether `k` is present.
     #[inline]
     pub fn contains(&self, k: i64) -> bool {
+        self.contains_hashed(hash_i64(k), k)
+    }
+
+    /// Whether `k` is present, with its hash precomputed (the batch-hash
+    /// probe path: [`crate::kernels::hash1_dense`] hashes a whole morsel's
+    /// keys, then each probe starts at its precomputed slot).
+    #[inline]
+    pub fn contains_hashed(&self, hash: u64, k: i64) -> bool {
         if self.slots.is_empty() {
             return false;
         }
         let mask = self.slots.len() - 1;
-        let mut slot = (hash_i64(k) as usize) & mask;
+        let mut slot = (hash as usize) & mask;
         loop {
             let entry = self.slots[slot];
             if entry == 0 {
@@ -155,6 +156,9 @@ pub struct GroupTable {
     keys: Vec<i64>,
     /// Flat state arena, `n_aggs` states per group, insertion order.
     states: Vec<AggState>,
+    /// Hash of each group's key, insertion order (reused on growth and by
+    /// the radix-partitioned merge).
+    hashes: Vec<u64>,
 }
 
 /// Largest group count a slot array of `slots` entries accepts before
@@ -174,6 +178,7 @@ impl GroupTable {
         self.n_aggs = n_aggs;
         self.keys.clear();
         self.states.clear();
+        self.hashes.clear();
         self.groups = 0;
         if self.slots.is_empty() {
             self.slots.resize(INITIAL_SLOTS, 0);
@@ -186,6 +191,7 @@ impl GroupTable {
     pub fn begin_morsel(&mut self) {
         self.keys.clear();
         self.states.clear();
+        self.hashes.clear();
         self.groups = 0;
         self.grow_at = grow_threshold(self.slots.len());
         self.bump_epoch();
@@ -215,6 +221,12 @@ impl GroupTable {
         &self.states
     }
 
+    /// The flat hash arena (insertion order, one hash per group; `0` for
+    /// the degenerate zero-key group).
+    pub fn hashes_flat(&self) -> &[u64] {
+        &self.hashes
+    }
+
     /// Mutable state of aggregate `agg` of group `group`.
     #[inline(always)]
     pub fn agg_state(&mut self, group: usize, agg: usize) -> &mut AggState {
@@ -235,8 +247,9 @@ impl GroupTable {
     pub fn upsert0(&mut self) -> usize {
         debug_assert_eq!(self.n_keys, 0);
         if self.groups == 0 {
-            self.groups = 1;
-            self.states.resize(self.n_aggs, AggState::default());
+            // Claim through the generic path (hash 0, empty key) so the
+            // slot array and hash arena stay coherent with it.
+            return self.upsert_prehashed(0, &[]);
         }
         0
     }
@@ -244,28 +257,43 @@ impl GroupTable {
     /// Upsert a single-column group key, returning the group index.
     #[inline]
     pub fn upsert1(&mut self, k: i64) -> usize {
-        self.upsert_hashed(hash_i64(k), &[k])
+        self.upsert_prehashed(hash_i64(k), &[k])
     }
 
     /// Upsert a two-column group key.
     #[inline]
     pub fn upsert2(&mut self, k0: i64, k1: i64) -> usize {
-        self.upsert_hashed(hash_combine(hash_i64(k0), k1), &[k0, k1])
+        self.upsert_prehashed(hash_key(&[k0, k1]), &[k0, k1])
     }
 
     /// Upsert a composite key of any width (`key.len() == n_keys`).
     #[inline]
     pub fn upsert(&mut self, key: &[i64]) -> usize {
         debug_assert_eq!(key.len(), self.n_keys);
-        let mut h = hash_i64(key[0]);
-        for &k in &key[1..] {
-            h = hash_combine(h, k);
-        }
-        self.upsert_hashed(h, key)
+        self.upsert_prehashed(hash_key(key), key)
     }
 
+    /// [`GroupTable::upsert1`] with the key's hash precomputed (the
+    /// batch-hash group-by path).
     #[inline]
-    fn upsert_hashed(&mut self, hash: u64, key: &[i64]) -> usize {
+    pub fn upsert1_prehashed(&mut self, hash: u64, k: i64) -> usize {
+        self.upsert_prehashed(hash, &[k])
+    }
+
+    /// [`GroupTable::upsert2`] with the composite hash precomputed.
+    #[inline]
+    pub fn upsert2_prehashed(&mut self, hash: u64, k0: i64, k1: i64) -> usize {
+        self.upsert_prehashed(hash, &[k0, k1])
+    }
+
+    /// Upsert with a precomputed hash. `hash` must equal
+    /// [`crate::kernels::hash_key`] of `key` — batch kernels and the radix
+    /// merge (which replays hashes from [`GroupTable::hashes_flat`]) both
+    /// satisfy this by construction.
+    #[inline]
+    pub fn upsert_prehashed(&mut self, hash: u64, key: &[i64]) -> usize {
+        debug_assert_eq!(key.len(), self.n_keys);
+        debug_assert!(key.is_empty() || hash == hash_key(key));
         if self.groups >= self.grow_at {
             self.grow();
         }
@@ -281,6 +309,7 @@ impl GroupTable {
                 self.keys.extend_from_slice(key);
                 self.states
                     .resize(self.states.len() + self.n_aggs, AggState::default());
+                self.hashes.push(hash);
                 self.slots[slot] = live | (group as u64 + 1);
                 return group;
             }
@@ -293,7 +322,9 @@ impl GroupTable {
     }
 
     /// Re-hash into a doubled slot array (mid-morsel growth: amortised, and
-    /// only until the table has seen its high-water group count).
+    /// only until the table has seen its high-water group count). Slot
+    /// targets come from the stored hash arena — the hashes batch-computed
+    /// *before* the growth stay valid, no key is ever rehashed.
     fn grow(&mut self) {
         let new_len = (self.slots.len() * 2).max(INITIAL_SLOTS);
         self.slots.clear();
@@ -304,12 +335,7 @@ impl GroupTable {
         let mask = new_len - 1;
         let live = (self.epoch as u64) << 32;
         for group in 0..self.groups {
-            let key = &self.keys[group * self.n_keys..(group + 1) * self.n_keys];
-            let mut h = hash_i64(key[0]);
-            for &k in &key[1..] {
-                h = hash_combine(h, k);
-            }
-            let mut slot = (h as usize) & mask;
+            let mut slot = (self.hashes[group] as usize) & mask;
             while self.slots[slot] & 0xFFFF_FFFF_0000_0000 == live
                 && self.slots[slot] & 0xFFFF_FFFF != 0
             {
@@ -438,6 +464,73 @@ mod tests {
         assert_eq!(g, 0);
         assert_eq!(t.group_count(), 1);
         assert_eq!(t.keys_flat(), &[7]);
+    }
+
+    /// The batch-hash path hashes a whole morsel's keys *before* any upsert
+    /// runs; a mid-morsel growth must re-seat every existing group from its
+    /// stored hash so the precomputed hashes keep landing in the right slots
+    /// after the rehash.
+    #[test]
+    fn group_table_growth_under_precomputed_hashes() {
+        use crate::kernels;
+        let keys: Vec<i64> = (0..5_000).map(|i| i * 11 - 20_000).collect();
+        let mut hashes = Vec::new();
+        kernels::hash1_dense(&keys, &mut hashes);
+        let mut t = GroupTable::default();
+        t.configure(1, 1);
+        // All 5 000 upserts use hashes computed against the initial 16-slot
+        // table; the table grows many times mid-loop.
+        for (i, (&k, &h)) in keys.iter().zip(&hashes).enumerate() {
+            let g = t.upsert1_prehashed(h, k);
+            assert_eq!(g, i, "fresh key claims the next group index");
+            t.agg_state(g, 0).update_count();
+        }
+        assert_eq!(t.group_count(), 5_000);
+        // Re-upserting with the same precomputed hashes finds every group.
+        for (i, (&k, &h)) in keys.iter().zip(&hashes).enumerate() {
+            assert_eq!(t.upsert1_prehashed(h, k), i, "group lost across growth");
+        }
+        assert_eq!(t.group_count(), 5_000);
+        // The stored hash arena is exactly the batch-computed hashes, and
+        // the prehashed path is indistinguishable from the hash-at-upsert
+        // path.
+        assert_eq!(t.hashes_flat(), hashes.as_slice());
+        let mut u = GroupTable::default();
+        u.configure(1, 1);
+        for &k in &keys {
+            u.upsert1(k);
+        }
+        assert_eq!(u.keys_flat(), t.keys_flat());
+        assert_eq!(u.hashes_flat(), t.hashes_flat());
+    }
+
+    #[test]
+    fn key_set_prehashed_probes_agree_with_contains() {
+        let mut s = KeySet::new();
+        for k in [i64::MIN, i64::MAX, 0, -1, 1 << 53, 42] {
+            s.insert(k);
+        }
+        let probes: Vec<i64> = vec![i64::MIN, i64::MAX, 0, -1, 1 << 53, (1 << 53) + 1, 42, 43];
+        let mut hashes = Vec::new();
+        crate::kernels::hash1_dense(&probes, &mut hashes);
+        for (&k, &h) in probes.iter().zip(&hashes) {
+            assert_eq!(s.contains_hashed(h, k), s.contains(k), "key {k}");
+        }
+        assert!(!KeySet::new().contains_hashed(crate::kernels::hash_i64(7), 7));
+    }
+
+    #[test]
+    fn zero_key_grouping_keeps_the_hash_arena_aligned() {
+        let mut t = GroupTable::default();
+        t.configure(0, 2);
+        assert_eq!(t.upsert0(), 0);
+        assert_eq!(t.upsert0(), 0);
+        assert_eq!(t.group_count(), 1);
+        assert_eq!(t.hashes_flat(), &[0], "one hash entry per group");
+        // The generic prehashed path accepts the empty key too (the radix
+        // merge replays zero-key groups through it).
+        assert_eq!(t.upsert_prehashed(0, &[]), 0);
+        assert_eq!(t.group_count(), 1);
     }
 
     #[test]

@@ -23,6 +23,12 @@
 //!   open-addressing group/join tables with inline flat keys, and per-worker
 //!   reusable execution scratch (selection vectors, registers, borrowed
 //!   column slices) so the steady-state morsel loop does not allocate.
+//! * [`kernels`] — the chunked, autovectorizer-friendly inner loops the hot
+//!   path runs: filter comparisons producing selection vectors, batch
+//!   multiplicative key hashing, and sequential-order aggregate folds, each
+//!   with a scalar twin it must match bit for bit. Grouped partials are
+//!   merged radix-partitioned by key hash (see ARCHITECTURE.md, "Chunked
+//!   kernels & radix-partitioned aggregation").
 //! * [`baseline`] — the pre-vectorization block interpreter, kept frozen as
 //!   the measured before/after of the perf trajectory (`BENCH_exec.json`)
 //!   and as a bit-for-bit differential partner; never on the query path.
@@ -56,6 +62,7 @@ pub mod error;
 pub mod exec;
 pub mod expr;
 pub mod hashtable;
+pub mod kernels;
 pub mod morsel;
 pub mod plan;
 mod program;

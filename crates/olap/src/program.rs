@@ -16,6 +16,7 @@
 
 use crate::error::OlapError;
 use crate::expr::{AggExpr, CmpOp, Predicate, ScalarExpr};
+use crate::kernels;
 use crate::scratch::MorselData;
 
 /// Where a compiled operand reads from.
@@ -366,7 +367,11 @@ pub(crate) fn eval_expr(
 ///
 /// Returns `None` when the pipeline has no filters (the caller iterates the
 /// dense row range without materialising ids); otherwise fills `sel` with the
-/// surviving row ids, compacting in place predicate by predicate.
+/// surviving row ids, compacting in place predicate by predicate. The first
+/// predicate runs the dense chunked filter kernel; every further predicate
+/// refines the selection in place with the gather kernel (see
+/// [`crate::kernels`] — key columns compare as `f64`, the same fallback the
+/// block interpreter applies).
 pub(crate) fn apply_filters<'s>(
     filters: &[CompiledPredicate],
     data: &MorselData<'_>,
@@ -374,50 +379,26 @@ pub(crate) fn apply_filters<'s>(
     sel: &'s mut Vec<u32>,
 ) -> Option<&'s [u32]> {
     let (first, rest) = filters.split_first()?;
-    sel.clear();
     match first.col {
-        ColRef::Num(c) => {
-            let vals = data.numeric(c as usize);
-            for (i, &v) in vals[..rows].iter().enumerate() {
-                if first.op.apply(v, first.literal) {
-                    sel.push(i as u32);
-                }
-            }
-        }
+        ColRef::Num(c) => kernels::filter_dense_f64(
+            &data.numeric(c as usize)[..rows],
+            first.op,
+            first.literal,
+            sel,
+        ),
         ColRef::Key(c) => {
-            let vals = data.key(c as usize);
-            for (i, &v) in vals[..rows].iter().enumerate() {
-                if first.op.apply(v as f64, first.literal) {
-                    sel.push(i as u32);
-                }
-            }
+            kernels::filter_dense_i64(&data.key(c as usize)[..rows], first.op, first.literal, sel)
         }
     }
     for pred in rest {
-        let mut kept = 0usize;
         match pred.col {
             ColRef::Num(c) => {
-                let vals = data.numeric(c as usize);
-                for pos in 0..sel.len() {
-                    let i = sel[pos];
-                    if pred.op.apply(vals[i as usize], pred.literal) {
-                        sel[kept] = i;
-                        kept += 1;
-                    }
-                }
+                kernels::filter_refine_f64(data.numeric(c as usize), pred.op, pred.literal, sel)
             }
             ColRef::Key(c) => {
-                let vals = data.key(c as usize);
-                for pos in 0..sel.len() {
-                    let i = sel[pos];
-                    if pred.op.apply(vals[i as usize] as f64, pred.literal) {
-                        sel[kept] = i;
-                        kept += 1;
-                    }
-                }
+                kernels::filter_refine_i64(data.key(c as usize), pred.op, pred.literal, sel)
             }
         }
-        sel.truncate(kept);
     }
     Some(sel.as_slice())
 }

@@ -186,6 +186,9 @@ pub(crate) struct ExecScratch<'env> {
     pub group_rows: Vec<u32>,
     /// Composite-key assembly buffer for > 2 group columns.
     pub key_tmp: Vec<i64>,
+    /// Batch-hash output buffer: one `u64` hash per selected row, filled by
+    /// the chunked hash kernels before the probe/upsert loop.
+    pub hashes: Vec<u64>,
     /// The worker's group-by hash table, reused across morsels.
     pub groups: GroupTable,
 }
@@ -207,6 +210,7 @@ impl ExecScratch<'_> {
             sel2: Vec::new(),
             group_rows: Vec::new(),
             key_tmp: Vec::new(),
+            hashes: Vec::new(),
             groups: GroupTable::default(),
         }
     }

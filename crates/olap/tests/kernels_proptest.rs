@@ -1,0 +1,215 @@
+//! Property coverage for the chunked kernels: on adversarial inputs —
+//! NaN/±INF/±0.0 in filter comparisons and folds, `i64` keys at ±2^53 and
+//! `i64::MIN`/`i64::MAX`, selection vectors with ragged tails shorter than
+//! one chunk — every chunked kernel must agree **bit for bit** with its
+//! scalar twin. Aggregate states are compared through the finalized bits of
+//! every aggregate kind, so a NaN produced by both paths still compares
+//! equal while any bitwise divergence (including `-0.0` vs `0.0`) fails.
+
+use htap_olap::expr::{AggExpr, AggState, CmpOp, ScalarExpr};
+use htap_olap::kernels;
+use htap_olap::GroupTable;
+use proptest::prelude::*;
+use proptest::strategy::Union;
+
+/// Adversarial `f64`s: ordinary values plus the IEEE specials the
+/// comparison and fold semantics are sensitive to.
+fn adv_f64() -> Union<f64> {
+    prop_oneof![
+        8 => -100.0f64..100.0,
+        1 => Just(f64::NAN),
+        1 => Just(f64::INFINITY),
+        1 => Just(f64::NEG_INFINITY),
+        1 => Just(0.0f64),
+        1 => Just(-0.0f64),
+        1 => Just(1e308f64),
+        1 => Just(-1e308f64),
+        1 => Just((1i64 << 53) as f64),
+    ]
+}
+
+/// Adversarial `i64` keys: small values plus the boundaries where the
+/// `as f64` comparison cast loses exactness and where the multiplicative
+/// hash sees extreme bit patterns.
+fn adv_i64() -> Union<i64> {
+    prop_oneof![
+        6 => -1000i64..1000,
+        1 => Just(1i64 << 53),
+        1 => Just(-(1i64 << 53)),
+        1 => Just((1i64 << 53) + 1),
+        1 => Just(i64::MIN),
+        1 => Just(i64::MAX),
+        1 => any::<i64>(),
+    ]
+}
+
+fn cmp_op() -> Union<CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+/// Selection over `n` rows from a boolean mask (ragged lengths included:
+/// `n` runs 0..35, so tails shorter than one 8-lane chunk are routine).
+fn selection(mask: &[bool], n: usize) -> Vec<u32> {
+    (0..n.min(mask.len()))
+        .filter(|&i| mask[i])
+        .map(|i| i as u32)
+        .collect()
+}
+
+/// Every field of an aggregate state, as finalized bits.
+fn state_bits(s: &AggState) -> [u64; 5] {
+    [
+        s.finalize(&AggExpr::Sum(ScalarExpr::lit(0.0))).to_bits(),
+        s.finalize(&AggExpr::Avg(ScalarExpr::lit(0.0))).to_bits(),
+        s.finalize(&AggExpr::Min(ScalarExpr::lit(0.0))).to_bits(),
+        s.finalize(&AggExpr::Max(ScalarExpr::lit(0.0))).to_bits(),
+        s.finalize(&AggExpr::Count).to_bits(),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn dense_f64_filter_matches_scalar(
+        vals in prop::collection::vec(adv_f64(), 0..35),
+        op in cmp_op(),
+        lit in adv_f64(),
+    ) {
+        let mut chunked = Vec::new();
+        let mut scalar = Vec::new();
+        kernels::filter_dense_f64(&vals, op, lit, &mut chunked);
+        kernels::filter_dense_f64_scalar(&vals, op, lit, &mut scalar);
+        prop_assert_eq!(chunked, scalar);
+    }
+
+    #[test]
+    fn dense_i64_filter_matches_scalar(
+        keys in prop::collection::vec(adv_i64(), 0..35),
+        op in cmp_op(),
+        lit in adv_f64(),
+    ) {
+        let mut chunked = Vec::new();
+        let mut scalar = Vec::new();
+        kernels::filter_dense_i64(&keys, op, lit, &mut chunked);
+        kernels::filter_dense_i64_scalar(&keys, op, lit, &mut scalar);
+        prop_assert_eq!(chunked, scalar);
+    }
+
+    #[test]
+    fn refine_filters_match_scalar(
+        vals in prop::collection::vec(adv_f64(), 0..35),
+        keys in prop::collection::vec(adv_i64(), 0..35),
+        mask in prop::collection::vec(prop::bool::ANY, 0..35),
+        op in cmp_op(),
+        lit in adv_f64(),
+    ) {
+        let mut chunked = selection(&mask, vals.len());
+        let mut scalar = chunked.clone();
+        kernels::filter_refine_f64(&vals, op, lit, &mut chunked);
+        kernels::filter_refine_f64_scalar(&vals, op, lit, &mut scalar);
+        prop_assert_eq!(&chunked, &scalar);
+
+        let mut chunked = selection(&mask, keys.len());
+        let mut scalar = chunked.clone();
+        kernels::filter_refine_i64(&keys, op, lit, &mut chunked);
+        kernels::filter_refine_i64_scalar(&keys, op, lit, &mut scalar);
+        prop_assert_eq!(&chunked, &scalar);
+    }
+
+    #[test]
+    fn hash_kernels_match_scalar(
+        pairs in prop::collection::vec((adv_i64(), adv_i64()), 0..35),
+        mask in prop::collection::vec(prop::bool::ANY, 0..35),
+    ) {
+        let k0: Vec<i64> = pairs.iter().map(|&(a, _)| a).collect();
+        let k1: Vec<i64> = pairs.iter().map(|&(_, b)| b).collect();
+        let sel = selection(&mask, k0.len());
+
+        let (mut chunked, mut scalar) = (Vec::new(), Vec::new());
+        kernels::hash1_dense(&k0, &mut chunked);
+        kernels::hash1_dense_scalar(&k0, &mut scalar);
+        prop_assert_eq!(&chunked, &scalar);
+
+        kernels::hash1_gather(&k0, &sel, &mut chunked);
+        kernels::hash1_gather_scalar(&k0, &sel, &mut scalar);
+        prop_assert_eq!(&chunked, &scalar);
+
+        kernels::hash2_dense(&k0, &k1, &mut chunked);
+        kernels::hash2_dense_scalar(&k0, &k1, &mut scalar);
+        prop_assert_eq!(&chunked, &scalar);
+
+        kernels::hash2_gather(&k0, &k1, &sel, &mut chunked);
+        kernels::hash2_gather_scalar(&k0, &k1, &sel, &mut scalar);
+        prop_assert_eq!(&chunked, &scalar);
+    }
+
+    #[test]
+    fn fold_kernels_match_scalar(
+        vals in prop::collection::vec(adv_f64(), 0..35),
+        mask in prop::collection::vec(prop::bool::ANY, 0..35),
+    ) {
+        let sel = selection(&mask, vals.len());
+        macro_rules! check_fold {
+            ($dense:ident, $dense_scalar:ident, $gather:ident, $gather_scalar:ident) => {{
+                let (mut a, mut b) = (AggState::default(), AggState::default());
+                kernels::$dense(&mut a, &vals);
+                kernels::$dense_scalar(&mut b, &vals);
+                prop_assert_eq!(state_bits(&a), state_bits(&b));
+                let (mut a, mut b) = (AggState::default(), AggState::default());
+                kernels::$gather(&mut a, &vals, &sel);
+                kernels::$gather_scalar(&mut b, &vals, &sel);
+                prop_assert_eq!(state_bits(&a), state_bits(&b));
+            }};
+        }
+        check_fold!(
+            fold_sum_dense,
+            fold_sum_dense_scalar,
+            fold_sum_gather,
+            fold_sum_gather_scalar
+        );
+        check_fold!(
+            fold_avg_dense,
+            fold_avg_dense_scalar,
+            fold_avg_gather,
+            fold_avg_gather_scalar
+        );
+        check_fold!(
+            fold_min_dense,
+            fold_min_dense_scalar,
+            fold_min_gather,
+            fold_min_gather_scalar
+        );
+        check_fold!(
+            fold_max_dense,
+            fold_max_dense_scalar,
+            fold_max_gather,
+            fold_max_gather_scalar
+        );
+    }
+
+    /// The prehashed group-table entry points (fed by the batch-hash
+    /// kernels, including across mid-stream growth) must assign the same
+    /// group indices as the self-hashing upserts, for any key distribution.
+    #[test]
+    fn prehashed_group_table_matches_plain_upserts(
+        keys in prop::collection::vec(adv_i64(), 0..200),
+    ) {
+        let mut hashes = Vec::new();
+        kernels::hash1_dense(&keys, &mut hashes);
+        let mut plain = GroupTable::default();
+        plain.configure(1, 1);
+        let mut pre = GroupTable::default();
+        pre.configure(1, 1);
+        for (i, &k) in keys.iter().enumerate() {
+            prop_assert_eq!(plain.upsert1(k), pre.upsert1_prehashed(hashes[i], k));
+        }
+        prop_assert_eq!(plain.keys_flat(), pre.keys_flat());
+        prop_assert_eq!(plain.hashes_flat(), pre.hashes_flat());
+    }
+}

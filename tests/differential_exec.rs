@@ -6,8 +6,8 @@
 //! plan shapes — Aggregate, GroupByAggregate, JoinAggregate,
 //! MultiJoinAggregate and JoinGroupByAggregate — with random filters,
 //! aggregates, group keys, morsel sizes and (every third plan) a split
-//! two-segment access path. Each plan is executed by the engine with 1, 2
-//! and 4 workers (results must be bit-for-bit identical) and by the
+//! two-segment access path. Each plan is executed by the engine with 1, 2,
+//! 4 and 8 workers (results must be bit-for-bit identical) and by the
 //! row-at-a-time oracle in `htap_olap::reference` (results must agree up to
 //! floating-point associativity: the oracle accumulates in scan order while
 //! the engine merges per-morsel partials, so SUM/AVG are compared with a
@@ -333,7 +333,7 @@ fn assert_matches_reference(engine: &QueryResult, reference: &QueryResult, ctx: 
     }
 }
 
-/// ≥ 100 randomized plans, every shape: 1/2/4-worker engine runs must be
+/// ≥ 100 randomized plans, every shape: 1/2/4/8-worker engine runs must be
 /// bit-for-bit identical and all must agree with the reference oracle.
 #[test]
 fn randomized_plans_match_reference_across_worker_counts() {
@@ -351,7 +351,7 @@ fn randomized_plans_match_reference_across_worker_counts() {
         let baseline = executor
             .execute_parallel(&plan, &sources, &WorkerTeam::from_cores(vec![CoreId(0)]))
             .unwrap_or_else(|e| panic!("{ctx}: engine failed: {e}"));
-        for workers in [2u16, 4] {
+        for workers in [2u16, 4, 8] {
             let team = WorkerTeam::from_cores((0..workers).map(CoreId).collect());
             let parallel = executor.execute_parallel(&plan, &sources, &team).unwrap();
             assert_eq!(
@@ -488,7 +488,7 @@ fn empty_selections_agree_with_reference_for_every_shape() {
     }
 }
 
-/// Run one plan through the vectorized engine at 1/2/4 workers (bit-identical
+/// Run one plan through the vectorized engine at 1/2/4/8 workers (bit-identical
 /// required), the frozen interpreted baseline (bit-identical required, work
 /// profile included) and the row-at-a-time oracle (tolerance comparison).
 fn assert_all_engines_agree(
@@ -501,7 +501,7 @@ fn assert_all_engines_agree(
     let solo = executor
         .execute_parallel(plan, sources, &WorkerTeam::from_cores(vec![CoreId(0)]))
         .unwrap_or_else(|e| panic!("{ctx}: engine failed: {e}"));
-    for workers in [2u16, 4] {
+    for workers in [2u16, 4, 8] {
         let team = WorkerTeam::from_cores((0..workers).map(CoreId).collect());
         let parallel = executor.execute_parallel(plan, sources, &team).unwrap();
         assert_eq!(solo, parallel, "{ctx}: {workers} workers diverged");
