@@ -1,0 +1,88 @@
+//! The `lint:allow` suppression syntax.
+//!
+//! A diagnostic on line *N* is suppressed by a comment on line *N* or *N-1*
+//! of the form:
+//!
+//! ```text
+//! // lint:allow(<rule>): <justification>
+//! ```
+//!
+//! `<rule>` is a rule name (`no-panic`) or its short id (`L3`), matched
+//! case-insensitively. The justification is mandatory: an allow without one
+//! is itself a diagnostic (`unjustified-allow`), and an allow that suppresses
+//! nothing is one too (`unused-allow`) — the allow-list must stay an honest
+//! inventory of *current*, *argued* exceptions, not sediment.
+
+use crate::lexer::Token;
+use crate::rules::Rule;
+
+/// One parsed `lint:allow` entry.
+#[derive(Debug)]
+pub struct Allow {
+    /// The rule this entry suppresses, if the name parsed.
+    pub rule: Option<Rule>,
+    /// The raw rule name as written.
+    pub rule_text: String,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// Justification text after `):`. Empty means unjustified.
+    pub justification: String,
+    /// Set when a diagnostic was actually suppressed by this entry.
+    pub used: std::cell::Cell<bool>,
+}
+
+/// Scan comment tokens for `lint:allow(...)` entries.
+///
+/// Doc comments (`///`, `//!`, `/**`, `/*!`) are excluded: they *describe*
+/// the syntax (as this one does) without invoking it. An entry must start
+/// its comment line — `lint:allow` mentioned mid-sentence is prose.
+pub fn collect(tokens: &[Token]) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for tok in tokens.iter().filter(|t| t.is_comment()) {
+        let text = tok.text.as_str();
+        if ["///", "//!", "/**", "/*!"]
+            .iter()
+            .any(|doc| text.starts_with(doc))
+        {
+            continue;
+        }
+        // A block comment can carry one entry per line.
+        for (offset, line_text) in text.lines().enumerate() {
+            let body = line_text
+                .trim_start()
+                .trim_start_matches(['/', '*'])
+                .trim_start();
+            let Some(after) = body.strip_prefix("lint:allow(") else {
+                continue;
+            };
+            let Some(close) = after.find(')') else {
+                continue;
+            };
+            let rule_text = after[..close].trim().to_string();
+            let justification = after[close + 1..]
+                .strip_prefix(':')
+                .map(|j| j.trim().trim_end_matches("*/").trim().to_string())
+                .unwrap_or_default();
+            allows.push(Allow {
+                rule: Rule::parse(&rule_text),
+                rule_text,
+                line: tok.line + offset as u32,
+                justification,
+                used: std::cell::Cell::new(false),
+            });
+        }
+    }
+    allows
+}
+
+/// Find an allow entry covering `rule` at `line` (same line or the line
+/// above) and mark it used.
+pub fn suppressed(allows: &[Allow], rule: Rule, line: u32) -> bool {
+    for allow in allows {
+        if allow.rule == Some(rule) && (allow.line == line || allow.line + 1 == line) {
+            allow.used.set(true);
+            return true;
+        }
+    }
+    false
+}

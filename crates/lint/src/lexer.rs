@@ -1,0 +1,445 @@
+//! A lightweight Rust lexer, in the same hand-rolled style as
+//! `crates/sql/src/lexer.rs`.
+//!
+//! The linter's rules are all lexical: "`unwrap` called as a method",
+//! "`unsafe` without a `// SAFETY:` comment above", "`HashMap` named in a
+//! result-producing crate". None of that needs a parse tree, but all of it
+//! needs *correct token boundaries* — `unwrap(` inside a string literal or a
+//! doc comment must not fire, and `operand` must not match `rand`. The lexer
+//! therefore recognises exactly the token classes that matter for boundary
+//! correctness (strings in all Rust flavours, nested block comments, char
+//! literals vs. lifetimes, identifiers, numbers) and degrades everything
+//! else to single-character punctuation.
+//!
+//! Comments are kept as tokens: the `SAFETY:` convention (L2) and the
+//! `lint:allow(...)` suppression syntax live inside them.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (`fn`, `unsafe`, `unwrap`, ...).
+    Ident,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Character literal, `'x'` / `'\n'` / `b'x'`.
+    CharLit,
+    /// String literal in any flavour: `"..."`, `r"..."`, `r#"..."#`,
+    /// `b"..."`, `br#"..."#`.
+    StrLit,
+    /// Numeric literal (integer or float, any base, with suffix).
+    NumLit,
+    /// Single punctuation character (`.`, `(`, `{`, `#`, `!`, ...).
+    Punct,
+    /// `// ...` comment (text excludes the slashes, includes doc `///`).
+    LineComment,
+    /// `/* ... */` comment, possibly nested and spanning lines.
+    BlockComment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: Kind,
+    /// Source text. For comments, the full text including delimiters.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based line of the token's last character (differs from `line` only
+    /// for block comments and multi-line strings).
+    pub end_line: u32,
+}
+
+impl Token {
+    fn single(kind: Kind, text: String, line: u32) -> Self {
+        Token {
+            kind,
+            text,
+            line,
+            end_line: line,
+        }
+    }
+
+    /// Is this token a comment?
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, Kind::LineComment | Kind::BlockComment)
+    }
+
+    /// Is this token the identifier `word`?
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == Kind::Ident && self.text == word
+    }
+
+    /// Is this token the punctuation character `ch`?
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == Kind::Punct && self.text.len() == ch.len_utf8() && self.text.starts_with(ch)
+    }
+}
+
+/// Lex `src` into tokens. Never fails: unrecognised bytes become punctuation
+/// tokens, unterminated strings/comments run to end of input. A linter must
+/// keep going on malformed input; the compiler is the authority on errors.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.char_indices().peekable(),
+        src,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    src: &'a str,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn bump(&mut self) -> Option<(usize, char)> {
+        let next = self.chars.next();
+        if let Some((_, '\n')) = next {
+            self.line += 1;
+        }
+        next
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().map(|&(_, c)| c)
+    }
+
+    fn peek2(&mut self) -> Option<char> {
+        let mut ahead = self.chars.clone();
+        ahead.next();
+        ahead.next().map(|(_, c)| c)
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(&(pos, ch)) = self.chars.peek() {
+            let line = self.line;
+            match ch {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek2() == Some('/') => self.line_comment(pos),
+                '/' if self.peek2() == Some('*') => self.block_comment(pos, line),
+                '"' => self.string(pos, line),
+                'r' | 'b' if self.raw_or_byte_prefix() => self.prefixed_literal(pos, line),
+                '\'' => self.quote(pos, line),
+                c if c.is_alphabetic() || c == '_' => self.ident(pos, line),
+                c if c.is_ascii_digit() => self.number(pos, line),
+                c => {
+                    self.bump();
+                    self.tokens
+                        .push(Token::single(Kind::Punct, c.to_string(), line));
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn line_comment(&mut self, start: usize) {
+        let line = self.line;
+        let mut end = self.src.len();
+        while let Some(c) = self.peek() {
+            if c == '\n' {
+                end = self.chars.peek().map(|&(i, _)| i).unwrap_or(end);
+                break;
+            }
+            self.bump();
+            end = self.chars.peek().map(|&(i, _)| i).unwrap_or(self.src.len());
+        }
+        self.tokens.push(Token::single(
+            Kind::LineComment,
+            self.src[start..end].to_string(),
+            line,
+        ));
+    }
+
+    fn block_comment(&mut self, start: usize, line: u32) {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1u32;
+        let mut end = self.src.len();
+        while let Some((_, c)) = self.bump() {
+            if c == '/' && self.peek() == Some('*') {
+                self.bump();
+                depth += 1;
+            } else if c == '*' && self.peek() == Some('/') {
+                self.bump();
+                depth -= 1;
+                if depth == 0 {
+                    end = self.chars.peek().map(|&(j, _)| j).unwrap_or(self.src.len());
+                    break;
+                }
+            }
+        }
+        self.tokens.push(Token {
+            kind: Kind::BlockComment,
+            text: self.src[start..end].to_string(),
+            line,
+            end_line: self.line,
+        });
+    }
+
+    /// Is the `r`/`b` at the cursor a literal prefix rather than an ident?
+    fn raw_or_byte_prefix(&mut self) -> bool {
+        let mut ahead = self.chars.clone();
+        let Some((_, first)) = ahead.next() else {
+            return false;
+        };
+        let second = ahead.next().map(|(_, c)| c);
+        if first == 'b' && second == Some('r') {
+            // br"..." / br#"..."#
+            return matches!(ahead.next().map(|(_, c)| c), Some('"') | Some('#'));
+        }
+        match (first, second) {
+            ('r', Some('"')) | ('b', Some('"')) => true, // r"..." | b"..."
+            ('b', Some('\'')) => true,                   // b'x'
+            // r#"..."# raw string or r#ident raw identifier;
+            // `prefixed_literal` disambiguates.
+            ('r', Some('#')) => true,
+            _ => false,
+        }
+    }
+
+    /// Lex a literal that starts with an `r`/`b`/`br` prefix, or a raw
+    /// identifier `r#name`.
+    fn prefixed_literal(&mut self, start: usize, line: u32) {
+        // Consume prefix letters.
+        while matches!(self.peek(), Some('r') | Some('b')) {
+            self.bump();
+        }
+        let mut hashes = 0usize;
+        while self.peek() == Some('#') {
+            // Distinguish r#"..." (raw string) from r#ident (raw ident): a
+            // raw ident has an ident-start char right after a single '#'.
+            if hashes == 0 {
+                if let Some(c) = self.peek2() {
+                    if c.is_alphabetic() || c == '_' {
+                        self.bump(); // '#'
+                                     // Token text is the bare identifier, so that
+                                     // `r#fn` and `fn` compare equal for the rules.
+                        let ident_start =
+                            self.chars.peek().map(|&(i, _)| i).unwrap_or(self.src.len());
+                        return self.ident(ident_start, line);
+                    }
+                }
+            }
+            self.bump();
+            hashes += 1;
+        }
+        match self.peek() {
+            Some('"') => {
+                self.bump();
+                self.raw_string_tail(start, line, hashes);
+            }
+            Some('\'') => {
+                self.bump();
+                self.char_tail(start, line);
+            }
+            _ => {
+                // Plain identifier starting with r/b after all ("rb_tree").
+                self.ident(start, line);
+            }
+        }
+    }
+
+    fn raw_string_tail(&mut self, start: usize, line: u32, hashes: usize) {
+        let mut end = self.src.len();
+        'outer: while let Some((_, c)) = self.bump() {
+            if c == '"' {
+                let mut ahead = self.chars.clone();
+                for _ in 0..hashes {
+                    if ahead.next().map(|(_, c)| c) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                end = self.chars.peek().map(|&(j, _)| j).unwrap_or(self.src.len());
+                break;
+            }
+        }
+        self.tokens.push(Token {
+            kind: Kind::StrLit,
+            text: self.src[start..end].to_string(),
+            line,
+            end_line: self.line,
+        });
+    }
+
+    fn string(&mut self, start: usize, line: u32) {
+        self.bump(); // opening quote
+        let mut end = self.src.len();
+        while let Some((_, c)) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => {
+                    end = self.chars.peek().map(|&(j, _)| j).unwrap_or(self.src.len());
+                    break;
+                }
+                _ => {}
+            }
+        }
+        self.tokens.push(Token {
+            kind: Kind::StrLit,
+            text: self.src[start..end].to_string(),
+            line,
+            end_line: self.line,
+        });
+    }
+
+    /// A `'` is either a lifetime (`'a`, `'static`) or a char literal
+    /// (`'x'`, `'\n'`). A lifetime is an ident-start char NOT followed by a
+    /// closing quote.
+    fn quote(&mut self, start: usize, line: u32) {
+        self.bump(); // '\''
+        let first = self.peek();
+        let second = self.peek2();
+        let is_lifetime =
+            matches!(first, Some(c) if c.is_alphabetic() || c == '_') && second != Some('\'');
+        if is_lifetime {
+            while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_') {
+                self.bump();
+            }
+            let end = self.chars.peek().map(|&(j, _)| j).unwrap_or(self.src.len());
+            self.tokens.push(Token::single(
+                Kind::Lifetime,
+                self.src[start..end].to_string(),
+                line,
+            ));
+        } else {
+            self.char_tail(start, line);
+        }
+    }
+
+    fn char_tail(&mut self, start: usize, line: u32) {
+        let mut end = self.src.len();
+        while let Some((_, c)) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => {
+                    end = self.chars.peek().map(|&(j, _)| j).unwrap_or(self.src.len());
+                    break;
+                }
+                '\n' => break, // unterminated; don't eat the file
+                _ => {}
+            }
+        }
+        self.tokens.push(Token::single(
+            Kind::CharLit,
+            self.src[start..end].to_string(),
+            line,
+        ));
+    }
+
+    fn ident(&mut self, start: usize, line: u32) {
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_') {
+            self.bump();
+        }
+        let end = self.chars.peek().map(|&(j, _)| j).unwrap_or(self.src.len());
+        self.tokens.push(Token::single(
+            Kind::Ident,
+            self.src[start..end].to_string(),
+            line,
+        ));
+    }
+
+    fn number(&mut self, start: usize, line: u32) {
+        // Digits, then letters/underscores (hex digits, suffixes, exponents);
+        // a '.' only continues the number when a digit follows, so `0..10`
+        // and `1.max(2)` tokenize as number-punct-... not as a float.
+        while let Some(c) = self.peek() {
+            let continues = c.is_alphanumeric()
+                || c == '_'
+                || (c == '.' && matches!(self.peek2(), Some(d) if d.is_ascii_digit()));
+            if !continues {
+                break;
+            }
+            self.bump();
+        }
+        let end = self.chars.peek().map(|&(j, _)| j).unwrap_or(self.src.len());
+        self.tokens.push(Token::single(
+            Kind::NumLit,
+            self.src[start..end].to_string(),
+            line,
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(Kind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "x.unwrap()"; y"#);
+        assert!(toks.iter().all(|(k, t)| *k != Kind::Ident || t != "unwrap"));
+        assert!(toks.iter().any(|(k, _)| *k == Kind::StrLit));
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let toks = kinds(r##"let a = r#"panic!("x")"#; let r#fn = 1;"##);
+        assert!(toks.iter().all(|(k, t)| *k != Kind::Ident || t != "panic"));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == Kind::StrLit).count(), 1);
+        assert!(toks.iter().any(|(k, t)| *k == Kind::Ident && t == "fn"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("&'static str; let c = 'x'; let n = '\\n';");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == Kind::Lifetime && t == "'static"));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == Kind::CharLit).count(), 2);
+    }
+
+    #[test]
+    fn nested_block_comments_and_lines() {
+        let toks = lex("a\n/* one /* two */ still */\nb");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].kind, Kind::BlockComment);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+        assert!(toks[2].is_ident("b"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_method_calls() {
+        let toks = kinds("let x = 1.max(2) + 0..10 + 3.5;");
+        assert!(toks.iter().any(|(k, t)| *k == Kind::Ident && t == "max"));
+        assert!(toks.iter().any(|(k, t)| *k == Kind::NumLit && t == "3.5"));
+    }
+
+    #[test]
+    fn operand_is_not_rand() {
+        let toks = kinds("let operand = rand_like + rand;");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == Kind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, vec!["let", "operand", "rand_like", "rand"]);
+    }
+
+    #[test]
+    fn line_comment_text_and_position() {
+        let toks = lex("x // SAFETY: fine\ny");
+        assert_eq!(toks[1].kind, Kind::LineComment);
+        assert!(toks[1].text.contains("SAFETY: fine"));
+        assert_eq!(toks[1].line, 1);
+        assert_eq!(toks[2].line, 2);
+    }
+}

@@ -1,0 +1,376 @@
+//! L4: the static lock-order graph.
+//!
+//! For every function, the scan extracts blocking lock acquisitions —
+//! `.lock()`, `.read()`, `.write()` with no arguments — and tracks which
+//! guards are still live when the next acquisition happens:
+//!
+//! * a `let`-bound guard lives to the end of its enclosing block (or to an
+//!   explicit `drop(name)`),
+//! * a temporary guard (`counter.lock().push(x)`) lives to the end of its
+//!   statement.
+//!
+//! Every acquisition B performed while guard A is live contributes a
+//! directed edge A→B, named by the *receiver path* with a leading `self.`
+//! stripped (`commits.lock()` inside two different methods is the same
+//! node). The union of all files' edges must be acyclic; a cycle is the
+//! static shadow of an AB/BA deadlock.
+//!
+//! This is a lexical approximation, and deliberately so: it cannot see
+//! through guards returned from functions, aliased receivers, or two
+//! distinct structs with an identically-named field. False positives are
+//! expected to be rare (receiver names in this workspace are distinctive)
+//! and are suppressed edge-by-edge with `// lint:allow(lock-order): why`.
+//! The authority on real interleavings is the runtime checker in
+//! `shims/parking_lot`, which sees actual lock instances; this rule exists
+//! to flag suspicious nesting *before* any test has to interleave.
+//!
+//! `try_lock`/`try_read`/`try_write` are ignored here: they cannot block,
+//! so they never complete a cycle on their own (the runtime checker still
+//! accounts for guards they return).
+
+use crate::allow::{self, Allow};
+use crate::lexer::Token;
+use crate::rules::{Diagnostic, Rule};
+use std::collections::BTreeMap;
+
+/// One `A held while acquiring B` observation.
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    /// Receiver path of the lock already held.
+    pub held: String,
+    /// Receiver path of the lock being acquired.
+    pub acquired: String,
+    /// File of the acquisition.
+    pub file: String,
+    /// Line of the acquisition.
+    pub line: u32,
+    /// Function the nesting occurs in.
+    pub function: String,
+}
+
+const ACQUIRE_METHODS: [&str; 3] = ["lock", "read", "write"];
+
+#[derive(Debug)]
+struct Hold {
+    node: String,
+    /// `let`-bound variable name, when one could be determined.
+    var: Option<String>,
+    /// Brace depth the binding lives at; `None` for statement temporaries.
+    block_depth: Option<i32>,
+    /// For temporaries: the depth of the statement they belong to.
+    stmt_depth: i32,
+}
+
+/// Extract lock-order edges from one file. `mask` marks test-only tokens
+/// (skipped — deliberate inversions live in tests of the runtime checker).
+pub fn extract(
+    file: &str,
+    tokens: &[Token],
+    sig: &[usize],
+    mask: &[bool],
+    allows: &[Allow],
+) -> Vec<LockEdge> {
+    let mut edges = Vec::new();
+    let mut depth = 0i32;
+    // Stack of (function name, depth its body opened at).
+    let mut fn_stack: Vec<(String, i32)> = Vec::new();
+    let mut pending_fn: Option<String> = None;
+    let mut pending_paren = 0i32;
+    let mut holds: Vec<Hold> = Vec::new();
+    // `let [mut] name` seen since the last statement boundary.
+    let mut stmt_let: Option<String> = None;
+    let mut after_let = false;
+    // Paren/bracket nesting, to tell a match-arm `,` from an argument `,`.
+    let mut paren = 0i32;
+
+    for (s, &i) in sig.iter().enumerate() {
+        let tok = &tokens[i];
+        if tok.is_ident("fn") && !mask[i] {
+            let name = sig
+                .get(s + 1)
+                .map(|&n| tokens[n].text.clone())
+                .unwrap_or_else(|| "<anon>".into());
+            pending_fn = Some(name);
+            pending_paren = 0;
+            continue;
+        }
+        if pending_fn.is_some() {
+            if tok.is_punct('(') {
+                pending_paren += 1;
+            } else if tok.is_punct(')') {
+                pending_paren -= 1;
+            } else if tok.is_punct(';') && pending_paren == 0 {
+                pending_fn = None; // trait method declaration, no body
+            } else if tok.is_punct('{') && pending_paren == 0 {
+                depth += 1;
+                if let Some(name) = pending_fn.take() {
+                    fn_stack.push((name, depth));
+                }
+                continue;
+            }
+            if !tok.is_punct('{') {
+                continue;
+            }
+        }
+        if tok.is_punct('(') || tok.is_punct('[') {
+            paren += 1;
+        } else if tok.is_punct(')') || tok.is_punct(']') {
+            paren -= 1;
+        }
+        if tok.is_punct('{') {
+            depth += 1;
+            stmt_let = None;
+            after_let = false;
+            continue;
+        }
+        if tok.is_punct('}') {
+            depth -= 1;
+            holds.retain(|h| match h.block_depth {
+                Some(bd) => bd <= depth,
+                None => h.stmt_depth <= depth,
+            });
+            if let Some((_, body_depth)) = fn_stack.last() {
+                if depth < *body_depth {
+                    fn_stack.pop();
+                    holds.clear();
+                }
+            }
+            stmt_let = None;
+            after_let = false;
+            continue;
+        }
+        // `;` ends the statement; a `,` outside parens/brackets separates
+        // match arms or struct-literal fields, which also ends the
+        // temporary's expression for our purposes (a match over guard
+        // alternatives must not look like nested holds).
+        if tok.is_punct(';') || (tok.is_punct(',') && paren <= 0) {
+            holds.retain(|h| h.block_depth.is_some() || h.stmt_depth < depth);
+            stmt_let = None;
+            after_let = false;
+            continue;
+        }
+        if tok.is_ident("let") {
+            after_let = true;
+            stmt_let = None;
+            continue;
+        }
+        if after_let {
+            if tok.is_ident("mut") {
+                continue;
+            }
+            if tok.kind == crate::lexer::Kind::Ident {
+                stmt_let = Some(tok.text.clone());
+            }
+            after_let = false;
+            continue;
+        }
+        // drop(name) releases a named guard.
+        if tok.is_ident("drop") {
+            if let (Some(&n1), Some(&n2), Some(&n3)) =
+                (sig.get(s + 1), sig.get(s + 2), sig.get(s + 3))
+            {
+                if tokens[n1].is_punct('(') && tokens[n3].is_punct(')') {
+                    let name = &tokens[n2].text;
+                    if let Some(pos) = holds
+                        .iter()
+                        .rposition(|h| h.var.as_deref() == Some(name.as_str()))
+                    {
+                        holds.remove(pos);
+                    }
+                }
+            }
+            continue;
+        }
+        // Blocking acquisition: `.lock()` / `.read()` / `.write()`.
+        let is_acquire = ACQUIRE_METHODS.contains(&tok.text.as_str())
+            && s >= 1
+            && tokens[sig[s - 1]].is_punct('.')
+            && matches!(sig.get(s + 1), Some(&n) if tokens[n].is_punct('('))
+            && matches!(sig.get(s + 2), Some(&n) if tokens[n].is_punct(')'));
+        if !is_acquire || mask[i] || fn_stack.is_empty() {
+            continue;
+        }
+        let Some(node) = receiver_path(tokens, sig, s - 1) else {
+            continue;
+        };
+        let function = fn_stack
+            .last()
+            .map(|(n, _)| n.clone())
+            .unwrap_or_else(|| "<anon>".into());
+        if !allow::suppressed(allows, Rule::LockOrder, tok.line) {
+            for hold in &holds {
+                edges.push(LockEdge {
+                    held: hold.node.clone(),
+                    acquired: node.clone(),
+                    file: file.to_string(),
+                    line: tok.line,
+                    function: function.clone(),
+                });
+            }
+        }
+        // The guard binds to the `let` only when the acquisition *ends* the
+        // initializer (`let g = x.lock();`). In `let n = x.read().len();`
+        // the guard is a temporary of the expression — the `let` binds the
+        // value extracted through it — and dies at the statement end.
+        let binds_let =
+            stmt_let.is_some() && matches!(sig.get(s + 3), Some(&n) if tokens[n].is_punct(';'));
+        holds.push(Hold {
+            node,
+            var: if binds_let { stmt_let.clone() } else { None },
+            block_depth: if binds_let { Some(depth) } else { None },
+            stmt_depth: depth,
+        });
+    }
+    edges
+}
+
+/// Reconstruct the receiver path ending at the `.` token `sig[dot_s]`.
+/// `self.gate.switch_lock` → `gate.switch_lock`; `inner().state` keeps the
+/// call parens; unnameable receivers (`(*a).lock()`) return `None`.
+fn receiver_path(tokens: &[Token], sig: &[usize], dot_s: usize) -> Option<String> {
+    let mut parts: Vec<String> = Vec::new();
+    let mut s = dot_s; // index in sig of the '.' before the method
+    loop {
+        let prev = s.checked_sub(1)?;
+        let tok = &tokens[sig[prev]];
+        if tok.is_punct(')') {
+            // Walk back over the call's parens to its callee name.
+            let mut depth = 0i32;
+            let mut p = prev;
+            loop {
+                let t = &tokens[sig[p]];
+                if t.is_punct(')') {
+                    depth += 1;
+                } else if t.is_punct('(') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                p = p.checked_sub(1)?;
+            }
+            let callee = p.checked_sub(1)?;
+            if tokens[sig[callee]].kind != crate::lexer::Kind::Ident {
+                return None;
+            }
+            parts.push(format!("{}()", tokens[sig[callee]].text));
+            s = callee;
+        } else if tok.is_punct(']') {
+            // Indexing: name the container, drop the index expression.
+            let mut depth = 0i32;
+            let mut p = prev;
+            loop {
+                let t = &tokens[sig[p]];
+                if t.is_punct(']') {
+                    depth += 1;
+                } else if t.is_punct('[') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                p = p.checked_sub(1)?;
+            }
+            let container = p.checked_sub(1)?;
+            if tokens[sig[container]].kind != crate::lexer::Kind::Ident {
+                return None;
+            }
+            parts.push(tokens[sig[container]].text.clone());
+            s = container;
+        } else if tok.kind == crate::lexer::Kind::Ident {
+            parts.push(tok.text.clone());
+            s = prev;
+        } else {
+            break;
+        }
+        // Continue only through a field access `.`; a NumLit before the dot
+        // (tuple index) or anything else ends the path.
+        match s.checked_sub(1) {
+            Some(p) if tokens[sig[p]].is_punct('.') => s = p,
+            _ => break,
+        }
+    }
+    parts.reverse();
+    if parts.first().map(String::as_str) == Some("self") {
+        parts.remove(0);
+    }
+    if parts.is_empty() {
+        None
+    } else {
+        Some(parts.join("."))
+    }
+}
+
+/// Detect cycles in the union of all files' edges. Each distinct cycle
+/// yields one diagnostic anchored at its first edge's acquisition site.
+pub fn cycles(edges: &[LockEdge]) -> Vec<Diagnostic> {
+    // Deduplicated adjacency, deterministic order.
+    let mut adj: BTreeMap<&str, BTreeMap<&str, &LockEdge>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(&e.held)
+            .or_default()
+            .entry(&e.acquired)
+            .or_insert(e);
+    }
+    let mut color: BTreeMap<&str, u8> = BTreeMap::new(); // 0 white 1 grey 2 black
+    let mut diags = Vec::new();
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    let mut path: Vec<&str> = Vec::new();
+    for &start in &nodes {
+        dfs(start, &adj, &mut color, &mut path, &mut diags);
+    }
+    diags
+}
+
+fn dfs<'a>(
+    node: &'a str,
+    adj: &BTreeMap<&'a str, BTreeMap<&'a str, &'a LockEdge>>,
+    color: &mut BTreeMap<&'a str, u8>,
+    path: &mut Vec<&'a str>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    if color.get(node).copied().unwrap_or(0) != 0 {
+        return;
+    }
+    color.insert(node, 1);
+    path.push(node);
+    let succs: Vec<&str> = adj
+        .get(node)
+        .map(|m| m.keys().copied().collect())
+        .unwrap_or_default();
+    for succ in succs {
+        match color.get(succ).copied().unwrap_or(0) {
+            1 => {
+                // Back edge: the cycle is path[pos..] closed by node→succ.
+                let pos = path.iter().position(|&n| n == succ).unwrap_or(0);
+                let mut desc = String::new();
+                for win in path[pos..].windows(2) {
+                    let e = adj[win[0]][win[1]];
+                    desc.push_str(&format!(
+                        "{} -> {} (in {} at {}:{}), ",
+                        win[0], win[1], e.function, e.file, e.line
+                    ));
+                }
+                let closing = adj[node][succ];
+                desc.push_str(&format!(
+                    "{} -> {} (in {} at {}:{})",
+                    node, succ, closing.function, closing.file, closing.line
+                ));
+                diags.push(Diagnostic {
+                    file: closing.file.clone(),
+                    line: closing.line,
+                    rule: Rule::LockOrder,
+                    message: format!(
+                        "lock-order cycle: {desc}; a concurrent schedule can deadlock \
+                         here — pick one global order or justify why the schedules \
+                         cannot overlap"
+                    ),
+                });
+            }
+            0 => dfs(succ, adj, color, path, diags),
+            _ => {}
+        }
+    }
+    path.pop();
+    color.insert(node, 2);
+}

@@ -1,0 +1,123 @@
+//! `htap-lint` CLI.
+//!
+//! ```text
+//! htap-lint --workspace [--root DIR] [--unsafe-inventory PATH]
+//! htap-lint FILE.rs [FILE.rs ...]
+//! ```
+//!
+//! Exit code 0 when clean, 1 on any diagnostic, 2 on usage/IO errors.
+//! Diagnostics print as `file:line: [L3/no-panic] message`, one per line.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workspace = false;
+    let mut root = PathBuf::from(".");
+    let mut inventory_path: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a directory"),
+            },
+            "--unsafe-inventory" => match it.next() {
+                Some(p) => inventory_path = Some(PathBuf::from(p)),
+                None => return usage("--unsafe-inventory needs a path"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "htap-lint: workspace determinism/concurrency static analysis\n\n\
+                     usage: htap-lint --workspace [--root DIR] [--unsafe-inventory PATH]\n\
+                     \u{20}      htap-lint FILE.rs [FILE.rs ...]\n\n\
+                     rules: L1 unordered-container, L2 undocumented-unsafe, L3 no-panic,\n\
+                     \u{20}      L4 lock-order, L5 nondeterministic-source\n\
+                     suppress with: // lint:allow(<rule>): <justification>"
+                );
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with("--") => {
+                return usage(&format!("unknown flag {flag}"));
+            }
+            file => files.push(PathBuf::from(file)),
+        }
+    }
+    if !workspace && files.is_empty() {
+        return usage("pass --workspace or at least one file");
+    }
+
+    if workspace {
+        match htap_lint::discover(&root) {
+            Ok(found) => files.extend(found),
+            Err(e) => {
+                eprintln!("htap-lint: cannot walk {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut sources = Vec::with_capacity(files.len());
+    for file in &files {
+        match std::fs::read_to_string(file) {
+            Ok(src) => {
+                // Report paths relative to the root for stable diagnostics.
+                let rel = file
+                    .strip_prefix(&root)
+                    .unwrap_or(file)
+                    .to_string_lossy()
+                    .into_owned();
+                sources.push((rel, src));
+            }
+            Err(e) => {
+                eprintln!("htap-lint: cannot read {}: {e}", file.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = htap_lint::lint_files(&sources);
+
+    if let Some(path) = inventory_path {
+        let json = htap_lint::unsafe_inventory_json(&report.unsafe_sites);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("htap-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    for diag in &report.diagnostics {
+        println!("{diag}");
+    }
+    let documented = report
+        .unsafe_sites
+        .iter()
+        .filter(|s| s.safety.is_some())
+        .count();
+    eprintln!(
+        "htap-lint: {} files, {} unsafe sites ({} documented), {} diagnostic{}",
+        report.files,
+        report.unsafe_sites.len(),
+        documented,
+        report.diagnostics.len(),
+        if report.diagnostics.len() == 1 {
+            ""
+        } else {
+            "s"
+        }
+    );
+    if report.diagnostics.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("htap-lint: {err}; see --help");
+    ExitCode::from(2)
+}

@@ -33,6 +33,7 @@ use crate::morsel::Morsel;
 use crate::plan::{BuildSide, QueryPlan, TopK};
 use crate::source::ScanSource;
 use crate::worker::WorkerTeam;
+// lint:allow(unordered-container): frozen pre-vectorization baseline; sets are membership-only
 use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -50,6 +51,7 @@ struct GroupPartial {
 
 /// Partial result of one morsel of a join build pipeline.
 struct BuildPartial {
+    // lint:allow(unordered-container): membership-only key set, never iterated into output
     keys: HashSet<i64>,
     probes: u64,
     profile: WorkProfile,
@@ -206,9 +208,11 @@ impl BaselineExecutor {
         &self,
         source: &ScanSource,
         side: &BuildSide,
+        // lint:allow(unordered-container): membership probe set, queried with contains() only
         membership: Option<(&ScalarExpr, &HashSet<i64>)>,
         team: &WorkerTeam,
         work: &mut WorkProfile,
+        // lint:allow(unordered-container): returned set is only probed, never iterated
     ) -> Result<HashSet<i64>, OlapError> {
         let fk_expr = membership.map(|(fk, _)| fk);
         let key_exprs: Vec<&ScalarExpr> = std::iter::once(&side.key).chain(fk_expr).collect();
@@ -222,6 +226,7 @@ impl BaselineExecutor {
             let selection = evaluate_conjunction(&side.filters, &block)?;
             let keys = Self::expr_keys(&side.key, &block)?;
             let fks = fk_expr.map(|fk| Self::expr_keys(fk, &block)).transpose()?;
+            // lint:allow(unordered-container): per-morsel build partial; order-insensitive union
             let mut passing = HashSet::new();
             let mut probes = 0u64;
             for (row, &sel) in selection.iter().enumerate() {
@@ -244,6 +249,7 @@ impl BaselineExecutor {
                 profile,
             })
         })?;
+        // lint:allow(unordered-container): union of partials is order-insensitive
         let mut set = HashSet::new();
         for partial in partials {
             work.merge(&partial.profile);
@@ -379,8 +385,12 @@ impl BaselineExecutor {
             let selection = evaluate_conjunction(filters, &block)?;
             let key_columns: Vec<&[i64]> = key_refs
                 .iter()
-                .map(|k| block.key(k).expect("group key column loaded"))
-                .collect();
+                .map(|k| {
+                    block.key(k).ok_or_else(|| OlapError::MissingColumn {
+                        column: (*k).to_string(),
+                    })
+                })
+                .collect::<Result<_, _>>()?;
             let inputs = Self::aggregate_inputs(aggregates, &block)?;
             let mut groups: BTreeMap<Vec<i64>, Vec<AggState>> = BTreeMap::new();
             let mut selected = 0u64;
@@ -447,7 +457,11 @@ impl BaselineExecutor {
         let probe_partials = Self::run_pipeline(team, &fact_morsels, |morsel| {
             let block = fact_source.read_morsel(morsel, &fact_numeric_refs, &[fact_key])?;
             let selection = evaluate_conjunction(fact_filters, &block)?;
-            let keys = block.key(fact_key).expect("fact key loaded");
+            let keys = block
+                .key(fact_key)
+                .ok_or_else(|| OlapError::MissingColumn {
+                    column: fact_key.to_string(),
+                })?;
             let inputs = Self::aggregate_inputs(aggregates, &block)?;
             let mut states = vec![AggState::default(); aggregates.len()];
             let mut probes = 0u64;
@@ -633,8 +647,12 @@ impl BaselineExecutor {
             let join_keys = Self::expr_keys(fact_key, &block)?;
             let key_columns: Vec<&[i64]> = group_by
                 .iter()
-                .map(|k| block.key(k).expect("group key column loaded"))
-                .collect();
+                .map(|k| {
+                    block.key(k).ok_or_else(|| OlapError::MissingColumn {
+                        column: k.to_string(),
+                    })
+                })
+                .collect::<Result<_, _>>()?;
             let inputs = Self::aggregate_inputs(aggregates, &block)?;
             let mut groups: BTreeMap<Vec<i64>, Vec<AggState>> = BTreeMap::new();
             let mut probes = 0u64;

@@ -55,7 +55,7 @@ use crate::scratch::{load_morsel, ExecScratch, MorselData};
 use crate::source::{BoundLayout, ScanSource};
 use crate::worker::WorkerTeam;
 use htap_sim::{JoinWork, ScanSegment, ScanWork, SocketId};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One grouped result row: the group key values followed by the aggregates.
@@ -403,12 +403,16 @@ impl Pipeline {
         self.pool.compile_key(expr, &resolver)
     }
 
-    /// Key-list slot of a column loaded through the key path.
-    fn key_slot(&self, name: &str) -> usize {
+    /// Key-list slot of a column loaded through the key path. The bind
+    /// phase puts every group key on the key load list, so a miss means a
+    /// mis-wired plan — reported as a typed error, not a worker abort.
+    fn key_slot(&self, name: &str) -> Result<usize, OlapError> {
         self.keys
             .iter()
             .position(|c| c == name)
-            .expect("group key is part of the key load list")
+            .ok_or_else(|| OlapError::MissingColumn {
+                column: name.to_string(),
+            })
     }
 
     /// Fresh per-worker scratch sized for this pipeline.
@@ -1379,7 +1383,10 @@ impl QueryExecutor {
             aggregates,
         )?;
         let key = pipe.compile_key(fact_key)?;
-        let group_slots: Vec<usize> = group_by.iter().map(|g| pipe.key_slot(g)).collect();
+        let group_slots: Vec<usize> = group_by
+            .iter()
+            .map(|g| pipe.key_slot(g))
+            .collect::<Result<_, _>>()?;
         let morsels = fact_source.morsels(self.block_rows);
         let n_aggs = aggregates.len();
         let n_keys = group_by.len();
@@ -1718,16 +1725,14 @@ fn fold_fused_row(
     }
 }
 
-/// A keyed hash-map based group-by helper exposed for reuse by custom plans
-/// and tests: folds `(key, value)` pairs and returns sorted groups.
+/// A keyed group-by helper exposed for reuse by custom plans and tests:
+/// folds `(key, value)` pairs and returns groups sorted by key.
 pub fn hash_group_sum(pairs: impl IntoIterator<Item = (i64, f64)>) -> Vec<(i64, f64)> {
-    let mut map: HashMap<i64, f64> = HashMap::new();
+    let mut map: BTreeMap<i64, f64> = BTreeMap::new();
     for (k, v) in pairs {
         *map.entry(k).or_insert(0.0) += v;
     }
-    let mut out: Vec<(i64, f64)> = map.into_iter().collect();
-    out.sort_by_key(|(k, _)| *k);
-    out
+    map.into_iter().collect()
 }
 #[cfg(test)]
 mod tests {

@@ -330,6 +330,9 @@ pub(crate) fn eval_expr(
         // Split the register file around `dst` so the operands can read
         // sibling registers while `dst` is written.
         let (before, rest) = regs.split_at_mut(instr.dst as usize);
+        // The register allocator hands out dst indices below n_regs for every
+        // compiled program, so the split always finds the dst register.
+        // lint:allow(no-panic): dst < regs.len() by construction in compile()
         let (dst, after) = rest.split_first_mut().expect("register allocated");
         let read = |src: Src| -> ValView<'_> {
             match src {

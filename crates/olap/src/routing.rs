@@ -61,8 +61,8 @@ impl SegmentAssignment {
         if loads.is_empty() {
             return 1.0;
         }
-        let max = *loads.iter().max().unwrap() as f64;
-        let min = *loads.iter().min().unwrap() as f64;
+        let max = loads.iter().copied().max().unwrap_or(0) as f64;
+        let min = loads.iter().copied().min().unwrap_or(0) as f64;
         if min == 0.0 {
             if max == 0.0 {
                 1.0
@@ -111,26 +111,31 @@ pub fn route(
         })
         .collect();
 
-    let most_workers = *worker_sockets
+    // `worker_sockets` is non-empty (checked above), so the fallbacks to
+    // its first element are unreachable; they exist so no `max_by_key`/
+    // `min_by` result can abort a query.
+    let most_workers = worker_sockets
         .iter()
-        .max_by_key(|s| placement.cores_on(**s))
-        .expect("non-empty worker sockets");
+        .copied()
+        .max_by_key(|s| placement.cores_on(*s))
+        .unwrap_or(worker_sockets[0]);
 
     for (i, seg) in source.segments.iter().enumerate() {
         let consumer = match policy {
             RoutingPolicy::Hash => worker_sockets[i % worker_sockets.len()],
             RoutingPolicy::LoadAware => {
                 // Send the segment to the socket with the least load per worker.
-                *worker_sockets
+                worker_sockets
                     .iter()
+                    .copied()
                     .min_by(|a, b| {
                         let la = *bytes_per_consumer.get(a).unwrap_or(&0) as f64
-                            / placement.cores_on(**a).max(1) as f64;
+                            / placement.cores_on(*a).max(1) as f64;
                         let lb = *bytes_per_consumer.get(b).unwrap_or(&0) as f64
-                            / placement.cores_on(**b).max(1) as f64;
-                        la.partial_cmp(&lb).unwrap()
+                            / placement.cores_on(*b).max(1) as f64;
+                        la.total_cmp(&lb)
                     })
-                    .expect("non-empty worker sockets")
+                    .unwrap_or(worker_sockets[0])
             }
             RoutingPolicy::LocalityAware => {
                 if placement.cores_on(seg.socket) > 0 {
@@ -154,8 +159,8 @@ pub fn route(
                                     / placement.cores_on(*s).max(1) as f64,
                             )
                         })
-                        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-                        .expect("non-empty worker sockets");
+                        .min_by(|a, b| a.1.total_cmp(&b.1))
+                        .unwrap_or((worker_sockets[0], 0.0));
                     if local_load > 2.0 * least_load + seg_bytes[i] as f64 {
                         least
                     } else {

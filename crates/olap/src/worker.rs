@@ -113,7 +113,13 @@ impl WorkerTeam {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("OLAP pipeline worker panicked"))
+                .map(|h| match h.join() {
+                    Ok(value) => value,
+                    // A worker panic is re-raised on the coordinating
+                    // thread with its original payload; swallowing it here
+                    // would return a partial result set as if complete.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
                 .collect()
         })
     }

@@ -550,8 +550,14 @@ impl<'a> Binder<'a> {
                         pos,
                     });
                 }
-                let left = *l.tables.first().expect("non-empty");
-                let right = *r.tables.first().expect("non-empty");
+                // Both sides are non-empty in this arm; the else branch is a
+                // typed error rather than a query-path panic.
+                let (Some(&left), Some(&right)) = (l.tables.first(), r.tables.first()) else {
+                    return Err(SqlError::Unsupported {
+                        what: "a join condition with a side referencing no relation".into(),
+                        pos,
+                    });
+                };
                 if left == right {
                     return Err(SqlError::Unsupported {
                         what: "a column-to-column comparison within one relation".into(),
@@ -594,7 +600,10 @@ impl<'a> Binder<'a> {
         let table = *column_side
             .tables
             .first()
-            .expect("column references a table");
+            .ok_or_else(|| SqlError::Unsupported {
+                what: "a filter column that references no relation".into(),
+                pos: column_pos,
+            })?;
         filters[table].push(Predicate::new(name.clone(), op, literal));
         Ok(())
     }

@@ -109,9 +109,10 @@ fn pinned_fact(bound: &BoundQuery) -> Result<Option<usize>, SqlError> {
         }
         return Ok(Some(t));
     }
-    match bound.agg_tables.len() {
-        0 => Ok(None),
-        1 => Ok(Some(*bound.agg_tables.first().expect("non-empty"))),
+    let mut agg_tables = bound.agg_tables.iter();
+    match (agg_tables.next(), agg_tables.next()) {
+        (None, _) => Ok(None),
+        (Some(&t), None) => Ok(Some(t)),
         _ => Err(SqlError::Unsupported {
             what: "aggregates over columns of more than one relation".into(),
             pos: bound.agg_pos.first().copied().unwrap_or(0),
@@ -297,6 +298,9 @@ fn lower_chain(bound: &BoundQuery) -> Result<QueryPlan, SqlError> {
             .joins
             .iter()
             .find(|j| j.left == idx || j.right == idx)
+            // Callers only pass indices drawn from `endpoints`, built above as
+            // exactly the relations with appearances == 1.
+            // lint:allow(no-panic): every endpoint appears in exactly one join condition
             .expect("endpoint appears in one join");
         if join.left == idx {
             &join.left_key

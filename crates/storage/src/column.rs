@@ -102,6 +102,7 @@ impl Column {
             (Column::F64(v), Value::F64(x)) => v.write().push(*x),
             (Column::I32(v), Value::I32(x)) => v.write().push(*x),
             (Column::Str(v), Value::Str(x)) => v.write().push(x.clone()),
+            // lint:allow(no-panic): dtype contract documented on the method; the table layer validates values against the schema before dispatch
             (col, val) => panic!("type mismatch: column {:?} value {val:?}", col.dtype()),
         }
     }
@@ -113,6 +114,7 @@ impl Column {
             (Column::F64(v), Value::F64(x)) => v.write()[row] = *x,
             (Column::I32(v), Value::I32(x)) => v.write()[row] = *x,
             (Column::Str(v), Value::Str(x)) => v.write()[row] = x.clone(),
+            // lint:allow(no-panic): dtype contract documented on the method; the table layer validates values against the schema before dispatch
             (col, val) => panic!("type mismatch: column {:?} value {val:?}", col.dtype()),
         }
     }
@@ -164,6 +166,7 @@ impl Column {
                 }
                 d[row] = val;
             }
+            // lint:allow(no-panic): migration only pairs columns cloned from one schema, so the dtypes always match
             _ => panic!("copy_row_from between mismatched column types"),
         }
     }
@@ -189,6 +192,7 @@ impl Column {
                 let n = limit.min(guard.len());
                 f(&guard[..n])
             }
+            // lint:allow(no-panic): dtype contract documented on the method; callers dispatch on dtype() first
             other => panic!("expected i64 column, found {:?}", other.dtype()),
         }
     }
@@ -202,6 +206,7 @@ impl Column {
                 let n = limit.min(guard.len());
                 f(&guard[..n])
             }
+            // lint:allow(no-panic): dtype contract documented on the method; callers dispatch on dtype() first
             other => panic!("expected f64 column, found {:?}", other.dtype()),
         }
     }
@@ -215,6 +220,7 @@ impl Column {
                 let n = limit.min(guard.len());
                 f(&guard[..n])
             }
+            // lint:allow(no-panic): dtype contract documented on the method; callers dispatch on dtype() first
             other => panic!("expected i32 column, found {:?}", other.dtype()),
         }
     }
@@ -228,6 +234,7 @@ impl Column {
                 let n = limit.min(guard.len());
                 f(&guard[..n])
             }
+            // lint:allow(no-panic): dtype contract documented on the method; callers dispatch on dtype() first
             other => panic!("expected str column, found {:?}", other.dtype()),
         }
     }

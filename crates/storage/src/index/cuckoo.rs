@@ -200,6 +200,7 @@ impl<V: Copy> CuckooIndex<V> {
             let victim_slot = attempt % SLOTS_PER_BUCKET;
             let victim = inner.buckets[bucket][victim_slot]
                 .replace(entry)
+                // lint:allow(no-panic): the free-slot scan above found every slot occupied, so replace() always returns the old entry
                 .expect("victim slot was occupied");
             entry = victim;
             // Move the victim to its alternate bucket.

@@ -71,6 +71,7 @@ impl Value {
     pub fn as_i64(&self) -> i64 {
         match self {
             Value::I64(v) => *v,
+            // lint:allow(no-panic): dtype contract documented on the accessor; callers match dtype() before converting
             other => panic!("expected I64, found {other:?}"),
         }
     }
@@ -79,6 +80,7 @@ impl Value {
     pub fn as_f64(&self) -> f64 {
         match self {
             Value::F64(v) => *v,
+            // lint:allow(no-panic): dtype contract documented on the accessor; callers match dtype() before converting
             other => panic!("expected F64, found {other:?}"),
         }
     }
@@ -87,6 +89,7 @@ impl Value {
     pub fn as_i32(&self) -> i32 {
         match self {
             Value::I32(v) => *v,
+            // lint:allow(no-panic): dtype contract documented on the accessor; callers match dtype() before converting
             other => panic!("expected I32, found {other:?}"),
         }
     }
@@ -95,6 +98,7 @@ impl Value {
     pub fn as_str(&self) -> &str {
         match self {
             Value::Str(v) => v,
+            // lint:allow(no-panic): dtype contract documented on the accessor; callers match dtype() before converting
             other => panic!("expected Str, found {other:?}"),
         }
     }

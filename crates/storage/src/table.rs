@@ -144,6 +144,7 @@ impl ColumnarTable {
         Some(
             self.columns
                 .iter()
+                // lint:allow(no-panic): row < row_count was checked above, and values are appended to every column before row_count is published
                 .map(|c| c.get(row as usize).expect("row published but column short"))
                 .collect(),
         )

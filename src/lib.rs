@@ -20,7 +20,11 @@
 //! The crate layering (sim → storage → engines → rde → scheduler → core) and
 //! the morsel-driven parallel execution flow are documented in
 //! [`ARCHITECTURE.md`](https://github.com/paper-repo-growth/adaptive-htap/blob/main/ARCHITECTURE.md)
-//! at the repository root.
+//! at the repository root. Its *Static analysis & concurrency checking*
+//! section covers `htap-lint` (the workspace determinism linter under
+//! `crates/lint`, rules L1–L5 and the `lint:allow` syntax) and the runtime
+//! lock-order checker built into `shims/parking_lot`, which is live in
+//! every debug-build test run.
 
 pub use htap_baselines as baselines;
 pub use htap_chbench as chbench;

@@ -38,18 +38,32 @@ struct CountingAlloc;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: pure pass-through to the system allocator — every call forwards its
+// arguments unchanged, so `System`'s own GlobalAlloc contract carries over; the
+// only added behaviour is a relaxed atomic counter bump, which cannot allocate.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: `layout` is forwarded verbatim; the returned pointer is whatever
+    // `System.alloc` hands back, with its validity guarantees intact.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: caller upholds GlobalAlloc's contract for `layout`.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: `ptr`/`layout` come from a matching `alloc`/`realloc` call on
+    // this same allocator, which delegated to `System`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: caller guarantees `ptr` was allocated by this allocator
+        // with `layout`, and this allocator is a pass-through to `System`.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: same pass-through argument as `alloc`; the counter bump does
+    // not touch the allocation being resized.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: caller upholds GlobalAlloc's realloc contract for
+        // `ptr`/`layout`/`new_size`; all three forward unchanged.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
