@@ -13,6 +13,9 @@
 //!
 //! * `--quick` — CI smoke mode: fewer rows and iterations (seconds, not
 //!   minutes); the ratios are noisier but the artifact shape is identical.
+//! * `--check` — gate mode: measure and compare against the committed
+//!   artifact but do **not** overwrite it; exit non-zero if any shape's
+//!   speedup drifted beyond the tolerance band, so CI can fail on rot.
 //! * `--out PATH` — where to write the JSON (default `BENCH_exec.json`).
 //! * `--rows N` / `--iters N` — override the workload size / repetitions.
 //!
@@ -32,7 +35,7 @@
 //!   solo run (`rps[n] / (n * rps[1])`), with the host's CPU count so a
 //!   flat curve on a small container reads as what it is;
 //! * a `planning` section — the SQL frontend's parse + bind + plan latency
-//!   for each CH query (median over many repetitions), so the overhead the
+//!   for each CH query (best of many repetitions), so the overhead the
 //!   declarative surface adds ahead of execution stays visible in the
 //!   trajectory. Each SQL text is planned once up front and asserted equal
 //!   to the hand-built plan first — a latency for compiling the *wrong*
@@ -54,12 +57,14 @@ struct Args {
     rows: u64,
     iters: u32,
     out: String,
+    check: bool,
 }
 
 fn parse_args() -> Args {
     let mut rows = 256 * 1024u64;
     let mut iters = 20u32;
     let mut out = "BENCH_exec.json".to_string();
+    let mut check = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -67,6 +72,7 @@ fn parse_args() -> Args {
                 rows = 32 * 1024;
                 iters = 3;
             }
+            "--check" => check = true,
             "--rows" => {
                 rows = args
                     .next()
@@ -85,20 +91,50 @@ fn parse_args() -> Args {
             other => panic!("unknown argument {other}"),
         }
     }
-    Args { rows, iters, out }
+    Args {
+        rows,
+        iters,
+        out,
+        check,
+    }
 }
 
-/// Median-of-iterations wall time of one closure, in seconds.
+/// Best-of-iterations wall time of one closure, in seconds. The minimum,
+/// not the median: on a time-shared container interference only ever adds
+/// time, so the fastest observed run is the stable estimator of the
+/// uncontended cost (the statistic criterion-style harnesses converge on).
 fn measure<F: FnMut()>(iters: u32, mut f: F) -> f64 {
-    let mut samples: Vec<f64> = (0..iters.max(1))
+    (0..iters.max(1))
         .map(|_| {
             let start = Instant::now();
             f();
             start.elapsed().as_secs_f64()
         })
-        .collect();
-    samples.sort_by(f64::total_cmp);
-    samples[samples.len() / 2]
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Interleaved A/B timing: alternate single executions of the two engines
+/// and return each one's best (minimum) seconds. Timing each engine in its own
+/// block lets slow machine-state drift (frequency scaling, noisy container
+/// neighbours) land entirely on whichever ran second and skew the speedup
+/// *ratio*; alternating makes the drift hit both engines equally, which is
+/// what keeps the committed speedups reproducible within the drift band.
+fn measure_pair<A: FnMut(), B: FnMut()>(iters: u32, mut a: A, mut b: B) -> (f64, f64) {
+    let n = iters.max(1) as usize;
+    let mut sa = Vec::with_capacity(n);
+    let mut sb = Vec::with_capacity(n);
+    for _ in 0..n {
+        let start = Instant::now();
+        a();
+        sa.push(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        b();
+        sb.push(start.elapsed().as_secs_f64());
+    }
+    (
+        sa.into_iter().fold(f64::INFINITY, f64::min),
+        sb.into_iter().fold(f64::INFINITY, f64::min),
+    )
 }
 
 /// The committed speedup figure of one shape in a previously written
@@ -142,13 +178,17 @@ fn main() {
         // rows/sec = tuples that flowed through the scan pipelines (the
         // profile counts build-side tuples too) over wall-clock time.
         let tuples = expected.work.tuples_scanned as f64;
-        // Warm-up round per engine, then median of `iters`.
-        let base_secs = measure(args.iters, || {
-            baseline.execute(&plan, &sources).unwrap();
-        });
-        let vec_secs = measure(args.iters, || {
-            vectorized.execute(&plan, &sources).unwrap();
-        });
+        // Both engines already ran once above (the agreement check doubles
+        // as warm-up); then interleaved best-of-`iters` timings.
+        let (base_secs, vec_secs) = measure_pair(
+            args.iters,
+            || {
+                baseline.execute(&plan, &sources).unwrap();
+            },
+            || {
+                vectorized.execute(&plan, &sources).unwrap();
+            },
+        );
         let base_rps = tuples / base_secs;
         let vec_rps = tuples / vec_secs;
         let speedup = vec_rps / base_rps;
@@ -180,6 +220,25 @@ fn main() {
     }
     for w in &drift_warnings {
         println!("{w}");
+    }
+    if args.check {
+        // Gate mode: the committed artifact is the contract; measuring it
+        // stale is a failure, and nothing is overwritten.
+        if drift_warnings.is_empty() {
+            println!(
+                "check passed: all committed speedups within {:.0}% of fresh measurements",
+                DRIFT_TOLERANCE * 100.0
+            );
+            return;
+        }
+        eprintln!(
+            "check failed: {} shape(s) drifted beyond {:.0}% — regenerate {} on this \
+             machine and commit it",
+            drift_warnings.len(),
+            DRIFT_TOLERANCE * 100.0,
+            args.out
+        );
+        std::process::exit(1);
     }
 
     // Multi-core scaling sweep: the same plans through worker teams of
@@ -248,11 +307,11 @@ fn main() {
 
     // SQL planning latency: parse + bind + lower per CH query. Planning is
     // microseconds while execution is milliseconds-and-up, so the repetition
-    // count is scaled up to keep the median stable.
+    // count is scaled up to keep the estimate stable.
     let ch_catalog = catalog();
     let plan_iters = (args.iters * 50).max(50);
     println!();
-    println!("SQL planning latency (parse + bind + plan, median of {plan_iters} repetitions)");
+    println!("SQL planning latency (parse + bind + plan, best of {plan_iters} repetitions)");
     println!("{:<8} {:>14} {:>12}", "query", "latency", "plans/sec");
     let mut planning_entries = Vec::new();
     for query in query_mix_wide() {
@@ -294,7 +353,7 @@ fn main() {
             "  \"block_rows\": {},\n",
             "  \"iterations_per_shape\": {},\n",
             "  \"baseline\": \"pre-vectorization block interpreter (htap_olap::BaselineExecutor)\",\n",
-            "  \"metric\": \"tuples scanned per second, median of iterations, solo worker\",\n",
+            "  \"metric\": \"tuples scanned per second, best of iterations, solo worker\",\n",
             "  \"shapes\": {{\n{}\n  }},\n",
             "  \"scaling\": {{\n",
             "    \"worker_counts\": [{}],\n",

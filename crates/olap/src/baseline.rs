@@ -177,6 +177,12 @@ impl BaselineExecutor {
                 sources,
                 team,
             ),
+            // The frozen baseline predates the operator DAG (and its
+            // multiplicity-preserving join); it only ever measures the five
+            // named shapes above.
+            QueryPlan::Dag(_) => Err(OlapError::InvalidDag {
+                reason: "the frozen baseline executor only runs the five named plan shapes".into(),
+            }),
         }
     }
 

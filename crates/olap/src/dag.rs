@@ -1,0 +1,1009 @@
+//! The composable vectorized operator DAG — the engine's single plan IR.
+//!
+//! Until this refactor the executor special-cased five monolithic plan
+//! shapes; every shape is now *lowered* onto a DAG of small physical
+//! operators ([`DagOp`]) and executed by one generic pipeline driver (see
+//! `ARCHITECTURE.md`, "Composable operator DAG"). The operators:
+//!
+//! | operator | role | pipeline breaker? |
+//! |---|---|---|
+//! | [`DagOp::Scan`] | morsel source over one relation | no (pipeline head) |
+//! | [`DagOp::Filter`] | conjunctive predicates → selection vector | no |
+//! | [`DagOp::Project`] | named computed columns, inlined at bind time | no |
+//! | [`DagOp::HashBuild`] | key → multiplicity table ([`crate::hashtable::JoinTable`]) | yes (sink) |
+//! | [`DagOp::HashProbe`] | true inner join: weight-preserving probe | no |
+//! | [`DagOp::HashAggregate`] | scalar or grouped fold | yes (sink) |
+//! | [`DagOp::Having`] | predicate over finalised rows | no (post-sink) |
+//! | [`DagOp::Sort`] | deterministic order over finalised rows | yes (post-sink) |
+//! | [`DagOp::Limit`] | row-count truncation | no (post-sink) |
+//!
+//! A valid DAG is a *tree of pipelines*: every pipeline starts at a scan,
+//! streams through filters/projections/probes, and ends in a pipeline
+//! breaker — a hash build feeding exactly one probe, or the single hash
+//! aggregate. Above the aggregate only the finisher operators (having,
+//! sort, limit) may appear. [`DagPlan::decompose`] checks these rules and
+//! flattens the DAG into [`DagSpec`] — the executable form both the morsel
+//! engine and the row-at-a-time reference oracle consume (they share the
+//! plan semantics, never the evaluation machinery).
+//!
+//! Determinism is inherited wholesale from the pipeline machinery: every
+//! pipeline's partials are still merged in morsel-index order, build tables
+//! union weights (order-insensitive addition), and finishers run over
+//! finalised rows with total orders — so DAG results stay bit-for-bit
+//! identical across worker counts, exactly like the five shapes they
+//! replace.
+
+use crate::error::OlapError;
+use crate::expr::{AggExpr, CmpOp, Predicate, ScalarExpr};
+use crate::plan::{BuildSide, QueryPlan, TopK};
+use std::collections::BTreeMap;
+
+/// A slot of one finalised result row: a group-key column or an aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowSlot {
+    /// Index into the group-by key list.
+    Key(usize),
+    /// Index into the aggregate list.
+    Agg(usize),
+}
+
+/// One `HAVING`-style predicate over a finalised row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HavingPred {
+    /// The row slot the predicate reads.
+    pub slot: RowSlot,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Literal right-hand side.
+    pub literal: f64,
+}
+
+/// One sort key over finalised rows. Ties after all sort keys break by
+/// ascending full group key — the same total order [`crate::plan::TopK`]
+/// used, so sorting is deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortKey {
+    /// The row slot to order by.
+    pub slot: RowSlot,
+    /// Descending order when set.
+    pub desc: bool,
+}
+
+/// One operator of a [`DagPlan`]. Operands reference earlier operators by
+/// index (the op list is topologically ordered; the last op is the root).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DagOp {
+    /// Morsel source over one relation.
+    Scan {
+        /// The scanned relation.
+        table: String,
+    },
+    /// Conjunctive filter predicates.
+    Filter {
+        /// Upstream operator.
+        input: usize,
+        /// Predicates, all of which a row must pass.
+        predicates: Vec<Predicate>,
+    },
+    /// Named computed columns. Projections are inlined (substituted into
+    /// every consumer) at decompose time, so execution never materialises
+    /// them — they cost nothing unless consumed.
+    Project {
+        /// Upstream operator.
+        input: usize,
+        /// `(name, definition)` pairs visible to operators above.
+        exprs: Vec<(String, ScalarExpr)>,
+    },
+    /// Build the multiplicity-preserving join table over `key`.
+    HashBuild {
+        /// Upstream operator.
+        input: usize,
+        /// Join-key expression over the build rows.
+        key: ScalarExpr,
+    },
+    /// Probe a [`DagOp::HashBuild`]: a true inner join — each surviving row
+    /// carries the build key's multiplicity, so duplicate build keys
+    /// contribute every matching tuple (the semijoin-era engine collapsed
+    /// them into set membership).
+    HashProbe {
+        /// Upstream (probe-side) operator.
+        input: usize,
+        /// The `HashBuild` op probed.
+        build: usize,
+        /// Join-key expression over the probe rows.
+        key: ScalarExpr,
+    },
+    /// The aggregation sink: scalar (`group_by: None`) or grouped.
+    HashAggregate {
+        /// Upstream operator.
+        input: usize,
+        /// `None` → one scalar row; `Some(keys)` → grouped result (an empty
+        /// key list is the degenerate single global group).
+        group_by: Option<Vec<String>>,
+        /// Aggregates to compute.
+        aggregates: Vec<AggExpr>,
+    },
+    /// Filter finalised rows (the SQL `HAVING` clause).
+    Having {
+        /// Upstream operator (at or above the aggregate).
+        input: usize,
+        /// Predicates over row slots.
+        predicates: Vec<HavingPred>,
+    },
+    /// Sort finalised rows.
+    Sort {
+        /// Upstream operator (at or above the aggregate).
+        input: usize,
+        /// Sort keys, most significant first.
+        keys: Vec<SortKey>,
+    },
+    /// Keep the first `rows` finalised rows.
+    Limit {
+        /// Upstream operator (at or above the aggregate).
+        input: usize,
+        /// Rows to keep.
+        rows: usize,
+    },
+}
+
+impl DagOp {
+    /// The upstream data input, if the op has one.
+    fn input(&self) -> Option<usize> {
+        match self {
+            DagOp::Scan { .. } => None,
+            DagOp::Filter { input, .. }
+            | DagOp::Project { input, .. }
+            | DagOp::HashBuild { input, .. }
+            | DagOp::HashProbe { input, .. }
+            | DagOp::HashAggregate { input, .. }
+            | DagOp::Having { input, .. }
+            | DagOp::Sort { input, .. }
+            | DagOp::Limit { input, .. } => Some(*input),
+        }
+    }
+}
+
+/// A composable operator DAG (see the module docs for the structural rules).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DagPlan {
+    /// Operators in topological order; the last one is the root.
+    pub ops: Vec<DagOp>,
+}
+
+// ---------------------------------------------------------------------------
+// The decomposed, executable form.
+// ---------------------------------------------------------------------------
+
+/// One probe stage of a pipeline: key expression plus the index of the
+/// [`BuildSpec`] it probes (into [`DagSpec::builds`]).
+#[derive(Debug, Clone)]
+pub(crate) struct ProbeSpec {
+    pub key: ScalarExpr,
+    pub build: usize,
+}
+
+/// One streaming pipeline: scan → filters → probes (in execution order).
+/// Filters commute with probes over the same rows, so decompose pushes every
+/// filter below the probes; probe accounting therefore charges one probe per
+/// post-filter input row, the rule the engine has always used.
+#[derive(Debug, Clone)]
+pub(crate) struct PipelineSpec {
+    pub table: String,
+    pub filters: Vec<Predicate>,
+    pub probes: Vec<ProbeSpec>,
+}
+
+/// A pipeline terminated by a hash build.
+#[derive(Debug, Clone)]
+pub(crate) struct BuildSpec {
+    pub input: PipelineSpec,
+    pub key: ScalarExpr,
+    /// Whether the *root* pipeline probes this build — those builds are
+    /// charged to `build_bytes`/`hash_table_bytes`, deeper ones to the
+    /// `far_*` fields (the accounting split the legacy shapes defined).
+    pub feeds_root: bool,
+}
+
+/// A finisher over finalised result rows, in execution order.
+#[derive(Debug, Clone)]
+pub(crate) enum Finisher {
+    Having(Vec<HavingPred>),
+    Sort(Vec<SortKey>),
+    Limit(usize),
+}
+
+/// The flattened, validated form of a [`DagPlan`].
+#[derive(Debug, Clone)]
+pub(crate) struct DagSpec {
+    /// Build pipelines in dependency order (a build's probes reference
+    /// strictly earlier entries).
+    pub builds: Vec<BuildSpec>,
+    /// The root (aggregating) pipeline.
+    pub root: PipelineSpec,
+    /// `None` → scalar result; `Some(keys)` → grouped result.
+    pub group_by: Option<Vec<String>>,
+    pub aggregates: Vec<AggExpr>,
+    /// Finishers over the finalised rows, in execution order.
+    pub finishers: Vec<Finisher>,
+}
+
+fn invalid(reason: impl Into<String>) -> OlapError {
+    OlapError::InvalidDag {
+        reason: reason.into(),
+    }
+}
+
+/// The state collected while walking one pipeline top-down; a `Project`
+/// encountered below applies to everything collected so far.
+struct PipelineWalk {
+    filters: Vec<Predicate>,
+    probes: Vec<ProbeSpec>,
+}
+
+impl PipelineWalk {
+    fn apply_projection(
+        &mut self,
+        map: &BTreeMap<String, ScalarExpr>,
+        aggregates: Option<&mut Vec<AggExpr>>,
+        group_by: Option<&mut Vec<String>>,
+    ) -> Result<(), OlapError> {
+        for probe in &mut self.probes {
+            probe.key = probe.key.substitute(map);
+        }
+        for pred in &mut self.filters {
+            if let Some(def) = map.get(&pred.column) {
+                match def {
+                    ScalarExpr::Col(c) => pred.column = c.clone(),
+                    _ => {
+                        return Err(invalid(format!(
+                            "filter on computed projection {} (predicates compare a stored \
+                             column to a literal)",
+                            pred.column
+                        )))
+                    }
+                }
+            }
+        }
+        if let Some(aggs) = aggregates {
+            for agg in aggs.iter_mut() {
+                *agg = agg.substitute(map);
+            }
+        }
+        if let Some(keys) = group_by {
+            for key in keys.iter_mut() {
+                if let Some(def) = map.get(key) {
+                    match def {
+                        ScalarExpr::Col(c) => *key = c.clone(),
+                        _ => {
+                            return Err(invalid(format!(
+                                "GROUP BY on computed projection {key} (group keys are stored \
+                                 integer columns)"
+                            )))
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl DagPlan {
+    /// Lower any [`QueryPlan`] onto its DAG — the single entry every
+    /// executor (morsel engine *and* reference oracle) funnels through, so
+    /// no legacy shape retains a bespoke execution path.
+    pub fn lower(plan: &QueryPlan) -> DagPlan {
+        match plan {
+            QueryPlan::Dag(dag) => dag.clone(),
+            QueryPlan::Aggregate {
+                table,
+                filters,
+                aggregates,
+            } => {
+                let mut b = DagBuilder::default();
+                let mut at = b.scan(table);
+                at = b.filter(at, filters);
+                b.aggregate(at, None, aggregates.clone());
+                b.finish()
+            }
+            QueryPlan::GroupByAggregate {
+                table,
+                filters,
+                group_by,
+                aggregates,
+            } => {
+                let mut b = DagBuilder::default();
+                let mut at = b.scan(table);
+                at = b.filter(at, filters);
+                b.aggregate(at, Some(group_by.clone()), aggregates.clone());
+                b.finish()
+            }
+            QueryPlan::JoinAggregate {
+                fact,
+                dim,
+                fact_key,
+                dim_key,
+                fact_filters,
+                dim_filters,
+                aggregates,
+            } => {
+                let mut b = DagBuilder::default();
+                let mut d = b.scan(dim);
+                d = b.filter(d, dim_filters);
+                let build = b.build(d, ScalarExpr::col(dim_key.clone()));
+                let mut f = b.scan(fact);
+                f = b.filter(f, fact_filters);
+                f = b.probe(f, build, ScalarExpr::col(fact_key.clone()));
+                b.aggregate(f, None, aggregates.clone());
+                b.finish()
+            }
+            QueryPlan::MultiJoinAggregate {
+                fact,
+                fact_key,
+                fact_filters,
+                mid,
+                mid_fk,
+                far,
+                aggregates,
+            } => {
+                let mut b = DagBuilder::default();
+                let far_build = b.build_side(far, &[]);
+                let mid_build = b.build_side(mid, &[(mid_fk.clone(), far_build)]);
+                let mut f = b.scan(fact);
+                f = b.filter(f, fact_filters);
+                f = b.probe(f, mid_build, fact_key.clone());
+                b.aggregate(f, None, aggregates.clone());
+                b.finish()
+            }
+            QueryPlan::JoinGroupByAggregate {
+                fact,
+                fact_key,
+                fact_filters,
+                dim,
+                group_by,
+                aggregates,
+                top_k,
+            } => {
+                let mut b = DagBuilder::default();
+                let build = b.build_side(dim, &[]);
+                let mut f = b.scan(fact);
+                f = b.filter(f, fact_filters);
+                f = b.probe(f, build, fact_key.clone());
+                let mut at = b.aggregate(f, Some(group_by.clone()), aggregates.clone());
+                if let Some(TopK { agg_index, k }) = top_k {
+                    at = b.push(DagOp::Sort {
+                        input: at,
+                        keys: vec![SortKey {
+                            slot: RowSlot::Agg(*agg_index),
+                            desc: true,
+                        }],
+                    });
+                    b.push(DagOp::Limit {
+                        input: at,
+                        rows: *k,
+                    });
+                }
+                b.finish()
+            }
+        }
+    }
+
+    /// Validate the DAG's structural rules and flatten it into the
+    /// executable [`DagSpec`].
+    pub(crate) fn decompose(&self) -> Result<DagSpec, OlapError> {
+        if self.ops.is_empty() {
+            return Err(invalid("the op list is empty"));
+        }
+        // Topological references, and every non-root op consumed exactly once.
+        let mut consumers = vec![0usize; self.ops.len()];
+        for (i, op) in self.ops.iter().enumerate() {
+            let mut consume = |j: usize| -> Result<(), OlapError> {
+                if j >= i {
+                    return Err(invalid(format!(
+                        "op {i} references op {j}, which does not precede it"
+                    )));
+                }
+                consumers[j] += 1;
+                Ok(())
+            };
+            if let Some(input) = op.input() {
+                consume(input)?;
+            }
+            if let DagOp::HashProbe { build, .. } = op {
+                consume(*build)?;
+            }
+        }
+        let root = self.ops.len() - 1;
+        for (i, &n) in consumers.iter().enumerate() {
+            if i == root && n != 0 {
+                return Err(invalid(format!(
+                    "the root op {i} is consumed by another op"
+                )));
+            }
+            if i != root && n != 1 {
+                return Err(invalid(format!(
+                    "op {i} is consumed {n} times (every operator feeds exactly one consumer)"
+                )));
+            }
+        }
+
+        // Finisher chain: root → … → the single HashAggregate.
+        let mut finishers_top_down: Vec<Finisher> = Vec::new();
+        let mut at = root;
+        let agg_idx = loop {
+            match &self.ops[at] {
+                DagOp::Having { input, predicates } => {
+                    finishers_top_down.push(Finisher::Having(predicates.clone()));
+                    at = *input;
+                }
+                DagOp::Sort { input, keys } => {
+                    finishers_top_down.push(Finisher::Sort(keys.clone()));
+                    at = *input;
+                }
+                DagOp::Limit { input, rows } => {
+                    finishers_top_down.push(Finisher::Limit(*rows));
+                    at = *input;
+                }
+                DagOp::HashAggregate { .. } => break at,
+                other => {
+                    return Err(invalid(format!(
+                        "op {at} ({}) cannot produce the result (the root chain must be \
+                         finishers over one hash aggregate)",
+                        op_name(other)
+                    )))
+                }
+            }
+        };
+        finishers_top_down.reverse();
+        let finishers = finishers_top_down;
+        let DagOp::HashAggregate {
+            input,
+            group_by,
+            aggregates,
+        } = &self.ops[agg_idx]
+        else {
+            // The loop above only breaks on HashAggregate.
+            return Err(invalid("unreachable: non-aggregate sink"));
+        };
+        let mut group_by = group_by.clone();
+        let mut aggregates = aggregates.clone();
+
+        // Validate finisher row slots against the aggregate's arity.
+        let n_keys = group_by.as_ref().map_or(0, Vec::len);
+        for f in &finishers {
+            let slots: Vec<RowSlot> = match f {
+                Finisher::Having(preds) => preds.iter().map(|p| p.slot).collect(),
+                Finisher::Sort(keys) => keys.iter().map(|k| k.slot).collect(),
+                Finisher::Limit(_) => Vec::new(),
+            };
+            for slot in slots {
+                match slot {
+                    RowSlot::Key(i) if i >= n_keys => {
+                        return Err(invalid(format!(
+                            "finisher reads group key {i} but the aggregate has {n_keys}"
+                        )))
+                    }
+                    RowSlot::Agg(i) if i >= aggregates.len() => {
+                        // Keep the typed error the legacy top-k validation
+                        // raised, so misuse reports identically.
+                        return Err(OlapError::InvalidTopK {
+                            agg_index: i,
+                            aggregates: aggregates.len(),
+                        });
+                    }
+                    _ => {}
+                }
+            }
+            if matches!(f, Finisher::Sort(keys) if keys.is_empty()) {
+                return Err(invalid("sort with no keys"));
+            }
+        }
+        if group_by.is_none() && !finishers.is_empty() {
+            return Err(invalid(
+                "finishers over a scalar aggregate (having/sort/limit need rows)",
+            ));
+        }
+
+        // Root pipeline, then the build pipelines it (transitively) probes.
+        let mut builds: Vec<BuildSpec> = Vec::new();
+        let root_pipe = self.walk_pipeline(
+            *input,
+            &mut builds,
+            true,
+            Some((&mut aggregates, &mut group_by)),
+        )?;
+        Ok(DagSpec {
+            builds,
+            root: root_pipe,
+            group_by,
+            aggregates,
+            finishers,
+        })
+    }
+
+    /// Walk one pipeline from its top op down to its scan, recursing into
+    /// the build side of every probe (builds land in `builds` in dependency
+    /// order).
+    fn walk_pipeline(
+        &self,
+        top: usize,
+        builds: &mut Vec<BuildSpec>,
+        feeds_root: bool,
+        mut root_outputs: Option<(&mut Vec<AggExpr>, &mut Option<Vec<String>>)>,
+    ) -> Result<PipelineSpec, OlapError> {
+        let mut walk = PipelineWalk {
+            filters: Vec::new(),
+            probes: Vec::new(),
+        };
+        let mut at = top;
+        let table = loop {
+            match &self.ops[at] {
+                DagOp::Scan { table } => break table.clone(),
+                DagOp::Filter { input, predicates } => {
+                    walk.filters.extend(predicates.iter().cloned());
+                    at = *input;
+                }
+                DagOp::Project { input, exprs } => {
+                    let map: BTreeMap<String, ScalarExpr> = exprs.iter().cloned().collect();
+                    match &mut root_outputs {
+                        Some((aggs, group_by)) => {
+                            walk.apply_projection(&map, Some(aggs), group_by.as_mut())?
+                        }
+                        None => walk.apply_projection(&map, None, None)?,
+                    }
+                    at = *input;
+                }
+                DagOp::HashProbe { input, build, key } => {
+                    let DagOp::HashBuild {
+                        input: build_input,
+                        key: build_key,
+                    } = &self.ops[*build]
+                    else {
+                        return Err(invalid(format!(
+                            "op {at} probes op {build}, which is not a hash build",
+                        )));
+                    };
+                    let build_walk = self.walk_pipeline(*build_input, builds, false, None)?;
+                    let build_idx = builds.len();
+                    builds.push(BuildSpec {
+                        input: build_walk,
+                        key: self.projected_build_key(*build_input, build_key)?,
+                        feeds_root,
+                    });
+                    walk.probes.push(ProbeSpec {
+                        key: key.clone(),
+                        build: build_idx,
+                    });
+                    at = *input;
+                }
+                other => {
+                    return Err(invalid(format!(
+                        "op {at} ({}) cannot appear inside a streaming pipeline",
+                        op_name(other)
+                    )))
+                }
+            }
+        };
+        // Probes were collected top-down; execution order is bottom-up.
+        walk.probes.reverse();
+        Ok(PipelineSpec {
+            table,
+            filters: walk.filters,
+            probes: walk.probes,
+        })
+    }
+
+    /// A build key with every projection of its input chain substituted in.
+    fn projected_build_key(
+        &self,
+        mut at: usize,
+        key: &ScalarExpr,
+    ) -> Result<ScalarExpr, OlapError> {
+        let mut key = key.clone();
+        loop {
+            match &self.ops[at] {
+                DagOp::Scan { .. } => return Ok(key),
+                DagOp::Project { input, exprs } => {
+                    let map: BTreeMap<String, ScalarExpr> = exprs.iter().cloned().collect();
+                    key = key.substitute(&map);
+                    at = *input;
+                }
+                DagOp::Filter { input, .. } | DagOp::HashProbe { input, .. } => at = *input,
+                other => {
+                    return Err(invalid(format!(
+                        "op {at} ({}) cannot appear inside a streaming pipeline",
+                        op_name(other)
+                    )))
+                }
+            }
+        }
+    }
+
+    /// The relations the DAG scans, deduplicated, probe side first: scans
+    /// are listed in reverse definition order, which under the lowering
+    /// convention (build pipelines defined dependency-first, the root
+    /// pipeline last) yields root table, then builds nearest-first — the
+    /// same order the legacy shape constructors reported.
+    pub fn tables(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for op in self.ops.iter().rev() {
+            if let DagOp::Scan { table } = op {
+                if !out.contains(&table.as_str()) {
+                    out.push(table);
+                }
+            }
+        }
+        out
+    }
+
+    /// The columns the DAG reads, per relation (freshness + byte accounting).
+    pub fn accessed_columns(&self) -> BTreeMap<String, Vec<String>> {
+        let mut out: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        let Ok(spec) = self.decompose() else {
+            return out;
+        };
+        let mut add = |table: &str, cols: Vec<String>| {
+            let entry = out.entry(table.to_string()).or_default();
+            entry.extend(cols);
+            entry.sort();
+            entry.dedup();
+        };
+        let pipeline_cols = |pipe: &PipelineSpec| {
+            let mut cols: Vec<String> = pipe.filters.iter().map(|p| p.column.clone()).collect();
+            cols.extend(pipe.probes.iter().flat_map(|p| p.key.columns()));
+            cols
+        };
+        for build in &spec.builds {
+            let mut cols = pipeline_cols(&build.input);
+            cols.extend(build.key.columns());
+            add(&build.input.table, cols);
+        }
+        let mut cols = pipeline_cols(&spec.root);
+        cols.extend(spec.aggregates.iter().flat_map(AggExpr::columns));
+        if let Some(group_by) = &spec.group_by {
+            cols.extend(group_by.iter().cloned());
+        }
+        add(&spec.root.table, cols);
+        out
+    }
+
+    /// Per-tuple CPU cost estimate, following the legacy shapes' scaling:
+    /// joins and grouping pay more per tuple than plain reductions.
+    pub fn cpu_ns_per_tuple(&self) -> f64 {
+        let Ok(spec) = self.decompose() else {
+            return 1.0;
+        };
+        let mut terms = spec.aggregates.len() + spec.root.filters.len();
+        let mut base = 0.5;
+        for build in &spec.builds {
+            base += 0.7;
+            terms += build.input.filters.len();
+        }
+        if let Some(group_by) = &spec.group_by {
+            base += 0.5;
+            terms += group_by.len();
+        }
+        base += 0.2 * spec.finishers.len() as f64;
+        base + 0.4 * terms as f64
+    }
+}
+
+fn op_name(op: &DagOp) -> &'static str {
+    match op {
+        DagOp::Scan { .. } => "scan",
+        DagOp::Filter { .. } => "filter",
+        DagOp::Project { .. } => "project",
+        DagOp::HashBuild { .. } => "hash-build",
+        DagOp::HashProbe { .. } => "hash-probe",
+        DagOp::HashAggregate { .. } => "hash-aggregate",
+        DagOp::Having { .. } => "having",
+        DagOp::Sort { .. } => "sort",
+        DagOp::Limit { .. } => "limit",
+    }
+}
+
+/// A small append-only builder for DAGs: each method pushes one op and
+/// returns its index.
+#[derive(Debug, Default)]
+pub struct DagBuilder {
+    ops: Vec<DagOp>,
+}
+
+impl DagBuilder {
+    /// Push any op, returning its index.
+    pub fn push(&mut self, op: DagOp) -> usize {
+        self.ops.push(op);
+        self.ops.len() - 1
+    }
+
+    /// Push a scan of `table`.
+    pub fn scan(&mut self, table: impl Into<String>) -> usize {
+        self.push(DagOp::Scan {
+            table: table.into(),
+        })
+    }
+
+    /// Push a filter unless `predicates` is empty (an empty filter is a
+    /// no-op the DAG need not carry).
+    pub fn filter(&mut self, input: usize, predicates: &[Predicate]) -> usize {
+        if predicates.is_empty() {
+            return input;
+        }
+        self.push(DagOp::Filter {
+            input,
+            predicates: predicates.to_vec(),
+        })
+    }
+
+    /// Push a hash build over `key`.
+    pub fn build(&mut self, input: usize, key: ScalarExpr) -> usize {
+        self.push(DagOp::HashBuild { input, key })
+    }
+
+    /// Push the scan → filter → probes → build pipeline of one legacy
+    /// [`BuildSide`]: `probes` chains the side through earlier builds.
+    pub fn build_side(&mut self, side: &BuildSide, probes: &[(ScalarExpr, usize)]) -> usize {
+        let mut at = self.scan(&side.table);
+        at = self.filter(at, &side.filters);
+        for (key, build) in probes {
+            at = self.probe(at, *build, key.clone());
+        }
+        self.build(at, side.key.clone())
+    }
+
+    /// Push a probe of `build` keyed by `key`.
+    pub fn probe(&mut self, input: usize, build: usize, key: ScalarExpr) -> usize {
+        self.push(DagOp::HashProbe { input, build, key })
+    }
+
+    /// Push the aggregation sink.
+    pub fn aggregate(
+        &mut self,
+        input: usize,
+        group_by: Option<Vec<String>>,
+        aggregates: Vec<AggExpr>,
+    ) -> usize {
+        self.push(DagOp::HashAggregate {
+            input,
+            group_by,
+            aggregates,
+        })
+    }
+
+    /// The finished plan.
+    pub fn finish(self) -> DagPlan {
+        DagPlan { ops: self.ops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q6_like() -> QueryPlan {
+        QueryPlan::Aggregate {
+            table: "orderline".into(),
+            filters: vec![Predicate::new("ol_quantity", CmpOp::Lt, 25.0)],
+            aggregates: vec![AggExpr::Sum(ScalarExpr::col("ol_amount"))],
+        }
+    }
+
+    #[test]
+    fn legacy_shapes_lower_onto_valid_dags() {
+        let plans = vec![
+            q6_like(),
+            QueryPlan::JoinAggregate {
+                fact: "orderline".into(),
+                dim: "item".into(),
+                fact_key: "ol_i_id".into(),
+                dim_key: "i_id".into(),
+                fact_filters: vec![],
+                dim_filters: vec![Predicate::new("i_price", CmpOp::Ge, 1.0)],
+                aggregates: vec![AggExpr::Count],
+            },
+            QueryPlan::MultiJoinAggregate {
+                fact: "orderline".into(),
+                fact_key: ScalarExpr::col("ol_o_id"),
+                fact_filters: vec![],
+                mid: BuildSide::new("orders", ScalarExpr::col("o_id"), vec![]),
+                mid_fk: ScalarExpr::col("o_c_id"),
+                far: BuildSide::new("customer", ScalarExpr::col("c_id"), vec![]),
+                aggregates: vec![AggExpr::Count],
+            },
+            QueryPlan::JoinGroupByAggregate {
+                fact: "orders".into(),
+                fact_key: ScalarExpr::col("o_id"),
+                fact_filters: vec![],
+                dim: BuildSide::new("orderline", ScalarExpr::col("ol_o_id"), vec![]),
+                group_by: vec!["o_ol_cnt".into()],
+                aggregates: vec![AggExpr::Count],
+                top_k: Some(TopK { agg_index: 0, k: 5 }),
+            },
+        ];
+        for plan in &plans {
+            let dag = DagPlan::lower(plan);
+            let spec = dag.decompose().expect("legacy shape must decompose");
+            assert_eq!(spec.root.table, plan.tables()[0]);
+            // The DAG reads exactly the columns the legacy plan declared.
+            assert_eq!(dag.accessed_columns(), plan.accessed_columns());
+            assert_eq!(dag.tables(), plan.tables());
+        }
+    }
+
+    #[test]
+    fn multi_join_lowering_orders_builds_dependency_first() {
+        let plan = QueryPlan::MultiJoinAggregate {
+            fact: "orderline".into(),
+            fact_key: ScalarExpr::col("ol_o_id"),
+            fact_filters: vec![],
+            mid: BuildSide::new("orders", ScalarExpr::col("o_id"), vec![]),
+            mid_fk: ScalarExpr::col("o_c_id"),
+            far: BuildSide::new("customer", ScalarExpr::col("c_id"), vec![]),
+            aggregates: vec![AggExpr::Count],
+        };
+        let spec = DagPlan::lower(&plan).decompose().unwrap();
+        assert_eq!(spec.builds.len(), 2);
+        assert_eq!(spec.builds[0].input.table, "customer");
+        assert!(!spec.builds[0].feeds_root);
+        assert_eq!(spec.builds[1].input.table, "orders");
+        assert!(spec.builds[1].feeds_root);
+        assert_eq!(spec.builds[1].input.probes.len(), 1);
+        assert_eq!(spec.builds[1].input.probes[0].build, 0);
+        assert_eq!(spec.root.probes.len(), 1);
+        assert_eq!(spec.root.probes[0].build, 1);
+    }
+
+    #[test]
+    fn top_k_lowering_becomes_sort_plus_limit() {
+        let plan = QueryPlan::JoinGroupByAggregate {
+            fact: "orders".into(),
+            fact_key: ScalarExpr::col("o_id"),
+            fact_filters: vec![],
+            dim: BuildSide::new("orderline", ScalarExpr::col("ol_o_id"), vec![]),
+            group_by: vec!["o_ol_cnt".into()],
+            aggregates: vec![AggExpr::Count],
+            top_k: Some(TopK { agg_index: 0, k: 3 }),
+        };
+        let spec = DagPlan::lower(&plan).decompose().unwrap();
+        assert_eq!(spec.finishers.len(), 2);
+        assert!(matches!(&spec.finishers[0], Finisher::Sort(keys)
+                if keys == &[SortKey { slot: RowSlot::Agg(0), desc: true }]));
+        assert!(matches!(spec.finishers[1], Finisher::Limit(3)));
+    }
+
+    #[test]
+    fn invalid_top_k_keeps_the_legacy_typed_error() {
+        let plan = QueryPlan::JoinGroupByAggregate {
+            fact: "orders".into(),
+            fact_key: ScalarExpr::col("o_id"),
+            fact_filters: vec![],
+            dim: BuildSide::new("orderline", ScalarExpr::col("ol_o_id"), vec![]),
+            group_by: vec!["o_ol_cnt".into()],
+            aggregates: vec![AggExpr::Count],
+            top_k: Some(TopK { agg_index: 7, k: 3 }),
+        };
+        assert_eq!(
+            DagPlan::lower(&plan).decompose().unwrap_err(),
+            OlapError::InvalidTopK {
+                agg_index: 7,
+                aggregates: 1
+            }
+        );
+    }
+
+    #[test]
+    fn structural_violations_are_typed_errors() {
+        // Empty DAG.
+        assert!(matches!(
+            DagPlan { ops: vec![] }.decompose().unwrap_err(),
+            OlapError::InvalidDag { .. }
+        ));
+        // A scan consumed twice.
+        let mut b = DagBuilder::default();
+        let s = b.scan("t");
+        let f = b.push(DagOp::Filter {
+            input: s,
+            predicates: vec![Predicate::new("a", CmpOp::Lt, 1.0)],
+        });
+        b.push(DagOp::HashProbe {
+            input: f,
+            build: s,
+            key: ScalarExpr::col("k"),
+        });
+        assert!(matches!(
+            b.finish().decompose().unwrap_err(),
+            OlapError::InvalidDag { .. }
+        ));
+        // No aggregate sink at the root.
+        let mut b = DagBuilder::default();
+        let s = b.scan("t");
+        b.filter(s, &[Predicate::new("a", CmpOp::Lt, 1.0)]);
+        assert!(matches!(
+            b.finish().decompose().unwrap_err(),
+            OlapError::InvalidDag { .. }
+        ));
+        // Finishers over a scalar aggregate.
+        let mut b = DagBuilder::default();
+        let s = b.scan("t");
+        let a = b.aggregate(s, None, vec![AggExpr::Count]);
+        b.push(DagOp::Limit { input: a, rows: 1 });
+        assert!(matches!(
+            b.finish().decompose().unwrap_err(),
+            OlapError::InvalidDag { .. }
+        ));
+        // A probe into a non-build operator.
+        let mut b = DagBuilder::default();
+        let s1 = b.scan("d");
+        let f1 = b.push(DagOp::Filter {
+            input: s1,
+            predicates: vec![Predicate::new("a", CmpOp::Lt, 1.0)],
+        });
+        let s2 = b.scan("f");
+        let p = b.probe(s2, f1, ScalarExpr::col("k"));
+        b.aggregate(p, None, vec![AggExpr::Count]);
+        assert!(matches!(
+            b.finish().decompose().unwrap_err(),
+            OlapError::InvalidDag { .. }
+        ));
+    }
+
+    #[test]
+    fn projections_inline_into_aggregates_probes_and_group_keys() {
+        let mut b = DagBuilder::default();
+        let s = b.scan("t");
+        let p = b.push(DagOp::Project {
+            input: s,
+            exprs: vec![
+                (
+                    "revenue".into(),
+                    ScalarExpr::col("price") * ScalarExpr::col("qty"),
+                ),
+                ("g".into(), ScalarExpr::col("bucket")),
+            ],
+        });
+        b.aggregate(
+            p,
+            Some(vec!["g".into()]),
+            vec![AggExpr::Sum(ScalarExpr::col("revenue"))],
+        );
+        let spec = b.finish().decompose().unwrap();
+        assert_eq!(
+            spec.aggregates,
+            vec![AggExpr::Sum(
+                ScalarExpr::col("price") * ScalarExpr::col("qty")
+            )]
+        );
+        assert_eq!(spec.group_by, Some(vec!["bucket".to_string()]));
+        // A computed projection cannot serve as a group key.
+        let mut b = DagBuilder::default();
+        let s = b.scan("t");
+        let p = b.push(DagOp::Project {
+            input: s,
+            exprs: vec![(
+                "revenue".into(),
+                ScalarExpr::col("price") * ScalarExpr::col("qty"),
+            )],
+        });
+        b.aggregate(p, Some(vec!["revenue".into()]), vec![AggExpr::Count]);
+        assert!(matches!(
+            b.finish().decompose().unwrap_err(),
+            OlapError::InvalidDag { .. }
+        ));
+    }
+
+    #[test]
+    fn dag_cpu_cost_scales_with_joins_and_grouping_like_the_legacy_shapes() {
+        let agg = DagPlan::lower(&q6_like()).cpu_ns_per_tuple();
+        let join = DagPlan::lower(&QueryPlan::JoinAggregate {
+            fact: "orderline".into(),
+            dim: "item".into(),
+            fact_key: "ol_i_id".into(),
+            dim_key: "i_id".into(),
+            fact_filters: vec![Predicate::new("ol_quantity", CmpOp::Lt, 25.0)],
+            dim_filters: vec![],
+            aggregates: vec![AggExpr::Sum(ScalarExpr::col("ol_amount"))],
+        })
+        .cpu_ns_per_tuple();
+        assert!(agg < join);
+    }
+}

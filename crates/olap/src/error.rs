@@ -51,6 +51,13 @@ pub enum OlapError {
         /// Number of aggregates the plan computes.
         aggregates: usize,
     },
+    /// An operator DAG is not executable: a structural rule of
+    /// [`crate::dag::DagPlan`] is violated (wrong fan-out, a probe into a
+    /// non-build operator, a missing aggregate sink, …).
+    InvalidDag {
+        /// Which structural rule failed.
+        reason: String,
+    },
     /// A column was asked to serve a role its type cannot fill (e.g. a
     /// string column as a numeric input, a float column as a group key).
     UnsupportedColumnType {
@@ -86,6 +93,9 @@ impl fmt::Display for OlapError {
                     f,
                     "top-k orders by aggregate {agg_index} but the plan has only {aggregates}"
                 )
+            }
+            OlapError::InvalidDag { reason } => {
+                write!(f, "operator DAG is not executable: {reason}")
             }
             OlapError::UnsupportedColumnType {
                 table,

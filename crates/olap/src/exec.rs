@@ -41,12 +41,13 @@
 //!   the old sequential executor reported. The scheduler and the cost model
 //!   consume those totals unchanged.
 
+use crate::dag::{BuildSpec, DagPlan, DagSpec, Finisher, ProbeSpec, RowSlot};
 use crate::error::OlapError;
 use crate::expr::{AggExpr, AggState, ScalarExpr};
-use crate::hashtable::{GroupTable, KeySet};
+use crate::hashtable::{GroupTable, JoinTable};
 use crate::kernels;
 use crate::morsel::Morsel;
-use crate::plan::{BuildSide, QueryPlan, TopK};
+use crate::plan::QueryPlan;
 use crate::program::{
     apply_filters, eval_expr, resolve, AggKind, ColumnResolver, CompiledAgg, CompiledKey,
     CompiledPredicate, ProgramPool, ValView,
@@ -635,10 +636,11 @@ impl GroupOut {
 }
 
 /// Per-worker output of a join build pipeline: the worker's open-addressing
-/// key set, reused across every morsel it claims (set union across workers
-/// is order-insensitive, so determinism is preserved).
+/// multiplicity table, reused across every morsel it claims (table union
+/// across workers sums weights, which is order-insensitive, so determinism
+/// is preserved).
 struct BuildOut {
-    set: KeySet,
+    table: JoinTable,
     probes: u64,
     profile: WorkProfile,
 }
@@ -844,124 +846,122 @@ impl QueryExecutor {
 
     /// Execute `plan` with one pipeline worker per core of `team`.
     ///
-    /// The result is identical — bit for bit — to the solo execution of the
-    /// same plan over the same sources; only wall-clock time changes.
+    /// Every plan — the five named shapes included — is first lowered onto
+    /// the composable operator DAG ([`crate::dag`]) and executed by the one
+    /// generic pipeline driver below; no shape retains a bespoke execution
+    /// path. The result is identical — bit for bit — to the solo execution
+    /// of the same plan over the same sources; only wall-clock time changes.
     pub fn execute_parallel(
         &self,
         plan: &QueryPlan,
         sources: &BTreeMap<String, ScanSource>,
         team: &WorkerTeam,
     ) -> Result<QueryOutput, OlapError> {
-        match plan {
-            QueryPlan::Aggregate {
-                table,
-                filters,
-                aggregates,
-            } => self.execute_aggregate(table, filters, aggregates, sources, team),
-            QueryPlan::GroupByAggregate {
-                table,
-                filters,
-                group_by,
-                aggregates,
-            } => self.execute_group_by(table, filters, group_by, aggregates, sources, team),
-            QueryPlan::JoinAggregate {
-                fact,
-                dim,
-                fact_key,
-                dim_key,
-                fact_filters,
-                dim_filters,
-                aggregates,
-            } => self.execute_join(
-                fact,
-                dim,
-                fact_key,
-                dim_key,
-                fact_filters,
-                dim_filters,
-                aggregates,
-                sources,
-                team,
-            ),
-            QueryPlan::MultiJoinAggregate {
-                fact,
-                fact_key,
-                fact_filters,
-                mid,
-                mid_fk,
-                far,
-                aggregates,
-            } => self.execute_multi_join(
-                fact,
-                fact_key,
-                fact_filters,
-                mid,
-                mid_fk,
-                far,
-                aggregates,
-                sources,
-                team,
-            ),
-            QueryPlan::JoinGroupByAggregate {
-                fact,
-                fact_key,
-                fact_filters,
-                dim,
-                group_by,
-                aggregates,
-                top_k,
-            } => self.execute_join_group_by(
-                fact,
-                fact_key,
-                fact_filters,
-                dim,
-                group_by,
-                aggregates,
-                *top_k,
-                sources,
-                team,
-            ),
-        }
+        let dag = DagPlan::lower(plan);
+        let spec = dag.decompose()?;
+        self.execute_dag(&spec, sources, team)
     }
 
-    /// Build the open-addressing key set of one [`BuildSide`]: rows passing
-    /// the side's filters — and, when `membership` is given, whose
-    /// foreign-key expression hits the earlier build set (the chain step of
-    /// a three-table join; those membership checks are counted as probes).
-    /// Each worker owns one [`KeySet`] reused across all the morsels it
-    /// claims; the per-worker sets are unioned (order-insensitive).
-    fn build_key_set(
+    /// Execute one decomposed DAG: the build pipelines in dependency order,
+    /// then the root (aggregating) pipeline, then the finishers over the
+    /// finalised rows.
+    fn execute_dag(
         &self,
+        spec: &DagSpec,
+        sources: &BTreeMap<String, ScanSource>,
+        team: &WorkerTeam,
+    ) -> Result<QueryOutput, OlapError> {
+        let mut work = WorkProfile::default();
+        let mut built: Vec<JoinTable> = Vec::with_capacity(spec.builds.len());
+        for build in &spec.builds {
+            let source = source_for(sources, &build.input.table)?;
+            let table = self.run_build_pipeline(build, &built, source, team, &mut work)?;
+            // Build sides are broadcast: account their bytes and hash-table
+            // sizes — builds probed by the root pipeline on the near fields,
+            // deeper (chained) builds on the far fields. 16 bytes per table
+            // entry (key + bucket overhead); multiplicities share their
+            // key's entry, so duplicate build keys do not grow the table.
+            let bytes = side_build_bytes(source, &build_read_columns(build));
+            let table_bytes = table.len() as u64 * 16;
+            if build.feeds_root {
+                work.build_bytes += bytes;
+                work.hash_table_bytes += table_bytes;
+            } else {
+                work.far_build_bytes += bytes;
+                work.far_hash_table_bytes += table_bytes;
+            }
+            built.push(table);
+        }
+        let result = match &spec.group_by {
+            None => self.run_scalar_root(spec, &built, sources, team, &mut work)?,
+            Some(group_by) => {
+                let mut rows =
+                    self.run_group_root(spec, group_by, &built, sources, team, &mut work)?;
+                for finisher in &spec.finishers {
+                    apply_finisher(finisher, &mut rows);
+                }
+                QueryResult::Groups(rows)
+            }
+        };
+        Ok(QueryOutput { result, work })
+    }
+
+    /// Run one build pipeline (scan → filter → probes into earlier builds)
+    /// into its multiplicity table: every surviving row inserts its build
+    /// key with the weight accumulated along the probe chain, so chained
+    /// builds carry join multiplicities all the way down. Each worker owns
+    /// one [`JoinTable`] reused across all the morsels it claims; the
+    /// per-worker tables are unioned by summing weights (order-insensitive).
+    fn run_build_pipeline(
+        &self,
+        build: &BuildSpec,
+        built: &[JoinTable],
         source: &ScanSource,
-        side: &BuildSide,
-        membership: Option<(&ScalarExpr, &KeySet)>,
         team: &WorkerTeam,
         work: &mut WorkProfile,
-    ) -> Result<KeySet, OlapError> {
-        let fk_expr = membership.map(|(fk, _)| fk);
-        let key_exprs: Vec<&ScalarExpr> = std::iter::once(&side.key).chain(fk_expr).collect();
-        let (numeric, keys) = split_read_columns(&side.filters, &[], &key_exprs, &[]);
-        let mut pipe = Pipeline::bind(source, numeric, keys, &side.filters, &[])?;
-        let key = pipe.compile_key(&side.key)?;
-        let fk = fk_expr.map(|e| pipe.compile_key(e)).transpose()?;
-        let far = membership.map(|(_, set)| set);
+    ) -> Result<JoinTable, OlapError> {
+        let key_exprs: Vec<&ScalarExpr> = std::iter::once(&build.key)
+            .chain(build.input.probes.iter().map(|p| &p.key))
+            .collect();
+        let (numeric, keys) = split_read_columns(&build.input.filters, &[], &key_exprs, &[]);
+        let mut pipe = Pipeline::bind(source, numeric, keys, &build.input.filters, &[])?;
+        let key = pipe.compile_key(&build.key)?;
+        let probe_keys: Vec<CompiledKey> = build
+            .input
+            .probes
+            .iter()
+            .map(|p| pipe.compile_key(&p.key))
+            .collect::<Result<_, _>>()?;
         let morsels = source.morsels(self.block_rows);
         let make = || {
             (
                 pipe.scratch(),
                 BuildOut {
-                    set: KeySet::new(),
+                    table: JoinTable::new(),
                     probes: 0,
                     profile: WorkProfile::default(),
                 },
             )
         };
         let outs = run_morsel_pipeline(team, &morsels, make, |_idx, morsel, scratch, out| {
+            let rows = morsel.row_count();
+            load_morsel(source, &pipe.layout, morsel, &mut scratch.data);
+            scratch.ensure_regs(rows);
+            let mut bufs = ProbeBufs::take(scratch);
             {
-                let rows = morsel.row_count();
-                load_morsel(source, &pipe.layout, morsel, &mut scratch.data);
-                scratch.ensure_regs(rows);
                 let sel = apply_filters(&pipe.filters, &scratch.data, rows, &mut scratch.sel);
+                let (probes, survivors) = probe_chain(
+                    &probe_keys,
+                    &build.input.probes,
+                    built,
+                    &pipe,
+                    &scratch.data,
+                    &mut scratch.regs,
+                    rows,
+                    sel,
+                    &mut bufs,
+                    &mut scratch.hashes,
+                );
                 if let CompiledKey::Expr(e) = &key {
                     eval_expr(
                         e,
@@ -969,71 +969,79 @@ impl QueryExecutor {
                         &mut scratch.regs,
                         &pipe.pool.consts,
                         rows,
-                        sel,
-                    );
-                }
-                if let Some(CompiledKey::Expr(e)) = &fk {
-                    eval_expr(
-                        e,
-                        &scratch.data,
-                        &mut scratch.regs,
-                        &pipe.pool.consts,
-                        rows,
-                        sel,
+                        survivors.selection(),
                     );
                 }
                 let kv = key_vals(&key, &scratch.data, &scratch.regs, &pipe.pool.consts);
-                let fkv = fk
-                    .as_ref()
-                    .map(|f| key_vals(f, &scratch.data, &scratch.regs, &pipe.pool.consts));
-                let mut insert = |i: usize| {
-                    if let (Some(fkv), Some(far)) = (&fkv, far) {
-                        out.probes += 1;
-                        if !far.contains(fkv.get(i)) {
-                            return;
+                match survivors {
+                    Survivors::Plain(fin) => {
+                        for_each_selected(rows, fin, |i| out.table.add(kv.get(i), 1));
+                    }
+                    Survivors::Weighted(ids, weights) => {
+                        for (&i, &w) in ids.iter().zip(weights) {
+                            out.table.add(kv.get(i as usize), w);
                         }
                     }
-                    out.set.insert(kv.get(i));
-                };
-                match sel {
-                    None => (0..rows).for_each(&mut insert),
-                    Some(ids) => ids.iter().for_each(|&i| insert(i as usize)),
                 }
+                out.probes += probes;
                 out.profile
                     .absorb_morsel_rows(morsel, pipe.row_bytes(morsel));
             }
+            bufs.restore(scratch);
             Ok(())
         })?;
-        let mut set = KeySet::new();
+        let mut table = JoinTable::new();
         for out in outs {
             work.merge(&out.profile);
             work.probes += out.probes;
-            set.union(&out.set);
+            table.union(&out.table);
         }
-        Ok(set)
+        Ok(table)
     }
 
-    fn execute_aggregate(
+    /// Run the root pipeline into the scalar sink.
+    fn run_scalar_root(
         &self,
-        table: &str,
-        filters: &[crate::expr::Predicate],
-        aggregates: &[AggExpr],
+        spec: &DagSpec,
+        built: &[JoinTable],
         sources: &BTreeMap<String, ScanSource>,
         team: &WorkerTeam,
-    ) -> Result<QueryOutput, OlapError> {
-        let source = source_for(sources, table)?;
-        let numeric = numeric_columns(filters, aggregates);
-        let pipe = Pipeline::bind(source, numeric, Vec::new(), filters, aggregates)?;
+        work: &mut WorkProfile,
+    ) -> Result<QueryResult, OlapError> {
+        let source = source_for(sources, &spec.root.table)?;
+        let key_exprs: Vec<&ScalarExpr> = spec.root.probes.iter().map(|p| &p.key).collect();
+        let (numeric, keys) =
+            split_read_columns(&spec.root.filters, &spec.aggregates, &key_exprs, &[]);
+        let mut pipe = Pipeline::bind(source, numeric, keys, &spec.root.filters, &spec.aggregates)?;
+        let probe_keys: Vec<CompiledKey> = spec
+            .root
+            .probes
+            .iter()
+            .map(|p| pipe.compile_key(&p.key))
+            .collect::<Result<_, _>>()?;
         let morsels = source.morsels(self.block_rows);
-        let n_aggs = aggregates.len();
+        let n_aggs = spec.aggregates.len();
         let make = || (pipe.scratch(), ScalarOut::new(n_aggs, morsels.len()));
         let outs = run_morsel_pipeline(team, &morsels, make, |idx, morsel, scratch, out| {
+            let rows = morsel.row_count();
+            load_morsel(source, &pipe.layout, morsel, &mut scratch.data);
+            scratch.ensure_regs(rows);
+            let mut bufs = ProbeBufs::take(scratch);
             {
-                let rows = morsel.row_count();
-                load_morsel(source, &pipe.layout, morsel, &mut scratch.data);
-                scratch.ensure_regs(rows);
                 let sel = apply_filters(&pipe.filters, &scratch.data, rows, &mut scratch.sel);
-                let selected = sel.map_or(rows, <[u32]>::len) as u64;
+                let (probes, survivors) = probe_chain(
+                    &probe_keys,
+                    &spec.root.probes,
+                    built,
+                    &pipe,
+                    &scratch.data,
+                    &mut scratch.regs,
+                    rows,
+                    sel,
+                    &mut bufs,
+                    &mut scratch.hashes,
+                );
+                let selected = survivors.tuple_count(rows);
                 let states = out.push_morsel(idx);
                 for (agg, state) in pipe.aggs.iter().zip(states) {
                     match agg {
@@ -1045,484 +1053,486 @@ impl QueryExecutor {
                                 &mut scratch.regs,
                                 &pipe.pool.consts,
                                 rows,
-                                sel,
+                                survivors.selection(),
                             );
                             let v =
                                 resolve(e.output, &scratch.data, &scratch.regs, &pipe.pool.consts);
-                            fold_agg(*kind, state, v, rows, sel);
-                        }
-                    }
-                }
-                out.profile
-                    .absorb_morsel_rows(morsel, pipe.row_bytes(morsel));
-                out.profile.tuples_selected += selected;
-            }
-            Ok(())
-        })?;
-
-        let mut work = WorkProfile::default();
-        let states = merge_scalar_outs(outs, n_aggs, morsels.len(), &mut work);
-        Ok(QueryOutput {
-            result: QueryResult::Scalars(
-                aggregates
-                    .iter()
-                    .zip(&states)
-                    .map(|(agg, st)| st.finalize(agg))
-                    .collect(),
-            ),
-            work,
-        })
-    }
-
-    fn execute_group_by(
-        &self,
-        table: &str,
-        filters: &[crate::expr::Predicate],
-        group_by: &[String],
-        aggregates: &[AggExpr],
-        sources: &BTreeMap<String, ScanSource>,
-        team: &WorkerTeam,
-    ) -> Result<QueryOutput, OlapError> {
-        let source = source_for(sources, table)?;
-        let numeric = numeric_columns(filters, aggregates);
-        let pipe = Pipeline::bind(source, numeric, group_by.to_vec(), filters, aggregates)?;
-        let group_slots: Vec<usize> = (0..group_by.len()).collect();
-        let morsels = source.morsels(self.block_rows);
-        let n_aggs = aggregates.len();
-        let n_keys = group_by.len();
-        let make = || {
-            let mut scratch = pipe.scratch();
-            scratch.groups.configure(n_keys, n_aggs);
-            (scratch, GroupOut::new(morsels.len()))
-        };
-        let outs = run_morsel_pipeline(team, &morsels, make, |idx, morsel, scratch, out| {
-            {
-                let rows = morsel.row_count();
-                load_morsel(source, &pipe.layout, morsel, &mut scratch.data);
-                scratch.ensure_regs(rows);
-                let sel = apply_filters(&pipe.filters, &scratch.data, rows, &mut scratch.sel);
-                let selected = sel.map_or(rows, <[u32]>::len) as u64;
-                group_and_fold(
-                    &pipe.aggs,
-                    &pipe.pool.consts,
-                    &group_slots,
-                    &scratch.data,
-                    &mut scratch.regs,
-                    &mut scratch.groups,
-                    &mut scratch.group_rows,
-                    &mut scratch.key_tmp,
-                    &mut scratch.hashes,
-                    rows,
-                    sel,
-                );
-                out.emit_morsel(idx, &scratch.groups, n_keys, n_aggs);
-                out.profile
-                    .absorb_morsel_rows(morsel, pipe.row_bytes(morsel));
-                out.profile.tuples_selected += selected;
-            }
-            Ok(())
-        })?;
-
-        let mut work = WorkProfile::default();
-        let rows = merge_group_outs(outs, n_keys, n_aggs, morsels.len(), aggregates, &mut work);
-        Ok(QueryOutput {
-            result: QueryResult::Groups(rows),
-            work,
-        })
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn execute_join(
-        &self,
-        fact: &str,
-        dim: &str,
-        fact_key: &str,
-        dim_key: &str,
-        fact_filters: &[crate::expr::Predicate],
-        dim_filters: &[crate::expr::Predicate],
-        aggregates: &[AggExpr],
-        sources: &BTreeMap<String, ScanSource>,
-        team: &WorkerTeam,
-    ) -> Result<QueryOutput, OlapError> {
-        let fact_source = source_for(sources, fact)?;
-        let dim_source = source_for(sources, dim)?;
-
-        // Build phase: the column-keyed join is the degenerate BuildSide, so
-        // it shares the build pipeline of the three-table and join-group-by
-        // shapes.
-        let dim_side = BuildSide::new(dim, ScalarExpr::col(dim_key), dim_filters.to_vec());
-        let mut work = WorkProfile::default();
-        let build = self.build_key_set(dim_source, &dim_side, None, team, &mut work)?;
-
-        // Probe phase: the build set is shared read-only with every worker.
-        let fact_numeric = numeric_columns(fact_filters, aggregates);
-        let mut pipe = Pipeline::bind(
-            fact_source,
-            fact_numeric,
-            vec![fact_key.to_string()],
-            fact_filters,
-            aggregates,
-        )?;
-        let key = pipe.compile_key(&ScalarExpr::col(fact_key))?;
-        let morsels = fact_source.morsels(self.block_rows);
-        let n_aggs = aggregates.len();
-        let build_ref = &build;
-        let make = || (pipe.scratch(), ScalarOut::new(n_aggs, morsels.len()));
-        let outs = run_morsel_pipeline(team, &morsels, make, |idx, morsel, scratch, out| {
-            {
-                let rows = morsel.row_count();
-                load_morsel(fact_source, &pipe.layout, morsel, &mut scratch.data);
-                scratch.ensure_regs(rows);
-                let sel = apply_filters(&pipe.filters, &scratch.data, rows, &mut scratch.sel);
-                let (probes, joined) = probe_into(
-                    &key,
-                    build_ref,
-                    &pipe,
-                    &scratch.data,
-                    &mut scratch.regs,
-                    rows,
-                    sel,
-                    &mut scratch.sel2,
-                    &mut scratch.hashes,
-                );
-                let states = out.push_morsel(idx);
-                for (agg, state) in pipe.aggs.iter().zip(states) {
-                    match agg {
-                        CompiledAgg::Count => state.update_count_n(joined.len() as u64),
-                        CompiledAgg::Fold(kind, e) => {
-                            eval_expr(
-                                e,
-                                &scratch.data,
-                                &mut scratch.regs,
-                                &pipe.pool.consts,
-                                rows,
-                                Some(joined),
-                            );
-                            let v =
-                                resolve(e.output, &scratch.data, &scratch.regs, &pipe.pool.consts);
-                            fold_agg(*kind, state, v, rows, Some(joined));
+                            match survivors {
+                                Survivors::Plain(fin) => fold_agg(*kind, state, v, rows, fin),
+                                Survivors::Weighted(ids, weights) => {
+                                    fold_weighted(*kind, state, v, ids, weights)
+                                }
+                            }
                         }
                     }
                 }
                 out.probes += probes;
                 out.profile
                     .absorb_morsel_rows(morsel, pipe.row_bytes(morsel));
-                out.profile.tuples_selected += joined.len() as u64;
+                out.profile.tuples_selected += selected;
             }
+            bufs.restore(scratch);
             Ok(())
         })?;
-
-        let states = merge_scalar_outs(outs, n_aggs, morsels.len(), &mut work);
-
-        // The build side is broadcast: account its bytes and hash-table size.
-        work.build_bytes = side_build_bytes(dim_source, &dim_side.read_columns(None));
-        // 16 bytes per hash-table entry (key + bucket overhead).
-        work.hash_table_bytes = build.len() as u64 * 16;
-
-        Ok(QueryOutput {
-            result: QueryResult::Scalars(
-                aggregates
-                    .iter()
-                    .zip(&states)
-                    .map(|(agg, st)| st.finalize(agg))
-                    .collect(),
-            ),
-            work,
-        })
+        let states = merge_scalar_outs(outs, n_aggs, morsels.len(), work);
+        Ok(QueryResult::Scalars(
+            spec.aggregates
+                .iter()
+                .zip(&states)
+                .map(|(agg, st)| st.finalize(agg))
+                .collect(),
+        ))
     }
 
-    /// Three-table chain join: build the far key set, build the mid key set
-    /// chained through `mid_fk`, then probe the fact side and aggregate.
-    /// Fact-side partial states are merged in morsel order, so the result is
-    /// bit-for-bit identical for every worker count.
-    #[allow(clippy::too_many_arguments)]
-    fn execute_multi_join(
+    /// Run the root pipeline into the grouped sink. An empty `group_by` is
+    /// the degenerate single global group — a grouped result with no key
+    /// columns. Per-morsel group tables are merged in morsel order (same
+    /// discipline as every other sink), so results stay identical across
+    /// worker counts.
+    fn run_group_root(
         &self,
-        fact: &str,
-        fact_key: &ScalarExpr,
-        fact_filters: &[crate::expr::Predicate],
-        mid: &BuildSide,
-        mid_fk: &ScalarExpr,
-        far: &BuildSide,
-        aggregates: &[AggExpr],
-        sources: &BTreeMap<String, ScanSource>,
-        team: &WorkerTeam,
-    ) -> Result<QueryOutput, OlapError> {
-        let fact_source = source_for(sources, fact)?;
-        let mid_source = source_for(sources, &mid.table)?;
-        let far_source = source_for(sources, &far.table)?;
-        let mut work = WorkProfile::default();
-
-        // Far build side (second hash table of the chain).
-        let far_set = self.build_key_set(far_source, far, None, team, &mut work)?;
-        work.far_build_bytes = side_build_bytes(far_source, &far.read_columns(None));
-        work.far_hash_table_bytes = far_set.len() as u64 * 16;
-
-        // Mid build side, chained through the far set.
-        let mid_set =
-            self.build_key_set(mid_source, mid, Some((mid_fk, &far_set)), team, &mut work)?;
-        work.build_bytes = side_build_bytes(mid_source, &mid.read_columns(Some(mid_fk)));
-        work.hash_table_bytes = mid_set.len() as u64 * 16;
-
-        // Fact probe phase.
-        let (fact_numeric, fact_keys) =
-            split_read_columns(fact_filters, aggregates, &[fact_key], &[]);
-        let mut pipe = Pipeline::bind(
-            fact_source,
-            fact_numeric,
-            fact_keys,
-            fact_filters,
-            aggregates,
-        )?;
-        let key = pipe.compile_key(fact_key)?;
-        let morsels = fact_source.morsels(self.block_rows);
-        let n_aggs = aggregates.len();
-        let mid_ref = &mid_set;
-        let make = || (pipe.scratch(), ScalarOut::new(n_aggs, morsels.len()));
-        let outs = run_morsel_pipeline(team, &morsels, make, |idx, morsel, scratch, out| {
-            {
-                let rows = morsel.row_count();
-                load_morsel(fact_source, &pipe.layout, morsel, &mut scratch.data);
-                scratch.ensure_regs(rows);
-                let sel = apply_filters(&pipe.filters, &scratch.data, rows, &mut scratch.sel);
-                let (probes, joined) = probe_into(
-                    &key,
-                    mid_ref,
-                    &pipe,
-                    &scratch.data,
-                    &mut scratch.regs,
-                    rows,
-                    sel,
-                    &mut scratch.sel2,
-                    &mut scratch.hashes,
-                );
-                let states = out.push_morsel(idx);
-                for (agg, state) in pipe.aggs.iter().zip(states) {
-                    match agg {
-                        CompiledAgg::Count => state.update_count_n(joined.len() as u64),
-                        CompiledAgg::Fold(kind, e) => {
-                            eval_expr(
-                                e,
-                                &scratch.data,
-                                &mut scratch.regs,
-                                &pipe.pool.consts,
-                                rows,
-                                Some(joined),
-                            );
-                            let v =
-                                resolve(e.output, &scratch.data, &scratch.regs, &pipe.pool.consts);
-                            fold_agg(*kind, state, v, rows, Some(joined));
-                        }
-                    }
-                }
-                out.probes += probes;
-                out.profile
-                    .absorb_morsel_rows(morsel, pipe.row_bytes(morsel));
-                out.profile.tuples_selected += joined.len() as u64;
-            }
-            Ok(())
-        })?;
-
-        let states = merge_scalar_outs(outs, n_aggs, morsels.len(), &mut work);
-        Ok(QueryOutput {
-            result: QueryResult::Scalars(
-                aggregates
-                    .iter()
-                    .zip(&states)
-                    .map(|(agg, st)| st.finalize(agg))
-                    .collect(),
-            ),
-            work,
-        })
-    }
-
-    /// Hash join followed by a hash group-by over fact columns. Per-morsel
-    /// group tables are merged in morsel order (same discipline as the plain
-    /// group-by), and the optional top-k sorts the *finalised* groups
-    /// descending by one aggregate with ties broken by ascending group key —
-    /// all deterministic, so results stay identical across worker counts.
-    #[allow(clippy::too_many_arguments)]
-    fn execute_join_group_by(
-        &self,
-        fact: &str,
-        fact_key: &ScalarExpr,
-        fact_filters: &[crate::expr::Predicate],
-        dim: &BuildSide,
+        spec: &DagSpec,
         group_by: &[String],
-        aggregates: &[AggExpr],
-        top_k: Option<TopK>,
+        built: &[JoinTable],
         sources: &BTreeMap<String, ScanSource>,
         team: &WorkerTeam,
-    ) -> Result<QueryOutput, OlapError> {
-        if let Some(tk) = top_k {
-            if tk.agg_index >= aggregates.len() {
-                return Err(OlapError::InvalidTopK {
-                    agg_index: tk.agg_index,
-                    aggregates: aggregates.len(),
-                });
-            }
-        }
-        let fact_source = source_for(sources, fact)?;
-        let dim_source = source_for(sources, &dim.table)?;
-        let mut work = WorkProfile::default();
-
-        // Build side.
-        let build = self.build_key_set(dim_source, dim, None, team, &mut work)?;
-        work.build_bytes = side_build_bytes(dim_source, &dim.read_columns(None));
-        work.hash_table_bytes = build.len() as u64 * 16;
-
-        // Fact probe + group-by phase. The key list carries the group-by
-        // columns plus a plain-column join key (exact i64 path).
-        let (fact_numeric, fact_keys) =
-            split_read_columns(fact_filters, aggregates, &[fact_key], group_by);
-        let mut pipe = Pipeline::bind(
-            fact_source,
-            fact_numeric,
-            fact_keys,
-            fact_filters,
-            aggregates,
-        )?;
-        let key = pipe.compile_key(fact_key)?;
+        work: &mut WorkProfile,
+    ) -> Result<Vec<GroupRow>, OlapError> {
+        let source = source_for(sources, &spec.root.table)?;
+        let key_exprs: Vec<&ScalarExpr> = spec.root.probes.iter().map(|p| &p.key).collect();
+        let (numeric, keys) =
+            split_read_columns(&spec.root.filters, &spec.aggregates, &key_exprs, group_by);
+        let mut pipe = Pipeline::bind(source, numeric, keys, &spec.root.filters, &spec.aggregates)?;
+        let probe_keys: Vec<CompiledKey> = spec
+            .root
+            .probes
+            .iter()
+            .map(|p| pipe.compile_key(&p.key))
+            .collect::<Result<_, _>>()?;
         let group_slots: Vec<usize> = group_by
             .iter()
             .map(|g| pipe.key_slot(g))
             .collect::<Result<_, _>>()?;
-        let morsels = fact_source.morsels(self.block_rows);
-        let n_aggs = aggregates.len();
+        let morsels = source.morsels(self.block_rows);
+        let n_aggs = spec.aggregates.len();
         let n_keys = group_by.len();
-        let build_ref = &build;
         let make = || {
             let mut scratch = pipe.scratch();
             scratch.groups.configure(n_keys, n_aggs);
             (scratch, GroupOut::new(morsels.len()))
         };
         let outs = run_morsel_pipeline(team, &morsels, make, |idx, morsel, scratch, out| {
+            let rows = morsel.row_count();
+            load_morsel(source, &pipe.layout, morsel, &mut scratch.data);
+            scratch.ensure_regs(rows);
+            let mut bufs = ProbeBufs::take(scratch);
             {
-                let rows = morsel.row_count();
-                load_morsel(fact_source, &pipe.layout, morsel, &mut scratch.data);
-                scratch.ensure_regs(rows);
                 let sel = apply_filters(&pipe.filters, &scratch.data, rows, &mut scratch.sel);
-                let (probes, joined) = probe_into(
-                    &key,
-                    build_ref,
+                let (probes, survivors) = probe_chain(
+                    &probe_keys,
+                    &spec.root.probes,
+                    built,
                     &pipe,
                     &scratch.data,
                     &mut scratch.regs,
                     rows,
                     sel,
-                    &mut scratch.sel2,
+                    &mut bufs,
                     &mut scratch.hashes,
                 );
-                let selected = joined.len() as u64;
-                group_and_fold(
-                    &pipe.aggs,
-                    &pipe.pool.consts,
-                    &group_slots,
-                    &scratch.data,
-                    &mut scratch.regs,
-                    &mut scratch.groups,
-                    &mut scratch.group_rows,
-                    &mut scratch.key_tmp,
-                    &mut scratch.hashes,
-                    rows,
-                    Some(joined),
-                );
+                let selected = survivors.tuple_count(rows);
+                match survivors {
+                    Survivors::Plain(fin) => group_and_fold(
+                        &pipe.aggs,
+                        &pipe.pool.consts,
+                        &group_slots,
+                        &scratch.data,
+                        &mut scratch.regs,
+                        &mut scratch.groups,
+                        &mut scratch.group_rows,
+                        &mut scratch.key_tmp,
+                        &mut scratch.hashes,
+                        rows,
+                        fin,
+                    ),
+                    Survivors::Weighted(ids, weights) => group_and_fold_weighted(
+                        &pipe.aggs,
+                        &pipe.pool.consts,
+                        &group_slots,
+                        &scratch.data,
+                        &mut scratch.regs,
+                        &mut scratch.groups,
+                        &mut scratch.key_tmp,
+                        rows,
+                        ids,
+                        weights,
+                    ),
+                }
                 out.emit_morsel(idx, &scratch.groups, n_keys, n_aggs);
                 out.probes += probes;
                 out.profile
                     .absorb_morsel_rows(morsel, pipe.row_bytes(morsel));
                 out.profile.tuples_selected += selected;
             }
+            bufs.restore(scratch);
             Ok(())
         })?;
-
-        let mut rows = merge_group_outs(outs, n_keys, n_aggs, morsels.len(), aggregates, &mut work);
-        if let Some(tk) = top_k {
-            rows.sort_by(|a, b| {
-                b.1[tk.agg_index]
-                    .total_cmp(&a.1[tk.agg_index])
-                    .then_with(|| a.0.cmp(&b.0))
-            });
-            rows.truncate(tk.k);
-        }
-        Ok(QueryOutput {
-            result: QueryResult::Groups(rows),
+        Ok(merge_group_outs(
+            outs,
+            n_keys,
+            n_aggs,
+            morsels.len(),
+            &spec.aggregates,
             work,
-        })
+        ))
     }
 }
 
-/// Probe the build set with the morsel's join keys over the current
-/// selection, compacting the survivors into `sel2`. Returns the probe count
-/// (one per input row, the same accounting the interpreted engine used) and
-/// the surviving selection.
+/// The sorted, deduplicated column list a build pipeline reads — filters,
+/// probe keys, and the build key. The executor uses this same list for
+/// scanning and for build-bytes accounting, so the two cannot drift.
+fn build_read_columns(build: &BuildSpec) -> Vec<String> {
+    let mut cols: Vec<String> = build
+        .input
+        .filters
+        .iter()
+        .map(|p| p.column.clone())
+        .collect();
+    for probe in &build.input.probes {
+        cols.extend(probe.key.columns());
+    }
+    cols.extend(build.key.columns());
+    cols.sort();
+    cols.dedup();
+    cols
+}
+
+/// The probe-chain ping-pong buffers, taken out of the worker scratch for
+/// the duration of one morsel (so the chain can read the survivors of one
+/// hop while writing the next) and restored afterwards — the buffers keep
+/// their capacity, preserving the zero-steady-state-allocation discipline.
+struct ProbeBufs {
+    sel_a: Vec<u32>,
+    sel_b: Vec<u32>,
+    w_a: Vec<u64>,
+    w_b: Vec<u64>,
+}
+
+impl ProbeBufs {
+    fn take(scratch: &mut ExecScratch<'_>) -> ProbeBufs {
+        ProbeBufs {
+            sel_a: std::mem::take(&mut scratch.sel2),
+            sel_b: std::mem::take(&mut scratch.sel3),
+            w_a: std::mem::take(&mut scratch.weights),
+            w_b: std::mem::take(&mut scratch.weights_b),
+        }
+    }
+
+    fn restore(self, scratch: &mut ExecScratch<'_>) {
+        scratch.sel2 = self.sel_a;
+        scratch.sel3 = self.sel_b;
+        scratch.weights = self.w_a;
+        scratch.weights_b = self.w_b;
+    }
+}
+
+/// Final survivors of one morsel's filter + probe chain.
+#[derive(Clone, Copy)]
+enum Survivors<'a> {
+    /// Every weight is 1: a plain selection (`None` = all rows survive),
+    /// which downstream sinks fold exactly like the legacy shapes did.
+    Plain(Option<&'a [u32]>),
+    /// At least one probed build has duplicate keys: the surviving rows and
+    /// their join multiplicities, parallel slices.
+    Weighted(&'a [u32], &'a [u64]),
+}
+
+impl<'a> Survivors<'a> {
+    /// The surviving row ids as a plain selection (multiplicities dropped).
+    fn selection(&self) -> Option<&'a [u32]> {
+        match self {
+            Survivors::Plain(sel) => *sel,
+            Survivors::Weighted(ids, _) => Some(ids),
+        }
+    }
+
+    /// Surviving *tuple* count: the sum of multiplicities — for a weighted
+    /// join, one surviving probe row stands for `w` joined tuples.
+    fn tuple_count(&self, rows: usize) -> u64 {
+        match self {
+            Survivors::Plain(sel) => sel.map_or(rows, <[u32]>::len) as u64,
+            Survivors::Weighted(_, weights) => weights.iter().sum(),
+        }
+    }
+}
+
+/// Probe the morsel's rows through the pipeline's chain of build tables,
+/// compacting survivors hop by hop (ping-ponging between the two buffer
+/// pairs of `bufs`). Returns the probe count — one per input row of each
+/// hop, the same accounting the interpreted engine used — and the final
+/// survivors.
 ///
-/// Exact `i64` key columns take the batch path: the chunked hash kernels
-/// fill `hashes` for the whole selection first, then the probe loop runs
-/// prehashed lookups. Computed keys (cast per probe) stay per-row — the
-/// expression lanes are `f64` and each probe hashes its own cast.
+/// While every probed build is unique and no weights are in flight, each
+/// hop runs the exact membership probe the legacy executors ran — exact
+/// `i64` key columns take the batch path (the chunked hash kernels fill
+/// `hashes` for the whole selection, then prehashed lookups) — so the
+/// surviving selection, the folds it feeds, and the work accounting are
+/// bit-for-bit the legacy ones. The first hop over a duplicate-key build
+/// switches the chain to weight tracking: a surviving row's multiplicity is
+/// the product of the matched build weights, and downstream sinks fold it
+/// that many times.
 #[allow(clippy::too_many_arguments)]
-fn probe_into<'s>(
-    key: &CompiledKey,
-    build: &KeySet,
+fn probe_chain<'s>(
+    probe_keys: &[CompiledKey],
+    probes: &[ProbeSpec],
+    built: &[JoinTable],
     pipe: &Pipeline,
     data: &MorselData<'_>,
     regs: &mut [Vec<f64>],
     rows: usize,
-    sel: Option<&[u32]>,
-    sel2: &'s mut Vec<u32>,
+    sel: Option<&'s [u32]>,
+    bufs: &'s mut ProbeBufs,
     hashes: &mut Vec<u64>,
-) -> (u64, &'s [u32]) {
-    if let CompiledKey::Expr(e) = key {
-        eval_expr(e, data, regs, &pipe.pool.consts, rows, sel);
-    }
-    sel2.clear();
-    if let CompiledKey::Key(slot) = key {
-        let keys = &data.key(*slot as usize)[..rows];
-        let probes;
-        match sel {
-            None => {
-                probes = rows as u64;
-                kernels::hash1_dense(keys, hashes);
-                for (i, &h) in hashes.iter().enumerate() {
-                    if build.contains_hashed(h, keys[i]) {
-                        sel2.push(i as u32);
+) -> (u64, Survivors<'s>) {
+    let mut total_probes = 0u64;
+    let mut weighted = false;
+    let mut ran = false;
+    for (key, probe) in probe_keys.iter().zip(probes) {
+        let table = &built[probe.build];
+        let track = weighted || !table.unique();
+        // Swap so the current survivors sit in `sel_b`/`w_b` and this hop
+        // writes fresh output into `sel_a`/`w_a`.
+        std::mem::swap(&mut bufs.sel_a, &mut bufs.sel_b);
+        std::mem::swap(&mut bufs.w_a, &mut bufs.w_b);
+        let src: Option<&[u32]> = if ran { Some(&bufs.sel_b) } else { sel };
+        let src_w: Option<&[u64]> = if ran && weighted {
+            Some(&bufs.w_b)
+        } else {
+            None
+        };
+        total_probes += src.map_or(rows, <[u32]>::len) as u64;
+        if let CompiledKey::Expr(e) = key {
+            eval_expr(e, data, regs, &pipe.pool.consts, rows, src);
+        }
+        bufs.sel_a.clear();
+        bufs.w_a.clear();
+        if !track {
+            if let CompiledKey::Key(slot) = key {
+                let keys = &data.key(*slot as usize)[..rows];
+                match src {
+                    None => {
+                        kernels::hash1_dense(keys, hashes);
+                        for (i, &h) in hashes.iter().enumerate() {
+                            if table.weight_hashed(h, keys[i]) != 0 {
+                                bufs.sel_a.push(i as u32);
+                            }
+                        }
+                    }
+                    Some(ids) => {
+                        kernels::hash1_gather(keys, ids, hashes);
+                        for (&i, &h) in ids.iter().zip(hashes.iter()) {
+                            if table.weight_hashed(h, keys[i as usize]) != 0 {
+                                bufs.sel_a.push(i);
+                            }
+                        }
+                    }
+                }
+            } else {
+                let kv = key_vals(key, data, regs, &pipe.pool.consts);
+                match src {
+                    None => {
+                        for i in 0..rows {
+                            if table.weight(kv.get(i)) != 0 {
+                                bufs.sel_a.push(i as u32);
+                            }
+                        }
+                    }
+                    Some(ids) => {
+                        for &i in ids {
+                            if table.weight(kv.get(i as usize)) != 0 {
+                                bufs.sel_a.push(i);
+                            }
+                        }
                     }
                 }
             }
-            Some(ids) => {
-                probes = ids.len() as u64;
-                kernels::hash1_gather(keys, ids, hashes);
-                for (&i, &h) in ids.iter().zip(hashes.iter()) {
-                    if build.contains_hashed(h, keys[i as usize]) {
-                        sel2.push(i);
+        } else {
+            let kv = key_vals(key, data, regs, &pipe.pool.consts);
+            match src {
+                None => {
+                    for i in 0..rows {
+                        let w = table.weight(kv.get(i));
+                        if w != 0 {
+                            bufs.sel_a.push(i as u32);
+                            bufs.w_a.push(w);
+                        }
                     }
                 }
+                Some(ids) => match src_w {
+                    None => {
+                        for &i in ids {
+                            let w = table.weight(kv.get(i as usize));
+                            if w != 0 {
+                                bufs.sel_a.push(i);
+                                bufs.w_a.push(w);
+                            }
+                        }
+                    }
+                    Some(ws) => {
+                        for (&i, &w_in) in ids.iter().zip(ws) {
+                            let w = w_in * table.weight(kv.get(i as usize));
+                            if w != 0 {
+                                bufs.sel_a.push(i);
+                                bufs.w_a.push(w);
+                            }
+                        }
+                    }
+                },
             }
         }
-        return (probes, sel2.as_slice());
+        weighted = track;
+        ran = true;
     }
-    let kv = key_vals(key, data, regs, &pipe.pool.consts);
-    let probes;
-    match sel {
-        None => {
-            probes = rows as u64;
-            for i in 0..rows {
-                if build.contains(kv.get(i)) {
-                    sel2.push(i as u32);
-                }
+    if !ran {
+        return (0, Survivors::Plain(sel));
+    }
+    if weighted {
+        (total_probes, Survivors::Weighted(&bufs.sel_a, &bufs.w_a))
+    } else {
+        (total_probes, Survivors::Plain(Some(&bufs.sel_a)))
+    }
+}
+
+/// Fold one morsel's weighted survivors into a scalar aggregate state:
+/// SUM/AVG scale each value by its multiplicity, MIN/MAX fold each
+/// surviving row once (repeated folds of one value cannot move an
+/// extremum).
+fn fold_weighted(
+    kind: AggKind,
+    state: &mut AggState,
+    v: ValView<'_>,
+    ids: &[u32],
+    weights: &[u64],
+) {
+    match kind {
+        AggKind::Sum => {
+            for (&i, &w) in ids.iter().zip(weights) {
+                state.fold_sum_weighted(v.get(i as usize), w);
             }
         }
-        Some(ids) => {
-            probes = ids.len() as u64;
+        AggKind::Avg => {
+            for (&i, &w) in ids.iter().zip(weights) {
+                state.fold_avg_weighted(v.get(i as usize), w);
+            }
+        }
+        AggKind::Min => {
             for &i in ids {
-                if build.contains(kv.get(i as usize)) {
-                    sel2.push(i);
+                state.fold_min(v.get(i as usize));
+            }
+        }
+        AggKind::Max => {
+            for &i in ids {
+                state.fold_max(v.get(i as usize));
+            }
+        }
+    }
+}
+
+/// The weighted twin of [`group_and_fold`]: assign each surviving row to
+/// its group and fold every aggregate with the row's join multiplicity
+/// (COUNT advances by `w`, SUM/AVG scale by `w`, MIN/MAX fold once). Runs
+/// row at a time — the weighted path only exists for duplicate-key joins,
+/// where correctness, not peak throughput, is the point.
+#[allow(clippy::too_many_arguments)]
+fn group_and_fold_weighted(
+    aggs: &[CompiledAgg],
+    consts: &[f64],
+    group_slots: &[usize],
+    data: &MorselData<'_>,
+    regs: &mut [Vec<f64>],
+    groups: &mut GroupTable,
+    key_tmp: &mut Vec<i64>,
+    rows: usize,
+    ids: &[u32],
+    weights: &[u64],
+) {
+    groups.begin_morsel();
+    for agg in aggs {
+        if let CompiledAgg::Fold(_, e) = agg {
+            eval_expr(e, data, regs, consts, rows, Some(ids));
+        }
+    }
+    for (&i, &w) in ids.iter().zip(weights) {
+        let i = i as usize;
+        let g = match group_slots {
+            [] => groups.upsert0(),
+            [s0] => groups.upsert1(data.key(*s0)[i]),
+            [s0, s1] => groups.upsert2(data.key(*s0)[i], data.key(*s1)[i]),
+            slots => {
+                key_tmp.resize(slots.len(), 0);
+                for (part, &slot) in key_tmp.iter_mut().zip(slots) {
+                    *part = data.key(slot)[i];
+                }
+                groups.upsert(key_tmp)
+            }
+        };
+        for (j, agg) in aggs.iter().enumerate() {
+            match agg {
+                CompiledAgg::Count => groups.agg_state(g, j).update_count_n(w),
+                CompiledAgg::Fold(kind, e) => {
+                    let v = resolve(e.output, data, regs, consts).get(i);
+                    let state = groups.agg_state(g, j);
+                    match kind {
+                        AggKind::Sum => state.fold_sum_weighted(v, w),
+                        AggKind::Avg => state.fold_avg_weighted(v, w),
+                        AggKind::Min => state.fold_min(v),
+                        AggKind::Max => state.fold_max(v),
+                    }
                 }
             }
         }
     }
-    (probes, sel2.as_slice())
+}
+
+/// Apply one finisher to the finalised rows. Sort orders are total (ties
+/// break by the ascending full group key), so the output is deterministic
+/// for every worker count.
+fn apply_finisher(finisher: &Finisher, rows: &mut Vec<GroupRow>) {
+    match finisher {
+        Finisher::Having(preds) => {
+            rows.retain(|row| {
+                preds
+                    .iter()
+                    .all(|p| p.op.apply(row_slot_value(row, p.slot), p.literal))
+            });
+        }
+        Finisher::Sort(keys) => {
+            rows.sort_by(|a, b| {
+                for key in keys {
+                    let (x, y) = (row_slot_value(a, key.slot), row_slot_value(b, key.slot));
+                    let ord = if key.desc {
+                        y.total_cmp(&x)
+                    } else {
+                        x.total_cmp(&y)
+                    };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                a.0.cmp(&b.0)
+            });
+        }
+        Finisher::Limit(n) => rows.truncate(*n),
+    }
+}
+
+/// Read one slot of a finalised row. Group keys convert exactly — the
+/// engine's integer keys stay far below 2^53.
+fn row_slot_value(row: &GroupRow, slot: RowSlot) -> f64 {
+    match slot {
+        RowSlot::Key(i) => row.0[i] as f64,
+        RowSlot::Agg(i) => row.1[i],
+    }
 }
 
 /// Assign every surviving row to its group and fold all aggregate inputs in
@@ -1738,6 +1748,7 @@ pub fn hash_group_sum(pairs: impl IntoIterator<Item = (i64, f64)>) -> Vec<(i64, 
 mod tests {
     use super::*;
     use crate::expr::{CmpOp, Predicate, ScalarExpr};
+    use crate::plan::{BuildSide, TopK};
     use crate::source::ScanSource;
     use htap_sim::CoreId;
     use htap_storage::{ColumnDef, ColumnarTable, DataType, TableSchema, TableSnapshot, Value};

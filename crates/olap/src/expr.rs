@@ -56,6 +56,26 @@ impl ScalarExpr {
         }
     }
 
+    /// Replace every column reference found in `map` with its mapped
+    /// expression — the bind-time inlining of the DAG's project operator
+    /// (a projection never survives to execution; its definitions are
+    /// substituted into every consumer upstream).
+    pub fn substitute(&self, map: &std::collections::BTreeMap<String, ScalarExpr>) -> ScalarExpr {
+        match self {
+            ScalarExpr::Col(c) => map.get(c).cloned().unwrap_or_else(|| self.clone()),
+            ScalarExpr::Literal(_) => self.clone(),
+            ScalarExpr::Add(a, b) => {
+                ScalarExpr::Add(Box::new(a.substitute(map)), Box::new(b.substitute(map)))
+            }
+            ScalarExpr::Sub(a, b) => {
+                ScalarExpr::Sub(Box::new(a.substitute(map)), Box::new(b.substitute(map)))
+            }
+            ScalarExpr::Mul(a, b) => {
+                ScalarExpr::Mul(Box::new(a.substitute(map)), Box::new(b.substitute(map)))
+            }
+        }
+    }
+
     /// Evaluate the expression for every tuple of `block`. A reference to a
     /// column the block does not carry reports [`OlapError::MissingColumn`]
     /// (expression evaluation sees only the block, not the relation it was
@@ -229,6 +249,17 @@ impl AggExpr {
             AggExpr::Count => Vec::new(),
         }
     }
+
+    /// Apply [`ScalarExpr::substitute`] to the aggregate's input.
+    pub fn substitute(&self, map: &std::collections::BTreeMap<String, ScalarExpr>) -> AggExpr {
+        match self {
+            AggExpr::Sum(e) => AggExpr::Sum(e.substitute(map)),
+            AggExpr::Avg(e) => AggExpr::Avg(e.substitute(map)),
+            AggExpr::Min(e) => AggExpr::Min(e.substitute(map)),
+            AggExpr::Max(e) => AggExpr::Max(e.substitute(map)),
+            AggExpr::Count => AggExpr::Count,
+        }
+    }
 }
 
 /// Running state of one aggregate.
@@ -310,6 +341,23 @@ impl AggState {
     pub fn fold_max(&mut self, value: f64) {
         self.values += 1;
         self.max = self.max.max(value);
+    }
+
+    /// Weighted `SUM` fold: one joined probe row matching `w` build rows
+    /// contributes `value` `w` times. The multiplication stands in for `w`
+    /// repeated additions (`w == 1` is bitwise exact; larger weights agree
+    /// with repeated addition up to floating-point associativity, the same
+    /// tolerance the differential oracle already grants SUM/AVG).
+    #[inline(always)]
+    pub fn fold_sum_weighted(&mut self, value: f64, w: u64) {
+        self.sum += value * w as f64;
+    }
+
+    /// Weighted `AVG` fold: the divisor advances by the full multiplicity.
+    #[inline(always)]
+    pub fn fold_avg_weighted(&mut self, value: f64, w: u64) {
+        self.sum += value * w as f64;
+        self.count += w;
     }
 
     /// Merge another state into this one (partial aggregation across pipelines).

@@ -2,7 +2,12 @@
 //!
 //! Two flavours, both linear-probing with multiplicative hashing:
 //!
-//! * [`KeySet`] — an insert-only `i64` set, the join build sides. Replaces
+//! * [`JoinTable`] — the join build sides of the operator DAG: an
+//!   insert-only map from `i64` key to row multiplicity, making the
+//!   hash-probe operator a true inner join (duplicate build keys weight the
+//!   probe instead of collapsing into a set).
+//! * [`KeySet`] — an insert-only `i64` set, retained for the frozen
+//!   baseline's semijoin. Replaces
 //!   the `std::collections::HashSet` (SipHash, per-morsel rebuilds) the
 //!   interpreted engine used: one table per worker is reused across all the
 //!   morsels that worker claims, and the per-worker tables are unioned —
@@ -117,6 +122,142 @@ impl KeySet {
     pub fn union(&mut self, other: &KeySet) {
         for k in other.iter() {
             self.insert(k);
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_len = (self.slots.len() * 2).max(INITIAL_SLOTS);
+        self.slots.clear();
+        self.slots.resize(new_len, 0);
+        self.grow_at = grow_threshold(new_len);
+        let mask = new_len - 1;
+        for (i, &k) in self.keys.iter().enumerate() {
+            let mut slot = (hash_i64(k) as usize) & mask;
+            while self.slots[slot] != 0 {
+                slot = (slot + 1) & mask;
+            }
+            self.slots[slot] = (i + 1) as u32;
+        }
+    }
+}
+
+/// The multiplicity-preserving join build table: an open-addressing map from
+/// an `i64` join key to the number of build-side rows carrying that key.
+///
+/// This is what turns the engine's join from a key-set *semijoin* into a true
+/// inner join: the probe side multiplies each surviving row by the build
+/// key's weight instead of merely checking membership, so duplicate
+/// build-side keys contribute every matching tuple to the aggregate. When
+/// every key is unique ([`JoinTable::unique`]), weight lookups degenerate to
+/// membership tests and the executor keeps the exact semijoin-era fold path
+/// (bit-for-bit identical results and identical work accounting).
+///
+/// Chained builds compose multiplicities: a build pipeline that itself
+/// probes an earlier table inserts its key with the probed weight, so an
+/// N-way join's root probe sees the product of the downstream match counts.
+#[derive(Debug, Clone, Default)]
+pub struct JoinTable {
+    /// `0` = empty, otherwise `index + 1` into `keys`/`weights`.
+    slots: Vec<u32>,
+    keys: Vec<i64>,
+    weights: Vec<u64>,
+    /// Largest single-key weight inserted so far (1 on unique builds).
+    max_weight: u64,
+    /// Key count at which the slot array must grow.
+    grow_at: usize,
+}
+
+impl JoinTable {
+    /// An empty table (allocates its first slot array on first insert).
+    pub fn new() -> Self {
+        JoinTable::default()
+    }
+
+    /// Number of *distinct* keys inserted (hash-table entries, the figure
+    /// the cost model's `hash_table_bytes` charges).
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Whether every key has weight 1 — the semijoin-compatible case the
+    /// executor's fast fold path requires.
+    pub fn unique(&self) -> bool {
+        self.max_weight <= 1
+    }
+
+    /// Add `w` build rows of key `k` (`w` > 1 when the inserting pipeline
+    /// itself probed an earlier build).
+    pub fn add(&mut self, k: i64, w: u64) {
+        if w == 0 {
+            return;
+        }
+        if self.keys.len() >= self.grow_at {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut slot = (hash_i64(k) as usize) & mask;
+        loop {
+            let entry = self.slots[slot];
+            if entry == 0 {
+                self.keys.push(k);
+                self.weights.push(w);
+                self.max_weight = self.max_weight.max(w);
+                self.slots[slot] = self.keys.len() as u32;
+                return;
+            }
+            let idx = (entry - 1) as usize;
+            if self.keys[idx] == k {
+                self.weights[idx] += w;
+                self.max_weight = self.max_weight.max(self.weights[idx]);
+                return;
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// The weight of `k` (0 when absent).
+    #[inline]
+    pub fn weight(&self, k: i64) -> u64 {
+        self.weight_hashed(hash_i64(k), k)
+    }
+
+    /// [`JoinTable::weight`] with the key's hash precomputed (the batch-hash
+    /// probe path).
+    #[inline]
+    pub fn weight_hashed(&self, hash: u64, k: i64) -> u64 {
+        if self.slots.is_empty() {
+            return 0;
+        }
+        let mask = self.slots.len() - 1;
+        let mut slot = (hash as usize) & mask;
+        loop {
+            let entry = self.slots[slot];
+            if entry == 0 {
+                return 0;
+            }
+            let idx = (entry - 1) as usize;
+            if self.keys[idx] == k {
+                return self.weights[idx];
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// Iterate `(key, weight)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (i64, u64)> + '_ {
+        self.keys.iter().copied().zip(self.weights.iter().copied())
+    }
+
+    /// Sum another table's weights into this one (the per-worker build
+    /// merge; weight addition is order-insensitive, so determinism holds).
+    pub fn union(&mut self, other: &JoinTable) {
+        for (k, w) in other.iter() {
+            self.add(k, w);
         }
     }
 
@@ -531,6 +672,67 @@ mod tests {
         // merge replays zero-key groups through it).
         assert_eq!(t.upsert_prehashed(0, &[]), 0);
         assert_eq!(t.group_count(), 1);
+    }
+
+    #[test]
+    fn join_table_accumulates_duplicate_key_weights() {
+        let mut t = JoinTable::new();
+        assert!(t.is_empty() && t.unique());
+        t.add(5, 1);
+        assert!(t.unique());
+        t.add(5, 1);
+        t.add(-7, 1);
+        assert!(!t.unique(), "duplicate key 5 has weight 2");
+        assert_eq!(t.len(), 2, "distinct keys only");
+        assert_eq!(t.weight(5), 2);
+        assert_eq!(t.weight(-7), 1);
+        assert_eq!(t.weight(6), 0);
+        // Chained multiplicities compose additively per key.
+        t.add(5, 3);
+        assert_eq!(t.weight(5), 5);
+        // Zero-weight inserts are no-ops (a chained row that missed).
+        t.add(99, 0);
+        assert_eq!(t.weight(99), 0);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn join_table_union_sums_weights_and_survives_growth() {
+        let mut a = JoinTable::new();
+        let mut b = JoinTable::new();
+        for k in 0..5_000i64 {
+            a.add(k * 3, 1 + (k % 2) as u64);
+            b.add(k * 3, 2);
+        }
+        a.union(&b);
+        for k in 0..5_000i64 {
+            assert_eq!(a.weight(k * 3), 3 + (k % 2) as u64, "key {k}");
+        }
+        assert_eq!(a.len(), 5_000);
+        assert!(!a.unique());
+        // Prehashed probes agree with the hashing probe.
+        let probes: Vec<i64> = vec![0, 3, 1, i64::MIN, i64::MAX, 14_997];
+        let mut hashes = Vec::new();
+        crate::kernels::hash1_dense(&probes, &mut hashes);
+        for (&k, &h) in probes.iter().zip(&hashes) {
+            assert_eq!(a.weight_hashed(h, k), a.weight(k), "key {k}");
+        }
+        assert_eq!(JoinTable::new().weight_hashed(hash_i64(7), 7), 0);
+    }
+
+    #[test]
+    fn join_table_matches_key_set_on_unique_builds() {
+        let mut set = KeySet::new();
+        let mut tab = JoinTable::new();
+        for k in [i64::MIN, i64::MAX, 0, -1, 1 << 53, 42] {
+            set.insert(k);
+            tab.add(k, 1);
+        }
+        assert!(tab.unique());
+        assert_eq!(tab.len(), set.len());
+        for k in [i64::MIN, i64::MAX, 0, -1, 1 << 53, (1 << 53) + 1, 42, 43] {
+            assert_eq!(tab.weight(k) != 0, set.contains(k), "key {k}");
+        }
     }
 
     #[test]

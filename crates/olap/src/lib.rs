@@ -35,10 +35,21 @@
 //! * [`plan`] — the query plans the CH-benCHmark workload needs:
 //!   scan-filter-reduce, scan-filter-group-by, fact–dimension hash joins,
 //!   three-table chain joins ([`plan::BuildSide`]) and join-then-group-by
-//!   with optional top-k ([`plan::TopK`]).
-//! * [`reference`] — a naive row-at-a-time interpreter over the same plans,
-//!   the oracle of the differential test suite (`tests/differential_exec.rs`);
-//!   never used on the production query path.
+//!   with optional top-k ([`plan::TopK`]) — all of them convenience
+//!   constructors over [`plan::QueryPlan::Dag`].
+//! * [`dag`] — the composable operator DAG every plan is lowered onto:
+//!   scan/filter/project/hash-build/hash-probe/hash-aggregate plus the
+//!   having/sort/limit finishers, validated and flattened by
+//!   [`dag::DagPlan::decompose`]. The hash probe is a true
+//!   multiplicity-preserving inner join (duplicate build keys contribute
+//!   every matching tuple), which is what retired both the five bespoke
+//!   shape executors and the planner's PK-pinning workaround. See
+//!   ARCHITECTURE.md, "Composable operator DAG".
+//! * [`reference`] — a naive row-at-a-time interpreter over the same
+//!   decomposed DAGs, the oracle of the differential test suite
+//!   (`tests/differential_exec.rs`); shares plan lowering with the engine
+//!   but none of its evaluation machinery, and is never used on the
+//!   production query path.
 //! * [`exec`] — the morsel-driven parallel executor; besides results it
 //!   produces a [`exec::WorkProfile`] (bytes touched per socket, tuples
 //!   processed, join probes), accumulated per worker and summed, that the
@@ -57,6 +68,7 @@
 
 pub mod baseline;
 pub mod block;
+pub mod dag;
 pub mod engine;
 pub mod error;
 pub mod exec;
@@ -74,11 +86,12 @@ pub mod worker;
 
 pub use baseline::BaselineExecutor;
 pub use block::Block;
+pub use dag::{DagBuilder, DagOp, DagPlan, HavingPred, RowSlot, SortKey};
 pub use engine::{OlapEngine, OlapStore};
 pub use error::OlapError;
 pub use exec::{QueryExecutor, QueryOutput, QueryResult, WorkProfile};
 pub use expr::{AggExpr, CmpOp, Predicate, ScalarExpr};
-pub use hashtable::{GroupTable, KeySet};
+pub use hashtable::{GroupTable, JoinTable, KeySet};
 pub use morsel::{split_morsels, Morsel};
 pub use plan::{BuildSide, QueryPlan, TopK};
 pub use reference::execute_reference;

@@ -8,6 +8,7 @@
 //! freshness-rate metric only for the columns which will be accessed by every
 //! query").
 
+use crate::dag::DagPlan;
 use crate::expr::{AggExpr, Predicate, ScalarExpr};
 use std::collections::BTreeMap;
 
@@ -156,6 +157,13 @@ pub enum QueryPlan {
         /// Optional top-k ordering of the finalised groups.
         top_k: Option<TopK>,
     },
+    /// An explicit composable operator DAG (see [`crate::dag`]). The five
+    /// named shapes above are retained as convenient plan constructors for
+    /// the common CH patterns, but the executor lowers *every* plan —
+    /// including them — onto this representation, so there is exactly one
+    /// execution path. Plans only expressible as a DAG (HAVING, N-way chain
+    /// joins, sorted/limited output) use this variant directly.
+    Dag(DagPlan),
 }
 
 impl QueryPlan {
@@ -168,6 +176,7 @@ impl QueryPlan {
             QueryPlan::JoinAggregate { .. } => "join",
             QueryPlan::MultiJoinAggregate { .. } => "multi-join",
             QueryPlan::JoinGroupByAggregate { .. } => "join-group-by",
+            QueryPlan::Dag(_) => "dag",
         }
     }
 
@@ -182,6 +191,7 @@ impl QueryPlan {
                 vec![fact, &mid.table, &far.table]
             }
             QueryPlan::JoinGroupByAggregate { fact, dim, .. } => vec![fact, &dim.table],
+            QueryPlan::Dag(dag) => dag.tables(),
         }
     }
 
@@ -271,6 +281,7 @@ impl QueryPlan {
                 add(fact, fact_cols);
                 add(&dim.table, dim.columns());
             }
+            QueryPlan::Dag(dag) => return dag.accessed_columns(),
         }
         out
     }
@@ -320,6 +331,7 @@ impl QueryPlan {
                         + mid.filters.len()
                         + far.filters.len()) as f64
             }
+            QueryPlan::Dag(dag) => dag.cpu_ns_per_tuple(),
         }
     }
 }

@@ -1,29 +1,38 @@
 //! A naive, sequential, row-at-a-time reference executor — the differential
 //! testing oracle of the morsel-driven engine.
 //!
-//! The interpreter deliberately shares no evaluation machinery with
-//! [`crate::exec::QueryExecutor`]: scalar expressions are evaluated
-//! recursively per row (not vectorised per block), predicates are re-derived
-//! from [`CmpOp`] here, and aggregation uses its own accumulator instead of
-//! [`crate::expr::AggState`]. Two independent implementations agreeing on
-//! randomized plans is the correctness argument (the strategy HTAP engines
-//! like oxibase use: validate the optimised engine against a semantic
-//! oracle). It is used only by tests and the differential harness —
-//! production queries always run through the morsel engine.
+//! The oracle shares exactly one thing with [`crate::exec::QueryExecutor`]:
+//! plan lowering. Every plan is lowered onto the composable operator DAG and
+//! decomposed by [`crate::dag::DagPlan::decompose`], so both implementations
+//! agree on *what* to compute; everything about *how* is independent. Scalar
+//! expressions are evaluated recursively per row (not vectorised per block),
+//! predicates are re-derived from [`CmpOp`] here, aggregation uses its own
+//! accumulator instead of [`crate::expr::AggState`], and join multiplicities
+//! live in ordered `BTreeMap` weight maps instead of the engine's
+//! open-addressing [`crate::hashtable::JoinTable`]. A row matched by a
+//! duplicate-key build side is folded once per matching build tuple —
+//! literal repetition, where the engine scales by the multiplicity. Two
+//! independent implementations agreeing on randomized plans is the
+//! correctness argument (the strategy HTAP engines like oxibase use:
+//! validate the optimised engine against a semantic oracle). It is used only
+//! by tests and the differential harness — production queries always run
+//! through the morsel engine.
 //!
-//! Floating-point caveat: the oracle accumulates strictly in scan order while
-//! the engine merges per-morsel partial sums, so SUM/AVG results agree only
-//! up to floating-point associativity — differential tests compare them with
-//! a relative tolerance. COUNT, MIN, MAX and group keys are exact.
+//! Floating-point caveat: the oracle accumulates strictly in scan order
+//! (and folds weighted rows by repeated addition) while the engine merges
+//! per-morsel partial sums (and scales by the weight), so SUM/AVG results
+//! agree only up to floating-point associativity — differential tests
+//! compare them with a relative tolerance. COUNT, MIN, MAX and group keys
+//! are exact.
 
 use crate::block::Block;
+use crate::dag::{BuildSpec, DagPlan, DagSpec, Finisher, PipelineSpec, ProbeSpec, RowSlot};
 use crate::error::OlapError;
 use crate::exec::{GroupRow, QueryResult};
 use crate::expr::{AggExpr, CmpOp, Predicate, ScalarExpr};
-use crate::plan::{BuildSide, QueryPlan, TopK};
+use crate::plan::QueryPlan;
 use crate::source::ScanSource;
-// lint:allow(unordered-container): oracle join-key sets are membership-only, never iterated
-use std::collections::{BTreeMap, HashSet};
+use std::collections::BTreeMap;
 
 /// Row-at-a-time scalar evaluation (recursive, unvectorised).
 fn scalar_at(expr: &ScalarExpr, block: &Block, row: usize) -> f64 {
@@ -63,7 +72,19 @@ fn push_key_columns(expr: &ScalarExpr, numeric: &mut Vec<String>, keys: &mut Vec
     }
 }
 
-/// Row-at-a-time predicate evaluation, re-derived from the operator.
+/// Row-at-a-time comparison, re-derived from the operator.
+fn cmp_at(op: CmpOp, v: f64, literal: f64) -> bool {
+    match op {
+        CmpOp::Eq => v == literal,
+        CmpOp::Ne => v != literal,
+        CmpOp::Lt => v < literal,
+        CmpOp::Le => v <= literal,
+        CmpOp::Gt => v > literal,
+        CmpOp::Ge => v >= literal,
+    }
+}
+
+/// Row-at-a-time predicate evaluation.
 fn passes(filters: &[Predicate], block: &Block, row: usize) -> bool {
     filters.iter().all(|p| {
         let v = block
@@ -72,14 +93,7 @@ fn passes(filters: &[Predicate], block: &Block, row: usize) -> bool {
             .or_else(|| block.key(&p.column).map(|c| c[row] as f64))
             // lint:allow(no-panic): test oracle; a missing column is a harness bug, not a query error
             .unwrap_or_else(|| panic!("column {} not present in block", p.column));
-        match p.op {
-            CmpOp::Eq => v == p.literal,
-            CmpOp::Ne => v != p.literal,
-            CmpOp::Lt => v < p.literal,
-            CmpOp::Le => v <= p.literal,
-            CmpOp::Gt => v > p.literal,
-            CmpOp::Ge => v >= p.literal,
-        }
+        cmp_at(p.op, v, p.literal)
     })
 }
 
@@ -128,12 +142,17 @@ impl RefAcc {
     }
 }
 
-fn fold(accs: &mut [RefAcc], aggregates: &[AggExpr], block: &Block, row: usize) {
-    for (acc, agg) in accs.iter_mut().zip(aggregates) {
-        match agg {
-            AggExpr::Count => acc.add_count(),
-            AggExpr::Sum(e) | AggExpr::Avg(e) | AggExpr::Min(e) | AggExpr::Max(e) => {
-                acc.add(scalar_at(e, block, row));
+/// Fold one surviving row into every accumulator, `weight` times over — the
+/// literal semantics of a multiplicity-preserving inner join: the row joins
+/// `weight` build tuples, so it is aggregated `weight` times.
+fn fold(accs: &mut [RefAcc], aggregates: &[AggExpr], block: &Block, row: usize, weight: u64) {
+    for _ in 0..weight {
+        for (acc, agg) in accs.iter_mut().zip(aggregates) {
+            match agg {
+                AggExpr::Count => acc.add_count(),
+                AggExpr::Sum(e) | AggExpr::Avg(e) | AggExpr::Min(e) | AggExpr::Max(e) => {
+                    acc.add(scalar_at(e, block, row));
+                }
             }
         }
     }
@@ -178,85 +197,98 @@ fn agg_columns(aggregates: &[AggExpr]) -> Vec<String> {
     aggregates.iter().flat_map(AggExpr::columns).collect()
 }
 
-/// Build the key set of one [`BuildSide`], optionally chained through a
-/// foreign-key membership check against an earlier set.
-fn reference_build(
-    src: &ScanSource,
-    side: &BuildSide,
-    // lint:allow(unordered-container): membership set built and probed, never iterated
-    membership: Option<(&ScalarExpr, &HashSet<i64>)>,
-    // lint:allow(unordered-container): returned set is only probed with contains()
-) -> Result<HashSet<i64>, OlapError> {
-    let mut numeric = filter_columns(&side.filters);
-    let mut keys = Vec::new();
-    push_key_columns(&side.key, &mut numeric, &mut keys);
-    if let Some((fk, _)) = membership {
-        push_key_columns(fk, &mut numeric, &mut keys);
-    }
-    // lint:allow(unordered-container): order-insensitive key-set accumulation
-    let mut set = HashSet::new();
-    for block in load(src, &numeric, &keys)? {
-        for row in 0..block.rows() {
-            if !passes(&side.filters, &block, row) {
-                continue;
-            }
-            if let Some((fk, earlier)) = membership {
-                if !earlier.contains(&key_at(fk, &block, row)) {
-                    continue;
-                }
-            }
-            set.insert(key_at(&side.key, &block, row));
+/// The ordered weight map of one build: key → how many surviving build
+/// tuples carry it (itself weighted by the build pipeline's own probes, so
+/// chained builds multiply through).
+type WeightMap = BTreeMap<i64, u64>;
+
+/// The join multiplicity of one probe-side row: the product of the matched
+/// weights across the pipeline's probe chain, 0 as soon as any probe
+/// misses.
+fn probe_weight(probes: &[ProbeSpec], built: &[WeightMap], block: &Block, row: usize) -> u64 {
+    let mut w = 1u64;
+    for p in probes {
+        w *= built[p.build]
+            .get(&key_at(&p.key, block, row))
+            .copied()
+            .unwrap_or(0);
+        if w == 0 {
+            return 0;
         }
     }
-    Ok(set)
+    w
 }
 
-/// Scan a probe side, aggregating rows that pass `filters` and whose
-/// `key_of` value (if any) hits `build`.
+/// Run one build pipeline into its weight map.
+fn reference_build(
+    src: &ScanSource,
+    build: &BuildSpec,
+    built: &[WeightMap],
+) -> Result<WeightMap, OlapError> {
+    let mut numeric = filter_columns(&build.input.filters);
+    let mut keys = Vec::new();
+    push_key_columns(&build.key, &mut numeric, &mut keys);
+    for p in &build.input.probes {
+        push_key_columns(&p.key, &mut numeric, &mut keys);
+    }
+    let mut map = WeightMap::new();
+    for block in load(src, &numeric, &keys)? {
+        for row in 0..block.rows() {
+            if !passes(&build.input.filters, &block, row) {
+                continue;
+            }
+            let w = probe_weight(&build.input.probes, built, &block, row);
+            if w == 0 {
+                continue;
+            }
+            *map.entry(key_at(&build.key, &block, row)).or_insert(0) += w;
+        }
+    }
+    Ok(map)
+}
+
+/// Scan the root pipeline into scalar accumulators.
 fn reference_scalar_scan(
     src: &ScanSource,
-    filters: &[Predicate],
+    root: &PipelineSpec,
     aggregates: &[AggExpr],
-    // lint:allow(unordered-container): membership probe set, contains() only
-    probe: Option<(&ScalarExpr, &HashSet<i64>)>,
+    built: &[WeightMap],
 ) -> Result<Vec<f64>, OlapError> {
-    let mut numeric = filter_columns(filters);
+    let mut numeric = filter_columns(&root.filters);
     numeric.extend(agg_columns(aggregates));
     let mut keys = Vec::new();
-    if let Some((key, _)) = probe {
-        push_key_columns(key, &mut numeric, &mut keys);
+    for p in &root.probes {
+        push_key_columns(&p.key, &mut numeric, &mut keys);
     }
     let mut accs = vec![RefAcc::default(); aggregates.len()];
     for block in load(src, &numeric, &keys)? {
         for row in 0..block.rows() {
-            if !passes(filters, &block, row) {
+            if !passes(&root.filters, &block, row) {
                 continue;
             }
-            if let Some((key, build)) = probe {
-                if !build.contains(&key_at(key, &block, row)) {
-                    continue;
-                }
+            let w = probe_weight(&root.probes, built, &block, row);
+            if w == 0 {
+                continue;
             }
-            fold(&mut accs, aggregates, &block, row);
+            fold(&mut accs, aggregates, &block, row, w);
         }
     }
     Ok(finalize_all(&accs, aggregates))
 }
 
-/// Scan a probe side into groups keyed by `group_by` columns.
+/// Scan the root pipeline into groups keyed by `group_by` columns.
 fn reference_grouped_scan(
     src: &ScanSource,
-    filters: &[Predicate],
+    root: &PipelineSpec,
     group_by: &[String],
     aggregates: &[AggExpr],
-    // lint:allow(unordered-container): membership probe set, contains() only
-    probe: Option<(&ScalarExpr, &HashSet<i64>)>,
+    built: &[WeightMap],
 ) -> Result<Vec<GroupRow>, OlapError> {
-    let mut numeric = filter_columns(filters);
+    let mut numeric = filter_columns(&root.filters);
     numeric.extend(agg_columns(aggregates));
     let mut keys = group_by.to_vec();
-    if let Some((key, _)) = probe {
-        push_key_columns(key, &mut numeric, &mut keys);
+    for p in &root.probes {
+        push_key_columns(&p.key, &mut numeric, &mut keys);
     }
     let mut groups: BTreeMap<Vec<i64>, Vec<RefAcc>> = BTreeMap::new();
     for block in load(src, &numeric, &keys)? {
@@ -269,19 +301,18 @@ fn reference_grouped_scan(
             })
             .collect::<Result<_, _>>()?;
         for row in 0..block.rows() {
-            if !passes(filters, &block, row) {
+            if !passes(&root.filters, &block, row) {
                 continue;
             }
-            if let Some((key, build)) = probe {
-                if !build.contains(&key_at(key, &block, row)) {
-                    continue;
-                }
+            let w = probe_weight(&root.probes, built, &block, row);
+            if w == 0 {
+                continue;
             }
             let key: Vec<i64> = key_columns.iter().map(|col| col[row]).collect();
             let accs = groups
                 .entry(key)
                 .or_insert_with(|| vec![RefAcc::default(); aggregates.len()]);
-            fold(accs, aggregates, &block, row);
+            fold(accs, aggregates, &block, row, w);
         }
     }
     Ok(groups
@@ -290,128 +321,90 @@ fn reference_grouped_scan(
         .collect())
 }
 
-/// Apply a top-k over finalised groups: descending by the ordering aggregate,
-/// ties broken by ascending group key — the same deterministic rule the
-/// morsel engine implements.
-fn apply_top_k(mut rows: Vec<GroupRow>, tk: TopK) -> Vec<GroupRow> {
-    rows.sort_by(|a, b| {
-        b.1[tk.agg_index]
-            .total_cmp(&a.1[tk.agg_index])
-            .then_with(|| a.0.cmp(&b.0))
-    });
-    rows.truncate(tk.k);
-    rows
+/// One finalised-row slot, re-derived (group keys are exact integers far
+/// below 2^53).
+fn slot_at(row: &GroupRow, slot: RowSlot) -> f64 {
+    match slot {
+        RowSlot::Key(i) => row.0[i] as f64,
+        RowSlot::Agg(i) => row.1[i],
+    }
 }
 
-/// Execute `plan` with the naive row-at-a-time interpreter.
+/// Apply one finisher over finalised groups: HAVING retains, sorts are
+/// total with ties broken by ascending full group key — the same
+/// deterministic rule the morsel engine implements, re-derived here.
+fn apply_finisher(finisher: &Finisher, rows: &mut Vec<GroupRow>) {
+    match finisher {
+        Finisher::Having(preds) => rows.retain(|row| {
+            preds
+                .iter()
+                .all(|p| cmp_at(p.op, slot_at(row, p.slot), p.literal))
+        }),
+        Finisher::Sort(keys) => rows.sort_by(|a, b| {
+            for key in keys {
+                let (x, y) = (slot_at(a, key.slot), slot_at(b, key.slot));
+                let ord = if key.desc {
+                    y.total_cmp(&x)
+                } else {
+                    x.total_cmp(&y)
+                };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            a.0.cmp(&b.0)
+        }),
+        Finisher::Limit(n) => rows.truncate(*n),
+    }
+}
+
+/// Execute a decomposed DAG with the row-at-a-time interpreter.
+fn execute_spec(
+    spec: &DagSpec,
+    sources: &BTreeMap<String, ScanSource>,
+) -> Result<QueryResult, OlapError> {
+    let mut built: Vec<WeightMap> = Vec::with_capacity(spec.builds.len());
+    for build in &spec.builds {
+        let map = reference_build(source(sources, &build.input.table)?, build, &built)?;
+        built.push(map);
+    }
+    match &spec.group_by {
+        None => Ok(QueryResult::Scalars(reference_scalar_scan(
+            source(sources, &spec.root.table)?,
+            &spec.root,
+            &spec.aggregates,
+            &built,
+        )?)),
+        Some(group_by) => {
+            let mut rows = reference_grouped_scan(
+                source(sources, &spec.root.table)?,
+                &spec.root,
+                group_by,
+                &spec.aggregates,
+                &built,
+            )?;
+            for finisher in &spec.finishers {
+                apply_finisher(finisher, &mut rows);
+            }
+            Ok(QueryResult::Groups(rows))
+        }
+    }
+}
+
+/// Execute `plan` with the naive row-at-a-time interpreter. Lowering and
+/// decomposition are shared with the engine; execution is not.
 pub fn execute_reference(
     plan: &QueryPlan,
     sources: &BTreeMap<String, ScanSource>,
 ) -> Result<QueryResult, OlapError> {
-    match plan {
-        QueryPlan::Aggregate {
-            table,
-            filters,
-            aggregates,
-        } => Ok(QueryResult::Scalars(reference_scalar_scan(
-            source(sources, table)?,
-            filters,
-            aggregates,
-            None,
-        )?)),
-        QueryPlan::GroupByAggregate {
-            table,
-            filters,
-            group_by,
-            aggregates,
-        } => Ok(QueryResult::Groups(reference_grouped_scan(
-            source(sources, table)?,
-            filters,
-            group_by,
-            aggregates,
-            None,
-        )?)),
-        QueryPlan::JoinAggregate {
-            fact,
-            dim,
-            fact_key,
-            dim_key,
-            fact_filters,
-            dim_filters,
-            aggregates,
-        } => {
-            let build = reference_build(
-                source(sources, dim)?,
-                &BuildSide::new(
-                    dim.clone(),
-                    ScalarExpr::col(dim_key.clone()),
-                    dim_filters.clone(),
-                ),
-                None,
-            )?;
-            let key = ScalarExpr::col(fact_key.clone());
-            Ok(QueryResult::Scalars(reference_scalar_scan(
-                source(sources, fact)?,
-                fact_filters,
-                aggregates,
-                Some((&key, &build)),
-            )?))
-        }
-        QueryPlan::MultiJoinAggregate {
-            fact,
-            fact_key,
-            fact_filters,
-            mid,
-            mid_fk,
-            far,
-            aggregates,
-        } => {
-            let far_set = reference_build(source(sources, &far.table)?, far, None)?;
-            let mid_set =
-                reference_build(source(sources, &mid.table)?, mid, Some((mid_fk, &far_set)))?;
-            Ok(QueryResult::Scalars(reference_scalar_scan(
-                source(sources, fact)?,
-                fact_filters,
-                aggregates,
-                Some((fact_key, &mid_set)),
-            )?))
-        }
-        QueryPlan::JoinGroupByAggregate {
-            fact,
-            fact_key,
-            fact_filters,
-            dim,
-            group_by,
-            aggregates,
-            top_k,
-        } => {
-            if let Some(tk) = top_k {
-                if tk.agg_index >= aggregates.len() {
-                    return Err(OlapError::InvalidTopK {
-                        agg_index: tk.agg_index,
-                        aggregates: aggregates.len(),
-                    });
-                }
-            }
-            let build = reference_build(source(sources, &dim.table)?, dim, None)?;
-            let rows = reference_grouped_scan(
-                source(sources, fact)?,
-                fact_filters,
-                group_by,
-                aggregates,
-                Some((fact_key, &build)),
-            )?;
-            Ok(QueryResult::Groups(match top_k {
-                Some(tk) => apply_top_k(rows, *tk),
-                None => rows,
-            }))
-        }
-    }
+    let spec = DagPlan::lower(plan).decompose()?;
+    execute_spec(&spec, sources)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::expr::Predicate;
     use htap_sim::SocketId;
     use htap_storage::{ColumnDef, ColumnarTable, DataType, TableSchema, TableSnapshot, Value};
     use std::sync::Arc;
@@ -513,5 +506,21 @@ mod tests {
                 table: "nope".into()
             }
         );
+    }
+
+    #[test]
+    fn reference_folds_duplicate_build_keys_once_per_matching_tuple() {
+        // Self-join t with itself on g: the build side has 25 tuples per
+        // distinct g value, so every probe row joins 25 build tuples and
+        // COUNT sees 100 * 25 joined tuples.
+        let mut b = crate::dag::DagBuilder::default();
+        let dim = b.scan("t");
+        let build = b.build(dim, ScalarExpr::col("g"));
+        let probe_scan = b.scan("t");
+        let probed = b.probe(probe_scan, build, ScalarExpr::col("g"));
+        b.aggregate(probed, None, vec![AggExpr::Count]);
+        let plan = QueryPlan::Dag(b.finish());
+        let out = execute_reference(&plan, &sources()).unwrap();
+        assert_eq!(out.scalars().unwrap(), &[2500.0]);
     }
 }

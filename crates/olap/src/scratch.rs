@@ -182,6 +182,14 @@ pub(crate) struct ExecScratch<'env> {
     pub sel: Vec<u32>,
     /// Secondary selection vector (join-probe output).
     pub sel2: Vec<u32>,
+    /// Tertiary selection vector: probe chains ping-pong between `sel2` and
+    /// `sel3`, so an N-way join needs no per-morsel allocation.
+    pub sel3: Vec<u32>,
+    /// Join multiplicity per surviving row (parallel to the active probe
+    /// selection; empty while every probed build side is unique).
+    pub weights: Vec<u64>,
+    /// Ping-pong partner of `weights` for probe chains.
+    pub weights_b: Vec<u64>,
     /// Per-selected-row group indices (group-by assignment output).
     pub group_rows: Vec<u32>,
     /// Composite-key assembly buffer for > 2 group columns.
@@ -208,6 +216,9 @@ impl ExecScratch<'_> {
             regs: (0..n_regs).map(|_| Vec::new()).collect(),
             sel: Vec::new(),
             sel2: Vec::new(),
+            sel3: Vec::new(),
+            weights: Vec::new(),
+            weights_b: Vec::new(),
             group_rows: Vec::new(),
             key_tmp: Vec::new(),
             hashes: Vec::new(),

@@ -184,6 +184,42 @@ pub struct OrderItem {
     pub pos: usize,
 }
 
+/// The left side of one `HAVING` comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HavingLeft {
+    /// A grouping-key column.
+    Column {
+        /// Optional qualifying relation name.
+        table: Option<String>,
+        /// Column name.
+        name: String,
+        /// Byte offset.
+        pos: usize,
+    },
+    /// An aggregate that also appears in the `SELECT` list.
+    Aggregate {
+        /// The aggregate function.
+        func: AggFunc,
+        /// The argument expression (`None` for `COUNT(*)`).
+        arg: Option<Expr>,
+        /// Byte offset.
+        pos: usize,
+    },
+}
+
+/// One conjunct of the `HAVING` clause: `key-or-aggregate op literal`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HavingCond {
+    /// What the predicate reads.
+    pub left: HavingLeft,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Literal right-hand side.
+    pub value: f64,
+    /// Byte offset of the conjunct.
+    pub pos: usize,
+}
+
 /// A parsed `SELECT` statement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SelectStmt {
@@ -196,6 +232,8 @@ pub struct SelectStmt {
     pub conditions: Vec<Condition>,
     /// `GROUP BY` columns, in order.
     pub group_by: Vec<OrderKeyColumn>,
+    /// `HAVING` conjuncts, in text order.
+    pub having: Vec<HavingCond>,
     /// `ORDER BY` items, in order.
     pub order_by: Vec<OrderItem>,
     /// `LIMIT` value, if present.

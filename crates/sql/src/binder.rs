@@ -6,10 +6,12 @@
 //! and validates the clauses against what the engine can evaluate — all with
 //! typed [`SqlError`]s carrying positions, never panics.
 
-use crate::ast::{self, AggFunc, BinOp, Condition, Expr, OrderKey, SelectItem, SelectStmt};
+use crate::ast::{
+    self, AggFunc, BinOp, Condition, Expr, HavingLeft, OrderKey, SelectItem, SelectStmt,
+};
 use crate::catalog::Catalog;
 use crate::error::SqlError;
-use htap_olap::{AggExpr, CmpOp, Predicate, ScalarExpr};
+use htap_olap::{AggExpr, CmpOp, HavingPred, Predicate, RowSlot, ScalarExpr};
 use htap_storage::DataType;
 use std::collections::BTreeSet;
 
@@ -20,9 +22,10 @@ pub struct BoundTable {
     pub name: String,
     /// Estimated row count from the catalog (the planner's cost input).
     pub rows: u64,
-    /// The relation's primary-key column, if declared. The planner uses it
-    /// to pin the *build* side of a free join to a unique key, so the
-    /// probe-side choice cannot change a COUNT(*) answer.
+    /// The relation's primary-key column, if declared. Kept as catalog
+    /// metadata; the planner no longer needs it for join-order correctness —
+    /// the engine's hash probe preserves multiplicities, so the probe-side
+    /// choice is pure cost.
     pub pk: Option<String>,
     /// Byte offset of the `FROM` entry.
     pub pos: usize,
@@ -73,6 +76,8 @@ pub struct BoundQuery {
     pub agg_pos: Vec<usize>,
     /// Relations referenced by aggregate arguments.
     pub agg_tables: BTreeSet<usize>,
+    /// Bound `HAVING` conjuncts over the group rows, in text order.
+    pub having: Vec<HavingPred>,
     /// Resolved `ORDER BY` items with their positions.
     pub order_by: Vec<(BoundOrder, usize)>,
     /// `LIMIT` value and its position.
@@ -389,6 +394,52 @@ impl<'a> Binder<'a> {
             }
         }
 
+        // HAVING: each conjunct reads a grouping key or a SELECT-list
+        // aggregate, so it can run as a finisher over already-folded group
+        // rows without re-touching base data.
+        let mut having = Vec::new();
+        for cond in &self.stmt.having {
+            if group_by.is_empty() {
+                return Err(SqlError::Unsupported {
+                    what: "HAVING without GROUP BY (scalar aggregates have no rows to filter)"
+                        .into(),
+                    pos: cond.pos,
+                });
+            }
+            let slot = match &cond.left {
+                HavingLeft::Column { table, name, pos } => {
+                    let (idx, _) = self.resolve_column(table.as_deref(), name, *pos)?;
+                    let key = group_by
+                        .iter()
+                        .position(|k| k == name)
+                        .filter(|_| Some(idx) == group_table);
+                    let Some(key) = key else {
+                        return Err(SqlError::Unsupported {
+                            what: format!("HAVING on column {name:?} that is not a GROUP BY key"),
+                            pos: *pos,
+                        });
+                    };
+                    RowSlot::Key(key)
+                }
+                HavingLeft::Aggregate { func, arg, pos } => {
+                    let mut scratch = BTreeSet::new();
+                    let agg = self.bind_aggregate(*func, arg.as_ref(), *pos, &mut scratch)?;
+                    let Some(agg_index) = aggregates.iter().position(|a| *a == agg) else {
+                        return Err(SqlError::Unsupported {
+                            what: "HAVING on an aggregate that is not in the SELECT list".into(),
+                            pos: *pos,
+                        });
+                    };
+                    RowSlot::Agg(agg_index)
+                }
+            };
+            having.push(HavingPred {
+                slot,
+                op: lower_cmp(cond.op),
+                literal: cond.value,
+            });
+        }
+
         Ok(BoundQuery {
             tables: self.tables,
             filters,
@@ -399,6 +450,7 @@ impl<'a> Binder<'a> {
             aggregates,
             agg_pos,
             agg_tables,
+            having,
             order_by,
             limit: self.stmt.limit,
         })

@@ -67,7 +67,8 @@ pub enum SqlError {
         pos: usize,
     },
     /// Syntactically valid SQL the engine has no physical shape or evaluation
-    /// path for (outer joins, HAVING, four-way joins, ORDER BY on scalars...).
+    /// path for (outer joins, disjunctions, non-path join graphs, ORDER BY
+    /// on scalars...).
     Unsupported {
         /// Human-readable description of the unsupported construct.
         what: String,
@@ -90,6 +91,18 @@ impl SqlError {
             | SqlError::DuplicateTable { pos, .. }
             | SqlError::Unsupported { pos, .. } => *pos,
         }
+    }
+
+    /// The display column (character count) of [`pos`](Self::pos) within
+    /// `sql`, for drawing a caret under the offending token.
+    ///
+    /// [`pos`](Self::pos) is a *byte* offset; padding a caret line with that
+    /// many spaces drifts right past the real column whenever a multi-byte
+    /// UTF-8 character (say, inside a string literal) precedes the error.
+    /// Offsets past the end of `sql` clamp to its character count.
+    pub fn caret_column(&self, sql: &str) -> usize {
+        let pos = self.pos();
+        sql.char_indices().take_while(|&(i, _)| i < pos).count()
     }
 }
 
@@ -180,5 +193,22 @@ mod tests {
                 "{err} must mention offset {pos}"
             );
         }
+    }
+
+    #[test]
+    fn caret_column_counts_characters_not_bytes() {
+        // "SELECT 'héllo', " is 17 bytes ('é' is 2) but 16 characters; the
+        // caret for an error at the '#' must sit under column 16, not 17.
+        let sql = "SELECT 'h\u{e9}llo', #";
+        let pos = sql.find('#').unwrap();
+        let err = SqlError::UnexpectedChar { ch: '#', pos };
+        assert_eq!(pos, 17, "byte offset includes the 2-byte \u{e9}");
+        assert_eq!(err.caret_column(sql), 16);
+        // ASCII-only text: column equals the byte offset.
+        let ascii = SqlError::UnclosedString { pos: 5 };
+        assert_eq!(ascii.caret_column("ab 'x"), 5);
+        // Offsets at or past the end clamp to the character count.
+        let past = SqlError::UnclosedString { pos: 999 };
+        assert_eq!(past.caret_column(sql), sql.chars().count());
     }
 }

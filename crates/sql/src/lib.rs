@@ -9,16 +9,18 @@
 //! ```text
 //! SQL text ──lex──▶ tokens ──parse──▶ SelectStmt (AST)
 //!          ──bind(catalog)──▶ BoundQuery (resolved names, typed errors)
-//!          ──lower──▶ QueryPlan (one of the five physical shapes)
+//!          ──lower──▶ QueryPlan (a named shape or an explicit operator DAG)
 //! ```
 //!
 //! Supported grammar (see the "SQL frontend" section of ARCHITECTURE.md for
 //! the full table and the lowering rules): `SELECT` of grouping keys and
-//! `SUM`/`AVG`/`MIN`/`MAX`/`COUNT(*)` aggregates, `FROM` up to three
-//! relations with inner joins (comma list or `JOIN ... ON`), conjunctive
-//! `WHERE` predicates (`column op literal`, `+`/`-`/`*` arithmetic in join
-//! keys and aggregate arguments), `LIKE` on encoded columns, `GROUP BY`,
-//! `ORDER BY` and `LIMIT` (lowering to the engine's deterministic top-k).
+//! `SUM`/`AVG`/`MIN`/`MAX`/`COUNT(*)` aggregates, `FROM` any number of
+//! relations chained by inner joins (comma list or `JOIN ... ON`),
+//! conjunctive `WHERE` predicates (`column op literal`, `+`/`-`/`*`
+//! arithmetic in join keys and aggregate arguments), `LIKE` on encoded
+//! columns, `GROUP BY`, `HAVING` (key or `SELECT`-list aggregate vs a
+//! literal), `ORDER BY` and `LIMIT` (lowering to the engine's deterministic
+//! top-k).
 //!
 //! Everything outside the subset — and every unknown table/column, ambiguous
 //! name, unclosed string or malformed number — is a typed [`SqlError`] with
@@ -26,10 +28,11 @@
 //!
 //! The planner is *cost-aware*: the probe side of a join is pinned by where
 //! the aggregates and grouping keys live; a free (`COUNT(*)`-only) choice
-//! first pins the build to a unique primary-key side (so statistics can
-//! never change an answer) and only then lets the catalog's relation
-//! cardinalities decide — probe with the largest relation, build the hash
-//! set from the smallest (see [`planner`]).
+//! follows the catalog's relation cardinalities alone — probe the largest
+//! relation, build the hash table from the smallest. The choice is pure
+//! cost because the engine's hash probe preserves multiplicities (duplicate
+//! build keys contribute every matching tuple), so statistics can never
+//! change an answer (see [`planner`]).
 
 pub mod ast;
 pub mod binder;
@@ -58,10 +61,14 @@ pub fn plan(sql: &str, catalog: &Catalog) -> Result<QueryPlan, SqlError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use htap_olap::{AggExpr, BuildSide, CmpOp, Predicate, QueryPlan, ScalarExpr, TopK};
+    use htap_olap::{
+        AggExpr, BuildSide, CmpOp, DagOp, HavingPred, Predicate, QueryPlan, RowSlot, ScalarExpr,
+        TopK,
+    };
     use htap_storage::{ColumnDef, DataType, TableSchema};
 
-    /// fact(3000 rows) ⋈ mid(30) ⋈ far(12), plus an encoded LIKE on mid.
+    /// fact(3000 rows) ⋈ mid(30) ⋈ far(12) ⋈ deep(4), plus an encoded LIKE
+    /// on mid.
     fn catalog() -> Catalog {
         Catalog::new()
             .with_table(
@@ -96,10 +103,15 @@ mod tests {
                     vec![
                         ColumnDef::new("r_id", DataType::I64),
                         ColumnDef::new("r_v", DataType::F64),
+                        ColumnDef::new("r_deep", DataType::I64),
                     ],
                     Some(0),
                 ),
                 12,
+            )
+            .with_table(
+                TableSchema::new("deep", vec![ColumnDef::new("d_id", DataType::I64)], Some(0)),
+                4,
             )
             .with_like_rewrite(
                 "mid",
@@ -256,13 +268,10 @@ mod tests {
     }
 
     #[test]
-    fn count_only_join_probes_the_foreign_key_side() {
-        // Nothing in the SELECT list pins the fact side. `m_id` is mid's
-        // primary key, so mid is the unique build side and fact (the
-        // foreign-key side) probes — whatever order the relations are
-        // written in, and whatever the statistics say (the engine's join is
-        // a key-set semijoin: probing the FK side of an N:1 join preserves
-        // the SQL inner-join count).
+    fn count_only_join_probes_the_larger_side() {
+        // Nothing in the SELECT list pins the fact side, so cost decides:
+        // fact (3000 rows) probes, mid (30 rows) builds — whatever order
+        // the relations are written in.
         for sql in [
             "SELECT COUNT(*) FROM fact JOIN mid ON f_mid = m_id",
             "SELECT COUNT(*) FROM mid JOIN fact ON m_id = f_mid",
@@ -277,7 +286,7 @@ mod tests {
     }
 
     #[test]
-    fn pk_pin_beats_cardinality_but_cardinality_decides_free_joins() {
+    fn free_join_probe_side_is_pure_cost() {
         let schemas = |pk: Option<usize>, fact_rows: u64, mid_rows: u64| {
             Catalog::new()
                 .with_table(
@@ -307,12 +316,12 @@ mod tests {
             };
             fact
         };
-        // With mid keyed on m_id, inverting the row counts must NOT flip
-        // the probe side — statistics never change a COUNT(*) answer.
+        // The hash probe preserves multiplicities, so either probe order
+        // returns the same COUNT(*): the planner follows cost alone — probe
+        // the larger relation — and a declared primary key no longer pins
+        // the build side (the retired key-set semijoin needed that).
         assert_eq!(probe(&schemas(Some(0), 3_000, 30)), "fact");
-        assert_eq!(probe(&schemas(Some(0), 30, 3_000)), "fact");
-        // Without any primary keys neither side is semantically pinned:
-        // cost decides, probing the larger relation.
+        assert_eq!(probe(&schemas(Some(0), 30, 3_000)), "mid");
         assert_eq!(probe(&schemas(None, 3_000, 30)), "fact");
         assert_eq!(probe(&schemas(None, 30, 3_000)), "mid");
     }
@@ -357,8 +366,9 @@ mod tests {
         let QueryPlan::MultiJoinAggregate { fact, mid, far, .. } = &plan else {
             panic!("expected a chain join, got {plan:?}");
         };
-        // fact joins mid on a foreign key (f_mid vs mid's PK m_id), so the
-        // fact endpoint probes; mid stays the middle build.
+        // Cost chooses among the *endpoints* only (fact: 3000 vs far: 12),
+        // so the fact endpoint probes; mid stays the middle build no matter
+        // how large it is.
         assert_eq!(fact, "fact");
         assert_eq!(mid.table, "mid");
         assert_eq!(far.table, "far");
@@ -391,6 +401,154 @@ mod tests {
         assert_eq!(
             *fact_key,
             ScalarExpr::col("f_g") * ScalarExpr::lit(4.0) + ScalarExpr::col("f_id")
+        );
+    }
+
+    #[test]
+    fn having_lowers_to_a_dag_having_finisher() {
+        let plan = plan(
+            "SELECT f_g, COUNT(*) FROM fact GROUP BY f_g HAVING COUNT(*) > 10 AND f_g >= 2",
+            &catalog(),
+        )
+        .unwrap();
+        let QueryPlan::Dag(dag) = &plan else {
+            panic!("expected a DAG plan, got {plan:?}");
+        };
+        let having: Vec<_> = dag
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                DagOp::Having { predicates, .. } => Some(predicates.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            having,
+            vec![vec![
+                HavingPred {
+                    slot: RowSlot::Agg(0),
+                    op: CmpOp::Gt,
+                    literal: 10.0,
+                },
+                HavingPred {
+                    slot: RowSlot::Key(0),
+                    op: CmpOp::Ge,
+                    literal: 2.0,
+                },
+            ]]
+        );
+    }
+
+    #[test]
+    fn join_with_having_and_top_k_lowers_to_dag_finishers() {
+        let plan = plan(
+            "SELECT f_g, COUNT(*) FROM fact JOIN mid ON f_mid = m_id GROUP BY f_g \
+             HAVING COUNT(*) >= 3 ORDER BY COUNT(*) DESC LIMIT 2",
+            &catalog(),
+        )
+        .unwrap();
+        let QueryPlan::Dag(dag) = &plan else {
+            panic!("expected a DAG plan, got {plan:?}");
+        };
+        // Scans listed probe side first, then the build side.
+        assert_eq!(plan.tables(), ["fact", "mid"]);
+        // The finishers run in clause order: having → sort → limit.
+        let n = dag.ops.len();
+        assert!(matches!(&dag.ops[n - 3], DagOp::Having { predicates, .. }
+            if predicates.len() == 1));
+        assert!(matches!(&dag.ops[n - 2], DagOp::Sort { keys, .. }
+            if keys.len() == 1 && keys[0].desc && keys[0].slot == RowSlot::Agg(0)));
+        assert!(matches!(&dag.ops[n - 1], DagOp::Limit { rows: 2, .. }));
+    }
+
+    #[test]
+    fn having_binding_errors_are_typed() {
+        let c = catalog();
+        for (sql, needle) in [
+            (
+                "SELECT COUNT(*) FROM fact HAVING COUNT(*) > 1",
+                "HAVING without GROUP BY",
+            ),
+            (
+                "SELECT f_g, COUNT(*) FROM fact GROUP BY f_g HAVING f_a > 1",
+                "not a GROUP BY key",
+            ),
+            (
+                "SELECT f_g, COUNT(*) FROM fact GROUP BY f_g HAVING SUM(f_a) > 1",
+                "not in the SELECT list",
+            ),
+        ] {
+            let err = plan(sql, &c).unwrap_err();
+            match &err {
+                SqlError::Unsupported { what, .. } => {
+                    assert!(what.contains(needle), "{sql}: {what:?} lacks {needle:?}")
+                }
+                other => panic!("{sql}: expected Unsupported, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn four_relation_chains_lower_onto_an_operator_dag() {
+        // No named shape goes past three relations; the chain lowers onto an
+        // explicit DAG with a build/probe cascade from the far end inward.
+        let plan = plan(
+            "SELECT SUM(f_a), COUNT(*) FROM fact \
+             JOIN mid ON f_mid = m_id JOIN far ON m_far = r_id JOIN deep ON r_deep = d_id \
+             WHERE m_v >= 1",
+            &catalog(),
+        )
+        .unwrap();
+        let QueryPlan::Dag(dag) = &plan else {
+            panic!("expected a DAG plan, got {plan:?}");
+        };
+        // Probe side first, then the builds walking down the chain.
+        assert_eq!(plan.tables(), ["fact", "mid", "far", "deep"]);
+        let builds = dag
+            .ops
+            .iter()
+            .filter(|op| matches!(op, DagOp::HashBuild { .. }))
+            .count();
+        let probes = dag
+            .ops
+            .iter()
+            .filter(|op| matches!(op, DagOp::HashProbe { .. }))
+            .count();
+        assert_eq!((builds, probes), (3, 3));
+    }
+
+    #[test]
+    fn four_relation_chain_order_in_the_text_does_not_matter() {
+        // The graph, not the FROM order, determines the chain roles.
+        let a = plan(
+            "SELECT SUM(f_a) FROM deep, far, mid, fact \
+             WHERE r_deep = d_id AND m_far = r_id AND f_mid = m_id",
+            &catalog(),
+        )
+        .unwrap();
+        let b = plan(
+            "SELECT SUM(f_a) FROM fact \
+             JOIN mid ON f_mid = m_id JOIN far ON m_far = r_id JOIN deep ON r_deep = d_id",
+            &catalog(),
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn four_relation_non_chains_are_rejected() {
+        let c = catalog();
+        // Three conditions that do not touch `deep` at all: m_id is joined
+        // twice, so the graph is a multi-edge plus an isolated relation.
+        let err = plan(
+            "SELECT COUNT(*) FROM fact, mid, far, deep \
+             WHERE f_mid = m_id AND f_id = m_id AND m_far = r_id",
+            &c,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, SqlError::Unsupported { ref what, .. } if what.contains("chain")),
+            "expected a chain error, got {err:?}"
         );
     }
 

@@ -1,17 +1,18 @@
 //! Recursive-descent parser: tokens → [`SelectStmt`].
 //!
-//! The grammar is the `SELECT`/`FROM`/`WHERE`/`GROUP BY`/`ORDER BY`/`LIMIT`
-//! subset the engine can execute (see the supported-grammar table in
+//! The grammar is the `SELECT`/`FROM`/`WHERE`/`GROUP BY`/`HAVING`/`ORDER BY`/
+//! `LIMIT` subset the engine can execute (see the supported-grammar table in
 //! ARCHITECTURE.md): inner joins written as a comma list or `JOIN ... ON`,
 //! conjunctive (`AND`) predicates, `+`/`-`/`*` arithmetic, `LIKE` on encoded
-//! columns and the `SUM`/`AVG`/`MIN`/`MAX`/`COUNT(*)` aggregates.
-//! Recognisable constructs outside the subset (`OR`, outer joins, `HAVING`,
+//! columns, the `SUM`/`AVG`/`MIN`/`MAX`/`COUNT(*)` aggregates and `HAVING`
+//! conjuncts comparing a grouping key or a `SELECT`-list aggregate against a
+//! literal. Recognisable constructs outside the subset (`OR`, outer joins,
 //! `DISTINCT`, subqueries...) are rejected with a typed
 //! [`SqlError::Unsupported`] rather than a generic syntax error.
 
 use crate::ast::{
-    AggFunc, BinOp, CmpOp, Condition, Expr, OrderItem, OrderKey, OrderKeyColumn, SelectItem,
-    SelectStmt, TableRef,
+    AggFunc, BinOp, CmpOp, Condition, Expr, HavingCond, HavingLeft, OrderItem, OrderKey,
+    OrderKeyColumn, SelectItem, SelectStmt, TableRef,
 };
 use crate::error::SqlError;
 use crate::lexer::{lex, Tok, Token};
@@ -215,11 +216,21 @@ impl Parser {
                 }
             }
         }
-        if self.at_keyword("HAVING") {
-            return Err(SqlError::Unsupported {
-                what: "HAVING".into(),
-                pos: self.pos(),
-            });
+        let mut having = Vec::new();
+        if self.eat_keyword("HAVING") {
+            having.push(self.having_cond()?);
+            loop {
+                if self.eat_keyword("AND") {
+                    having.push(self.having_cond()?);
+                } else if self.at_keyword("OR") {
+                    return Err(SqlError::Unsupported {
+                        what: "OR disjunctions (predicates are conjunctive)".into(),
+                        pos: self.pos(),
+                    });
+                } else {
+                    break;
+                }
+            }
         }
         let mut order_by = Vec::new();
         if self.eat_keyword("ORDER") {
@@ -266,8 +277,71 @@ impl Parser {
             from,
             conditions,
             group_by,
+            having,
             order_by,
             limit,
+        })
+    }
+
+    /// One `HAVING` conjunct: `(grouping column | aggregate) op literal`.
+    /// The left side mirrors [`OrderKey`]; the right side must be a numeric
+    /// literal so the finisher can run over already-folded group rows.
+    fn having_cond(&mut self) -> Result<HavingCond, SqlError> {
+        let pos = self.pos();
+        let left = if let Some((func, fpos)) = self.peek_agg_func() {
+            self.idx += 2; // function name + '('
+            let arg = self.agg_arg(func, fpos)?;
+            self.expect_tok(&Tok::RParen, "')'")?;
+            HavingLeft::Aggregate {
+                func,
+                arg,
+                pos: fpos,
+            }
+        } else {
+            let (table, name, cpos) = self.column_ref("a HAVING column or aggregate")?;
+            HavingLeft::Column {
+                table,
+                name,
+                pos: cpos,
+            }
+        };
+        let op = match self.peek().map(|t| &t.tok) {
+            Some(Tok::Eq) => CmpOp::Eq,
+            Some(Tok::Ne) => CmpOp::Ne,
+            Some(Tok::Lt) => CmpOp::Lt,
+            Some(Tok::Le) => CmpOp::Le,
+            Some(Tok::Gt) => CmpOp::Gt,
+            Some(Tok::Ge) => CmpOp::Ge,
+            _ => return Err(self.unexpected("a comparison operator")),
+        };
+        self.idx += 1;
+        let value = match self.peek().map(|t| t.tok.clone()) {
+            Some(Tok::Number(v)) => {
+                self.idx += 1;
+                v
+            }
+            Some(Tok::Minus) => {
+                self.idx += 1;
+                match self.peek().map(|t| t.tok.clone()) {
+                    Some(Tok::Number(v)) => {
+                        self.idx += 1;
+                        -v
+                    }
+                    _ => return Err(self.unexpected("a numeric literal after HAVING comparison")),
+                }
+            }
+            _ => {
+                return Err(SqlError::Unsupported {
+                    what: "HAVING against a non-literal right-hand side".into(),
+                    pos: self.pos(),
+                })
+            }
+        };
+        Ok(HavingCond {
+            left,
+            op,
+            value,
+            pos,
         })
     }
 
@@ -688,8 +762,12 @@ mod tests {
             ("SELECT COUNT(*) FROM t WHERE a = 1 OR b = 2", "OR"),
             ("SELECT COUNT(*) FROM a LEFT JOIN b ON x = y", "inner joins"),
             (
-                "SELECT COUNT(*) FROM t GROUP BY g HAVING COUNT(*) > 1",
-                "HAVING",
+                "SELECT COUNT(*) FROM t GROUP BY g HAVING COUNT(*) > 1 OR g = 2",
+                "OR",
+            ),
+            (
+                "SELECT COUNT(*) FROM t GROUP BY g HAVING COUNT(*) > g",
+                "non-literal",
             ),
             ("SELECT COUNT(*) FROM t AS u", "alias"),
             ("SELECT COUNT(*) FROM t u", "alias"),
@@ -742,6 +820,40 @@ mod tests {
             panic!("expected comparison");
         };
         assert!(matches!(rhs, Expr::Number { value, .. } if *value == -1.5));
+    }
+
+    #[test]
+    fn having_conjuncts_parse_as_key_or_aggregate_vs_literal() {
+        let stmt = parse(
+            "SELECT g, COUNT(*) FROM t GROUP BY g \
+             HAVING COUNT(*) > 2 AND g <= -1.5 ORDER BY g",
+        )
+        .unwrap();
+        assert_eq!(stmt.having.len(), 2);
+        assert_eq!(
+            stmt.having[0],
+            HavingCond {
+                left: HavingLeft::Aggregate {
+                    func: AggFunc::Count,
+                    arg: None,
+                    pos: 44,
+                },
+                op: CmpOp::Gt,
+                value: 2.0,
+                pos: 44,
+            }
+        );
+        let HavingCond {
+            left: HavingLeft::Column { name, .. },
+            op: CmpOp::Le,
+            value,
+            ..
+        } = &stmt.having[1]
+        else {
+            panic!("expected key conjunct: {:?}", stmt.having[1]);
+        };
+        assert_eq!(name, "g");
+        assert_eq!(*value, -1.5);
     }
 
     #[test]

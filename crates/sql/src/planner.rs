@@ -1,35 +1,40 @@
 //! The planner: bound logical query → physical [`QueryPlan`].
 //!
-//! The engine executes five physical shapes (see `crates/olap/src/plan.rs`);
-//! lowering picks one and decides the join order:
+//! Every plan executes as an operator DAG (see `crates/olap/src/dag.rs`);
+//! lowering picks the named convenience shape that matches the query when one
+//! exists, and otherwise emits a [`QueryPlan::Dag`] directly:
 //!
-//! | bound query | physical shape |
+//! | bound query | lowering |
 //! |---|---|
 //! | 1 relation, no `GROUP BY` | [`QueryPlan::Aggregate`] |
 //! | 1 relation, `GROUP BY` | [`QueryPlan::GroupByAggregate`] |
 //! | 2 relations, plain column keys, no `GROUP BY` | [`QueryPlan::JoinAggregate`] |
 //! | 2 relations, `GROUP BY` (or computed keys) | [`QueryPlan::JoinGroupByAggregate`] |
 //! | 3 relations in a chain, no `GROUP BY` | [`QueryPlan::MultiJoinAggregate`] |
+//! | `HAVING`, or ≥4 relations in a chain | [`QueryPlan::Dag`] |
 //!
 //! **Join order.** The probe (fact) side must be the relation the aggregates
 //! and grouping keys read — the engine folds fact columns only. When that
-//! constraint does not pin a side (`COUNT(*)`-only queries), semantics come
-//! before cost: a side joining on its unique primary key becomes the *build*
-//! side (the engine's join is a key-set semijoin, so probing the foreign-key
-//! side of an N:1 join preserves the SQL inner-join count — no statistic may
-//! change an answer). Only among the remaining equivalent orders do the
-//! catalog cardinalities decide: probe the largest relation, build the hash
-//! set from the smallest — the classic broadcast-join cost argument.
-//! Three-way joins probe an *endpoint* of the chain fact → mid → far (the
+//! constraint does not pin a side (`COUNT(*)`-only queries), the catalog
+//! cardinalities decide: probe the largest relation, build the hash table
+//! from the smallest — the classic broadcast-join cost argument. The choice
+//! is *pure cost*: the DAG's hash probe preserves multiplicities (duplicate
+//! build keys contribute every matching tuple), so either probe side returns
+//! the same inner-join answer and no statistic can change a result. (The
+//! retired key-set semijoin needed the planner to pin unique primary keys to
+//! the build side; that workaround is gone with it.)
+//! Chain joins probe an *endpoint* of the path fact → mid → ... → far (the
 //! graph, not the text order, determines the roles).
 //!
 //! `ORDER BY aggregate DESC LIMIT k` lowers to the join-group-by shape's
-//! [`TopK`]; `ORDER BY` on grouping keys is validated and then dropped — the
-//! engine already emits groups in ascending key order.
+//! [`TopK`] (or to sort/limit finishers on the DAG path); `ORDER BY` on
+//! grouping keys is validated and then dropped — the engine already emits
+//! groups in ascending key order. `HAVING` conjuncts become a having
+//! finisher over the folded group rows.
 
 use crate::binder::{BoundOrder, BoundQuery};
 use crate::error::SqlError;
-use htap_olap::{BuildSide, QueryPlan, ScalarExpr, TopK};
+use htap_olap::{BuildSide, DagBuilder, DagOp, QueryPlan, RowSlot, ScalarExpr, SortKey, TopK};
 
 /// Lower a bound query onto a physical plan.
 pub fn lower(bound: &BoundQuery) -> Result<QueryPlan, SqlError> {
@@ -37,10 +42,7 @@ pub fn lower(bound: &BoundQuery) -> Result<QueryPlan, SqlError> {
         1 => lower_single(bound),
         2 => lower_join(bound),
         3 => lower_chain(bound),
-        n => Err(SqlError::Unsupported {
-            what: format!("a {n}-relation join (at most three relations)"),
-            pos: bound.tables[3].pos,
-        }),
+        _ => lower_chain_dag(bound),
     }
 }
 
@@ -94,7 +96,7 @@ fn reject_top_k(bound: &BoundQuery, shape: &str) -> Result<(), SqlError> {
 /// The fact (probe-side) relation when the query pins one: the relation the
 /// grouping keys come from, else the single relation the aggregate inputs
 /// read. `None` means the choice is free (`COUNT(*)`-only) — the caller
-/// decides, first by join-key uniqueness, then by cardinality.
+/// decides by cardinality alone.
 fn pinned_fact(bound: &BoundQuery) -> Result<Option<usize>, SqlError> {
     if let Some(t) = bound.group_table {
         if let Some(&other) = bound.agg_tables.iter().find(|&&a| a != t) {
@@ -120,39 +122,49 @@ fn pinned_fact(bound: &BoundQuery) -> Result<Option<usize>, SqlError> {
     }
 }
 
-/// Whether `key` is exactly relation `idx`'s declared primary-key column —
-/// i.e. building a hash set from this side loses nothing (unique keys).
-fn key_is_pk(bound: &BoundQuery, idx: usize, key: &ScalarExpr) -> bool {
-    matches!((key, &bound.tables[idx].pk), (ScalarExpr::Col(name), Some(pk)) if name == pk)
+/// Pick the probe side of a free (`COUNT(*)`-only) two-sided join: probe the
+/// larger relation, build the hash table from the smaller.
+///
+/// This is a *pure cost* choice. The hash probe preserves multiplicities
+/// (duplicate build keys contribute every matching tuple), so both probe
+/// orders return the same inner-join answer — a catalog statistic can only
+/// change the plan's cost, never a result.
+fn free_probe_side(bound: &BoundQuery, a: usize, b: usize) -> usize {
+    if bound.tables[a].rows >= bound.tables[b].rows {
+        a
+    } else {
+        b
+    }
 }
 
-/// Pick the probe side of a free (`COUNT(*)`-only) two-sided join.
-///
-/// Semantics first: the engine's join is a key-*set* semijoin, so when
-/// exactly one side joins on its unique primary key, that side must be the
-/// *build* side — probing the other (foreign-key) side then counts exactly
-/// the SQL inner-join rows, and no catalog statistic can change the answer.
-/// Only when both sides are unique (1:1, either order is equivalent) or
-/// neither is (semijoin either way, documented) does cost decide: probe the
-/// larger relation, build from the smaller.
-fn free_probe_side(
+/// Append the having / sort / limit finishers to a DAG under construction
+/// and return the new sink operator.
+fn push_finishers(
+    builder: &mut DagBuilder,
+    mut at: usize,
     bound: &BoundQuery,
-    a: usize,
-    a_key: &ScalarExpr,
-    b: usize,
-    b_key: &ScalarExpr,
+    top_k: Option<TopK>,
 ) -> usize {
-    match (key_is_pk(bound, a, a_key), key_is_pk(bound, b, b_key)) {
-        (true, false) => b,
-        (false, true) => a,
-        _ => {
-            if bound.tables[a].rows >= bound.tables[b].rows {
-                a
-            } else {
-                b
-            }
-        }
+    if !bound.having.is_empty() {
+        at = builder.push(DagOp::Having {
+            input: at,
+            predicates: bound.having.clone(),
+        });
     }
+    if let Some(tk) = top_k {
+        at = builder.push(DagOp::Sort {
+            input: at,
+            keys: vec![SortKey {
+                slot: RowSlot::Agg(tk.agg_index),
+                desc: true,
+            }],
+        });
+        at = builder.push(DagOp::Limit {
+            input: at,
+            rows: tk.k,
+        });
+    }
+    at
 }
 
 fn lower_single(bound: &BoundQuery) -> Result<QueryPlan, SqlError> {
@@ -175,6 +187,18 @@ fn lower_single(bound: &BoundQuery) -> Result<QueryPlan, SqlError> {
         })
     } else {
         reject_top_k(bound, "a single-relation GROUP BY")?;
+        if !bound.having.is_empty() {
+            let mut builder = DagBuilder::default();
+            let scan = builder.scan(table);
+            let filtered = builder.filter(scan, &filters);
+            let agg = builder.aggregate(
+                filtered,
+                Some(bound.group_by.clone()),
+                bound.aggregates.clone(),
+            );
+            push_finishers(&mut builder, agg, bound, None);
+            return Ok(QueryPlan::Dag(builder.finish()));
+        }
         Ok(QueryPlan::GroupByAggregate {
             table,
             filters,
@@ -202,13 +226,7 @@ fn lower_join(bound: &BoundQuery) -> Result<QueryPlan, SqlError> {
     };
     let fact = match pinned_fact(bound)? {
         Some(f) => f,
-        None => free_probe_side(
-            bound,
-            join.left,
-            &join.left_key,
-            join.right,
-            &join.right_key,
-        ),
+        None => free_probe_side(bound, join.left, join.right),
     };
     let dim = 1 - fact;
     let (fact_key, dim_key) = if join.left == fact {
@@ -236,6 +254,22 @@ fn lower_join(bound: &BoundQuery) -> Result<QueryPlan, SqlError> {
         reject_top_k(bound, "a scalar join aggregate")?;
     }
     let top_k = top_k(bound)?;
+    if !bound.having.is_empty() {
+        // HAVING has no slot in the named shape — lower the whole query onto
+        // an explicit DAG: build from the dim, probe from the fact, fold,
+        // then run the having / top-k finishers over the group rows.
+        let mut builder = DagBuilder::default();
+        let dim_scan = builder.scan(bound.tables[dim].name.clone());
+        let dim_filtered = builder.filter(dim_scan, &bound.filters[dim]);
+        let build = builder.build(dim_filtered, dim_key);
+        let fact_scan = builder.scan(bound.tables[fact].name.clone());
+        let fact_filtered = builder.filter(fact_scan, &bound.filters[fact]);
+        let probed = builder.probe(fact_filtered, build, fact_key);
+        let group_by = (!bound.group_by.is_empty()).then(|| bound.group_by.clone());
+        let agg = builder.aggregate(probed, group_by, bound.aggregates.clone());
+        push_finishers(&mut builder, agg, bound, top_k);
+        return Ok(QueryPlan::Dag(builder.finish()));
+    }
     Ok(QueryPlan::JoinGroupByAggregate {
         fact: bound.tables[fact].name.clone(),
         fact_key,
@@ -291,23 +325,6 @@ fn lower_chain(bound: &BoundQuery) -> Result<QueryPlan, SqlError> {
             pos: bound.joins[1].pos,
         });
     }
-    /// The join-key expression relation `idx` contributes to its (single)
-    /// join condition. Only meaningful for endpoints.
-    fn endpoint_key(bound: &BoundQuery, idx: usize) -> &ScalarExpr {
-        let join = bound
-            .joins
-            .iter()
-            .find(|j| j.left == idx || j.right == idx)
-            // Callers only pass indices drawn from `endpoints`, built above as
-            // exactly the relations with appearances == 1.
-            // lint:allow(no-panic): every endpoint appears in exactly one join condition
-            .expect("endpoint appears in one join");
-        if join.left == idx {
-            &join.left_key
-        } else {
-            &join.right_key
-        }
-    }
     let fact = match pinned_fact(bound)? {
         Some(f) => {
             if appearances[f] != 1 {
@@ -322,13 +339,7 @@ fn lower_chain(bound: &BoundQuery) -> Result<QueryPlan, SqlError> {
             }
             f
         }
-        None => free_probe_side(
-            bound,
-            endpoints[0],
-            endpoint_key(bound, endpoints[0]),
-            endpoints[1],
-            endpoint_key(bound, endpoints[1]),
-        ),
+        None => free_probe_side(bound, endpoints[0], endpoints[1]),
     };
 
     // The chain fact → mid → far: the fact appears in exactly one condition.
@@ -377,4 +388,135 @@ fn lower_chain(bound: &BoundQuery) -> Result<QueryPlan, SqlError> {
         ),
         aggregates: bound.aggregates.clone(),
     })
+}
+
+/// Lower a join over four or more relations. There is no named shape at this
+/// width; the relations must chain into a path, which lowers directly onto a
+/// [`QueryPlan::Dag`]: the far end builds first, every interior relation
+/// probes the build beyond it and builds for the relation before it, and the
+/// fact (a path endpoint, like the three-relation shape) probes the whole
+/// cascade. Join weights multiply across the hops, so duplicate keys on any
+/// build side still contribute every matching tuple.
+fn lower_chain_dag(bound: &BoundQuery) -> Result<QueryPlan, SqlError> {
+    let n = bound.tables.len();
+    if bound.joins.len() != n - 1 {
+        return Err(SqlError::Unsupported {
+            what: format!(
+                "{} join condition(s) over {n} relations (a chain needs exactly {})",
+                bound.joins.len(),
+                n - 1
+            ),
+            pos: bound
+                .joins
+                .last()
+                .map_or(bound.tables[n - 1].pos, |j| j.pos),
+        });
+    }
+    let appearances: Vec<usize> = (0..n)
+        .map(|i| {
+            bound
+                .joins
+                .iter()
+                .filter(|j| j.left == i || j.right == i)
+                .count()
+        })
+        .collect();
+    let endpoints: Vec<usize> = (0..n).filter(|&i| appearances[i] == 1).collect();
+    if endpoints.len() != 2 || appearances.iter().any(|&c| c > 2) {
+        return Err(SqlError::Unsupported {
+            what: format!("join conditions that do not chain the {n} relations into a path"),
+            pos: bound.joins[bound.joins.len() - 1].pos,
+        });
+    }
+    let fact = match pinned_fact(bound)? {
+        Some(f) => {
+            if appearances[f] != 1 {
+                return Err(SqlError::Unsupported {
+                    what: format!(
+                        "aggregates over the middle relation {} of the join chain (the probe \
+                         side must be a chain endpoint)",
+                        bound.tables[f].name
+                    ),
+                    pos: bound.agg_pos.first().copied().unwrap_or(bound.group_pos),
+                });
+            }
+            f
+        }
+        None => free_probe_side(bound, endpoints[0], endpoints[1]),
+    };
+    let top_k = if bound.group_by.is_empty() {
+        reject_top_k(bound, "a scalar chain aggregate")?;
+        None
+    } else {
+        top_k(bound)?
+    };
+
+    // Walk the path from the fact, recording the visit order and, per hop,
+    // the (near-side, far-side) key pair.
+    let mut order = vec![fact];
+    let mut hops: Vec<(ScalarExpr, ScalarExpr)> = Vec::new();
+    let mut used = vec![false; bound.joins.len()];
+    while order.len() < n {
+        let end = order[order.len() - 1];
+        let next_join = (0..bound.joins.len())
+            .find(|&j| !used[j] && (bound.joins[j].left == end || bound.joins[j].right == end));
+        let Some(j) = next_join else {
+            // Degree constraints hold but the graph still splits (e.g. a
+            // two-relation path plus a disjoint cycle of the rest).
+            let pos = bound
+                .joins
+                .iter()
+                .zip(&used)
+                .find(|(_, &u)| !u)
+                .map_or(bound.tables[0].pos, |(join, _)| join.pos);
+            return Err(SqlError::Unsupported {
+                what: "a disconnected join graph (the conditions must chain every relation)".into(),
+                pos,
+            });
+        };
+        used[j] = true;
+        let join = &bound.joins[j];
+        let (next, near_key, far_key) = if join.left == end {
+            (join.right, join.left_key.clone(), join.right_key.clone())
+        } else {
+            (join.left, join.right_key.clone(), join.left_key.clone())
+        };
+        if order.contains(&next) {
+            return Err(SqlError::Unsupported {
+                what: "a cyclic join graph".into(),
+                pos: join.pos,
+            });
+        }
+        order.push(next);
+        hops.push((near_key, far_key));
+    }
+
+    // Far end first: order[i] probes order[i+1]'s build with hops[i]'s near
+    // key and builds for order[i-1] keyed on hops[i-1]'s far key.
+    let mut builder = DagBuilder::default();
+    let mut prev_build: Option<usize> = None;
+    for i in (1..n).rev() {
+        let rel = order[i];
+        let scan = builder.scan(bound.tables[rel].name.clone());
+        let mut pipe = builder.filter(scan, &bound.filters[rel]);
+        if let Some(beyond) = prev_build {
+            pipe = builder.probe(pipe, beyond, hops[i].0.clone());
+        }
+        prev_build = Some(builder.build(pipe, hops[i - 1].1.clone()));
+    }
+    let Some(first_build) = prev_build else {
+        // Unreachable for n >= 4 (the loop above always runs); typed error
+        // rather than a query-path panic.
+        return Err(SqlError::Unsupported {
+            what: "an empty join chain".into(),
+            pos: bound.tables[0].pos,
+        });
+    };
+    let scan = builder.scan(bound.tables[fact].name.clone());
+    let filtered = builder.filter(scan, &bound.filters[fact]);
+    let probed = builder.probe(filtered, first_build, hops[0].0.clone());
+    let group_by = (!bound.group_by.is_empty()).then(|| bound.group_by.clone());
+    let agg = builder.aggregate(probed, group_by, bound.aggregates.clone());
+    push_finishers(&mut builder, agg, bound, top_k);
+    Ok(QueryPlan::Dag(builder.finish()))
 }

@@ -80,9 +80,11 @@ fn run_query(system: &HtapSystem, sql: &str) {
     let plan = match system.plan_sql(sql) {
         Ok(plan) => plan,
         Err(e) => {
-            // Point at the offending token.
+            // Point at the offending token. `pos()` is a byte offset;
+            // `caret_column` converts it to a character column so multi-byte
+            // UTF-8 earlier in the line does not push the caret right.
             println!("  {sql}");
-            println!("  {}^", " ".repeat(e.pos().min(sql.len())));
+            println!("  {}^", " ".repeat(e.caret_column(sql)));
             println!("error: {e}\n");
             return;
         }

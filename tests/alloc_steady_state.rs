@@ -22,7 +22,7 @@
 //! count.
 
 use adaptive_htap::olap::{
-    AggExpr, CmpOp, Predicate, QueryExecutor, QueryPlan, ScalarExpr, ScanSource,
+    AggExpr, BuildSide, CmpOp, Predicate, QueryExecutor, QueryPlan, ScalarExpr, ScanSource,
 };
 use adaptive_htap::sim::SocketId;
 use adaptive_htap::storage::{
@@ -103,6 +103,33 @@ fn orderline_sources(n: u64) -> BTreeMap<String, ScanSource> {
     m
 }
 
+/// `orderline` plus an `item` build side whose join column `i_ref` repeats
+/// (21 rows over 7 values, multiplicity 3): probing it takes the engine's
+/// *weighted* (multiplicity-tracking) path rather than the exact unique-key
+/// path.
+fn join_sources(n: u64) -> BTreeMap<String, ScanSource> {
+    let mut m = orderline_sources(n);
+    let schema = TableSchema::new(
+        "item",
+        vec![
+            ColumnDef::new("i_id", DataType::I64),
+            ColumnDef::new("i_ref", DataType::I64),
+        ],
+        Some(0),
+    );
+    let t = ColumnarTable::new(schema);
+    for i in 0..21u64 {
+        t.append_row(&[Value::I64(i as i64), Value::I64((i % 7) as i64)])
+            .unwrap();
+    }
+    let snap = TableSnapshot::new("item".into(), Arc::new(t), 21, 0);
+    m.insert(
+        "item".to_string(),
+        ScanSource::contiguous_snapshot(&snap, SocketId(0)),
+    );
+    m
+}
+
 /// Allocations of one solo execution of `plan` over `sources`.
 fn allocs_for(plan: &QueryPlan, sources: &BTreeMap<String, ScanSource>) -> u64 {
     let executor = QueryExecutor::with_block_rows(1024);
@@ -166,4 +193,50 @@ fn group_by_morsel_loop_allocations_stay_amortised() {
         "group-by arenas must amortise: {small} allocs at 16 morsels, {large} at 64 \
          (delta {delta})"
     );
+}
+
+/// The DAG-lowered weighted probe (duplicate build keys, so every surviving
+/// row carries a join multiplicity): the per-hop survivor selection vectors
+/// and weight buffers are taken from and restored into the worker scratch,
+/// so 4x the morsels must still cost (almost) no extra allocations — for
+/// the scalar weighted fold and the weighted group-and-fold alike.
+#[test]
+fn weighted_probe_morsel_loop_does_not_allocate() {
+    let scalar = QueryPlan::JoinAggregate {
+        fact: "orderline".into(),
+        dim: "item".into(),
+        fact_key: "ol_i_id".into(),
+        dim_key: "i_ref".into(),
+        fact_filters: vec![Predicate::new("ol_quantity", CmpOp::Lt, 7.0)],
+        dim_filters: vec![],
+        aggregates: vec![
+            AggExpr::Sum(ScalarExpr::col("ol_amount")),
+            AggExpr::Avg(ScalarExpr::col("ol_amount")),
+            AggExpr::Count,
+        ],
+    };
+    let grouped = QueryPlan::JoinGroupByAggregate {
+        fact: "orderline".into(),
+        fact_key: ScalarExpr::col("ol_i_id"),
+        fact_filters: vec![],
+        dim: BuildSide::new("item", ScalarExpr::col("i_ref"), vec![]),
+        group_by: vec!["ol_quantity".into()],
+        aggregates: vec![AggExpr::Sum(ScalarExpr::col("ol_amount")), AggExpr::Count],
+        top_k: None,
+    };
+    let small_sources = join_sources(16 * 1024);
+    let large_sources = join_sources(64 * 1024);
+    for (plan, budget, what) in [
+        (&scalar, 16u64, "scalar weighted join"),
+        (&grouped, 256, "weighted join group-by"),
+    ] {
+        let small = allocs_for(plan, &small_sources);
+        let large = allocs_for(plan, &large_sources);
+        let delta = large.saturating_sub(small);
+        assert!(
+            delta <= budget,
+            "{what}: 48 extra morsels must not allocate per morsel: {small} allocs at \
+             16 morsels, {large} at 64 (delta {delta})"
+        );
+    }
 }

@@ -15,8 +15,9 @@
 //! same comparison since both sides compute them order-insensitively).
 
 use adaptive_htap::olap::{
-    execute_reference, AggExpr, BaselineExecutor, BuildSide, CmpOp, Predicate, QueryExecutor,
-    QueryPlan, QueryResult, ScalarExpr, ScanSource, TopK, WorkerTeam,
+    execute_reference, AggExpr, BaselineExecutor, BuildSide, CmpOp, DagBuilder, DagOp, HavingPred,
+    Predicate, QueryExecutor, QueryOutput, QueryPlan, QueryResult, RowSlot, ScalarExpr, ScanSource,
+    SortKey, TopK, WorkerTeam,
 };
 use adaptive_htap::sim::{CoreId, SocketId};
 use adaptive_htap::storage::{
@@ -516,6 +517,176 @@ fn assert_all_engines_agree(
     let reference =
         execute_reference(plan, sources).unwrap_or_else(|e| panic!("{ctx}: oracle failed: {e}"));
     assert_matches_reference(&solo.result, &reference, ctx);
+}
+
+/// Like [`assert_all_engines_agree`] but WITHOUT the frozen-baseline
+/// comparison: 1/2/4/8-worker engine runs must be bit-identical and match
+/// the row-at-a-time oracle. Used for plans with duplicate build-side join
+/// keys — exactly the inputs the retired key-set semijoin got wrong, so the
+/// frozen baseline is not a valid differential partner there.
+fn assert_workers_match_oracle(
+    plan: &QueryPlan,
+    sources: &BTreeMap<String, ScanSource>,
+    block_rows: usize,
+    ctx: &str,
+) -> QueryOutput {
+    let executor = QueryExecutor::with_block_rows(block_rows);
+    let solo = executor
+        .execute_parallel(plan, sources, &WorkerTeam::from_cores(vec![CoreId(0)]))
+        .unwrap_or_else(|e| panic!("{ctx}: engine failed: {e}"));
+    for workers in [2u16, 4, 8] {
+        let team = WorkerTeam::from_cores((0..workers).map(CoreId).collect());
+        let parallel = executor.execute_parallel(plan, sources, &team).unwrap();
+        assert_eq!(solo, parallel, "{ctx}: {workers} workers diverged");
+    }
+    let reference =
+        execute_reference(plan, sources).unwrap_or_else(|e| panic!("{ctx}: oracle failed: {e}"));
+    assert_matches_reference(&solo.result, &reference, ctx);
+    solo
+}
+
+/// N:M regression: the build side joins on `m_far`, which repeats across
+/// the 30 mid rows (12 distinct values, so the pigeonhole principle forces
+/// duplicates) — a true inner join must count every matching build tuple.
+/// The engine agrees with the oracle at every worker count, and the frozen
+/// key-set baseline must *diverge* (it collapses duplicates into set
+/// membership); the divergence is asserted explicitly so this case can
+/// never silently regress to semijoin semantics.
+#[test]
+fn duplicate_build_keys_join_preserves_multiplicities() {
+    let dataset = Dataset::build();
+    for split in [false, true] {
+        let sources = dataset.sources(split);
+        let plan = QueryPlan::JoinAggregate {
+            fact: "fact".into(),
+            dim: "mid".into(),
+            fact_key: "f_mid".into(),
+            dim_key: "m_far".into(),
+            fact_filters: vec![],
+            dim_filters: vec![],
+            aggregates: vec![
+                AggExpr::Count,
+                AggExpr::Sum(ScalarExpr::col("f_a")),
+                AggExpr::Avg(ScalarExpr::col("f_b")),
+                AggExpr::Min(ScalarExpr::col("f_a")),
+            ],
+        };
+        let ctx = format!("N:M join split={split}");
+        let engine = assert_workers_match_oracle(&plan, &sources, 112, &ctx);
+        let interpreted = BaselineExecutor::with_block_rows(112)
+            .execute(&plan, &sources)
+            .unwrap_or_else(|e| panic!("{ctx}: baseline failed: {e}"));
+        assert_ne!(
+            interpreted.result, engine.result,
+            "{ctx}: the key-set baseline must undercount duplicate build keys"
+        );
+    }
+}
+
+/// N:M regression, grouped: duplicate build keys flow through the weighted
+/// group-and-fold path (COUNT += weight, SUM += value * weight), per group.
+#[test]
+fn duplicate_build_keys_group_by_agrees_with_oracle() {
+    let dataset = Dataset::build();
+    let sources = dataset.sources(true);
+    let plan = QueryPlan::JoinGroupByAggregate {
+        fact: "fact".into(),
+        fact_key: ScalarExpr::col("f_mid"),
+        fact_filters: vec![],
+        dim: BuildSide::new("mid", ScalarExpr::col("m_far"), vec![]),
+        group_by: vec!["f_g".into(), "f_h".into()],
+        aggregates: vec![
+            AggExpr::Count,
+            AggExpr::Sum(ScalarExpr::col("f_a") * ScalarExpr::col("f_b")),
+            AggExpr::Avg(ScalarExpr::col("f_a")),
+            AggExpr::Max(ScalarExpr::col("f_b")),
+        ],
+        top_k: None,
+    };
+    let engine = assert_workers_match_oracle(&plan, &sources, 96, "N:M grouped join");
+    let interpreted = BaselineExecutor::with_block_rows(96)
+        .execute(&plan, &sources)
+        .unwrap();
+    assert_ne!(
+        interpreted.result, engine.result,
+        "N:M grouped join: the key-set baseline must undercount"
+    );
+}
+
+/// N:M regression, chained: the mid build itself carries duplicate keys, so
+/// probe weights must multiply down the fact → mid → far cascade.
+#[test]
+fn duplicate_keys_compound_across_chained_probes() {
+    let dataset = Dataset::build();
+    let sources = dataset.sources(false);
+    let plan = QueryPlan::MultiJoinAggregate {
+        fact: "fact".into(),
+        fact_key: ScalarExpr::col("f_mid"),
+        fact_filters: vec![],
+        mid: BuildSide::new("mid", ScalarExpr::col("m_far"), vec![]),
+        mid_fk: ScalarExpr::col("m_far"),
+        far: BuildSide::new("far", ScalarExpr::col("r_id"), vec![]),
+        aggregates: vec![AggExpr::Count, AggExpr::Sum(ScalarExpr::col("f_a"))],
+    };
+    let engine = assert_workers_match_oracle(&plan, &sources, 80, "N:M chain");
+    let interpreted = BaselineExecutor::with_block_rows(80)
+        .execute(&plan, &sources)
+        .unwrap();
+    assert_ne!(
+        interpreted.result, engine.result,
+        "N:M chain: the key-set baseline must undercount"
+    );
+}
+
+/// An explicitly authored [`QueryPlan::Dag`] — N:M probe, grouped fold and
+/// the full having → sort → limit finisher stack — runs differentially
+/// against the oracle, and the frozen baseline refuses DAG plans outright
+/// (it predates the operator DAG; no silent wrong answers).
+#[test]
+fn authored_dag_plans_with_finishers_agree_and_baseline_refuses_them() {
+    let dataset = Dataset::build();
+    let sources = dataset.sources(true);
+    let mut b = DagBuilder::default();
+    let mid_scan = b.scan("mid");
+    let build = b.build(mid_scan, ScalarExpr::col("m_far"));
+    let fact_scan = b.scan("fact");
+    let probed = b.probe(fact_scan, build, ScalarExpr::col("f_mid"));
+    let agg = b.aggregate(
+        probed,
+        Some(vec!["f_g".into()]),
+        vec![AggExpr::Count, AggExpr::Sum(ScalarExpr::col("f_a"))],
+    );
+    let having = b.push(DagOp::Having {
+        input: agg,
+        predicates: vec![HavingPred {
+            slot: RowSlot::Agg(0),
+            op: CmpOp::Gt,
+            literal: 100.0,
+        }],
+    });
+    let sorted = b.push(DagOp::Sort {
+        input: having,
+        keys: vec![SortKey {
+            slot: RowSlot::Agg(1),
+            desc: true,
+        }],
+    });
+    b.push(DagOp::Limit {
+        input: sorted,
+        rows: 4,
+    });
+    let plan = QueryPlan::Dag(b.finish());
+    let engine = assert_workers_match_oracle(&plan, &sources, 96, "authored dag");
+    assert!(
+        engine.result.groups().unwrap().len() <= 4,
+        "the limit finisher caps the group rows"
+    );
+    assert!(
+        BaselineExecutor::with_block_rows(96)
+            .execute(&plan, &sources)
+            .is_err(),
+        "the frozen baseline must refuse DAG plans rather than guess"
+    );
 }
 
 /// Adversarial vectorization case: sources that produce *no* morsels at all

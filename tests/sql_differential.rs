@@ -419,15 +419,15 @@ fn randomized_sql_round_trips_match_the_oracle() {
     }
 }
 
-/// The join-order choice must never change a query's answer. `m_id` is
-/// mid's primary key, so the planner pins mid as the unique build side and
-/// probes fact (the N side of the N:1 join) — *whatever* the catalog's row
-/// estimates claim. The executed count therefore equals the SQL inner-join
-/// count (2000: every fact row has a mid match) under both the honest and
-/// the inverted statistics; cardinality only decides when no primary key
-/// pins a side.
+/// The join-order choice must never change a query's answer. The planner
+/// picks the probe side purely by cost (probe the relation the catalog
+/// claims is larger), and that is safe because the hash probe preserves
+/// join multiplicities whichever side builds — so flipping the statistics
+/// flips the physical plan but the executed count stays the SQL inner-join
+/// count (2000: every fact row has a mid match), and primary-key metadata
+/// plays no part (the semijoin era's PK pin is retired).
 #[test]
-fn join_order_is_statistics_proof_on_pk_joins_and_cost_based_otherwise() {
+fn join_order_is_cost_based_and_statistics_cannot_change_the_answer() {
     let dataset = Dataset::build();
     let sources = dataset.sources(false);
     let sql = "SELECT COUNT(*) FROM mid JOIN fact ON m_id = f_mid";
@@ -435,45 +435,40 @@ fn join_order_is_statistics_proof_on_pk_joins_and_cost_based_otherwise() {
     let inverted = Catalog::new()
         .with_table(dataset.fact.schema().clone(), 10)
         .with_table(dataset.mid.schema().clone(), 10_000);
-    let executor = QueryExecutor::with_block_rows(128);
-    let team = WorkerTeam::from_cores(vec![CoreId(0)]);
-    let mut counts = Vec::new();
-    for catalog in [&honest, &inverted] {
-        let plan = plan_sql(sql, catalog).unwrap();
-        let adaptive_htap::olap::QueryPlan::JoinAggregate { fact, dim, .. } = &plan else {
-            panic!("expected a join plan, got {plan:?}");
-        };
-        // The PK pin holds under both statistics.
-        assert_eq!(fact, "fact");
-        assert_eq!(dim, "mid");
-        let out = executor.execute_parallel(&plan, &sources, &team).unwrap();
-        let reference = execute_reference(&plan, &sources).unwrap();
-        assert_matches_reference(&out.result, &reference, "pk-pinned join");
-        counts.push(out.result.scalars().unwrap()[0]);
-    }
-    // Same SQL, different statistics, same answer — and it is the SQL
-    // inner-join count (every one of the 2000 fact rows joins one mid row).
-    assert_eq!(counts[0], counts[1]);
-    assert_eq!(counts[0], FACT_ROWS as f64);
-
-    // Strip the primary keys: the join is no longer semantically pinned,
-    // and only now do the cardinalities pick the probe side.
+    // PK metadata must be irrelevant: stripping it changes no choice.
     let strip = |s: &adaptive_htap::storage::TableSchema| {
         TableSchema::new(s.name.clone(), s.columns.clone(), None)
     };
-    let free_flipped = Catalog::new()
+    let honest_free = Catalog::new()
+        .with_table(strip(dataset.fact.schema()), FACT_ROWS)
+        .with_table(strip(dataset.mid.schema()), MID_ROWS);
+    let inverted_free = Catalog::new()
         .with_table(strip(dataset.fact.schema()), 10)
         .with_table(strip(dataset.mid.schema()), 10_000);
-    let plan = plan_sql(sql, &free_flipped).unwrap();
-    let adaptive_htap::olap::QueryPlan::JoinAggregate { fact, .. } = &plan else {
-        panic!("expected a join plan, got {plan:?}");
-    };
-    assert_eq!(fact, "mid", "free joins are cost-ordered");
-    // The flipped plan is a different (semijoin) query; it still agrees
-    // with the oracle executing the same plan.
-    let out = executor.execute_parallel(&plan, &sources, &team).unwrap();
-    let reference = execute_reference(&plan, &sources).unwrap();
-    assert_matches_reference(&out.result, &reference, "free join");
+    let executor = QueryExecutor::with_block_rows(128);
+    let team = WorkerTeam::from_cores(vec![CoreId(0)]);
+    let mut counts = Vec::new();
+    for (catalog, probe_side) in [
+        (&honest, "fact"),
+        (&inverted, "mid"),
+        (&honest_free, "fact"),
+        (&inverted_free, "mid"),
+    ] {
+        let plan = plan_sql(sql, catalog).unwrap();
+        let adaptive_htap::olap::QueryPlan::JoinAggregate { fact, .. } = &plan else {
+            panic!("expected a join plan, got {plan:?}");
+        };
+        // Pure cost: the claimed-larger relation is probed.
+        assert_eq!(fact, probe_side);
+        let out = executor.execute_parallel(&plan, &sources, &team).unwrap();
+        let reference = execute_reference(&plan, &sources).unwrap();
+        assert_matches_reference(&out.result, &reference, "cost-ordered join");
+        counts.push(out.result.scalars().unwrap()[0]);
+    }
+    // Same SQL, four statistics regimes, two physical plans, one answer —
+    // the SQL inner-join count (every one of the 2000 fact rows joins one
+    // mid row; probing mid folds each mid row once per matching fact row).
+    assert!(counts.iter().all(|&c| c == FACT_ROWS as f64), "{counts:?}");
 }
 
 /// End-to-end malformed/unsupported SQL against the real CH catalog: typed
