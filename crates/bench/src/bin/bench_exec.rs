@@ -39,13 +39,18 @@
 //!   declarative surface adds ahead of execution stays visible in the
 //!   trajectory. Each SQL text is planned once up front and asserted equal
 //!   to the hand-built plan first — a latency for compiling the *wrong*
-//!   plan would be meaningless too.
+//!   plan would be meaningless too;
+//! * a `durability` section — concurrent-ingest commits/sec with the WAL
+//!   off and on (group commit over a real filesystem under the OS temp
+//!   dir), plus the group-commit counters, so the price of durability and
+//!   the fsync amortization the batching buys stay measured.
 
 use htap_bench::exec_trajectory;
 use htap_chbench::{catalog, query_mix_wide};
+use htap_core::{FsStorage, HtapConfig, HtapSystem};
 use htap_olap::{BaselineExecutor, QueryExecutor, WorkerTeam};
 use htap_sim::CoreId;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Worker counts of the scaling sweep.
 const SCALING_WORKERS: [usize; 4] = [1, 2, 4, 8];
@@ -339,6 +344,60 @@ fn main() {
         ));
     }
 
+    // Durability price tag: the same concurrent ingest pool, WAL off vs WAL
+    // on (group commit against a real filesystem under the OS temp dir).
+    // The WAL-on run also reports the group-commit counters — the whole
+    // point of the coordinator is records_per_fsync well above 1.
+    let ingest_window = Duration::from_millis(if args.iters <= 3 { 300 } else { 1500 });
+    println!();
+    println!(
+        "durability: concurrent ingest over a {:.1}s window, WAL off vs on",
+        ingest_window.as_secs_f64()
+    );
+    let measure_ingest = |system: &HtapSystem| -> f64 {
+        assert!(system.start_oltp_ingest() > 0);
+        // Warm-up: let the pool actually start committing before the window.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while system.oltp_live_counts().0 == 0 {
+            assert!(Instant::now() < deadline, "ingest never committed");
+            std::thread::yield_now();
+        }
+        let (commits_before, _, _) = system.oltp_live_counts();
+        let start = Instant::now();
+        std::thread::sleep(ingest_window);
+        let (commits_after, _, _) = system.oltp_live_counts();
+        let elapsed = start.elapsed().as_secs_f64();
+        system.stop_oltp_ingest();
+        (commits_after - commits_before) as f64 / elapsed
+    };
+    let tps_wal_off = measure_ingest(&HtapSystem::build(HtapConfig::tiny()).expect("build"));
+    let wal_dir = std::env::temp_dir().join(format!("htap-bench-wal-{}", std::process::id()));
+    let durable_system = HtapSystem::build_durable(
+        HtapConfig::tiny(),
+        std::sync::Arc::new(FsStorage::open(&wal_dir).expect("open WAL dir")),
+    )
+    .expect("build durable");
+    let tps_wal_on = measure_ingest(&durable_system);
+    let (wal_appended, wal_fsyncs, wal_batches) = {
+        let ctl = durable_system
+            .rde()
+            .oltp()
+            .durability()
+            .expect("controller");
+        let stats = ctl.wal().stats();
+        (stats.appended, stats.fsyncs, stats.batches)
+    };
+    drop(durable_system);
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let records_per_fsync = wal_appended as f64 / (wal_fsyncs.max(1)) as f64;
+    let wal_overhead_pct = (1.0 - tps_wal_on / tps_wal_off) * 100.0;
+    println!(
+        "oltp tps: {tps_wal_off:.0} (WAL off) -> {tps_wal_on:.0} (WAL on), overhead {wal_overhead_pct:.1}%"
+    );
+    println!(
+        "group commit: {wal_appended} records over {wal_fsyncs} fsyncs ({wal_batches} batches) = {records_per_fsync:.1} records/fsync"
+    );
+
     let worker_counts_json = SCALING_WORKERS
         .iter()
         .map(|w| w.to_string())
@@ -362,7 +421,20 @@ fn main() {
              efficiency = rps[n] / (n * rps[1])\",\n",
             "    \"shapes\": {{\n{}\n    }}\n",
             "  }},\n",
-            "  \"planning\": {{\n{}\n  }}\n",
+            "  \"planning\": {{\n{}\n  }},\n",
+            "  \"durability\": {{\n",
+            "    \"metric\": \"concurrent ingest commits/sec over a {:.1}s wall window, \
+             tiny CH population, WAL on = group commit to a real filesystem\",\n",
+            "    \"oltp_tps_wal_off\": {:.0},\n",
+            "    \"oltp_tps_wal_on\": {:.0},\n",
+            "    \"wal_overhead_pct\": {:.1},\n",
+            "    \"group_commit\": {{\n",
+            "      \"records_appended\": {},\n",
+            "      \"fsyncs\": {},\n",
+            "      \"batches\": {},\n",
+            "      \"records_per_fsync\": {:.1}\n",
+            "    }}\n",
+            "  }}\n",
             "}}\n"
         ),
         args.rows,
@@ -372,7 +444,15 @@ fn main() {
         worker_counts_json,
         host_cpus,
         scaling_entries.join(",\n"),
-        planning_entries.join(",\n")
+        planning_entries.join(",\n"),
+        ingest_window.as_secs_f64(),
+        tps_wal_off,
+        tps_wal_on,
+        wal_overhead_pct,
+        wal_appended,
+        wal_fsyncs,
+        wal_batches,
+        records_per_fsync
     );
     std::fs::write(&args.out, &json).expect("write BENCH_exec.json");
     println!("wrote {}", args.out);

@@ -5,6 +5,33 @@ use htap_rde::RdeConfig;
 use htap_scheduler::{Schedule, SchedulerPolicy};
 use htap_sim::{SocketId, Topology};
 
+/// Durability (WAL + checkpoint) tuning of an [`crate::HtapSystem`].
+///
+/// Durability itself is enabled by *building* the system against a durable
+/// storage backend ([`crate::HtapSystem::build_durable`]); this struct only
+/// tunes the group-commit coordinator and the checkpoint cadence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// How long a group-commit leader lingers for more committers to join
+    /// its batch before issuing the fsync, in microseconds.
+    pub flush_interval_micros: u64,
+    /// Batch size that triggers an immediate flush without lingering.
+    pub max_batch: usize,
+    /// Take a column-segment checkpoint (and truncate the WAL) every N
+    /// instance switches; 0 disables periodic checkpoints.
+    pub checkpoint_interval_switches: u64,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            flush_interval_micros: 100,
+            max_batch: 64,
+            checkpoint_interval_switches: 4,
+        }
+    }
+}
+
 /// Configuration of an [`crate::HtapSystem`].
 #[derive(Debug, Clone)]
 pub struct HtapConfig {
@@ -28,6 +55,16 @@ pub struct HtapConfig {
     pub schedule: Schedule,
     /// OLAP executor block size in tuples (0 = engine default).
     pub block_rows: usize,
+    /// WAL / checkpoint tuning (effective only when the system is built with
+    /// [`crate::HtapSystem::build_durable`]).
+    pub durability: DurabilityConfig,
+    /// How often the continuous-ingest pool retries an aborted transaction
+    /// before counting it as aborted; 0 = abort immediately (the paper's
+    /// NO-WAIT behaviour).
+    pub txn_max_retries: u32,
+    /// Base backoff between ingest retries in microseconds (exponential with
+    /// deterministic jitter); 0 = retry immediately.
+    pub txn_retry_backoff_micros: u64,
 }
 
 impl HtapConfig {
@@ -45,6 +82,9 @@ impl HtapConfig {
             chbench: ChConfig::small(),
             schedule: Schedule::Adaptive(SchedulerPolicy::adaptive_non_isolated(0.5)),
             block_rows: 0,
+            durability: DurabilityConfig::default(),
+            txn_max_retries: 0,
+            txn_retry_backoff_micros: 0,
         }
     }
 
@@ -88,6 +128,20 @@ impl HtapConfig {
     /// Number of cores the OLAP engine may borrow elastically.
     pub fn with_elastic_cores(mut self, cores: usize) -> Self {
         self.elastic_cores = cores;
+        self
+    }
+
+    /// Use the given WAL / checkpoint tuning.
+    pub fn with_durability(mut self, durability: DurabilityConfig) -> Self {
+        self.durability = durability;
+        self
+    }
+
+    /// Retry aborted ingest transactions up to `max_retries` times with the
+    /// given base backoff (microseconds, exponential + deterministic jitter).
+    pub fn with_txn_retries(mut self, max_retries: u32, backoff_micros: u64) -> Self {
+        self.txn_max_retries = max_retries;
+        self.txn_retry_backoff_micros = backoff_micros;
         self
     }
 
@@ -144,8 +198,18 @@ mod tests {
         let cfg = HtapConfig::tiny()
             .with_alpha(0.25)
             .with_elastic_cores(6)
-            .with_chbench(ChConfig::tiny());
+            .with_chbench(ChConfig::tiny())
+            .with_durability(DurabilityConfig {
+                flush_interval_micros: 50,
+                max_batch: 8,
+                checkpoint_interval_switches: 2,
+            })
+            .with_txn_retries(3, 25);
         assert_eq!(cfg.elastic_cores, 6);
+        assert_eq!(cfg.durability.max_batch, 8);
+        assert_eq!(cfg.durability.checkpoint_interval_switches, 2);
+        assert_eq!(cfg.txn_max_retries, 3);
+        assert_eq!(cfg.txn_retry_backoff_micros, 25);
         match cfg.schedule {
             Schedule::Adaptive(p) => assert!((p.alpha - 0.25).abs() < 1e-12),
             _ => panic!("expected adaptive schedule"),

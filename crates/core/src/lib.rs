@@ -23,7 +23,7 @@ pub mod report;
 pub mod system;
 pub mod workload;
 
-pub use config::HtapConfig;
+pub use config::{DurabilityConfig, HtapConfig};
 pub use report::{ExperimentTable, QueryReport, SequenceReport};
 pub use system::{HtapSystem, SqlRunError};
 pub use workload::{
@@ -33,7 +33,9 @@ pub use workload::{
 
 // Re-export the vocabulary types users need alongside the facade.
 pub use htap_chbench::{ChConfig, QueryId, QuerySequence};
+pub use htap_durability::{DurableStorage, FsStorage, MemStorage};
 pub use htap_olap::QueryPlan;
+pub use htap_oltp::RetryPolicy;
 pub use htap_rde::{AccessMethod, ElasticityMode, SystemState};
 pub use htap_scheduler::{Schedule, SchedulerPolicy};
 pub use htap_sim::Topology;

@@ -3,8 +3,11 @@
 use crate::config::HtapConfig;
 use crate::report::QueryReport;
 use htap_chbench::{ChGenerator, PopulationReport, QueryId, TransactionDriver};
+use htap_durability::{load_state, DurableStorage, Wal, WalConfig};
 use htap_olap::{OlapError, QueryOutput, QueryPlan};
-use htap_oltp::WorkerReport;
+use htap_oltp::{
+    apply_recovered, DurabilityController, RetryPolicy, WorkerReport, CHECKPOINT_FILE, WAL_FILE,
+};
 use htap_rde::RdeEngine;
 use htap_scheduler::{HtapScheduler, Schedule};
 use htap_sql::{Catalog, SqlError};
@@ -80,6 +83,96 @@ impl HtapSystem {
             catalog: htap_chbench::catalog(),
             config,
         })
+    }
+
+    /// Build the system on top of a durable storage backend: recover whatever
+    /// the backend holds (checkpoint + WAL tail), then enable write-ahead
+    /// logging and periodic checkpoints for everything that commits from now
+    /// on.
+    ///
+    /// On an empty backend this behaves like [`HtapSystem::build`] plus WAL
+    /// attach. The initial bulk-loaded population is *not* WAL-logged — it is
+    /// deterministic from the configuration, so recovery regenerates it and
+    /// replays the WAL tail on top; the first checkpoint then makes the full
+    /// store durable directly.
+    pub fn build_durable(
+        config: HtapConfig,
+        storage: Arc<dyn DurableStorage>,
+    ) -> Result<Self, String> {
+        config.validate()?;
+        let rde = Arc::new(RdeEngine::bootstrap(config.rde_config()));
+        let generator = ChGenerator::new(config.chbench.clone());
+
+        // Open (and torn-tail-repair) the WAL first, then read the durable
+        // state back through the repaired file.
+        let wal_config = WalConfig {
+            flush_interval_micros: config.durability.flush_interval_micros,
+            max_batch: config.durability.max_batch,
+        };
+        let (wal, _segment) = Wal::open(Arc::clone(&storage), WAL_FILE, wal_config)
+            .map_err(|e| format!("opening WAL: {e}"))?;
+        let state = load_state(storage.as_ref(), WAL_FILE, CHECKPOINT_FILE)
+            .map_err(|e| format!("loading durable state: {e}"))?;
+
+        let population = if state.checkpoint.is_some() {
+            // The checkpoint captured the whole store: recreate the schema
+            // empty and restore rows + WAL tail from disk.
+            generator.create_tables(&rde)?;
+            apply_recovered(rde.oltp(), &state).map_err(|e| format!("recovery failed: {e}"))?;
+            Self::population_from_store(&rde)
+        } else {
+            // No checkpoint yet: the initial population is regenerated
+            // deterministically, then the WAL tail replays on top of it.
+            let population = generator.build(&rde)?;
+            apply_recovered(rde.oltp(), &state).map_err(|e| format!("recovery failed: {e}"))?;
+            population
+        };
+
+        let controller = Arc::new(DurabilityController::new(
+            storage,
+            wal,
+            config.durability.checkpoint_interval_switches,
+        ));
+        rde.oltp().attach_durability(controller);
+
+        let txn_driver = Arc::new(TransactionDriver::for_config(&config.chbench));
+        let scheduler = HtapScheduler::new(Arc::clone(&rde), config.schedule);
+        Ok(HtapSystem {
+            rde,
+            scheduler: Mutex::new(scheduler),
+            txn_driver,
+            population,
+            txn_seed: AtomicU64::new(config.chbench.seed),
+            catalog: htap_chbench::catalog(),
+            config,
+        })
+    }
+
+    /// Reconstruct the population summary from live row counts (used after a
+    /// checkpoint restore, where the generator never ran).
+    fn population_from_store(rde: &RdeEngine) -> PopulationReport {
+        let rows = |name: &str| {
+            rde.oltp()
+                .table(name)
+                .map(|rt| rt.twin().row_count())
+                .unwrap_or(0)
+        };
+        PopulationReport {
+            warehouses: rows("warehouse"),
+            districts: rows("district"),
+            customers: rows("customer"),
+            items: rows("item"),
+            stock: rows("stock"),
+            orders: rows("orders"),
+            orderlines: rows("orderline"),
+            total_rows: rde.oltp().total_rows(),
+        }
+    }
+
+    /// Take a checkpoint right now (quiescing the engine) and truncate the
+    /// WAL to it. `Ok(false)` when the system was not built durable.
+    pub fn checkpoint_now(&self) -> Result<bool, String> {
+        self.rde.oltp().checkpoint_now().map_err(|e| e.to_string())
     }
 
     /// The SQL catalog the frontend binds against.
@@ -161,6 +254,13 @@ impl HtapSystem {
         let oltp = Arc::clone(self.rde.oltp());
         let seed = self.txn_seed.fetch_add(1, Ordering::Relaxed);
         let capacity = self.config.topology.total_cores() as usize;
+        self.rde
+            .oltp()
+            .worker_manager()
+            .set_retry_policy(RetryPolicy {
+                max_retries: self.config.txn_max_retries,
+                backoff_micros: self.config.txn_retry_backoff_micros,
+            });
         self.rde.oltp().worker_manager().start_with_capacity(
             capacity,
             move |worker_id, _core, txn_index| {
@@ -179,10 +279,13 @@ impl HtapSystem {
         self.rde.oltp().worker_manager().ingest_running()
     }
 
-    /// Live `(committed, aborted)` totals of the continuous ingest pool —
-    /// sampled around each analytical query to derive measured OLTP
-    /// throughput. `(0, 0)` when ingest is not running.
-    pub fn oltp_live_counts(&self) -> (u64, u64) {
+    /// Live `(committed, aborted, retried)` totals of the continuous ingest
+    /// pool — sampled around each analytical query to derive measured OLTP
+    /// throughput. Retries are counted separately from aborts: a transaction
+    /// that eventually commits after retrying contributes to `committed` and
+    /// to `retried`, never to `aborted`. `(0, 0, 0)` when ingest is not
+    /// running.
+    pub fn oltp_live_counts(&self) -> (u64, u64, u64) {
         self.rde.oltp().worker_manager().live_counts()
     }
 

@@ -64,8 +64,13 @@ pub struct MixedWorkloadReport {
     /// Transactions committed over the whole run.
     pub transactions_committed: u64,
     /// Transactions aborted over the whole run (NO-WAIT lock conflicts and
-    /// first-committer-wins validation failures).
+    /// first-committer-wins validation failures), after exhausting any
+    /// configured retries.
     pub transactions_aborted: u64,
+    /// Retry attempts the ingest pool made over the whole run. Disjoint from
+    /// `transactions_aborted`: a transaction that commits on its second
+    /// attempt counts one commit and one retry, zero aborts.
+    pub transactions_retried: u64,
 }
 
 impl MixedWorkloadReport {
@@ -193,23 +198,25 @@ pub fn run_mixed_workload_concurrent(
     options: &ConcurrentOptions,
 ) -> Result<MixedWorkloadReport, OlapError> {
     let started_here = system.start_oltp_ingest() > 0;
-    let (commits_at_entry, aborts_at_entry) = system.oltp_live_counts();
+    let (commits_at_entry, aborts_at_entry, retries_at_entry) = system.oltp_live_counts();
     let result = drive_sequences_concurrently(system, workload, options);
-    let (committed, aborted) = if started_here {
+    let (committed, aborted, retried) = if started_here {
         let pool = system.stop_oltp_ingest();
-        (pool.committed(), pool.aborted())
+        (pool.committed(), pool.aborted(), pool.retried())
     } else {
         // saturating: if the caller stopped their own pool mid-run, the live
         // counters reset to zero and a plain subtraction would underflow.
-        let (commits, aborts) = system.oltp_live_counts();
+        let (commits, aborts, retries) = system.oltp_live_counts();
         (
             commits.saturating_sub(commits_at_entry),
             aborts.saturating_sub(aborts_at_entry),
+            retries.saturating_sub(retries_at_entry),
         )
     };
     let mut report = result?;
     report.transactions_committed = committed;
     report.transactions_aborted = aborted;
+    report.transactions_retried = retried;
     Ok(report)
 }
 
@@ -228,7 +235,7 @@ fn drive_sequences_concurrently(
             // The measurement window spans the inter-query pacing wait plus
             // the query itself — the concurrent interval Figure 5(b) plots.
             let window = Instant::now();
-            let (commits_before, _) = system.oltp_live_counts();
+            let (commits_before, _, _) = system.oltp_live_counts();
             if options.pacing_commits > 0 {
                 let deadline = window + options.max_pacing_wait;
                 while system.oltp_live_counts().0.saturating_sub(commits_before)
@@ -247,7 +254,7 @@ fn drive_sequences_concurrently(
                 }
             };
             let elapsed = window.elapsed().as_secs_f64();
-            let (commits_after, _) = system.oltp_live_counts();
+            let (commits_after, _, _) = system.oltp_live_counts();
             // Always prefer the measurement over the model, even when the
             // window saw zero commits (an honest 0 beats silently reverting
             // to the interference constant — and it keeps every weight in
@@ -323,6 +330,7 @@ mod tests {
         assert_eq!(report.total_query_time(), 0.0);
         assert_eq!(report.etl_count(), 0);
         assert_eq!(report.transactions_aborted, 0);
+        assert_eq!(report.transactions_retried, 0);
     }
 
     #[test]

@@ -1,0 +1,40 @@
+//! Durability subsystem: write-ahead logging, group commit, column-segment
+//! checkpoints and crash recovery for the adaptive HTAP engine.
+//!
+//! The paper's engine is in-memory; this crate adds the persistence layer a
+//! deployable system needs without disturbing the hot path:
+//!
+//! * [`record`] — typed, CRC32-framed WAL commit records whose decoding is
+//!   total (torn or bit-flipped bytes end the valid prefix, they never
+//!   panic);
+//! * [`wal`] — the group-commit coordinator: concurrent committers share one
+//!   fsync per batch, and a commit only returns once its record is durable;
+//! * [`checkpoint`] — atomic column-segment snapshots of every relation,
+//!   taken inside the twin-instance switch quiescence window, after which
+//!   the WAL is truncated to the checkpoint LSN;
+//! * [`recovery`] — loads the latest checkpoint plus the intact WAL tail;
+//!   the OLTP crate replays that tail through its normal insert/update path;
+//! * [`file`] — the injectable [`DurableFile`]/[`DurableStorage`] I/O
+//!   traits, with a real-filesystem backend, an in-memory backend whose
+//!   "disk" outlives the engine, and a fault-injecting decorator (dropped,
+//!   torn and bit-flipped writes, failing fsyncs, halted media) used by the
+//!   crash-recovery test-suite.
+//!
+//! See `ARCHITECTURE.md` ("Durability & crash recovery") for the record
+//! format, the group-commit protocol and the recovery invariant.
+
+pub mod checkpoint;
+pub mod error;
+pub mod file;
+pub mod record;
+pub mod recovery;
+pub mod wal;
+
+pub use checkpoint::{CheckpointData, CheckpointTable};
+pub use error::DurabilityError;
+pub use file::{
+    AppendFault, DurableFile, DurableStorage, FaultInjector, FaultStorage, FsStorage, MemStorage,
+};
+pub use record::{crc32, decode_wal, encode_wal_header, Lsn, WalOp, WalRecord, WalSegment};
+pub use recovery::{load_state, RecoveredState};
+pub use wal::{Wal, WalConfig, WalStats};

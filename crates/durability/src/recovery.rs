@@ -1,0 +1,209 @@
+//! Recovery: load the latest checkpoint plus the WAL tail past it.
+//!
+//! This module only *reads and validates* durable state; applying it to the
+//! engine (recreating tables, restoring rows, replaying records through the
+//! normal twin-table insert/update path) belongs to the OLTP crate, which
+//! owns those structures.
+
+use crate::checkpoint::CheckpointData;
+use crate::error::DurabilityError;
+use crate::file::DurableStorage;
+use crate::record::{decode_wal, Lsn, WalRecord};
+
+/// Everything recovery found on the durable medium.
+#[derive(Debug, Clone)]
+pub struct RecoveredState {
+    /// The latest checkpoint, if one was ever written.
+    pub checkpoint: Option<CheckpointData>,
+    /// Intact WAL records not covered by the checkpoint, in LSN order.
+    pub tail: Vec<(Lsn, WalRecord)>,
+    /// Highest commit timestamp anywhere in the recovered state; the logical
+    /// clock must be advanced past it before new commits are accepted.
+    pub last_commit_ts: u64,
+    /// Bytes of torn/corrupt WAL tail that were discarded (0 after a clean
+    /// shutdown).
+    pub discarded_wal_bytes: usize,
+}
+
+impl RecoveredState {
+    /// Total committed transactions represented (checkpoint rows count as
+    /// already applied, so this is just the tail length).
+    pub fn tail_len(&self) -> usize {
+        self.tail.len()
+    }
+}
+
+/// Read and validate the durable state under (`wal_name`, `ckpt_name`).
+///
+/// * A missing WAL and missing checkpoint is a fresh start (empty state).
+/// * A torn or corrupt WAL *tail* is expected after a crash: the valid
+///   prefix is kept, the rest is reported via `discarded_wal_bytes`.
+/// * A corrupt checkpoint, corrupt WAL *header*, or a WAL whose base LSN
+///   lies beyond what the checkpoint covers (truncation ran ahead of the
+///   snapshot — records irrecoverably lost) is a hard error.
+pub fn load_state(
+    storage: &dyn DurableStorage,
+    wal_name: &str,
+    ckpt_name: &str,
+) -> Result<RecoveredState, DurabilityError> {
+    let checkpoint = match storage.read(ckpt_name)? {
+        Some(bytes) => Some(CheckpointData::decode(&bytes)?),
+        None => None,
+    };
+    let covered_to: Lsn = checkpoint.as_ref().map(|c| c.lsn).unwrap_or(0);
+
+    let (tail, discarded) = match storage.read(wal_name)? {
+        Some(bytes) => {
+            let seg = decode_wal(&bytes)?;
+            if seg.base_lsn > covered_to {
+                return Err(DurabilityError::corrupt(format!(
+                    "wal starts at lsn {} but checkpoint covers only up to {}",
+                    seg.base_lsn, covered_to
+                )));
+            }
+            let tail: Vec<(Lsn, WalRecord)> = seg
+                .numbered()
+                .filter(|(lsn, _)| *lsn >= covered_to)
+                .map(|(lsn, r)| (lsn, r.clone()))
+                .collect();
+            (tail, bytes.len() - seg.valid_len)
+        }
+        None => (Vec::new(), 0),
+    };
+
+    let mut last_commit_ts = checkpoint.as_ref().map(|c| c.last_ts).unwrap_or(0);
+    for (_, record) in &tail {
+        last_commit_ts = last_commit_ts.max(record.commit_ts);
+    }
+
+    Ok(RecoveredState {
+        checkpoint,
+        tail,
+        last_commit_ts,
+        discarded_wal_bytes: discarded,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::CheckpointTable;
+    use crate::file::MemStorage;
+    use crate::record::{encode_wal_header, WalOp};
+    use htap_storage::{DataType, Value};
+
+    fn rec(txn_id: u64, commit_ts: u64) -> WalRecord {
+        WalRecord {
+            txn_id,
+            commit_ts,
+            ops: vec![WalOp::Insert {
+                table: "t".into(),
+                key: txn_id,
+                values: vec![Value::I64(txn_id as i64)],
+            }],
+        }
+    }
+
+    fn wal_bytes(base: Lsn, records: &[WalRecord]) -> Vec<u8> {
+        let mut bytes = encode_wal_header(base);
+        for r in records {
+            r.encode_into(&mut bytes);
+        }
+        bytes
+    }
+
+    fn ckpt(lsn: Lsn, last_ts: u64) -> CheckpointData {
+        CheckpointData {
+            lsn,
+            last_ts,
+            tables: vec![CheckpointTable {
+                name: "t".into(),
+                dtypes: vec![DataType::I64],
+                keys: vec![1],
+                columns: vec![vec![Value::I64(1)]],
+            }],
+        }
+    }
+
+    #[test]
+    fn fresh_start_is_empty() {
+        let mem = MemStorage::new();
+        let st = load_state(&mem, "wal", "ckpt").unwrap();
+        assert!(st.checkpoint.is_none());
+        assert!(st.tail.is_empty());
+        assert_eq!(st.last_commit_ts, 0);
+    }
+
+    #[test]
+    fn wal_only_recovery_returns_full_tail() {
+        let mem = MemStorage::new();
+        let records = vec![rec(1, 10), rec(2, 12), rec(3, 11)];
+        mem.set_bytes("wal", wal_bytes(0, &records));
+        let st = load_state(&mem, "wal", "ckpt").unwrap();
+        assert!(st.checkpoint.is_none());
+        assert_eq!(st.tail.len(), 3);
+        assert_eq!(st.tail[0], (0, records[0].clone()));
+        assert_eq!(st.last_commit_ts, 12);
+        assert_eq!(st.discarded_wal_bytes, 0);
+    }
+
+    #[test]
+    fn checkpoint_filters_covered_records() {
+        let mem = MemStorage::new();
+        // WAL holds lsns 0..4; checkpoint covers < 2.
+        mem.set_bytes(
+            "wal",
+            wal_bytes(0, &[rec(1, 10), rec(2, 11), rec(3, 12), rec(4, 13)]),
+        );
+        mem.set_bytes("ckpt", ckpt(2, 11).encode());
+        let st = load_state(&mem, "wal", "ckpt").unwrap();
+        assert_eq!(st.tail.len(), 2);
+        assert_eq!(st.tail[0].0, 2);
+        assert_eq!(st.last_commit_ts, 13);
+    }
+
+    #[test]
+    fn truncated_wal_with_checkpoint_base_matches() {
+        let mem = MemStorage::new();
+        // After truncation the WAL starts exactly at the checkpoint lsn.
+        mem.set_bytes("wal", wal_bytes(2, &[rec(3, 12)]));
+        mem.set_bytes("ckpt", ckpt(2, 11).encode());
+        let st = load_state(&mem, "wal", "ckpt").unwrap();
+        assert_eq!(st.tail.len(), 1);
+        assert_eq!(st.tail[0].0, 2);
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_and_reported() {
+        let mem = MemStorage::new();
+        let mut bytes = wal_bytes(0, &[rec(1, 10), rec(2, 11)]);
+        bytes.truncate(bytes.len() - 5);
+        let torn = bytes.len();
+        mem.set_bytes("wal", bytes);
+        let st = load_state(&mem, "wal", "ckpt").unwrap();
+        assert_eq!(st.tail.len(), 1);
+        assert_eq!(st.last_commit_ts, 10);
+        assert!(st.discarded_wal_bytes > 0);
+        assert!(st.discarded_wal_bytes < torn);
+    }
+
+    #[test]
+    fn wal_ahead_of_checkpoint_is_a_hard_error() {
+        let mem = MemStorage::new();
+        mem.set_bytes("wal", wal_bytes(5, &[rec(6, 20)]));
+        mem.set_bytes("ckpt", ckpt(2, 11).encode());
+        assert!(load_state(&mem, "wal", "ckpt").is_err());
+        // Without any checkpoint the same WAL is also unrecoverable.
+        mem.remove("ckpt").unwrap();
+        assert!(load_state(&mem, "wal", "ckpt").is_err());
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_a_hard_error() {
+        let mem = MemStorage::new();
+        let mut bytes = ckpt(2, 11).encode();
+        bytes[10] ^= 0xFF;
+        mem.set_bytes("ckpt", bytes);
+        assert!(load_state(&mem, "wal", "ckpt").is_err());
+    }
+}

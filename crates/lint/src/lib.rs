@@ -77,7 +77,8 @@ pub fn scope_for(path: &str) -> Scope {
         no_panic: !test_file
             && (under("crates/olap/src/")
                 || under("crates/sql/src/")
-                || under("crates/storage/src/")),
+                || under("crates/storage/src/")
+                || under("crates/durability/src/")),
         nondeterminism: !test_file && DETERMINISTIC_PATH_FILES.contains(&path),
     }
 }

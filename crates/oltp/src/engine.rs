@@ -1,11 +1,13 @@
 //! The OLTP engine facade: storage manager + transaction manager + worker
 //! manager, plus the hooks the RDE engine drives (§3.2, §3.4).
 
+use crate::durability::DurabilityController;
 use crate::txn::{Transaction, TxnManager};
 use crate::worker::WorkerManager;
+use htap_durability::DurabilityError;
 use htap_storage::{
-    CuckooIndex, DeltaStorage, RecordLocation, SnapshotHandle, SwitchOutcome, SyncOutcome,
-    TableSchema, TwinStore, TwinTable, Value,
+    CuckooIndex, DeltaStorage, RecordLocation, SnapshotHandle, StorageError, SwitchOutcome,
+    SyncOutcome, TableSchema, TwinStore, TwinTable, Value,
 };
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
@@ -79,6 +81,9 @@ pub struct OltpEngine {
     /// the storage manager requires ("when no active OLTP worker thread is
     /// using it any more", §3.2).
     switch_gate: RwLock<()>,
+    /// Durability controller, when persistence is enabled. Checkpoints run
+    /// inside the switch quiescence window (see [`Self::switch_and_sync_instances`]).
+    persistence: RwLock<Option<Arc<DurabilityController>>>,
 }
 
 impl Default for OltpEngine {
@@ -96,6 +101,37 @@ impl OltpEngine {
             worker_manager: WorkerManager::new(),
             runtimes: RwLock::new(BTreeMap::new()),
             switch_gate: RwLock::new(()),
+            persistence: RwLock::new(None),
+        }
+    }
+
+    /// Enable durability: commits start appending to the controller's WAL
+    /// (group-committed, durable before apply) and instance switches
+    /// periodically checkpoint the store.
+    pub fn attach_durability(&self, controller: Arc<DurabilityController>) {
+        self.txn_manager.attach_wal(controller.wal().clone());
+        *self.persistence.write() = Some(controller);
+    }
+
+    /// Disable durability (commits become memory-only again).
+    pub fn detach_durability(&self) {
+        self.txn_manager.detach_wal();
+        *self.persistence.write() = None;
+    }
+
+    /// The attached durability controller, if any.
+    pub fn durability(&self) -> Option<Arc<DurabilityController>> {
+        self.persistence.read().clone()
+    }
+
+    /// Take a checkpoint immediately, inside its own quiescence window
+    /// (blocks until in-flight transactions drain). Returns `Ok(false)` when
+    /// no durability controller is attached.
+    pub fn checkpoint_now(&self) -> Result<bool, DurabilityError> {
+        let _guard = self.switch_gate.write();
+        match self.persistence.read().clone() {
+            Some(ctl) => ctl.checkpoint_quiesced(self).map(|()| true),
+            None => Ok(false),
         }
     }
 
@@ -115,7 +151,7 @@ impl OltpEngine {
     }
 
     /// Create a relation and register it with the transaction manager.
-    pub fn create_table(&self, schema: TableSchema) -> Result<Arc<TableRuntime>, String> {
+    pub fn create_table(&self, schema: TableSchema) -> Result<Arc<TableRuntime>, StorageError> {
         let twin = self.store.create_table(schema)?;
         let runtime = Arc::new(TableRuntime::from_twin(twin));
         self.txn_manager.register_table(Arc::clone(&runtime));
@@ -152,10 +188,17 @@ impl OltpEngine {
     /// Bulk-load a row into a relation outside of any transaction (initial
     /// database population). The index is updated and both twin instances
     /// receive the row; update bits are not touched.
-    pub fn bulk_load(&self, table: &str, key: u64, values: Vec<Value>) -> Result<u64, String> {
+    pub fn bulk_load(
+        &self,
+        table: &str,
+        key: u64,
+        values: Vec<Value>,
+    ) -> Result<u64, StorageError> {
         let rt = self
             .table(table)
-            .ok_or_else(|| format!("table {table} not registered"))?;
+            .ok_or_else(|| StorageError::TableMissing {
+                table: table.to_string(),
+            })?;
         let row = rt.twin().insert(&values)?;
         rt.index().insert(key, RecordLocation::new(row, 0));
         Ok(row)
@@ -204,6 +247,11 @@ impl OltpEngine {
             .iter()
             .map(|(name, rt)| (name.clone(), rt.twin().sync_active_from_snapshot()))
             .collect();
+        // Checkpoints piggyback on the quiescence window the switch already
+        // paid for: the twins are synced and no transaction is in flight.
+        if let Some(ctl) = self.persistence.read().clone() {
+            ctl.note_switch(self);
+        }
         (switched, synced)
     }
 

@@ -17,14 +17,18 @@
 //! the active instance, synchronising the twin instances, and reporting
 //! fresh-data statistics, all without interrupting transaction execution.
 
+pub mod durability;
 pub mod engine;
 pub mod locks;
 pub mod metrics;
 pub mod txn;
 pub mod worker;
 
+pub use durability::{
+    apply_recovered, DurabilityController, DurabilityStats, CHECKPOINT_FILE, WAL_FILE,
+};
 pub use engine::{OltpEngine, TableRuntime};
 pub use locks::{LockKey, LockMode, LockTable};
 pub use metrics::ThroughputCounter;
 pub use txn::{Transaction, TxnError, TxnId, TxnManager, TxnOutcome};
-pub use worker::{WorkerManager, WorkerReport};
+pub use worker::{RetryPolicy, WorkerManager, WorkerReport};

@@ -15,7 +15,8 @@
 use crate::engine::TableRuntime;
 use crate::locks::{LockKey, LockMode, LockTable};
 use crate::metrics::ThroughputCounter;
-use htap_storage::{RecordLocation, Value};
+use htap_durability::{DurabilityError, Wal, WalOp, WalRecord};
+use htap_storage::{RecordLocation, StorageError, Value};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -41,7 +42,11 @@ pub enum TxnError {
     /// The transaction has already committed or aborted.
     AlreadyFinished,
     /// A storage-level error (schema violation etc.).
-    Storage(String),
+    Storage(StorageError),
+    /// The commit record could not be made durable; the transaction aborted
+    /// without applying any of its writes, so live state stays identical to
+    /// the durable state.
+    Durability(DurabilityError),
 }
 
 impl std::fmt::Display for TxnError {
@@ -54,6 +59,7 @@ impl std::fmt::Display for TxnError {
             TxnError::TableMissing(t) => write!(f, "table {t} not registered"),
             TxnError::AlreadyFinished => write!(f, "transaction already finished"),
             TxnError::Storage(e) => write!(f, "storage error: {e}"),
+            TxnError::Durability(e) => write!(f, "durability error: {e}"),
         }
     }
 }
@@ -94,6 +100,9 @@ pub struct TxnManager {
     clock: AtomicU64,
     next_txn_id: AtomicU64,
     metrics: ThroughputCounter,
+    /// Write-ahead log, when durability is enabled. Commits append their
+    /// record and wait for the group-commit fsync *before* applying writes.
+    wal: RwLock<Option<Wal>>,
 }
 
 impl Default for TxnManager {
@@ -111,7 +120,31 @@ impl TxnManager {
             clock: AtomicU64::new(1),
             next_txn_id: AtomicU64::new(1),
             metrics: ThroughputCounter::new(),
+            wal: RwLock::new(None),
         }
+    }
+
+    /// Enable write-ahead logging: every subsequent commit appends its record
+    /// and blocks until the group-commit coordinator reports it durable.
+    pub fn attach_wal(&self, wal: Wal) {
+        *self.wal.write() = Some(wal);
+    }
+
+    /// Disable write-ahead logging (commits become memory-only again).
+    pub fn detach_wal(&self) {
+        *self.wal.write() = None;
+    }
+
+    /// Clone of the attached WAL handle, if any. The guard is dropped before
+    /// any I/O happens so the lock is never held across an fsync.
+    pub fn wal_handle(&self) -> Option<Wal> {
+        self.wal.read().clone()
+    }
+
+    /// Advance the logical clock to at least `ts` (used by recovery so that
+    /// new transactions see replayed commits as in the past).
+    pub fn advance_clock(&self, ts: u64) {
+        self.clock.fetch_max(ts, Ordering::AcqRel);
     }
 
     /// Register a table runtime so transactions can address it by name.
@@ -343,6 +376,42 @@ impl<'a> Transaction<'a> {
         }
 
         let commit_ts = self.mgr.next_ts();
+
+        // WAL-before-apply: the commit record must be durable before any
+        // write touches the live store. On failure the transaction aborts
+        // having applied nothing, so live committed state never diverges
+        // from durable state. The record locks held across the append keep
+        // WAL order consistent with apply order for conflicting keys.
+        if self.write_count() > 0 {
+            if let Some(wal) = self.mgr.wal_handle() {
+                let mut ops = Vec::with_capacity(self.write_count());
+                // Updates first, then inserts — the same order apply uses.
+                for upd in &self.updates {
+                    ops.push(WalOp::Update {
+                        table: upd.table.name().to_string(),
+                        key: upd.key,
+                        column: upd.column as u32,
+                        value: upd.value.clone(),
+                    });
+                }
+                for ins in &self.inserts {
+                    ops.push(WalOp::Insert {
+                        table: ins.table.name().to_string(),
+                        key: ins.key,
+                        values: ins.values.clone(),
+                    });
+                }
+                let record = WalRecord {
+                    txn_id: self.id,
+                    commit_ts,
+                    ops,
+                };
+                if let Err(e) = wal.append_commit(&record) {
+                    self.finish_abort();
+                    return Err(TxnError::Durability(e));
+                }
+            }
+        }
 
         for upd in &self.updates {
             let old = upd

@@ -24,8 +24,12 @@ use std::time::Duration;
 pub struct WorkerReport {
     /// Transactions committed, per worker.
     pub committed_per_worker: Vec<u64>,
-    /// Transactions aborted, per worker.
+    /// Transactions that gave up (aborted on their final attempt), per worker.
     pub aborted_per_worker: Vec<u64>,
+    /// Retry attempts (an aborted attempt that was tried again), per worker.
+    /// Disjoint from `aborted_per_worker`: a transaction that fails twice and
+    /// then commits contributes 2 retries, 1 commit and 0 aborts.
+    pub retried_per_worker: Vec<u64>,
 }
 
 impl WorkerReport {
@@ -34,9 +38,55 @@ impl WorkerReport {
         self.committed_per_worker.iter().sum()
     }
 
-    /// Total aborted transactions.
+    /// Total transactions that gave up.
     pub fn aborted(&self) -> u64 {
         self.aborted_per_worker.iter().sum()
+    }
+
+    /// Total retry attempts.
+    pub fn retried(&self) -> u64 {
+        self.retried_per_worker.iter().sum()
+    }
+}
+
+/// Retry policy for aborted transactions in the long-running ingest pool.
+///
+/// NO-WAIT concurrency control trades waiting for aborts; under contention a
+/// bounded retry with jittered exponential backoff recovers most of the lost
+/// throughput without letting two workers re-collide in lockstep. The jitter
+/// is derived deterministically from `(worker, txn_index, attempt)` so runs
+/// stay reproducible.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first failed attempt (0 disables retrying).
+    pub max_retries: u32,
+    /// Base backoff before the first retry, in microseconds; doubles per
+    /// attempt (capped at 64×) with up to 100% deterministic jitter on top.
+    /// 0 retries immediately.
+    pub backoff_micros: u64,
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `attempt` (1-based) of transaction
+    /// `txn_index` on worker `worker`, in microseconds. Exponential in the
+    /// attempt with a deterministic jitter in `[0, window)` mixed from the
+    /// identifying triple (splitmix64 finalizer — no RNG state, no `rand`).
+    pub fn backoff_for(&self, worker: u64, txn_index: u64, attempt: u32) -> u64 {
+        if self.backoff_micros == 0 {
+            return 0;
+        }
+        let window = self
+            .backoff_micros
+            .saturating_mul(1u64 << (attempt.saturating_sub(1)).min(6));
+        let mut x = worker.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ txn_index.rotate_left(17)
+            ^ (attempt as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        window + x % window.max(1)
     }
 }
 
@@ -54,6 +104,9 @@ struct PoolState {
     /// is being measured); every resize and stop notifies.
     resize_mutex: std::sync::Mutex<()>,
     resize_cv: std::sync::Condvar,
+    /// Retry policy for aborted ingest transactions; read per transaction so
+    /// changes take effect mid-flight.
+    retry: RwLock<RetryPolicy>,
 }
 
 impl PoolState {
@@ -90,6 +143,7 @@ impl PoolState {
 struct IngestShared {
     committed: Vec<AtomicU64>,
     aborted: Vec<AtomicU64>,
+    retried: Vec<AtomicU64>,
     stop: AtomicBool,
 }
 
@@ -105,6 +159,11 @@ impl IngestShared {
                 .aborted
                 .iter()
                 .map(|a| a.load(Ordering::Acquire))
+                .collect(),
+            retried_per_worker: self
+                .retried
+                .iter()
+                .map(|r| r.load(Ordering::Acquire))
                 .collect(),
         }
     }
@@ -167,6 +226,17 @@ impl WorkerManager {
         all.iter().take(self.active_workers()).copied().collect()
     }
 
+    /// Set the retry policy for aborted ingest transactions. Takes effect on
+    /// the next transaction of a running pool.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        *self.state.retry.write() = policy;
+    }
+
+    /// The current retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        *self.state.retry.read()
+    }
+
     /// Start the long-running ingest mode with capacity for the current pool
     /// size only; see [`Self::start_with_capacity`] for grants that may grow
     /// beyond it.
@@ -208,6 +278,7 @@ impl WorkerManager {
         let shared = Arc::new(IngestShared {
             committed: (0..pool_size).map(|_| AtomicU64::new(0)).collect(),
             aborted: (0..pool_size).map(|_| AtomicU64::new(0)).collect(),
+            retried: (0..pool_size).map(|_| AtomicU64::new(0)).collect(),
             stop: AtomicBool::new(false),
         });
         let body = Arc::new(body);
@@ -237,10 +308,29 @@ impl WorkerManager {
                                 });
                                 continue;
                             };
-                            if body(worker_id, core, txn_index) {
-                                shared.committed[worker_id].fetch_add(1, Ordering::Release);
-                            } else {
-                                shared.aborted[worker_id].fetch_add(1, Ordering::Release);
+                            // Bounded retry: same (worker, txn_index) pair on
+                            // every attempt, so a deterministic body re-runs
+                            // the *same* transaction rather than moving on.
+                            let mut attempt = 0u32;
+                            loop {
+                                if body(worker_id, core, txn_index) {
+                                    shared.committed[worker_id].fetch_add(1, Ordering::Release);
+                                    break;
+                                }
+                                let policy = *state.retry.read();
+                                if attempt >= policy.max_retries
+                                    || shared.stop.load(Ordering::Acquire)
+                                {
+                                    shared.aborted[worker_id].fetch_add(1, Ordering::Release);
+                                    break;
+                                }
+                                attempt += 1;
+                                shared.retried[worker_id].fetch_add(1, Ordering::Release);
+                                let backoff =
+                                    policy.backoff_for(worker_id as u64, txn_index, attempt);
+                                if backoff > 0 {
+                                    std::thread::sleep(Duration::from_micros(backoff));
+                                }
                             }
                             txn_index += 1;
                         }
@@ -257,11 +347,13 @@ impl WorkerManager {
         self.ingest.lock().is_some()
     }
 
-    /// Live `(committed, aborted)` totals of the running ingest pool —
-    /// sampled without stopping it, so callers can derive measured OLTP
-    /// throughput around each analytical query. `(0, 0)` when no pool runs.
-    /// Allocation-free: pacing loops poll this at high frequency.
-    pub fn live_counts(&self) -> (u64, u64) {
+    /// Live `(committed, aborted, retried)` totals of the running ingest
+    /// pool — sampled without stopping it, so callers can derive measured
+    /// OLTP throughput around each analytical query. `aborted` counts
+    /// transactions that gave up; `retried` counts re-attempts that are NOT
+    /// in `aborted`. `(0, 0, 0)` when no pool runs. Allocation-free: pacing
+    /// loops poll this at high frequency.
+    pub fn live_counts(&self) -> (u64, u64, u64) {
         match self.ingest.lock().as_ref() {
             Some(pool) => (
                 pool.shared
@@ -274,8 +366,13 @@ impl WorkerManager {
                     .iter()
                     .map(|a| a.load(Ordering::Acquire))
                     .sum(),
+                pool.shared
+                    .retried
+                    .iter()
+                    .map(|r| r.load(Ordering::Acquire))
+                    .sum(),
             ),
-            None => (0, 0),
+            None => (0, 0, 0),
         }
     }
 
@@ -347,9 +444,11 @@ impl WorkerManager {
                 aborted[i] = a;
             }
         });
+        let workers = committed.len();
         WorkerReport {
             committed_per_worker: committed,
             aborted_per_worker: aborted,
+            retried_per_worker: vec![0; workers],
         }
     }
 
@@ -371,9 +470,11 @@ impl WorkerManager {
                 }
             }
         }
+        let workers = committed.len();
         WorkerReport {
             committed_per_worker: committed,
             aborted_per_worker: aborted,
+            retried_per_worker: vec![0; workers],
         }
     }
 }
@@ -471,7 +572,7 @@ mod tests {
         // A second start must not spawn a second pool.
         assert_eq!(wm.start(|_, _, _| true), 0);
         wait_until(|| {
-            let (committed, aborted) = wm.live_counts();
+            let (committed, aborted, _) = wm.live_counts();
             committed > 0 && aborted > 0
         });
         let report = wm.stop();
@@ -479,9 +580,11 @@ mod tests {
         assert_eq!(report.committed_per_worker.len(), 2);
         assert!(report.committed() > 0);
         assert!(report.aborted() > 0);
+        // No retry policy was configured: aborts are final, nothing retried.
+        assert_eq!(report.retried(), 0);
         // Stopping again is a no-op.
         assert_eq!(wm.stop(), WorkerReport::default());
-        assert_eq!(wm.live_counts(), (0, 0));
+        assert_eq!(wm.live_counts(), (0, 0, 0));
     }
 
     #[test]
@@ -517,6 +620,75 @@ mod tests {
         });
         let report = wm.stop();
         assert_eq!(report.committed_per_worker.len(), 4);
+    }
+
+    #[test]
+    fn retries_recover_transient_aborts_and_are_counted_separately() {
+        use std::collections::HashMap;
+        use std::sync::Mutex;
+        let wm = WorkerManager::new();
+        wm.set_workers(&cores(2));
+        wm.set_retry_policy(RetryPolicy {
+            max_retries: 3,
+            backoff_micros: 10,
+        });
+        assert_eq!(
+            wm.retry_policy(),
+            RetryPolicy {
+                max_retries: 3,
+                backoff_micros: 10
+            }
+        );
+        // Every transaction fails twice, then commits — and the body must see
+        // the SAME txn_index across the retries of one transaction.
+        let attempts: Mutex<HashMap<(usize, u64), u32>> = Mutex::new(HashMap::new());
+        assert_eq!(
+            wm.start(move |worker, _, txn| {
+                let mut map = attempts.lock().unwrap();
+                let seen = map.entry((worker, txn)).or_insert(0);
+                *seen += 1;
+                *seen > 2
+            }),
+            2
+        );
+        wait_until(|| wm.live_counts().0 >= 10);
+        let report = wm.stop();
+        // Nothing gave up mid-run (3 retries > 2 needed); only the in-flight
+        // transaction on each worker may abort when stop() raises the flag.
+        assert!(report.aborted() <= 2, "aborted {}", report.aborted());
+        assert!(report.committed() >= 10);
+        let retried = report.retried();
+        assert!(
+            retried >= report.committed() * 2 && retried <= (report.committed() + 2) * 2,
+            "expected ~2 retries per commit, got {retried} for {}",
+            report.committed()
+        );
+    }
+
+    #[test]
+    fn retry_backoff_is_deterministic_jittered_and_bounded() {
+        let p = RetryPolicy {
+            max_retries: 5,
+            backoff_micros: 100,
+        };
+        // Deterministic: same triple, same backoff.
+        assert_eq!(p.backoff_for(1, 7, 1), p.backoff_for(1, 7, 1));
+        // Jittered: different transactions land at different points.
+        let distinct: std::collections::HashSet<u64> =
+            (0..32).map(|t| p.backoff_for(0, t, 1)).collect();
+        assert!(distinct.len() > 16, "jitter collapsed: {distinct:?}");
+        // Bounded: window + jitter < 2 * window, exponential growth capped.
+        for attempt in 1..=10u32 {
+            let window = 100u64 * (1 << (attempt - 1).min(6));
+            let b = p.backoff_for(3, 9, attempt);
+            assert!(b >= window && b < 2 * window, "attempt {attempt}: {b}");
+        }
+        // Disabled backoff retries immediately.
+        let zero = RetryPolicy {
+            max_retries: 1,
+            backoff_micros: 0,
+        };
+        assert_eq!(zero.backoff_for(0, 0, 1), 0);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 
 pub mod column;
 pub mod delta;
+pub mod error;
 pub mod index;
 pub mod schema;
 pub mod snapshot;
@@ -32,6 +33,7 @@ pub mod update_bits;
 
 pub use column::{Column, ColumnGuard};
 pub use delta::{DeltaStorage, Version};
+pub use error::StorageError;
 pub use index::cuckoo::CuckooIndex;
 pub use index::RecordLocation;
 pub use schema::{ColumnDef, DataType, TableSchema, Value};

@@ -204,24 +204,22 @@ impl TableSchema {
     }
 
     /// Validate that a row of values matches the schema.
-    pub fn check_row(&self, row: &[Value]) -> Result<(), String> {
+    pub fn check_row(&self, row: &[Value]) -> Result<(), crate::StorageError> {
         if row.len() != self.columns.len() {
-            return Err(format!(
-                "table {}: expected {} values, got {}",
-                self.name,
-                self.columns.len(),
-                row.len()
-            ));
+            return Err(crate::StorageError::ArityMismatch {
+                table: self.name.clone(),
+                expected: self.columns.len(),
+                got: row.len(),
+            });
         }
         for (i, (v, c)) in row.iter().zip(&self.columns).enumerate() {
             if v.data_type() != c.dtype {
-                return Err(format!(
-                    "table {}: column {i} ({}) expects {}, got {}",
-                    self.name,
-                    c.name,
-                    c.dtype,
-                    v.data_type()
-                ));
+                return Err(crate::StorageError::TypeMismatch {
+                    table: self.name.clone(),
+                    column: i,
+                    expected: c.dtype,
+                    got: v.data_type(),
+                });
             }
         }
         Ok(())

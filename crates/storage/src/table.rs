@@ -89,7 +89,7 @@ impl ColumnarTable {
     }
 
     /// Append a row; returns its [`RowId`]. The row must match the schema.
-    pub fn append_row(&self, row: &[Value]) -> Result<RowId, String> {
+    pub fn append_row(&self, row: &[Value]) -> Result<RowId, crate::StorageError> {
         self.schema.check_row(row)?;
         for (col, val) in self.columns.iter().zip(row) {
             col.append(val);
@@ -109,19 +109,26 @@ impl ColumnarTable {
     }
 
     /// Overwrite one attribute of an existing row.
-    pub fn update_value(&self, row: RowId, column: usize, value: &Value) -> Result<(), String> {
+    pub fn update_value(
+        &self,
+        row: RowId,
+        column: usize,
+        value: &Value,
+    ) -> Result<(), crate::StorageError> {
         if row >= self.row_count() {
-            return Err(format!(
-                "table {}: row {row} out of range ({} rows)",
-                self.schema.name,
-                self.row_count()
-            ));
+            return Err(crate::StorageError::RowOutOfRange {
+                table: self.schema.name.clone(),
+                row,
+                rows: self.row_count(),
+            });
         }
         if value.data_type() != self.schema.columns[column].dtype {
-            return Err(format!(
-                "table {}: column {column} type mismatch",
-                self.schema.name
-            ));
+            return Err(crate::StorageError::TypeMismatch {
+                table: self.schema.name.clone(),
+                column,
+                expected: self.schema.columns[column].dtype,
+                got: value.data_type(),
+            });
         }
         self.columns[column].update(row as usize, value);
         self.column_stats[column].mark_updated();

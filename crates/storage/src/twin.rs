@@ -146,7 +146,7 @@ impl TwinTable {
     /// Insert a row into both instances. Returns the row id (identical in
     /// both instances — concurrent inserters are serialised per relation so
     /// the twins never fall out of step).
-    pub fn insert(&self, row: &[Value]) -> Result<RowId, String> {
+    pub fn insert(&self, row: &[Value]) -> Result<RowId, crate::StorageError> {
         self.schema.check_row(row)?;
         let _guard = self.append_lock.lock();
         let id0 = self.instances[0].append_row_unchecked(row);
@@ -158,12 +158,17 @@ impl TwinTable {
     /// Update one attribute of a row in the active instance, setting the
     /// update-indication bits. Returns the overwritten value (for the MVCC
     /// delta store).
-    pub fn update(&self, row: RowId, column: usize, value: &Value) -> Result<Value, String> {
+    pub fn update(
+        &self,
+        row: RowId,
+        column: usize,
+        value: &Value,
+    ) -> Result<Value, crate::StorageError> {
         let active = self.active_instance();
         let table = &self.instances[active];
         let old = table
             .get_value(row, column)
-            .ok_or_else(|| format!("row {row} not found in active instance"))?;
+            .ok_or(crate::StorageError::RowMissing { row })?;
         table.update_value(row, column, value)?;
         self.dirty_twin[active].set(row as usize);
         self.dirty_olap.set(row as usize);
@@ -336,10 +341,10 @@ impl TwinStore {
     }
 
     /// Create a relation. Returns an error if the name is already taken.
-    pub fn create_table(&self, schema: TableSchema) -> Result<Arc<TwinTable>, String> {
+    pub fn create_table(&self, schema: TableSchema) -> Result<Arc<TwinTable>, crate::StorageError> {
         let mut tables = self.tables.write();
         if tables.contains_key(&schema.name) {
-            return Err(format!("table {} already exists", schema.name));
+            return Err(crate::StorageError::TableExists { table: schema.name });
         }
         let table = Arc::new(TwinTable::new(schema.clone()));
         tables.insert(schema.name.clone(), Arc::clone(&table));

@@ -15,6 +15,8 @@
 //! * [`chbench`](htap_chbench) — the CH-benCHmark workload.
 //! * [`sql`](htap_sql) — the SQL frontend (parser, binder, cost-aware
 //!   planner) lowering query text onto the engine's plans.
+//! * [`durability`](htap_durability) — write-ahead log with group commit,
+//!   column-segment checkpoints, crash recovery, fault-injectable storage.
 //! * [`baselines`](htap_baselines) — the Figure-1 ETL and CoW baselines.
 //!
 //! The crate layering (sim → storage → engines → rde → scheduler → core) and
@@ -24,11 +26,16 @@
 //! section covers `htap-lint` (the workspace determinism linter under
 //! `crates/lint`, rules L1–L5 and the `lint:allow` syntax) and the runtime
 //! lock-order checker built into `shims/parking_lot`, which is live in
-//! every debug-build test run.
+//! every debug-build test run. Its *Durability & crash recovery* section
+//! documents the WAL record format, the group-commit protocol, how
+//! checkpoints ride the switch gate's quiescence window, the
+//! WAL-before-apply recovery invariant, and the failpoint catalog behind
+//! `tests/crash_recovery.rs`.
 
 pub use htap_baselines as baselines;
 pub use htap_chbench as chbench;
 pub use htap_core as core;
+pub use htap_durability as durability;
 pub use htap_olap as olap;
 pub use htap_oltp as oltp;
 pub use htap_rde as rde;
