@@ -43,7 +43,10 @@
 //! * a `durability` section — concurrent-ingest commits/sec with the WAL
 //!   off and on (group commit over a real filesystem under the OS temp
 //!   dir), plus the group-commit counters, so the price of durability and
-//!   the fsync amortization the batching buys stay measured.
+//!   the fsync amortization the batching buys stay measured;
+//! * an `observability` section — rows/sec with tracing enabled vs
+//!   disabled (the layer's measured overhead, gated at 3% by `--check`),
+//!   the event-ring memory footprint and the recorded events/sec.
 
 use htap_bench::exec_trajectory;
 use htap_chbench::{catalog, query_mix_wide};
@@ -57,6 +60,10 @@ const SCALING_WORKERS: [usize; 4] = [1, 2, 4, 8];
 
 /// Committed-vs-measured speedup drift that triggers a warning.
 const DRIFT_TOLERANCE: f64 = 0.15;
+
+/// Rows/sec the engine may lose with tracing enabled before `--check`
+/// fails: the observability layer's overhead budget.
+const TRACING_OVERHEAD_BUDGET: f64 = 0.03;
 
 struct Args {
     rows: u64,
@@ -226,24 +233,87 @@ fn main() {
     for w in &drift_warnings {
         println!("{w}");
     }
+
+    // Tracing overhead: the same shape through a worker team (the path that
+    // records per-morsel ring events), recording enabled vs disabled,
+    // interleaved so machine drift hits both sides equally. Also samples
+    // events/sec from one timed enabled run.
+    let (obs_label, obs_plan) = exec_trajectory::plans().remove(0);
+    let obs_team = WorkerTeam::from_cores((0..4u16).map(CoreId).collect());
+    let obs_tuples = vectorized
+        .execute_parallel(&obs_plan, &sources, &obs_team)
+        .unwrap()
+        .work
+        .tuples_scanned as f64;
+    let (secs_on, secs_off) = measure_pair(
+        args.iters,
+        || {
+            htap_obs::set_enabled(true);
+            vectorized
+                .execute_parallel(&obs_plan, &sources, &obs_team)
+                .unwrap();
+        },
+        || {
+            htap_obs::set_enabled(false);
+            vectorized
+                .execute_parallel(&obs_plan, &sources, &obs_team)
+                .unwrap();
+        },
+    );
+    htap_obs::set_enabled(true);
+    let events_before = htap_obs::obs().event_totals().recorded;
+    let timed = Instant::now();
+    vectorized
+        .execute_parallel(&obs_plan, &sources, &obs_team)
+        .unwrap();
+    let timed_secs = timed.elapsed().as_secs_f64().max(1e-9);
+    let events_per_sec =
+        (htap_obs::obs().event_totals().recorded - events_before) as f64 / timed_secs;
+    let tracing_overhead_pct = (1.0 - secs_off / secs_on.max(1e-12)) * 100.0;
+    let ring_footprint = htap_obs::obs().ring_footprint_bytes();
+    println!();
+    println!(
+        "observability ({obs_label}, 4 workers): {:.0} r/s traced vs {:.0} r/s untraced, \
+         overhead {tracing_overhead_pct:.2}% (budget {:.0}%), {events_per_sec:.0} events/sec, \
+         ring footprint {ring_footprint} bytes",
+        obs_tuples / secs_on,
+        obs_tuples / secs_off,
+        TRACING_OVERHEAD_BUDGET * 100.0
+    );
+
     if args.check {
         // Gate mode: the committed artifact is the contract; measuring it
-        // stale is a failure, and nothing is overwritten.
-        if drift_warnings.is_empty() {
-            println!(
-                "check passed: all committed speedups within {:.0}% of fresh measurements",
-                DRIFT_TOLERANCE * 100.0
+        // stale is a failure, and nothing is overwritten. The tracing
+        // overhead budget is gated here too.
+        let mut failed = false;
+        if !drift_warnings.is_empty() {
+            eprintln!(
+                "check failed: {} shape(s) drifted beyond {:.0}% — regenerate {} on this \
+                 machine and commit it",
+                drift_warnings.len(),
+                DRIFT_TOLERANCE * 100.0,
+                args.out
             );
-            return;
+            failed = true;
         }
-        eprintln!(
-            "check failed: {} shape(s) drifted beyond {:.0}% — regenerate {} on this \
-             machine and commit it",
-            drift_warnings.len(),
+        if tracing_overhead_pct > TRACING_OVERHEAD_BUDGET * 100.0 {
+            eprintln!(
+                "check failed: tracing overhead {tracing_overhead_pct:.2}% exceeds the \
+                 {:.0}% budget",
+                TRACING_OVERHEAD_BUDGET * 100.0
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "check passed: all committed speedups within {:.0}% of fresh measurements, \
+             tracing overhead within the {:.0}% budget",
             DRIFT_TOLERANCE * 100.0,
-            args.out
+            TRACING_OVERHEAD_BUDGET * 100.0
         );
-        std::process::exit(1);
+        return;
     }
 
     // Multi-core scaling sweep: the same plans through worker teams of
@@ -358,14 +428,14 @@ fn main() {
         assert!(system.start_oltp_ingest() > 0);
         // Warm-up: let the pool actually start committing before the window.
         let deadline = Instant::now() + Duration::from_secs(30);
-        while system.oltp_live_counts().0 == 0 {
+        while system.oltp_live_counts().committed == 0 {
             assert!(Instant::now() < deadline, "ingest never committed");
             std::thread::yield_now();
         }
-        let (commits_before, _, _) = system.oltp_live_counts();
+        let commits_before = system.oltp_live_counts().committed;
         let start = Instant::now();
         std::thread::sleep(ingest_window);
-        let (commits_after, _, _) = system.oltp_live_counts();
+        let commits_after = system.oltp_live_counts().committed;
         let elapsed = start.elapsed().as_secs_f64();
         system.stop_oltp_ingest();
         (commits_after - commits_before) as f64 / elapsed
@@ -422,6 +492,14 @@ fn main() {
             "    \"shapes\": {{\n{}\n    }}\n",
             "  }},\n",
             "  \"planning\": {{\n{}\n  }},\n",
+            "  \"observability\": {{\n",
+            "    \"metric\": \"rows/sec of {} through 4 workers, tracing enabled vs \
+             disabled (interleaved best-of); events/sec sampled from one timed traced run\",\n",
+            "    \"tracing_overhead_pct\": {:.2},\n",
+            "    \"overhead_budget_pct\": {:.0},\n",
+            "    \"events_per_sec\": {:.0},\n",
+            "    \"ring_footprint_bytes\": {}\n",
+            "  }},\n",
             "  \"durability\": {{\n",
             "    \"metric\": \"concurrent ingest commits/sec over a {:.1}s wall window, \
              tiny CH population, WAL on = group commit to a real filesystem\",\n",
@@ -445,6 +523,11 @@ fn main() {
         host_cpus,
         scaling_entries.join(",\n"),
         planning_entries.join(",\n"),
+        obs_label,
+        tracing_overhead_pct,
+        TRACING_OVERHEAD_BUDGET * 100.0,
+        events_per_sec,
+        ring_footprint,
         ingest_window.as_secs_f64(),
         tps_wal_off,
         tps_wal_on,

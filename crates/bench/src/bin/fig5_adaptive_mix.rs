@@ -193,4 +193,34 @@ fn main() {
          count (up to ~50% across states at 100 sequences). OLTP throughput recovers after every\n\
          ETL and is lowest for the core-borrowing schedules."
     );
+
+    // --trace: export everything the run recorded (spans, per-worker events,
+    // RDE decisions) as Chrome trace_event JSON for chrome://tracing.
+    if let Some(path) = &args.trace {
+        let json = htap_obs::chrome::chrome_trace_json();
+        std::fs::write(path, &json).expect("trace file is writable");
+        let totals = htap_obs::obs().event_totals();
+        let decisions = htap_obs::decisions_snapshot();
+        println!();
+        println!(
+            "trace: wrote {} ({} bytes, {} ring events recorded / {} dropped, \
+             {} spans, {} RDE decisions)",
+            path,
+            json.len(),
+            totals.recorded,
+            totals.dropped,
+            htap_obs::spans_snapshot().len(),
+            decisions.len()
+        );
+        let snapshot = htap_obs::metrics_snapshot();
+        for (name, value) in &snapshot.counters {
+            println!("  counter {name} = {value}");
+        }
+        for (name, summary) in &snapshot.histograms {
+            println!(
+                "  histogram {name}: n={} p50={} p99={} max={}",
+                summary.count, summary.p50, summary.p99, summary.max
+            );
+        }
+    }
 }

@@ -52,6 +52,10 @@ pub struct HarnessArgs {
     /// Restrict fig5 to the paper's original {Q1, Q6, Q19} mix instead of
     /// the widened {Q1, Q3, Q4, Q6, Q12, Q14, Q19} default.
     pub paper_mix: bool,
+    /// Export a Chrome `trace_event` JSON file of the run (spans, per-worker
+    /// events and RDE decisions) to the given path; open it in
+    /// `chrome://tracing` or Perfetto.
+    pub trace: Option<String>,
 }
 
 impl Default for HarnessArgs {
@@ -64,6 +68,7 @@ impl Default for HarnessArgs {
             concurrent: false,
             smoke: false,
             paper_mix: false,
+            trace: None,
         }
     }
 }
@@ -96,6 +101,7 @@ impl HarnessArgs {
                 "--concurrent" => out.concurrent = true,
                 "--smoke" => out.smoke = true,
                 "--paper-mix" => out.paper_mix = true,
+                "--trace" => out.trace = iter.next(),
                 _ => {}
             }
         }
@@ -453,6 +459,8 @@ mod tests {
                 "--concurrent",
                 "--smoke",
                 "--paper-mix",
+                "--trace",
+                "out.json",
             ]
             .into_iter()
             .map(String::from),
@@ -463,6 +471,7 @@ mod tests {
         assert!(args.concurrent);
         assert!(args.smoke);
         assert!(args.paper_mix);
+        assert_eq!(args.trace.as_deref(), Some("out.json"));
         let defaults = HarnessArgs::parse_from(std::iter::empty());
         assert_eq!(defaults, HarnessArgs::default());
     }

@@ -6,7 +6,8 @@ use htap_chbench::{ChGenerator, PopulationReport, QueryId, TransactionDriver};
 use htap_durability::{load_state, DurableStorage, Wal, WalConfig};
 use htap_olap::{OlapError, QueryOutput, QueryPlan};
 use htap_oltp::{
-    apply_recovered, DurabilityController, RetryPolicy, WorkerReport, CHECKPOINT_FILE, WAL_FILE,
+    apply_recovered, DurabilityController, OltpCounts, RetryPolicy, WorkerReport, CHECKPOINT_FILE,
+    WAL_FILE,
 };
 use htap_rde::RdeEngine;
 use htap_scheduler::{HtapScheduler, Schedule};
@@ -279,13 +280,14 @@ impl HtapSystem {
         self.rde.oltp().worker_manager().ingest_running()
     }
 
-    /// Live `(committed, aborted, retried)` totals of the continuous ingest
-    /// pool — sampled around each analytical query to derive measured OLTP
-    /// throughput. Retries are counted separately from aborts: a transaction
-    /// that eventually commits after retrying contributes to `committed` and
-    /// to `retried`, never to `aborted`. `(0, 0, 0)` when ingest is not
-    /// running.
-    pub fn oltp_live_counts(&self) -> (u64, u64, u64) {
+    /// Live committed/aborted/retried totals of the continuous ingest pool —
+    /// sampled around each analytical query to derive measured OLTP
+    /// throughput. The triple comes from one seqlock-consistent snapshot, so
+    /// the three counts never tear against each other. Retries are counted
+    /// separately from aborts: a transaction that eventually commits after
+    /// retrying contributes to `committed` and to `retried`, never to
+    /// `aborted`. All-zero when ingest is not running.
+    pub fn oltp_live_counts(&self) -> OltpCounts {
         self.rde.oltp().worker_manager().live_counts()
     }
 
@@ -331,6 +333,10 @@ impl HtapSystem {
         plan: &QueryPlan,
         is_batch: bool,
     ) -> Result<(QueryReport, QueryOutput), OlapError> {
+        let guard = htap_obs::span("query.execute");
+        if guard.is_active() {
+            guard.detail(label);
+        }
         let scheduled = {
             let scheduler = self.scheduler.lock();
             scheduler.schedule_query(plan, is_batch)
@@ -363,6 +369,17 @@ impl HtapSystem {
             result_rows: execution.output.result.row_count(),
             performed_etl: scheduled.migration.etl.is_some(),
         };
+        if guard.is_active() {
+            guard.arg("freshness", report.freshness_rate);
+            guard.arg("execution_time_s", report.execution_time);
+            guard.arg("bytes_scanned", report.bytes_scanned as f64);
+            guard.arg("fresh_rows", report.fresh_rows_accessed as f64);
+            guard.arg("result_rows", report.result_rows as f64);
+            guard.arg("oltp_tps", report.oltp_tps);
+        }
+        // Per-query freshness distribution in parts-per-million (the rate is
+        // in [0,1]; the log-linear histogram needs integer-scale values).
+        htap_obs::histogram("query.freshness_ppm").record_scaled(report.freshness_rate, 1e6);
         Ok((report, execution.output))
     }
 
@@ -400,6 +417,10 @@ impl HtapSystem {
         &self,
         sql: &str,
     ) -> Result<(QueryReport, QueryOutput), SqlRunError> {
+        let guard = htap_obs::span("query");
+        if guard.is_active() {
+            guard.detail(sql);
+        }
         let plan = self.plan_sql(sql)?;
         Ok(self.execute_planned_sql(sql, &plan)?)
     }
@@ -419,6 +440,10 @@ impl HtapSystem {
 
     /// Schedule and execute one CH-benCHmark query.
     pub fn execute_query(&self, query: QueryId) -> Result<QueryReport, OlapError> {
+        let guard = htap_obs::span("query");
+        if guard.is_active() {
+            guard.detail(query.label());
+        }
         self.execute_plan_inner(query.label(), Some(query.sql()), &query.plan(), false)
             .map(|(report, _)| report)
     }
@@ -432,6 +457,10 @@ impl HtapSystem {
         query: QueryId,
         is_follow_up: bool,
     ) -> Result<QueryReport, OlapError> {
+        let guard = htap_obs::span("query");
+        if guard.is_active() {
+            guard.detail(query.label());
+        }
         let (mut report, _) =
             self.execute_plan_inner(query.label(), Some(query.sql()), &query.plan(), true)?;
         if is_follow_up {
@@ -534,7 +563,7 @@ mod tests {
         // A second start leaves the running pool untouched.
         assert_eq!(system.start_oltp_ingest(), 0);
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
-        while system.oltp_live_counts().0 == 0 {
+        while system.oltp_live_counts().committed == 0 {
             assert!(
                 std::time::Instant::now() < deadline,
                 "no commits within 30s"

@@ -198,7 +198,7 @@ pub fn run_mixed_workload_concurrent(
     options: &ConcurrentOptions,
 ) -> Result<MixedWorkloadReport, OlapError> {
     let started_here = system.start_oltp_ingest() > 0;
-    let (commits_at_entry, aborts_at_entry, retries_at_entry) = system.oltp_live_counts();
+    let at_entry = system.oltp_live_counts();
     let result = drive_sequences_concurrently(system, workload, options);
     let (committed, aborted, retried) = if started_here {
         let pool = system.stop_oltp_ingest();
@@ -206,11 +206,11 @@ pub fn run_mixed_workload_concurrent(
     } else {
         // saturating: if the caller stopped their own pool mid-run, the live
         // counters reset to zero and a plain subtraction would underflow.
-        let (commits, aborts, retries) = system.oltp_live_counts();
+        let now = system.oltp_live_counts();
         (
-            commits.saturating_sub(commits_at_entry),
-            aborts.saturating_sub(aborts_at_entry),
-            retries.saturating_sub(retries_at_entry),
+            now.committed.saturating_sub(at_entry.committed),
+            now.aborted.saturating_sub(at_entry.aborted),
+            now.retried.saturating_sub(at_entry.retried),
         )
     };
     let mut report = result?;
@@ -235,10 +235,13 @@ fn drive_sequences_concurrently(
             // The measurement window spans the inter-query pacing wait plus
             // the query itself — the concurrent interval Figure 5(b) plots.
             let window = Instant::now();
-            let (commits_before, _, _) = system.oltp_live_counts();
+            let commits_before = system.oltp_live_counts().committed;
             if options.pacing_commits > 0 {
                 let deadline = window + options.max_pacing_wait;
-                while system.oltp_live_counts().0.saturating_sub(commits_before)
+                while system
+                    .oltp_live_counts()
+                    .committed
+                    .saturating_sub(commits_before)
                     < options.pacing_commits
                     && Instant::now() < deadline
                 {
@@ -254,7 +257,7 @@ fn drive_sequences_concurrently(
                 }
             };
             let elapsed = window.elapsed().as_secs_f64();
-            let (commits_after, _, _) = system.oltp_live_counts();
+            let commits_after = system.oltp_live_counts().committed;
             // Always prefer the measurement over the model, even when the
             // window saw zero commits (an honest 0 beats silently reverting
             // to the interference constant — and it keeps every weight in
@@ -264,6 +267,7 @@ fn drive_sequences_concurrently(
                     commits_after.saturating_sub(commits_before) as f64 / elapsed;
                 query_report.oltp_tps_measured = true;
                 query_report.oltp_sample_window = elapsed;
+                htap_obs::histogram("oltp.tps_measured").record_scaled(query_report.oltp_tps, 1.0);
             }
             seq_report.queries.push(query_report);
         }

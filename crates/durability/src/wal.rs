@@ -207,11 +207,14 @@ impl Wal {
                 }
                 let buf = std::mem::take(&mut st.buf);
                 let flush_to = st.next_lsn;
+                let batch_records = st.pending as u64;
                 st.pending = 0;
                 drop(st);
 
                 // I/O outside the state lock: the two mutexes are never held
                 // simultaneously.
+                let on = htap_obs::enabled();
+                let t_flush = if on { htap_obs::now_us() } else { 0 };
                 let result = {
                     let mut io = lock(&sh.io);
                     io.append(&buf).and_then(|()| {
@@ -220,6 +223,17 @@ impl Wal {
                     })
                 };
                 sh.batches.fetch_add(1, Ordering::Relaxed);
+                if on {
+                    // One event per group-commit batch on the leader's lane:
+                    // how many commit records the single fsync covered.
+                    htap_obs::record_thread(
+                        htap_obs::EventKind::WalFsyncBatch,
+                        t_flush,
+                        batch_records,
+                        htap_obs::now_us().saturating_sub(t_flush),
+                    );
+                    htap_obs::histogram("wal.fsync_batch_records").record(batch_records);
+                }
 
                 st = lock(&sh.state);
                 st.flushing = false;

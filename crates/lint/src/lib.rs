@@ -78,7 +78,8 @@ pub fn scope_for(path: &str) -> Scope {
             && (under("crates/olap/src/")
                 || under("crates/sql/src/")
                 || under("crates/storage/src/")
-                || under("crates/durability/src/")),
+                || under("crates/durability/src/")
+                || under("crates/obs/src/")),
         nondeterminism: !test_file && DETERMINISTIC_PATH_FILES.contains(&path),
     }
 }

@@ -4,7 +4,7 @@
 //! |----|------|-------|-----------|
 //! | L1 | `unordered-container` | `crates/olap/src`, `crates/sql/src` | no `HashMap`/`HashSet` in result-producing code: iteration order is nondeterministic, result ordering must come from morsel order or an explicit sort |
 //! | L2 | `undocumented-unsafe` | whole workspace | every `unsafe` carries a `// SAFETY:` (or `/// # Safety`) comment |
-//! | L3 | `no-panic` | `crates/{olap,sql,storage,durability}/src` | no `.unwrap()` / `.expect()` / `panic!` / `todo!` / `unimplemented!` on the query or recovery path — errors are typed (`OlapError`, `SqlError`, `DurabilityError`) |
+//! | L3 | `no-panic` | `crates/{olap,sql,storage,durability,obs}/src` | no `.unwrap()` / `.expect()` / `panic!` / `todo!` / `unimplemented!` on the query, recovery or tracing path — errors are typed (`OlapError`, `SqlError`, `DurabilityError`) and tracing must never take a worker down |
 //! | L4 | `lock-order` | whole workspace | the static graph of nested `.lock()`/`.read()`/`.write()` acquisitions is acyclic |
 //! | L5 | `nondeterministic-source` | `exec.rs`, `kernels.rs`, `hashtable.rs`, `program.rs` | no wall clock (`Instant`, `SystemTime`) or RNG construction inside deterministic execution paths |
 //!

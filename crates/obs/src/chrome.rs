@@ -1,0 +1,424 @@
+//! Chrome `trace_event` JSON export: one self-contained string covering the
+//! span log, every ring lane, and the RDE decision log, loadable in
+//! `chrome://tracing` or Perfetto.
+//!
+//! Layout: pid 1, with tid 0 carrying the query span trees, tid `lane+1`
+//! carrying that ring lane's events (named after the lane:
+//! `olap-worker-3`, `oltp-ingest-0`, `aux-1`), and the final tid carrying
+//! RDE decisions as instant events. Interval events (`ph: "X"`) come out of
+//! single completion-records (`ts` = start, `dur` = the payload word);
+//! packed `txn-commit` events are re-inflated into a commit span with
+//! lock/wal-wait/apply children, so commit trees cost nothing on the hot
+//! path. The JSON is hand-rolled (the repo's serde shim has no serializer)
+//! and escapes every dynamic string.
+//!
+//! Ring lanes are *drained* by the export (successive exports carry only
+//! new events); spans and decisions are snapshotted without draining.
+
+use crate::event::{unpack_morsel, unpack_phases, Event, EventKind};
+use crate::span::Span;
+
+/// Escape a string for a JSON literal (quotes, backslashes, control bytes).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an f64 for JSON (never NaN/Inf — those are not valid JSON).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+struct TraceWriter {
+    out: String,
+    first: bool,
+}
+
+impl TraceWriter {
+    fn new() -> Self {
+        TraceWriter {
+            out: String::from("{\"traceEvents\":[\n"),
+            first: true,
+        }
+    }
+
+    fn push(&mut self, event_json: String) {
+        if !self.first {
+            self.out.push_str(",\n");
+        }
+        self.first = false;
+        self.out.push_str(&event_json);
+    }
+
+    fn thread_name(&mut self, tid: usize, name: &str) {
+        self.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            esc(name)
+        ));
+    }
+
+    fn complete(&mut self, name: &str, tid: usize, ts: u64, dur: u64, args: &str) {
+        self.push(format!(
+            "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\
+             \"dur\":{dur},\"args\":{{{args}}}}}",
+            esc(name)
+        ));
+    }
+
+    fn instant(&mut self, name: &str, tid: usize, ts: u64, args: &str) {
+        self.push(format!(
+            "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{tid},\
+             \"ts\":{ts},\"args\":{{{args}}}}}",
+            esc(name)
+        ));
+    }
+
+    fn finish(mut self) -> String {
+        self.out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        self.out
+    }
+}
+
+/// Span trees go on tid 0 as nested complete events (Chrome nests `X`
+/// events on one tid by time containment).
+fn write_span(w: &mut TraceWriter, span: &Span) {
+    let mut args = String::new();
+    if !span.detail.is_empty() {
+        args.push_str(&format!("\"detail\":\"{}\"", esc(&span.detail)));
+    }
+    for (k, v) in &span.args {
+        if !args.is_empty() {
+            args.push(',');
+        }
+        args.push_str(&format!("\"{}\":{}", esc(k), num(*v)));
+    }
+    // Zero-duration spans still need dur >= 1 to be visible/nestable.
+    let dur = span.duration_us().max(1);
+    w.complete(span.name, 0, span.start_us, dur, &args);
+    for child in &span.children {
+        write_span(w, child);
+    }
+}
+
+/// One drained ring event onto its lane's tid.
+fn write_event(w: &mut TraceWriter, tid: usize, e: &Event) {
+    match e.kind {
+        EventKind::Morsel => {
+            let (pipeline, morsel) = unpack_morsel(e.a);
+            w.complete(
+                e.kind.name(),
+                tid,
+                e.ts_us,
+                e.b.max(1),
+                &format!("\"pipeline\":{pipeline},\"morsel\":{morsel}"),
+            );
+        }
+        EventKind::PipelineBuild | EventKind::PipelineProbe | EventKind::PipelineMerge => {
+            w.complete(
+                e.kind.name(),
+                tid,
+                e.ts_us,
+                e.b.max(1),
+                &format!("\"morsels\":{}", e.a),
+            );
+        }
+        EventKind::WalFsyncBatch => {
+            w.complete(
+                e.kind.name(),
+                tid,
+                e.ts_us,
+                e.b.max(1),
+                &format!("\"records\":{}", e.a),
+            );
+        }
+        EventKind::TxnCommit => {
+            // Re-inflate the packed phases into a commit span tree.
+            let (lock_us, wal_us, apply_us) = unpack_phases(e.b);
+            let total = (lock_us + wal_us + apply_us).max(1);
+            w.complete(
+                "txn-commit",
+                tid,
+                e.ts_us,
+                total,
+                &format!("\"ops\":{}", e.a),
+            );
+            let mut at = e.ts_us;
+            for (name, dur) in [
+                ("commit.lock", lock_us),
+                ("commit.wal-wait", wal_us),
+                ("commit.apply", apply_us),
+            ] {
+                if dur > 0 {
+                    w.complete(name, tid, at, dur, "");
+                    at += dur;
+                }
+            }
+        }
+        EventKind::TxnAbort => {
+            w.instant(e.kind.name(), tid, e.ts_us, &format!("\"worker\":{}", e.a));
+        }
+        EventKind::TxnRetry => {
+            w.instant(
+                e.kind.name(),
+                tid,
+                e.ts_us,
+                &format!("\"worker\":{},\"attempt\":{}", e.a, e.b),
+            );
+        }
+        EventKind::CheckpointBegin => {
+            w.instant(
+                e.kind.name(),
+                tid,
+                e.ts_us,
+                &format!("\"switches\":{}", e.a),
+            );
+        }
+        EventKind::CheckpointEnd => {
+            w.complete(
+                e.kind.name(),
+                tid,
+                e.ts_us,
+                e.b.max(1),
+                &format!("\"tables\":{}", e.a),
+            );
+        }
+    }
+}
+
+/// Export everything recorded so far as Chrome `trace_event` JSON. Ring
+/// lanes are drained (a second export carries only newer events); spans
+/// and RDE decisions are snapshotted.
+pub fn chrome_trace_json() -> String {
+    let mut w = TraceWriter::new();
+    w.push(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\
+         \"args\":{\"name\":\"adaptive-htap\"}}"
+            .to_string(),
+    );
+    w.thread_name(0, "queries");
+
+    for span in crate::spans_snapshot() {
+        write_span(&mut w, &span);
+    }
+
+    let (lanes, _dropped) = crate::drain_events();
+    for (lane, events) in &lanes {
+        let tid = lane + 1;
+        w.thread_name(tid, &crate::lane_name(*lane));
+        for e in events {
+            write_event(&mut w, tid, e);
+        }
+    }
+
+    let rde_tid = crate::OLAP_LANES + crate::OLTP_LANES + crate::AUX_LANES + 1;
+    let decisions = crate::decisions_snapshot();
+    if !decisions.is_empty() {
+        w.thread_name(rde_tid, "rde-scheduler");
+    }
+    for d in decisions {
+        let name = format!("rde-{}", d.action);
+        let args = format!(
+            "\"query\":\"{}\",\"freshness\":{},\"pending_delta_rows\":{},\
+             \"active_oltp_workers\":{},\"state\":\"{}\",\"oltp_cores\":{},\
+             \"olap_cores\":{},\"modeled_time_s\":{}",
+            esc(&d.query),
+            num(d.freshness),
+            d.pending_delta_rows,
+            d.active_oltp_workers,
+            esc(&d.state),
+            d.oltp_cores,
+            d.olap_cores,
+            num(d.modeled_time_s),
+        );
+        w.instant(&name, rde_tid, d.ts_us, &args);
+    }
+
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::pack_phases;
+
+    /// Minimal JSON well-formedness checker: values, objects, arrays,
+    /// strings with escapes, numbers, bools, null. Returns the remaining
+    /// input on success.
+    fn skip_ws(s: &[u8], mut i: usize) -> usize {
+        while i < s.len() && (s[i] as char).is_ascii_whitespace() {
+            i += 1;
+        }
+        i
+    }
+
+    fn parse_value(s: &[u8], i: usize) -> Result<usize, String> {
+        let i = skip_ws(s, i);
+        match s.get(i) {
+            Some(b'{') => {
+                let mut i = skip_ws(s, i + 1);
+                if s.get(i) == Some(&b'}') {
+                    return Ok(i + 1);
+                }
+                loop {
+                    i = parse_string(s, skip_ws(s, i))?;
+                    i = skip_ws(s, i);
+                    if s.get(i) != Some(&b':') {
+                        return Err(format!("expected ':' at {i}"));
+                    }
+                    i = parse_value(s, i + 1)?;
+                    i = skip_ws(s, i);
+                    match s.get(i) {
+                        Some(b',') => i += 1,
+                        Some(b'}') => return Ok(i + 1),
+                        other => return Err(format!("expected ',' or '}}' at {i}: {other:?}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                let mut i = skip_ws(s, i + 1);
+                if s.get(i) == Some(&b']') {
+                    return Ok(i + 1);
+                }
+                loop {
+                    i = parse_value(s, i)?;
+                    i = skip_ws(s, i);
+                    match s.get(i) {
+                        Some(b',') => i += 1,
+                        Some(b']') => return Ok(i + 1),
+                        other => return Err(format!("expected ',' or ']' at {i}: {other:?}")),
+                    }
+                }
+            }
+            Some(b'"') => parse_string(s, i),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                let mut i = i + 1;
+                while i < s.len()
+                    && (s[i].is_ascii_digit() || matches!(s[i], b'.' | b'e' | b'E' | b'+' | b'-'))
+                {
+                    i += 1;
+                }
+                Ok(i)
+            }
+            Some(b't') => expect(s, i, b"true"),
+            Some(b'f') => expect(s, i, b"false"),
+            Some(b'n') => expect(s, i, b"null"),
+            other => Err(format!("unexpected {other:?} at {i}")),
+        }
+    }
+
+    fn expect(s: &[u8], i: usize, word: &[u8]) -> Result<usize, String> {
+        if s.len() >= i + word.len() && &s[i..i + word.len()] == word {
+            Ok(i + word.len())
+        } else {
+            Err(format!("bad literal at {i}"))
+        }
+    }
+
+    fn parse_string(s: &[u8], i: usize) -> Result<usize, String> {
+        if s.get(i) != Some(&b'"') {
+            return Err(format!("expected '\"' at {i}"));
+        }
+        let mut i = i + 1;
+        while let Some(&c) = s.get(i) {
+            match c {
+                b'"' => return Ok(i + 1),
+                b'\\' => i += 2,
+                _ => i += 1,
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn assert_valid_json(text: &str) {
+        let bytes = text.as_bytes();
+        let end = parse_value(bytes, 0).unwrap_or_else(|e| panic!("invalid JSON: {e}"));
+        assert_eq!(skip_ws(bytes, end), bytes.len(), "trailing garbage");
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_control_bytes() {
+        assert_eq!(esc("a\"b\\c\nd\te\u{1}"), "a\\\"b\\\\c\\nd\\te\\u0001");
+        assert_eq!(num(f64::NAN), "0");
+        assert_eq!(num(1.5), "1.5");
+    }
+
+    #[test]
+    fn export_is_valid_json_and_carries_all_sources() {
+        let _g = crate::test_lock();
+        crate::set_enabled(true);
+        // A span tree with hostile characters in the detail.
+        {
+            let g = crate::span("query");
+            g.detail("SELECT \"x\"\n\t\\");
+            g.arg("freshness", 0.25);
+            let _child = crate::span("query.execute");
+        }
+        // Ring events of every kind.
+        crate::record_olap(
+            0,
+            EventKind::Morsel,
+            crate::now_us(),
+            crate::pack_morsel(7, 3),
+            12,
+        );
+        crate::record_thread(EventKind::PipelineBuild, crate::now_us(), 4, 100);
+        crate::record_thread(EventKind::PipelineProbe, crate::now_us(), 8, 200);
+        crate::record_thread(EventKind::PipelineMerge, crate::now_us(), 8, 5);
+        crate::record_thread(EventKind::WalFsyncBatch, crate::now_us(), 6, 800);
+        crate::record_thread(
+            EventKind::TxnCommit,
+            crate::now_us(),
+            3,
+            pack_phases(10, 500, 20),
+        );
+        crate::record_thread(EventKind::TxnAbort, crate::now_us(), 2, 0);
+        crate::record_thread(EventKind::TxnRetry, crate::now_us(), 2, 1);
+        crate::record_thread(EventKind::CheckpointBegin, crate::now_us(), 5, 0);
+        crate::record_thread(EventKind::CheckpointEnd, crate::now_us(), 9, 3000);
+        // One decision.
+        crate::record_decision(crate::DecisionInputs {
+            query: "Q1".into(),
+            freshness: 0.5,
+            pending_delta_rows: 123,
+            active_oltp_workers: 4,
+            state: "S3-NI".into(),
+            oltp_cores: 12,
+            olap_cores: 4,
+            modeled_time_s: 0.05,
+        });
+
+        let json = chrome_trace_json();
+        assert_valid_json(&json);
+        for needle in [
+            "\"traceEvents\"",
+            "\"morsel\"",
+            "\"pipeline-build\"",
+            "\"wal-fsync-batch\"",
+            "\"txn-commit\"",
+            "\"commit.wal-wait\"",
+            "\"checkpoint-end\"",
+            "\"query\"",
+            "rde-",
+            "\"pending_delta_rows\":123",
+            "olap-worker-0",
+        ] {
+            assert!(json.contains(needle), "export lacks {needle}: {json}");
+        }
+    }
+}

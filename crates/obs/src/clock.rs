@@ -1,0 +1,35 @@
+//! The trace clock: microseconds since a process-wide epoch.
+//!
+//! Every timestamp in the observability subsystem — ring events, spans, RDE
+//! decisions — comes from this one monotonic clock, so intervals from
+//! different threads and layers line up on a single Chrome-trace timeline.
+//!
+//! The epoch is pinned on first use. Instrumented deterministic-path files
+//! (lint rule L5 forbids `Instant`/`SystemTime` tokens in
+//! `crates/olap/src/{exec,kernels,hashtable,program}.rs`) call [`now_us`]
+//! instead of constructing a clock themselves: timestamps are taken at
+//! morsel and pipeline granularity in the driver, never inside kernels, and
+//! never feed back into query results.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Microseconds elapsed since the process trace epoch (the first call to
+/// any clock user). Monotonic; never allocates after the first call.
+pub fn now_us() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let a = now_us();
+        let b = now_us();
+        assert!(b >= a);
+    }
+}

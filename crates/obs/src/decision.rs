@@ -1,0 +1,162 @@
+//! The RDE decision log: one record per scheduling decision, carrying the
+//! scheduler's *inputs* (freshness estimate, pending delta rows, active
+//! OLTP workers) and its chosen action, so a fig5 run can answer "why did
+//! the engine grant/revoke cores here?" instead of only showing that it did.
+
+use crate::clock::now_us;
+
+/// Decisions kept before drop-newest kicks in.
+pub(crate) const DECISION_LOG_CAPACITY: usize = 4096;
+
+/// One elastic-scheduling decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RdeDecision {
+    /// When the decision was taken, µs since the trace epoch.
+    pub ts_us: u64,
+    /// The query (label) that triggered scheduling.
+    pub query: String,
+    /// Measured fresh-data rate the decision saw, in `[0,1]`.
+    pub freshness: f64,
+    /// Delta-store rows pending ETL at decision time (the queue depth the
+    /// scheduler weighs against freshness).
+    pub pending_delta_rows: u64,
+    /// OLTP ingest workers active at decision time.
+    pub active_oltp_workers: u64,
+    /// The system state chosen ("S1", "S2", "S3-NI", ...).
+    pub state: String,
+    /// OLTP cores after the migration.
+    pub oltp_cores: usize,
+    /// OLAP cores after the migration.
+    pub olap_cores: usize,
+    /// The scheduler's modeled execution time for the query, seconds.
+    pub modeled_time_s: f64,
+    /// Chosen action relative to the previous decision: "grant-olap"
+    /// (cores moved to OLAP), "revoke-olap" (cores moved back to OLTP), or
+    /// "hold".
+    pub action: &'static str,
+}
+
+/// Bounded log plus the state needed to classify the next decision.
+#[derive(Debug, Default)]
+pub(crate) struct DecisionLog {
+    pub(crate) entries: Vec<RdeDecision>,
+    pub(crate) dropped: u64,
+    last_olap_cores: Option<usize>,
+}
+
+impl DecisionLog {
+    pub(crate) fn push(&mut self, mut d: RdeDecision) {
+        d.action = match self.last_olap_cores {
+            Some(prev) if d.olap_cores > prev => "grant-olap",
+            Some(prev) if d.olap_cores < prev => "revoke-olap",
+            Some(_) => "hold",
+            None => "initial",
+        };
+        self.last_olap_cores = Some(d.olap_cores);
+        if self.entries.capacity() == 0 {
+            self.entries.reserve_exact(DECISION_LOG_CAPACITY);
+        }
+        if self.entries.len() < DECISION_LOG_CAPACITY {
+            self.entries.push(d);
+        } else {
+            self.dropped += 1;
+        }
+    }
+}
+
+/// Inputs for [`record_decision`]; the action classification and timestamp
+/// are filled in by the log.
+#[derive(Debug, Clone, Default)]
+pub struct DecisionInputs {
+    /// The query (label) being scheduled.
+    pub query: String,
+    /// Measured fresh-data rate, `[0,1]`.
+    pub freshness: f64,
+    /// Delta rows pending ETL.
+    pub pending_delta_rows: u64,
+    /// Active OLTP ingest workers.
+    pub active_oltp_workers: u64,
+    /// Chosen system state label.
+    pub state: String,
+    /// OLTP cores after migration.
+    pub oltp_cores: usize,
+    /// OLAP cores after migration.
+    pub olap_cores: usize,
+    /// Modeled query time, seconds.
+    pub modeled_time_s: f64,
+}
+
+/// Record one scheduling decision (no-op when tracing is disabled). The
+/// grant/revoke/hold action is derived from the previous decision's OLAP
+/// core count.
+pub fn record_decision(inputs: DecisionInputs) {
+    if !crate::enabled() {
+        return;
+    }
+    crate::obs().decisions.lock().push(RdeDecision {
+        ts_us: now_us(),
+        query: inputs.query,
+        freshness: inputs.freshness,
+        pending_delta_rows: inputs.pending_delta_rows,
+        active_oltp_workers: inputs.active_oltp_workers,
+        state: inputs.state,
+        oltp_cores: inputs.oltp_cores,
+        olap_cores: inputs.olap_cores,
+        modeled_time_s: inputs.modeled_time_s,
+        action: "initial",
+    });
+}
+
+/// Clone the decisions recorded so far (oldest first), without draining.
+pub fn decisions_snapshot() -> Vec<RdeDecision> {
+    crate::obs().decisions.lock().entries.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actions_classify_against_the_previous_decision() {
+        let mut log = DecisionLog::default();
+        let d = |olap: usize| RdeDecision {
+            ts_us: 0,
+            query: "q".into(),
+            freshness: 0.5,
+            pending_delta_rows: 10,
+            active_oltp_workers: 4,
+            state: "S3-NI".into(),
+            oltp_cores: 16 - olap,
+            olap_cores: olap,
+            modeled_time_s: 0.1,
+            action: "",
+        };
+        log.push(d(4));
+        log.push(d(8));
+        log.push(d(8));
+        log.push(d(2));
+        let actions: Vec<_> = log.entries.iter().map(|e| e.action).collect();
+        assert_eq!(actions, ["initial", "grant-olap", "hold", "revoke-olap"]);
+    }
+
+    #[test]
+    fn log_is_bounded_with_a_dropped_counter() {
+        let mut log = DecisionLog::default();
+        for i in 0..(DECISION_LOG_CAPACITY + 5) {
+            log.push(RdeDecision {
+                ts_us: i as u64,
+                query: String::new(),
+                freshness: 0.0,
+                pending_delta_rows: 0,
+                active_oltp_workers: 0,
+                state: String::new(),
+                oltp_cores: 0,
+                olap_cores: 0,
+                modeled_time_s: 0.0,
+                action: "",
+            });
+        }
+        assert_eq!(log.entries.len(), DECISION_LOG_CAPACITY);
+        assert_eq!(log.dropped, 5);
+    }
+}

@@ -57,7 +57,7 @@ use crate::source::{BoundLayout, ScanSource};
 use crate::worker::WorkerTeam;
 use htap_sim::{JoinWork, ScanSegment, ScanWork, SocketId};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// One grouped result row: the group key values followed by the aggregates.
 pub type GroupRow = (Vec<i64>, Vec<f64>);
@@ -645,12 +645,30 @@ struct BuildOut {
     profile: WorkProfile,
 }
 
+/// Per-worker morsel rollup for one pipeline, accumulated with relaxed
+/// atomics from inside the worker loop and flattened into `worker` child
+/// spans when the pipeline closes. One fixed-size vector per pipeline run —
+/// constant per query, so the steady-state allocation count is unchanged.
+#[derive(Debug, Default)]
+struct LaneRollup {
+    morsels: AtomicU64,
+    busy_us: AtomicU64,
+    first_us: AtomicU64,
+    last_us: AtomicU64,
+}
+
 /// Drive one pipeline over `morsels`: the team's workers claim morsels from
 /// a shared atomic cursor (dynamic load balancing); each worker builds its
 /// scratch and output once via `make` and reuses them for every morsel it
 /// claims; `step` processes one claimed morsel. Per-worker outputs are
 /// returned in worker order — shape-specific merges then order the
 /// per-morsel partials they carry by morsel index.
+///
+/// When tracing is enabled (checked once per pipeline, never per morsel),
+/// each claimed morsel records one [`htap_obs::EventKind::Morsel`] interval
+/// into the claiming worker's event ring — timestamps are taken around the
+/// whole `step`, outside the kernel loops — and the pipeline publishes an
+/// `olap.pipeline` span with per-worker rollup children.
 fn run_morsel_pipeline<S, O, M, F>(
     team: &WorkerTeam,
     morsels: &[Morsel],
@@ -662,18 +680,73 @@ where
     M: Fn() -> (S, O) + Sync,
     F: Fn(usize, &Morsel, &mut S, &mut O) -> Result<(), OlapError> + Sync,
 {
+    let team = team.capped(morsels.len());
+    let on = htap_obs::enabled();
+    let pipeline = if on { htap_obs::pipeline_seq() } else { 0 };
+    let guard = htap_obs::span("olap.pipeline");
+    let rollups: Vec<LaneRollup> = if on {
+        (0..team.size())
+            .map(|_| LaneRollup {
+                first_us: AtomicU64::new(u64::MAX),
+                ..LaneRollup::default()
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
     let cursor = AtomicUsize::new(0);
-    let results = team.capped(morsels.len()).run(|_| {
+    let results = team.run(|w| {
         let (mut scratch, mut out) = make();
         loop {
             let idx = cursor.fetch_add(1, Ordering::Relaxed);
             if idx >= morsels.len() {
                 break;
             }
-            step(idx, &morsels[idx], &mut scratch, &mut out)?;
+            if on {
+                let t0 = htap_obs::now_us();
+                step(idx, &morsels[idx], &mut scratch, &mut out)?;
+                let t1 = htap_obs::now_us();
+                htap_obs::record_olap(
+                    w,
+                    htap_obs::EventKind::Morsel,
+                    t0,
+                    htap_obs::pack_morsel(pipeline, idx as u64),
+                    t1.saturating_sub(t0),
+                );
+                if let Some(lane) = rollups.get(w) {
+                    lane.morsels.fetch_add(1, Ordering::Relaxed);
+                    lane.busy_us
+                        .fetch_add(t1.saturating_sub(t0), Ordering::Relaxed);
+                    lane.first_us.fetch_min(t0, Ordering::Relaxed);
+                    lane.last_us.fetch_max(t1, Ordering::Relaxed);
+                }
+            } else {
+                step(idx, &morsels[idx], &mut scratch, &mut out)?;
+            }
         }
         Ok(out)
     });
+    if guard.is_active() {
+        guard.arg("pipeline", pipeline as f64);
+        guard.arg("morsels", morsels.len() as f64);
+        guard.arg("workers", team.size() as f64);
+        for (w, lane) in rollups.iter().enumerate() {
+            let claimed = lane.morsels.load(Ordering::Relaxed);
+            if claimed == 0 {
+                continue;
+            }
+            htap_obs::child_span(
+                "worker",
+                lane.first_us.load(Ordering::Relaxed),
+                lane.last_us.load(Ordering::Relaxed),
+                &[
+                    ("worker", w as f64),
+                    ("morsels", claimed as f64),
+                    ("busy_us", lane.busy_us.load(Ordering::Relaxed) as f64),
+                ],
+            );
+        }
+    }
     results.into_iter().collect()
 }
 
@@ -943,6 +1016,8 @@ impl QueryExecutor {
                 },
             )
         };
+        let on = htap_obs::enabled();
+        let t_build = if on { htap_obs::now_us() } else { 0 };
         let outs = run_morsel_pipeline(team, &morsels, make, |_idx, morsel, scratch, out| {
             let rows = morsel.row_count();
             load_morsel(source, &pipe.layout, morsel, &mut scratch.data);
@@ -996,6 +1071,15 @@ impl QueryExecutor {
             work.probes += out.probes;
             table.union(&out.table);
         }
+        if on {
+            let t1 = htap_obs::now_us();
+            htap_obs::record_thread(
+                htap_obs::EventKind::PipelineBuild,
+                t_build,
+                morsels.len() as u64,
+                t1.saturating_sub(t_build),
+            );
+        }
         Ok(table)
     }
 
@@ -1022,6 +1106,8 @@ impl QueryExecutor {
         let morsels = source.morsels(self.block_rows);
         let n_aggs = spec.aggregates.len();
         let make = || (pipe.scratch(), ScalarOut::new(n_aggs, morsels.len()));
+        let on = htap_obs::enabled();
+        let t_probe = if on { htap_obs::now_us() } else { 0 };
         let outs = run_morsel_pipeline(team, &morsels, make, |idx, morsel, scratch, out| {
             let rows = morsel.row_count();
             load_morsel(source, &pipe.layout, morsel, &mut scratch.data);
@@ -1074,7 +1160,27 @@ impl QueryExecutor {
             bufs.restore(scratch);
             Ok(())
         })?;
+        let t_merge = if on {
+            let t1 = htap_obs::now_us();
+            htap_obs::record_thread(
+                htap_obs::EventKind::PipelineProbe,
+                t_probe,
+                morsels.len() as u64,
+                t1.saturating_sub(t_probe),
+            );
+            t1
+        } else {
+            0
+        };
         let states = merge_scalar_outs(outs, n_aggs, morsels.len(), work);
+        if on {
+            htap_obs::record_thread(
+                htap_obs::EventKind::PipelineMerge,
+                t_merge,
+                morsels.len() as u64,
+                htap_obs::now_us().saturating_sub(t_merge),
+            );
+        }
         Ok(QueryResult::Scalars(
             spec.aggregates
                 .iter()
@@ -1121,6 +1227,8 @@ impl QueryExecutor {
             scratch.groups.configure(n_keys, n_aggs);
             (scratch, GroupOut::new(morsels.len()))
         };
+        let on = htap_obs::enabled();
+        let t_probe = if on { htap_obs::now_us() } else { 0 };
         let outs = run_morsel_pipeline(team, &morsels, make, |idx, morsel, scratch, out| {
             let rows = morsel.row_count();
             load_morsel(source, &pipe.layout, morsel, &mut scratch.data);
@@ -1177,14 +1285,28 @@ impl QueryExecutor {
             bufs.restore(scratch);
             Ok(())
         })?;
-        Ok(merge_group_outs(
-            outs,
-            n_keys,
-            n_aggs,
-            morsels.len(),
-            &spec.aggregates,
-            work,
-        ))
+        let t_merge = if on {
+            let t1 = htap_obs::now_us();
+            htap_obs::record_thread(
+                htap_obs::EventKind::PipelineProbe,
+                t_probe,
+                morsels.len() as u64,
+                t1.saturating_sub(t_probe),
+            );
+            t1
+        } else {
+            0
+        };
+        let rows = merge_group_outs(outs, n_keys, n_aggs, morsels.len(), &spec.aggregates, work);
+        if on {
+            htap_obs::record_thread(
+                htap_obs::EventKind::PipelineMerge,
+                t_merge,
+                morsels.len() as u64,
+                htap_obs::now_us().saturating_sub(t_merge),
+            );
+        }
+        Ok(rows)
     }
 }
 

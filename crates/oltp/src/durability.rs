@@ -121,6 +121,11 @@ impl DurabilityController {
     /// Write a checkpoint of the current store and truncate the WAL to it.
     /// The caller must hold the switch gate for writing (quiesced engine).
     pub(crate) fn checkpoint_quiesced(&self, engine: &OltpEngine) -> Result<(), DurabilityError> {
+        let on = htap_obs::enabled();
+        let t_ckpt = if on { htap_obs::now_us() } else { 0 };
+        if on {
+            htap_obs::record_thread(htap_obs::EventKind::CheckpointBegin, t_ckpt, 0, 0);
+        }
         // No transaction is in flight, so every durable record is also
         // applied and `next_lsn` covers exactly the captured state.
         let lsn = self.wal.next_lsn();
@@ -161,10 +166,19 @@ impl DurabilityController {
         // Checkpoint first, truncate second: a crash between the two leaves
         // an un-truncated WAL prefix that recovery simply skips, because
         // replay starts at the checkpoint LSN.
+        let table_count = data.tables.len() as u64;
         self.storage
             .write_atomic(&self.checkpoint_file, &data.encode())?;
         self.wal.truncate_to(lsn)?;
         self.checkpoints_taken.fetch_add(1, Ordering::Relaxed);
+        if on {
+            htap_obs::record_thread(
+                htap_obs::EventKind::CheckpointEnd,
+                t_ckpt,
+                table_count,
+                htap_obs::now_us().saturating_sub(t_ckpt),
+            );
+        }
         Ok(())
     }
 }

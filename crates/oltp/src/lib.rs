@@ -31,4 +31,4 @@ pub use engine::{OltpEngine, TableRuntime};
 pub use locks::{LockKey, LockMode, LockTable};
 pub use metrics::ThroughputCounter;
 pub use txn::{Transaction, TxnError, TxnId, TxnManager, TxnOutcome};
-pub use worker::{RetryPolicy, WorkerManager, WorkerReport};
+pub use worker::{OltpCounts, RetryPolicy, WorkerManager, WorkerReport};

@@ -361,6 +361,13 @@ impl<'a> Transaction<'a> {
     pub fn commit(mut self) -> Result<u64, TxnError> {
         self.check_active()?;
 
+        // Phase timing for the TxnCommit ring event (lock-validate /
+        // WAL-wait / apply). One enabled check per commit; with tracing off
+        // the clock is never read. No allocation either way — the phases are
+        // bit-packed into one event word and re-inflated at trace export.
+        let on = htap_obs::enabled();
+        let t_lock = if on { htap_obs::now_us() } else { 0 };
+
         // Validation: any record we are about to overwrite must not have been
         // overwritten by a transaction that committed after our snapshot.
         for upd in &self.updates {
@@ -376,6 +383,7 @@ impl<'a> Transaction<'a> {
         }
 
         let commit_ts = self.mgr.next_ts();
+        let t_wal = if on { htap_obs::now_us() } else { 0 };
 
         // WAL-before-apply: the commit record must be durable before any
         // write touches the live store. On failure the transaction aborts
@@ -413,6 +421,7 @@ impl<'a> Transaction<'a> {
             }
         }
 
+        let t_apply = if on { htap_obs::now_us() } else { 0 };
         for upd in &self.updates {
             let old = upd
                 .table
@@ -447,6 +456,19 @@ impl<'a> Transaction<'a> {
         self.mgr.locks.release_all(self.id, &self.locks);
         self.mgr.metrics.record_commit();
         self.finished = true;
+        if on {
+            let t_end = htap_obs::now_us();
+            htap_obs::record_thread(
+                htap_obs::EventKind::TxnCommit,
+                t_lock,
+                self.write_count() as u64,
+                htap_obs::pack_phases(
+                    t_wal.saturating_sub(t_lock),
+                    t_apply.saturating_sub(t_wal),
+                    t_end.saturating_sub(t_apply),
+                ),
+            );
+        }
         Ok(commit_ts)
     }
 

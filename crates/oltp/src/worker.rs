@@ -49,6 +49,76 @@ impl WorkerReport {
     }
 }
 
+/// One consistent snapshot of the live ingest counters.
+///
+/// Produced by a seqlock read of [`CountsCell`], so the three totals belong
+/// to the same instant — unlike summing three per-worker atomic vectors,
+/// where commits landing between the sums could show, e.g., a retry without
+/// its eventual commit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OltpCounts {
+    /// Transactions committed.
+    pub committed: u64,
+    /// Transactions that gave up (aborted on their final attempt).
+    pub aborted: u64,
+    /// Retry attempts (disjoint from `aborted`).
+    pub retried: u64,
+}
+
+/// Seqlock-protected counter triple: writers serialize through an odd/even
+/// sequence word; readers retry until they observe the same even sequence
+/// on both sides of the payload read, guaranteeing a torn-free snapshot.
+/// Writes are one CAS + three relaxed adds — cheap enough for once per
+/// transaction outcome.
+#[derive(Debug, Default)]
+struct CountsCell {
+    seq: AtomicU64,
+    committed: AtomicU64,
+    aborted: AtomicU64,
+    retried: AtomicU64,
+}
+
+impl CountsCell {
+    fn add(&self, committed: u64, aborted: u64, retried: u64) {
+        loop {
+            let s = self.seq.load(Ordering::Relaxed);
+            if s & 1 == 0
+                && self
+                    .seq
+                    .compare_exchange_weak(s, s + 1, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                self.committed.fetch_add(committed, Ordering::Relaxed);
+                self.aborted.fetch_add(aborted, Ordering::Relaxed);
+                self.retried.fetch_add(retried, Ordering::Relaxed);
+                self.seq.store(s + 2, Ordering::Release);
+                return;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    fn read(&self) -> OltpCounts {
+        loop {
+            let s1 = self.seq.load(Ordering::Acquire);
+            if s1 & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let snapshot = OltpCounts {
+                committed: self.committed.load(Ordering::Relaxed),
+                aborted: self.aborted.load(Ordering::Relaxed),
+                retried: self.retried.load(Ordering::Relaxed),
+            };
+            std::sync::atomic::fence(Ordering::Acquire);
+            if self.seq.load(Ordering::Relaxed) == s1 {
+                return snapshot;
+            }
+            std::hint::spin_loop();
+        }
+    }
+}
+
 /// Retry policy for aborted transactions in the long-running ingest pool.
 ///
 /// NO-WAIT concurrency control trades waiting for aborts; under contention a
@@ -144,6 +214,10 @@ struct IngestShared {
     committed: Vec<AtomicU64>,
     aborted: Vec<AtomicU64>,
     retried: Vec<AtomicU64>,
+    /// Consistent-snapshot mirror of the per-worker vectors, updated in the
+    /// same places — [`WorkerManager::live_counts`] reads this instead of
+    /// summing the vectors so its triple never tears.
+    counts: CountsCell,
     stop: AtomicBool,
 }
 
@@ -279,6 +353,7 @@ impl WorkerManager {
             committed: (0..pool_size).map(|_| AtomicU64::new(0)).collect(),
             aborted: (0..pool_size).map(|_| AtomicU64::new(0)).collect(),
             retried: (0..pool_size).map(|_| AtomicU64::new(0)).collect(),
+            counts: CountsCell::default(),
             stop: AtomicBool::new(false),
         });
         let body = Arc::new(body);
@@ -290,6 +365,14 @@ impl WorkerManager {
                 std::thread::Builder::new()
                     .name(format!("oltp-ingest-{worker_id}"))
                     .spawn(move || {
+                        // Route this thread's ring events (commit, abort,
+                        // retry) to its own oltp-ingest lane, and fetch the
+                        // named-counter handles once — increments on the
+                        // transaction path are then relaxed atomic adds.
+                        htap_obs::bind_thread_oltp(worker_id);
+                        let m_committed = htap_obs::counter("oltp.txn.committed");
+                        let m_aborted = htap_obs::counter("oltp.txn.aborted");
+                        let m_retried = htap_obs::counter("oltp.txn.retried");
                         // The worker's core, when it is inside the current
                         // grant (active and with an assigned affinity slot).
                         let granted_core = |state: &PoolState| {
@@ -315,6 +398,8 @@ impl WorkerManager {
                             loop {
                                 if body(worker_id, core, txn_index) {
                                     shared.committed[worker_id].fetch_add(1, Ordering::Release);
+                                    shared.counts.add(1, 0, 0);
+                                    m_committed.inc();
                                     break;
                                 }
                                 let policy = *state.retry.read();
@@ -322,10 +407,26 @@ impl WorkerManager {
                                     || shared.stop.load(Ordering::Acquire)
                                 {
                                     shared.aborted[worker_id].fetch_add(1, Ordering::Release);
+                                    shared.counts.add(0, 1, 0);
+                                    m_aborted.inc();
+                                    htap_obs::record_thread(
+                                        htap_obs::EventKind::TxnAbort,
+                                        htap_obs::now_us(),
+                                        worker_id as u64,
+                                        txn_index,
+                                    );
                                     break;
                                 }
                                 attempt += 1;
                                 shared.retried[worker_id].fetch_add(1, Ordering::Release);
+                                shared.counts.add(0, 0, 1);
+                                m_retried.inc();
+                                htap_obs::record_thread(
+                                    htap_obs::EventKind::TxnRetry,
+                                    htap_obs::now_us(),
+                                    worker_id as u64,
+                                    u64::from(attempt),
+                                );
                                 let backoff =
                                     policy.backoff_for(worker_id as u64, txn_index, attempt);
                                 if backoff > 0 {
@@ -347,32 +448,18 @@ impl WorkerManager {
         self.ingest.lock().is_some()
     }
 
-    /// Live `(committed, aborted, retried)` totals of the running ingest
-    /// pool — sampled without stopping it, so callers can derive measured
-    /// OLTP throughput around each analytical query. `aborted` counts
-    /// transactions that gave up; `retried` counts re-attempts that are NOT
-    /// in `aborted`. `(0, 0, 0)` when no pool runs. Allocation-free: pacing
-    /// loops poll this at high frequency.
-    pub fn live_counts(&self) -> (u64, u64, u64) {
+    /// Live totals of the running ingest pool — sampled without stopping it,
+    /// so callers can derive measured OLTP throughput around each analytical
+    /// query. `aborted` counts transactions that gave up; `retried` counts
+    /// re-attempts that are NOT in `aborted`. All three fields come from one
+    /// seqlock snapshot, so they are mutually consistent (a commit and the
+    /// retries that preceded it are either both visible or both not).
+    /// Zeroes when no pool runs. Allocation-free: pacing loops poll this at
+    /// high frequency.
+    pub fn live_counts(&self) -> OltpCounts {
         match self.ingest.lock().as_ref() {
-            Some(pool) => (
-                pool.shared
-                    .committed
-                    .iter()
-                    .map(|c| c.load(Ordering::Acquire))
-                    .sum(),
-                pool.shared
-                    .aborted
-                    .iter()
-                    .map(|a| a.load(Ordering::Acquire))
-                    .sum(),
-                pool.shared
-                    .retried
-                    .iter()
-                    .map(|r| r.load(Ordering::Acquire))
-                    .sum(),
-            ),
-            None => (0, 0, 0),
+            Some(pool) => pool.shared.counts.read(),
+            None => OltpCounts::default(),
         }
     }
 
@@ -572,8 +659,8 @@ mod tests {
         // A second start must not spawn a second pool.
         assert_eq!(wm.start(|_, _, _| true), 0);
         wait_until(|| {
-            let (committed, aborted, _) = wm.live_counts();
-            committed > 0 && aborted > 0
+            let counts = wm.live_counts();
+            counts.committed > 0 && counts.aborted > 0
         });
         let report = wm.stop();
         assert!(!wm.ingest_running());
@@ -584,7 +671,7 @@ mod tests {
         assert_eq!(report.retried(), 0);
         // Stopping again is a no-op.
         assert_eq!(wm.stop(), WorkerReport::default());
-        assert_eq!(wm.live_counts(), (0, 0, 0));
+        assert_eq!(wm.live_counts(), OltpCounts::default());
     }
 
     #[test]
@@ -592,7 +679,7 @@ mod tests {
         let wm = WorkerManager::new();
         wm.set_workers(&cores(4));
         assert_eq!(wm.start(|_, _, _| true), 4);
-        wait_until(|| wm.live_counts().0 > 0);
+        wait_until(|| wm.live_counts().committed > 0);
 
         // Revoke all but one worker (the RDE engine shrinking the grant):
         // only worker 0 may make further progress. A revoked worker can
@@ -651,7 +738,7 @@ mod tests {
             }),
             2
         );
-        wait_until(|| wm.live_counts().0 >= 10);
+        wait_until(|| wm.live_counts().committed >= 10);
         let report = wm.stop();
         // Nothing gave up mid-run (3 retries > 2 needed); only the in-flight
         // transaction on each worker may abort when stop() raises the flag.
@@ -704,7 +791,7 @@ mod tests {
         wm.set_workers(&cores(2));
         // Capacity for 4 workers even though only 2 cores are granted now.
         assert_eq!(wm.start_with_capacity(4, |_, _, _| true), 4);
-        wait_until(|| wm.live_counts().0 > 0);
+        wait_until(|| wm.live_counts().committed > 0);
         let before = wm.per_worker_committed();
         assert_eq!(before.len(), 4);
 

@@ -275,6 +275,7 @@ impl RdeEngine {
     /// active instance. The modelled time is charged to the
     /// [`Activity::InstanceSync`] counter.
     pub fn switch_and_sync(&self) -> SwitchReport {
+        let guard = htap_obs::span("rde.switch");
         let (outcomes, sync) = self.oltp.switch_and_sync_instances();
 
         let snapshot_rows: u64 = outcomes.values().map(|o| o.snapshot_rows).sum();
@@ -303,6 +304,10 @@ impl RdeEngine {
             }
         }
 
+        if guard.is_active() {
+            guard.arg("synced_records", synced_records as f64);
+            guard.arg("skipped_records", skipped_records as f64);
+        }
         SwitchReport {
             snapshot_rows,
             synced_records,
@@ -317,6 +322,7 @@ impl RdeEngine {
     /// is charged to [`Activity::DataTransfer`] and, per §3.4, is paid by the
     /// query that triggered it.
     pub fn etl_to_olap(&self) -> EtlReport {
+        let guard = htap_obs::span("rde.etl");
         let mut copied_rows = 0u64;
         let mut copied_bytes = 0u64;
         for twin in self.oltp.store().tables() {
@@ -360,6 +366,10 @@ impl RdeEngine {
             }
         }
 
+        if guard.is_active() {
+            guard.arg("copied_rows", copied_rows as f64);
+            guard.arg("copied_bytes", copied_bytes as f64);
+        }
         EtlReport {
             copied_rows,
             copied_bytes,

@@ -77,6 +77,7 @@ impl HtapScheduler {
 
     /// Schedule one query (or one query of a batch when `is_batch` is true).
     pub fn schedule_query(&self, plan: &QueryPlan, is_batch: bool) -> ScheduledQuery {
+        let guard = htap_obs::span("rde.schedule");
         // 1. Make all committed data visible to the analytical side.
         let switch = self.rde.switch_and_sync();
         // 2. Measure freshness on the fresh snapshot.
@@ -93,6 +94,22 @@ impl HtapScheduler {
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         }
         let tables: Vec<&str> = plan.tables();
+        if guard.is_active() {
+            guard.arg("freshness", freshness.freshness_rate());
+            guard.arg("pending_delta_rows", freshness.total_fresh_rows as f64);
+            guard.arg("olap_cores", migration.olap_cores as f64);
+            guard.detail(state.label());
+            htap_obs::record_decision(htap_obs::DecisionInputs {
+                query: tables.join(","),
+                freshness: freshness.freshness_rate(),
+                pending_delta_rows: freshness.total_fresh_rows,
+                active_oltp_workers: self.rde.oltp().worker_manager().active_workers() as u64,
+                state: state.label().to_string(),
+                oltp_cores: migration.oltp_cores,
+                olap_cores: migration.olap_cores,
+                modeled_time_s: switch.modeled_time + migration.modeled_time,
+            });
+        }
         let sources = self.rde.sources_for(&tables, migration.access);
         ScheduledQuery {
             state,

@@ -52,9 +52,20 @@ use htap_olap::QueryPlan;
 
 /// Compile one SQL `SELECT` into a physical [`QueryPlan`]: parse, bind
 /// against `catalog`, lower. The single entry point most callers need.
+///
+/// Each phase opens an `sql.parse` / `sql.bind` / `sql.plan` tracing span
+/// (inert when tracing is off), so `execute_sql` traces show where
+/// compilation time goes relative to execution.
 pub fn plan(sql: &str, catalog: &Catalog) -> Result<QueryPlan, SqlError> {
-    let stmt = parser::parse(sql)?;
-    let bound = binder::bind(&stmt, catalog)?;
+    let stmt = {
+        let _s = htap_obs::span("sql.parse");
+        parser::parse(sql)?
+    };
+    let bound = {
+        let _s = htap_obs::span("sql.bind");
+        binder::bind(&stmt, catalog)?
+    };
+    let _s = htap_obs::span("sql.plan");
     planner::lower(&bound)
 }
 

@@ -1,0 +1,112 @@
+//! Trace viewer: run a short mixed HTAP workload with tracing live, print
+//! the recorded span trees, RDE decisions and metrics to the terminal, and
+//! export the whole run as Chrome `trace_event` JSON.
+//!
+//! Run with: `cargo run --example trace_viewer --release [-- out.json]`
+//!
+//! Load the exported file in `chrome://tracing` or <https://ui.perfetto.dev>
+//! to see the query spans (parse → bind → plan → execute, with per-pipeline
+//! and per-worker children), the OLTP commit/fsync-batch events on their
+//! ingest lanes, and the scheduler's grant/revoke decisions as instant
+//! events.
+
+use adaptive_htap::{obs, HtapConfig, HtapSystem, QueryId};
+
+fn print_span(span: &obs::Span, depth: usize) {
+    let indent = "  ".repeat(depth);
+    let dur_us = span.end_us.saturating_sub(span.start_us);
+    let detail = if span.detail.is_empty() {
+        String::new()
+    } else {
+        format!(" [{}]", span.detail)
+    };
+    let args = span
+        .args
+        .iter()
+        .map(|(k, v)| format!("{k}={v:.3}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    println!(
+        "{indent}{} {dur_us}µs{detail}{}{}",
+        span.name,
+        if args.is_empty() { "" } else { " " },
+        args
+    );
+    for child in &span.children {
+        print_span(child, depth + 1);
+    }
+}
+
+fn main() -> Result<(), String> {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "trace.json".into());
+
+    // A small system; ingest and analytics interleave so the trace shows
+    // both engines and the scheduler reacting to freshness.
+    let system = HtapSystem::build(HtapConfig::small())?;
+    system.run_oltp(100);
+    for query in [QueryId::Q1, QueryId::Q6, QueryId::Q19] {
+        system.execute_query(query).expect("CH query executes");
+    }
+    system.run_oltp(100);
+    system
+        .execute_sql("SELECT COUNT(*), SUM(ol_amount) FROM orderline WHERE ol_quantity >= 1")
+        .expect("SQL executes");
+
+    // Span trees: one root per query, children per phase/pipeline/worker.
+    println!("=== spans ===");
+    for span in obs::spans_snapshot() {
+        print_span(&span, 0);
+    }
+
+    // The RDE decision log: why the scheduler granted/revoked cores.
+    println!();
+    println!("=== rde decisions ===");
+    for d in obs::decisions_snapshot() {
+        println!(
+            "{:>10}µs {:<12} {} freshness={:.3} pending={} oltp_workers={} \
+             cores oltp/olap={}/{} ({})",
+            d.ts_us,
+            d.action,
+            d.state,
+            d.freshness,
+            d.pending_delta_rows,
+            d.active_oltp_workers,
+            d.oltp_cores,
+            d.olap_cores,
+            d.query
+        );
+    }
+
+    // Metrics registry snapshot: counters and log-linear histograms.
+    println!();
+    println!("=== metrics ===");
+    let snapshot = obs::metrics_snapshot();
+    for (name, value) in &snapshot.counters {
+        println!("counter   {name} = {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        println!("gauge     {name} = {value}");
+    }
+    for (name, h) in &snapshot.histograms {
+        println!(
+            "histogram {name}: n={} mean={:.1} p50={} p95={} p99={} max={}",
+            h.count, h.mean, h.p50, h.p95, h.p99, h.max
+        );
+    }
+
+    // Export everything (spans + ring events + decisions) as Chrome JSON.
+    let json = obs::chrome::chrome_trace_json();
+    std::fs::write(&out, &json).map_err(|e| format!("write {out}: {e}"))?;
+    let totals = obs::obs().event_totals();
+    println!();
+    println!(
+        "wrote {out}: {} bytes, {} ring events recorded ({} dropped), {} root spans",
+        json.len(),
+        totals.recorded,
+        totals.dropped,
+        obs::spans_snapshot().len()
+    );
+    Ok(())
+}

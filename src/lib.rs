@@ -18,6 +18,10 @@
 //! * [`durability`](htap_durability) — write-ahead log with group commit,
 //!   column-segment checkpoints, crash recovery, fault-injectable storage.
 //! * [`baselines`](htap_baselines) — the Figure-1 ETL and CoW baselines.
+//! * [`obs`](htap_obs) — always-on tracing and metrics: per-worker event
+//!   rings, span trees, the RDE decision log, a metrics registry and a
+//!   Chrome `trace_event` exporter (see the *Observability* section of
+//!   ARCHITECTURE.md and `examples/trace_viewer.rs`).
 //!
 //! The crate layering (sim → storage → engines → rde → scheduler → core) and
 //! the morsel-driven parallel execution flow are documented in
@@ -36,6 +40,7 @@ pub use htap_baselines as baselines;
 pub use htap_chbench as chbench;
 pub use htap_core as core;
 pub use htap_durability as durability;
+pub use htap_obs as obs;
 pub use htap_olap as olap;
 pub use htap_oltp as oltp;
 pub use htap_rde as rde;

@@ -70,7 +70,7 @@ fn adhoc_sql_executes_against_live_ingest() {
     ));
     assert!(system.start_oltp_ingest() > 0);
     let deadline = Instant::now() + Duration::from_secs(30);
-    while system.oltp_live_counts().0 < 20 {
+    while system.oltp_live_counts().committed < 20 {
         assert!(Instant::now() < deadline, "no commits within 30s");
         std::thread::yield_now();
     }
@@ -151,7 +151,7 @@ fn no_wait_aborts_under_contention_are_counted() {
             }
         }
     };
-    while system.oltp_live_counts().1 == 0 {
+    while system.oltp_live_counts().aborted == 0 {
         assert!(
             Instant::now() < deadline,
             "no NO-WAIT aborts observed within 60s"
@@ -178,7 +178,7 @@ fn caller_started_pool_is_left_running_and_accounted_by_delta() {
     // Let pre-workload traffic accumulate so a whole-lifetime total would be
     // visibly wrong.
     let deadline = Instant::now() + Duration::from_secs(60);
-    while system.oltp_live_counts().0 < 20 {
+    while system.oltp_live_counts().committed < 20 {
         assert!(
             Instant::now() < deadline,
             "no pre-workload commits within 60s"

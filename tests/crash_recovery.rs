@@ -73,7 +73,7 @@ fn mid_ingest_kill_recovers_exactly_the_durable_commits() {
         let system = HtapSystem::build_durable(config(), faulty).unwrap();
         assert!(system.start_oltp_ingest() > 0);
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
-        while system.oltp_live_counts().0 < 50 {
+        while system.oltp_live_counts().committed < 50 {
             assert!(
                 std::time::Instant::now() < deadline,
                 "no commits within 30s"

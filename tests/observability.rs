@@ -1,0 +1,181 @@
+//! End-to-end observability: a real system run must leave a coherent
+//! picture in every collector — span trees for queries, ring events for
+//! commits and morsels, decisions for the scheduler, metrics for the
+//! registry — and the Chrome export must carry all of it as parseable
+//! JSON.
+//!
+//! The obs state is process-global (rings, span log, registry, the
+//! enabled flag), so the tests in this binary serialise on one mutex.
+
+use adaptive_htap::{obs, HtapConfig, HtapSystem, QueryId};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn find_span<'a>(spans: &'a [obs::Span], name: &str) -> Option<&'a obs::Span> {
+    for s in spans {
+        if s.name == name {
+            return Some(s);
+        }
+        if let Some(hit) = find_span(&s.children, name) {
+            return Some(hit);
+        }
+    }
+    None
+}
+
+/// Run the continuous ingest pool until at least `commits` transactions
+/// committed, returning the consistent counts snapshot sampled live.
+fn ingest_at_least(system: &HtapSystem, commits: u64) -> adaptive_htap::oltp::OltpCounts {
+    assert!(system.start_oltp_ingest() > 0);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while system.oltp_live_counts().committed < commits {
+        assert!(Instant::now() < deadline, "ingest never reached {commits}");
+        std::thread::yield_now();
+    }
+    let live = system.oltp_live_counts();
+    system.stop_oltp_ingest();
+    live
+}
+
+#[test]
+fn a_real_run_populates_spans_events_decisions_and_metrics() {
+    let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    obs::set_enabled(true);
+    let system = HtapSystem::build(HtapConfig::tiny()).expect("system builds");
+    let events_before = obs::obs().event_totals().recorded;
+    let decisions_before = obs::decisions_snapshot().len();
+
+    let live = ingest_at_least(&system, 20);
+    assert!(live.committed >= 20);
+    let report = system.execute_query(QueryId::Q6).expect("Q6 executes");
+    assert!(report.result_rows >= 1);
+    let sql_report = system
+        .execute_sql("SELECT COUNT(*) FROM orderline")
+        .expect("ad-hoc SQL executes");
+    assert!(sql_report.result_rows >= 1);
+
+    // Span trees: the CH query and the SQL query each left a root with the
+    // full schedule→execute hierarchy underneath.
+    let spans = obs::spans_snapshot();
+    let roots: Vec<&str> = spans.iter().map(|s| s.name).collect();
+    assert!(roots.contains(&"query"), "no query roots in {roots:?}");
+    for name in [
+        "query.execute",
+        "rde.schedule",
+        "rde.switch",
+        "olap.pipeline",
+        "worker",
+        "sql.parse",
+        "sql.bind",
+        "sql.plan",
+    ] {
+        assert!(
+            find_span(&spans, name).is_some(),
+            "span {name} missing from the run's span log"
+        );
+    }
+    let exec = find_span(&spans, "query.execute").unwrap();
+    assert!(
+        exec.args.iter().any(|(k, _)| *k == "freshness"),
+        "query.execute carries no freshness arg: {:?}",
+        exec.args
+    );
+
+    // Ring events: commits (the ingest pool) and morsels (the queries).
+    let totals = obs::obs().event_totals();
+    assert!(
+        totals.recorded > events_before,
+        "no ring events recorded by the run"
+    );
+
+    // Decision log: one decision per scheduled query, carrying the
+    // scheduler's inputs.
+    let decisions = obs::decisions_snapshot();
+    assert!(decisions.len() >= decisions_before + 2);
+    let last = decisions.last().unwrap();
+    assert!(!last.state.is_empty() && !last.action.is_empty());
+    assert!((0.0..=1.0).contains(&last.freshness));
+
+    // Metrics registry: the standing counters and histograms moved.
+    let snapshot = obs::metrics_snapshot();
+    let committed_counter = snapshot
+        .counters
+        .get("oltp.txn.committed")
+        .copied()
+        .unwrap_or(0);
+    assert!(
+        committed_counter >= live.committed,
+        "committed counter ({committed_counter}) lags the live snapshot ({})",
+        live.committed
+    );
+    let freshness = snapshot
+        .histograms
+        .get("query.freshness_ppm")
+        .expect("freshness histogram exists");
+    assert!(freshness.count >= 2);
+    assert!(freshness.max <= 1_000_000);
+
+    // With the pool stopped, the seqlock snapshot reads all-zero.
+    assert_eq!(
+        system.oltp_live_counts(),
+        adaptive_htap::oltp::OltpCounts::default()
+    );
+
+    // Chrome export: carries all three sources, and a second export only
+    // drains ring events recorded since the first.
+    let json = obs::chrome::chrome_trace_json();
+    for needle in [
+        "\"traceEvents\"",
+        "\"query.execute\"",
+        "\"txn-commit\"",
+        "\"morsel\"",
+        "rde-",
+        "olap-worker-0",
+    ] {
+        assert!(json.contains(needle), "export lacks {needle}");
+    }
+    assert!(json.trim_end().ends_with('}'));
+    let drained_once = obs::obs().event_totals().drained;
+    let _second = obs::chrome::chrome_trace_json();
+    assert_eq!(
+        obs::obs().event_totals().drained,
+        drained_once,
+        "second export re-drained events the first already consumed"
+    );
+}
+
+#[test]
+fn disabling_tracing_stops_recording_but_not_the_metrics_registry() {
+    let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let system = HtapSystem::build(HtapConfig::tiny()).expect("system builds");
+    obs::set_enabled(false);
+    let events_before = obs::obs().event_totals().recorded;
+    let spans_before = obs::spans_snapshot().len();
+    let counter_before = obs::metrics_snapshot()
+        .counters
+        .get("oltp.txn.committed")
+        .copied()
+        .unwrap_or(0);
+    let live = ingest_at_least(&system, 5);
+    system.execute_query(QueryId::Q1).expect("Q1 executes");
+    assert_eq!(
+        obs::obs().event_totals().recorded,
+        events_before,
+        "disabled tracing must not record ring events"
+    );
+    assert_eq!(
+        obs::spans_snapshot().len(),
+        spans_before,
+        "disabled tracing must not open spans"
+    );
+    // The registry is a separate concern: counters keep counting.
+    let committed_counter = obs::metrics_snapshot()
+        .counters
+        .get("oltp.txn.committed")
+        .copied()
+        .unwrap_or(0);
+    assert!(committed_counter >= counter_before + live.committed);
+    obs::set_enabled(true);
+}
